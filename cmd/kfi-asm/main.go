@@ -1,0 +1,153 @@
+// Command kfi-asm is a developer tool for exploring the two simulated ISAs:
+// it disassembles compiled kernel functions, shows what every single-bit
+// flip of a chosen instruction decodes to (the paper's Figures 14/15
+// analysis), and dumps the kernel symbol table.
+//
+// Examples:
+//
+//	kfi-asm -platform g4 -func sys_read            # disassemble
+//	kfi-asm -platform g4 -func sys_read -flips 0   # flip matrix, instr 0
+//	kfi-asm -platform p4 -symbols                  # symbol table
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"kfi"
+	"kfi/internal/cisc"
+	"kfi/internal/machine"
+	"kfi/internal/risc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kfi-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kfi-asm", flag.ContinueOnError)
+	var (
+		platformFlag = fs.String("platform", "p4", "platform: p4 or g4")
+		funcName     = fs.String("func", "", "kernel function to disassemble")
+		flips        = fs.Int("flips", -1, "show the single-bit flip matrix for instruction N of -func")
+		symbols      = fs.Bool("symbols", false, "dump the kernel symbol table")
+		trace        = fs.Int("trace", 0, "trace the first N executed instructions from boot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	platform := kfi.P4
+	if *platformFlag == "g4" {
+		platform = kfi.G4
+	}
+
+	sys, err := kfi.BuildSystem(platform, kfi.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	im := sys.Sys.KernelImage
+
+	if *trace > 0 {
+		sys.Sys.Machine.Reboot()
+		steps, res := sys.Sys.Machine.TraceRun(*trace)
+		if err := machine.WriteTrace(os.Stdout, steps); err != nil {
+			return err
+		}
+		fmt.Printf("... run state: %v\n", res.Outcome)
+		return nil
+	}
+
+	if *symbols {
+		names := make([]string, 0, len(im.Syms))
+		for n := range im.Syms {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return im.Syms[names[i]] < im.Syms[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x  %s\n", im.Syms[n], n)
+		}
+		return nil
+	}
+	if *funcName == "" {
+		return fmt.Errorf("need -func or -symbols")
+	}
+	fr, ok := im.FuncAt(im.Syms[*funcName])
+	if !ok {
+		return fmt.Errorf("unknown function %q", *funcName)
+	}
+	code := im.Code[fr.Start-im.CodeBase : fr.End-im.CodeBase]
+
+	if *flips < 0 {
+		if platform == kfi.G4 {
+			words := make([]uint32, 0, len(code)/4)
+			for i := 0; i+4 <= len(code); i += 4 {
+				words = append(words, binary.BigEndian.Uint32(code[i:]))
+			}
+			for _, line := range risc.DisasmRange(words, fr.Start) {
+				fmt.Println(line)
+			}
+			return nil
+		}
+		for _, line := range cisc.DisasmRange(code, fr.Start) {
+			fmt.Println(line)
+		}
+		return nil
+	}
+
+	// Flip matrix for instruction N.
+	if platform == kfi.G4 {
+		off := *flips * 4
+		if off+4 > len(code) {
+			return fmt.Errorf("instruction %d out of range", *flips)
+		}
+		w := binary.BigEndian.Uint32(code[off:])
+		orig, _ := risc.Decode(w)
+		fmt.Printf("%08x: %08x  %s\n", fr.Start+uint32(off), w, orig)
+		for bit := 0; bit < 32; bit++ {
+			mw := w ^ 1<<bit
+			in, err := risc.Decode(mw)
+			desc := in.String()
+			if err != nil {
+				desc = "ILLEGAL"
+			}
+			fmt.Printf("  bit %2d → %08x  %s\n", bit, mw, desc)
+		}
+		return nil
+	}
+	// CISC: locate instruction N by walking the stream.
+	off := 0
+	for i := 0; i < *flips; i++ {
+		in, err := cisc.Decode(code[off:])
+		if err != nil {
+			return fmt.Errorf("instruction %d not decodable", i)
+		}
+		off += int(in.Len)
+	}
+	orig, err := cisc.Decode(code[off:])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%08x: % x  %s\n", fr.Start+uint32(off), code[off:off+int(orig.Len)], orig)
+	for byteIdx := 0; byteIdx < int(orig.Len); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), code[off:]...)
+			mut[byteIdx] ^= 1 << bit
+			in, err := cisc.Decode(mut)
+			desc := in.String()
+			extra := ""
+			if err != nil {
+				desc = "INVALID"
+			} else if in.Len != orig.Len {
+				extra = fmt.Sprintf("  (len %d→%d: stream re-synchronizes)", orig.Len, in.Len)
+			}
+			fmt.Printf("  byte %d bit %d → %s%s\n", byteIdx, bit, desc, extra)
+		}
+	}
+	return nil
+}

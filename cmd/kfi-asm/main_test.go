@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestAsmModes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"symbols", []string{"-platform", "p4", "-symbols"}},
+		{"disasm p4", []string{"-platform", "p4", "-func", "memcpy"}},
+		{"disasm g4", []string{"-platform", "g4", "-func", "memcpy"}},
+		{"flip matrix p4", []string{"-platform", "p4", "-func", "spin_lock", "-flips", "1"}},
+		{"flip matrix g4", []string{"-platform", "g4", "-func", "spin_lock", "-flips", "1"}},
+		{"boot trace", []string{"-platform", "g4", "-trace", "25"}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Errorf("run(%v) = %v", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	if err := run([]string{"-platform", "p4", "-func", "nosuchfunc"}); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-func", "memcpy", "-flips", "100000"}); err == nil {
+		t.Error("out-of-range instruction index accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Command kfi-campaign runs the paper's error-injection campaigns against
+// one or both simulated platforms and prints the Table 5/6-style statistics,
+// crash-cause distributions, and cycles-to-crash histograms. Raw results can
+// be logged as JSON lines for later analysis with kfi-report.
+//
+// Examples:
+//
+//	kfi-campaign -platform both -campaign all -n 300
+//	kfi-campaign -platform p4 -campaign code -n 1790 -out p4-code.jsonl
+//	kfi-campaign -paper-fraction 0.05    # 5% of the paper's 115k injections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kfi"
+	"kfi/internal/crashnet"
+	"kfi/internal/inject"
+	"kfi/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kfi-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kfi-campaign", flag.ContinueOnError)
+	var (
+		platformFlag = fs.String("platform", "both", "target platform: p4, g4, or both")
+		campaignFlag = fs.String("campaign", "all", "campaign: stack, sysreg, data, code, or all")
+		n            = fs.Int("n", 0, "injections per campaign (0 = defaults)")
+		paperFrac    = fs.Float64("paper-fraction", 0, "scale the paper's own campaign sizes instead of -n")
+		seed         = fs.Int64("seed", 1, "target-generation seed")
+		scale        = fs.Int("scale", 1, "benchmark workload scale")
+		out          = fs.String("out", "", "append raw results as JSON lines to this file")
+		figures      = fs.Bool("figures", true, "print crash-cause and latency figures")
+		quiet        = fs.Bool("quiet", false, "suppress progress output")
+		burst        = fs.Int("burst", 1, "bits flipped per injection (1 = the paper's single-bit model)")
+		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	platforms, err := parsePlatforms(*platformFlag)
+	if err != nil {
+		return err
+	}
+	campaigns, err := parseCampaigns(*campaignFlag)
+	if err != nil {
+		return err
+	}
+
+	counts := map[kfi.Campaign]int{}
+	if *n > 0 {
+		for _, c := range campaigns {
+			counts[c] = *n
+		}
+	}
+
+	var logFile *os.File
+	if *out != "" {
+		logFile, err = os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer logFile.Close()
+	}
+
+	cfg := kfi.StudyConfig{
+		Platforms:     platforms,
+		Campaigns:     campaigns,
+		Counts:        counts,
+		PaperFraction: *paperFrac,
+		Seed:          *seed,
+		Build:         kfi.BuildOptions{Scale: *scale},
+	}
+	if *burst < 1 || *burst > 8 {
+		return fmt.Errorf("-burst must be in [1, 8], got %d", *burst)
+	}
+	cfg.Burst = uint8(*burst)
+	if *crashAddr != "" {
+		sender, err := crashnet.NewUDPSender(*crashAddr)
+		if err != nil {
+			return fmt.Errorf("crashnet: %w", err)
+		}
+		defer sender.Close()
+		cfg.Build.CrashSender = sender
+	}
+	if !*quiet {
+		cfg.Progress = func(p kfi.Platform, c kfi.Campaign, done, total int) {
+			if done == total || done%50 == 0 {
+				fmt.Fprintf(os.Stderr, "\r%-18s %-18s %6d/%d", p.Short(), c, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	study, err := kfi.RunStudy(cfg)
+	if err != nil {
+		return err
+	}
+
+	for _, p := range platforms {
+		fmt.Println(study.Table(p))
+		if *figures {
+			fmt.Println(study.CauseFigure(p, 0))
+			for _, c := range campaigns {
+				fmt.Println(study.CauseFigure(p, c))
+			}
+			fmt.Printf("Registers whose corruption manifested on %v: %s\n\n",
+				p, strings.Join(study.SensitiveRegisters(p), ", "))
+		}
+		if logFile != nil {
+			pr := study.PerPlatform[p]
+			for _, c := range campaigns {
+				if oc := pr.Outcomes[c]; oc != nil {
+					if err := stats.WriteResults(logFile, p, c, oc.Results); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if *figures {
+		for _, c := range campaigns {
+			fmt.Println(study.LatencyFigure(c))
+		}
+	}
+	return nil
+}
+
+func parsePlatforms(s string) ([]kfi.Platform, error) {
+	switch strings.ToLower(s) {
+	case "p4", "cisc":
+		return []kfi.Platform{kfi.P4}, nil
+	case "g4", "risc", "ppc":
+		return []kfi.Platform{kfi.G4}, nil
+	case "both", "all":
+		return []kfi.Platform{kfi.P4, kfi.G4}, nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q (want p4, g4, or both)", s)
+	}
+}
+
+func parseCampaigns(s string) ([]kfi.Campaign, error) {
+	if strings.EqualFold(s, "all") {
+		return kfi.AllCampaigns, nil
+	}
+	var out []kfi.Campaign
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "stack":
+			out = append(out, inject.CampStack)
+		case "sysreg", "registers", "regs":
+			out = append(out, inject.CampSysReg)
+		case "data":
+			out = append(out, inject.CampData)
+		case "code":
+			out = append(out, inject.CampCode)
+		default:
+			return nil, fmt.Errorf("unknown campaign %q", part)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kfi"
+	"kfi/internal/crashnet"
+	"kfi/internal/stats"
+)
+
+func TestParsePlatforms(t *testing.T) {
+	tests := []struct {
+		give    string
+		wantLen int
+		wantErr bool
+	}{
+		{"p4", 1, false},
+		{"G4", 1, false},
+		{"both", 2, false},
+		{"all", 2, false},
+		{"vax", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parsePlatforms(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parsePlatforms(%q) err = %v", tt.give, err)
+		}
+		if len(got) != tt.wantLen {
+			t.Errorf("parsePlatforms(%q) = %v", tt.give, got)
+		}
+	}
+}
+
+func TestParseCampaigns(t *testing.T) {
+	got, err := parseCampaigns("stack, code")
+	if err != nil || len(got) != 2 || got[0] != kfi.Stack || got[1] != kfi.Code {
+		t.Errorf("parseCampaigns = %v, %v", got, err)
+	}
+	all, err := parseCampaigns("all")
+	if err != nil || len(all) != 4 {
+		t.Errorf("all = %v, %v", all, err)
+	}
+	if _, err := parseCampaigns("bogus"); err == nil {
+		t.Error("bogus campaign accepted")
+	}
+}
+
+func TestBurstFlagValidation(t *testing.T) {
+	if err := run([]string{"-burst", "0", "-platform", "p4", "-campaign", "code", "-n", "1", "-quiet"}); err == nil {
+		t.Error("burst 0 accepted")
+	}
+	if err := run([]string{"-burst", "9", "-platform", "p4", "-campaign", "code", "-n", "1", "-quiet"}); err == nil {
+		t.Error("burst 9 accepted")
+	}
+}
+
+func TestCrashnetStreamsToCollector(t *testing.T) {
+	coll, err := crashnet.NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	err = run([]string{"-platform", "p4", "-campaign", "code", "-n", "25",
+		"-seed", "42", "-quiet", "-figures=false", "-crashnet", coll.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 25-injection code campaign reliably produces several crashes; each
+	// must have arrived as a well-formed packet.
+	got := 0
+	for {
+		pkt, ok := coll.Recv()
+		if !ok {
+			break
+		}
+		got++
+		if pkt.Cause == 0 {
+			t.Error("crash packet with no cause")
+		}
+	}
+	if got == 0 {
+		t.Error("no crash packets reached the collector")
+	}
+}
+
+func TestCrashnetRejectsBadAddress(t *testing.T) {
+	if err := run([]string{"-platform", "p4", "-campaign", "code", "-n", "1",
+		"-quiet", "-crashnet", "::bad::"}); err == nil {
+		t.Error("bad crashnet address accepted")
+	}
+}
+
+func TestCampaignOutFileAndFigures(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	err := run([]string{"-platform", "p4", "-campaign", "stack", "-n", "10",
+		"-seed", "3", "-quiet", "-figures", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := stats.ReadResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Errorf("JSONL holds %d records, want 10", len(recs))
+	}
+	// The log must round-trip through kfi-report's grouping.
+	groups := stats.GroupRecords(recs)
+	if len(groups["p4/Stack"]) != 10 {
+		t.Errorf("grouping = %v", len(groups["p4/Stack"]))
+	}
+}
+
+func TestCampaignPaperFraction(t *testing.T) {
+	// -paper-fraction scales the paper's own campaign sizes; at 0.0002 the
+	// stack campaign rounds to its minimum of 1 injection.
+	err := run([]string{"-platform", "g4", "-campaign", "stack",
+		"-paper-fraction", "0.0002", "-quiet", "-figures=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignRejectsBadSelectors(t *testing.T) {
+	if err := run([]string{"-platform", "vax"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-campaign", "paging"}); err == nil {
+		t.Error("unknown campaign accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-campaign", "code", "-n", "1",
+		"-quiet", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
+		t.Error("unwritable -out accepted")
+	}
+}

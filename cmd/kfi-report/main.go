@@ -1,0 +1,175 @@
+// Command kfi-report re-renders the paper's tables and figures from raw
+// injection logs written by kfi-campaign's -out flag. Because the logs carry
+// every classified result, the report can be regenerated, filtered, and
+// compared without re-running the (much slower) injection campaigns.
+//
+// Example:
+//
+//	kfi-campaign -platform both -campaign all -out results.jsonl
+//	kfi-report results.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"kfi"
+	"kfi/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kfi-report:", err)
+		os.Exit(1)
+	}
+}
+
+// splitKey maps a "p4/Stack" group key back to platform and campaign.
+func splitKey(k string) (kfi.Platform, kfi.Campaign) {
+	platform := kfi.P4
+	if len(k) >= 2 && k[:2] == "g4" {
+		platform = kfi.G4
+	}
+	for _, c := range kfi.AllCampaigns {
+		if len(k) > 3 && k[3:] == c.String() {
+			return platform, c
+		}
+	}
+	return platform, 0
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kfi-report", flag.ContinueOnError)
+	var (
+		latency   = fs.Bool("latency", true, "print cycles-to-crash histograms")
+		causes    = fs.Bool("causes", true, "print crash-cause distributions")
+		registers = fs.Bool("registers", true, "print per-register crash counts")
+		compare   = fs.Bool("compare", false, "print measured values side-by-side with the paper's")
+		ci        = fs.Bool("ci", false, "print 95% Wilson intervals for the manifestation rates")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: kfi-report [flags] results.jsonl...")
+	}
+
+	var recs []stats.Record
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		batch, err := stats.ReadResults(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, batch...)
+	}
+
+	groups := stats.GroupRecords(recs)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Println(stats.TableHeader())
+	for _, k := range keys {
+		results := groups[k]
+		c := stats.Summarize(results)
+		fmt.Println(c.TableRow(k))
+	}
+	fmt.Println()
+
+	if *ci {
+		fmt.Println("95% Wilson intervals (sampling error at this campaign size):")
+		for _, k := range keys {
+			c := stats.Summarize(groups[k])
+			base := c.ActivatedBase()
+			if base == 0 {
+				continue
+			}
+			mLo, mHi := stats.Wilson95(c.Manifested(), base)
+			cLo, cHi := stats.Wilson95(c.Crash, base)
+			fmt.Printf("  %-12s manifested %5.1f%% [%5.1f, %5.1f]   known crash %5.1f%% [%5.1f, %5.1f]   (n=%d)\n",
+				k, 100*float64(c.Manifested())/float64(base), mLo, mHi,
+				100*float64(c.Crash)/float64(base), cLo, cHi, base)
+		}
+		fmt.Println()
+	}
+
+	if *compare {
+		fmt.Println("Paper vs measured (percentages of the activation base):")
+		for _, k := range keys {
+			platform, camp := splitKey(k)
+			if camp == 0 {
+				continue
+			}
+			if row := stats.CompareTableRow(platform, camp, stats.Summarize(groups[k])); row != "" {
+				fmt.Println("  " + row)
+			}
+		}
+		fmt.Println()
+		for _, k := range keys {
+			platform, camp := splitKey(k)
+			if camp == 0 {
+				continue
+			}
+			d := stats.CrashCauses(groups[k])
+			if d.Total == 0 {
+				continue
+			}
+			if out := stats.CompareCauses(platform, camp, d); out != "" {
+				fmt.Printf("Crash causes vs paper, %s:\n%s\n", k, out)
+			}
+		}
+	}
+
+	for _, k := range keys {
+		results := groups[k]
+		platform := kfi.P4
+		if k[:2] == "g4" {
+			platform = kfi.G4
+		}
+		if *causes {
+			d := stats.CrashCauses(results)
+			if d.Total > 0 {
+				fmt.Printf("Crash causes, %s\n%s\n", k, d.Render(platform))
+			}
+		}
+		if *latency {
+			h := stats.Latencies(results)
+			if h.Total > 0 {
+				fmt.Printf("Cycles-to-crash, %s\n%s\n", k, h.Render())
+			}
+		}
+		if prop := stats.Propagate(results); prop.Crashes > 0 {
+			fmt.Println(prop.Render())
+		}
+		if *registers {
+			byReg := stats.ByRegister(results)
+			if len(byReg) > 0 {
+				names := make([]string, 0, len(byReg))
+				for n := range byReg {
+					names = append(names, n)
+				}
+				sort.Slice(names, func(i, j int) bool {
+					if byReg[names[i]] != byReg[names[j]] {
+						return byReg[names[i]] > byReg[names[j]]
+					}
+					return names[i] < names[j]
+				})
+				fmt.Printf("Manifesting registers, %s:\n", k)
+				for _, n := range names {
+					fmt.Printf("  %-12s %d\n", n, byReg[n])
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kfi"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/stats"
+)
+
+func TestSplitKey(t *testing.T) {
+	tests := []struct {
+		give     string
+		platform kfi.Platform
+		camp     kfi.Campaign
+	}{
+		{"p4/Stack", kfi.P4, kfi.Stack},
+		{"g4/Code", kfi.G4, kfi.Code},
+		{"g4/System Registers", kfi.G4, kfi.SysRegs},
+		{"p4/???", kfi.P4, 0},
+	}
+	for _, tt := range tests {
+		p, c := splitKey(tt.give)
+		if p != tt.platform || c != tt.camp {
+			t.Errorf("splitKey(%q) = %v, %v", tt.give, p, c)
+		}
+	}
+}
+
+func TestReportRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []inject.Result{
+		{Outcome: inject.OCrash, Activated: true, ActivationKnown: true,
+			Cause: isa.CauseNULLPointer, Latency: 1500},
+		{Outcome: inject.ONotManifested, Activated: true, ActivationKnown: true},
+	}
+	if err := stats.WriteResults(f, isa.CISC, inject.CampCode, results); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-compare", path}); err != nil {
+		t.Fatalf("report run: %v", err)
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("missing file argument accepted")
+	}
+}
+
+func TestReportCIAndRegisterSections(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []inject.Result{
+		{Outcome: inject.OCrash, Activated: true, ActivationKnown: true,
+			Cause: isa.CauseGeneralProtection, Latency: 900,
+			Target: inject.Target{Campaign: inject.CampSysReg, RegName: "FS"}},
+		{Outcome: inject.ONotManifested, Activated: true, ActivationKnown: true,
+			Target: inject.Target{Campaign: inject.CampSysReg, RegName: "CR3"}},
+		{Outcome: inject.OHangUnknown, Activated: true, ActivationKnown: true,
+			Target: inject.Target{Campaign: inject.CampSysReg, RegName: "EFLAGS"}},
+	}
+	if err := stats.WriteResults(f, isa.CISC, inject.CampSysReg, results); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for _, args := range [][]string{
+		{"-ci", path},
+		{"-registers", "-causes=false", "-latency=false", path},
+		{"-compare", "-ci", path},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	if err := run([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+func TestReportEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Errorf("empty log rejected: %v", err)
+	}
+	// Corrupt JSONL reports a useful error.
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("corrupt log accepted")
+	}
+}

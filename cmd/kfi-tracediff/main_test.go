@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceDiffReportsDivergence(t *testing.T) {
+	var out strings.Builder
+	// sub→and on the frame setup destroys ESP: reliably divergent.
+	err := run([]string{"-platform", "p4", "-func", "getblk", "-instr", "5", "-bit", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"flipping bit 0", "first divergence", "getblk"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceDiffFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-platform", "p4"}, &out); err == nil {
+		t.Error("missing -func accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-func", "getblk", "-bit", "9"}, &out); err == nil {
+		t.Error("bit 9 accepted")
+	}
+	if err := run([]string{"-platform", "vax", "-func", "getblk"}, &out); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-func", "nosuchfunc"}, &out); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-func", "spin_lock", "-instr", "9999"}, &out); err == nil {
+		t.Error("out-of-function instruction index accepted")
+	}
+}
+
+func TestTraceDiffG4AndBurst(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-platform", "g4", "-func", "csum_partial",
+		"-instr", "2", "-bit", "5", "-burst", "2", "-context", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "G4-class") {
+		t.Errorf("missing platform banner:\n%s", got)
+	}
+	// Whatever the outcome class, the report must be conclusive: either a
+	// divergence or an explicit data-only / absorbed verdict.
+	if !strings.Contains(got, "first divergence") &&
+		!strings.Contains(got, "no control-flow divergence") {
+		t.Errorf("inconclusive report:\n%s", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Crosscompare runs a scaled-down version of the paper's full study — all
+// four injection campaigns on both platforms — and prints the Table 5/6
+// statistics, the overall crash-cause distributions (Figures 4/5), and the
+// cycles-to-crash histograms (Figure 16), followed by a check of the paper's
+// headline claims against the measured data.
+//
+// Run with -n to choose the per-campaign injection count (default 120;
+// larger values sharpen the distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kfi"
+)
+
+func main() {
+	n := flag.Int("n", 120, "injections per campaign")
+	seed := flag.Int64("seed", 7, "target-generation seed")
+	flag.Parse()
+	if err := run(*n, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n int, seed int64) error {
+	counts := map[kfi.Campaign]int{}
+	for _, c := range kfi.AllCampaigns {
+		counts[c] = n
+	}
+	study, err := kfi.RunStudy(kfi.StudyConfig{
+		Counts: counts,
+		Seed:   seed,
+		Progress: func(p kfi.Platform, c kfi.Campaign, done, total int) {
+			if done == total {
+				fmt.Fprintf(os.Stderr, "%s/%s: %d injections done\n", p.Short(), c, total)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, p := range kfi.Platforms {
+		fmt.Println(study.Table(p))
+		fmt.Println(study.CauseFigure(p, 0))
+	}
+	for _, c := range kfi.AllCampaigns {
+		fmt.Println(study.LatencyFigure(c))
+	}
+
+	fmt.Println("Headline claims (paper vs. this run):")
+	checkClaims(study)
+	return nil
+}
+
+// checkClaims evaluates the paper's major findings against the measured run.
+func checkClaims(study *kfi.StudyResult) {
+	manifested := func(p kfi.Platform, c kfi.Campaign) float64 {
+		oc := study.PerPlatform[p].Outcomes[c]
+		if oc == nil || oc.Counts.ActivatedBase() == 0 {
+			return 0
+		}
+		return 100 * float64(oc.Counts.Manifested()) / float64(oc.Counts.ActivatedBase())
+	}
+	claim := func(ok bool, text string) {
+		mark := "PASS"
+		if !ok {
+			mark = "MISS"
+		}
+		fmt.Printf("  [%s] %s\n", mark, text)
+	}
+
+	sp4, sg4 := manifested(kfi.P4, kfi.Stack), manifested(kfi.G4, kfi.Stack)
+	claim(sp4 > sg4, fmt.Sprintf(
+		"stack errors manifest far more on the P4 (paper 56%% vs 21%%; this run %.0f%% vs %.0f%%)", sp4, sg4))
+
+	rp4, rg4 := manifested(kfi.P4, kfi.SysRegs), manifested(kfi.G4, kfi.SysRegs)
+	claim(rp4 > rg4, fmt.Sprintf(
+		"register errors manifest more on the P4 (paper >11%% vs 5%%; this run %.0f%% vs %.0f%%)", rp4, rg4))
+
+	p4Causes := study.OverallCauses(kfi.P4)
+	g4Causes := study.OverallCauses(kfi.G4)
+	p4Mem := p4Causes.InvalidMemoryPct(kfi.P4)
+	g4Mem := g4Causes.InvalidMemoryPct(kfi.G4)
+	claim(p4Mem > 50 && g4Mem > 40, fmt.Sprintf(
+		"invalid memory access dominates crashes on both (paper 71%%/67%%; this run %.0f%%/%.0f%%)", p4Mem, g4Mem))
+
+	// G4 detects stack overflow explicitly; the P4 cannot.
+	g4Stack := study.PerPlatform[kfi.G4].Outcomes[kfi.Stack]
+	p4Stack := study.PerPlatform[kfi.P4].Outcomes[kfi.Stack]
+	g4SO, p4SO := 0, 0
+	for cause, n := range g4Stack.Causes.Counts {
+		if cause.String() == "Stack Overflow" {
+			g4SO += n
+		}
+	}
+	for cause, n := range p4Stack.Causes.Counts {
+		if cause.String() == "Stack Overflow" {
+			p4SO += n
+		}
+	}
+	claim(p4SO == 0, "the P4 never reports an explicit Stack Overflow (paper §5.1)")
+	claim(g4SO > 0 || g4Stack.Causes.Total == 0,
+		"the G4 wrapper reports explicit Stack Overflow crashes (paper: 41.9% of stack crashes)")
+
+	// Latency orderings (Figure 16): G4 code crashes are slower than P4's.
+	p4Lat := study.PerPlatform[kfi.P4].Outcomes[kfi.Code].Latency
+	g4Lat := study.PerPlatform[kfi.G4].Outcomes[kfi.Code].Latency
+	claim(p4Lat.CumulativePct(1) > g4Lat.CumulativePct(0), fmt.Sprintf(
+		"P4 code errors fail faster (paper: 70%% <10k cycles vs G4 ~90%% >10k; this run %.0f%% vs %.0f%% <3k)",
+		p4Lat.Pct(0), g4Lat.Pct(0)))
+}

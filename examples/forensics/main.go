@@ -1,0 +1,68 @@
+// Forensics walks the analysis pipeline the paper applies to individual
+// failures (§5.1, Figure 7): run a small code-injection campaign, quantify
+// how far crashes traveled from the corrupted function, then zoom into one
+// crash with a golden-vs-faulty trace diff that pinpoints the exact retired
+// instruction where the corrupted kernel left the golden path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := kfi.BuildSystem(kfi.P4, kfi.BuildOptions{})
+	if err != nil {
+		return err
+	}
+
+	// A small code campaign to collect crashes.
+	fmt.Println("running 80 code injections on the P4-class kernel...")
+	targets, err := kfi.NewTargets(sys, kfi.Code, 80, 2026)
+	if err != nil {
+		return err
+	}
+	var results []kfi.Result
+	for _, t := range targets {
+		results = append(results, kfi.InjectOne(sys, t))
+	}
+
+	// How far did the errors travel before detection?
+	prop := kfi.Propagate(results)
+	fmt.Println()
+	fmt.Print(prop.Render())
+
+	// Pick the crash that escaped farthest (cross-subsystem if available)
+	// and reconstruct its propagation at instruction granularity.
+	var pick *kfi.Result
+	for i := range results {
+		r := &results[i]
+		if r.Outcome != kfi.Crash {
+			continue
+		}
+		if pick == nil || (r.CrashFunc != r.Target.Func && pick.CrashFunc == pick.Target.Func) {
+			pick = r
+		}
+	}
+	if pick == nil {
+		fmt.Println("no crashes in this campaign; rerun with another seed")
+		return nil
+	}
+
+	fmt.Printf("\nzooming into one crash: flip in %s, detected in %s (%v)\n\n",
+		pick.Target.Func, pick.CrashFunc, pick.Cause)
+	d, err := kfi.TraceDiff(sys, pick.Target, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.Render())
+	return nil
+}

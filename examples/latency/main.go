@@ -1,0 +1,94 @@
+// Latency explores the paper's cycles-to-crash analysis (§6, Figure 16):
+// it runs code-injection campaigns on both platforms, prints the latency
+// histograms side by side, and demonstrates the two opposing mechanisms —
+//
+//   - P4: a flipped instruction usually re-synchronizes into a valid-but-
+//     wrong instruction group that fails fast ("poor diagnosability seems to
+//     lead to shorter error latencies in the code section");
+//   - G4: corrupted register values can stay dormant in the large register
+//     file and crash much later.
+//
+// It also prints the paper-style crash dumps for the slowest and fastest
+// crash observed on each platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kfi"
+)
+
+func main() {
+	n := flag.Int("n", 150, "injections per platform")
+	flag.Parse()
+	if err := run(*n); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n int) error {
+	type record struct {
+		hist    kfi.LatencyHist
+		slowest kfi.Result
+		fastest kfi.Result
+	}
+	recs := make(map[kfi.Platform]*record)
+
+	for _, p := range kfi.Platforms {
+		sys, err := kfi.BuildSystem(p, kfi.BuildOptions{})
+		if err != nil {
+			return err
+		}
+		targets, err := kfi.NewTargets(sys, kfi.Code, n, 99)
+		if err != nil {
+			return err
+		}
+		rec := &record{}
+		var results []kfi.Result
+		for _, t := range targets {
+			res := kfi.InjectOne(sys, t)
+			results = append(results, res)
+			if res.Outcome != kfi.Crash {
+				continue
+			}
+			if rec.slowest.Outcome != kfi.Crash || res.Latency > rec.slowest.Latency {
+				rec.slowest = res
+			}
+			if rec.fastest.Outcome != kfi.Crash || res.Latency < rec.fastest.Latency {
+				rec.fastest = res
+			}
+		}
+		rec.hist = kfi.Latencies(results)
+		recs[p] = rec
+	}
+
+	fmt.Printf("Cycles-to-Crash, Code Injection (%d injections per platform)\n", n)
+	fmt.Printf("  %-9s %10s %10s\n", "bucket", "P4-class", "G4-class")
+	labels := []string{"<3k", "3k-10k", "10k-100k", "100k-1M", "1M-10M", "10M-100M", "100M-1G", ">1G"}
+	p4h, g4h := recs[kfi.P4].hist, recs[kfi.G4].hist
+	for i, label := range labels {
+		fmt.Printf("  %-9s %9.1f%% %9.1f%%\n", label, p4h.Pct(i), g4h.Pct(i))
+	}
+	fmt.Printf("  %-9s %10d %10d\n\n", "crashes", p4h.Total, g4h.Total)
+
+	for _, p := range kfi.Platforms {
+		rec := recs[p]
+		if rec.fastest.Outcome != kfi.Crash {
+			continue
+		}
+		fmt.Printf("%v fastest crash (%d cycles): %v in %s — bit %d of %s\n",
+			p, rec.fastest.Latency, rec.fastest.Cause, rec.fastest.CrashFunc,
+			rec.fastest.Target.Bit, rec.fastest.Target.Func)
+		fmt.Printf("%v slowest crash (%d cycles): %v in %s — bit %d of %s\n\n",
+			p, rec.slowest.Latency, rec.slowest.Cause, rec.slowest.CrashFunc,
+			rec.slowest.Target.Bit, rec.slowest.Target.Func)
+	}
+
+	fmt.Println("Interpretation: the P4's immediate crashes sit below 3k cycles (its")
+	fmt.Println("exception stages cost ~1.4k), while the G4's heavier exception path and")
+	fmt.Println("register-resident values push its distribution upward — the paper's")
+	fmt.Println("ordering for Figure 16(C).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module kfi
+
+go 1.24

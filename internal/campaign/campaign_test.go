@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/stats"
+	"kfi/internal/workload"
+)
+
+// testSystem caches built systems across tests (building is deterministic).
+var testSystems = map[isa.Platform]*kernel.System{}
+var testGolden = map[isa.Platform]uint32{}
+var testProfiles = map[isa.Platform]*Profile{}
+
+func getSystem(t *testing.T, p isa.Platform) (*kernel.System, uint32, *Profile) {
+	t.Helper()
+	if sys, ok := testSystems[p]; ok {
+		return sys, testGolden[p], testProfiles[p]
+	}
+	uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := Golden(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileKernel(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSystems[p], testGolden[p], testProfiles[p] = sys, golden, prof
+	return sys, golden, prof
+}
+
+func TestProfileKernel(t *testing.T) {
+	_, _, prof := getSystem(t, isa.CISC)
+	if len(prof.Funcs) < 10 {
+		t.Fatalf("profile found only %d functions", len(prof.Funcs))
+	}
+	hot := prof.Hot(0.95)
+	if len(hot) == 0 || len(hot) > len(prof.Funcs) {
+		t.Fatalf("hot set size %d of %d", len(hot), len(prof.Funcs))
+	}
+	// The dispatcher and memcpy must be hot in any realistic profile.
+	names := make(map[string]bool)
+	for _, f := range hot {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"memcpy", "syscall_entry"} {
+		if !names[want] {
+			t.Errorf("expected %s among hot functions; hot=%v", want, keys(names))
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestTargetsAreReproducible(t *testing.T) {
+	sys, _, prof := getSystem(t, isa.CISC)
+	for _, camp := range []inject.Campaign{inject.CampStack, inject.CampData, inject.CampSysReg, inject.CampCode} {
+		spec := Spec{Campaign: camp, N: 20, Seed: 99}
+		a, err := NewGenerator(sys, prof, spec.Seed, 0).Targets(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewGenerator(sys, prof, spec.Seed, 0).Targets(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: target %d differs: %+v vs %+v", camp, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestTargetsLandInRightRegions(t *testing.T) {
+	sys, _, prof := getSystem(t, isa.RISC)
+	gen := NewGenerator(sys, prof, 5, 0)
+	stacks, err := gen.Targets(Spec{Campaign: inject.CampStack, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range stacks {
+		if tg.ProcSlot < 0 || tg.ProcSlot >= len(sys.Procs) {
+			t.Errorf("stack target proc slot %d out of range", tg.ProcSlot)
+		}
+		if tg.Delay == 0 {
+			t.Error("stack target without a mid-run trigger time")
+		}
+	}
+	data, err := gen.Targets(Spec{Campaign: inject.CampData, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range data {
+		r, ok := sys.Machine.Mem.RegionAt(tg.Addr)
+		if !ok || (r.Name != "data" && r.Name != "bss") {
+			t.Errorf("data target 0x%x landed in %q", tg.Addr, r.Name)
+		}
+	}
+	code, err := gen.Targets(Spec{Campaign: inject.CampCode, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range code {
+		if tg.Addr%4 != 0 {
+			t.Errorf("RISC code target 0x%x not word aligned", tg.Addr)
+		}
+		if tg.Func == "" {
+			t.Error("code target without function attribution")
+		}
+	}
+}
+
+func TestSmallCampaignsBothPlatforms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	n := 12
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys, golden, prof := getSystem(t, platform)
+		for _, camp := range []inject.Campaign{inject.CampStack, inject.CampSysReg, inject.CampData, inject.CampCode} {
+			t.Run(platform.Short()+"/"+camp.String(), func(t *testing.T) {
+				res, err := Run(sys, golden, prof, Spec{Campaign: camp, N: n, Seed: 7}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := stats.Summarize(res.Results)
+				if c.Injected != n {
+					t.Fatalf("injected %d, want %d", c.Injected, n)
+				}
+				total := c.NotActivated + c.NotManifested + c.FailSilence + c.Crash + c.HangUnknown
+				if total != n {
+					t.Errorf("outcome counts sum to %d, want %d: %+v", total, n, c)
+				}
+				t.Logf("%s: %+v", camp, c)
+				// Crash causes must belong to this platform.
+				for _, r := range res.Results {
+					if r.Outcome == inject.OCrash && r.Cause.Platform() != platform {
+						t.Errorf("crash cause %v does not belong to %v", r.Cause, platform)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSystemIsReusableAfterCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	sys, golden, prof := getSystem(t, isa.CISC)
+	if _, err := Run(sys, golden, prof, Spec{Campaign: inject.CampCode, N: 5, Seed: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A clean run after a campaign must still match the golden checksum.
+	res := sys.Run()
+	if res.Checksum != golden {
+		t.Errorf("post-campaign clean run checksum = 0x%x, want 0x%x", res.Checksum, golden)
+	}
+}
+
+func TestDataTargetsExcludeHeapAndPercpu(t *testing.T) {
+	sys, _, prof := getSystem(t, isa.CISC)
+	gen := NewGenerator(sys, prof, 9, 0)
+	targets, err := gen.Targets(Spec{Campaign: inject.CampData, N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, _ := sys.Machine.Mem.RegionByName("heap")
+	percpu, _ := sys.Machine.Mem.RegionByName("percpu")
+	for _, tg := range targets {
+		if heap.Contains(tg.Addr) {
+			t.Fatalf("data target 0x%x landed in the heap (page cache is not kernel static data)", tg.Addr)
+		}
+		if percpu.Contains(tg.Addr) {
+			t.Fatalf("data target 0x%x landed in the per-CPU area", tg.Addr)
+		}
+	}
+}
+
+func TestSpecBurstPropagatesToTargets(t *testing.T) {
+	sys, golden, profile := getSystem(t, isa.CISC)
+	_ = golden
+	gen := NewGenerator(sys, profile, 99, 2_000_000)
+	for _, camp := range []inject.Campaign{inject.CampStack, inject.CampData, inject.CampSysReg, inject.CampCode} {
+		targets, err := gen.Targets(Spec{Campaign: camp, N: 5, Burst: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tg := range targets {
+			if tg.Burst != 3 {
+				t.Errorf("%v target %d: burst %d, want 3", camp, i, tg.Burst)
+			}
+		}
+	}
+}
+
+func TestProfileHotCoverageProperty(t *testing.T) {
+	_, _, prof := getSystem(t, isa.CISC)
+	// The hot set must actually reach the requested cycle coverage, be a
+	// prefix of the cycle-sorted function list, and grow monotonically with
+	// the coverage target.
+	prev := 0
+	for _, cov := range []float64{0.5, 0.8, 0.95, 0.99} {
+		hot := prof.Hot(cov)
+		var acc uint64
+		for i, f := range hot {
+			acc += f.Cycles
+			if i > 0 && f.Cycles > hot[i-1].Cycles {
+				t.Fatalf("hot set not cycle-sorted at %d: %d > %d", i, f.Cycles, hot[i-1].Cycles)
+			}
+		}
+		if float64(acc) < cov*float64(prof.Total) {
+			t.Errorf("Hot(%.2f) covers only %d of %d cycles", cov, acc, prof.Total)
+		}
+		if len(hot) < prev {
+			t.Errorf("Hot(%.2f) smaller than a lower target: %d < %d", cov, len(hot), prev)
+		}
+		prev = len(hot)
+	}
+}

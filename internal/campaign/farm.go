@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/workload"
+)
+
+// Farm distributes one campaign's injections across several identical guest
+// systems running concurrently — the paper's setup of "three P4 and two G4
+// machines ... used in the injection campaigns to speed up the experiments".
+// Every node is built from the same images, so results are the union of
+// deterministic per-node runs.
+type Farm struct {
+	platform isa.Platform
+	nodes    []*kernel.System
+	golden   uint32
+	profile  *Profile
+}
+
+// NewFarm builds n identical guest systems of the given platform. opts may
+// be zero; the workload runs at the given scale.
+func NewFarm(platform isa.Platform, n, scale int, opts kernel.Options) (*Farm, error) {
+	if n < 1 {
+		n = 1
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	uimg, err := cc.Compile(workload.Program(scale), platform, kernel.UserBases)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: farm workload: %w", err)
+	}
+	f := &Farm{platform: platform}
+	for i := 0; i < n; i++ {
+		sys, err := kernel.BuildSystem(platform, uimg, workload.StandardProcs(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: farm node %d: %w", i, err)
+		}
+		f.nodes = append(f.nodes, sys)
+	}
+	golden, err := Golden(f.nodes[0])
+	if err != nil {
+		return nil, err
+	}
+	f.golden = golden
+	prof, err := ProfileKernel(f.nodes[0])
+	if err != nil {
+		return nil, err
+	}
+	f.profile = prof
+	return f, nil
+}
+
+// Nodes returns the number of guest systems.
+func (f *Farm) Nodes() int { return len(f.nodes) }
+
+// Golden returns the fault-free checksum shared by all nodes.
+func (f *Farm) Golden() uint32 { return f.golden }
+
+// Profile returns the kernel-usage profile measured on node 0.
+func (f *Farm) Profile() *Profile { return f.profile }
+
+// Run executes a campaign, fanning targets out over the nodes. Results come
+// back in target order regardless of which node executed them, so a Farm run
+// produces the same result multiset as a single-node run of the same spec.
+func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
+	gen := NewGenerator(f.nodes[0], f.profile, spec.Seed, profileCycles(f.profile))
+	targets, err := gen.Targets(spec)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]inject.Result, len(targets))
+
+	var (
+		mu   sync.Mutex
+		next int
+		done int
+		wg   sync.WaitGroup
+	)
+	for _, node := range f.nodes {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(targets) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				results[i] = inject.RunOne(node, targets[i], f.golden)
+
+				mu.Lock()
+				done++
+				d := done
+				mu.Unlock()
+				if progress != nil {
+					progress(d, len(targets))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+}

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"sort"
+	"testing"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+)
+
+func TestFarmMatchesSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	spec := Spec{Campaign: inject.CampCode, N: 24, Seed: 55}
+
+	farm, err := NewFarm(isa.CISC, 3, 1, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if farm.Nodes() != 3 {
+		t.Fatalf("nodes = %d", farm.Nodes())
+	}
+	farmRes, err := farm.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, golden, prof := getSystem(t, isa.CISC)
+	if golden != farm.Golden() {
+		t.Fatalf("farm golden 0x%x != single golden 0x%x", farm.Golden(), golden)
+	}
+	soloRes, err := Run(sys, golden, prof, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(farmRes.Results) != len(soloRes.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(farmRes.Results), len(soloRes.Results))
+	}
+	// Same targets, same deterministic machines → identical outcomes in
+	// target order.
+	for i := range farmRes.Results {
+		fr, sr := farmRes.Results[i], soloRes.Results[i]
+		if fr.Outcome != sr.Outcome || fr.Cause != sr.Cause || fr.Latency != sr.Latency {
+			t.Errorf("injection %d differs: farm=%+v solo=%+v", i, summarizeOne(fr), summarizeOne(sr))
+		}
+	}
+}
+
+func summarizeOne(r inject.Result) string {
+	return r.Outcome.String() + "/" + r.Cause.String()
+}
+
+func TestFarmProgressMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	farm, err := NewFarm(isa.RISC, 2, 1, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	_, err = farm.Run(Spec{Campaign: inject.CampStack, N: 10, Seed: 2}, func(done, total int) {
+		<-mu
+		seen = append(seen, done)
+		mu <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("progress calls = %d, want 10", len(seen))
+	}
+	sort.Ints(seen)
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress values = %v, want 1..10", seen)
+		}
+	}
+}

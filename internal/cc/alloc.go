@@ -1,0 +1,357 @@
+// Package cc compiles kernel-IR programs (internal/kir) to both simulated
+// ISAs. The two backends deliberately differ where the real architectures
+// differ — that contrast is the subject of the reproduced study:
+//
+//   - The CISC backend has only four allocatable registers (plus two scratch
+//     registers reserved for spill traffic), pushes arguments and return
+//     addresses on the stack, packs data at natural widths, and emits
+//     8/16/32-bit memory operands.
+//   - The RISC backend allocates from sixteen callee-saved registers, passes
+//     arguments in registers, builds stwu/mflr frames with word-granular
+//     slots, and pads scalar data to 32-bit slots.
+//
+// Register allocation is a classic linear scan over linearized code with
+// loop-aware interval extension.
+package cc
+
+import (
+	"sort"
+
+	"kfi/internal/kir"
+)
+
+// linear is the linearized form of one function: a flat instruction list
+// with block boundaries and resolved branch targets.
+type linear struct {
+	fn         *kir.Func
+	instrs     []*kir.Instr
+	blockOf    []int          // instruction index → block index
+	blockStart map[string]int // block name → first instruction index
+	blockIdx   map[string]int
+}
+
+func linearize(fn *kir.Func) *linear {
+	l := &linear{
+		fn:         fn,
+		blockStart: make(map[string]int, len(fn.Blocks)),
+		blockIdx:   make(map[string]int, len(fn.Blocks)),
+	}
+	for bi, b := range fn.Blocks {
+		l.blockStart[b.Name] = len(l.instrs)
+		l.blockIdx[b.Name] = bi
+		for i := range b.Instrs {
+			l.instrs = append(l.instrs, &b.Instrs[i])
+			l.blockOf = append(l.blockOf, bi)
+		}
+	}
+	return l
+}
+
+// interval is one virtual register's live range over linear indices.
+type interval struct {
+	reg        kir.Reg
+	start, end int
+	crossCall  bool
+}
+
+// uses returns the registers read by an instruction.
+func uses(in *kir.Instr) []kir.Reg {
+	var u []kir.Reg
+	add := func(r kir.Reg) {
+		if r != 0 {
+			u = append(u, r)
+		}
+	}
+	switch in.Kind {
+	case kir.KBin, kir.KCmp:
+		add(in.A)
+		add(in.B)
+	case kir.KBinImm, kir.KCmpImm, kir.KMov, kir.KLoad, kir.KLoadField,
+		kir.KFieldAddr, kir.KBr, kir.KRet:
+		add(in.A)
+	case kir.KStore, kir.KStoreField:
+		add(in.A)
+		add(in.B)
+	case kir.KIndex, kir.KCtxSw:
+		add(in.A)
+		add(in.B)
+	case kir.KCall, kir.KSyscall:
+		for _, r := range in.Args {
+			add(r)
+		}
+	case kir.KCallPtr:
+		add(in.A)
+		for _, r := range in.Args {
+			add(r)
+		}
+	}
+	return u
+}
+
+// def returns the register written by an instruction (0 if none).
+func def(in *kir.Instr) kir.Reg {
+	switch in.Kind {
+	case kir.KConst, kir.KBin, kir.KBinImm, kir.KCmp, kir.KCmpImm, kir.KMov,
+		kir.KLoad, kir.KLoadField, kir.KFieldAddr, kir.KIndex,
+		kir.KGlobalAddr, kir.KLocalAddr, kir.KFuncAddr:
+		return in.Dst
+	case kir.KCall, kir.KCallPtr, kir.KSyscall:
+		return in.Dst
+	}
+	return 0
+}
+
+// isCall reports whether the instruction clobbers caller-saved registers
+// (system calls clobber the same set via the kernel's trap path).
+func isCall(in *kir.Instr) bool {
+	return in.Kind == kir.KCall || in.Kind == kir.KCallPtr || in.Kind == kir.KSyscall
+}
+
+// computeIntervals builds conservative live intervals: [first definition or
+// use, last use], extended across loops so that any interval overlapping a
+// backward branch's span [target, branch] covers the whole span.
+func computeIntervals(l *linear) []*interval {
+	n := l.fn.NumRegs()
+	ivs := make([]*interval, n+1)
+	touch := func(r kir.Reg, idx int) {
+		if r == 0 {
+			return
+		}
+		iv := ivs[r]
+		if iv == nil {
+			ivs[r] = &interval{reg: r, start: idx, end: idx}
+			return
+		}
+		if idx < iv.start {
+			iv.start = idx
+		}
+		if idx > iv.end {
+			iv.end = idx
+		}
+	}
+	// Parameters are live from entry.
+	for i := 0; i < l.fn.NParams; i++ {
+		touch(kir.Reg(i+1), 0)
+	}
+	for idx, in := range l.instrs {
+		for _, r := range uses(in) {
+			touch(r, idx)
+		}
+		if d := def(in); d != 0 {
+			touch(d, idx)
+		}
+	}
+
+	// Collect backward edges.
+	type edge struct{ lo, hi int }
+	var edges []edge
+	for idx, in := range l.instrs {
+		var targets []string
+		switch in.Kind {
+		case kir.KJmp:
+			targets = []string{in.Then}
+		case kir.KBr:
+			targets = []string{in.Then, in.Else}
+		}
+		for _, t := range targets {
+			if s := l.blockStart[t]; s <= idx {
+				edges = append(edges, edge{lo: s, hi: idx})
+			}
+		}
+	}
+	// Extend intervals across loops to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, iv := range ivs {
+			if iv == nil {
+				continue
+			}
+			for _, e := range edges {
+				if iv.start <= e.hi && iv.end >= e.lo {
+					if iv.start > e.lo {
+						iv.start = e.lo
+						changed = true
+					}
+					if iv.end < e.hi {
+						iv.end = e.hi
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Mark call crossings.
+	var calls []int
+	for idx, in := range l.instrs {
+		if isCall(in) {
+			calls = append(calls, idx)
+		}
+	}
+	var out []*interval
+	for _, iv := range ivs {
+		if iv == nil {
+			continue
+		}
+		for _, c := range calls {
+			if iv.start < c && c < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].reg < out[j].reg
+	})
+	return out
+}
+
+// fusibleCmps finds comparison instructions whose only consumer is the
+// immediately following conditional branch in the same block. Backends lower
+// these as a fused compare-and-branch (cmp+jcc / cmpw+bc), the idiom real
+// compilers emit and the paper's listings show.
+func fusibleCmps(fn *kir.Func) map[*kir.Instr]bool {
+	// Count uses of every register across the function.
+	useCount := make(map[kir.Reg]int)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			for _, r := range uses(&b.Instrs[i]) {
+				useCount[r]++
+			}
+		}
+	}
+	out := make(map[*kir.Instr]bool)
+	for _, b := range fn.Blocks {
+		for i := 0; i+1 < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if in.Kind != kir.KCmp && in.Kind != kir.KCmpImm {
+				continue
+			}
+			next := &b.Instrs[i+1]
+			if next.Kind == kir.KBr && next.A == in.Dst && useCount[in.Dst] == 1 {
+				out[in] = true
+			}
+		}
+	}
+	return out
+}
+
+// Alloc is the register-allocation result for one function.
+type Alloc struct {
+	// Reg maps each virtual register to a physical register, or -1 when the
+	// value is spilled to a frame slot.
+	Reg []int
+	// Slot maps spilled virtual registers to frame slot indices.
+	Slot []int
+	// NSlots is the number of 4-byte spill slots required.
+	NSlots int
+	// UsedCalleeSaved lists the callee-saved physical registers the function
+	// must preserve, in ascending order.
+	UsedCalleeSaved []int
+}
+
+// Spilled reports whether a virtual register lives in a frame slot.
+func (a *Alloc) Spilled(r kir.Reg) bool { return a.Reg[r] < 0 }
+
+// allocate runs linear scan over the intervals. callerSaved registers are
+// only given to intervals that do not cross a call; calleeSaved registers
+// are reported in UsedCalleeSaved for prologue saves.
+func allocate(fn *kir.Func, l *linear, callerSaved, calleeSaved []int) *Alloc {
+	ivs := computeIntervals(l)
+	a := &Alloc{
+		Reg:  make([]int, fn.NumRegs()+1),
+		Slot: make([]int, fn.NumRegs()+1),
+	}
+	for i := range a.Reg {
+		a.Reg[i] = -1
+		a.Slot[i] = -1
+	}
+
+	freeCaller := append([]int(nil), callerSaved...)
+	freeCallee := append([]int(nil), calleeSaved...)
+	type active struct {
+		iv  *interval
+		reg int
+	}
+	var actives []active
+	usedCallee := make(map[int]bool)
+
+	expire := func(now int) {
+		kept := actives[:0]
+		for _, ac := range actives {
+			if ac.iv.end < now {
+				if contains(calleeSaved, ac.reg) {
+					freeCallee = append(freeCallee, ac.reg)
+				} else {
+					freeCaller = append(freeCaller, ac.reg)
+				}
+				continue
+			}
+			kept = append(kept, ac)
+		}
+		actives = kept
+	}
+	spillSlot := func(r kir.Reg) {
+		a.Reg[r] = -1
+		a.Slot[r] = a.NSlots
+		a.NSlots++
+	}
+
+	for _, iv := range ivs {
+		expire(iv.start)
+		var reg = -1
+		if !iv.crossCall && len(freeCaller) > 0 {
+			reg = freeCaller[0]
+			freeCaller = freeCaller[1:]
+		} else if len(freeCallee) > 0 {
+			reg = freeCallee[0]
+			freeCallee = freeCallee[1:]
+		}
+		if reg >= 0 {
+			a.Reg[iv.reg] = reg
+			if contains(calleeSaved, reg) {
+				usedCallee[reg] = true
+			}
+			actives = append(actives, active{iv: iv, reg: reg})
+			continue
+		}
+		// No free register: spill the interval ending last, provided its
+		// register class can host this interval.
+		victim := -1
+		for i, ac := range actives {
+			if iv.crossCall && !contains(calleeSaved, ac.reg) {
+				continue
+			}
+			if victim < 0 || ac.iv.end > actives[victim].iv.end {
+				victim = i
+			}
+		}
+		if victim >= 0 && actives[victim].iv.end > iv.end {
+			ac := actives[victim]
+			a.Reg[iv.reg] = ac.reg
+			actives[victim] = active{iv: iv, reg: ac.reg}
+			spillSlot(ac.iv.reg)
+			continue
+		}
+		spillSlot(iv.reg)
+	}
+
+	for r := range usedCallee {
+		a.UsedCalleeSaved = append(a.UsedCalleeSaved, r)
+	}
+	sort.Ints(a.UsedCalleeSaved)
+	return a
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

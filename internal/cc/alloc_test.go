@@ -1,0 +1,195 @@
+package cc
+
+import (
+	"testing"
+
+	"kfi/internal/kir"
+)
+
+// buildLoopFn returns a function with a loop-carried variable and a
+// temporary that dies inside the loop.
+func buildLoopFn() *kir.Func {
+	pb := kir.NewProgram()
+	fb := pb.Func("f", 1, true)
+	n := fb.Param(0)
+	fb.Block("entry")
+	acc := fb.Var()
+	i := fb.Var()
+	fb.ConstTo(acc, 0)
+	fb.ConstTo(i, 0)
+	fb.Jmp("head")
+	fb.Block("head")
+	c := fb.Cmp(kir.Lt, i, n)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	t := fb.MulI(i, 3) // dies within the iteration
+	fb.BinTo(acc, kir.Add, acc, t)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("head")
+	fb.Block("done")
+	fb.Ret(acc)
+	return pb.Program().Func("f")
+}
+
+func TestIntervalsCoverLoops(t *testing.T) {
+	fn := buildLoopFn()
+	lin := linearize(fn)
+	ivs := computeIntervals(lin)
+
+	byReg := make(map[kir.Reg]*interval)
+	for _, iv := range ivs {
+		byReg[iv.reg] = iv
+	}
+	// Find the backward jump (end of the body block).
+	backIdx := -1
+	for idx, in := range lin.instrs {
+		if in.Kind == kir.KJmp && lin.blockStart[in.Then] <= idx {
+			backIdx = idx
+		}
+	}
+	if backIdx < 0 {
+		t.Fatal("no backward edge found")
+	}
+	// Loop-carried variables (acc=v2, i=v3) must span the whole loop.
+	for _, r := range []kir.Reg{2, 3} {
+		iv := byReg[r]
+		if iv == nil {
+			t.Fatalf("no interval for v%d", r)
+		}
+		if iv.end < backIdx {
+			t.Errorf("v%d interval [%d,%d] does not reach the backward edge %d",
+				r, iv.start, iv.end, backIdx)
+		}
+	}
+}
+
+func TestAllocateDisjointRegisters(t *testing.T) {
+	fn := buildLoopFn()
+	lin := linearize(fn)
+	a := allocate(fn, lin, []int{10}, []int{20, 21, 22})
+
+	// Two intervals alive at the same linear index must not share a
+	// physical register.
+	ivs := computeIntervals(lin)
+	for i := 0; i < len(ivs); i++ {
+		for j := i + 1; j < len(ivs); j++ {
+			x, y := ivs[i], ivs[j]
+			if x.start > y.end || y.start > x.end {
+				continue // disjoint
+			}
+			rx, ry := a.Reg[x.reg], a.Reg[y.reg]
+			if rx >= 0 && rx == ry {
+				t.Errorf("v%d and v%d overlap but share register %d", x.reg, y.reg, rx)
+			}
+		}
+	}
+}
+
+func TestAllocateSpillsUnderPressure(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("f", 0, true)
+	fb.Block("entry")
+	var vals []kir.Reg
+	for i := 0; i < 6; i++ {
+		vals = append(vals, fb.Const(int32(i)))
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = fb.Add(acc, v)
+	}
+	fb.Ret(acc)
+	fn := pb.Program().Func("f")
+	lin := linearize(fn)
+	a := allocate(fn, lin, nil, []int{1, 2}) // only two registers
+	if a.NSlots == 0 {
+		t.Error("six live values in two registers require spills")
+	}
+}
+
+func TestCallCrossingAvoidsCallerSaved(t *testing.T) {
+	pb := kir.NewProgram()
+	g := pb.Func("g", 0, false)
+	g.Block("entry")
+	g.Ret(0)
+	fb := pb.Func("f", 1, true)
+	fb.Block("entry")
+	live := fb.AddI(fb.Param(0), 5) // lives across the call
+	fb.CallVoid("g")
+	fb.Ret(fb.AddI(live, 1))
+	fn := pb.Program().Func("f")
+	lin := linearize(fn)
+	a := allocate(fn, lin, []int{10}, []int{20})
+	// "live" (v2) crosses the call: it must not sit in caller-saved r10.
+	if a.Reg[2] == 10 {
+		t.Error("call-crossing value allocated to a caller-saved register")
+	}
+}
+
+func TestFusibleCmps(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("f", 2, true)
+	fb.Block("entry")
+	c1 := fb.Cmp(kir.Lt, fb.Param(0), fb.Param(1)) // fusible: only the br uses it
+	fb.Br(c1, "a", "b")
+	fb.Block("a")
+	c2 := fb.Cmp(kir.Eq, fb.Param(0), fb.Param(1)) // NOT fusible: also returned
+	fb.Br(c2, "b", "c")
+	fb.Block("b")
+	fb.Ret(c2)
+	fb.Block("c")
+	fb.RetI(0)
+	fn := pb.Program().Func("f")
+	fused := fusibleCmps(fn)
+
+	var cmp1, cmp2 *kir.Instr
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Kind == kir.KCmp {
+				if cmp1 == nil {
+					cmp1 = in
+				} else {
+					cmp2 = in
+				}
+			}
+		}
+	}
+	if !fused[cmp1] {
+		t.Error("single-use cmp immediately before br not fused")
+	}
+	if fused[cmp2] {
+		t.Error("multi-use cmp fused (its value is also returned)")
+	}
+}
+
+func TestUsesAndDefCoverage(t *testing.T) {
+	// Every instruction kind must have sensible uses/def behavior; walk the
+	// kernel program as a broad smoke check.
+	pb := kir.NewProgram()
+	fb := pb.Func("f", 2, true)
+	fb.Local("buf", kir.W8, 8)
+	fb.Block("entry")
+	a := fb.Param(0)
+	b := fb.Param(1)
+	s := fb.Add(a, b)
+	buf := fb.LocalAddr("buf", 0)
+	fb.Store(kir.W8, buf, 0, s)
+	v := fb.Load(kir.W8, buf, 0)
+	no := fb.Const(1)
+	sc := fb.Syscall(no, v)
+	fb.Ret(sc)
+	fn := pb.Program().Func("f")
+	for _, blk := range fn.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			for _, u := range uses(in) {
+				if u <= 0 || int(u) >= fn.NumRegs()+1 {
+					t.Errorf("%v: bad use v%d", in, u)
+				}
+			}
+			if d := def(in); d < 0 {
+				t.Errorf("%v: bad def v%d", in, d)
+			}
+		}
+	}
+}

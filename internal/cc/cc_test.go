@@ -1,0 +1,429 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"kfi/internal/isa"
+	"kfi/internal/kir"
+)
+
+func TestCompileFibBothPlatforms(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("fib", 1, true)
+	n := fb.Param(0)
+	fb.Block("entry")
+	a := fb.Var()
+	b := fb.Var()
+	i := fb.Var()
+	fb.ConstTo(a, 0)
+	fb.ConstTo(b, 1)
+	fb.ConstTo(i, 0)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.Cmp(kir.Lt, i, n)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	tmp := fb.Add(a, b)
+	fb.MovTo(a, b)
+	fb.MovTo(b, tmp)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	fb.Ret(a)
+
+	checkAgainstInterp(t, pb.Program(), "fib",
+		[][]uint32{{0}, {1}, {2}, {3}, {10}, {20}, {30}})
+}
+
+func TestCompileRecursionAndCalls(t *testing.T) {
+	pb := kir.NewProgram()
+	fact := pb.Func("fact", 1, true)
+	n := fact.Param(0)
+	fact.Block("entry")
+	c := fact.CmpI(kir.Le, n, 1)
+	fact.Br(c, "base", "rec")
+	fact.Block("base")
+	fact.RetI(1)
+	fact.Block("rec")
+	sub := fact.Call("fact", fact.SubI(n, 1))
+	fact.Ret(fact.Bin(kir.Mul, n, sub))
+
+	// A wrapper with live values across the call (exercises callee-saved
+	// allocation on CISC and register survival on RISC).
+	wrap := pb.Func("wrap", 2, true)
+	wrap.Block("entry")
+	x := wrap.MulI(wrap.Param(1), 3)
+	f := wrap.Call("fact", wrap.Param(0))
+	wrap.Ret(wrap.Add(f, x))
+
+	checkAgainstInterp(t, pb.Program(), "wrap",
+		[][]uint32{{1, 0}, {5, 7}, {6, 100}, {10, 1}})
+}
+
+func TestCompileStructsMixedWidths(t *testing.T) {
+	pb := kir.NewProgram()
+	s := pb.Struct("rec", kir.F8("flag"), kir.F16("count"), kir.F32("total"), kir.F8("tag"))
+	pb.GlobalStruct("recs", s, 8)
+
+	// setrec(i, flag, count, total)
+	set := pb.Func("setrec", 4, false)
+	set.Block("entry")
+	base := set.GlobalAddr("recs", 0)
+	p := set.Index(s, base, set.Param(0))
+	set.StoreField(s, "flag", p, set.Param(1))
+	set.StoreField(s, "count", p, set.Param(2))
+	set.StoreField(s, "total", p, set.Param(3))
+	set.StoreField(s, "tag", p, set.AddI(set.Param(0), 0x41))
+	set.Ret(0)
+
+	// sumrec() = Σ flag*1000000 + count*1000 + total + tag
+	sum := pb.Func("sumrec", 0, true)
+	sum.Block("entry")
+	b2 := sum.GlobalAddr("recs", 0)
+	acc := sum.Var()
+	i := sum.Var()
+	sum.ConstTo(acc, 0)
+	sum.ConstTo(i, 0)
+	sum.Jmp("loop")
+	sum.Block("loop")
+	cc := sum.CmpI(kir.Lt, i, 8)
+	sum.Br(cc, "body", "done")
+	sum.Block("body")
+	p2 := sum.Index(s, b2, i)
+	fl := sum.LoadField(s, "flag", p2)
+	cn := sum.LoadField(s, "count", p2)
+	to := sum.LoadField(s, "total", p2)
+	tg := sum.LoadField(s, "tag", p2)
+	sum.BinTo(acc, kir.Add, acc, sum.MulI(fl, 1000000))
+	sum.BinTo(acc, kir.Add, acc, sum.MulI(cn, 1000))
+	sum.BinTo(acc, kir.Add, acc, to)
+	sum.BinTo(acc, kir.Add, acc, tg)
+	sum.BinImmTo(i, kir.Add, i, 1)
+	sum.Jmp("loop")
+	sum.Block("done")
+	sum.Ret(acc)
+
+	prog := pb.Program()
+	images := compileBoth(t, prog)
+	for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+		ip, err := kir.NewInterp(prog, kir.NewLayout(plat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := loadGuest(t, images[plat])
+		for i := uint32(0); i < 8; i++ {
+			args := []uint32{i, i & 1, 100 + i, 100000 * i}
+			if _, err := ip.Call("setrec", args...); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.call(t, "setrec", args...); err != nil {
+				t.Fatalf("[%v] setrec: %v", plat, err)
+			}
+		}
+		want, err := ip.Call("sumrec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.call(t, "sumrec")
+		if err != nil {
+			t.Fatalf("[%v] sumrec: %v", plat, err)
+		}
+		if got != want {
+			t.Errorf("[%v] sumrec = %d, want %d", plat, got, want)
+		}
+	}
+}
+
+func TestCompileLocalArraysAndRawAccess(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("revsum", 1, true)
+	fb.Local("buf", kir.W8, 32)
+	seed := fb.Param(0)
+	fb.Block("entry")
+	buf := fb.LocalAddr("buf", 0)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("fill")
+	fb.Block("fill")
+	c := fb.CmpI(kir.Lt, i, 32)
+	fb.Br(c, "fbody", "scan")
+	fb.Block("fbody")
+	v := fb.Bin(kir.Xor, seed, fb.MulI(i, 7))
+	fb.Store(kir.W8, fb.Add(buf, i), 0, v)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("fill")
+	fb.Block("scan")
+	acc := fb.Var()
+	fb.ConstTo(acc, 0)
+	fb.ConstTo(i, 31)
+	fb.Jmp("sloop")
+	fb.Block("sloop")
+	c2 := fb.CmpI(kir.Ge, i, 0)
+	fb.Br(c2, "sbody", "done")
+	fb.Block("sbody")
+	lv := fb.Load(kir.W8, fb.Add(buf, i), 0)
+	fb.BinTo(acc, kir.Add, acc, fb.MulI(lv, 3))
+	fb.BinImmTo(i, kir.Sub, i, 1)
+	fb.Jmp("sloop")
+	fb.Block("done")
+	fb.Ret(acc)
+
+	checkAgainstInterp(t, pb.Program(), "revsum",
+		[][]uint32{{0}, {1}, {0xAB}, {0xFFFFFFFF}, {12345}})
+}
+
+func TestCompileFunctionPointers(t *testing.T) {
+	pb := kir.NewProgram()
+	pb.GlobalBytes("table", 16, nil)
+	for i, name := range []string{"op0", "op1", "op2", "op3"} {
+		f := pb.Func(name, 1, true)
+		f.Block("entry")
+		switch i {
+		case 0:
+			f.Ret(f.AddI(f.Param(0), 10))
+		case 1:
+			f.Ret(f.MulI(f.Param(0), 5))
+		case 2:
+			f.Ret(f.BinImm(kir.Xor, f.Param(0), 0x55))
+		default:
+			f.Ret(f.BinImm(kir.Shl, f.Param(0), 3))
+		}
+	}
+	st := pb.Func("setup", 0, false)
+	st.Block("entry")
+	tb := st.GlobalAddr("table", 0)
+	for i, name := range []string{"op0", "op1", "op2", "op3"} {
+		st.Store(kir.W32, tb, int32(4*i), st.FuncAddr(name))
+	}
+	st.Ret(0)
+
+	d := pb.Func("dispatch", 2, true)
+	d.Block("entry")
+	tb2 := d.GlobalAddr("table", 0)
+	slot := d.MulI(d.AndI(d.Param(0), 3), 4)
+	fp := d.Load(kir.W32, d.Add(tb2, slot), 0)
+	d.Ret(d.CallPtr(fp, true, d.Param(1)))
+
+	p := pb.Program()
+	images := compileBoth(t, p)
+	for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+		g := loadGuest(t, images[plat])
+		if _, err := g.call(t, "setup"); err != nil {
+			t.Fatalf("[%v] setup: %v", plat, err)
+		}
+		wants := []uint32{31, 105, 21 ^ 0x55, 21 << 3}
+		for i, want := range wants {
+			got, err := g.call(t, "dispatch", uint32(i), 21)
+			if err != nil {
+				t.Fatalf("[%v] dispatch(%d): %v", plat, i, err)
+			}
+			if got != want {
+				t.Errorf("[%v] dispatch(%d,21) = %d, want %d", plat, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileHighRegisterPressure(t *testing.T) {
+	// Twelve simultaneously live values force spills on the 4-register CISC
+	// target while fitting in RISC registers; both must agree with the
+	// interpreter.
+	pb := kir.NewProgram()
+	fb := pb.Func("pressure", 2, true)
+	fb.Block("entry")
+	var vals []kir.Reg
+	for i := 0; i < 12; i++ {
+		v := fb.Add(fb.MulI(fb.Param(0), int32(i+1)), fb.MulI(fb.Param(1), int32(13-i)))
+		vals = append(vals, v)
+	}
+	acc := vals[0]
+	for i := 1; i < 12; i++ {
+		acc = fb.Bin(kir.Xor, acc, fb.MulI(vals[i], int32(i)))
+	}
+	fb.Ret(acc)
+
+	checkAgainstInterp(t, pb.Program(), "pressure",
+		[][]uint32{{0, 0}, {1, 2}, {1000, 77}, {0xDEADBEEF, 0x1234}})
+}
+
+// TestDifferentialRandomPrograms generates random straight-line arithmetic
+// programs and checks interpreter/CISC/RISC agreement — the cross-backend
+// oracle property.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nProgs := 30
+	if testing.Short() {
+		nProgs = 8
+	}
+	for pi := 0; pi < nProgs; pi++ {
+		pb := kir.NewProgram()
+		fb := pb.Func("f", 2, true)
+		fb.Block("entry")
+		regs := []kir.Reg{fb.Param(0), fb.Param(1)}
+		ops := []kir.BinOp{kir.Add, kir.Sub, kir.Mul, kir.And, kir.Or, kir.Xor}
+		n := 5 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				regs = append(regs, fb.Const(rng.Int31()-1<<30))
+			case 1:
+				a := regs[rng.Intn(len(regs))]
+				regs = append(regs, fb.BinImm(ops[rng.Intn(len(ops))], a, rng.Int31n(1000)-500))
+			case 2:
+				a := regs[rng.Intn(len(regs))]
+				b := regs[rng.Intn(len(regs))]
+				regs = append(regs, fb.Bin(ops[rng.Intn(len(ops))], a, b))
+			default:
+				a := regs[rng.Intn(len(regs))]
+				sh := rng.Int31n(31)
+				op := []kir.BinOp{kir.Shl, kir.Shr, kir.Sar}[rng.Intn(3)]
+				regs = append(regs, fb.BinImm(op, a, sh))
+			}
+		}
+		// Fold everything so all values are live to the end.
+		acc := regs[0]
+		for _, r := range regs[1:] {
+			acc = fb.Bin(kir.Add, acc, r)
+		}
+		fb.Ret(acc)
+
+		args := [][]uint32{
+			{0, 0},
+			{rng.Uint32(), rng.Uint32()},
+			{rng.Uint32(), rng.Uint32()},
+		}
+		checkAgainstInterp(t, pb.Program(), "f", args)
+	}
+}
+
+func TestCompileDivRem(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("divrem", 2, true)
+	fb.Block("entry")
+	q := fb.Bin(kir.Div, fb.Param(0), fb.Param(1))
+	r := fb.Bin(kir.Rem, fb.Param(0), fb.Param(1))
+	fb.Ret(fb.Add(fb.MulI(q, 1000), r))
+
+	checkAgainstInterp(t, pb.Program(), "divrem",
+		[][]uint32{{100, 7}, {5, 100}, {0xFFFFFF9C /* -100 */, 7}, {99, 3}})
+}
+
+func TestCompileSignedLoads(t *testing.T) {
+	pb := kir.NewProgram()
+	pb.GlobalBytes("raw", 16, []byte{0x80, 0xFF, 0x7F, 0x01, 0x00, 0x80, 0xFF, 0xFF})
+	fb := pb.Func("sx", 1, true)
+	fb.Block("entry")
+	base := fb.GlobalAddr("raw", 0)
+	b := fb.LoadS(kir.W8, fb.Add(base, fb.Param(0)), 0)
+	fb.Ret(b)
+	checkAgainstInterp(t, pb.Program(), "sx",
+		[][]uint32{{0}, {1}, {2}, {3}})
+}
+
+func TestImageFuncRanges(t *testing.T) {
+	pb := kir.NewProgram()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		f := pb.Func(name, 0, true)
+		f.Block("entry")
+		f.RetI(1)
+	}
+	im, err := Compile(pb.Program(), isa.CISC, testBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Funcs) != 3 {
+		t.Fatalf("func ranges = %d, want 3", len(im.Funcs))
+	}
+	for _, fr := range im.Funcs {
+		if fr.End <= fr.Start {
+			t.Errorf("func %s empty range", fr.Name)
+		}
+		mid := (fr.Start + fr.End) / 2
+		got, ok := im.FuncAt(mid)
+		if !ok || got.Name != fr.Name {
+			t.Errorf("FuncAt(0x%x) = %v %v, want %s", mid, got, ok, fr.Name)
+		}
+	}
+	if _, ok := im.FuncAt(0); ok {
+		t.Error("FuncAt(0) found a function")
+	}
+}
+
+func TestImageDataEncodingEndianness(t *testing.T) {
+	pb := kir.NewProgram()
+	s := pb.Struct("v", kir.F32("x"))
+	pb.GlobalStruct("g", s, 1, 0x11223344)
+	ciscIm, err := Compile(pb.Program(), isa.CISC, testBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riscIm, err := Compile(pb.Program(), isa.RISC, testBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ciscIm.Data[0] != 0x44 {
+		t.Errorf("CISC data[0] = 0x%x, want little-endian 0x44", ciscIm.Data[0])
+	}
+	if riscIm.Data[0] != 0x11 {
+		t.Errorf("RISC data[0] = 0x%x, want big-endian 0x11", riscIm.Data[0])
+	}
+}
+
+func TestBSSPlacement(t *testing.T) {
+	pb := kir.NewProgram()
+	pb.GlobalBytes("initialized", 32, []byte{1, 2, 3})
+	pb.GlobalBSS("zeroed", 128)
+	im, err := Compile(pb.Program(), isa.CISC, testBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Sym("initialized") != testBases.Data {
+		t.Errorf("initialized at 0x%x", im.Sym("initialized"))
+	}
+	if im.Sym("zeroed") != testBases.BSS {
+		t.Errorf("zeroed at 0x%x", im.Sym("zeroed"))
+	}
+	if im.BSSSize < 128 {
+		t.Errorf("BSS size = %d", im.BSSSize)
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("f", 0, false)
+	fb.Block("entry")
+	fb.Const(1) // unterminated
+	if _, err := Compile(pb.Program(), isa.CISC, testBases); err == nil {
+		t.Error("Compile accepted an invalid program")
+	}
+}
+
+func TestHeapSectionPlacement(t *testing.T) {
+	pb := kir.NewProgram()
+	pb.GlobalBytes("meta", 32, []byte{1})
+	pb.GlobalBSS("zeroed", 64)
+	pb.GlobalHeap("payload", 128)
+	im, err := Compile(pb.Program(), isa.CISC, Bases{Code: 0x1000, Data: 0x2000, BSS: 0x3000, Heap: 0x4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Sym("payload") != 0x4000 {
+		t.Errorf("heap global at 0x%x, want 0x4000", im.Sym("payload"))
+	}
+	if im.HeapSize < 128 {
+		t.Errorf("heap size = %d", im.HeapSize)
+	}
+	// Heap globals must not consume data or bss space.
+	if im.Sym("zeroed") != 0x3000 {
+		t.Errorf("bss global at 0x%x", im.Sym("zeroed"))
+	}
+	// Default heap base when unspecified.
+	im2, err := Compile(pb.Program(), isa.RISC, Bases{Code: 0x1000, Data: 0x2000, BSS: 0x3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im2.HeapBase != 0x3000+0x20000 {
+		t.Errorf("default heap base = 0x%x", im2.HeapBase)
+	}
+}

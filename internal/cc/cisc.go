@@ -1,0 +1,530 @@
+package cc
+
+import (
+	"fmt"
+
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/kir"
+)
+
+// CISC backend register assignment: EAX is the only caller-saved allocatable
+// register (it doubles as the return register); EBX/ESI/EDI are callee-saved;
+// ECX and EDX are reserved as spill/scratch registers. EBP is the frame
+// pointer and ESP the stack pointer — the classic register-starved x86
+// picture that drives the P4's stack traffic.
+var (
+	ciscCallerSaved = []int{cisc.EAX}
+	ciscCalleeSaved = []int{cisc.EBX, cisc.ESI, cisc.EDI}
+)
+
+const (
+	scrA = cisc.ECX // scratch for first operands / results
+	scrB = cisc.EDX // scratch for second operands
+)
+
+type ciscFunc struct {
+	p        *kir.Program
+	im       *Image
+	a        *cisc.Asm
+	fn       *kir.Func
+	lin      *linear
+	alloc    *Alloc
+	localOff []int32 // EBP-relative offsets of locals
+	spillOff int32   // EBP-relative offset of spill slot 0 (descending)
+	frame    int32   // bytes subtracted from ESP after callee saves
+	labelSeq *int
+	fused    map[*kir.Instr]bool
+	// pendingCC holds the condition code of a fused compare awaiting its
+	// branch; pendingReg is the compare's (otherwise unused) destination.
+	pendingCC  uint8
+	pendingReg kir.Reg
+	hasPending bool
+}
+
+func compileCISC(p *kir.Program, im *Image) error {
+	a := cisc.NewAsm()
+	seq := 0
+	starts := make(map[string]uint32, len(p.Funcs))
+	ends := make(map[string]uint32, len(p.Funcs))
+	for _, fn := range p.Funcs {
+		starts[fn.Name] = a.Len()
+		cf := &ciscFunc{p: p, im: im, a: a, fn: fn, labelSeq: &seq}
+		if err := cf.compile(); err != nil {
+			return fmt.Errorf("cc: %s: %w", fn.Name, err)
+		}
+		ends[fn.Name] = a.Len()
+	}
+	// Resolve symbols: functions at their labels, globals at their data
+	// addresses.
+	syms := make(map[string]uint32, len(im.Syms))
+	for k, v := range im.Syms {
+		syms[k] = v
+	}
+	code, err := a.Link(im.CodeBase, syms)
+	if err != nil {
+		return err
+	}
+	im.Code = code
+	for _, fn := range p.Funcs {
+		im.Syms[fn.Name] = im.CodeBase + starts[fn.Name]
+		im.Funcs = append(im.Funcs, FuncRange{
+			Name:  fn.Name,
+			Start: im.CodeBase + starts[fn.Name],
+			End:   im.CodeBase + ends[fn.Name],
+		})
+	}
+	return nil
+}
+
+func (cf *ciscFunc) compile() error {
+	cf.lin = linearize(cf.fn)
+	cf.alloc = allocate(cf.fn, cf.lin, ciscCallerSaved, ciscCalleeSaved)
+	cf.fused = fusibleCmps(cf.fn)
+
+	// Frame layout below EBP: callee saves (pushed), then locals (packed at
+	// natural width), then spill slots.
+	layout := cf.im.Layout
+	off := -4 * int32(len(cf.alloc.UsedCalleeSaved))
+	cf.localOff = make([]int32, len(cf.fn.Locals))
+	for i, lo := range cf.fn.Locals {
+		size := int32(layout.LocalSlotSize(lo))
+		off -= size
+		off &^= 3 // keep slots word-aligned for simplicity of frame math
+		cf.localOff[i] = off
+	}
+	off -= 4 * int32(cf.alloc.NSlots)
+	cf.spillOff = off + 4*int32(cf.alloc.NSlots) - 4 // slot 0 at the top of the spill area
+	cf.frame = -off - 4*int32(len(cf.alloc.UsedCalleeSaved))
+
+	a := cf.a
+	a.Label(cf.fn.Name)
+	// Prologue.
+	a.PushR(cisc.EBP)
+	a.MovRR(cisc.EBP, cisc.ESP)
+	for _, r := range cf.alloc.UsedCalleeSaved {
+		a.PushR(uint8(r))
+	}
+	if cf.frame > 0 {
+		a.SubRI(cisc.ESP, cf.frame)
+	}
+	// Move parameters from the stack into their homes.
+	for i := 0; i < cf.fn.NParams; i++ {
+		pr := kir.Reg(i + 1)
+		src := int32(8 + 4*i)
+		if cf.alloc.Spilled(pr) {
+			a.Ld32(scrA, cisc.EBP, src)
+			a.St32(cisc.EBP, cf.slotOff(pr), scrA)
+		} else {
+			a.Ld32(cf.home(pr), cisc.EBP, src)
+		}
+	}
+
+	for bi, b := range cf.fn.Blocks {
+		a.Label(cf.blockLabel(b.Name))
+		for ii := range b.Instrs {
+			if err := cf.instr(&b.Instrs[ii], bi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (cf *ciscFunc) blockLabel(name string) string {
+	return cf.fn.Name + "$" + name
+}
+
+func (cf *ciscFunc) newLabel() string {
+	*cf.labelSeq++
+	return fmt.Sprintf("%s$L%d", cf.fn.Name, *cf.labelSeq)
+}
+
+func (cf *ciscFunc) home(r kir.Reg) uint8 { return uint8(cf.alloc.Reg[r]) }
+
+func (cf *ciscFunc) slotOff(r kir.Reg) int32 {
+	return cf.spillOff - 4*int32(cf.alloc.Slot[r])
+}
+
+// use brings a virtual register's value into a physical register, loading
+// spilled values into the given scratch register.
+func (cf *ciscFunc) use(r kir.Reg, scratch uint8) uint8 {
+	if !cf.alloc.Spilled(r) {
+		return cf.home(r)
+	}
+	cf.a.Ld32(scratch, cisc.EBP, cf.slotOff(r))
+	return scratch
+}
+
+// defReg returns the register a result should be computed into: the home
+// register, or the given scratch for spilled destinations (finish with
+// store()).
+func (cf *ciscFunc) defReg(r kir.Reg, scratch uint8) uint8 {
+	if !cf.alloc.Spilled(r) {
+		return cf.home(r)
+	}
+	return scratch
+}
+
+// storeDef writes back a result computed into reg if the destination is
+// spilled.
+func (cf *ciscFunc) storeDef(r kir.Reg, reg uint8) {
+	if cf.alloc.Spilled(r) {
+		cf.a.St32(cisc.EBP, cf.slotOff(r), reg)
+	}
+}
+
+func (cf *ciscFunc) epilogue() {
+	a := cf.a
+	n := len(cf.alloc.UsedCalleeSaved)
+	if cf.frame > 0 || n > 0 {
+		// lea -4n(%ebp),%esp — the Figure 7 epilogue shape.
+		a.Lea(cisc.ESP, cisc.EBP, -4*int32(n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		a.PopR(uint8(cf.alloc.UsedCalleeSaved[i]))
+	}
+	a.PopR(cisc.EBP)
+	a.Ret()
+}
+
+var ciscCC = map[kir.Pred]uint8{
+	kir.Eq: cisc.CcE, kir.Ne: cisc.CcNE,
+	kir.Lt: cisc.CcL, kir.Le: cisc.CcLE, kir.Gt: cisc.CcG, kir.Ge: cisc.CcGE,
+	kir.ULt: cisc.CcB, kir.ULe: cisc.CcBE, kir.UGt: cisc.CcA, kir.UGe: cisc.CcAE,
+}
+
+func (cf *ciscFunc) instr(in *kir.Instr, blockIdx int) error {
+	a := cf.a
+	switch in.Kind {
+	case kir.KConst:
+		d := cf.defReg(in.Dst, scrA)
+		a.MovRI(d, in.Imm)
+		cf.storeDef(in.Dst, d)
+	case kir.KMov:
+		s := cf.use(in.A, scrA)
+		d := cf.defReg(in.Dst, scrA)
+		if d != s {
+			a.MovRR(d, s)
+		}
+		cf.storeDef(in.Dst, d)
+	case kir.KBin:
+		cf.bin(in.Bin, in.Dst, in.A, in.B, nil)
+	case kir.KBinImm:
+		imm := in.Imm
+		cf.bin(in.Bin, in.Dst, in.A, 0, &imm)
+	case kir.KCmp, kir.KCmpImm:
+		ra := cf.use(in.A, scrA)
+		if in.Kind == kir.KCmp {
+			a.CmpRR(ra, cf.use(in.B, scrB))
+		} else {
+			a.CmpRI(ra, in.Imm)
+		}
+		if cf.fused[in] {
+			// The following branch consumes the flags directly.
+			cf.pendingCC = ciscCC[in.Pred]
+			cf.pendingReg = in.Dst
+			cf.hasPending = true
+			return nil
+		}
+		d := cf.defReg(in.Dst, scrA)
+		a.SetCC(d, ciscCC[in.Pred])
+		cf.storeDef(in.Dst, d)
+	case kir.KLoad:
+		cf.load(in.Dst, in.Width, in.Signed, cf.use(in.A, scrA), in.Imm)
+	case kir.KStore:
+		base := cf.use(in.A, scrA)
+		val := cf.use(in.B, scrB)
+		cf.store(in.Width, base, in.Imm, val)
+	case kir.KLoadField:
+		s := cf.p.Struct(in.Sym)
+		f := s.Fields[in.Field]
+		cf.load(in.Dst, f.Width, in.Signed, cf.use(in.A, scrA), int32(cf.im.Layout.FieldOffset(s, in.Field)))
+	case kir.KStoreField:
+		s := cf.p.Struct(in.Sym)
+		f := s.Fields[in.Field]
+		base := cf.use(in.A, scrA)
+		val := cf.use(in.B, scrB)
+		cf.store(f.Width, base, int32(cf.im.Layout.FieldOffset(s, in.Field)), val)
+	case kir.KFieldAddr:
+		s := cf.p.Struct(in.Sym)
+		base := cf.use(in.A, scrA)
+		d := cf.defReg(in.Dst, scrA)
+		off := int32(cf.im.Layout.FieldOffset(s, in.Field))
+		if off >= -128 && off <= 127 {
+			a.Lea(d, base, off)
+		} else {
+			if d != base {
+				a.MovRR(d, base)
+			}
+			a.AddRI(d, off)
+		}
+		cf.storeDef(in.Dst, d)
+	case kir.KIndex:
+		s := cf.p.Struct(in.Sym)
+		size := int32(cf.im.Layout.StructSize(s))
+		base := cf.use(in.A, scrA)
+		idx := cf.use(in.B, scrB)
+		d := cf.defReg(in.Dst, scrA)
+		switch size {
+		case 1, 2, 4, 8:
+			sc := uint8(0)
+			for 1<<sc != size {
+				sc++
+			}
+			a.LeaIdx(d, base, idx, sc, 0)
+		default:
+			// d = idx*size + base, via scratch to avoid clobbering.
+			if idx != scrB {
+				a.MovRR(scrB, idx)
+			}
+			a.ImulRI(scrB, size)
+			if d != base {
+				a.MovRR(d, base)
+			}
+			a.AddRR(d, scrB)
+		}
+		cf.storeDef(in.Dst, d)
+	case kir.KGlobalAddr:
+		d := cf.defReg(in.Dst, scrA)
+		a.MovRISym(d, in.Sym, in.Imm)
+		cf.storeDef(in.Dst, d)
+	case kir.KFuncAddr:
+		d := cf.defReg(in.Dst, scrA)
+		a.MovRISym(d, in.Sym, 0)
+		cf.storeDef(in.Dst, d)
+	case kir.KLocalAddr:
+		d := cf.defReg(in.Dst, scrA)
+		off := cf.localOff[cf.fn.LocalIndex(in.Sym)] + in.Imm
+		if off >= -128 && off <= 127 {
+			a.Lea(d, cisc.EBP, off)
+		} else {
+			a.MovRR(d, cisc.EBP)
+			a.AddRI(d, off)
+		}
+		cf.storeDef(in.Dst, d)
+	case kir.KCall, kir.KCallPtr:
+		// Push arguments right to left.
+		for i := len(in.Args) - 1; i >= 0; i-- {
+			a.PushR(cf.use(in.Args[i], scrA))
+		}
+		if in.Kind == kir.KCall {
+			a.CallSym(in.Sym)
+		} else {
+			a.CallR(cf.use(in.A, scrA))
+		}
+		if n := len(in.Args); n > 0 {
+			a.AddRI(cisc.ESP, int32(4*n))
+		}
+		if in.Dst != 0 {
+			if cf.alloc.Spilled(in.Dst) {
+				a.St32(cisc.EBP, cf.slotOff(in.Dst), cisc.EAX)
+			} else if cf.home(in.Dst) != cisc.EAX {
+				a.MovRR(cf.home(in.Dst), cisc.EAX)
+			}
+		}
+	case kir.KSyscall:
+		// INT 0x80 convention: EAX=number, EBX/ECX/EDX=arguments. EBX is
+		// callee-saved, so preserve it around the trap.
+		a.PushR(cisc.EBX)
+		for i := len(in.Args) - 1; i >= 0; i-- {
+			a.PushR(cf.use(in.Args[i], scrA))
+		}
+		trapRegs := []uint8{cisc.EAX, cisc.EBX, cisc.ECX, cisc.EDX}
+		for i := 0; i < len(in.Args); i++ {
+			a.PopR(trapRegs[i])
+		}
+		a.Int(0x80)
+		a.PopR(cisc.EBX)
+		if in.Dst != 0 {
+			if cf.alloc.Spilled(in.Dst) {
+				a.St32(cisc.EBP, cf.slotOff(in.Dst), cisc.EAX)
+			} else if cf.home(in.Dst) != cisc.EAX {
+				a.MovRR(cf.home(in.Dst), cisc.EAX)
+			}
+		}
+	case kir.KRet:
+		if in.A != 0 {
+			s := cf.use(in.A, scrA)
+			if s != cisc.EAX {
+				a.MovRR(cisc.EAX, s)
+			}
+		}
+		cf.epilogue()
+	case kir.KJmp:
+		if !cf.fallsThrough(in.Then, blockIdx) {
+			a.JmpSym(cf.blockLabel(in.Then))
+		}
+	case kir.KBr:
+		if cf.hasPending && in.A == cf.pendingReg {
+			cf.hasPending = false
+			a.Jcc(cf.pendingCC, cf.blockLabel(in.Then))
+		} else {
+			c := cf.use(in.A, scrA)
+			a.TestRR(c, c)
+			a.Jcc(cisc.CcNE, cf.blockLabel(in.Then))
+		}
+		if !cf.fallsThrough(in.Else, blockIdx) {
+			a.JmpSym(cf.blockLabel(in.Else))
+		}
+	case kir.KIrqOff:
+		a.Cli()
+	case kir.KIrqOn:
+		a.Sti()
+	case kir.KHalt:
+		a.Hlt()
+	case kir.KBug:
+		a.Ud2()
+	case kir.KCtxSw:
+		prev := cf.use(in.A, scrA)
+		next := cf.use(in.B, scrB)
+		a.CtxSw(prev, next)
+	default:
+		return fmt.Errorf("unsupported instruction kind %d", in.Kind)
+	}
+	return nil
+}
+
+func (cf *ciscFunc) fallsThrough(target string, blockIdx int) bool {
+	return blockIdx+1 < len(cf.fn.Blocks) && cf.fn.Blocks[blockIdx+1].Name == target
+}
+
+// bin lowers dst = a op b (or a op imm when imm != nil).
+func (cf *ciscFunc) bin(op kir.BinOp, dst, ra, rb kir.Reg, imm *int32) {
+	a := cf.a
+	src := cf.use(ra, scrA)
+	d := cf.defReg(dst, scrA)
+	// Get the left operand into the destination register without clobbering
+	// the right operand.
+	if d != src {
+		if imm == nil && !cf.alloc.Spilled(rb) && cf.home(rb) == d {
+			// d holds b; compute in scratch instead.
+			if src != scrA {
+				a.MovRR(scrA, src)
+			}
+			cf.binOp(op, scrA, cf.home(rb), nil)
+			a.MovRR(d, scrA)
+			cf.storeDef(dst, d)
+			return
+		}
+		a.MovRR(d, src)
+	}
+	if imm != nil {
+		cf.binOp(op, d, 0, imm)
+	} else {
+		cf.binOp(op, d, cf.use(rb, scrB), nil)
+	}
+	cf.storeDef(dst, d)
+}
+
+// binOp emits d = d op (src|imm).
+func (cf *ciscFunc) binOp(op kir.BinOp, d, src uint8, imm *int32) {
+	a := cf.a
+	if imm != nil {
+		switch op {
+		case kir.Add:
+			a.AddRI(d, *imm)
+		case kir.Sub:
+			a.SubRI(d, *imm)
+		case kir.Mul:
+			a.ImulRI(d, *imm)
+		case kir.And:
+			a.AndRI(d, *imm)
+		case kir.Or:
+			a.OrRI(d, *imm)
+		case kir.Xor:
+			a.XorRI(d, *imm)
+		case kir.Shl:
+			a.ShlRI(d, int8(*imm&31))
+		case kir.Shr:
+			a.ShrRI(d, int8(*imm&31))
+		case kir.Sar:
+			a.SarRI(d, int8(*imm&31))
+		case kir.Div, kir.Rem:
+			// Immediate divide: materialize the divisor.
+			a.MovRI(scrB, *imm)
+			if op == kir.Div {
+				a.IdivRR(d, scrB)
+			} else {
+				a.ModRR(d, scrB)
+			}
+		}
+		return
+	}
+	switch op {
+	case kir.Add:
+		a.AddRR(d, src)
+	case kir.Sub:
+		a.SubRR(d, src)
+	case kir.Mul:
+		a.ImulRR(d, src)
+	case kir.Div:
+		a.IdivRR(d, src)
+	case kir.Rem:
+		a.ModRR(d, src)
+	case kir.And:
+		a.AndRR(d, src)
+	case kir.Or:
+		a.OrRR(d, src)
+	case kir.Xor:
+		a.XorRR(d, src)
+	case kir.Shl:
+		a.ShlRR(d, src)
+	case kir.Shr:
+		a.ShrRR(d, src)
+	case kir.Sar:
+		a.SarRR(d, src)
+	}
+}
+
+func (cf *ciscFunc) load(dst kir.Reg, w kir.Width, signed bool, base uint8, off int32) {
+	a := cf.a
+	d := cf.defReg(dst, scrA)
+	if off < -128 || off > 127 {
+		switch w {
+		case kir.W32, kir.W8:
+			// 32-bit displacement forms exist for these widths.
+		default:
+			// Compute the address into scratch.
+			if base != scrB {
+				a.MovRR(scrB, base)
+			}
+			a.AddRI(scrB, off)
+			base, off = scrB, 0
+		}
+	}
+	switch {
+	case w == kir.W32:
+		a.Ld32(d, base, off)
+	case w == kir.W16 && signed:
+		a.Ld16sx(d, base, off)
+	case w == kir.W16:
+		a.Ld16zx(d, base, off)
+	case signed:
+		a.Ld8sx(d, base, off)
+	default:
+		a.Ld8zx(d, base, off)
+	}
+	cf.storeDef(dst, d)
+}
+
+func (cf *ciscFunc) store(w kir.Width, base uint8, off int32, val uint8) {
+	a := cf.a
+	if (off < -128 || off > 127) && w == kir.W16 {
+		if base != scrA {
+			a.MovRR(scrA, base)
+		}
+		a.AddRI(scrA, off)
+		base, off = scrA, 0
+	}
+	switch w {
+	case kir.W32:
+		a.St32(base, off, val)
+	case kir.W16:
+		a.St16(base, off, val)
+	default:
+		a.St8(base, off, val)
+	}
+}
+
+var _ = isa.CISC // keep the isa import for doc references

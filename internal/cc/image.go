@@ -1,0 +1,145 @@
+package cc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"kfi/internal/isa"
+	"kfi/internal/kir"
+)
+
+// FuncRange records where one compiled function lives in the code image,
+// used by the profiler and the code-injection target generator.
+type FuncRange struct {
+	Name       string
+	Start, End uint32 // [Start, End) absolute addresses
+}
+
+// Image is a linked guest binary for one platform.
+type Image struct {
+	Platform isa.Platform
+	Layout   kir.Layout
+
+	Code     []byte
+	CodeBase uint32
+
+	Data     []byte // initialized data (index 0 at DataBase)
+	DataBase uint32
+
+	BSSBase uint32
+	BSSSize uint32
+
+	HeapBase uint32
+	HeapSize uint32
+
+	// Syms maps function and global names to absolute addresses.
+	Syms map[string]uint32
+	// Funcs lists function code ranges in address order.
+	Funcs []FuncRange
+}
+
+// Sym returns the address of a symbol, panicking on unknown names (a build
+// bug, not a runtime condition).
+func (im *Image) Sym(name string) uint32 {
+	a, ok := im.Syms[name]
+	if !ok {
+		panic(fmt.Sprintf("cc: unknown symbol %q", name))
+	}
+	return a
+}
+
+// FuncAt returns the function containing the given code address.
+func (im *Image) FuncAt(addr uint32) (FuncRange, bool) {
+	i := sort.Search(len(im.Funcs), func(i int) bool { return im.Funcs[i].End > addr })
+	if i < len(im.Funcs) && addr >= im.Funcs[i].Start {
+		return im.Funcs[i], true
+	}
+	return FuncRange{}, false
+}
+
+// Bases fixes the load addresses for an image's sections.
+type Bases struct {
+	Code uint32
+	Data uint32
+	BSS  uint32
+	// Heap places dynamically-backed globals; zero appends them after BSS.
+	Heap uint32
+}
+
+// Compile lowers a validated IR program to a linked image for the platform.
+func Compile(p *kir.Program, platform isa.Platform, bases Bases) (*Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	layout := kir.NewLayout(platform)
+	if bases.Heap == 0 {
+		bases.Heap = bases.BSS + 0x20000
+	}
+	im := &Image{
+		Platform: platform,
+		Layout:   layout,
+		CodeBase: bases.Code,
+		DataBase: bases.Data,
+		BSSBase:  bases.BSS,
+		HeapBase: bases.Heap,
+		Syms:     make(map[string]uint32),
+	}
+
+	// Lay out globals: initialized data then bss.
+	var order binary.ByteOrder = binary.LittleEndian
+	if platform == isa.RISC {
+		order = binary.BigEndian
+	}
+	put := func(buf []byte, off uint32, w kir.Width, v uint32) {
+		switch w {
+		case kir.W8:
+			buf[off] = byte(v)
+		case kir.W16:
+			order.PutUint16(buf[off:], uint16(v))
+		default:
+			order.PutUint32(buf[off:], v)
+		}
+	}
+	dataOff := uint32(0)
+	bssOff := uint32(0)
+	heapOff := uint32(0)
+	for _, g := range p.Globals {
+		size := layout.GlobalSize(g)
+		if g.Heap {
+			im.Syms[g.Name] = bases.Heap + heapOff
+			heapOff += (size + 15) &^ 15
+			continue
+		}
+		if g.BSS {
+			im.Syms[g.Name] = bases.BSS + bssOff
+			bssOff += (size + 15) &^ 15
+			continue
+		}
+		img := layout.EncodeGlobal(g, put)
+		im.Syms[g.Name] = bases.Data + dataOff
+		im.Data = append(im.Data, img...)
+		for len(im.Data)%16 != 0 {
+			im.Data = append(im.Data, 0)
+		}
+		dataOff = uint32(len(im.Data))
+	}
+	im.BSSSize = bssOff
+	im.HeapSize = heapOff
+
+	// Compile functions into one assembly unit.
+	switch platform {
+	case isa.CISC:
+		if err := compileCISC(p, im); err != nil {
+			return nil, err
+		}
+	case isa.RISC:
+		if err := compileRISC(p, im); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cc: unknown platform %v", platform)
+	}
+	sort.Slice(im.Funcs, func(i, j int) bool { return im.Funcs[i].Start < im.Funcs[j].Start })
+	return im, nil
+}

@@ -1,0 +1,533 @@
+package cc
+
+import (
+	"fmt"
+
+	"kfi/internal/kir"
+	"kfi/internal/risc"
+)
+
+// RISC backend register assignment: r14-r29 are allocatable (all
+// callee-saved, so values survive calls in registers — the G4 behavior that
+// lengthens code-error latencies); r3-r10 carry arguments and the return
+// value; r11/r12 are scratch; r0 is the link-register shuttle; r31 is the
+// frame base ("temporary stack pointer", as in the paper's kjournald
+// listing); r30 is an address-materialization temporary.
+var (
+	riscCallerSaved []int // none: everything allocatable survives calls
+	riscCalleeSaved = []int{14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29}
+)
+
+const (
+	rScrA  = 11
+	rScrB  = 12
+	rFrame = 31 // frame base register
+)
+
+type riscFunc struct {
+	p        *kir.Program
+	im       *Image
+	a        *risc.Asm
+	fn       *kir.Func
+	lin      *linear
+	alloc    *Alloc
+	localOff []int32
+	spillOff int32
+	frame    int32
+	r30Slot  int32
+	r31Slot  int32
+	hasCalls bool
+	labelSeq *int
+	fused    map[*kir.Instr]bool
+	// pendingPred holds a fused compare's predicate awaiting its branch.
+	pendingPred kir.Pred
+	pendingReg  kir.Reg
+	hasPending  bool
+}
+
+func compileRISC(p *kir.Program, im *Image) error {
+	a := risc.NewAsm()
+	seq := 0
+	starts := make(map[string]uint32, len(p.Funcs))
+	ends := make(map[string]uint32, len(p.Funcs))
+	for _, fn := range p.Funcs {
+		starts[fn.Name] = a.Len()
+		rf := &riscFunc{p: p, im: im, a: a, fn: fn, labelSeq: &seq}
+		if err := rf.compile(); err != nil {
+			return fmt.Errorf("cc: %s: %w", fn.Name, err)
+		}
+		ends[fn.Name] = a.Len()
+	}
+	syms := make(map[string]uint32, len(im.Syms))
+	for k, v := range im.Syms {
+		syms[k] = v
+	}
+	code, err := a.Link(im.CodeBase, syms)
+	if err != nil {
+		return err
+	}
+	im.Code = code
+	for _, fn := range p.Funcs {
+		im.Syms[fn.Name] = im.CodeBase + starts[fn.Name]
+		im.Funcs = append(im.Funcs, FuncRange{
+			Name:  fn.Name,
+			Start: im.CodeBase + starts[fn.Name],
+			End:   im.CodeBase + ends[fn.Name],
+		})
+	}
+	return nil
+}
+
+func (rf *riscFunc) compile() error {
+	rf.lin = linearize(rf.fn)
+	rf.alloc = allocate(rf.fn, rf.lin, riscCallerSaved, riscCalleeSaved)
+	rf.fused = fusibleCmps(rf.fn)
+	for _, in := range rf.lin.instrs {
+		if isCall(in) {
+			rf.hasCalls = true
+			break
+		}
+	}
+
+	// Frame layout (from r1 upward): [0] back chain, [4..] spill slots,
+	// locals (word-granular), callee saves, [frame-4] LR save.
+	layout := rf.im.Layout
+	off := int32(4)
+	off += 4 * int32(rf.alloc.NSlots)
+	rf.spillOff = 4
+	rf.localOff = make([]int32, len(rf.fn.Locals))
+	for i, lo := range rf.fn.Locals {
+		rf.localOff[i] = off
+		off += int32(layout.LocalSlotSize(lo))
+	}
+	saveBase := off
+	off += 4 * int32(len(rf.alloc.UsedCalleeSaved))
+	r30Slot := off
+	r31Slot := off + 4
+	off += 8 // r30/r31 compiler-temporary saves (they act as callee-saved)
+	if rf.hasCalls {
+		off += 4 // LR save slot
+	}
+	rf.frame = (off + 15) &^ 15
+
+	a := rf.a
+	a.Label(rf.fn.Name)
+	// Prologue.
+	if rf.hasCalls {
+		a.Mflr(0)
+	}
+	a.Stwu(risc.SP, risc.SP, -rf.frame)
+	if rf.hasCalls {
+		a.Stw(0, risc.SP, rf.frame-4)
+	}
+	for i, r := range rf.alloc.UsedCalleeSaved {
+		a.Stw(uint8(r), risc.SP, saveBase+4*int32(i))
+	}
+	a.Stw(30, risc.SP, r30Slot)
+	a.Stw(rFrame, risc.SP, r31Slot)
+	rf.r30Slot, rf.r31Slot = r30Slot, r31Slot
+	// r31 doubles as the frame base ("temporary stack pointer").
+	a.Mr(rFrame, risc.SP)
+	// Move parameters from r3..r10 into their homes.
+	for i := 0; i < rf.fn.NParams; i++ {
+		pr := kir.Reg(i + 1)
+		src := uint8(3 + i)
+		if rf.alloc.Spilled(pr) {
+			a.Stw(src, rFrame, rf.slotOff(pr))
+		} else if rf.home(pr) != src {
+			a.Mr(rf.home(pr), src)
+		}
+	}
+
+	for bi, b := range rf.fn.Blocks {
+		a.Label(rf.blockLabel(b.Name))
+		for ii := range b.Instrs {
+			if err := rf.instr(&b.Instrs[ii], bi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (rf *riscFunc) blockLabel(name string) string { return rf.fn.Name + "$" + name }
+
+func (rf *riscFunc) newLabel() string {
+	*rf.labelSeq++
+	return fmt.Sprintf("%s$L%d", rf.fn.Name, *rf.labelSeq)
+}
+
+func (rf *riscFunc) home(r kir.Reg) uint8 { return uint8(rf.alloc.Reg[r]) }
+
+func (rf *riscFunc) slotOff(r kir.Reg) int32 { return rf.spillOff + 4*int32(rf.alloc.Slot[r]) }
+
+func (rf *riscFunc) use(r kir.Reg, scratch uint8) uint8 {
+	if !rf.alloc.Spilled(r) {
+		return rf.home(r)
+	}
+	rf.a.Lwz(scratch, rFrame, rf.slotOff(r))
+	return scratch
+}
+
+func (rf *riscFunc) defReg(r kir.Reg, scratch uint8) uint8 {
+	if !rf.alloc.Spilled(r) {
+		return rf.home(r)
+	}
+	return scratch
+}
+
+func (rf *riscFunc) storeDef(r kir.Reg, reg uint8) {
+	if rf.alloc.Spilled(r) {
+		rf.a.Stw(reg, rFrame, rf.slotOff(r))
+	}
+}
+
+func (rf *riscFunc) epilogue() {
+	a := rf.a
+	if rf.hasCalls {
+		a.Lwz(0, risc.SP, rf.frame-4)
+		a.Mtlr(0)
+	}
+	saveBase := rf.r30Slot - 4*int32(len(rf.alloc.UsedCalleeSaved))
+	for i, r := range rf.alloc.UsedCalleeSaved {
+		a.Lwz(uint8(r), risc.SP, saveBase+4*int32(i))
+	}
+	a.Lwz(30, risc.SP, rf.r30Slot)
+	a.Lwz(rFrame, risc.SP, rf.r31Slot)
+	// Restore the stack pointer through the back chain stored by stwu — the
+	// frame-pointer-on-stack discipline whose corruption produces the G4's
+	// Stack Overflow crashes (paper §5.1).
+	a.Lwz(risc.SP, risc.SP, 0)
+	a.Blr()
+}
+
+func (rf *riscFunc) instr(in *kir.Instr, blockIdx int) error {
+	a := rf.a
+	switch in.Kind {
+	case kir.KConst:
+		d := rf.defReg(in.Dst, rScrA)
+		a.Li32(d, in.Imm)
+		rf.storeDef(in.Dst, d)
+	case kir.KMov:
+		s := rf.use(in.A, rScrA)
+		d := rf.defReg(in.Dst, rScrA)
+		if d != s {
+			a.Mr(d, s)
+		}
+		rf.storeDef(in.Dst, d)
+	case kir.KBin:
+		ra := rf.use(in.A, rScrA)
+		rb := rf.use(in.B, rScrB)
+		d := rf.defReg(in.Dst, rScrA)
+		rf.binOp(in.Bin, d, ra, rb)
+		rf.storeDef(in.Dst, d)
+	case kir.KBinImm:
+		ra := rf.use(in.A, rScrA)
+		d := rf.defReg(in.Dst, rScrA)
+		rf.binImm(in.Bin, d, ra, in.Imm)
+		rf.storeDef(in.Dst, d)
+	case kir.KCmp, kir.KCmpImm:
+		ra := rf.use(in.A, rScrA)
+		unsigned := in.Pred >= kir.ULt
+		if in.Kind == kir.KCmp {
+			rb := rf.use(in.B, rScrB)
+			if unsigned {
+				a.Cmplw(ra, rb)
+			} else {
+				a.Cmpw(ra, rb)
+			}
+		} else if unsigned {
+			if uint32(in.Imm) <= 0xFFFF {
+				a.Cmplwi(ra, uint16(uint32(in.Imm)))
+			} else {
+				a.Li32(rScrB, in.Imm)
+				a.Cmplw(ra, rScrB)
+			}
+		} else {
+			if in.Imm >= -0x8000 && in.Imm <= 0x7FFF {
+				a.Cmpwi(ra, in.Imm)
+			} else {
+				a.Li32(rScrB, in.Imm)
+				a.Cmpw(ra, rScrB)
+			}
+		}
+		if rf.fused[in] {
+			// The following branch consumes CR0 directly.
+			rf.pendingPred = in.Pred
+			rf.pendingReg = in.Dst
+			rf.hasPending = true
+			return nil
+		}
+		// Materialize the predicate as 0/1 via a branch diamond.
+		d := rf.defReg(in.Dst, rScrA)
+		yes := rf.newLabel()
+		done := rf.newLabel()
+		rf.bcTrue(in.Pred, yes)
+		a.Li(d, 0)
+		a.B(done)
+		a.Label(yes)
+		a.Li(d, 1)
+		a.Label(done)
+		rf.storeDef(in.Dst, d)
+	case kir.KLoad:
+		rf.load(in.Dst, in.Width, in.Signed, rf.use(in.A, rScrA), in.Imm)
+	case kir.KStore:
+		base := rf.use(in.A, rScrA)
+		val := rf.use(in.B, rScrB)
+		rf.store(in.Width, base, in.Imm, val)
+	case kir.KLoadField:
+		s := rf.p.Struct(in.Sym)
+		f := s.Fields[in.Field]
+		rf.load(in.Dst, f.Width, in.Signed, rf.use(in.A, rScrA), int32(rf.im.Layout.FieldOffset(s, in.Field)))
+	case kir.KStoreField:
+		s := rf.p.Struct(in.Sym)
+		f := s.Fields[in.Field]
+		base := rf.use(in.A, rScrA)
+		val := rf.use(in.B, rScrB)
+		rf.store(f.Width, base, int32(rf.im.Layout.FieldOffset(s, in.Field)), val)
+	case kir.KFieldAddr:
+		s := rf.p.Struct(in.Sym)
+		base := rf.use(in.A, rScrA)
+		d := rf.defReg(in.Dst, rScrA)
+		a.Addi(d, base, int32(rf.im.Layout.FieldOffset(s, in.Field)))
+		rf.storeDef(in.Dst, d)
+	case kir.KIndex:
+		s := rf.p.Struct(in.Sym)
+		size := int32(rf.im.Layout.StructSize(s))
+		base := rf.use(in.A, rScrA)
+		idx := rf.use(in.B, rScrB)
+		d := rf.defReg(in.Dst, rScrA)
+		switch {
+		case size&(size-1) == 0:
+			sh := uint8(0)
+			for 1<<sh != size {
+				sh++
+			}
+			if sh == 0 {
+				a.Add(d, base, idx)
+			} else {
+				a.Slwi(30, idx, sh)
+				a.Add(d, base, 30)
+			}
+		default:
+			a.Mulli(30, idx, size)
+			a.Add(d, base, 30)
+		}
+		rf.storeDef(in.Dst, d)
+	case kir.KGlobalAddr:
+		d := rf.defReg(in.Dst, rScrA)
+		a.LiSym(d, in.Sym, in.Imm)
+		rf.storeDef(in.Dst, d)
+	case kir.KFuncAddr:
+		d := rf.defReg(in.Dst, rScrA)
+		a.LiSym(d, in.Sym, 0)
+		rf.storeDef(in.Dst, d)
+	case kir.KLocalAddr:
+		d := rf.defReg(in.Dst, rScrA)
+		a.Addi(d, rFrame, rf.localOff[rf.fn.LocalIndex(in.Sym)]+in.Imm)
+		rf.storeDef(in.Dst, d)
+	case kir.KCall, kir.KCallPtr:
+		if in.Kind == kir.KCallPtr {
+			a.Mtctr(rf.use(in.A, rScrA))
+		}
+		for i, arg := range in.Args {
+			src := rf.use(arg, rScrA)
+			if src != uint8(3+i) {
+				a.Mr(uint8(3+i), src)
+			}
+		}
+		if in.Kind == kir.KCall {
+			a.Bl(in.Sym)
+		} else {
+			a.Bctrl()
+		}
+		if in.Dst != 0 {
+			if rf.alloc.Spilled(in.Dst) {
+				a.Stw(3, rFrame, rf.slotOff(in.Dst))
+			} else if rf.home(in.Dst) != 3 {
+				a.Mr(rf.home(in.Dst), 3)
+			}
+		}
+	case kir.KSyscall:
+		// sc convention: r0=number, r3-r5=arguments, result in r3.
+		trapRegs := []uint8{0, 3, 4, 5}
+		for i, arg := range in.Args {
+			src := rf.use(arg, rScrA)
+			if src != trapRegs[i] {
+				a.Mr(trapRegs[i], src)
+			}
+		}
+		a.Sc()
+		if in.Dst != 0 {
+			if rf.alloc.Spilled(in.Dst) {
+				a.Stw(3, rFrame, rf.slotOff(in.Dst))
+			} else if rf.home(in.Dst) != 3 {
+				a.Mr(rf.home(in.Dst), 3)
+			}
+		}
+	case kir.KRet:
+		if in.A != 0 {
+			s := rf.use(in.A, rScrA)
+			if s != 3 {
+				a.Mr(3, s)
+			}
+		}
+		rf.epilogue()
+	case kir.KJmp:
+		if !rf.fallsThrough(in.Then, blockIdx) {
+			a.B(rf.blockLabel(in.Then))
+		}
+	case kir.KBr:
+		if rf.hasPending && in.A == rf.pendingReg {
+			rf.hasPending = false
+			rf.bcTrue(rf.pendingPred, rf.blockLabel(in.Then))
+		} else {
+			c := rf.use(in.A, rScrA)
+			a.Cmpwi(c, 0)
+			a.Bne(rf.blockLabel(in.Then))
+		}
+		if !rf.fallsThrough(in.Else, blockIdx) {
+			a.B(rf.blockLabel(in.Else))
+		}
+	case kir.KIrqOff:
+		a.Mfmsr(rScrA)
+		// Clear MSR[EE] (0x8000): rlwinm rA,rS,0,17,15 keeps all bits except
+		// bit 16 (PowerPC numbering).
+		a.Rlwinm(rScrA, rScrA, 0, 17, 15)
+		a.Mtmsr(rScrA)
+	case kir.KIrqOn:
+		a.Mfmsr(rScrA)
+		a.Ori(rScrA, rScrA, 0x8000)
+		a.Mtmsr(rScrA)
+	case kir.KHalt:
+		a.Halt()
+	case kir.KBug:
+		a.IllegalWord()
+	case kir.KCtxSw:
+		prev := rf.use(in.A, rScrA)
+		next := rf.use(in.B, rScrB)
+		a.CtxSw(prev, next)
+	default:
+		return fmt.Errorf("unsupported instruction kind %d", in.Kind)
+	}
+	return nil
+}
+
+func (rf *riscFunc) fallsThrough(target string, blockIdx int) bool {
+	return blockIdx+1 < len(rf.fn.Blocks) && rf.fn.Blocks[blockIdx+1].Name == target
+}
+
+// bcTrue branches to label when the just-emitted comparison satisfies pred.
+func (rf *riscFunc) bcTrue(p kir.Pred, label string) {
+	a := rf.a
+	switch p {
+	case kir.Eq:
+		a.Beq(label)
+	case kir.Ne:
+		a.Bne(label)
+	case kir.Lt, kir.ULt:
+		a.Blt(label)
+	case kir.Le, kir.ULe:
+		a.Ble(label)
+	case kir.Gt, kir.UGt:
+		a.Bgt(label)
+	case kir.Ge, kir.UGe:
+		a.Bge(label)
+	}
+}
+
+func (rf *riscFunc) binOp(op kir.BinOp, d, ra, rb uint8) {
+	a := rf.a
+	switch op {
+	case kir.Add:
+		a.Add(d, ra, rb)
+	case kir.Sub:
+		a.Subf(d, rb, ra) // d = ra - rb
+	case kir.Mul:
+		a.Mullw(d, ra, rb)
+	case kir.Div:
+		a.Divw(d, ra, rb)
+	case kir.Rem:
+		// PowerPC has no remainder: rem = a - (a/b)*b.
+		a.Divw(30, ra, rb)
+		a.Mullw(30, 30, rb)
+		a.Subf(d, 30, ra)
+	case kir.And:
+		a.And(d, ra, rb)
+	case kir.Or:
+		a.Or(d, ra, rb)
+	case kir.Xor:
+		a.Xor(d, ra, rb)
+	case kir.Shl:
+		a.Slw(d, ra, rb)
+	case kir.Shr:
+		a.Srw(d, ra, rb)
+	case kir.Sar:
+		a.Sraw(d, ra, rb)
+	}
+}
+
+func (rf *riscFunc) binImm(op kir.BinOp, d, ra uint8, imm int32) {
+	a := rf.a
+	fits := imm >= -0x8000 && imm <= 0x7FFF
+	switch {
+	case op == kir.Add && fits:
+		a.Addi(d, ra, imm)
+	case op == kir.Sub && -imm >= -0x8000 && -imm <= 0x7FFF:
+		a.Addi(d, ra, -imm)
+	case op == kir.Mul && fits:
+		a.Mulli(d, ra, imm)
+	case op == kir.And && imm >= 0 && imm <= 0xFFFF:
+		a.AndiRc(d, ra, uint16(imm))
+	case op == kir.Or && imm >= 0 && imm <= 0xFFFF:
+		a.Ori(d, ra, uint16(imm))
+	case op == kir.Xor && imm >= 0 && imm <= 0xFFFF:
+		a.Xori(d, ra, uint16(imm))
+	case op == kir.Shl:
+		a.Slwi(d, ra, uint8(imm&31))
+	case op == kir.Shr:
+		if imm&31 == 0 {
+			if d != ra {
+				a.Mr(d, ra)
+			}
+		} else {
+			a.Srwi(d, ra, uint8(imm&31))
+		}
+	case op == kir.Sar:
+		a.Srawi(d, ra, uint8(imm&31))
+	default:
+		a.Li32(30, imm)
+		rf.binOp(op, d, ra, 30)
+	}
+}
+
+func (rf *riscFunc) load(dst kir.Reg, w kir.Width, signed bool, base uint8, off int32) {
+	a := rf.a
+	d := rf.defReg(dst, rScrA)
+	switch {
+	case w == kir.W32:
+		a.Lwz(d, base, off)
+	case w == kir.W16 && signed:
+		a.Lha(d, base, off)
+	case w == kir.W16:
+		a.Lhz(d, base, off)
+	case signed:
+		a.Lbz(d, base, off)
+		a.Extsb(d, d)
+	default:
+		a.Lbz(d, base, off)
+	}
+	rf.storeDef(dst, d)
+}
+
+func (rf *riscFunc) store(w kir.Width, base uint8, off int32, val uint8) {
+	a := rf.a
+	switch w {
+	case kir.W32:
+		a.Stw(val, base, off)
+	case kir.W16:
+		a.Sth(val, base, off)
+	default:
+		a.Stb(val, base, off)
+	}
+}

@@ -1,0 +1,529 @@
+package cisc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm builds CISC machine code with labels and relocations. It is used by the
+// compiler backend, the kernel glue, and tests. Emitters panic on impossible
+// operands (register out of range, displacement overflow): those are build
+// bugs, not runtime conditions.
+type Asm struct {
+	code   []byte
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type fixup struct {
+	off    uint32 // where the field lives in code
+	end    uint32 // offset of the end of the instruction (PC-relative origin)
+	size   uint8  // 1 or 4 bytes
+	target string
+	rel    bool
+	addend int32
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]uint32)}
+}
+
+// Len returns the current code size in bytes.
+func (a *Asm) Len() uint32 { return uint32(len(a.code)) }
+
+// Label defines a label at the current position. Labels are also the
+// assembler's symbols: Link exports them.
+func (a *Asm) Label(name string) {
+	if _, ok := a.labels[name]; ok {
+		panic(fmt.Sprintf("cisc: label %q defined twice", name))
+	}
+	a.labels[name] = a.Len()
+}
+
+// LabelAddr returns the offset of a previously defined label.
+func (a *Asm) LabelAddr(name string) (uint32, bool) {
+	v, ok := a.labels[name]
+	return v, ok
+}
+
+// Labels returns all defined labels and their offsets.
+func (a *Asm) Labels() map[string]uint32 {
+	out := make(map[string]uint32, len(a.labels))
+	for k, v := range a.labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Link resolves all fixups given the load base address and external symbol
+// addresses, and returns the final machine code. Local labels take precedence
+// over externals.
+func (a *Asm) Link(base uint32, syms map[string]uint32) ([]byte, error) {
+	code := make([]byte, len(a.code))
+	copy(code, a.code)
+	for _, f := range a.fixups {
+		var target uint32
+		if off, ok := a.labels[f.target]; ok {
+			target = base + off
+		} else if addr, ok := syms[f.target]; ok {
+			target = addr
+		} else {
+			return nil, fmt.Errorf("cisc: undefined symbol %q", f.target)
+		}
+		target += uint32(f.addend)
+		if f.rel {
+			rel := int64(target) - int64(base+f.end)
+			switch f.size {
+			case 1:
+				if rel < -128 || rel > 127 {
+					return nil, fmt.Errorf("cisc: rel8 to %q out of range (%d)", f.target, rel)
+				}
+				code[f.off] = byte(int8(rel))
+			case 4:
+				binary.LittleEndian.PutUint32(code[f.off:], uint32(int32(rel)))
+			}
+			continue
+		}
+		binary.LittleEndian.PutUint32(code[f.off:], target)
+	}
+	return code, nil
+}
+
+func (a *Asm) byteAt(bs ...byte) { a.code = append(a.code, bs...) }
+
+func (a *Asm) imm32(v int32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	a.code = append(a.code, b[:]...)
+}
+
+func checkReg(r uint8) {
+	if r >= numRegs {
+		panic(fmt.Sprintf("cisc: bad register %d", r))
+	}
+}
+
+func checkDisp8(d int32) {
+	if d < -128 || d > 127 {
+		panic(fmt.Sprintf("cisc: disp8 out of range: %d", d))
+	}
+}
+
+func nib(hi, lo uint8) byte {
+	checkReg(hi)
+	checkReg(lo)
+	return hi<<4 | lo
+}
+
+// --- register-register ALU ---
+
+func (a *Asm) rr(op byte, d, s uint8) { a.byteAt(op, nib(d, s)) }
+
+// AddRR emits add %s,%d.
+func (a *Asm) AddRR(d, s uint8) { a.rr(0x00, d, s) }
+
+// SubRR emits sub %s,%d.
+func (a *Asm) SubRR(d, s uint8) { a.rr(0x01, d, s) }
+
+// AndRR emits and %s,%d.
+func (a *Asm) AndRR(d, s uint8) { a.rr(0x02, d, s) }
+
+// OrRR emits or %s,%d.
+func (a *Asm) OrRR(d, s uint8) { a.rr(0x03, d, s) }
+
+// XorRR emits xor %s,%d.
+func (a *Asm) XorRR(d, s uint8) { a.rr(0x04, d, s) }
+
+// CmpRR emits cmp %s,%d.
+func (a *Asm) CmpRR(d, s uint8) { a.rr(0x05, d, s) }
+
+// TestRR emits test %s,%d.
+func (a *Asm) TestRR(d, s uint8) { a.rr(0x06, d, s) }
+
+// MovRR emits mov %s,%d.
+func (a *Asm) MovRR(d, s uint8) { a.rr(0x07, d, s) }
+
+// ImulRR emits imul %s,%d.
+func (a *Asm) ImulRR(d, s uint8) { a.rr(0x08, d, s) }
+
+// IdivRR emits idiv %s,%d (d = d / s, signed).
+func (a *Asm) IdivRR(d, s uint8) { a.rr(0x09, d, s) }
+
+// ModRR emits mod %s,%d (d = d % s, signed).
+func (a *Asm) ModRR(d, s uint8) { a.rr(0x0A, d, s) }
+
+// XchgRR emits xchg %s,%d.
+func (a *Asm) XchgRR(d, s uint8) { a.rr(0x0B, d, s) }
+
+// ShlRR emits shl %s,%d.
+func (a *Asm) ShlRR(d, s uint8) { a.rr(0x0C, d, s) }
+
+// ShrRR emits shr %s,%d.
+func (a *Asm) ShrRR(d, s uint8) { a.rr(0x0D, d, s) }
+
+// SarRR emits sar %s,%d.
+func (a *Asm) SarRR(d, s uint8) { a.rr(0x0E, d, s) }
+
+// Ud2 emits the deliberate invalid-opcode trap used by BUG().
+func (a *Asm) Ud2() { a.byteAt(0x0F) }
+
+// --- immediate ALU; 8-bit form chosen automatically when it fits ---
+
+func (a *Asm) ri(op32, op8 byte, r uint8, imm int32) {
+	checkReg(r)
+	if imm >= -128 && imm <= 127 && op8 != 0 {
+		a.byteAt(op8, r, byte(int8(imm)))
+		return
+	}
+	a.byteAt(op32, r)
+	a.imm32(imm)
+}
+
+// MovRI emits mov $imm,%r.
+func (a *Asm) MovRI(r uint8, imm int32) { a.ri(0x10, 0x20, r, imm) }
+
+// AddRI emits add $imm,%r.
+func (a *Asm) AddRI(r uint8, imm int32) { a.ri(0x11, 0x21, r, imm) }
+
+// SubRI emits sub $imm,%r.
+func (a *Asm) SubRI(r uint8, imm int32) { a.ri(0x12, 0x22, r, imm) }
+
+// AndRI emits and $imm,%r.
+func (a *Asm) AndRI(r uint8, imm int32) { a.ri(0x13, 0x23, r, imm) }
+
+// OrRI emits or $imm,%r.
+func (a *Asm) OrRI(r uint8, imm int32) { a.ri(0x14, 0x24, r, imm) }
+
+// XorRI emits xor $imm,%r.
+func (a *Asm) XorRI(r uint8, imm int32) { a.ri(0x15, 0x25, r, imm) }
+
+// CmpRI emits cmp $imm,%r.
+func (a *Asm) CmpRI(r uint8, imm int32) { a.ri(0x16, 0x26, r, imm) }
+
+// ImulRI emits imul $imm,%r.
+func (a *Asm) ImulRI(r uint8, imm int32) { a.ri(0x17, 0x27, r, imm) }
+
+// TestRI emits test $imm8,%r.
+func (a *Asm) TestRI(r uint8, imm int8) {
+	checkReg(r)
+	a.byteAt(0x2B, r, byte(imm))
+}
+
+// ShlRI, ShrRI, SarRI emit shifts by an immediate count.
+func (a *Asm) ShlRI(r uint8, n int8) { checkReg(r); a.byteAt(0x28, r, byte(n)) }
+
+// ShrRI emits shr $n,%r.
+func (a *Asm) ShrRI(r uint8, n int8) { checkReg(r); a.byteAt(0x29, r, byte(n)) }
+
+// SarRI emits sar $n,%r.
+func (a *Asm) SarRI(r uint8, n int8) { checkReg(r); a.byteAt(0x2A, r, byte(n)) }
+
+// MovRISym emits mov $sym+addend,%r with an absolute relocation.
+func (a *Asm) MovRISym(r uint8, sym string, addend int32) {
+	checkReg(r)
+	a.byteAt(0x10, r)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, addend: addend})
+	a.imm32(0)
+}
+
+// --- memory ---
+
+func (a *Asm) mem8(op byte, r, base uint8, disp int32) {
+	checkDisp8(disp)
+	a.byteAt(op, nib(r, base), byte(int8(disp)))
+}
+
+func (a *Asm) mem32(op byte, r, base uint8, disp int32) {
+	a.byteAt(op, nib(r, base))
+	a.imm32(disp)
+}
+
+// Ld32 emits mov disp(%base),%d using the shortest displacement form.
+func (a *Asm) Ld32(d, base uint8, disp int32) {
+	if disp >= -128 && disp <= 127 {
+		a.mem8(0x30, d, base, disp)
+		return
+	}
+	a.mem32(0x60, d, base, disp)
+}
+
+// Ld16zx emits movzw disp(%base),%d.
+func (a *Asm) Ld16zx(d, base uint8, disp int32) { a.mem8(0x31, d, base, disp) }
+
+// Ld16sx emits movsw disp(%base),%d.
+func (a *Asm) Ld16sx(d, base uint8, disp int32) { a.mem8(0x32, d, base, disp) }
+
+// Ld8zx emits movzb disp(%base),%d.
+func (a *Asm) Ld8zx(d, base uint8, disp int32) {
+	if disp >= -128 && disp <= 127 {
+		a.mem8(0x33, d, base, disp)
+		return
+	}
+	a.mem32(0x62, d, base, disp)
+}
+
+// Ld8sx emits movsb disp(%base),%d.
+func (a *Asm) Ld8sx(d, base uint8, disp int32) { a.mem8(0x34, d, base, disp) }
+
+// Lea emits lea disp(%base),%d.
+func (a *Asm) Lea(d, base uint8, disp int32) { a.mem8(0x35, d, base, disp) }
+
+// Ld32Idx emits mov disp(%base,%idx,1<<scale),%d.
+func (a *Asm) Ld32Idx(d, base, idx, scale uint8, disp int32) {
+	checkDisp8(disp)
+	checkReg(idx)
+	if scale > 3 {
+		panic("cisc: bad scale")
+	}
+	a.byteAt(0x36, nib(d, base), idx<<4|scale, byte(int8(disp)))
+}
+
+// LeaIdx emits lea disp(%base,%idx,1<<scale),%d.
+func (a *Asm) LeaIdx(d, base, idx, scale uint8, disp int32) {
+	checkDisp8(disp)
+	checkReg(idx)
+	if scale > 3 {
+		panic("cisc: bad scale")
+	}
+	a.byteAt(0x37, nib(d, base), idx<<4|scale, byte(int8(disp)))
+}
+
+// St32 emits mov %s,disp(%base).
+func (a *Asm) St32(base uint8, disp int32, s uint8) {
+	if disp >= -128 && disp <= 127 {
+		a.mem8(0x38, s, base, disp)
+		return
+	}
+	a.mem32(0x61, s, base, disp)
+}
+
+// St16 emits movw %s,disp(%base).
+func (a *Asm) St16(base uint8, disp int32, s uint8) { a.mem8(0x39, s, base, disp) }
+
+// St8 emits movb %s,disp(%base).
+func (a *Asm) St8(base uint8, disp int32, s uint8) {
+	if disp >= -128 && disp <= 127 {
+		a.mem8(0x3A, s, base, disp)
+		return
+	}
+	a.mem32(0x63, s, base, disp)
+}
+
+// St32Idx emits mov %s,disp(%base,%idx,1<<scale).
+func (a *Asm) St32Idx(base, idx, scale uint8, disp int32, s uint8) {
+	checkDisp8(disp)
+	checkReg(idx)
+	if scale > 3 {
+		panic("cisc: bad scale")
+	}
+	a.byteAt(0x3B, nib(s, base), idx<<4|scale, byte(int8(disp)))
+}
+
+// MovMI8 emits movl $imm8,disp(%base) — a 32-bit store of a sign-extended
+// 8-bit immediate.
+func (a *Asm) MovMI8(base uint8, disp int32, imm int8) {
+	checkDisp8(disp)
+	a.byteAt(0x3C, nib(0, base), byte(int8(disp)), byte(imm))
+}
+
+// CmpM emits cmp disp(%base),%r.
+func (a *Asm) CmpM(r, base uint8, disp int32) { a.mem8(0x3D, r, base, disp) }
+
+// AddM emits add disp(%base),%r.
+func (a *Asm) AddM(r, base uint8, disp int32) { a.mem8(0x3E, r, base, disp) }
+
+// AddMS emits add %r,disp(%base) (read-modify-write).
+func (a *Asm) AddMS(base uint8, disp int32, r uint8) { a.mem8(0xC0, r, base, disp) }
+
+// SubMS emits sub %r,disp(%base).
+func (a *Asm) SubMS(base uint8, disp int32, r uint8) { a.mem8(0xC1, r, base, disp) }
+
+// AndMS emits and %r,disp(%base).
+func (a *Asm) AndMS(base uint8, disp int32, r uint8) { a.mem8(0xC2, r, base, disp) }
+
+// OrMS emits or %r,disp(%base).
+func (a *Asm) OrMS(base uint8, disp int32, r uint8) { a.mem8(0xC4, r, base, disp) }
+
+// XorMS emits xor %r,disp(%base).
+func (a *Asm) XorMS(base uint8, disp int32, r uint8) { a.mem8(0xC5, r, base, disp) }
+
+// IncM emits incl disp(%base).
+func (a *Asm) IncM(base uint8, disp int32) { a.mem8(0xC6, 0, base, disp) }
+
+// DecM emits decl disp(%base).
+func (a *Asm) DecM(base uint8, disp int32) { a.mem8(0xC7, 0, base, disp) }
+
+// LdAbs emits mov sym+addend,%r (absolute 32-bit load).
+func (a *Asm) LdAbs(r uint8, sym string, addend int32) {
+	checkReg(r)
+	a.byteAt(0x65, r)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, addend: addend})
+	a.imm32(0)
+}
+
+// StAbs emits mov %r,sym+addend (absolute 32-bit store).
+func (a *Asm) StAbs(sym string, addend int32, r uint8) {
+	checkReg(r)
+	a.byteAt(0x66, r)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, addend: addend})
+	a.imm32(0)
+}
+
+// CmpLAbs emits cmpl $imm,sym+addend — the spinlock-magic check shape.
+func (a *Asm) CmpLAbs(sym string, addend int32, imm int32) {
+	a.byteAt(0x64)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 8, size: 4, target: sym, addend: addend})
+	a.imm32(0)
+	a.imm32(imm)
+}
+
+// --- unary, widening ---
+
+// IncR emits inc %r (single byte).
+func (a *Asm) IncR(r uint8) { checkReg(r); a.byteAt(0x40 + r) }
+
+// DecR emits dec %r (single byte).
+func (a *Asm) DecR(r uint8) { checkReg(r); a.byteAt(0x48 + r) }
+
+// NegR emits neg %r.
+func (a *Asm) NegR(r uint8) { checkReg(r); a.byteAt(0xB8, r) }
+
+// NotR emits not %r.
+func (a *Asm) NotR(r uint8) { checkReg(r); a.byteAt(0xB9, r) }
+
+// Movzx8 emits movzx8 %s,%d (d = zero-extended low byte of s).
+func (a *Asm) Movzx8(d, s uint8) { a.rr(0xBB, d, s) }
+
+// Movsx8 emits movsx8 %s,%d.
+func (a *Asm) Movsx8(d, s uint8) { a.rr(0xBC, d, s) }
+
+// Movzx16 emits movzx16 %s,%d.
+func (a *Asm) Movzx16(d, s uint8) { a.rr(0xBD, d, s) }
+
+// Movsx16 emits movsx16 %s,%d.
+func (a *Asm) Movsx16(d, s uint8) { a.rr(0xBE, d, s) }
+
+// SetCC emits set<cc> %r (r = 0/1 from flags).
+func (a *Asm) SetCC(r uint8, cc uint8) { checkReg(r); a.byteAt(0xB7, r, cc) }
+
+// --- stack ---
+
+// PushR emits push %r.
+func (a *Asm) PushR(r uint8) { checkReg(r); a.byteAt(0x50 + r) }
+
+// PopR emits pop %r.
+func (a *Asm) PopR(r uint8) { checkReg(r); a.byteAt(0x58 + r) }
+
+// PushI emits push $imm.
+func (a *Asm) PushI(imm int32) {
+	if imm >= -128 && imm <= 127 {
+		a.byteAt(0xB6, byte(int8(imm)))
+		return
+	}
+	a.byteAt(0xB5)
+	a.imm32(imm)
+}
+
+// Leave emits leave (mov %ebp,%esp; pop %ebp).
+func (a *Asm) Leave() { a.byteAt(0xC9) }
+
+// --- control flow ---
+
+// CallSym emits call sym (PC-relative).
+func (a *Asm) CallSym(sym string) {
+	a.byteAt(0xB0)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, rel: true})
+	a.imm32(0)
+}
+
+// CallR emits call *%r.
+func (a *Asm) CallR(r uint8) { checkReg(r); a.byteAt(0xB1, r) }
+
+// Ret emits ret.
+func (a *Asm) Ret() { a.byteAt(0xC3) }
+
+// JmpSym emits jmp sym (rel32 form; the assembler does not relax).
+func (a *Asm) JmpSym(sym string) {
+	a.byteAt(0xB2)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, rel: true})
+	a.imm32(0)
+}
+
+// JmpR emits jmp *%r.
+func (a *Asm) JmpR(r uint8) { checkReg(r); a.byteAt(0xB4, r) }
+
+// Jcc emits j<cc> sym (rel32 form).
+func (a *Asm) Jcc(cc uint8, sym string) {
+	a.byteAt(0x80 + cc)
+	a.fixups = append(a.fixups, fixup{off: a.Len(), end: a.Len() + 4, size: 4, target: sym, rel: true})
+	a.imm32(0)
+}
+
+// Bound emits bound %r,disp(%base): #BR unless mem[0] <= r <= mem[4].
+func (a *Asm) Bound(r, base uint8, disp int32) { a.mem8(0xAC, r, base, disp) }
+
+// --- system ---
+
+// Nop emits nop.
+func (a *Asm) Nop() { a.byteAt(0x90) }
+
+// XchgA emits xchg %eax,%r (r 1..7).
+func (a *Asm) XchgA(r uint8) {
+	if r < 1 || r >= numRegs {
+		panic("cisc: xchga needs r1..r7")
+	}
+	a.byteAt(0x90 + r)
+}
+
+// Pushf emits pushf.
+func (a *Asm) Pushf() { a.byteAt(0x98) }
+
+// Popf emits popf.
+func (a *Asm) Popf() { a.byteAt(0x99) }
+
+// Cli emits cli.
+func (a *Asm) Cli() { a.byteAt(0x9A) }
+
+// Sti emits sti.
+func (a *Asm) Sti() { a.byteAt(0x9B) }
+
+// Hlt emits hlt.
+func (a *Asm) Hlt() { a.byteAt(0x9C) }
+
+// Iret emits iret.
+func (a *Asm) Iret() { a.byteAt(0x9D) }
+
+// CtxSw emits ctxsw %prev,%next — the context-switch primitive used by the
+// guest scheduler.
+func (a *Asm) CtxSw(prev, next uint8) { a.rr(0x9E, prev, next) }
+
+// Int emits int $n.
+func (a *Asm) Int(n uint8) { a.byteAt(0xAA, n) }
+
+// MovCR emits movcr %r,%cr (cr = r).
+func (a *Asm) MovCR(cr, r uint8) { a.rr(0xA0, cr, r) }
+
+// MovRC emits movrc %cr,%r (r = cr).
+func (a *Asm) MovRC(r, cr uint8) { a.rr(0xA1, r, cr) }
+
+// MovDR emits movdr %r,%dr.
+func (a *Asm) MovDR(dr, r uint8) { a.rr(0xA2, dr, r) }
+
+// MovRD emits movrd %dr,%r.
+func (a *Asm) MovRD(r, dr uint8) { a.rr(0xA3, r, dr) }
+
+// MovSeg emits movseg %r,%seg (seg 0=fs, 1=gs).
+func (a *Asm) MovSeg(seg, r uint8) { a.rr(0xA4, seg, r) }
+
+// MovRSeg emits movrseg %seg,%r.
+func (a *Asm) MovRSeg(r, seg uint8) { a.rr(0xA5, r, seg) }
+
+// LoadFS emits movfs disp(%base),%r — an FS-segment-relative load.
+func (a *Asm) LoadFS(r, base uint8, disp int32) { a.mem8(0xA6, r, base, disp) }
+
+// Ltr emits ltr %r.
+func (a *Asm) Ltr(r uint8) { checkReg(r); a.byteAt(0xA8, r) }
+
+// Str emits str %r.
+func (a *Asm) Str(r uint8) { checkReg(r); a.byteAt(0xA9, r) }

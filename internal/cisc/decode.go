@@ -1,0 +1,203 @@
+package cisc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op     Op
+	Format Format
+	Len    uint8
+	Opcode byte
+	R1     uint8 // destination / primary register
+	R2     uint8 // source register
+	Idx    uint8 // index register (FIdx)
+	Scale  uint8 // index scale shift: 0..3 meaning x1,x2,x4,x8
+	Cc     uint8 // condition code (OpJCC, OpSETCC)
+	Imm    int32 // immediate (sign-extended for 8-bit forms)
+	Disp   int32 // memory displacement (sign-extended for 8-bit forms)
+	Abs    uint32
+}
+
+// Decode errors.
+var (
+	// ErrInvalidOpcode reports an undefined opcode byte or an invalid
+	// register/scale field — the #UD condition.
+	ErrInvalidOpcode = errors.New("cisc: invalid opcode")
+	// ErrTruncated reports that the byte stream ended mid-instruction.
+	ErrTruncated = errors.New("cisc: truncated instruction")
+)
+
+// Decode decodes one instruction from the front of code. It never panics on
+// arbitrary input: undefined encodings return ErrInvalidOpcode and short
+// buffers return ErrTruncated.
+func Decode(code []byte) (Inst, error) {
+	if len(code) == 0 {
+		return Inst{}, ErrTruncated
+	}
+	b := code[0]
+	e := &opTable[b]
+	if e.op == OpInvalid {
+		return Inst{}, ErrInvalidOpcode
+	}
+	in := Inst{Op: e.op, Format: e.format, Opcode: b, Cc: e.cc, Len: e.format.Length()}
+	if int(in.Len) > len(code) {
+		return Inst{}, ErrTruncated
+	}
+	body := code[1:in.Len]
+
+	switch e.format {
+	case FNone:
+		// No operands.
+	case FOpReg:
+		in.R1 = b & 7
+	case FRR:
+		if err := in.decodeNibbles(body[0]); err != nil {
+			return Inst{}, err
+		}
+	case FR:
+		in.R1 = body[0] & 7
+	case FRI8:
+		in.R1 = body[0] & 7
+		in.Imm = int32(int8(body[1]))
+	case FRI32:
+		in.R1 = body[0] & 7
+		in.Imm = int32(binary.LittleEndian.Uint32(body[1:]))
+	case FI8:
+		in.Imm = int32(int8(body[0]))
+	case FI32:
+		in.Imm = int32(binary.LittleEndian.Uint32(body))
+	case FMem8:
+		if err := in.decodeNibbles(body[0]); err != nil {
+			return Inst{}, err
+		}
+		in.Disp = int32(int8(body[1]))
+	case FMem32:
+		if err := in.decodeNibbles(body[0]); err != nil {
+			return Inst{}, err
+		}
+		in.Disp = int32(binary.LittleEndian.Uint32(body[1:]))
+	case FIdx:
+		if err := in.decodeNibbles(body[0]); err != nil {
+			return Inst{}, err
+		}
+		in.Idx = body[1] >> 4 & 7
+		in.Scale = body[1] & 0xF
+		if in.Scale > 3 {
+			// Scale values 4-15 are undefined SIB encodings.
+			return Inst{}, ErrInvalidOpcode
+		}
+		in.Disp = int32(int8(body[2]))
+	case FMI8:
+		if err := in.decodeNibbles(body[0]); err != nil {
+			return Inst{}, err
+		}
+		in.Disp = int32(int8(body[1]))
+		in.Imm = int32(int8(body[2]))
+	case FRel8:
+		in.Imm = int32(int8(body[0]))
+	case FRel32:
+		in.Imm = int32(binary.LittleEndian.Uint32(body))
+	case FAbsI32:
+		in.Abs = binary.LittleEndian.Uint32(body[:4])
+		in.Imm = int32(binary.LittleEndian.Uint32(body[4:]))
+	case FAbsR:
+		in.R1 = body[0] & 7
+		in.Abs = binary.LittleEndian.Uint32(body[1:])
+	default:
+		return Inst{}, ErrInvalidOpcode
+	}
+	return in, nil
+}
+
+// decodeNibbles splits a mod byte into two register fields. Only three bits
+// per field select a register, as on x86's modrm; the spare bit is ignored,
+// so flips there silently alias to the same register.
+func (in *Inst) decodeNibbles(m byte) error {
+	in.R1 = m >> 4 & 7
+	in.R2 = m & 7
+	return nil
+}
+
+// Cost returns the instruction's cycle cost from the opcode table.
+func (in Inst) Cost() uint8 { return opTable[in.Opcode].cost }
+
+// Name returns the mnemonic from the opcode table.
+func (in Inst) Name() string { return opTable[in.Opcode].name }
+
+// String disassembles the instruction in an AT&T-flavored syntax (operands
+// source-first for two-operand forms, as in the paper's listings).
+func (in Inst) String() string {
+	n := in.Name()
+	r1 := RegName(in.R1)
+	switch in.Format {
+	case FNone:
+		return n
+	case FOpReg:
+		return fmt.Sprintf("%s %%%s", n, r1)
+	case FRR:
+		return fmt.Sprintf("%s %%%s,%%%s", n, RegName(in.R2), r1)
+	case FR:
+		return fmt.Sprintf("%s %%%s", n, r1)
+	case FRI8, FRI32:
+		if in.Op == OpSETCC {
+			return fmt.Sprintf("set%s %%%s", CcName(uint8(in.Imm)&0xF), r1)
+		}
+		return fmt.Sprintf("%s $0x%x,%%%s", n, uint32(in.Imm), r1)
+	case FI8, FI32:
+		return fmt.Sprintf("%s $0x%x", n, uint32(in.Imm))
+	case FMem8, FMem32:
+		if in.isStore() {
+			return fmt.Sprintf("%s %%%s,0x%x(%%%s)", n, r1, uint32(in.Disp), RegName(in.R2))
+		}
+		return fmt.Sprintf("%s 0x%x(%%%s),%%%s", n, uint32(in.Disp), RegName(in.R2), r1)
+	case FIdx:
+		m := fmt.Sprintf("0x%x(%%%s,%%%s,%d)", uint32(in.Disp), RegName(in.R2), RegName(in.Idx), 1<<in.Scale)
+		if in.isStore() {
+			return fmt.Sprintf("%s %%%s,%s", n, r1, m)
+		}
+		return fmt.Sprintf("%s %s,%%%s", n, m, r1)
+	case FMI8:
+		return fmt.Sprintf("%s $0x%x,0x%x(%%%s)", n, uint32(in.Imm), uint32(in.Disp), RegName(in.R2))
+	case FRel8, FRel32:
+		return fmt.Sprintf("%s .%+d", n, in.Imm)
+	case FAbsI32:
+		return fmt.Sprintf("%s $0x%x,0x%x", n, uint32(in.Imm), in.Abs)
+	case FAbsR:
+		if in.Op == OpSTABS {
+			return fmt.Sprintf("%s %%%s,0x%x", n, r1, in.Abs)
+		}
+		return fmt.Sprintf("%s 0x%x,%%%s", n, in.Abs, r1)
+	default:
+		return fmt.Sprintf("%s?", n)
+	}
+}
+
+func (in Inst) isStore() bool {
+	switch in.Op {
+	case OpST32, OpST16, OpST8, OpST32IDX, OpADDMS, OpSUBMS, OpANDMS, OpORMS, OpXORMS:
+		return true
+	default:
+		return false
+	}
+}
+
+// DisasmRange disassembles [addr, addr+n) of code for diagnostics, resuming
+// at the next byte after any undecodable byte.
+func DisasmRange(code []byte, base uint32) []string {
+	var out []string
+	for off := 0; off < len(code); {
+		in, err := Decode(code[off:])
+		if err != nil {
+			out = append(out, fmt.Sprintf("%08x: %02x               (bad)", base+uint32(off), code[off]))
+			off++
+			continue
+		}
+		out = append(out, fmt.Sprintf("%08x: % -16x %s", base+uint32(off), code[off:off+int(in.Len)], in))
+		off += int(in.Len)
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package cisc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeTableDensity(t *testing.T) {
+	n := DefinedOpcodes()
+	// The encoding must be dense enough that random bytes usually decode —
+	// the mechanism behind P4-style instruction-stream resynchronization —
+	// but not total, so invalid-instruction exceptions remain reachable.
+	if n < 160 || n > 210 {
+		t.Errorf("defined opcodes = %d, want a dense-but-incomplete map (160..210)", n)
+	}
+}
+
+func TestFormatLengths(t *testing.T) {
+	tests := []struct {
+		give Format
+		want uint8
+	}{
+		{FNone, 1}, {FOpReg, 1}, {FRR, 2}, {FR, 2}, {FRI8, 3}, {FRI32, 6},
+		{FI8, 2}, {FI32, 5}, {FMem8, 3}, {FMem32, 6}, {FIdx, 4}, {FMI8, 4},
+		{FRel8, 2}, {FRel32, 5}, {FAbsI32, 9}, {FAbsR, 6},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Length(); got != tt.want {
+			t.Errorf("Format(%d).Length() = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+	if got := Format(0).Length(); got != 0 {
+		t.Errorf("invalid format length = %d, want 0", got)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(nil) error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	// 0x10 is mov r,imm32 (6 bytes); give it 3.
+	if _, err := Decode([]byte{0x10, 0x00, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(truncated) error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode([]byte{0xFF, 0, 0, 0}); !errors.Is(err, ErrInvalidOpcode) {
+		t.Errorf("Decode(0xFF) error = %v, want ErrInvalidOpcode", err)
+	}
+}
+
+func TestDecodeRegisterFieldsAliasLikeModrm(t *testing.T) {
+	// Register fields are 3 bits as on x86's modrm: a flipped spare bit
+	// aliases to the same register rather than faulting.
+	in, err := Decode([]byte{0x00, 0x85})
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if in.R1 != 0 || in.R2 != 5 {
+		t.Errorf("aliased fields = %d,%d, want 0,5", in.R1, in.R2)
+	}
+	// Indexed load with scale 5 is an undefined SIB encoding.
+	if _, err := Decode([]byte{0x36, 0x12, 0x05, 0x00}); !errors.Is(err, ErrInvalidOpcode) {
+		t.Errorf("Decode(bad scale) error = %v, want ErrInvalidOpcode", err)
+	}
+}
+
+// Property: Decode never panics on arbitrary byte strings and, when it
+// succeeds, reports a length within the buffer.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(bs []byte) bool {
+		in, err := Decode(bs)
+		if err != nil {
+			return true
+		}
+		return int(in.Len) <= len(bs) && in.Len >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// assembleOne assembles a single instruction via the given emitter call and
+// returns its bytes.
+func assembleOne(t *testing.T, emit func(a *Asm)) []byte {
+	t.Helper()
+	a := NewAsm()
+	emit(a)
+	code, err := a.Link(0, nil)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return code
+}
+
+func TestAsmDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		emit func(a *Asm)
+		want Inst
+	}{
+		{"mov rr", func(a *Asm) { a.MovRR(EAX, EBX) },
+			Inst{Op: OpMOV, Format: FRR, R1: EAX, R2: EBX}},
+		{"add imm8", func(a *Asm) { a.AddRI(ECX, -5) },
+			Inst{Op: OpADD, Format: FRI8, R1: ECX, Imm: -5}},
+		{"add imm32", func(a *Asm) { a.AddRI(ECX, 0x12345) },
+			Inst{Op: OpADD, Format: FRI32, R1: ECX, Imm: 0x12345}},
+		{"ld32 d8", func(a *Asm) { a.Ld32(EDX, EBP, -12) },
+			Inst{Op: OpLD32, Format: FMem8, R1: EDX, R2: EBP, Disp: -12}},
+		{"ld32 d32", func(a *Asm) { a.Ld32(EDX, EBP, 0x1000) },
+			Inst{Op: OpLD32, Format: FMem32, R1: EDX, R2: EBP, Disp: 0x1000}},
+		{"st8", func(a *Asm) { a.St8(ESI, 3, EAX) },
+			Inst{Op: OpST8, Format: FMem8, R1: EAX, R2: ESI, Disp: 3}},
+		{"lea idx", func(a *Asm) { a.LeaIdx(ESP, ESP, ESI, 3, 0x5b) },
+			Inst{Op: OpLEAIDX, Format: FIdx, R1: ESP, R2: ESP, Idx: ESI, Scale: 3, Disp: 0x5b}},
+		{"push", func(a *Asm) { a.PushR(EDI) },
+			Inst{Op: OpPUSH, Format: FOpReg, R1: EDI}},
+		{"pop", func(a *Asm) { a.PopR(EBX) },
+			Inst{Op: OpPOP, Format: FOpReg, R1: EBX}},
+		{"ret", func(a *Asm) { a.Ret() },
+			Inst{Op: OpRET, Format: FNone}},
+		{"int 0x80", func(a *Asm) { a.Int(0x80) },
+			Inst{Op: OpINT, Format: FI8, Imm: -128}},
+		{"ctxsw", func(a *Asm) { a.CtxSw(EAX, EDX) },
+			Inst{Op: OpCTXSW, Format: FRR, R1: EAX, R2: EDX}},
+		{"movmi8", func(a *Asm) { a.MovMI8(EBP, -32, 8) },
+			Inst{Op: OpMOVMI8, Format: FMI8, R2: EBP, Disp: -32, Imm: 8}},
+		{"bound", func(a *Asm) { a.Bound(EAX, EBX, 16) },
+			Inst{Op: OpBOUND, Format: FMem8, R1: EAX, R2: EBX, Disp: 16}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code := assembleOne(t, tt.emit)
+			in, err := Decode(code)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if int(in.Len) != len(code) {
+				t.Errorf("Len = %d, code is %d bytes", in.Len, len(code))
+			}
+			tt.want.Len = in.Len
+			tt.want.Opcode = in.Opcode
+			if in != tt.want {
+				t.Errorf("decoded %+v, want %+v", in, tt.want)
+			}
+		})
+	}
+}
+
+func TestAsmRelocations(t *testing.T) {
+	a := NewAsm()
+	a.Label("start")
+	a.CallSym("target") // 5 bytes
+	a.JmpSym("start")   // 5 bytes
+	a.Label("target")
+	a.Ret()
+	code, err := a.Link(0x1000, nil)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	call, err := Decode(code)
+	if err != nil {
+		t.Fatalf("decode call: %v", err)
+	}
+	// call at 0x1000, len 5, target = 0x100A → rel = 0x100A - 0x1005 = 5.
+	if call.Imm != 5 {
+		t.Errorf("call rel = %d, want 5", call.Imm)
+	}
+	jmp, err := Decode(code[5:])
+	if err != nil {
+		t.Fatalf("decode jmp: %v", err)
+	}
+	if jmp.Imm != -10 {
+		t.Errorf("jmp rel = %d, want -10", jmp.Imm)
+	}
+}
+
+func TestAsmExternalSymbol(t *testing.T) {
+	a := NewAsm()
+	a.MovRISym(EAX, "runqueue", 8)
+	code, err := a.Link(0, map[string]uint32{"runqueue": 0x2000})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	in, err := Decode(code)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if uint32(in.Imm) != 0x2008 {
+		t.Errorf("imm = 0x%x, want 0x2008", uint32(in.Imm))
+	}
+}
+
+func TestAsmUndefinedSymbol(t *testing.T) {
+	a := NewAsm()
+	a.CallSym("nowhere")
+	if _, err := a.Link(0, nil); err == nil {
+		t.Error("Link with undefined symbol did not fail")
+	}
+}
+
+func TestAsmDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	a := NewAsm()
+	a.Label("x")
+	a.Label("x")
+}
+
+// Property: every defined single instruction assembled from random operands
+// decodes back to the same length and opcode byte.
+func TestAssembleDecodeLengthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	emitters := []func(a *Asm){
+		func(a *Asm) { a.MovRR(uint8(rng.Intn(8)), uint8(rng.Intn(8))) },
+		func(a *Asm) { a.AddRI(uint8(rng.Intn(8)), rng.Int31()-1<<30) },
+		func(a *Asm) { a.Ld32(uint8(rng.Intn(8)), uint8(rng.Intn(8)), int32(rng.Intn(256))-128) },
+		func(a *Asm) { a.St32(uint8(rng.Intn(8)), int32(rng.Intn(256))-128, uint8(rng.Intn(8))) },
+		func(a *Asm) { a.PushR(uint8(rng.Intn(8))) },
+		func(a *Asm) { a.ShlRI(uint8(rng.Intn(8)), int8(rng.Intn(31))) },
+		func(a *Asm) { a.Ld8zx(uint8(rng.Intn(8)), uint8(rng.Intn(8)), int32(rng.Intn(100))) },
+		func(a *Asm) { a.SetCC(uint8(rng.Intn(8)), CcNE) },
+	}
+	for i := 0; i < 2000; i++ {
+		a := NewAsm()
+		emitters[rng.Intn(len(emitters))](a)
+		code, err := a.Link(0, nil)
+		if err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		in, err := Decode(code)
+		if err != nil {
+			t.Fatalf("Decode(% x): %v", code, err)
+		}
+		if int(in.Len) != len(code) {
+			t.Fatalf("instruction % x: decoded len %d != emitted %d", code, in.Len, len(code))
+		}
+	}
+}
+
+// Property: flipping one bit of a valid instruction stream and re-decoding
+// never panics — the decoder must be total.
+func TestBitFlipDecodeTotalProperty(t *testing.T) {
+	a := NewAsm()
+	a.MovRI(EAX, 1000)
+	a.Lea(ESP, EBP, -12)
+	a.PopR(EBX)
+	a.PopR(ESI)
+	a.PopR(EDI)
+	a.PopR(EBP)
+	a.Ret()
+	code, err := a.Link(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for byteIdx := range code {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(code))
+			copy(mut, code)
+			mut[byteIdx] ^= 1 << bit
+			for off := 0; off < len(mut); {
+				in, err := Decode(mut[off:])
+				if err != nil {
+					off++
+					continue
+				}
+				off += int(in.Len)
+			}
+		}
+	}
+}
+
+func TestDisasmStrings(t *testing.T) {
+	tests := []struct {
+		emit func(a *Asm)
+		want string
+	}{
+		{func(a *Asm) { a.MovRR(EAX, EBX) }, "mov %ebx,%eax"},
+		{func(a *Asm) { a.Ld32(EDX, EBP, -32) }, "mov 0xffffffe0(%ebp),%edx"},
+		{func(a *Asm) { a.St32(EBP, -32, EDX) }, "mov %edx,0xffffffe0(%ebp)"},
+		{func(a *Asm) { a.LeaIdx(ESP, ESP, ESI, 3, 0x5b) }, "lea 0x5b(%esp,%esi,8),%esp"},
+		{func(a *Asm) { a.PushR(EBX) }, "push %ebx"},
+		{func(a *Asm) { a.Ret() }, "ret"},
+		{func(a *Asm) { a.Ud2() }, "ud2"},
+		{func(a *Asm) { a.SetCC(EAX, CcE) }, "sete %eax"},
+		{func(a *Asm) { a.MovRI(EAX, 0x42) }, "mov $0x42,%eax"},
+	}
+	for _, tt := range tests {
+		code := assembleOne(t, tt.emit)
+		in, err := Decode(code)
+		if err != nil {
+			t.Fatalf("Decode(% x): %v", code, err)
+		}
+		if got := in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestDisasmRange(t *testing.T) {
+	a := NewAsm()
+	a.Nop()
+	a.MovRI(EAX, 5)
+	code, err := a.Link(0x100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = append(code, 0xFF) // one bad byte
+	lines := DisasmRange(code, 0x100)
+	if len(lines) != 3 {
+		t.Fatalf("DisasmRange returned %d lines, want 3: %v", len(lines), lines)
+	}
+}

@@ -1,0 +1,486 @@
+// Package cisc implements the "P4-class" processor: a variable-length CISC
+// instruction set architecture with eight general-purpose registers,
+// 8/16/32-bit memory operands, x86-style condition flags and exception
+// vectors, system registers (EFLAGS, CR0, debug registers, segment registers
+// FS/GS, task register), and no architectural stack-overflow detection.
+//
+// The encoding is deliberately dense: most byte values decode to some valid
+// instruction, so a single-bit error in the instruction stream usually turns
+// one instruction into a different valid instruction of a different length,
+// re-synchronizing the stream into a valid-but-wrong sequence — the mechanism
+// behind the paper's Pentium 4 findings (Figures 7 and 14).
+package cisc
+
+import "fmt"
+
+// Register numbers (x86 order).
+const (
+	EAX = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	numRegs
+)
+
+var regNames = [numRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// RegName returns the register mnemonic.
+func RegName(r uint8) string {
+	if int(r) < numRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Format describes the byte layout of an instruction after its opcode byte.
+type Format uint8
+
+// Instruction formats. The comment shows the full byte layout; lengths
+// range from 1 to 9 bytes.
+const (
+	FNone   Format = iota + 1 // [op]                          len 1
+	FOpReg                    // [op|reg]                      len 1
+	FRR                       // [op][d<<4|s]                  len 2
+	FR                        // [op][r]                       len 2
+	FRI8                      // [op][r][imm8]                 len 3
+	FRI32                     // [op][r][imm32]                len 6
+	FI8                       // [op][imm8]                    len 2
+	FI32                      // [op][imm32]                   len 5
+	FMem8                     // [op][r<<4|b][disp8]           len 3
+	FMem32                    // [op][r<<4|b][disp32]          len 6
+	FIdx                      // [op][r<<4|b][i<<4|sc][disp8]  len 4
+	FMI8                      // [op][r?<<4|b][disp8][imm8]    len 4
+	FRel8                     // [op][rel8]                    len 2
+	FRel32                    // [op][rel32]                   len 5
+	FAbsI32                   // [op][addr32][imm32]           len 9
+	FAbsR                     // [op][r][addr32]               len 6
+)
+
+// Length returns the encoded instruction length for the format.
+func (f Format) Length() uint8 {
+	switch f {
+	case FNone, FOpReg:
+		return 1
+	case FRR, FR, FI8, FRel8:
+		return 2
+	case FRI8, FMem8:
+		return 3
+	case FIdx, FMI8:
+		return 4
+	case FI32, FRel32:
+		return 5
+	case FRI32, FMem32, FAbsR:
+		return 6
+	case FAbsI32:
+		return 9
+	default:
+		return 0
+	}
+}
+
+// Op is the semantic operation of a decoded instruction. Immediate and
+// register variants share an Op; the instruction's Format selects the operand
+// source during execution.
+type Op uint8
+
+// Semantic operations.
+const (
+	OpInvalid Op = iota
+
+	// Register/immediate ALU.
+	OpMOV
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpCMP
+	OpTEST
+	OpIMUL
+	OpIDIV
+	OpMOD
+	OpXCHG
+	OpSHL
+	OpSHR
+	OpSAR
+	OpNEG
+	OpNOT
+	OpINC
+	OpDEC
+	OpMOVZX8
+	OpMOVSX8
+	OpMOVZX16
+	OpMOVSX16
+	OpSETCC
+
+	// Memory.
+	OpLD32
+	OpLD16ZX
+	OpLD16SX
+	OpLD8ZX
+	OpLD8SX
+	OpST32
+	OpST16
+	OpST8
+	OpLEA
+	OpLD32IDX
+	OpST32IDX
+	OpLEAIDX
+	OpMOVMI8 // 32-bit store of sign-extended imm8 to [b+d8]
+	OpCMPM   // cmp r, [b+d8]
+	OpADDM   // r += [b+d8]
+	OpADDMS  // [b+d8] += r
+	OpSUBMS
+	OpANDMS
+	OpORMS
+	OpXORMS
+	OpINCM
+	OpDECM
+	OpLDABS   // r = [abs32]
+	OpSTABS   // [abs32] = r
+	OpCMPLABS // cmp [abs32], imm32 (the spinlock-magic check shape, Fig. 13)
+
+	// Stack.
+	OpPUSH
+	OpPOP
+	OpPUSHI
+	OpLEAVE
+
+	// Control flow.
+	OpCALL
+	OpCALLR
+	OpRET
+	OpJMP
+	OpJMPR
+	OpJCC
+	OpBOUND
+
+	// System.
+	OpNOP
+	OpXCHGA
+	OpPUSHF
+	OpPOPF
+	OpCLI
+	OpSTI
+	OpHLT
+	OpIRET
+	OpCTXSW
+	OpUD2
+	OpINT
+	OpMOVCR  // cr[d] = r[s]
+	OpMOVRC  // r[d] = cr[s]
+	OpMOVDR  // dr[d] = r[s]
+	OpMOVRD  // r[d] = dr[s]
+	OpMOVSEG // seg[d] = r[s]   (0=fs, 1=gs)
+	OpMOVRSEG
+	OpLOADFS // r = [fsbase + b + d8]
+	OpLTR    // tr = r
+	OpSTR    // r = tr
+
+	numOps
+)
+
+// Condition codes (x86 order/semantics; parity conditions are not
+// implemented, which leaves holes in the Jcc opcode rows).
+const (
+	CcO  = 0x0
+	CcNO = 0x1
+	CcB  = 0x2
+	CcAE = 0x3
+	CcE  = 0x4
+	CcNE = 0x5
+	CcBE = 0x6
+	CcA  = 0x7
+	CcS  = 0x8
+	CcNS = 0x9
+	CcL  = 0xC
+	CcGE = 0xD
+	CcLE = 0xE
+	CcG  = 0xF
+)
+
+var ccNames = map[uint8]string{
+	CcO: "o", CcNO: "no", CcB: "b", CcAE: "ae", CcE: "e", CcNE: "ne",
+	CcBE: "be", CcA: "a", CcS: "s", CcNS: "ns", CcL: "l", CcGE: "ge",
+	CcLE: "le", CcG: "g",
+}
+
+// CcName returns the condition-code suffix ("e", "ne", ...).
+func CcName(cc uint8) string {
+	if s, ok := ccNames[cc]; ok {
+		return s
+	}
+	return fmt.Sprintf("cc%d", cc)
+}
+
+// entry is one opcode-table row.
+type entry struct {
+	op     Op
+	format Format
+	cc     uint8 // condition code for OpJCC rows
+	cost   uint8 // cycle cost
+	name   string
+}
+
+// opTable maps the first instruction byte to its decoding. Undefined bytes
+// have op == OpInvalid and raise the Invalid Instruction exception.
+var opTable = buildOpTable()
+
+func buildOpTable() [256]entry {
+	var t [256]entry
+	def := func(b int, op Op, f Format, cost uint8, name string) {
+		if t[b].op != OpInvalid {
+			panic(fmt.Sprintf("cisc: opcode 0x%02x defined twice", b))
+		}
+		t[b] = entry{op: op, format: f, cost: cost, name: name}
+	}
+	defCC := func(b int, f Format, cc uint8, name string) {
+		t[b] = entry{op: OpJCC, format: f, cc: cc, cost: 2, name: name}
+	}
+
+	// 0x00-0x0F: register-register ALU.
+	def(0x00, OpADD, FRR, 1, "add")
+	def(0x01, OpSUB, FRR, 1, "sub")
+	def(0x02, OpAND, FRR, 1, "and")
+	def(0x03, OpOR, FRR, 1, "or")
+	def(0x04, OpXOR, FRR, 1, "xor")
+	def(0x05, OpCMP, FRR, 1, "cmp")
+	def(0x06, OpTEST, FRR, 1, "test")
+	def(0x07, OpMOV, FRR, 1, "mov")
+	def(0x08, OpIMUL, FRR, 4, "imul")
+	def(0x09, OpIDIV, FRR, 20, "idiv")
+	def(0x0A, OpMOD, FRR, 20, "mod")
+	def(0x0B, OpXCHG, FRR, 2, "xchg")
+	def(0x0C, OpSHL, FRR, 1, "shl")
+	def(0x0D, OpSHR, FRR, 1, "shr")
+	def(0x0E, OpSAR, FRR, 1, "sar")
+	def(0x0F, OpUD2, FNone, 1, "ud2")
+
+	// 0x10-0x17: register-imm32 ALU.
+	def(0x10, OpMOV, FRI32, 1, "mov")
+	def(0x11, OpADD, FRI32, 1, "add")
+	def(0x12, OpSUB, FRI32, 1, "sub")
+	def(0x13, OpAND, FRI32, 1, "and")
+	def(0x14, OpOR, FRI32, 1, "or")
+	def(0x15, OpXOR, FRI32, 1, "xor")
+	def(0x16, OpCMP, FRI32, 1, "cmp")
+	def(0x17, OpIMUL, FRI32, 4, "imul")
+	// 0x18-0x1F undefined.
+
+	// 0x20-0x2A: register-imm8 (sign-extended) ALU and shifts.
+	def(0x20, OpMOV, FRI8, 1, "mov")
+	def(0x21, OpADD, FRI8, 1, "add")
+	def(0x22, OpSUB, FRI8, 1, "sub")
+	def(0x23, OpAND, FRI8, 1, "and")
+	def(0x24, OpOR, FRI8, 1, "or")
+	def(0x25, OpXOR, FRI8, 1, "xor")
+	def(0x26, OpCMP, FRI8, 1, "cmp")
+	def(0x27, OpIMUL, FRI8, 4, "imul")
+	def(0x28, OpSHL, FRI8, 1, "shl")
+	def(0x29, OpSHR, FRI8, 1, "shr")
+	def(0x2A, OpSAR, FRI8, 1, "sar")
+	def(0x2B, OpTEST, FRI8, 1, "test")
+	// 0x2C-0x2F undefined.
+
+	// 0x30-0x3E: loads/stores with 8-bit displacement, LEA, indexed forms.
+	def(0x30, OpLD32, FMem8, 2, "mov")
+	def(0x31, OpLD16ZX, FMem8, 2, "movzw")
+	def(0x32, OpLD16SX, FMem8, 2, "movsw")
+	def(0x33, OpLD8ZX, FMem8, 2, "movzb")
+	def(0x34, OpLD8SX, FMem8, 2, "movsb")
+	def(0x35, OpLEA, FMem8, 1, "lea")
+	def(0x36, OpLD32IDX, FIdx, 2, "mov")
+	def(0x37, OpLEAIDX, FIdx, 1, "lea")
+	def(0x38, OpST32, FMem8, 2, "mov")
+	def(0x39, OpST16, FMem8, 2, "movw")
+	def(0x3A, OpST8, FMem8, 2, "movb")
+	def(0x3B, OpST32IDX, FIdx, 2, "mov")
+	def(0x3C, OpMOVMI8, FMI8, 2, "movl")
+	def(0x3D, OpCMPM, FMem8, 2, "cmp")
+	def(0x3E, OpADDM, FMem8, 2, "add")
+	// 0x3F undefined.
+
+	// 0x40-0x4F: inc/dec r (single byte).
+	for r := 0; r < 8; r++ {
+		def(0x40+r, OpINC, FOpReg, 1, "inc")
+		def(0x48+r, OpDEC, FOpReg, 1, "dec")
+	}
+
+	// 0x50-0x5F: push/pop r (single byte).
+	for r := 0; r < 8; r++ {
+		def(0x50+r, OpPUSH, FOpReg, 2, "push")
+		def(0x58+r, OpPOP, FOpReg, 2, "pop")
+	}
+
+	// 0x60-0x66: 32-bit displacement and absolute memory forms.
+	def(0x60, OpLD32, FMem32, 2, "mov")
+	def(0x61, OpST32, FMem32, 2, "mov")
+	def(0x62, OpLD8ZX, FMem32, 2, "movzb")
+	def(0x63, OpST8, FMem32, 2, "movb")
+	def(0x64, OpCMPLABS, FAbsI32, 3, "cmpl")
+	def(0x65, OpLDABS, FAbsR, 2, "mov")
+	def(0x66, OpSTABS, FAbsR, 2, "mov")
+	// 0x67-0x6F undefined.
+
+	// 0x70-0x7F: Jcc rel8 (0x7A/0x7B parity slots undefined).
+	for cc := 0; cc < 16; cc++ {
+		if cc == 0xA || cc == 0xB {
+			continue
+		}
+		defCC(0x70+cc, FRel8, uint8(cc), "j"+CcName(uint8(cc)))
+	}
+
+	// 0x80-0x8F: Jcc rel32.
+	for cc := 0; cc < 16; cc++ {
+		if cc == 0xA || cc == 0xB {
+			continue
+		}
+		defCC(0x80+cc, FRel32, uint8(cc), "j"+CcName(uint8(cc)))
+	}
+
+	// 0x90-0x9F: nop, xchg eax,r, flags and privileged control.
+	def(0x90, OpNOP, FNone, 1, "nop")
+	for r := 1; r < 8; r++ {
+		def(0x90+r, OpXCHGA, FOpReg, 2, "xchg")
+	}
+	def(0x98, OpPUSHF, FNone, 2, "pushf")
+	def(0x99, OpPOPF, FNone, 2, "popf")
+	def(0x9A, OpCLI, FNone, 1, "cli")
+	def(0x9B, OpSTI, FNone, 1, "sti")
+	def(0x9C, OpHLT, FNone, 1, "hlt")
+	def(0x9D, OpIRET, FNone, 6, "iret")
+	def(0x9E, OpCTXSW, FRR, 8, "ctxsw")
+	// 0x9F undefined.
+
+	// 0xA0-0xAC: system registers, segments, software interrupts.
+	def(0xA0, OpMOVCR, FRR, 4, "movcr")
+	def(0xA1, OpMOVRC, FRR, 4, "movrc")
+	def(0xA2, OpMOVDR, FRR, 4, "movdr")
+	def(0xA3, OpMOVRD, FRR, 4, "movrd")
+	def(0xA4, OpMOVSEG, FRR, 4, "movseg")
+	def(0xA5, OpMOVRSEG, FRR, 4, "movrseg")
+	def(0xA6, OpLOADFS, FMem8, 3, "movfs")
+	def(0xA8, OpLTR, FR, 4, "ltr")
+	def(0xA9, OpSTR, FR, 4, "str")
+	def(0xAA, OpINT, FI8, 8, "int")
+	def(0xAC, OpBOUND, FMem8, 3, "bound")
+	// 0xA7, 0xAB, 0xAD-0xAF undefined.
+
+	// 0xB0-0xBE: calls, jumps, unary register ops, widening moves.
+	def(0xB0, OpCALL, FRel32, 3, "call")
+	def(0xB1, OpCALLR, FR, 4, "call")
+	def(0xB2, OpJMP, FRel32, 2, "jmp")
+	def(0xB3, OpJMP, FRel8, 2, "jmp")
+	def(0xB4, OpJMPR, FR, 3, "jmp")
+	def(0xB5, OpPUSHI, FI32, 2, "push")
+	def(0xB6, OpPUSHI, FI8, 2, "push")
+	def(0xB7, OpSETCC, FRI8, 1, "set")
+	def(0xB8, OpNEG, FR, 1, "neg")
+	def(0xB9, OpNOT, FR, 1, "not")
+	def(0xBB, OpMOVZX8, FRR, 1, "movzx8")
+	def(0xBC, OpMOVSX8, FRR, 1, "movsx8")
+	def(0xBD, OpMOVZX16, FRR, 1, "movzx16")
+	def(0xBE, OpMOVSX16, FRR, 1, "movsx16")
+	// 0xBA, 0xBF undefined.
+
+	// 0xC0-0xC9: read-modify-write memory ALU, ret, leave.
+	def(0xC0, OpADDMS, FMem8, 3, "add")
+	def(0xC1, OpSUBMS, FMem8, 3, "sub")
+	def(0xC2, OpANDMS, FMem8, 3, "and")
+	def(0xC3, OpRET, FNone, 3, "ret")
+	def(0xC4, OpORMS, FMem8, 3, "or")
+	def(0xC5, OpXORMS, FMem8, 3, "xor")
+	def(0xC6, OpINCM, FMem8, 3, "incl")
+	def(0xC7, OpDECM, FMem8, 3, "decl")
+	def(0xC8, OpPUSHI, FI8, 2, "push")
+	def(0xC9, OpLEAVE, FNone, 2, "leave")
+	def(0xCD, OpINT, FI8, 8, "int")
+	def(0xCF, OpIRET, FNone, 6, "iret")
+	// 0xCA-0xCC, 0xCE stay undefined (far-return/int3 territory).
+
+	// The remaining rows mirror x86's densely populated one-byte map with
+	// alternate encodings of the common operations, so that nearly every
+	// flipped opcode byte still decodes to SOME valid instruction — the
+	// resynchronization property of Figures 7 and 14.
+	rrAlias := []struct {
+		op   Op
+		name string
+		cost uint8
+	}{
+		{OpMOV, "mov", 1}, {OpADD, "add", 1}, {OpSUB, "sub", 1},
+		{OpAND, "and", 1},
+	}
+	for i, e := range rrAlias {
+		def(0xD0+i, e.op, FRR, e.cost, e.name)
+	}
+	// 0xD4-0xDF undefined (the x87 escape rows).
+	riAlias := []struct {
+		op   Op
+		name string
+	}{
+		{OpMOV, "mov"}, {OpADD, "add"}, {OpSUB, "sub"}, {OpAND, "and"},
+	}
+	for i, e := range riAlias {
+		def(0xE0+i, e.op, FRI8, 1, e.name)
+	}
+	def(0xEC, OpPUSHI, FI32, 2, "push")
+	def(0xED, OpCALL, FRel32, 3, "call")
+	def(0xEE, OpJMP, FRel8, 2, "jmp")
+	def(0xEF, OpJMP, FRel32, 2, "jmp")
+	// 0xE4-0xEB undefined (a two-byte escape group on the real chip).
+	memAlias := []struct {
+		op   Op
+		name string
+	}{
+		{OpLD32, "mov"}, {OpST32, "mov"}, {OpLD8ZX, "movzb"}, {OpST8, "movb"},
+		{OpCMPM, "cmp"}, {OpADDM, "add"}, {OpADDMS, "add"}, {OpSUBMS, "sub"},
+	}
+	for i, e := range memAlias {
+		def(0xF0+i, e.op, FMem8, 2, e.name)
+	}
+	// 0xF8-0xFF undefined (the real map's group-5 / privileged tail).
+
+	// Fill a few of the smaller holes with further aliases (0x18-0x1F stay
+	// undefined, like the real map's segment-override escape cluster).
+	def(0x2C, OpIDIV, FRI8, 20, "idiv")
+	def(0x2D, OpMOD, FRI8, 20, "mod")
+	def(0x2E, OpNEG, FR, 1, "neg")
+	def(0x2F, OpNOT, FR, 1, "not")
+	def(0x3F, OpLD32, FMem8, 2, "mov")
+	def(0x67, OpLD16ZX, FMem32, 2, "movzw")
+	def(0x68, OpST16, FMem32, 2, "movw")
+	def(0x69, OpLD16SX, FMem32, 2, "movsw")
+	def(0x6A, OpLD8SX, FMem32, 2, "movsb")
+	// 0x6B-0x6F undefined.
+	def(0x9F, OpSTR, FR, 4, "str")
+	def(0xAD, OpPUSHF, FNone, 2, "pushf")
+	def(0xAE, OpPOPF, FNone, 2, "popf")
+	def(0xAF, OpBOUND, FMem8, 3, "bound")
+	def(0xBA, OpSETCC, FRI8, 1, "set")
+	def(0xBF, OpMOVSX16, FRR, 1, "movsx16")
+
+	return t
+}
+
+// Lookup returns the opcode-table entry for an instruction byte.
+func Lookup(b byte) (op Op, format Format, ok bool) {
+	e := &opTable[b]
+	return e.op, e.format, e.op != OpInvalid
+}
+
+// DefinedOpcodes returns how many of the 256 opcode bytes decode to a valid
+// instruction — the "density" of the encoding, which governs how often a
+// bit-flipped opcode still decodes (the P4 resynchronization phenomenon).
+func DefinedOpcodes() int {
+	n := 0
+	for i := range opTable {
+		if opTable[i].op != OpInvalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package cisc
+
+// SysReg describes one injectable system register: its name, bit width, and
+// accessors. The system-register campaign flips single bits through this
+// table, mirroring the paper's P4 targets ("flag register, control registers,
+// debug registers, stack pointer, segment registers fs and gs, and
+// memory-management registers").
+type SysReg struct {
+	Name string
+	Bits uint
+	Get  func(c *CPU) uint32
+	Set  func(c *CPU, v uint32)
+}
+
+// SystemRegisters returns the P4-class system-register file (about 20
+// registers, of which only a handful are architecturally live — the paper
+// found just 7 P4 registers contributing to crashes).
+func SystemRegisters() []SysReg {
+	regs := []SysReg{
+		{Name: "EFLAGS", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.Flags },
+			Set: func(c *CPU, v uint32) { c.Flags = v }},
+		{Name: "CR0", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.CR0 },
+			Set: func(c *CPU, v uint32) { c.CR0 = v }},
+		{Name: "CR2", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.CR2 },
+			Set: func(c *CPU, v uint32) { c.CR2 = v }},
+		{Name: "CR3", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.CR3 },
+			Set: func(c *CPU, v uint32) { c.CR3 = v }},
+		{Name: "ESP", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.Regs[ESP] },
+			Set: func(c *CPU, v uint32) { c.Regs[ESP] = v }},
+		{Name: "EIP", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.EIP },
+			Set: func(c *CPU, v uint32) { c.EIP = v }},
+		{Name: "FS", Bits: 16,
+			Get: func(c *CPU) uint32 { return c.FS },
+			Set: func(c *CPU, v uint32) { c.FS = v }},
+		{Name: "GS", Bits: 16,
+			Get: func(c *CPU) uint32 { return c.GS },
+			Set: func(c *CPU, v uint32) { c.GS = v }},
+		{Name: "TR", Bits: 16,
+			Get: func(c *CPU) uint32 { return c.TR },
+			Set: func(c *CPU, v uint32) { c.TR = v }},
+		{Name: "GDTR", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.GDTR },
+			Set: func(c *CPU, v uint32) { c.GDTR = v }},
+		{Name: "IDTR", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.IDTR },
+			Set: func(c *CPU, v uint32) { c.IDTR = v }},
+		{Name: "LDTR", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.LDTR },
+			Set: func(c *CPU, v uint32) { c.LDTR = v }},
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		regs = append(regs, SysReg{
+			Name: drName(i), Bits: 32,
+			Get: func(c *CPU) uint32 { return c.DR[i] },
+			Set: func(c *CPU, v uint32) { c.DR[i] = v },
+		})
+	}
+	regs = append(regs,
+		SysReg{Name: "DR6", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.DR6 },
+			Set: func(c *CPU, v uint32) { c.DR6 = v }},
+		SysReg{Name: "DR7", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.DR7 },
+			Set: func(c *CPU, v uint32) { c.DR7 = v }},
+		SysReg{Name: "SYSENTER_EIP", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.SysenterEIP },
+			Set: func(c *CPU, v uint32) { c.SysenterEIP = v }},
+		SysReg{Name: "SYSENTER_ESP", Bits: 32,
+			Get: func(c *CPU) uint32 { return c.SysenterESP },
+			Set: func(c *CPU, v uint32) { c.SysenterESP = v }},
+	)
+	return regs
+}
+
+func drName(i int) string {
+	return "DR" + string(rune('0'+i))
+}

@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"kfi/internal/core"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+)
+
+func smallStudy(t *testing.T) *core.StudyResult {
+	t.Helper()
+	study, err := core.Run(core.Config{
+		Seed: 11,
+		Counts: map[inject.Campaign]int{
+			inject.CampStack:  8,
+			inject.CampSysReg: 8,
+			inject.CampData:   8,
+			inject.CampCode:   8,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study
+}
+
+func TestStudyStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	study := smallStudy(t)
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		pr := study.PerPlatform[p]
+		if pr == nil {
+			t.Fatalf("no results for %v", p)
+		}
+		if pr.Golden == 0 {
+			t.Errorf("[%v] zero golden checksum", p)
+		}
+		for _, c := range core.Campaigns {
+			oc := pr.Outcomes[c]
+			if oc == nil {
+				t.Fatalf("[%v] missing campaign %v", p, c)
+			}
+			if oc.Counts.Injected != 8 {
+				t.Errorf("[%v/%v] injected %d, want 8", p, c, oc.Counts.Injected)
+			}
+		}
+	}
+	// Both platforms must agree on the golden checksum (the workload is
+	// architecture-independent by construction).
+	if study.PerPlatform[isa.CISC].Golden != study.PerPlatform[isa.RISC].Golden {
+		t.Errorf("platform goldens differ: 0x%x vs 0x%x",
+			study.PerPlatform[isa.CISC].Golden, study.PerPlatform[isa.RISC].Golden)
+	}
+}
+
+func TestStudyRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	study := smallStudy(t)
+	table := study.Table(isa.CISC)
+	for _, want := range []string{"Stack", "System Registers", "Data", "Code", "Total"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if fig := study.CauseFigure(isa.RISC, 0); !strings.Contains(fig, "Overall") {
+		t.Errorf("overall figure: %q", fig)
+	}
+	if fig := study.CauseFigure(isa.RISC, inject.CampCode); !strings.Contains(fig, "Code") {
+		t.Errorf("campaign figure: %q", fig)
+	}
+	lat := study.LatencyFigure(inject.CampCode)
+	for _, want := range []string{"<3k", "P4-class", "G4-class", "crashes"} {
+		if !strings.Contains(lat, want) {
+			t.Errorf("latency figure missing %q:\n%s", want, lat)
+		}
+	}
+}
+
+func TestPaperFractionScalesCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	study, err := core.Run(core.Config{
+		Platforms:     []isa.Platform{isa.CISC},
+		Campaigns:     []inject.Campaign{inject.CampCode},
+		PaperFraction: 0.005, // 1790 * 0.005 ≈ 8
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := study.PerPlatform[isa.CISC].Outcomes[inject.CampCode].Counts.Injected
+	if got != 8 {
+		t.Errorf("paper-fraction count = %d, want 8", got)
+	}
+}
+
+func TestPaperCountsMatchPaperTotals(t *testing.T) {
+	var p4, g4 int
+	for _, n := range core.PaperCounts[isa.CISC] {
+		p4 += n
+	}
+	for _, n := range core.PaperCounts[isa.RISC] {
+		g4 += n
+	}
+	if p4 != 61799 {
+		t.Errorf("P4 total = %d, want 61799 (Table 5)", p4)
+	}
+	if g4 != 55172 {
+		t.Errorf("G4 total = %d, want 55172 (Table 6)", g4)
+	}
+	if p4+g4 < 115_000 {
+		t.Errorf("study total = %d, want the paper's >115,000", p4+g4)
+	}
+}
+
+func TestBuildSystemScaleValidation(t *testing.T) {
+	sys, err := core.BuildSystem(isa.CISC, core.BuildOptions{Scale: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Golden == 0 || sys.Profile.Total == 0 {
+		t.Error("defaulted scale produced an empty system")
+	}
+}
+
+func TestRunCampaignOnReusesSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	system, err := core.BuildSystem(isa.CISC, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two campaigns against the same pre-built system — the benchmark
+	// harness path — must produce full, independent outcome sets.
+	oc1, err := core.RunCampaignOn(system, inject.CampCode, 6, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc2, err := core.RunCampaignOn(system, inject.CampStack, 6, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc1.Counts.Injected != 6 || oc2.Counts.Injected != 6 {
+		t.Errorf("injected %d / %d, want 6 each", oc1.Counts.Injected, oc2.Counts.Injected)
+	}
+	if oc1.Spec.Campaign != inject.CampCode || oc2.Spec.Campaign != inject.CampStack {
+		t.Errorf("campaign labels %v / %v", oc1.Spec.Campaign, oc2.Spec.Campaign)
+	}
+	// Determinism across a reused image: same spec, same outcome sequence.
+	oc3, err := core.RunCampaignOn(system, inject.CampCode, 6, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oc1.Results {
+		if oc1.Results[i].Outcome != oc3.Results[i].Outcome {
+			t.Fatalf("rerun diverged at injection %d: %v vs %v",
+				i, oc1.Results[i].Outcome, oc3.Results[i].Outcome)
+		}
+	}
+}
+
+func TestSensitiveRegistersOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	study, err := core.Run(core.Config{
+		Seed:      888,
+		Campaigns: []inject.Campaign{inject.CampSysReg},
+		Counts:    map[inject.Campaign]int{inject.CampSysReg: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		regs := study.SensitiveRegisters(p)
+		seen := make(map[string]bool)
+		for _, r := range regs {
+			if r == "" {
+				t.Errorf("[%v] empty register name", p)
+			}
+			if seen[r] {
+				t.Errorf("[%v] duplicate register %q", p, r)
+			}
+			seen[r] = true
+		}
+	}
+	// A study without a register campaign reports none.
+	empty, err := core.Run(core.Config{
+		Seed:      1,
+		Campaigns: []inject.Campaign{inject.CampCode},
+		Counts:    map[inject.Campaign]int{inject.CampCode: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.SensitiveRegisters(isa.CISC); got != nil {
+		t.Errorf("no sysreg campaign but SensitiveRegisters = %v", got)
+	}
+}
+
+func TestBuildOptionsOverridesPlumbed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds systems")
+	}
+	// A tiny watchdog must hang every run long before completion.
+	sys, err := core.BuildSystem(isa.CISC, core.BuildOptions{Watchdog: 1})
+	if err == nil {
+		_ = sys
+		t.Fatal("golden run under a 1-cycle watchdog should fail system build")
+	}
+	// A generous override still builds and completes.
+	sys, err = core.BuildSystem(isa.CISC, core.BuildOptions{
+		Watchdog:    200_000_000,
+		TimerPeriod: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Golden == 0 {
+		t.Error("no golden checksum under overridden timer")
+	}
+}

@@ -1,0 +1,227 @@
+// Package crashnet implements the remote crash-data collection path from the
+// paper's NFTAPE extension: when the kernel crashes, the embedded crash
+// handler cannot trust the local filesystem, so it packages the failure data
+// (crash cause, cycles-to-crash, frame pointers before and after injection)
+// as a UDP-like packet and hands it directly to the network device, which
+// delivers it to a remote collector on the control host.
+//
+// Two transports are provided: an in-process channel (the default used by
+// campaigns) and a real UDP transport over the loopback interface, matching
+// the paper's deployment.
+package crashnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"kfi/internal/isa"
+)
+
+// Packet is one crash report. The wire encoding is a fixed-size big-endian
+// record (a "UDP-like packet" in the paper's words).
+type Packet struct {
+	Seq       uint32
+	Platform  isa.Platform
+	Cause     isa.CrashCause
+	PC        uint32
+	FaultAddr uint32
+	SP        uint32
+	Cycles    uint64 // cycles-to-crash measured by the performance counter
+	FramePtrs [8]uint32
+}
+
+const packetSize = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8*4
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, packetSize)
+	be := binary.BigEndian
+	be.PutUint32(buf[0:], p.Seq)
+	be.PutUint32(buf[4:], uint32(p.Platform))
+	be.PutUint32(buf[8:], uint32(p.Cause))
+	be.PutUint32(buf[12:], p.PC)
+	be.PutUint32(buf[16:], p.FaultAddr)
+	be.PutUint32(buf[20:], p.SP)
+	be.PutUint64(buf[24:], p.Cycles)
+	for i, fp := range p.FramePtrs {
+		be.PutUint32(buf[32+4*i:], fp)
+	}
+	return buf
+}
+
+// Unmarshal decodes a packet.
+func Unmarshal(buf []byte) (Packet, error) {
+	if len(buf) < packetSize {
+		return Packet{}, fmt.Errorf("crashnet: short packet (%d bytes)", len(buf))
+	}
+	be := binary.BigEndian
+	var p Packet
+	p.Seq = be.Uint32(buf[0:])
+	p.Platform = isa.Platform(be.Uint32(buf[4:]))
+	p.Cause = isa.CrashCause(be.Uint32(buf[8:]))
+	p.PC = be.Uint32(buf[12:])
+	p.FaultAddr = be.Uint32(buf[16:])
+	p.SP = be.Uint32(buf[20:])
+	p.Cycles = be.Uint64(buf[24:])
+	for i := range p.FramePtrs {
+		p.FramePtrs[i] = be.Uint32(buf[32+4*i:])
+	}
+	return p, nil
+}
+
+// Sender ships crash packets toward a collector.
+type Sender interface {
+	Send(p Packet) error
+}
+
+// Collector receives crash packets.
+type Collector interface {
+	// Recv returns the next packet, or false when none is pending.
+	Recv() (Packet, bool)
+	// Close releases transport resources.
+	Close() error
+}
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("crashnet: closed")
+
+// --- In-memory transport ---
+
+// Channel is an in-process transport implementing both Sender and Collector.
+// The zero value is not usable; construct with NewChannel.
+type Channel struct {
+	mu     sync.Mutex
+	queue  []Packet
+	closed bool
+}
+
+var (
+	_ Sender    = (*Channel)(nil)
+	_ Collector = (*Channel)(nil)
+)
+
+// NewChannel returns an in-memory crash-packet channel.
+func NewChannel() *Channel { return &Channel{} }
+
+// Send enqueues a packet.
+func (c *Channel) Send(p Packet) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.queue = append(c.queue, p)
+	return nil
+}
+
+// Recv dequeues the next packet.
+func (c *Channel) Recv() (Packet, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return Packet{}, false
+	}
+	p := c.queue[0]
+	c.queue = c.queue[1:]
+	return p, true
+}
+
+// Close marks the channel closed.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// --- UDP transport (loopback by default, as in the paper's setup) ---
+
+// UDPCollector listens for crash packets on a UDP socket.
+type UDPCollector struct {
+	conn *net.UDPConn
+}
+
+// NewUDPCollector binds a UDP listener; addr "" picks a loopback port.
+func NewUDPCollector(addr string) (*UDPCollector, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("crashnet: resolve: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("crashnet: listen: %w", err)
+	}
+	return &UDPCollector{conn: conn}, nil
+}
+
+// Addr returns the bound address for senders.
+func (u *UDPCollector) Addr() string { return u.conn.LocalAddr().String() }
+
+// Recv drains one already-arrived packet, returning false when none is
+// buffered (it waits at most a few milliseconds, never indefinitely).
+func (u *UDPCollector) Recv() (Packet, bool) {
+	buf := make([]byte, packetSize)
+	if err := u.conn.SetReadDeadline(drainDeadline()); err != nil {
+		return Packet{}, false
+	}
+	n, _, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return Packet{}, false
+	}
+	p, err := Unmarshal(buf[:n])
+	if err != nil {
+		return Packet{}, false
+	}
+	return p, true
+}
+
+// RecvWait blocks until a packet arrives or the socket closes.
+func (u *UDPCollector) RecvWait() (Packet, error) {
+	buf := make([]byte, packetSize)
+	if err := u.conn.SetReadDeadline(noDeadline()); err != nil {
+		return Packet{}, err
+	}
+	n, _, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return Packet{}, err
+	}
+	return Unmarshal(buf[:n])
+}
+
+// Close closes the socket.
+func (u *UDPCollector) Close() error { return u.conn.Close() }
+
+// UDPSender sends crash packets to a collector address.
+type UDPSender struct {
+	conn *net.UDPConn
+}
+
+var _ Sender = (*UDPSender)(nil)
+
+// NewUDPSender dials the collector.
+func NewUDPSender(addr string) (*UDPSender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("crashnet: resolve: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("crashnet: dial: %w", err)
+	}
+	return &UDPSender{conn: conn}, nil
+}
+
+// Send transmits one packet.
+func (s *UDPSender) Send(p Packet) error {
+	_, err := s.conn.Write(p.Marshal())
+	return err
+}
+
+// Close closes the socket.
+func (s *UDPSender) Close() error { return s.conn.Close() }

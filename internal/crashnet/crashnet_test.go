@@ -1,0 +1,188 @@
+package crashnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kfi/internal/isa"
+)
+
+func samplePacket() Packet {
+	return Packet{
+		Seq:       7,
+		Platform:  isa.RISC,
+		Cause:     isa.CauseBadArea,
+		PC:        0xC008D7A8,
+		FaultAddr: 0x4D,
+		SP:        0x00171F40,
+		Cycles:    1592,
+		FramePtrs: [8]uint32{0xC0119CB2, 0xC0107784, 0xC010799A, 0xC0108067, 1, 2, 3, 4},
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := samplePacket()
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: got %+v, want %+v", got, p)
+	}
+}
+
+func TestUnmarshalShortPacket(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("short packet accepted")
+	}
+}
+
+// Property: Marshal/Unmarshal is the identity for arbitrary packets.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(seq, pc, fa, sp uint32, cycles uint64, fps [8]uint32) bool {
+		p := Packet{Seq: seq, Platform: isa.CISC, Cause: isa.CauseBadPaging,
+			PC: pc, FaultAddr: fa, SP: sp, Cycles: cycles, FramePtrs: fps}
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelTransport(t *testing.T) {
+	ch := NewChannel()
+	if _, ok := ch.Recv(); ok {
+		t.Error("empty channel returned a packet")
+	}
+	p1, p2 := samplePacket(), samplePacket()
+	p2.Seq = 8
+	if err := ch.Send(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send(p2); err != nil {
+		t.Fatal(err)
+	}
+	got1, ok := ch.Recv()
+	if !ok || got1.Seq != 7 {
+		t.Errorf("first recv = %+v %v", got1, ok)
+	}
+	got2, ok := ch.Recv()
+	if !ok || got2.Seq != 8 {
+		t.Errorf("second recv = %+v %v", got2, ok)
+	}
+	if _, ok := ch.Recv(); ok {
+		t.Error("drained channel returned a packet")
+	}
+}
+
+func TestChannelClosed(t *testing.T) {
+	ch := NewChannel()
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send(samplePacket()); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed channel: %v, want ErrClosed", err)
+	}
+}
+
+func TestUDPTransport(t *testing.T) {
+	col, err := NewUDPCollector("")
+	if err != nil {
+		t.Skipf("no loopback UDP available: %v", err)
+	}
+	defer col.Close()
+
+	snd, err := NewUDPSender(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	p := samplePacket()
+	if err := snd.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := col.RecvWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("UDP round trip: got %+v, want %+v", got, p)
+	}
+	// Non-blocking receive on an empty socket reports nothing.
+	if _, ok := col.Recv(); ok {
+		t.Error("empty socket returned a packet")
+	}
+}
+
+func TestUDPCollectorDrainAndErrors(t *testing.T) {
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	snd, err := NewUDPSender(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	// Drain of an empty socket: no packet, no block.
+	if _, ok := col.Recv(); ok {
+		t.Error("empty drain returned a packet")
+	}
+	// Buffered packets must be drained by Recv (regression: an expired
+	// read deadline made buffered datagrams undeliverable).
+	want := Packet{Seq: 9, Platform: isa.RISC, Cause: isa.CauseAlignment, Cycles: 12345}
+	if err := snd.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var got Packet
+	ok := false
+	for time.Now().Before(deadline) {
+		if got, ok = col.Recv(); ok {
+			break
+		}
+	}
+	if !ok || got.Seq != 9 || got.Cause != isa.CauseAlignment || got.Cycles != 12345 {
+		t.Fatalf("drained %+v ok=%v", got, ok)
+	}
+	// A malformed datagram is dropped, not returned.
+	raw, err := net.Dial("udp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, ok := col.Recv(); ok {
+			t.Fatal("malformed datagram surfaced as a packet")
+		}
+	}
+}
+
+func TestUDPAddressErrors(t *testing.T) {
+	if _, err := NewUDPCollector("not-an-addr"); err == nil {
+		t.Error("bad collector address accepted")
+	}
+	if _, err := NewUDPSender("not-an-addr"); err == nil {
+		t.Error("bad sender address accepted")
+	}
+	// RecvWait on a closed socket errors instead of hanging.
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+	if _, err := col.RecvWait(); err == nil {
+		t.Error("RecvWait on closed socket returned nil error")
+	}
+}

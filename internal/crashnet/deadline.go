@@ -1,0 +1,12 @@
+package crashnet
+
+import "time"
+
+// drainDeadline returns a near-immediate deadline for Recv. It must lie
+// slightly in the future: Go fails reads outright once a deadline has
+// already expired, even when datagrams are sitting in the socket buffer, so
+// an exactly-now deadline would make buffered packets undeliverable.
+func drainDeadline() time.Time { return time.Now().Add(5 * time.Millisecond) }
+
+// noDeadline clears the read deadline.
+func noDeadline() time.Time { return time.Time{} }

@@ -1,0 +1,310 @@
+package inject_test
+
+import (
+	"testing"
+
+	"kfi/internal/campaign"
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/workload"
+)
+
+func buildSystem(t *testing.T, p isa.Platform) (*kernel.System, uint32) {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := campaign.Golden(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, golden
+}
+
+func TestCampaignStrings(t *testing.T) {
+	tests := map[inject.Campaign]string{
+		inject.CampStack:  "Stack",
+		inject.CampSysReg: "System Registers",
+		inject.CampData:   "Data",
+		inject.CampCode:   "Code",
+	}
+	for c, want := range tests {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	tests := map[inject.Outcome]string{
+		inject.ONotActivated:  "not-activated",
+		inject.ONotManifested: "not-manifested",
+		inject.OFailSilence:   "fail-silence-violation",
+		inject.OCrash:         "crash",
+		inject.OHangUnknown:   "hang/unknown",
+	}
+	for o, want := range tests {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestCodeBreakpointNeverReached(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	// A breakpoint in the middle of an instruction never matches any fetch
+	// address, so the pre-generated error is never injected.
+	fr, ok := sys.KernelImage.FuncAt(sys.KernelImage.Sym("memcpy"))
+	if !ok {
+		t.Fatal("memcpy missing")
+	}
+	// The prologue is push ebp (1 byte) then mov ebp,esp (2 bytes), so
+	// Start+2 is inside the mov and never matches a fetch.
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampCode,
+		Addr:     fr.Start + 2, // mid-instruction: unreachable
+		Bit:      0,
+	}, golden)
+	if res.Outcome != inject.ONotActivated {
+		t.Errorf("outcome = %v, want not-activated", res.Outcome)
+	}
+	if res.Activated {
+		t.Error("marked activated without the breakpoint firing")
+	}
+	if res.Checksum != golden {
+		t.Errorf("untouched run checksum 0x%x, want golden 0x%x", res.Checksum, golden)
+	}
+}
+
+func TestDelayedInjectionAfterCompletion(t *testing.T) {
+	sys, golden := buildSystem(t, isa.RISC)
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampStack,
+		ProcSlot: 2,
+		StackPos: 123,
+		Bit:      1,
+		Delay:    1 << 40, // far beyond the benchmark's end
+	}, golden)
+	if res.Outcome != inject.ONotActivated {
+		t.Errorf("outcome = %v, want not-activated (never injected)", res.Outcome)
+	}
+}
+
+func TestDataWriteReinjection(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	// jiffies is written by every timer tick: the data breakpoint must see
+	// the write, the injector must re-insert the flip, and the error stays
+	// live (activated).
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampData,
+		Addr:     sys.KernelImage.Sym("jiffies"),
+		Bit:      0,
+	}, golden)
+	if !res.Activated {
+		t.Fatalf("jiffies flip not activated (outcome %v)", res.Outcome)
+	}
+	if res.Outcome == inject.ONotActivated {
+		t.Error("outcome contradicts activation")
+	}
+}
+
+func TestCodeErrorPersistsAcrossCalls(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	// Flip a bit in csum_partial's loop; whatever the outcome, the flip
+	// must have been applied exactly at the breakpoint (activated) and the
+	// checksum comparison must classify it.
+	fr, _ := sys.KernelImage.FuncAt(sys.KernelImage.Sym("csum_partial"))
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampCode,
+		Addr:     fr.Start,
+		ByteOff:  0,
+		Bit:      3,
+		Func:     "csum_partial",
+	}, golden)
+	if !res.Activated {
+		t.Fatalf("hot-function breakpoint did not fire (outcome %v)", res.Outcome)
+	}
+	switch res.Outcome {
+	case inject.ONotManifested, inject.OFailSilence, inject.OCrash, inject.OHangUnknown:
+	default:
+		t.Errorf("unexpected outcome %v", res.Outcome)
+	}
+}
+
+func TestSysRegActivationUnknown(t *testing.T) {
+	sys, golden := buildSystem(t, isa.RISC)
+	regs := sys.Machine.SystemRegisters()
+	idx := -1
+	for i, r := range regs {
+		if r.Name == "PVR" { // inert: processor version register
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("PVR not in register file")
+	}
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampSysReg,
+		Reg:      idx,
+		RegName:  "PVR",
+		Bit:      5,
+		Delay:    10_000,
+	}, golden)
+	if res.ActivationKnown {
+		t.Error("system-register activation must be unobservable")
+	}
+	if res.Outcome != inject.ONotManifested {
+		t.Errorf("PVR flip outcome = %v, want not-manifested (inert register)", res.Outcome)
+	}
+}
+
+func TestMSRTranslationFlipCrashesG4(t *testing.T) {
+	sys, golden := buildSystem(t, isa.RISC)
+	regs := sys.Machine.SystemRegisters()
+	idx := -1
+	for i, r := range regs {
+		if r.Name == "MSR" {
+			idx = i
+		}
+	}
+	// MSR bit 4 is DR (data translation): flipping it off machine-checks
+	// almost immediately (paper §5.2).
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampSysReg,
+		Reg:      idx,
+		RegName:  "MSR",
+		Bit:      4,
+		Delay:    200_000,
+	}, golden)
+	if res.Outcome != inject.OCrash && res.Outcome != inject.OHangUnknown {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+	if res.Outcome == inject.OCrash {
+		if res.Cause != isa.CauseMachineCheck {
+			t.Errorf("cause = %v, want machine check", res.Cause)
+		}
+		if res.Latency > 50_000 {
+			t.Errorf("latency = %d, want nearly immediate", res.Latency)
+		}
+	}
+}
+
+func TestResolvedStackAddressRecorded(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampStack,
+		ProcSlot: 1, // kupdate
+		StackPos: 99,
+		Bit:      2,
+		Delay:    300_000,
+	}, golden)
+	region, _ := sys.Machine.Mem.RegionByName("kstack1")
+	if res.Target.Addr < region.Start || res.Target.Addr >= region.End {
+		t.Errorf("resolved stack address 0x%x outside kstack1 [0x%x,0x%x)",
+			res.Target.Addr, region.Start, region.End)
+	}
+}
+
+func TestBurstFlipsAdjacentBits(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	// A 4-bit burst on a quiet BSS word: read the byte back right after the
+	// pre-run flip via a zero-delay data injection that is never activated.
+	addr := sys.KernelImage.Sym("zone_reserve")
+	before := sys.Machine.Mem.RawRead(addr, 1)
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampData,
+		Addr:     addr,
+		Bit:      2,
+		Burst:    4,
+	}, golden)
+	// zone_reserve is never touched by the benchmark: the flipped bits must
+	// survive the whole run unchanged.
+	after := sys.Machine.Mem.RawRead(addr, 1)
+	if res.Outcome != inject.ONotActivated {
+		t.Fatalf("outcome %v, want not-activated for reserve memory", res.Outcome)
+	}
+	want := before ^ (0b1111 << 2)
+	if after != want {
+		t.Errorf("burst flip: byte 0x%02X -> 0x%02X, want 0x%02X", before, after, want)
+	}
+}
+
+func TestBurstWrapsWithinByte(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	addr := sys.KernelImage.Sym("zone_reserve") + 1
+	before := sys.Machine.Mem.RawRead(addr, 1)
+	_ = inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampData,
+		Addr:     addr,
+		Bit:      6,
+		Burst:    4, // bits 6, 7, 0, 1
+	}, golden)
+	after := sys.Machine.Mem.RawRead(addr, 1)
+	want := before ^ 0b11000011
+	if after != want {
+		t.Errorf("wrapping burst: 0x%02X -> 0x%02X, want 0x%02X", before, after, want)
+	}
+}
+
+func TestBurstZeroAndOneAreIdentical(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	fr, _ := sys.KernelImage.FuncAt(sys.KernelImage.Sym("memcpy"))
+	base := inject.Target{
+		Campaign: inject.CampCode,
+		Addr:     fr.Start,
+		ByteOff:  0,
+		Bit:      3,
+		Func:     "memcpy",
+	}
+	r0 := inject.RunOne(sys, base, golden)
+	b1 := base
+	b1.Burst = 1
+	r1 := inject.RunOne(sys, b1, golden)
+	if r0.Outcome != r1.Outcome || r0.Cause != r1.Cause || r0.Checksum != r1.Checksum {
+		t.Errorf("burst 0 vs 1 diverged: %v/%v vs %v/%v",
+			r0.Outcome, r0.Cause, r1.Outcome, r1.Cause)
+	}
+}
+
+func TestBurstSysRegMask(t *testing.T) {
+	sys, golden := buildSystem(t, isa.CISC)
+	// Find a register that tolerates corruption observationally: use the
+	// scratch-free approach of injecting and reading the register list by
+	// name both before and after RunOne's reboot is not possible (Reboot
+	// restores state), so instead verify via a 2-bit burst on a register
+	// and check the run still classifies into a defined outcome.
+	regs := sys.Machine.SystemRegisters()
+	idx := -1
+	for i, r := range regs {
+		if r.Name == "CR3" || r.Name == "DR6" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampSysReg,
+		Reg:      idx,
+		RegName:  regs[idx].Name,
+		Bit:      30,
+		Burst:    4, // bits 30, 31, 0, 1 of a 32-bit register
+		Delay:    9_000,
+	}, golden)
+	switch res.Outcome {
+	case inject.ONotManifested, inject.OFailSilence, inject.OCrash, inject.OHangUnknown, inject.ONotActivated:
+	default:
+		t.Errorf("unclassified outcome %v", res.Outcome)
+	}
+	if res.ActivationKnown {
+		t.Error("sysreg activation must be unknown (paper footnote 1)")
+	}
+}

@@ -1,0 +1,135 @@
+package isa
+
+// BreakKind distinguishes the two breakpoint flavors used by the injection
+// campaigns: instruction breakpoints fire before the instruction at the
+// target address executes; data breakpoints fire after a load or store
+// touches the watched address range.
+type BreakKind int
+
+// Breakpoint kinds.
+const (
+	// BreakInstruction fires before executing the instruction at Addr.
+	BreakInstruction BreakKind = iota + 1
+	// BreakData fires after a data read or write overlapping [Addr, Addr+Len).
+	BreakData
+)
+
+// DataAccess describes how a data breakpoint was triggered.
+type DataAccess int
+
+// Data access directions.
+const (
+	// AccessRead reports that the watched location was read.
+	AccessRead DataAccess = iota + 1
+	// AccessWrite reports that the watched location was written.
+	AccessWrite
+)
+
+// Breakpoint is one entry in the processor's debug-register file. Real
+// processors provide a handful of such registers (DR0-DR3 on the P4; IABR and
+// DABR on the G4); the injector needs only one of each kind at a time but the
+// unit supports several for generality.
+type Breakpoint struct {
+	Kind BreakKind
+	Addr uint32
+	Len  uint32 // watched byte length for data breakpoints (1, 2, or 4)
+
+	// Enabled gates the breakpoint without clearing its configuration,
+	// mirroring the DR7 local-enable bits.
+	Enabled bool
+}
+
+// DebugUnit models the processor's debug-register facility. It is consulted
+// by the execution engine on every instruction fetch and data access. The
+// zero value is an empty, usable unit.
+type DebugUnit struct {
+	slots [4]Breakpoint
+}
+
+// Set installs a breakpoint into the given slot (0..3) and enables it.
+func (d *DebugUnit) Set(slot int, bp Breakpoint) {
+	bp.Enabled = true
+	if bp.Kind == BreakData && bp.Len == 0 {
+		bp.Len = 4
+	}
+	d.slots[slot] = bp
+}
+
+// Clear disables and erases the breakpoint in the given slot.
+func (d *DebugUnit) Clear(slot int) {
+	d.slots[slot] = Breakpoint{}
+}
+
+// ClearAll erases every slot.
+func (d *DebugUnit) ClearAll() {
+	d.slots = [4]Breakpoint{}
+}
+
+// Get returns the breakpoint configured in the given slot.
+func (d *DebugUnit) Get(slot int) Breakpoint {
+	return d.slots[slot]
+}
+
+// HitInstruction reports the first enabled instruction-breakpoint slot whose
+// address equals pc, or -1 if none match.
+func (d *DebugUnit) HitInstruction(pc uint32) int {
+	for i := range d.slots {
+		bp := &d.slots[i]
+		if bp.Enabled && bp.Kind == BreakInstruction && bp.Addr == pc {
+			return i
+		}
+	}
+	return -1
+}
+
+// HitData reports the first enabled data-breakpoint slot overlapping the
+// access [addr, addr+size), or -1 if none match.
+func (d *DebugUnit) HitData(addr, size uint32) int {
+	for i := range d.slots {
+		bp := &d.slots[i]
+		if !bp.Enabled || bp.Kind != BreakData {
+			continue
+		}
+		if addr < bp.Addr+bp.Len && bp.Addr < addr+size {
+			return i
+		}
+	}
+	return -1
+}
+
+// Armed reports whether any breakpoint of the given kind is enabled. The
+// execution engine uses this to skip per-access checks when no campaign is
+// active.
+func (d *DebugUnit) Armed(kind BreakKind) bool {
+	for i := range d.slots {
+		if d.slots[i].Enabled && d.slots[i].Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleCounter is the performance-monitoring counter used to measure
+// cycles-to-crash. It advances by the per-instruction cost table of the
+// executing ISA plus the fixed exception-handling stage costs.
+type CycleCounter struct {
+	cycles uint64
+	mark   uint64
+}
+
+// Advance adds n cycles.
+func (c *CycleCounter) Advance(n uint64) { c.cycles += n }
+
+// Cycles returns the total cycles since reset.
+func (c *CycleCounter) Cycles() uint64 { return c.cycles }
+
+// Mark records the current cycle count; Since returns cycles elapsed since
+// the most recent Mark. The injector calls Mark at error activation and
+// Since at crash time, yielding the paper's cycles-to-crash latency.
+func (c *CycleCounter) Mark() { c.mark = c.cycles }
+
+// Since returns the cycles elapsed since the last Mark.
+func (c *CycleCounter) Since() uint64 { return c.cycles - c.mark }
+
+// Reset zeroes the counter and its mark.
+func (c *CycleCounter) Reset() { c.cycles, c.mark = 0, 0 }

@@ -1,0 +1,41 @@
+package isa
+
+// EventKind classifies what stopped or interrupted CPU execution. Both
+// processor cores report the same event vocabulary so the machine layer and
+// the injector can drive either platform.
+type EventKind int
+
+// Event kinds returned by a core's Step.
+const (
+	// EvNone means the instruction retired normally.
+	EvNone EventKind = iota
+	// EvException reports a hardware exception (Cause and FaultAddr valid).
+	EvException
+	// EvSyscall reports the software-interrupt / system-call instruction
+	// (SysNo holds the syscall number register).
+	EvSyscall
+	// EvHalt reports the halt/idle instruction.
+	EvHalt
+	// EvInstrBreak reports an armed instruction breakpoint at the PC; the
+	// instruction has NOT executed yet.
+	EvInstrBreak
+	// EvDataBreak reports a data breakpoint hit; the instruction HAS
+	// completed (trap semantics, as on real debug registers).
+	EvDataBreak
+	// EvCtxSw reports the context-switch primitive (Prev/Next hold the
+	// outgoing and incoming process-descriptor pointers).
+	EvCtxSw
+)
+
+// Event describes why a core's Step returned.
+type Event struct {
+	Kind      EventKind
+	Cause     CrashCause
+	FaultAddr uint32
+	Slot      int
+	Access    DataAccess
+	BreakAddr uint32
+	SysNo     uint32
+	Prev      uint32
+	Next      uint32
+}

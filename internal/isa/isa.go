@@ -1,0 +1,183 @@
+// Package isa defines the architecture-neutral vocabulary shared by the two
+// simulated processors: platform identifiers, privilege modes, crash causes,
+// debug (breakpoint) units, and the cycle counter used for crash-latency
+// measurements.
+//
+// The two concrete ISAs live in internal/cisc (the "P4-class" processor:
+// variable-length instructions, 8 general-purpose registers, 8/16/32-bit
+// memory operands) and internal/risc (the "G4-class" processor: fixed 32-bit
+// instructions, 32 general-purpose registers, word-oriented memory access).
+package isa
+
+import "fmt"
+
+// Platform identifies one of the two simulated processor architectures.
+type Platform int
+
+// Platform values. They deliberately mirror the paper's two targets.
+const (
+	// CISC is the Pentium 4-class processor: variable-length instruction
+	// encoding, eight general-purpose registers, byte/halfword/word memory
+	// operands, and no architectural stack-overflow detection.
+	CISC Platform = iota + 1
+	// RISC is the PowerPC G4-class processor: fixed 32-bit instruction
+	// encoding, thirty-two general-purpose registers, word-oriented memory
+	// access, and a kernel stack-overflow checking wrapper on the exception
+	// entry path.
+	RISC
+)
+
+// String returns the human-readable platform name used in reports.
+func (p Platform) String() string {
+	switch p {
+	case CISC:
+		return "P4-class (CISC)"
+	case RISC:
+		return "G4-class (RISC)"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Short returns the compact platform tag used in tables and filenames.
+func (p Platform) Short() string {
+	switch p {
+	case CISC:
+		return "p4"
+	case RISC:
+		return "g4"
+	default:
+		return "??"
+	}
+}
+
+// Mode is the processor privilege mode.
+type Mode int
+
+// Privilege modes.
+const (
+	// KernelMode runs with full privileges; faults here crash the system.
+	KernelMode Mode = iota + 1
+	// UserMode runs workload programs; faults here kill the process only.
+	UserMode
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case KernelMode:
+		return "kernel"
+	case UserMode:
+		return "user"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// CrashCause is the crash subcategory recorded by the crash handler. The
+// first group corresponds to the paper's Table 3 (Pentium 4); the second to
+// Table 4 (PowerPC G4). A given machine only ever reports causes from its own
+// platform's group.
+type CrashCause int
+
+// Crash causes, Table 3 (CISC/P4) then Table 4 (RISC/G4).
+const (
+	CauseNone CrashCause = iota
+
+	// CISC (Table 3)
+	CauseNULLPointer       // kernel NULL pointer de-reference
+	CauseBadPaging         // page fault on a bad (non-NULL) page
+	CauseInvalidInstr      // undefined opcode executed
+	CauseGeneralProtection // segment limit / read-only write / bad selector
+	CauseKernelPanic       // operating system detected an error
+	CauseInvalidTSS        // task-state segment failure (NT-bit chains)
+	CauseDivideError       // math error
+	CauseBoundsTrap        // bounds checking error
+
+	// RISC (Table 4)
+	CauseBadArea      // kernel access of bad area (incl. NULL)
+	CauseIllegalInstr // instruction not defined in the instruction set
+	CauseStackOverflow
+	CauseMachineCheck // processor-local bus error
+	CauseAlignment    // operand not word-aligned
+	CausePanic        // operating system detected an error
+	CauseBusError     // protection fault
+	CauseBadTrap      // unknown exception
+
+	numCrashCauses
+)
+
+var crashCauseNames = map[CrashCause]string{
+	CauseNone:              "none",
+	CauseNULLPointer:       "NULL Pointer",
+	CauseBadPaging:         "Bad Paging",
+	CauseInvalidInstr:      "Invalid Instruction",
+	CauseGeneralProtection: "General Protection Fault",
+	CauseKernelPanic:       "Kernel Panic",
+	CauseInvalidTSS:        "Invalid TSS",
+	CauseDivideError:       "Divide Error",
+	CauseBoundsTrap:        "Bounds Trap",
+	CauseBadArea:           "Bad Area",
+	CauseIllegalInstr:      "Illegal Instruction",
+	CauseStackOverflow:     "Stack Overflow",
+	CauseMachineCheck:      "Machine Check",
+	CauseAlignment:         "Alignment",
+	CausePanic:             "Panic!!!",
+	CauseBusError:          "Bus Error",
+	CauseBadTrap:           "Bad Trap",
+}
+
+// String returns the crash-cause label used in the paper's figures.
+func (c CrashCause) String() string {
+	if s, ok := crashCauseNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CrashCause(%d)", int(c))
+}
+
+// Platform reports which platform a crash cause belongs to.
+func (c CrashCause) Platform() Platform {
+	switch {
+	case c >= CauseNULLPointer && c <= CauseBoundsTrap:
+		return CISC
+	case c >= CauseBadArea && c <= CauseBadTrap:
+		return RISC
+	default:
+		return 0
+	}
+}
+
+// Causes returns every crash cause defined for the given platform, in the
+// order used by the paper's crash-cause tables.
+func Causes(p Platform) []CrashCause {
+	switch p {
+	case CISC:
+		return []CrashCause{
+			CauseNULLPointer, CauseBadPaging, CauseInvalidInstr,
+			CauseGeneralProtection, CauseKernelPanic, CauseInvalidTSS,
+			CauseDivideError, CauseBoundsTrap,
+		}
+	case RISC:
+		return []CrashCause{
+			CauseBadArea, CauseIllegalInstr, CauseStackOverflow,
+			CauseMachineCheck, CauseAlignment, CausePanic,
+			CauseBusError, CauseBadTrap,
+		}
+	default:
+		return nil
+	}
+}
+
+// InvalidMemoryCauses returns the causes the paper groups under "invalid
+// memory access" for the platform (Bad Paging + NULL Pointer on the P4;
+// Bad Area on the G4).
+func InvalidMemoryCauses(p Platform) []CrashCause {
+	switch p {
+	case CISC:
+		return []CrashCause{CauseNULLPointer, CauseBadPaging}
+	case RISC:
+		return []CrashCause{CauseBadArea}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,196 @@
+package isa
+
+import "testing"
+
+func TestPlatformString(t *testing.T) {
+	tests := []struct {
+		give      Platform
+		want      string
+		wantShort string
+	}{
+		{CISC, "P4-class (CISC)", "p4"},
+		{RISC, "G4-class (RISC)", "g4"},
+		{Platform(0), "Platform(0)", "??"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Platform(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+		if got := tt.give.Short(); got != tt.wantShort {
+			t.Errorf("Platform(%d).Short() = %q, want %q", int(tt.give), got, tt.wantShort)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if KernelMode.String() != "kernel" || UserMode.String() != "user" {
+		t.Errorf("unexpected mode names: %v %v", KernelMode, UserMode)
+	}
+}
+
+func TestCrashCausePlatform(t *testing.T) {
+	for _, c := range Causes(CISC) {
+		if c.Platform() != CISC {
+			t.Errorf("%v.Platform() = %v, want CISC", c, c.Platform())
+		}
+	}
+	for _, c := range Causes(RISC) {
+		if c.Platform() != RISC {
+			t.Errorf("%v.Platform() = %v, want RISC", c, c.Platform())
+		}
+	}
+	if CauseNone.Platform() != 0 {
+		t.Errorf("CauseNone.Platform() = %v, want 0", CauseNone.Platform())
+	}
+}
+
+func TestCausesComplete(t *testing.T) {
+	// Every defined cause (other than CauseNone) must appear in exactly one
+	// platform's cause list — the paper's Tables 3 and 4 partition them.
+	seen := make(map[CrashCause]int)
+	for _, p := range []Platform{CISC, RISC} {
+		causes := Causes(p)
+		if len(causes) != 8 {
+			t.Errorf("Causes(%v) has %d entries, want 8", p, len(causes))
+		}
+		for _, c := range causes {
+			seen[c]++
+		}
+	}
+	if len(seen) != int(numCrashCauses)-1 {
+		t.Errorf("cause lists cover %d causes, want %d", len(seen), int(numCrashCauses)-1)
+	}
+	for c, n := range seen {
+		if n != 1 {
+			t.Errorf("cause %v appears %d times", c, n)
+		}
+	}
+}
+
+func TestCrashCauseNames(t *testing.T) {
+	for c := CrashCause(0); c < numCrashCauses; c++ {
+		if _, ok := crashCauseNames[c]; !ok {
+			t.Errorf("cause %d has no name", int(c))
+		}
+	}
+}
+
+func TestInvalidMemoryCauses(t *testing.T) {
+	if got := InvalidMemoryCauses(CISC); len(got) != 2 {
+		t.Errorf("CISC invalid-memory causes = %v, want NULL+BadPaging", got)
+	}
+	if got := InvalidMemoryCauses(RISC); len(got) != 1 || got[0] != CauseBadArea {
+		t.Errorf("RISC invalid-memory causes = %v, want BadArea", got)
+	}
+}
+
+func TestDebugUnitInstructionBreak(t *testing.T) {
+	var d DebugUnit
+	if d.Armed(BreakInstruction) {
+		t.Fatal("zero DebugUnit reports armed")
+	}
+	d.Set(0, Breakpoint{Kind: BreakInstruction, Addr: 0x1000})
+	if !d.Armed(BreakInstruction) {
+		t.Fatal("Set did not arm the unit")
+	}
+	if got := d.HitInstruction(0x1000); got != 0 {
+		t.Errorf("HitInstruction(0x1000) = %d, want 0", got)
+	}
+	if got := d.HitInstruction(0x1001); got != -1 {
+		t.Errorf("HitInstruction(0x1001) = %d, want -1", got)
+	}
+	d.Clear(0)
+	if d.Armed(BreakInstruction) {
+		t.Fatal("Clear did not disarm the unit")
+	}
+}
+
+func TestDebugUnitDataBreakOverlap(t *testing.T) {
+	var d DebugUnit
+	d.Set(1, Breakpoint{Kind: BreakData, Addr: 0x2000, Len: 4})
+	tests := []struct {
+		addr, size uint32
+		want       int
+	}{
+		{0x2000, 4, 1},
+		{0x2003, 1, 1},
+		{0x1ffd, 4, 1}, // straddles the start
+		{0x2004, 4, -1},
+		{0x1ffc, 4, -1},
+		{0x1fff, 2, 1},
+	}
+	for _, tt := range tests {
+		if got := d.HitData(tt.addr, tt.size); got != tt.want {
+			t.Errorf("HitData(0x%x, %d) = %d, want %d", tt.addr, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestDebugUnitDefaultDataLen(t *testing.T) {
+	var d DebugUnit
+	d.Set(0, Breakpoint{Kind: BreakData, Addr: 0x100})
+	if got := d.Get(0).Len; got != 4 {
+		t.Errorf("default data breakpoint length = %d, want 4", got)
+	}
+}
+
+func TestDebugUnitClearAll(t *testing.T) {
+	var d DebugUnit
+	d.Set(0, Breakpoint{Kind: BreakInstruction, Addr: 1})
+	d.Set(3, Breakpoint{Kind: BreakData, Addr: 8, Len: 1})
+	d.ClearAll()
+	if d.Armed(BreakInstruction) || d.Armed(BreakData) {
+		t.Error("ClearAll left breakpoints armed")
+	}
+}
+
+func TestCycleCounter(t *testing.T) {
+	var c CycleCounter
+	c.Advance(100)
+	c.Mark()
+	c.Advance(42)
+	if got := c.Since(); got != 42 {
+		t.Errorf("Since() = %d, want 42", got)
+	}
+	if got := c.Cycles(); got != 142 {
+		t.Errorf("Cycles() = %d, want 142", got)
+	}
+	c.Reset()
+	if c.Cycles() != 0 || c.Since() != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+}
+
+func TestCrashCauseStrings(t *testing.T) {
+	for _, p := range []Platform{CISC, RISC} {
+		for _, c := range Causes(p) {
+			if s := c.String(); s == "" || s == "CrashCause(0)" {
+				t.Errorf("[%v] cause %d renders %q", p, int(c), s)
+			}
+		}
+	}
+	if got := CrashCause(99).String(); got != "CrashCause(99)" {
+		t.Errorf("unknown cause = %q", got)
+	}
+	if got := CauseNone.String(); got == "" {
+		t.Error("CauseNone renders empty")
+	}
+}
+
+func TestPlatformStringUnknown(t *testing.T) {
+	if got := Platform(9).String(); got == "" {
+		t.Error("unknown platform renders empty")
+	}
+	if got := Platform(9).Short(); got == "" {
+		t.Error("unknown platform short name empty")
+	}
+}
+
+func TestCausesUnknownPlatformEmpty(t *testing.T) {
+	if got := Causes(Platform(9)); got != nil {
+		t.Errorf("Causes(unknown) = %v", got)
+	}
+	if got := InvalidMemoryCauses(Platform(9)); got != nil {
+		t.Errorf("InvalidMemoryCauses(unknown) = %v", got)
+	}
+}

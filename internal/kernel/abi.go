@@ -1,0 +1,97 @@
+// Package kernel provides the guest operating system: a miniature
+// multi-process kernel written once in the kernel IR (internal/kir) and
+// compiled to both simulated platforms, plus the per-platform assembly trap
+// glue and the host-side system builder that boots it.
+//
+// The kernel deliberately mirrors the paper's injection surface: a scheduler
+// with per-process kernel stacks, spinlocks with SPINLOCK_DEBUG magic checks
+// that BUG() into an invalid instruction (Figure 13), a page allocator
+// (free_pages_ok, Figure 7), a buffer cache flushed by a kupdate daemon
+// (Figure 8), a journaling daemon kjournald (Figure 9), and an skb-based
+// network transmit path (alloc_skb, Figure 7's crash site).
+package kernel
+
+// Dimensions of the guest system.
+const (
+	// NPROC is the process-table size (must stay a power of two: the
+	// scheduler uses masked round-robin arithmetic).
+	NPROC = 16
+	// NPAGE and PageSize describe the page-allocator pool.
+	NPAGE    = 64
+	PageSize = 256
+	// NBUF/BufSize describe the buffer cache; NBLOCK the backing disk.
+	NBUF    = 16
+	BufSize = 64
+	NBLOCK  = 64
+	// NSKB/SkbSize describe the network buffer pool.
+	NSKB    = 16
+	SkbSize = 64
+	// PipeSize is the pipe ring-buffer capacity (must stay a power of two).
+	PipeSize = 128
+	// NSYS is the syscall-table size.
+	NSYS = 16
+	// Timeslice is the scheduler quantum in timer ticks.
+	Timeslice = 5
+)
+
+// SpinlockMagic is the SPINLOCK_DEBUG magic value checked by
+// spin_lock/spin_unlock (the paper's 0xDEAD4EAD).
+const SpinlockMagic = 0xDEAD4EAD
+
+// Process states (Linux 2.4 values; TASK_STOPPED=8 as in Figure 8).
+const (
+	TaskRunning       = 0
+	TaskInterruptible = 1
+	TaskStopped       = 8
+	TaskZombie        = 16
+)
+
+// Process flags.
+const (
+	// PFUser marks workload processes (vs. kernel daemons).
+	PFUser = 1
+)
+
+// System call numbers.
+const (
+	SysGetpid = iota
+	SysYield
+	SysRead
+	SysWrite
+	SysSend
+	SysSleep
+	SysExit
+	SysMemstress
+	SysJiffies
+	SysActive
+	SysPutResult
+	SysGetResult
+	SysPipeWrite
+	SysPipeRead
+)
+
+// Guest memory map (shared by both platforms).
+const (
+	KCodeBase  = 0x00010000
+	KDataBase  = 0x00080000
+	KBSSBase   = 0x000C0000
+	KHeapBase  = 0x00110000 // page cache / packet pools (not static data)
+	PercpuBase = 0x00150000 // per-CPU area (FS segment base / SPRG2 scratch)
+	KStackArea = 0x00160000 // NPROC slots of KStackSlot bytes
+	KStackSlot = 0x4000
+	UCodeBase  = 0x00200000
+	UDataBase  = 0x00240000
+	UBSSBase   = 0x00260000
+	UStackArea = 0x00280000
+	UStackSlot = 0x4000
+	UStackSize = 0x2000
+	MemSize    = 0x00400000
+)
+
+// Kernel stack sizes: 4 KiB on the CISC target, 8 KiB on the RISC target,
+// matching the paper's platforms ("the average size of the runtime kernel
+// stack on the G4 is twice that of the P4 stack").
+const (
+	KStackSizeCISC = 0x1000
+	KStackSizeRISC = 0x2000
+)

@@ -1,0 +1,348 @@
+package kernel_test
+
+// Directed reproductions of the paper's case studies:
+//
+//	Figure 7  — undetected stack corruption on the P4 propagating across
+//	            subsystems before crashing far from the fault site
+//	Figure 8  — a stack error under kupdate on the P4 crashing on a wild
+//	            pointer dereference
+//	Figure 9  — a corrupted pointer consumed by kjournald on the G4 crashing
+//	            quickly with "kernel access of bad area"
+//	Figure 13 — a data error in a spinlock's SPINLOCK_DEBUG magic detected as
+//	            an Invalid Instruction through BUG() on the P4
+//	Figure 14 — a single code bit flip on the P4 transforming one valid
+//	            instruction group into a different valid instruction group
+//	Figure 15 — a single code bit flip on the G4 turning mflr r0 into
+//	            lhax r0,r8,r0
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"kfi/internal/campaign"
+	"kfi/internal/cisc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+	"kfi/internal/risc"
+)
+
+func goldenOf(t *testing.T, sys *kernel.System) uint32 {
+	t.Helper()
+	res := sys.Run()
+	if res.Outcome != machine.OutCompleted {
+		t.Fatalf("golden run: %v", res.Outcome)
+	}
+	return res.Checksum
+}
+
+// TestFigure13SpinlockMagicBUG: flipping a bit of a spinlock's magic word in
+// the kernel data section makes the next spin_lock/spin_unlock detect the
+// corruption and BUG() — an Invalid Instruction crash whose reported cause
+// has nothing to do with an instruction error (the paper's diagnosability
+// point).
+func TestFigure13SpinlockMagicBUG(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	golden := goldenOf(t, sys)
+	magicAddr := sys.KernelImage.Sym("kernel_flag") // magic is field 0
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampData,
+		Addr:     magicAddr + 1, // a middle bit of the magic word
+		Bit:      6,
+	}, golden)
+	if res.Outcome != inject.OCrash {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+	if res.Cause != isa.CauseInvalidInstr {
+		t.Errorf("cause = %v, want Invalid Instruction (the BUG/ud2 path)", res.Cause)
+	}
+	if res.CrashFunc != "spin_lock" && res.CrashFunc != "spin_unlock" {
+		t.Errorf("crash in %q, want the spinlock check", res.CrashFunc)
+	}
+	if !res.Activated {
+		t.Error("the corrupted magic was read but not marked activated")
+	}
+}
+
+// TestFigure15MflrToLhax: flip the single bit that turns mflr r0 into
+// lhax r0,r8,r0 in a real compiled kernel function and observe the G4 crash.
+func TestFigure15MflrToLhax(t *testing.T) {
+	sys := buildStandard(t, isa.RISC)
+	golden := goldenOf(t, sys)
+	im := sys.KernelImage
+
+	// Find an mflr r0 in a hot function's prologue (sys_read is exercised
+	// by the fs worker on every benchmark run).
+	fr, ok := im.FuncAt(im.Sym("sys_read"))
+	if !ok {
+		t.Fatal("sys_read not found")
+	}
+	var mflrAddr uint32
+	for addr := fr.Start; addr < fr.End; addr += 4 {
+		w := binary.BigEndian.Uint32(im.Code[addr-im.CodeBase:])
+		if w == 0x7C0802A6 { // mflr r0
+			mflrAddr = addr
+			break
+		}
+	}
+	if mflrAddr == 0 {
+		t.Fatal("no mflr r0 in sys_read's prologue")
+	}
+
+	// The differing bit: 0x7C0802A6 ^ 0x7C0802AE = 0x8, i.e. bit 3 of the
+	// last byte (big-endian byte 3).
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampCode,
+		Addr:     mflrAddr,
+		ByteOff:  3,
+		Bit:      3,
+		Func:     "sys_read",
+	}, golden)
+	if res.Outcome != inject.OCrash && res.Outcome != inject.OHangUnknown {
+		t.Fatalf("outcome = %v, want a crash (mflr corrupted to lhax)", res.Outcome)
+	}
+	if res.Outcome == inject.OCrash && res.Cause != isa.CauseBadArea && res.Cause != isa.CauseAlignment {
+		t.Errorf("cause = %v, want kernel access of bad area", res.Cause)
+	}
+	// Verify the flip really decodes as the figure says.
+	in, err := risc.Decode(0x7C0802A6 ^ 0x8)
+	if err != nil || in.Op != risc.OpLHAX {
+		t.Errorf("flipped word decodes as %v (%v), want lhax", in.Op, err)
+	}
+}
+
+// TestFigure14InstructionGroupChange: on the variable-length CISC target a
+// single bit flip can change an instruction's length and re-synchronize the
+// following stream into a different valid instruction group.
+func TestFigure14InstructionGroupChange(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	im := sys.KernelImage
+	fr, ok := im.FuncAt(im.Sym("memcpy"))
+	if !ok {
+		t.Fatal("memcpy not found")
+	}
+	code := im.Code[fr.Start-im.CodeBase : fr.End-im.CodeBase]
+
+	decodeStream := func(bs []byte) []string {
+		var out []string
+		for off := 0; off < len(bs); {
+			in, err := cisc.Decode(bs[off:])
+			if err != nil {
+				out = append(out, "bad")
+				off++
+				continue
+			}
+			out = append(out, in.String())
+			off += int(in.Len)
+		}
+		return out
+	}
+	_ = decodeStream(code)
+
+	// Search for a flip anywhere in the function that changes an
+	// instruction's length yet still decodes into at least three valid
+	// follow-on instructions — a different valid instruction group, the
+	// Figure 14 phenomenon.
+	found := false
+	boundaries := []int{0}
+	for off := 0; off < len(code); {
+		in, err := cisc.Decode(code[off:])
+		if err != nil {
+			break
+		}
+		off += int(in.Len)
+		boundaries = append(boundaries, off)
+	}
+	for _, off := range boundaries {
+		if found || off+8 > len(code) {
+			break
+		}
+		for bit := 0; bit < 8 && !found; bit++ {
+			mut := append([]byte(nil), code...)
+			mut[off] ^= 1 << bit
+			in0, err0 := cisc.Decode(code[off:])
+			in1, err1 := cisc.Decode(mut[off:])
+			if err0 != nil || err1 != nil || in0.Len == in1.Len {
+				continue
+			}
+			// The stream re-synchronizes: the next three decodes are valid.
+			p := off + int(in1.Len)
+			valid := 0
+			for i := 0; i < 3 && p < len(mut); i++ {
+				next, err := cisc.Decode(mut[p:])
+				if err != nil {
+					break
+				}
+				valid++
+				p += int(next.Len)
+			}
+			if valid == 3 {
+				t.Logf("flip at +%d bit %d: %q (len %d) became %q (len %d), stream re-synchronized",
+					off, bit, in0, in0.Len, in1, in1.Len)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no single-bit flip re-synchronized memcpy into a different valid group")
+	}
+}
+
+// TestFigure7StackCorruptionPropagates: on the P4 a corrupted frame/stack
+// pointer is not detected where it happens; the system keeps running and
+// crashes somewhere else (the paper's mm → net propagation). We inject into
+// free_pages_ok's epilogue region across many bits and require at least one
+// crash OUTSIDE the faulted function.
+func TestFigure7StackCorruptionPropagates(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	golden := goldenOf(t, sys)
+	im := sys.KernelImage
+	fr, ok := im.FuncAt(im.Sym("free_pages_ok"))
+	if !ok {
+		t.Fatal("free_pages_ok not found")
+	}
+
+	propagated := false
+	var crashes, total int
+	for addr := fr.End - 24; addr < fr.End && !propagated; addr++ {
+		for bit := uint(0); bit < 8; bit++ {
+			total++
+			res := inject.RunOne(sys, inject.Target{
+				Campaign: inject.CampCode,
+				Addr:     fr.Start, // break at entry; flip in the epilogue
+				ByteOff:  uint8(addr - fr.Start),
+				Bit:      bit,
+				Func:     "free_pages_ok",
+			}, golden)
+			if res.Outcome == inject.OCrash {
+				crashes++
+				if res.CrashFunc != "" && res.CrashFunc != "free_pages_ok" {
+					t.Logf("propagation: corrupted free_pages_ok, crashed in %s (%v) after %d cycles",
+						res.CrashFunc, res.Cause, res.Latency)
+					propagated = true
+					break
+				}
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatalf("no crashes from %d epilogue injections", total)
+	}
+	if !propagated {
+		t.Error("every crash stayed in free_pages_ok; expected undetected propagation")
+	}
+}
+
+// TestFigure8KupdateStackError: corrupt a live return address in a kernel
+// daemon's stack frame while it sleeps; when it wakes, the P4 kernel wanders
+// off through the wild pointer and crashes on an invalid memory access.
+func TestFigure8KupdateStackError(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	golden := goldenOf(t, sys)
+	_ = golden
+	m := sys.Machine
+
+	// Run until mid-benchmark so kupdate has slept inside schedule_timeout.
+	m.Reboot()
+	m.PauseAt = 400_000
+	if res := m.Run(); res.Outcome != machine.OutPaused {
+		t.Fatalf("pre-run: %v", res.Outcome)
+	}
+	const kupdateSlot = 1
+	sp := sys.LiveKernelSP(kupdateSlot)
+	top := kernel.KStackTop(kupdateSlot)
+	if sp == 0 || sp >= top {
+		t.Fatalf("kupdate kernel stack not live (sp=0x%x)", sp)
+	}
+	// Find a stack word that holds a kernel text address — a saved return
+	// address — and flip its top bit.
+	im := sys.KernelImage
+	var target uint32
+	for a := sp; a < top; a += 4 {
+		v := m.Mem.RawRead(a, 4)
+		if v >= im.CodeBase && v < im.CodeBase+uint32(len(im.Code)) {
+			target = a
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no return address found in kupdate's live frames")
+	}
+	m.Mem.FlipBit(target+3, 7) // most significant bit (little-endian)
+	res := m.Run()
+	if res.Outcome != machine.OutCrashed && res.Outcome != machine.OutHung {
+		t.Fatalf("outcome = %v, want crash from the wild return", res.Outcome)
+	}
+	if res.Outcome == machine.OutCrashed {
+		switch res.Crash.Cause {
+		case isa.CauseNULLPointer, isa.CauseBadPaging, isa.CauseInvalidInstr, isa.CauseGeneralProtection:
+		default:
+			t.Errorf("cause = %v, want an invalid-memory/instruction class crash", res.Crash.Cause)
+		}
+	}
+}
+
+// TestFigure9KjournaldBadArea: corrupt the journal's running-transaction
+// pointer; kjournald dereferences it on its next pass and the G4 reports
+// "kernel access of bad area" quickly (short crash latency).
+func TestFigure9KjournaldBadArea(t *testing.T) {
+	sys := buildStandard(t, isa.RISC)
+	golden := goldenOf(t, sys)
+	jAddr := sys.KernelImage.Sym("journal") // field 0 = j_running_transaction
+	// Flip the pointer's top bit: 0x000xxxxx → 0x800xxxxx, far outside RAM.
+	res := inject.RunOne(sys, inject.Target{
+		Campaign: inject.CampData,
+		Addr:     jAddr, // big-endian: byte 0 is the MSB
+		Bit:      7,
+	}, golden)
+	if res.Outcome != inject.OCrash {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+	if res.Cause != isa.CauseBadArea {
+		t.Errorf("cause = %v, want kernel access of bad area", res.Cause)
+	}
+	if res.CrashFunc != "kjournald" && res.CrashFunc != "journal_commit" && res.CrashFunc != "sys_write" {
+		t.Errorf("crash in %q, want the journal path", res.CrashFunc)
+	}
+	// The figure's point: detection is fast once the pointer is consumed.
+	if res.Latency > 100_000 {
+		t.Errorf("latency = %d cycles, want quick detection", res.Latency)
+	}
+}
+
+// TestStackOverflowOnlyDetectedOnG4: corrupting the saved back-chain /
+// frame pointer produces an explicit Stack Overflow on the G4 (wrapper
+// check), while the P4 reports it as some other exception — the paper's
+// §5.1 platform contrast.
+func TestStackOverflowOnlyDetectedOnG4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs hundreds of injections")
+	}
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys := buildStandard(t, platform)
+		golden := goldenOf(t, sys)
+		prof, err := campaign.ProfileKernel(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := campaign.NewGenerator(sys, prof, 12345, 2_000_000)
+		targets, err := gen.Targets(campaign.Spec{Campaign: inject.CampStack, N: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		overflow := 0
+		for _, tg := range targets {
+			res := inject.RunOne(sys, tg, golden)
+			if res.Outcome == inject.OCrash && res.Cause == isa.CauseStackOverflow {
+				overflow++
+			}
+		}
+		if platform == isa.CISC && overflow != 0 {
+			t.Errorf("P4 reported %d Stack Overflow crashes; it has no such detection", overflow)
+		}
+		if platform == isa.RISC && overflow == 0 {
+			t.Errorf("G4 reported no Stack Overflow crashes; the wrapper should catch corrupted stack pointers")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package kernel_test
+
+// Kernel-image fingerprints. Every number in EXPERIMENTS.md (and the
+// recorded golden checksum 0x3BD6FEAC) depends on the exact bytes the
+// compiler emits for the guest kernel. This test pins them: if it fails,
+// codegen changed, and every documented campaign result must be re-recorded
+// before the new fingerprints are committed here.
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"kfi/internal/isa"
+)
+
+func imageFingerprint(t *testing.T, p isa.Platform) (code, data uint64) {
+	t.Helper()
+	sys := buildStandard(t, p)
+	h := fnv.New64a()
+	h.Write(sys.KernelImage.Code)
+	code = h.Sum64()
+	h.Reset()
+	h.Write(sys.KernelImage.Data)
+	data = h.Sum64()
+	return code, data
+}
+
+func TestKernelImageFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds both systems")
+	}
+	// Print-and-pin: run with -run Fingerprint -v to read current values.
+	cCode, cData := imageFingerprint(t, isa.CISC)
+	rCode, rData := imageFingerprint(t, isa.RISC)
+	t.Logf("CISC code=%#x data=%#x  RISC code=%#x data=%#x", cCode, cData, rCode, rData)
+
+	want := map[string]uint64{
+		"cisc-code": 0xc36ec67891675e51, "cisc-data": 0xf61795ae19f2735e,
+		"risc-code": 0x873644d31e08fc06, "risc-data": 0x8ef17456ba39b12e,
+	}
+	got := map[string]uint64{
+		"cisc-code": cCode, "cisc-data": cData, "risc-code": rCode, "risc-data": rData,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s fingerprint %#x, want %#x — codegen changed; re-record EXPERIMENTS.md before updating this constant", k, got[k], w)
+		}
+	}
+}
+
+func TestGoldenChecksumPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both benchmarks")
+	}
+	// The documented fault-free benchmark checksum. EXPERIMENTS.md's
+	// fail-silence classifications all compare against this value.
+	const golden = 0x3BD6FEAC
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys := buildStandard(t, p)
+		sys.Machine.Reboot()
+		res := sys.Machine.Run()
+		if res.Checksum != golden {
+			t.Errorf("[%v] golden checksum %#x, want %#x — workload or kernel behavior changed; re-record EXPERIMENTS.md", p, res.Checksum, golden)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package kernel
+
+import (
+	"fmt"
+
+	"kfi/internal/cc"
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/risc"
+)
+
+// Glue holds the addresses of the hand-written trap stubs appended to the
+// kernel image.
+type Glue struct {
+	SyscallStub uint32
+	TimerStub   uint32
+}
+
+// appendGlue assembles the platform trap stubs at the end of the compiled
+// kernel image and registers them as symbols/functions. The stubs are the
+// entry.S of this kernel: they bridge the hardware interrupt frame to the
+// compiled C-level handlers and return with iret/rfi.
+func appendGlue(im *cc.Image) (Glue, error) {
+	base := im.CodeBase + uint32(len(im.Code))
+	var (
+		code   []byte
+		labels map[string]uint32
+		err    error
+	)
+	switch im.Platform {
+	case isa.CISC:
+		code, labels, err = ciscGlue(base, im.Syms)
+	case isa.RISC:
+		code, labels, err = riscGlue(base, im.Syms)
+	default:
+		return Glue{}, fmt.Errorf("kernel: unknown platform %v", im.Platform)
+	}
+	if err != nil {
+		return Glue{}, err
+	}
+	im.Code = append(im.Code, code...)
+	var g Glue
+	for name, off := range labels {
+		addr := base + off
+		im.Syms[name] = addr
+		switch name {
+		case "syscall_stub":
+			g.SyscallStub = addr
+		case "timer_stub":
+			g.TimerStub = addr
+		}
+	}
+	im.Funcs = append(im.Funcs,
+		cc.FuncRange{Name: "syscall_stub", Start: im.Syms["syscall_stub"], End: im.Syms["timer_stub"]},
+		cc.FuncRange{Name: "timer_stub", Start: im.Syms["timer_stub"], End: base + uint32(len(code))},
+	)
+	if g.SyscallStub == 0 || g.TimerStub == 0 {
+		return Glue{}, fmt.Errorf("kernel: glue stubs missing")
+	}
+	return g, nil
+}
+
+// ciscGlue: the interrupt frame [EIP, mode, oldSP, EFLAGS] has already been
+// pushed by the hardware delivery; the stubs bridge to the compiled
+// handlers. Syscall arguments arrive in EAX (number), EBX, ECX, EDX.
+func ciscGlue(base uint32, syms map[string]uint32) ([]byte, map[string]uint32, error) {
+	a := cisc.NewAsm()
+
+	a.Label("syscall_stub")
+	// dispatcher(no, a, b, c): push right-to-left.
+	a.PushR(cisc.EDX)
+	a.PushR(cisc.ECX)
+	a.PushR(cisc.EBX)
+	a.PushR(cisc.EAX)
+	a.CallSym("syscall_entry")
+	a.AddRI(cisc.ESP, 16)
+	// Result stays in EAX for the user; iret pops the hardware frame.
+	a.Iret()
+
+	a.Label("timer_stub")
+	// Save the volatile registers the compiled handler may clobber (EBX,
+	// ESI, EDI are callee-saved by the compiler; EBP is re-established by
+	// the handler prologue; EFLAGS is restored by iret).
+	a.PushR(cisc.EAX)
+	a.PushR(cisc.ECX)
+	a.PushR(cisc.EDX)
+	// Touch the per-CPU area through the FS segment: this is the only FS
+	// use in the kernel, so FS corruption manifests with very long latency
+	// (paper Fig. 16(B)).
+	a.MovRI(cisc.ECX, 0)
+	a.LoadFS(cisc.EAX, cisc.ECX, 0)
+	a.CallSym("timer_tick")
+	a.PopR(cisc.EDX)
+	a.PopR(cisc.ECX)
+	a.PopR(cisc.EAX)
+	a.Iret()
+
+	code, err := a.Link(base, syms)
+	return code, a.Labels(), err
+}
+
+// riscGlue: the frame [PC, mode, oldSP, MSR] is on the kernel stack; rfi
+// restores it. Syscall arguments arrive in r0 (number) and r3-r5.
+func riscGlue(base uint32, syms map[string]uint32) ([]byte, map[string]uint32, error) {
+	a := risc.NewAsm()
+
+	a.Label("syscall_stub")
+	a.Stwu(risc.SP, risc.SP, -32)
+	a.Stw(30, risc.SP, 24)
+	a.Stw(31, risc.SP, 20)
+	a.Mr(30, 0) // syscall number
+	a.Mflr(0)
+	a.Stw(0, risc.SP, 28)
+	// dispatcher(no, a, b, c) in r3-r6.
+	a.Mr(6, 5)
+	a.Mr(5, 4)
+	a.Mr(4, 3)
+	a.Mr(3, 30)
+	a.Bl("syscall_entry")
+	a.Lwz(0, risc.SP, 28)
+	a.Mtlr(0)
+	a.Lwz(30, risc.SP, 24)
+	a.Lwz(31, risc.SP, 20)
+	a.Addi(risc.SP, risc.SP, 32)
+	a.Rfi()
+
+	a.Label("timer_stub")
+	// Save every register the interrupted context may hold live: the
+	// volatiles r0, r3-r12, the compiler temporaries r30/r31, and LR, CTR,
+	// CR (the handler's compiled code clobbers them freely).
+	a.Stwu(risc.SP, risc.SP, -96)
+	a.Stw(0, risc.SP, 8)
+	for i := 0; i < 10; i++ { // r3..r12 at offsets 12..48
+		a.Stw(uint8(3+i), risc.SP, int32(12+4*i))
+	}
+	a.Stw(30, risc.SP, 52)
+	a.Stw(31, risc.SP, 56)
+	a.Mflr(0)
+	a.Stw(0, risc.SP, 60)
+	a.Mfctr(0)
+	a.Stw(0, risc.SP, 64)
+	a.Mfcr(0)
+	a.Stw(0, risc.SP, 68)
+	a.Bl("timer_tick")
+	a.Lwz(0, risc.SP, 68)
+	a.Mtcrf(0)
+	a.Lwz(0, risc.SP, 64)
+	a.Mtctr(0)
+	a.Lwz(0, risc.SP, 60)
+	a.Mtlr(0)
+	a.Lwz(31, risc.SP, 56)
+	a.Lwz(30, risc.SP, 52)
+	for i := 9; i >= 0; i-- {
+		a.Lwz(uint8(3+i), risc.SP, int32(12+4*i))
+	}
+	a.Lwz(0, risc.SP, 8)
+	a.Addi(risc.SP, risc.SP, 96)
+	a.Rfi()
+
+	code, err := a.Link(base, syms)
+	return code, a.Labels(), err
+}

@@ -1,0 +1,328 @@
+package kernel_test
+
+// Unit tests for the guest kernel's own functions, executed on both
+// simulated processors through the host-call interface. These validate the
+// kernel logic the campaigns inject into.
+
+import (
+	"testing"
+
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+)
+
+func eachPlatform(t *testing.T, f func(t *testing.T, sys *kernel.System)) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		p := p
+		t.Run(p.Short(), func(t *testing.T) {
+			sys := buildStandard(t, p)
+			sys.Machine.Reboot()
+			f(t, sys)
+		})
+	}
+}
+
+func TestGuestMemcpyMemset(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		scratch := sys.KernelImage.Sym("zone_reserve")
+		// memset a pattern, then memcpy it elsewhere and compare.
+		if _, err := m.CallGuest("memset", scratch, 0xAB, 24); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint32(0); i < 24; i++ {
+			if got := m.Mem.RawRead(scratch+i, 1); got != 0xAB {
+				t.Fatalf("memset byte %d = 0x%x", i, got)
+			}
+		}
+		if got := m.Mem.RawRead(scratch+24, 1); got == 0xAB {
+			t.Fatal("memset overran its length")
+		}
+		if _, err := m.CallGuest("memcpy", scratch+64, scratch, 24); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint32(0); i < 24; i++ {
+			if got := m.Mem.RawRead(scratch+64+i, 1); got != 0xAB {
+				t.Fatalf("memcpy byte %d = 0x%x", i, got)
+			}
+		}
+	})
+}
+
+func TestGuestChecksumMatchesHost(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		scratch := sys.KernelImage.Sym("zone_reserve")
+		data := []byte("the quick brown fox")
+		for i, b := range data {
+			m.Mem.RawWrite(scratch+uint32(i), 1, uint32(b))
+		}
+		got, err := m.CallGuest("csum_partial", scratch, uint32(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint32(1)
+		for _, b := range data {
+			want = want*31 + uint32(b)
+		}
+		if got != want {
+			t.Errorf("guest csum = 0x%x, host reference = 0x%x", got, want)
+		}
+	})
+}
+
+func TestGuestPageAllocator(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		nrFree := sys.KernelImage.Sym("nr_free_pages")
+		before := m.Mem.RawRead(nrFree, 4)
+		if before != kernel.NPAGE {
+			t.Fatalf("boot free pages = %d, want %d", before, kernel.NPAGE)
+		}
+		a1, err := m.CallGuest("alloc_pages")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := m.CallGuest("alloc_pages")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 == 0 || a2 == 0 || a1 == a2 {
+			t.Fatalf("allocations: 0x%x, 0x%x", a1, a2)
+		}
+		if got := m.Mem.RawRead(nrFree, 4); got != before-2 {
+			t.Errorf("free count = %d, want %d", got, before-2)
+		}
+		if _, err := m.CallGuest("free_pages_ok", a1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CallGuest("free_pages_ok", a2); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem.RawRead(nrFree, 4); got != before {
+			t.Errorf("free count after release = %d, want %d", got, before)
+		}
+		// Exhaustion returns 0 rather than crashing.
+		var last uint32
+		for i := 0; i < kernel.NPAGE+4; i++ {
+			last, err = m.CallGuest("alloc_pages")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if last != 0 {
+			t.Error("exhausted allocator should return 0")
+		}
+	})
+}
+
+func TestGuestDoubleFreeIsBUG(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		a, err := m.CallGuest("alloc_pages")
+		if err != nil || a == 0 {
+			t.Fatalf("alloc: %v 0x%x", err, a)
+		}
+		if _, err := m.CallGuest("free_pages_ok", a); err != nil {
+			t.Fatal(err)
+		}
+		// The second free must hit the BUG() check (an exception aborts
+		// CallGuest with an error).
+		if _, err := m.CallGuest("free_pages_ok", a); err == nil {
+			t.Error("double free did not BUG")
+		}
+	})
+}
+
+func TestGuestBufferCache(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		// getblk twice for the same block must return the same buffer.
+		b1, err := m.CallGuest("getblk", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := m.CallGuest("getblk", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1 != b2 {
+			t.Errorf("getblk(7) twice = %d then %d", b1, b2)
+		}
+		b3, err := m.CallGuest("getblk", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b3 == b1 {
+			t.Error("different blocks share a buffer while others are free")
+		}
+	})
+}
+
+func TestGuestSpinlockProtocol(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		lk := sys.KernelImage.Sym("net_lock")
+		if _, err := m.CallGuest("spin_lock", lk); err != nil {
+			t.Fatalf("lock: %v", err)
+		}
+		lockedOff := sys.KernelImage.Layout.FieldOffset(sys.Src.Lock, sys.Src.Lock.FieldIndex("locked"))
+		if got := m.Mem.RawRead(lk+lockedOff, 4); got != 1 {
+			t.Errorf("locked = %d after spin_lock", got)
+		}
+		if _, err := m.CallGuest("spin_unlock", lk); err != nil {
+			t.Fatalf("unlock: %v", err)
+		}
+		if got := m.Mem.RawRead(lk+lockedOff, 4); got != 0 {
+			t.Errorf("locked = %d after spin_unlock", got)
+		}
+		// Unlocking an unlocked lock is a BUG.
+		if _, err := m.CallGuest("spin_unlock", lk); err == nil {
+			t.Error("unlock of unlocked lock did not BUG")
+		}
+	})
+}
+
+func TestGuestFindNextSkipsBlocked(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		// All boot processes are runnable; from idle (idx 0) the next must
+		// be slot 1.
+		next, err := m.CallGuest("find_next")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != 1 {
+			t.Errorf("find_next from idle = %d, want 1", next)
+		}
+		// Block slots 1..3 and re-ask.
+		for i := 1; i <= 3; i++ {
+			pa := sys.ProcAddr(i)
+			off := sys.FieldOffset("state")
+			m.Mem.RawWrite(pa+off, 4, kernel.TaskInterruptible)
+		}
+		next, err = m.CallGuest("find_next")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != 4 {
+			t.Errorf("find_next with 1-3 sleeping = %d, want 4", next)
+		}
+	})
+}
+
+func TestGuestAllocSkbPool(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		seen := make(map[uint32]bool)
+		for i := 0; i < kernel.NSKB; i++ {
+			h, err := m.CallGuest("alloc_skb", 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h == 0 || seen[h] {
+				t.Fatalf("allocation %d returned handle %d (seen=%v)", i, h, seen[h])
+			}
+			seen[h] = true
+		}
+		// Pool exhausted: drops counted, 0 returned.
+		h, err := m.CallGuest("alloc_skb", 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != 0 {
+			t.Errorf("exhausted pool returned %d", h)
+		}
+		ns := sys.KernelImage.Sym("netstats")
+		if drops := m.Mem.RawRead(ns+12, 4); drops != 1 {
+			t.Errorf("drops = %d, want 1", drops)
+		}
+		// Free one and reallocate.
+		if _, err := m.CallGuest("free_skb", 3); err != nil {
+			t.Fatal(err)
+		}
+		h, err = m.CallGuest("alloc_skb", 40)
+		if err != nil || h != 3 {
+			t.Errorf("realloc after free = %d (%v), want 3", h, err)
+		}
+	})
+}
+
+func TestGuestPipeRing(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		scratch := sys.KernelImage.Sym("zone_reserve")
+		for i := uint32(0); i < 40; i++ {
+			m.Mem.RawWrite(scratch+i, 1, 0x40+i)
+		}
+		// Syscall handlers take (a, b, c); the third argument is unused.
+		n, err := m.CallGuest("sys_pipewrite", scratch, 40, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 40 {
+			t.Fatalf("pipewrite = %d, want 40", n)
+		}
+		out := scratch + 256
+		n, err = m.CallGuest("sys_piperead", out, 24, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 24 {
+			t.Fatalf("piperead = %d, want 24", n)
+		}
+		for i := uint32(0); i < 24; i++ {
+			if got := m.Mem.RawRead(out+i, 1); got != 0x40+i {
+				t.Fatalf("pipe byte %d = 0x%x, want 0x%x", i, got, 0x40+i)
+			}
+		}
+		// Reading more than buffered returns only what is there.
+		n, err = m.CallGuest("sys_piperead", out, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 16 {
+			t.Errorf("drained piperead = %d, want 16", n)
+		}
+		// Fill to capacity: writes clamp at the ring size.
+		big := uint32(kernel.PipeSize)
+		wrote := uint32(0)
+		for wrote < big {
+			n, err = m.CallGuest("sys_pipewrite", scratch, 100, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			wrote += n
+		}
+		if wrote != big {
+			t.Errorf("ring accepted %d bytes, want %d", wrote, big)
+		}
+	})
+}
+
+func TestGuestSyscallDispatcher(t *testing.T) {
+	eachPlatform(t, func(t *testing.T, sys *kernel.System) {
+		m := sys.Machine
+		// Unknown numbers are rejected.
+		v, err := m.CallGuest("syscall_entry", 99, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(v) != -1 {
+			t.Errorf("bad syscall = %d, want -1", int32(v))
+		}
+		// sys_jiffies through the dispatcher.
+		jaddr := sys.KernelImage.Sym("jiffies")
+		m.Mem.RawWrite(jaddr, 4, 1234)
+		v, err = m.CallGuest("syscall_entry", kernel.SysJiffies, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1234 {
+			t.Errorf("sys_jiffies via dispatcher = %d", v)
+		}
+	})
+}

@@ -1,0 +1,1062 @@
+package kernel
+
+import "kfi/internal/kir"
+
+// Source bundles the kernel IR program with the type handles the system
+// builder needs to compute guest-structure offsets.
+type Source struct {
+	Prog *kir.Program
+	Proc *kir.Struct
+	Lock *kir.Struct
+}
+
+// magic is SpinlockMagic reinterpreted as the signed immediate the IR uses.
+var (
+	magicU uint32 = SpinlockMagic
+	magic         = int32(magicU)
+)
+
+// ProgOptions select kernel build variants for ablation studies.
+type ProgOptions struct {
+	// NoSpinlockDebug compiles spin_lock/spin_unlock without the
+	// SPINLOCK_DEBUG magic checks (the Figure 13 detection path).
+	NoSpinlockDebug bool
+}
+
+// Program builds the complete guest-kernel IR with default options.
+func Program() *Source { return ProgramWith(ProgOptions{}) }
+
+// ProgramWith builds the guest-kernel IR with the given options.
+func ProgramWith(opts ProgOptions) *Source {
+	pb := kir.NewProgram()
+	s := &Source{}
+
+	// --- types ---
+	proc := pb.Struct("task_struct",
+		kir.F32("pid"),
+		kir.F32("state"),
+		kir.F8("prio"),
+		kir.F8("ticks"),
+		kir.F16("flags"),
+		kir.F32("sleep_until"),
+		kir.F32("kstack"),
+		kir.F32("stack_lo"),
+		kir.F32("stack_hi"),
+		kir.F32("exit_code"),
+		kir.F32("syscalls"),
+		kir.FArr("ctx", kir.W32, 40),
+	)
+	lock := pb.Struct("spinlock_t",
+		kir.F32("magic"),
+		kir.F32("locked"),
+		kir.F16("owner"),
+		kir.F8("depth"),
+	)
+	stat := pb.Struct("kernel_stat",
+		kir.F32("ctxsw"), kir.F32("irqs"), kir.F32("syscalls"), kir.F32("panics"))
+	page := pb.Struct("page",
+		kir.F8("flags"), kir.F8("order"), kir.F16("count"), kir.F32("next"))
+	buf := pb.Struct("buffer_head",
+		kir.F8("state"), kir.F8("dirty"), kir.F16("blocknr"),
+		kir.F32("data"), kir.F32("csum"))
+	journal := pb.Struct("journal_t",
+		kir.F32("j_running_transaction"), kir.F32("j_commit_sequence"), kir.F32("j_commits"))
+	trans := pb.Struct("transaction_t",
+		kir.F32("t_state"), kir.F32("t_expires"), kir.F32("t_nblocks"))
+	skb := pb.Struct("sk_buff",
+		kir.F16("len"), kir.F8("protocol"), kir.F8("used"),
+		kir.F32("data"), kir.F32("csum"))
+	nst := pb.Struct("net_stats",
+		kir.F32("tx_packets"), kir.F32("tx_bytes"), kir.F32("tx_errors"), kir.F32("drops"))
+	s.Proc, s.Lock = proc, lock
+
+	// --- globals ---
+	pb.GlobalBytes("version_banner", 64, []byte("kfi-kernel 2.4.22-sim (gcc 3.2.2 would be proud)"))
+	// Task structs live at the BOTTOM of each process's kernel stack, as on
+	// Linux 2.4 (current = SP & ~(stack size - 1)); task_ptrs indexes them.
+	pb.GlobalBytes("task_ptrs", 4*NPROC, nil)
+	pb.GlobalBytes("current", 4, nil)
+	pb.GlobalBytes("current_idx", 4, nil)
+	pb.GlobalBytes("jiffies", 4, nil)
+	pb.GlobalStruct("kstat", stat, 1)
+	// Spinlocks carry their SPINLOCK_DEBUG magic as static data, as in the
+	// real kernel's data section (Figure 13 injects into exactly this word).
+	for _, name := range []string{"kernel_flag", "page_lock", "buf_lock", "net_lock", "journal_lock"} {
+		pb.GlobalStruct(name, lock, 1, SpinlockMagic, 0, 0, 0)
+	}
+	pb.GlobalStruct("mem_map", page, NPAGE)
+	pb.GlobalBytes("free_head", 4, nil)
+	pb.GlobalBytes("nr_free_pages", 4, nil)
+	pb.GlobalHeap("page_pool", NPAGE*PageSize)
+	pb.GlobalStruct("buffer_heads", buf, NBUF)
+	pb.GlobalBytes("buf_clock", 4, nil)
+	pb.GlobalHeap("buffer_data", NBUF*BufSize)
+	pb.GlobalHeap("disk", NBLOCK*BufSize)
+	pb.GlobalStruct("journal", journal, 1)
+	pb.GlobalStruct("transactions", trans, 2)
+	pb.GlobalStruct("skbs", skb, NSKB)
+	pb.GlobalHeap("skb_data", NSKB*SkbSize)
+	pb.GlobalStruct("netstats", nst, 1)
+	pipe := pb.Struct("pipe_inode",
+		kir.F32("head"), kir.F32("tail"), kir.F32("count"), kir.F32("waiters"))
+	pb.GlobalStruct("pipe0", pipe, 1)
+	pb.GlobalHeap("pipe_buf", PipeSize)
+	pb.GlobalBytes("sys_call_table", 4*NSYS, nil)
+	pb.GlobalBytes("results", 4*NPROC, nil)
+	// A sparse reserve zone: most kernel data is rarely touched, which keeps
+	// the data-injection activation rate low, as in the paper (~1%).
+	pb.GlobalBSS("zone_reserve", 96*1024)
+
+	buildLib(pb)
+	buildLocks(pb, lock, opts)
+	buildSched(pb, proc, stat)
+	buildMM(pb, page, lock)
+	buildFS(pb, buf, proc)
+	buildJournal(pb, journal, trans, proc)
+	buildNet(pb, skb, nst)
+	buildPipe(pb, pipe)
+	buildSyscalls(pb, proc, stat)
+	buildBoot(pb, proc, page, journal, trans)
+
+	s.Prog = pb.Program()
+	return s
+}
+
+// buildLib emits memcpy/memset/checksum.
+func buildLib(pb *kir.ProgramBuilder) {
+	// memcpy(dst, src, n): byte copy.
+	{
+		fb := pb.Func("memcpy", 3, false)
+		dst, src, n := fb.Param(0), fb.Param(1), fb.Param(2)
+		fb.Block("entry")
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.Cmp(kir.Lt, i, n)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		v := fb.Load(kir.W8, fb.Add(src, i), 0)
+		fb.Store(kir.W8, fb.Add(dst, i), 0, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(0)
+	}
+	// memset(p, v, n).
+	{
+		fb := pb.Func("memset", 3, false)
+		p, v, n := fb.Param(0), fb.Param(1), fb.Param(2)
+		fb.Block("entry")
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.Cmp(kir.Lt, i, n)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		fb.Store(kir.W8, fb.Add(p, i), 0, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(0)
+	}
+	// csum_partial(p, n) -> h: h = h*31 + byte, seeded with 1.
+	{
+		fb := pb.Func("csum_partial", 2, true)
+		p, n := fb.Param(0), fb.Param(1)
+		fb.Block("entry")
+		h := fb.Var()
+		i := fb.Var()
+		fb.ConstTo(h, 1)
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.Cmp(kir.Lt, i, n)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		v := fb.Load(kir.W8, fb.Add(p, i), 0)
+		h31 := fb.MulI(h, 31)
+		fb.BinTo(h, kir.Add, h31, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(h)
+	}
+}
+
+// buildLocks emits spin_lock/spin_unlock with SPINLOCK_DEBUG checks: a
+// corrupted magic raises BUG() — an invalid instruction, exactly the Fig. 13
+// detection path. Contention on this uniprocessor (only possible through
+// state corruption) spins forever with interrupts off, which the hardware
+// watchdog reports as a hang.
+func buildLocks(pb *kir.ProgramBuilder, lock *kir.Struct, opts ProgOptions) {
+	{
+		fb := pb.Func("spin_lock", 1, false)
+		lk := fb.Param(0)
+		fb.Block("entry")
+		if opts.NoSpinlockDebug {
+			fb.Jmp("irq")
+		} else {
+			m := fb.LoadField(lock, "magic", lk)
+			ok := fb.CmpI(kir.Eq, m, magic)
+			fb.Br(ok, "irq", "bad")
+			fb.Block("bad")
+			fb.Bug()
+			fb.Ret(0)
+		}
+		fb.Block("irq")
+		fb.IrqOff()
+		fb.Jmp("spin")
+		fb.Block("spin")
+		l := fb.LoadField(lock, "locked", lk)
+		free := fb.CmpI(kir.Eq, l, 0)
+		fb.Br(free, "take", "spin")
+		fb.Block("take")
+		one := fb.Const(1)
+		fb.StoreField(lock, "locked", lk, one)
+		d := fb.LoadField(lock, "depth", lk)
+		fb.StoreField(lock, "depth", lk, fb.AddI(d, 1))
+		fb.Ret(0)
+	}
+	{
+		fb := pb.Func("spin_unlock", 1, false)
+		lk := fb.Param(0)
+		fb.Block("entry")
+		if opts.NoSpinlockDebug {
+			fb.Jmp("rel")
+		} else {
+			m := fb.LoadField(lock, "magic", lk)
+			ok := fb.CmpI(kir.Eq, m, magic)
+			fb.Br(ok, "chk", "bad")
+			fb.Block("bad")
+			fb.Bug()
+			fb.Ret(0)
+			fb.Block("chk")
+			l := fb.LoadField(lock, "locked", lk)
+			held := fb.CmpI(kir.Ne, l, 0)
+			fb.Br(held, "rel", "bad2")
+			fb.Block("bad2")
+			fb.Bug()
+			fb.Ret(0)
+		}
+		fb.Block("rel")
+		z := fb.Const(0)
+		fb.StoreField(lock, "locked", lk, z)
+		fb.IrqOn()
+		fb.Ret(0)
+	}
+}
+
+// buildSched emits the scheduler: find_next, schedule, schedule_timeout,
+// wake_sleepers, timer_tick, do_exit.
+func buildSched(pb *kir.ProgramBuilder, proc, stat *kir.Struct) {
+	// find_next() -> index of the next runnable process (round robin).
+	{
+		fb := pb.Func("find_next", 0, true)
+		fb.Block("entry")
+		ci := fb.Load(kir.W32, fb.GlobalAddr("current_idx", 0), 0)
+		base := fb.GlobalAddr("task_ptrs", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 1)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Le, i, NPROC)
+		fb.Br(c, "body", "fallback")
+		fb.Block("body")
+		j := fb.AndI(fb.Add(ci, i), NPROC-1)
+		p := fb.Load(kir.W32, fb.Add(base, fb.MulI(j, 4)), 0)
+		pid := fb.LoadField(proc, "pid", p)
+		alive := fb.CmpI(kir.Ne, pid, 0)
+		fb.Br(alive, "chkstate", "next")
+		fb.Block("chkstate")
+		st := fb.LoadField(proc, "state", p)
+		run := fb.CmpI(kir.Eq, st, TaskRunning)
+		fb.Br(run, "found", "next")
+		fb.Block("found")
+		fb.Ret(j)
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("fallback")
+		fb.RetI(0) // the idle process is always runnable
+	}
+	// schedule(): pick the next process and switch to it.
+	{
+		fb := pb.Func("schedule", 0, false)
+		fb.Block("entry")
+		nidx := fb.Call("find_next")
+		ci := fb.Load(kir.W32, fb.GlobalAddr("current_idx", 0), 0)
+		same := fb.Cmp(kir.Eq, nidx, ci)
+		fb.Br(same, "out", "switch")
+		fb.Block("switch")
+		base := fb.GlobalAddr("task_ptrs", 0)
+		prev := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		next := fb.Load(kir.W32, fb.Add(base, fb.MulI(nidx, 4)), 0)
+		fb.Store(kir.W32, fb.GlobalAddr("current", 0), 0, next)
+		fb.Store(kir.W32, fb.GlobalAddr("current_idx", 0), 0, nidx)
+		ks := fb.GlobalAddr("kstat", 0)
+		n := fb.LoadField(stat, "ctxsw", ks)
+		fb.StoreField(stat, "ctxsw", ks, fb.AddI(n, 1))
+		fb.CtxSw(prev, next)
+		fb.Ret(0)
+		fb.Block("out")
+		fb.Ret(0)
+	}
+	// schedule_timeout(t): the caller has already set current->state.
+	{
+		fb := pb.Func("schedule_timeout", 1, false)
+		t := fb.Param(0)
+		fb.Block("entry")
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		j := fb.Load(kir.W32, fb.GlobalAddr("jiffies", 0), 0)
+		fb.StoreField(proc, "sleep_until", cur, fb.Add(j, t))
+		fb.CallVoid("schedule")
+		fb.Ret(0)
+	}
+	// timer_tick(): jiffies, sleeper wakeup, timeslice accounting.
+	{
+		fb := pb.Func("timer_tick", 0, false)
+		fb.Block("entry")
+		jaddr := fb.GlobalAddr("jiffies", 0)
+		j0 := fb.Load(kir.W32, jaddr, 0)
+		j := fb.AddI(j0, 1)
+		fb.Store(kir.W32, jaddr, 0, j)
+		ks := fb.GlobalAddr("kstat", 0)
+		irqs := fb.LoadField(stat, "irqs", ks)
+		fb.StoreField(stat, "irqs", ks, fb.AddI(irqs, 1))
+		base := fb.GlobalAddr("task_ptrs", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Lt, i, NPROC)
+		fb.Br(c, "body", "slice")
+		fb.Block("body")
+		p := fb.Load(kir.W32, fb.Add(base, fb.MulI(i, 4)), 0)
+		st := fb.LoadField(proc, "state", p)
+		sleeping := fb.CmpI(kir.Eq, st, TaskInterruptible)
+		fb.Br(sleeping, "chkwake", "next")
+		fb.Block("chkwake")
+		su := fb.LoadField(proc, "sleep_until", p)
+		due := fb.Cmp(kir.Le, su, j)
+		fb.Br(due, "wake", "next")
+		fb.Block("wake")
+		z := fb.Const(TaskRunning)
+		fb.StoreField(proc, "state", p, z)
+		fb.Jmp("next")
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("slice")
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		t := fb.LoadField(proc, "ticks", cur)
+		expired := fb.CmpI(kir.Eq, t, 0)
+		fb.Br(expired, "resched", "dec")
+		fb.Block("dec")
+		fb.StoreField(proc, "ticks", cur, fb.SubI(t, 1))
+		fb.Ret(0)
+		fb.Block("resched")
+		ts := fb.Const(Timeslice)
+		fb.StoreField(proc, "ticks", cur, ts)
+		fb.CallVoid("schedule")
+		fb.Ret(0)
+	}
+	// do_exit(code): zombify and never come back.
+	{
+		fb := pb.Func("do_exit", 1, false)
+		code := fb.Param(0)
+		fb.Block("entry")
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		fb.StoreField(proc, "exit_code", cur, code)
+		zom := fb.Const(TaskZombie)
+		fb.StoreField(proc, "state", cur, zom)
+		fb.CallVoid("schedule")
+		// Returning into a zombie means the scheduler is broken.
+		fb.Bug()
+		fb.Ret(0)
+	}
+}
+
+// buildMM emits the page allocator: alloc_pages and free_pages_ok (Fig. 7's
+// injection site).
+func buildMM(pb *kir.ProgramBuilder, page, lock *kir.Struct) {
+	{
+		fb := pb.Func("alloc_pages", 0, true)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("page_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		h := fb.Load(kir.W32, fb.GlobalAddr("free_head", 0), 0)
+		empty := fb.CmpI(kir.Eq, h, 0)
+		fb.Br(empty, "none", "take")
+		fb.Block("none")
+		fb.CallVoid("spin_unlock", lk)
+		fb.RetI(0)
+		fb.Block("take")
+		idx := fb.SubI(h, 1)
+		p := fb.Index(page, fb.GlobalAddr("mem_map", 0), idx)
+		nx := fb.LoadField(page, "next", p)
+		fb.Store(kir.W32, fb.GlobalAddr("free_head", 0), 0, nx)
+		one := fb.Const(1)
+		fb.StoreField(page, "count", p, one)
+		fb.StoreField(page, "flags", p, one)
+		nf := fb.Load(kir.W32, fb.GlobalAddr("nr_free_pages", 0), 0)
+		fb.Store(kir.W32, fb.GlobalAddr("nr_free_pages", 0), 0, fb.SubI(nf, 1))
+		fb.CallVoid("spin_unlock", lk)
+		addr := fb.Add(fb.GlobalAddr("page_pool", 0), fb.MulI(idx, PageSize))
+		fb.Ret(addr)
+	}
+	{
+		fb := pb.Func("free_pages_ok", 1, false)
+		addr := fb.Param(0)
+		fb.Block("entry")
+		off := fb.Bin(kir.Sub, addr, fb.GlobalAddr("page_pool", 0))
+		idx := fb.BinImm(kir.Shr, off, 8) // PageSize == 256
+		valid := fb.CmpI(kir.ULt, idx, NPAGE)
+		fb.Br(valid, "chk", "bad")
+		fb.Block("bad")
+		fb.Bug()
+		fb.Ret(0)
+		fb.Block("chk")
+		p := fb.Index(page, fb.GlobalAddr("mem_map", 0), idx)
+		cnt := fb.LoadField(page, "count", p)
+		inuse := fb.CmpI(kir.Eq, cnt, 1)
+		fb.Br(inuse, "rel", "bad2")
+		fb.Block("bad2")
+		fb.Bug() // double free
+		fb.Ret(0)
+		fb.Block("rel")
+		z := fb.Const(0)
+		fb.StoreField(page, "count", p, z)
+		fb.StoreField(page, "flags", p, z)
+		lk := fb.GlobalAddr("page_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		h := fb.Load(kir.W32, fb.GlobalAddr("free_head", 0), 0)
+		fb.StoreField(page, "next", p, h)
+		fb.Store(kir.W32, fb.GlobalAddr("free_head", 0), 0, fb.AddI(idx, 1))
+		nf := fb.Load(kir.W32, fb.GlobalAddr("nr_free_pages", 0), 0)
+		fb.Store(kir.W32, fb.GlobalAddr("nr_free_pages", 0), 0, fb.AddI(nf, 1))
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(0)
+	}
+}
+
+// buildFS emits the buffer cache: getblk, sync_old_buffers, and the kupdate
+// daemon (Fig. 8's injection site).
+func buildFS(pb *kir.ProgramBuilder, buf, proc *kir.Struct) {
+	// getblk(blocknr) -> buffer index; loads from disk on miss.
+	{
+		fb := pb.Func("getblk", 1, true)
+		want := fb.Param(0)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("buf_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		base := fb.GlobalAddr("buffer_heads", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Lt, i, NBUF)
+		fb.Br(c, "body", "miss")
+		fb.Block("body")
+		b := fb.Index(buf, base, i)
+		st := fb.LoadField(buf, "state", b)
+		valid := fb.CmpI(kir.Ne, st, 0)
+		fb.Br(valid, "cmpno", "next")
+		fb.Block("cmpno")
+		bn := fb.LoadField(buf, "blocknr", b)
+		hit := fb.Cmp(kir.Eq, bn, want)
+		fb.Br(hit, "found", "next")
+		fb.Block("found")
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(i)
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("miss")
+		clk := fb.Load(kir.W32, fb.GlobalAddr("buf_clock", 0), 0)
+		victim := fb.AndI(clk, NBUF-1)
+		fb.Store(kir.W32, fb.GlobalAddr("buf_clock", 0), 0, fb.AddI(clk, 1))
+		vb := fb.Index(buf, base, victim)
+		// b_data travels in the buffer head, as on the real kernel: a
+		// corrupted pointer here is dereferenced by the copies below.
+		vdata := fb.LoadField(buf, "data", vb)
+		d := fb.LoadField(buf, "dirty", vb)
+		dirty := fb.CmpI(kir.Ne, d, 0)
+		fb.Br(dirty, "writeback", "load")
+		fb.Block("writeback")
+		obn := fb.LoadField(buf, "blocknr", vb)
+		odst := fb.Add(fb.GlobalAddr("disk", 0), fb.MulI(obn, BufSize))
+		sz := fb.Const(BufSize)
+		fb.CallVoid("memcpy", odst, vdata, sz)
+		z := fb.Const(0)
+		fb.StoreField(buf, "dirty", vb, z)
+		fb.Jmp("load")
+		fb.Block("load")
+		src := fb.Add(fb.GlobalAddr("disk", 0), fb.MulI(want, BufSize))
+		sz2 := fb.Const(BufSize)
+		fb.CallVoid("memcpy", vdata, src, sz2)
+		fb.StoreField(buf, "blocknr", vb, want)
+		one := fb.Const(1)
+		fb.StoreField(buf, "state", vb, one)
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(victim)
+	}
+	// sync_old_buffers(): flush dirty buffers back to disk.
+	{
+		fb := pb.Func("sync_old_buffers", 0, false)
+		fb.Block("entry")
+		base := fb.GlobalAddr("buffer_heads", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Lt, i, NBUF)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		b := fb.Index(buf, base, i)
+		d := fb.LoadField(buf, "dirty", b)
+		dirty := fb.CmpI(kir.Ne, d, 0)
+		fb.Br(dirty, "flush", "next")
+		fb.Block("flush")
+		lk := fb.GlobalAddr("buf_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		bn := fb.LoadField(buf, "blocknr", b)
+		dst := fb.Add(fb.GlobalAddr("disk", 0), fb.MulI(bn, BufSize))
+		src := fb.LoadField(buf, "data", b)
+		sz := fb.Const(BufSize)
+		fb.CallVoid("memcpy", dst, src, sz)
+		z := fb.Const(0)
+		fb.StoreField(buf, "dirty", b, z)
+		fb.CallVoid("spin_unlock", lk)
+		fb.Jmp("next")
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(0)
+	}
+	// kupdate(): the dirty-buffer flush daemon (the Figure 8 shape: the task
+	// pointer lives on the kernel stack and its ->state is stored through it).
+	{
+		fb := pb.Func("kupdate", 0, false)
+		fb.Block("entry")
+		fb.Jmp("loop")
+		fb.Block("loop")
+		tsk := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		st := fb.Const(TaskInterruptible)
+		fb.StoreField(proc, "state", tsk, st)
+		iv := fb.Const(40)
+		fb.CallVoid("schedule_timeout", iv)
+		fb.CallVoid("sync_old_buffers")
+		fb.Jmp("loop")
+	}
+}
+
+// buildJournal emits the journaling machinery and the kjournald daemon (the
+// Figure 9 shape: transaction = journal->j_running_transaction, then
+// transaction->t_expires).
+func buildJournal(pb *kir.ProgramBuilder, journal, trans, proc *kir.Struct) {
+	{
+		fb := pb.Func("journal_commit", 1, false)
+		t := fb.Param(0)
+		fb.Block("entry")
+		jn := fb.GlobalAddr("journal", 0)
+		n := fb.LoadField(journal, "j_commits", jn)
+		fb.StoreField(journal, "j_commits", jn, fb.AddI(n, 1))
+		seq := fb.LoadField(journal, "j_commit_sequence", jn)
+		seq1 := fb.AddI(seq, 1)
+		fb.StoreField(journal, "j_commit_sequence", jn, seq1)
+		z := fb.Const(0)
+		fb.StoreField(trans, "t_nblocks", t, z)
+		fb.StoreField(trans, "t_state", t, z)
+		// Rotate to the other transaction descriptor.
+		idx := fb.AndI(seq1, 1)
+		nt := fb.Index(trans, fb.GlobalAddr("transactions", 0), idx)
+		one := fb.Const(1)
+		fb.StoreField(trans, "t_state", nt, one)
+		j := fb.Load(kir.W32, fb.GlobalAddr("jiffies", 0), 0)
+		fb.StoreField(trans, "t_expires", nt, fb.AddI(j, 20))
+		fb.StoreField(journal, "j_running_transaction", jn, nt)
+		fb.Ret(0)
+	}
+	{
+		fb := pb.Func("kjournald", 0, false)
+		fb.Block("entry")
+		fb.Jmp("loop")
+		fb.Block("loop")
+		lk := fb.GlobalAddr("journal_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		jn := fb.GlobalAddr("journal", 0)
+		t := fb.LoadField(journal, "j_running_transaction", jn)
+		have := fb.CmpI(kir.Ne, t, 0)
+		fb.Br(have, "chk", "skip")
+		fb.Block("chk")
+		exp := fb.LoadField(trans, "t_expires", t)
+		j := fb.Load(kir.W32, fb.GlobalAddr("jiffies", 0), 0)
+		due := fb.Cmp(kir.Le, exp, j)
+		fb.Br(due, "commit", "skip")
+		fb.Block("commit")
+		fb.CallVoid("journal_commit", t)
+		fb.Jmp("skip")
+		fb.Block("skip")
+		fb.CallVoid("spin_unlock", lk)
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		st := fb.Const(TaskInterruptible)
+		fb.StoreField(proc, "state", cur, st)
+		iv := fb.Const(25)
+		fb.CallVoid("schedule_timeout", iv)
+		fb.Jmp("loop")
+	}
+}
+
+// buildNet emits the network transmit path: alloc_skb (Fig. 7's crash site),
+// net_tx, free_skb.
+func buildNet(pb *kir.ProgramBuilder, skb, nst *kir.Struct) {
+	{
+		fb := pb.Func("alloc_skb", 1, true)
+		n := fb.Param(0)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("net_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		base := fb.GlobalAddr("skbs", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Lt, i, NSKB)
+		fb.Br(c, "body", "none")
+		fb.Block("body")
+		sk := fb.Index(skb, base, i)
+		u := fb.LoadField(skb, "used", sk)
+		free := fb.CmpI(kir.Eq, u, 0)
+		fb.Br(free, "take", "next")
+		fb.Block("take")
+		one := fb.Const(1)
+		fb.StoreField(skb, "used", sk, one)
+		fb.StoreField(skb, "len", sk, n)
+		data := fb.Add(fb.GlobalAddr("skb_data", 0), fb.MulI(i, SkbSize))
+		fb.StoreField(skb, "data", sk, data)
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(fb.AddI(i, 1))
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("none")
+		ns := fb.GlobalAddr("netstats", 0)
+		d := fb.LoadField(nst, "drops", ns)
+		fb.StoreField(nst, "drops", ns, fb.AddI(d, 1))
+		fb.CallVoid("spin_unlock", lk)
+		fb.RetI(0)
+	}
+	{
+		fb := pb.Func("free_skb", 1, false)
+		h := fb.Param(0)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("net_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		sk := fb.Index(skb, fb.GlobalAddr("skbs", 0), fb.SubI(h, 1))
+		z := fb.Const(0)
+		fb.StoreField(skb, "used", sk, z)
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(0)
+	}
+	{
+		fb := pb.Func("net_tx", 2, false)
+		_, n := fb.Param(0), fb.Param(1)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("net_lock", 0)
+		fb.CallVoid("spin_lock", lk)
+		ns := fb.GlobalAddr("netstats", 0)
+		pk := fb.LoadField(nst, "tx_packets", ns)
+		fb.StoreField(nst, "tx_packets", ns, fb.AddI(pk, 1))
+		by := fb.LoadField(nst, "tx_bytes", ns)
+		fb.StoreField(nst, "tx_bytes", ns, fb.Add(by, n))
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(0)
+	}
+}
+
+// buildPipe emits the pipe ring buffer: a single kernel pipe with
+// non-blocking reads and writes (user space retries with sys_yield), the
+// UnixBench pipe-throughput substrate.
+func buildPipe(pb *kir.ProgramBuilder, pipe *kir.Struct) {
+	// sys_pipewrite(ubuf, n) -> bytes written
+	{
+		fb := pb.Func("sys_pipewrite", 3, true)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("kernel_flag", 0)
+		fb.CallVoid("spin_lock", lk)
+		pp := fb.GlobalAddr("pipe0", 0)
+		cnt := fb.LoadField(pipe, "count", pp)
+		space := fb.Bin(kir.Sub, fb.Const(PipeSize), cnt)
+		n := fb.AndI(fb.Param(1), PipeSize-1)
+		useN := fb.Cmp(kir.Le, n, space)
+		m := fb.Var()
+		fb.Br(useN, "taken", "clamped")
+		fb.Block("taken")
+		fb.MovTo(m, n)
+		fb.Jmp("copy")
+		fb.Block("clamped")
+		fb.MovTo(m, space)
+		fb.Jmp("copy")
+		fb.Block("copy")
+		head := fb.LoadField(pipe, "head", pp)
+		buf := fb.GlobalAddr("pipe_buf", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("loop")
+		fb.Block("loop")
+		c := fb.Cmp(kir.Lt, i, m)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		v := fb.Load(kir.W8, fb.Add(fb.Param(0), i), 0)
+		slot := fb.AndI(fb.Add(head, i), PipeSize-1)
+		fb.Store(kir.W8, fb.Add(buf, slot), 0, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("loop")
+		fb.Block("done")
+		fb.StoreField(pipe, "head", pp, fb.AndI(fb.Add(head, m), PipeSize-1))
+		fb.StoreField(pipe, "count", pp, fb.Add(cnt, m))
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(m)
+	}
+	// sys_piperead(ubuf, n) -> bytes read
+	{
+		fb := pb.Func("sys_piperead", 3, true)
+		fb.Block("entry")
+		lk := fb.GlobalAddr("kernel_flag", 0)
+		fb.CallVoid("spin_lock", lk)
+		pp := fb.GlobalAddr("pipe0", 0)
+		cnt := fb.LoadField(pipe, "count", pp)
+		n := fb.AndI(fb.Param(1), PipeSize-1)
+		useN := fb.Cmp(kir.Le, n, cnt)
+		m := fb.Var()
+		fb.Br(useN, "taken", "clamped")
+		fb.Block("taken")
+		fb.MovTo(m, n)
+		fb.Jmp("copy")
+		fb.Block("clamped")
+		fb.MovTo(m, cnt)
+		fb.Jmp("copy")
+		fb.Block("copy")
+		tail := fb.LoadField(pipe, "tail", pp)
+		buf := fb.GlobalAddr("pipe_buf", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("loop")
+		fb.Block("loop")
+		c := fb.Cmp(kir.Lt, i, m)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		slot := fb.AndI(fb.Add(tail, i), PipeSize-1)
+		v := fb.Load(kir.W8, fb.Add(buf, slot), 0)
+		fb.Store(kir.W8, fb.Add(fb.Param(0), i), 0, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("loop")
+		fb.Block("done")
+		fb.StoreField(pipe, "tail", pp, fb.AndI(fb.Add(tail, m), PipeSize-1))
+		fb.StoreField(pipe, "count", pp, fb.Bin(kir.Sub, cnt, m))
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(m)
+	}
+}
+
+// buildSyscalls emits each sys_* handler and the dispatcher.
+func buildSyscalls(pb *kir.ProgramBuilder, proc, stat *kir.Struct) {
+	sys := func(name string) *kir.FuncBuilder {
+		fb := pb.Func(name, 3, true)
+		fb.Block("entry")
+		return fb
+	}
+
+	{
+		fb := sys("sys_getpid")
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		fb.Ret(fb.LoadField(proc, "pid", cur))
+	}
+	{
+		fb := sys("sys_yield")
+		fb.CallVoid("schedule")
+		fb.RetI(0)
+	}
+	{
+		fb := sys("sys_read") // (block, ubuf, n)
+		blk := fb.AndI(fb.Param(0), NBLOCK-1)
+		n := fb.AndI(fb.Param(2), BufSize-1)
+		i := fb.Call("getblk", blk)
+		bhS := pb.Program().Struct("buffer_head")
+		bh := fb.Index(bhS, fb.GlobalAddr("buffer_heads", 0), i)
+		src := fb.LoadField(bhS, "data", bh)
+		fb.CallVoid("memcpy", fb.Param(1), src, n)
+		fb.Ret(n)
+	}
+	{
+		fb := sys("sys_write") // (block, ubuf, n)
+		blk := fb.AndI(fb.Param(0), NBLOCK-1)
+		n := fb.AndI(fb.Param(2), BufSize-1)
+		i := fb.Call("getblk", blk)
+		bufS := pb.Program().Struct("buffer_head")
+		b := fb.Index(bufS, fb.GlobalAddr("buffer_heads", 0), i)
+		dst := fb.LoadField(bufS, "data", b)
+		fb.CallVoid("memcpy", dst, fb.Param(1), n)
+		one := fb.Const(1)
+		fb.StoreField(bufS, "dirty", b, one)
+		sz := fb.Const(BufSize)
+		cs := fb.Call("csum_partial", dst, sz)
+		fb.StoreField(bufS, "csum", b, cs)
+		// Writing dirties the running transaction too.
+		jS := pb.Program().Struct("journal_t")
+		tS := pb.Program().Struct("transaction_t")
+		jn := fb.GlobalAddr("journal", 0)
+		t := fb.LoadField(jS, "j_running_transaction", jn)
+		hasT := fb.CmpI(kir.Ne, t, 0)
+		fb.Br(hasT, "dirtyt", "out")
+		fb.Block("dirtyt")
+		nb := fb.LoadField(tS, "t_nblocks", t)
+		fb.StoreField(tS, "t_nblocks", t, fb.AddI(nb, 1))
+		fb.Jmp("out")
+		fb.Block("out")
+		fb.Ret(n)
+	}
+	{
+		fb := sys("sys_send") // (ubuf, n)
+		n := fb.AndI(fb.Param(1), SkbSize-1)
+		h := fb.Call("alloc_skb", n)
+		got := fb.CmpI(kir.Ne, h, 0)
+		fb.Br(got, "copy", "drop")
+		fb.Block("drop")
+		fb.RetI(-1)
+		fb.Block("copy")
+		skbS := pb.Program().Struct("sk_buff")
+		sk := fb.Index(skbS, fb.GlobalAddr("skbs", 0), fb.SubI(h, 1))
+		data := fb.LoadField(skbS, "data", sk)
+		fb.CallVoid("memcpy", data, fb.Param(0), n)
+		cs := fb.Call("csum_partial", data, n)
+		fb.StoreField(skbS, "csum", sk, cs)
+		fb.CallVoid("net_tx", h, n)
+		fb.CallVoid("free_skb", h)
+		fb.Ret(cs)
+	}
+	{
+		fb := sys("sys_sleep") // (ticks)
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		st := fb.Const(TaskInterruptible)
+		fb.StoreField(proc, "state", cur, st)
+		fb.CallVoid("schedule_timeout", fb.Param(0))
+		fb.RetI(0)
+	}
+	{
+		fb := sys("sys_exit") // (code)
+		fb.CallVoid("do_exit", fb.Param(0))
+		fb.RetI(0)
+	}
+	{
+		fb := sys("sys_memstress") // (iterations)
+		n := fb.AndI(fb.Param(0), 63)
+		i := fb.Var()
+		ok := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.ConstTo(ok, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.Cmp(kir.Lt, i, n)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		a := fb.Call("alloc_pages")
+		have := fb.CmpI(kir.Ne, a, 0)
+		fb.Br(have, "useit", "next")
+		fb.Block("useit")
+		// Touch the page, then free it through free_pages_ok.
+		v := fb.AddI(i, 0x5A)
+		sz := fb.Const(32)
+		fb.CallVoid("memset", a, v, sz)
+		fb.CallVoid("free_pages_ok", a)
+		fb.BinImmTo(ok, kir.Add, ok, 1)
+		fb.Jmp("next")
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(ok)
+	}
+	{
+		fb := sys("sys_jiffies")
+		fb.Ret(fb.Load(kir.W32, fb.GlobalAddr("jiffies", 0), 0))
+	}
+	{
+		fb := sys("sys_active") // count of live user processes
+		base := fb.GlobalAddr("task_ptrs", 0)
+		i := fb.Var()
+		n := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.ConstTo(n, 0)
+		fb.Jmp("head")
+		fb.Block("head")
+		c := fb.CmpI(kir.Lt, i, NPROC)
+		fb.Br(c, "body", "done")
+		fb.Block("body")
+		p := fb.Load(kir.W32, fb.Add(base, fb.MulI(i, 4)), 0)
+		pid := fb.LoadField(proc, "pid", p)
+		alive := fb.CmpI(kir.Ne, pid, 0)
+		fb.Br(alive, "chkuser", "next")
+		fb.Block("chkuser")
+		fl := fb.LoadField(proc, "flags", p)
+		usr := fb.AndI(fl, PFUser)
+		isUser := fb.CmpI(kir.Ne, usr, 0)
+		fb.Br(isUser, "chkzombie", "next")
+		fb.Block("chkzombie")
+		st := fb.LoadField(proc, "state", p)
+		gone := fb.CmpI(kir.Eq, st, TaskZombie)
+		fb.Br(gone, "next", "count")
+		fb.Block("count")
+		fb.BinImmTo(n, kir.Add, n, 1)
+		fb.Jmp("next")
+		fb.Block("next")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("head")
+		fb.Block("done")
+		fb.Ret(n)
+	}
+	{
+		fb := sys("sys_putresult") // (slot, value)
+		lk := fb.GlobalAddr("kernel_flag", 0)
+		fb.CallVoid("spin_lock", lk)
+		slot := fb.AndI(fb.Param(0), NPROC-1)
+		addr := fb.Add(fb.GlobalAddr("results", 0), fb.MulI(slot, 4))
+		fb.Store(kir.W32, addr, 0, fb.Param(1))
+		fb.CallVoid("spin_unlock", lk)
+		fb.RetI(0)
+	}
+	{
+		fb := sys("sys_getresult") // (slot)
+		lk := fb.GlobalAddr("kernel_flag", 0)
+		fb.CallVoid("spin_lock", lk)
+		slot := fb.AndI(fb.Param(0), NPROC-1)
+		addr := fb.Add(fb.GlobalAddr("results", 0), fb.MulI(slot, 4))
+		v := fb.Load(kir.W32, addr, 0)
+		fb.CallVoid("spin_unlock", lk)
+		fb.Ret(v)
+	}
+
+	// syscall_entry(no, a, b, c): table dispatch.
+	{
+		fb := pb.Func("syscall_entry", 4, true)
+		no := fb.Param(0)
+		fb.Block("entry")
+		ks := fb.GlobalAddr("kstat", 0)
+		n := fb.LoadField(stat, "syscalls", ks)
+		fb.StoreField(stat, "syscalls", ks, fb.AddI(n, 1))
+		cur := fb.Load(kir.W32, fb.GlobalAddr("current", 0), 0)
+		sc := fb.LoadField(proc, "syscalls", cur)
+		fb.StoreField(proc, "syscalls", cur, fb.AddI(sc, 1))
+		ok := fb.CmpI(kir.ULt, no, NSYS)
+		fb.Br(ok, "look", "bad")
+		fb.Block("bad")
+		fb.RetI(-1)
+		fb.Block("look")
+		tbl := fb.GlobalAddr("sys_call_table", 0)
+		fp := fb.Load(kir.W32, fb.Add(tbl, fb.MulI(no, 4)), 0)
+		set := fb.CmpI(kir.Ne, fp, 0)
+		fb.Br(set, "go", "bad2")
+		fb.Block("bad2")
+		fb.RetI(-1)
+		fb.Block("go")
+		r := fb.CallPtr(fp, true, fb.Param(1), fb.Param(2), fb.Param(3))
+		fb.Ret(r)
+	}
+}
+
+// buildBoot emits kmain (one-shot initialization, called by the boot loader)
+// and kstart (the idle loop the machine enters on every reboot).
+func buildBoot(pb *kir.ProgramBuilder, proc, page, journal, trans *kir.Struct) {
+	{
+		fb := pb.Func("kmain", 0, false)
+		fb.Block("entry")
+		// Page allocator free list.
+		base := fb.GlobalAddr("mem_map", 0)
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("pghead")
+		fb.Block("pghead")
+		c := fb.CmpI(kir.Lt, i, NPAGE)
+		fb.Br(c, "pgbody", "pgdone")
+		fb.Block("pgbody")
+		p := fb.Index(page, base, i)
+		last := fb.CmpI(kir.Eq, i, NPAGE-1)
+		fb.Br(last, "pglast", "pgmid")
+		fb.Block("pglast")
+		z := fb.Const(0)
+		fb.StoreField(page, "next", p, z)
+		fb.Jmp("pgnext")
+		fb.Block("pgmid")
+		fb.StoreField(page, "next", p, fb.AddI(i, 2))
+		fb.Jmp("pgnext")
+		fb.Block("pgnext")
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("pghead")
+		fb.Block("pgdone")
+		one := fb.Const(1)
+		fb.Store(kir.W32, fb.GlobalAddr("free_head", 0), 0, one)
+		np := fb.Const(NPAGE)
+		fb.Store(kir.W32, fb.GlobalAddr("nr_free_pages", 0), 0, np)
+
+		// Buffer heads carry their payload pointers (b_data).
+		bhS := pb.Program().Struct("buffer_head")
+		bbase := fb.GlobalAddr("buffer_heads", 0)
+		bd := fb.GlobalAddr("buffer_data", 0)
+		bi := fb.Var()
+		fb.ConstTo(bi, 0)
+		fb.Jmp("bhead")
+		fb.Block("bhead")
+		bc2 := fb.CmpI(kir.Lt, bi, NBUF)
+		fb.Br(bc2, "bbody", "bdone")
+		fb.Block("bbody")
+		bh := fb.Index(bhS, bbase, bi)
+		fb.StoreField(bhS, "data", bh, fb.Add(bd, fb.MulI(bi, BufSize)))
+		fb.BinImmTo(bi, kir.Add, bi, 1)
+		fb.Jmp("bhead")
+		fb.Block("bdone")
+
+		// Journal: transaction 0 running.
+		t0 := fb.GlobalAddr("transactions", 0)
+		fb.StoreField(trans, "t_state", t0, one)
+		exp := fb.Const(20)
+		fb.StoreField(trans, "t_expires", t0, exp)
+		jn := fb.GlobalAddr("journal", 0)
+		fb.StoreField(journal, "j_running_transaction", jn, t0)
+
+		// Syscall table (in syscall-number order; emission must be
+		// deterministic so both images are reproducible).
+		tbl := fb.GlobalAddr("sys_call_table", 0)
+		handlers := []string{
+			SysGetpid:    "sys_getpid",
+			SysYield:     "sys_yield",
+			SysRead:      "sys_read",
+			SysWrite:     "sys_write",
+			SysSend:      "sys_send",
+			SysSleep:     "sys_sleep",
+			SysExit:      "sys_exit",
+			SysMemstress: "sys_memstress",
+			SysJiffies:   "sys_jiffies",
+			SysActive:    "sys_active",
+			SysPutResult: "sys_putresult",
+			SysGetResult: "sys_getresult",
+			SysPipeWrite: "sys_pipewrite",
+			SysPipeRead:  "sys_piperead",
+		}
+		for no, name := range handlers {
+			fb.Store(kir.W32, tbl, int32(4*no), fb.FuncAddr(name))
+		}
+		fb.Ret(0)
+	}
+	{
+		fb := pb.Func("kstart", 0, false)
+		fb.Block("entry")
+		fb.IrqOn()
+		fb.Jmp("idle")
+		fb.Block("idle")
+		fb.Halt()
+		fb.Jmp("idle")
+	}
+}

@@ -1,0 +1,145 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+	"kfi/internal/workload"
+)
+
+func buildStandard(t *testing.T, platform isa.Platform) *kernel.System {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), platform, kernel.UserBases)
+	if err != nil {
+		t.Fatalf("compile workload: %v", err)
+	}
+	sys, err := kernel.BuildSystem(platform, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	return sys
+}
+
+func TestBootAndRunBothPlatforms(t *testing.T) {
+	var checksums [2]uint32
+	var cycles [2]uint64
+	for pi, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		t.Run(platform.Short(), func(t *testing.T) {
+			sys := buildStandard(t, platform)
+			res := sys.Run()
+			if res.Outcome != machine.OutCompleted {
+				t.Fatalf("outcome = %v (crash=%+v, cycles=%d)", res.Outcome, res.Crash, res.Cycles)
+			}
+			if res.Checksum == 0 {
+				t.Error("zero checksum")
+			}
+			checksums[pi] = res.Checksum
+			cycles[pi] = res.Cycles
+			t.Logf("%v: checksum=0x%08x cycles=%d", platform, res.Checksum, res.Cycles)
+		})
+	}
+	if checksums[0] != 0 && checksums[1] != 0 && checksums[0] != checksums[1] {
+		t.Errorf("platforms disagree: p4=0x%08x g4=0x%08x (workload results must be platform-independent)",
+			checksums[0], checksums[1])
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	r1 := sys.Run()
+	r2 := sys.Run()
+	if r1.Outcome != machine.OutCompleted || r2.Outcome != machine.OutCompleted {
+		t.Fatalf("outcomes: %v, %v", r1.Outcome, r2.Outcome)
+	}
+	if r1.Checksum != r2.Checksum || r1.Cycles != r2.Cycles {
+		t.Errorf("runs differ: (0x%x,%d) vs (0x%x,%d)", r1.Checksum, r1.Cycles, r2.Checksum, r2.Cycles)
+	}
+}
+
+func TestKernelActivityCounters(t *testing.T) {
+	sys := buildStandard(t, isa.RISC)
+	res := sys.Run()
+	if res.Outcome != machine.OutCompleted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	m := sys.Machine.Mem
+	im := sys.KernelImage
+	read32 := func(sym string) uint32 { return m.RawRead(im.Sym(sym), 4) }
+	if j := read32("jiffies"); j == 0 {
+		t.Error("timer never ticked")
+	}
+	// kstat fields: ctxsw, irqs, syscalls (first three words on both
+	// layouts since all are W32).
+	kstat := im.Sym("kstat")
+	if v := m.RawRead(kstat, 4); v == 0 {
+		t.Error("no context switches")
+	}
+	if v := m.RawRead(kstat+8, 4); v == 0 {
+		t.Error("no syscalls recorded")
+	}
+	// All user workers exited.
+	for i, ps := range sys.Procs {
+		if !ps.User || ps.Name == "coordinator" {
+			continue
+		}
+		if st := sys.ReadProcField(i, "state"); st != kernel.TaskZombie {
+			t.Errorf("proc %s state = %d, want zombie", ps.Name, st)
+		}
+	}
+	// The journal committed at least once.
+	if v := m.RawRead(im.Sym("journal")+8, 4); v == 0 {
+		t.Logf("note: journal commits = 0 (run may be too short)")
+	}
+}
+
+func TestProcFieldAccessors(t *testing.T) {
+	sys := buildStandard(t, isa.CISC)
+	if got := sys.ReadProcField(0, "pid"); got != 1 {
+		t.Errorf("idle pid = %d, want 1", got)
+	}
+	if got := sys.ReadProcField(3, "flags"); got != kernel.PFUser {
+		t.Errorf("worker flags = %d, want PFUser", got)
+	}
+	if got := sys.ReadProcField(2, "kstack"); got != kernel.KStackTop(2) {
+		t.Errorf("kstack = 0x%x, want 0x%x", got, kernel.KStackTop(2))
+	}
+}
+
+func TestStackRegionsRegistered(t *testing.T) {
+	sys := buildStandard(t, isa.RISC)
+	regions := sys.Machine.Mem.Regions()
+	var stacks int
+	for _, r := range regions {
+		if r.Name == "kstack3" {
+			if r.Size() != kernel.KStackSizeRISC {
+				t.Errorf("RISC kernel stack size = %d, want %d (8 KiB, as on the G4)",
+					r.Size(), kernel.KStackSizeRISC)
+			}
+		}
+	}
+	for _, r := range regions {
+		_ = r
+	}
+	sysC := buildStandard(t, isa.CISC)
+	if r, ok := sysC.Machine.Mem.RegionByName("kstack3"); !ok || r.Size() != kernel.KStackSizeCISC {
+		t.Errorf("CISC kernel stack size = %d, want %d (4 KiB, as on the P4)", r.Size(), kernel.KStackSizeCISC)
+	}
+	_ = stacks
+}
+
+func TestKernelProgramDeterministic(t *testing.T) {
+	// The syscall-table construction once used map iteration; this pins the
+	// fix — identical IR on every build.
+	a := kernel.ProgramWith(kernel.ProgOptions{}).Prog.Dump()
+	b := kernel.ProgramWith(kernel.ProgOptions{}).Prog.Dump()
+	if a != b {
+		t.Fatal("kernel IR differs between two identical builds")
+	}
+	// The ablation variant genuinely differs.
+	if kernel.ProgramWith(kernel.ProgOptions{NoSpinlockDebug: true}).Prog.Dump() == a {
+		t.Fatal("NoSpinlockDebug variant is identical to the default kernel")
+	}
+}

@@ -1,0 +1,383 @@
+package kir
+
+import "fmt"
+
+// ProgramBuilder assembles a Program. It panics on structural misuse (those
+// are build-time bugs in the guest kernel source, not runtime conditions);
+// Program.Validate provides a non-panicking second check.
+type ProgramBuilder struct {
+	prog *Program
+}
+
+// NewProgram returns an empty program builder.
+func NewProgram() *ProgramBuilder {
+	return &ProgramBuilder{prog: &Program{}}
+}
+
+// Program finalizes and returns the program.
+func (pb *ProgramBuilder) Program() *Program {
+	// Calls to void functions were built with a result register (the callee
+	// may not have existed yet when the call was emitted); discard results
+	// that are never read so the backends do not materialize them. Results
+	// of void callees that ARE read survive here and fail validation with a
+	// precise error.
+	for _, f := range pb.prog.Funcs {
+		used := make(map[Reg]bool)
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				for _, r := range []Reg{in.A, in.B} {
+					used[r] = true
+				}
+				for _, r := range in.Args {
+					used[r] = true
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Kind != KCall || in.Dst == 0 || used[in.Dst] {
+					continue
+				}
+				if callee := pb.prog.Func(in.Sym); callee != nil && !callee.HasRet {
+					in.Dst = 0
+				}
+			}
+		}
+	}
+	return pb.prog
+}
+
+// F8, F16, F32 construct scalar fields.
+func F8(name string) Field { return Field{Name: name, Width: W8} }
+
+// F16 constructs a 16-bit field.
+func F16(name string) Field { return Field{Name: name, Width: W16} }
+
+// F32 constructs a 32-bit field.
+func F32(name string) Field { return Field{Name: name, Width: W32} }
+
+// FArr constructs an array field of count elements of width w.
+func FArr(name string, w Width, count int) Field {
+	return Field{Name: name, Width: w, Count: count}
+}
+
+// Struct declares a struct type.
+func (pb *ProgramBuilder) Struct(name string, fields ...Field) *Struct {
+	if pb.prog.Struct(name) != nil {
+		panic(fmt.Sprintf("kir: struct %q declared twice", name))
+	}
+	s := &Struct{Name: name, Fields: fields}
+	pb.prog.Structs = append(pb.prog.Structs, s)
+	return s
+}
+
+// GlobalStruct declares a global array of count structs.
+func (pb *ProgramBuilder) GlobalStruct(name string, s *Struct, count int, init ...uint32) *Global {
+	g := &Global{Name: name, Type: s, Count: count, Init: init}
+	pb.addGlobal(g)
+	return g
+}
+
+// GlobalBytes declares a raw global buffer of the given size; init seeds its
+// first bytes.
+func (pb *ProgramBuilder) GlobalBytes(name string, size uint32, init []byte) *Global {
+	g := &Global{Name: name, Size: size, InitBytes: init}
+	pb.addGlobal(g)
+	return g
+}
+
+// GlobalBSS declares an uninitialized global buffer placed in the bss region.
+func (pb *ProgramBuilder) GlobalBSS(name string, size uint32) *Global {
+	g := &Global{Name: name, Size: size, BSS: true}
+	pb.addGlobal(g)
+	return g
+}
+
+// GlobalHeap declares a dynamically-backed buffer (page cache, packet pools)
+// placed in the heap section rather than the kernel's static data.
+func (pb *ProgramBuilder) GlobalHeap(name string, size uint32) *Global {
+	g := &Global{Name: name, Size: size, Heap: true}
+	pb.addGlobal(g)
+	return g
+}
+
+func (pb *ProgramBuilder) addGlobal(g *Global) {
+	if pb.prog.Global(g.Name) != nil {
+		panic(fmt.Sprintf("kir: global %q declared twice", g.Name))
+	}
+	pb.prog.Globals = append(pb.prog.Globals, g)
+}
+
+// FuncBuilder assembles one function.
+type FuncBuilder struct {
+	pb   *ProgramBuilder
+	fn   *Func
+	cur  *Block
+	done bool
+}
+
+// Func declares a function with nparams parameters. hasRet declares a return
+// value.
+func (pb *ProgramBuilder) Func(name string, nparams int, hasRet bool) *FuncBuilder {
+	if pb.prog.Func(name) != nil {
+		panic(fmt.Sprintf("kir: func %q declared twice", name))
+	}
+	if nparams > 8 {
+		panic(fmt.Sprintf("kir: func %q has %d params; max 8 (register ABI)", name, nparams))
+	}
+	fn := &Func{Name: name, NParams: nparams, HasRet: hasRet, nextReg: Reg(nparams + 1)}
+	pb.prog.Funcs = append(pb.prog.Funcs, fn)
+	return &FuncBuilder{pb: pb, fn: fn}
+}
+
+// Fn returns the function under construction.
+func (fb *FuncBuilder) Fn() *Func { return fb.fn }
+
+// Param returns the register holding parameter i.
+func (fb *FuncBuilder) Param(i int) Reg { return fb.fn.Param(i) }
+
+// Local declares a function-local memory object.
+func (fb *FuncBuilder) Local(name string, w Width, count int) {
+	if fb.fn.LocalIndex(name) >= 0 {
+		panic(fmt.Sprintf("kir: local %q declared twice in %s", name, fb.fn.Name))
+	}
+	if count < 1 {
+		count = 1
+	}
+	fb.fn.Locals = append(fb.fn.Locals, Local{Name: name, Width: w, Count: count})
+}
+
+// Block starts (or switches to) the named block. The first Block call
+// defines the entry block.
+func (fb *FuncBuilder) Block(name string) {
+	if b := fb.fn.Block(name); b != nil {
+		panic(fmt.Sprintf("kir: block %q defined twice in %s", name, fb.fn.Name))
+	}
+	b := &Block{Name: name}
+	fb.fn.Blocks = append(fb.fn.Blocks, b)
+	fb.cur = b
+}
+
+func (fb *FuncBuilder) emit(in Instr) Reg {
+	if fb.cur == nil {
+		panic(fmt.Sprintf("kir: emit outside block in %s", fb.fn.Name))
+	}
+	if fb.cur.Terminated() {
+		panic(fmt.Sprintf("kir: emit after terminator in %s.%s", fb.fn.Name, fb.cur.Name))
+	}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+	return in.Dst
+}
+
+func (fb *FuncBuilder) newReg() Reg {
+	fb.fn.nextReg++
+	return fb.fn.nextReg - 1
+}
+
+// Const materializes a constant.
+func (fb *FuncBuilder) Const(v int32) Reg {
+	return fb.emit(Instr{Kind: KConst, Dst: fb.newReg(), Imm: v})
+}
+
+// Bin computes a op b.
+func (fb *FuncBuilder) Bin(op BinOp, a, b Reg) Reg {
+	return fb.emit(Instr{Kind: KBin, Dst: fb.newReg(), Bin: op, A: a, B: b})
+}
+
+// BinImm computes a op imm.
+func (fb *FuncBuilder) BinImm(op BinOp, a Reg, imm int32) Reg {
+	return fb.emit(Instr{Kind: KBinImm, Dst: fb.newReg(), Bin: op, A: a, Imm: imm})
+}
+
+// Add is shorthand for Bin(Add, a, b); the most common operations get
+// shorthands to keep guest-kernel source readable.
+func (fb *FuncBuilder) Add(a, b Reg) Reg { return fb.Bin(Add, a, b) }
+
+// AddI computes a + imm.
+func (fb *FuncBuilder) AddI(a Reg, imm int32) Reg { return fb.BinImm(Add, a, imm) }
+
+// SubI computes a - imm.
+func (fb *FuncBuilder) SubI(a Reg, imm int32) Reg { return fb.BinImm(Sub, a, imm) }
+
+// MulI computes a * imm.
+func (fb *FuncBuilder) MulI(a Reg, imm int32) Reg { return fb.BinImm(Mul, a, imm) }
+
+// AndI computes a & imm.
+func (fb *FuncBuilder) AndI(a Reg, imm int32) Reg { return fb.BinImm(And, a, imm) }
+
+// Cmp computes a pred b as 0/1.
+func (fb *FuncBuilder) Cmp(p Pred, a, b Reg) Reg {
+	return fb.emit(Instr{Kind: KCmp, Dst: fb.newReg(), Pred: p, A: a, B: b})
+}
+
+// CmpI computes a pred imm as 0/1.
+func (fb *FuncBuilder) CmpI(p Pred, a Reg, imm int32) Reg {
+	return fb.emit(Instr{Kind: KCmpImm, Dst: fb.newReg(), Pred: p, A: a, Imm: imm})
+}
+
+// Mov copies a register (used to thread values across blocks: assign into a
+// pre-allocated register with MovTo).
+func (fb *FuncBuilder) Mov(a Reg) Reg {
+	return fb.emit(Instr{Kind: KMov, Dst: fb.newReg(), A: a})
+}
+
+// Var allocates a fresh virtual register without defining it; use MovTo/
+// ConstTo to assign. This is the non-SSA escape hatch for loop variables.
+func (fb *FuncBuilder) Var() Reg { return fb.newReg() }
+
+// MovTo assigns dst = a.
+func (fb *FuncBuilder) MovTo(dst, a Reg) {
+	fb.emit(Instr{Kind: KMov, Dst: dst, A: a})
+}
+
+// ConstTo assigns dst = imm.
+func (fb *FuncBuilder) ConstTo(dst Reg, imm int32) {
+	fb.emit(Instr{Kind: KConst, Dst: dst, Imm: imm})
+}
+
+// BinTo assigns dst = a op b.
+func (fb *FuncBuilder) BinTo(dst Reg, op BinOp, a, b Reg) {
+	fb.emit(Instr{Kind: KBin, Dst: dst, Bin: op, A: a, B: b})
+}
+
+// BinImmTo assigns dst = a op imm.
+func (fb *FuncBuilder) BinImmTo(dst Reg, op BinOp, a Reg, imm int32) {
+	fb.emit(Instr{Kind: KBinImm, Dst: dst, Bin: op, A: a, Imm: imm})
+}
+
+// Load reads Width bytes at [addr+off], zero-extended.
+func (fb *FuncBuilder) Load(w Width, addr Reg, off int32) Reg {
+	return fb.emit(Instr{Kind: KLoad, Dst: fb.newReg(), Width: w, A: addr, Imm: off})
+}
+
+// LoadS reads Width bytes at [addr+off], sign-extended.
+func (fb *FuncBuilder) LoadS(w Width, addr Reg, off int32) Reg {
+	return fb.emit(Instr{Kind: KLoad, Dst: fb.newReg(), Width: w, A: addr, Imm: off, Signed: true})
+}
+
+// Store writes Width bytes of val at [addr+off].
+func (fb *FuncBuilder) Store(w Width, addr Reg, off int32, val Reg) {
+	fb.emit(Instr{Kind: KStore, Width: w, A: addr, Imm: off, B: val})
+}
+
+// LoadField reads s.field at base.
+func (fb *FuncBuilder) LoadField(s *Struct, field string, base Reg) Reg {
+	return fb.emit(Instr{Kind: KLoadField, Dst: fb.newReg(), Sym: s.Name, Field: fb.fieldIdx(s, field), A: base})
+}
+
+// StoreField writes s.field at base.
+func (fb *FuncBuilder) StoreField(s *Struct, field string, base, val Reg) {
+	fb.emit(Instr{Kind: KStoreField, Sym: s.Name, Field: fb.fieldIdx(s, field), A: base, B: val})
+}
+
+// FieldAddr computes &base->field.
+func (fb *FuncBuilder) FieldAddr(s *Struct, field string, base Reg) Reg {
+	return fb.emit(Instr{Kind: KFieldAddr, Dst: fb.newReg(), Sym: s.Name, Field: fb.fieldIdx(s, field), A: base})
+}
+
+// Index computes base + idx*sizeof(s).
+func (fb *FuncBuilder) Index(s *Struct, base, idx Reg) Reg {
+	return fb.emit(Instr{Kind: KIndex, Dst: fb.newReg(), Sym: s.Name, A: base, B: idx})
+}
+
+func (fb *FuncBuilder) fieldIdx(s *Struct, field string) int {
+	i := s.FieldIndex(field)
+	if i < 0 {
+		panic(fmt.Sprintf("kir: struct %s has no field %q", s.Name, field))
+	}
+	return i
+}
+
+// GlobalAddr takes the address of a global (+off bytes).
+func (fb *FuncBuilder) GlobalAddr(name string, off int32) Reg {
+	return fb.emit(Instr{Kind: KGlobalAddr, Dst: fb.newReg(), Sym: name, Imm: off})
+}
+
+// LocalAddr takes the address of a local (+off bytes).
+func (fb *FuncBuilder) LocalAddr(name string, off int32) Reg {
+	return fb.emit(Instr{Kind: KLocalAddr, Dst: fb.newReg(), Sym: name, Imm: off})
+}
+
+// FuncAddr takes the address of a function (for syscall tables and other
+// indirect-call tables).
+func (fb *FuncBuilder) FuncAddr(name string) Reg {
+	return fb.emit(Instr{Kind: KFuncAddr, Dst: fb.newReg(), Sym: name})
+}
+
+// Call invokes a named function and returns its value register (0 for void).
+// Call invokes a named function and returns its result register. The callee
+// need not be defined yet: a result register is always allocated, and
+// ProgramBuilder.Program() later discards it when the callee turns out to be
+// void and the register is never read (using the result of a void function
+// is a validation error).
+func (fb *FuncBuilder) Call(name string, args ...Reg) Reg {
+	dst := fb.newReg()
+	fb.emit(Instr{Kind: KCall, Dst: dst, Sym: name, Args: args})
+	return dst
+}
+
+// CallVoid invokes a named function discarding any result.
+func (fb *FuncBuilder) CallVoid(name string, args ...Reg) {
+	fb.emit(Instr{Kind: KCall, Sym: name, Args: args})
+}
+
+// CallPtr invokes a function through a pointer value; hasRet selects whether
+// a result register is allocated.
+func (fb *FuncBuilder) CallPtr(fp Reg, hasRet bool, args ...Reg) Reg {
+	var dst Reg
+	if hasRet {
+		dst = fb.newReg()
+	}
+	fb.emit(Instr{Kind: KCallPtr, Dst: dst, A: fp, Args: args})
+	return dst
+}
+
+// Syscall issues the platform system-call instruction (INT 0x80 / sc) with
+// the given number register and up to three argument registers, returning
+// the kernel's result.
+func (fb *FuncBuilder) Syscall(no Reg, args ...Reg) Reg {
+	if len(args) > 3 {
+		panic("kir: syscall takes at most 3 arguments")
+	}
+	all := append([]Reg{no}, args...)
+	return fb.emit(Instr{Kind: KSyscall, Dst: fb.newReg(), Args: all})
+}
+
+// Ret returns val (pass 0 for void functions).
+func (fb *FuncBuilder) Ret(val Reg) {
+	fb.emit(Instr{Kind: KRet, A: val})
+}
+
+// RetI returns a constant.
+func (fb *FuncBuilder) RetI(v int32) {
+	fb.Ret(fb.Const(v))
+}
+
+// Jmp ends the block with an unconditional jump.
+func (fb *FuncBuilder) Jmp(target string) {
+	fb.emit(Instr{Kind: KJmp, Then: target})
+}
+
+// Br ends the block branching on cond != 0.
+func (fb *FuncBuilder) Br(cond Reg, then, els string) {
+	fb.emit(Instr{Kind: KBr, A: cond, Then: then, Else: els})
+}
+
+// IrqOff disables interrupts.
+func (fb *FuncBuilder) IrqOff() { fb.emit(Instr{Kind: KIrqOff}) }
+
+// IrqOn enables interrupts.
+func (fb *FuncBuilder) IrqOn() { fb.emit(Instr{Kind: KIrqOn}) }
+
+// Halt idles the processor until the next interrupt.
+func (fb *FuncBuilder) Halt() { fb.emit(Instr{Kind: KHalt}) }
+
+// Bug plants the kernel BUG() trap (a deliberate invalid instruction).
+func (fb *FuncBuilder) Bug() { fb.emit(Instr{Kind: KBug}) }
+
+// CtxSw switches from the process descriptor in prev to the one in next.
+func (fb *FuncBuilder) CtxSw(prev, next Reg) {
+	fb.emit(Instr{Kind: KCtxSw, A: prev, B: next})
+}

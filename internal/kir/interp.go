@@ -1,0 +1,391 @@
+package kir
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Interpreter errors.
+var (
+	// ErrHalt reports that the program executed the idle primitive.
+	ErrHalt = errors.New("kir: halt")
+	// ErrBug reports that the program hit a BUG() trap.
+	ErrBug = errors.New("kir: BUG trap")
+	// ErrFault reports an out-of-range memory access.
+	ErrFault = errors.New("kir: memory fault")
+	// ErrSteps reports the step budget was exhausted (runaway loop).
+	ErrSteps = errors.New("kir: step budget exhausted")
+	// ErrDivide reports division by zero or signed overflow.
+	ErrDivide = errors.New("kir: divide error")
+)
+
+const (
+	interpBase      = 0x1000
+	interpStackSize = 1 << 16
+	interpMemSize   = 1 << 21
+)
+
+// Interp is the reference interpreter: a direct executor of IR programs used
+// as a differential-testing oracle for both compiler backends. It lays out
+// globals with the layout rules of a chosen platform so that address
+// arithmetic (KIndex, KFieldAddr) is consistent.
+type Interp struct {
+	prog       *Program
+	layout     Layout
+	mem        []byte
+	globalAddr map[string]uint32
+	funcByAddr map[uint32]*Func
+	funcAddr   map[string]uint32
+	stackTop   uint32
+	MaxSteps   int
+	steps      int
+	IrqDepth   int // net IrqOff nesting observed (diagnostic)
+
+	// Syscall, when set, services KSyscall instructions (user-space
+	// workload testing); unset, KSyscall is an error.
+	Syscall func(no, a, b, c uint32) (uint32, error)
+}
+
+// NewInterp lays out the program's globals and returns an interpreter.
+func NewInterp(p *Program, layout Layout) (*Interp, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ip := &Interp{
+		prog:       p,
+		layout:     layout,
+		mem:        make([]byte, interpMemSize),
+		globalAddr: make(map[string]uint32, len(p.Globals)),
+		funcByAddr: make(map[uint32]*Func, len(p.Funcs)),
+		funcAddr:   make(map[string]uint32, len(p.Funcs)),
+		MaxSteps:   20_000_000,
+	}
+	addr := uint32(interpBase)
+	for _, g := range p.Globals {
+		img := layout.EncodeGlobal(g, putLE)
+		copy(ip.mem[addr:], img)
+		ip.globalAddr[g.Name] = addr
+		addr += uint32(len(img))
+		addr = align(addr, 16)
+	}
+	if addr+interpStackSize > uint32(len(ip.mem)) {
+		return nil, fmt.Errorf("kir: globals exceed interpreter memory (%d bytes)", addr)
+	}
+	ip.stackTop = uint32(len(ip.mem))
+	// Synthetic function addresses, outside data space.
+	fa := uint32(0x70000000)
+	for _, f := range p.Funcs {
+		ip.funcAddr[f.Name] = fa
+		ip.funcByAddr[fa] = f
+		fa += 16
+	}
+	return ip, nil
+}
+
+func putLE(buf []byte, off uint32, w Width, v uint32) {
+	switch w {
+	case W8:
+		buf[off] = byte(v)
+	case W16:
+		binary.LittleEndian.PutUint16(buf[off:], uint16(v))
+	default:
+		binary.LittleEndian.PutUint32(buf[off:], v)
+	}
+}
+
+// GlobalAddr returns the interpreter address of a global.
+func (ip *Interp) GlobalAddr(name string) uint32 { return ip.globalAddr[name] }
+
+// ReadField reads field fi of element elem of global g.
+func (ip *Interp) ReadField(g string, elem, fi int) (uint32, error) {
+	gl := ip.prog.Global(g)
+	if gl == nil || gl.Type == nil {
+		return 0, fmt.Errorf("kir: no struct global %q", g)
+	}
+	base := ip.globalAddr[g] + uint32(elem)*ip.layout.StructSize(gl.Type)
+	off := ip.layout.FieldOffset(gl.Type, fi)
+	return ip.read(base+off, gl.Type.Fields[fi].Width, false)
+}
+
+// ReadBytes copies n bytes at addr (for test assertions).
+func (ip *Interp) ReadBytes(addr, n uint32) ([]byte, error) {
+	if addr+n > uint32(len(ip.mem)) {
+		return nil, ErrFault
+	}
+	out := make([]byte, n)
+	copy(out, ip.mem[addr:])
+	return out, nil
+}
+
+func (ip *Interp) read(addr uint32, w Width, signed bool) (uint32, error) {
+	if addr < interpBase || addr+uint32(w) > uint32(len(ip.mem)) {
+		return 0, fmt.Errorf("%w: read %d at 0x%x", ErrFault, w, addr)
+	}
+	var v uint32
+	switch w {
+	case W8:
+		v = uint32(ip.mem[addr])
+		if signed {
+			v = uint32(int32(int8(v)))
+		}
+	case W16:
+		v = uint32(binary.LittleEndian.Uint16(ip.mem[addr:]))
+		if signed {
+			v = uint32(int32(int16(v)))
+		}
+	default:
+		v = binary.LittleEndian.Uint32(ip.mem[addr:])
+	}
+	return v, nil
+}
+
+func (ip *Interp) write(addr uint32, w Width, v uint32) error {
+	if addr < interpBase || addr+uint32(w) > uint32(len(ip.mem)) {
+		return fmt.Errorf("%w: write %d at 0x%x", ErrFault, w, addr)
+	}
+	putLE(ip.mem, addr, w, v)
+	return nil
+}
+
+// Call runs the named function with the given arguments and returns its
+// result (0 for void functions).
+func (ip *Interp) Call(name string, args ...uint32) (uint32, error) {
+	f := ip.prog.Func(name)
+	if f == nil {
+		return 0, fmt.Errorf("kir: no func %q", name)
+	}
+	ip.steps = 0
+	return ip.call(f, args, ip.stackTop)
+}
+
+func (ip *Interp) call(f *Func, args []uint32, sp uint32) (uint32, error) {
+	if len(args) != f.NParams {
+		return 0, fmt.Errorf("kir: %s called with %d args, want %d", f.Name, len(args), f.NParams)
+	}
+	regs := make([]uint32, f.NumRegs()+1)
+	copy(regs[1:], args)
+
+	// Allocate locals below sp.
+	localAddr := make([]uint32, len(f.Locals))
+	for i, lo := range f.Locals {
+		size := ip.layout.LocalSlotSize(lo)
+		sp = (sp - size) &^ 3
+		localAddr[i] = sp
+		for j := sp; j < sp+size; j++ {
+			ip.mem[j] = 0
+		}
+	}
+	if sp < uint32(len(ip.mem))-interpStackSize {
+		return 0, fmt.Errorf("kir: interpreter stack overflow in %s", f.Name)
+	}
+
+	block := f.Blocks[0]
+	idx := 0
+	for {
+		ip.steps++
+		if ip.steps > ip.MaxSteps {
+			return 0, ErrSteps
+		}
+		if idx >= len(block.Instrs) {
+			return 0, fmt.Errorf("kir: fell off block %s.%s", f.Name, block.Name)
+		}
+		in := &block.Instrs[idx]
+		idx++
+		switch in.Kind {
+		case KConst:
+			regs[in.Dst] = uint32(in.Imm)
+		case KMov:
+			regs[in.Dst] = regs[in.A]
+		case KBin:
+			v, err := binEval(in.Bin, regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case KBinImm:
+			v, err := binEval(in.Bin, regs[in.A], uint32(in.Imm))
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case KCmp:
+			regs[in.Dst] = predEval(in.Pred, regs[in.A], regs[in.B])
+		case KCmpImm:
+			regs[in.Dst] = predEval(in.Pred, regs[in.A], uint32(in.Imm))
+		case KLoad:
+			v, err := ip.read(regs[in.A]+uint32(in.Imm), in.Width, in.Signed)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case KStore:
+			if err := ip.write(regs[in.A]+uint32(in.Imm), in.Width, regs[in.B]); err != nil {
+				return 0, err
+			}
+		case KLoadField:
+			s := ip.prog.Struct(in.Sym)
+			off := ip.layout.FieldOffset(s, in.Field)
+			v, err := ip.read(regs[in.A]+off, s.Fields[in.Field].Width, in.Signed)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case KStoreField:
+			s := ip.prog.Struct(in.Sym)
+			off := ip.layout.FieldOffset(s, in.Field)
+			if err := ip.write(regs[in.A]+off, s.Fields[in.Field].Width, regs[in.B]); err != nil {
+				return 0, err
+			}
+		case KFieldAddr:
+			s := ip.prog.Struct(in.Sym)
+			regs[in.Dst] = regs[in.A] + ip.layout.FieldOffset(s, in.Field)
+		case KIndex:
+			s := ip.prog.Struct(in.Sym)
+			regs[in.Dst] = regs[in.A] + regs[in.B]*ip.layout.StructSize(s)
+		case KGlobalAddr:
+			regs[in.Dst] = ip.globalAddr[in.Sym] + uint32(in.Imm)
+		case KLocalAddr:
+			regs[in.Dst] = localAddr[f.LocalIndex(in.Sym)] + uint32(in.Imm)
+		case KFuncAddr:
+			regs[in.Dst] = ip.funcAddr[in.Sym]
+		case KCall:
+			callee := ip.prog.Func(in.Sym)
+			v, err := ip.callWith(callee, in.Args, regs, sp)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != 0 {
+				regs[in.Dst] = v
+			}
+		case KCallPtr:
+			callee, ok := ip.funcByAddr[regs[in.A]]
+			if !ok {
+				return 0, fmt.Errorf("%w: indirect call to 0x%x", ErrFault, regs[in.A])
+			}
+			v, err := ip.callWith(callee, in.Args, regs, sp)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != 0 {
+				regs[in.Dst] = v
+			}
+		case KRet:
+			if in.A != 0 {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		case KJmp:
+			block = f.Block(in.Then)
+			idx = 0
+		case KBr:
+			if regs[in.A] != 0 {
+				block = f.Block(in.Then)
+			} else {
+				block = f.Block(in.Else)
+			}
+			idx = 0
+		case KIrqOff:
+			ip.IrqDepth++
+		case KIrqOn:
+			ip.IrqDepth--
+		case KHalt:
+			return 0, ErrHalt
+		case KBug:
+			return 0, ErrBug
+		case KSyscall:
+			if ip.Syscall == nil {
+				return 0, fmt.Errorf("kir: KSyscall without a syscall hook in %s", f.Name)
+			}
+			var sc [4]uint32
+			for i, r := range in.Args {
+				sc[i] = regs[r]
+			}
+			v, err := ip.Syscall(sc[0], sc[1], sc[2], sc[3])
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != 0 {
+				regs[in.Dst] = v
+			}
+		case KCtxSw:
+			// The interpreter is single-context; a context switch is a no-op.
+		default:
+			return 0, fmt.Errorf("kir: bad instruction kind %d in %s", in.Kind, f.Name)
+		}
+	}
+}
+
+func (ip *Interp) callWith(callee *Func, argRegs []Reg, regs []uint32, sp uint32) (uint32, error) {
+	args := make([]uint32, len(argRegs))
+	for i, r := range argRegs {
+		args[i] = regs[r]
+	}
+	return ip.call(callee, args, sp)
+}
+
+func binEval(op BinOp, a, b uint32) (uint32, error) {
+	switch op {
+	case Add:
+		return a + b, nil
+	case Sub:
+		return a - b, nil
+	case Mul:
+		return uint32(int32(a) * int32(b)), nil
+	case Div:
+		if b == 0 || (int32(a) == -1<<31 && int32(b) == -1) {
+			return 0, ErrDivide
+		}
+		return uint32(int32(a) / int32(b)), nil
+	case Rem:
+		if b == 0 || (int32(a) == -1<<31 && int32(b) == -1) {
+			return 0, ErrDivide
+		}
+		return uint32(int32(a) % int32(b)), nil
+	case And:
+		return a & b, nil
+	case Or:
+		return a | b, nil
+	case Xor:
+		return a ^ b, nil
+	case Shl:
+		return a << (b & 31), nil
+	case Shr:
+		return a >> (b & 31), nil
+	case Sar:
+		return uint32(int32(a) >> (b & 31)), nil
+	default:
+		return 0, fmt.Errorf("kir: bad binop %d", op)
+	}
+}
+
+func predEval(p Pred, a, b uint32) uint32 {
+	sa, sb := int32(a), int32(b)
+	var r bool
+	switch p {
+	case Eq:
+		r = a == b
+	case Ne:
+		r = a != b
+	case Lt:
+		r = sa < sb
+	case Le:
+		r = sa <= sb
+	case Gt:
+		r = sa > sb
+	case Ge:
+		r = sa >= sb
+	case ULt:
+		r = a < b
+	case ULe:
+		r = a <= b
+	case UGt:
+		r = a > b
+	case UGe:
+		r = a >= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,284 @@
+package kir
+
+// Direct in-package tests of the reference interpreter: arithmetic oracle
+// properties against host semantics, and the builder conveniences the kernel
+// source uses (heap globals, field addressing, void calls, syscalls, irq
+// toggles, context switches).
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kfi/internal/isa"
+)
+
+// evalBin runs one binary operation through a fresh interpreted program.
+func evalBin(t *testing.T, op BinOp, a, b uint32) (uint32, error) {
+	t.Helper()
+	pb := NewProgram()
+	fb := pb.Func("f", 2, true)
+	fb.Block("entry")
+	fb.Ret(fb.Bin(op, fb.Param(0), fb.Param(1)))
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip.Call("f", a, b)
+}
+
+func TestInterpBinOpsMatchHostProperty(t *testing.T) {
+	// Oracle property: the interpreter's arithmetic agrees with the host's
+	// two's-complement semantics for every operator and operand pair.
+	ops := map[BinOp]func(a, b uint32) uint32{
+		Add: func(a, b uint32) uint32 { return a + b },
+		Sub: func(a, b uint32) uint32 { return a - b },
+		Mul: func(a, b uint32) uint32 { return uint32(int32(a) * int32(b)) },
+		And: func(a, b uint32) uint32 { return a & b },
+		Or:  func(a, b uint32) uint32 { return a | b },
+		Xor: func(a, b uint32) uint32 { return a ^ b },
+		Shl: func(a, b uint32) uint32 { return a << (b & 31) },
+		Shr: func(a, b uint32) uint32 { return a >> (b & 31) },
+		Sar: func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) },
+	}
+	for op, host := range ops {
+		op, host := op, host
+		prop := func(a, b uint32) bool {
+			got, err := evalBin(t, op, a, b)
+			return err == nil && got == host(a, b)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("op %d: %v", op, err)
+		}
+	}
+}
+
+func TestInterpDivRemMatchHostProperty(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		q, qErr := evalBin(t, Div, a, b)
+		r, rErr := evalBin(t, Rem, a, b)
+		if b == 0 || (int32(a) == -1<<31 && int32(b) == -1) {
+			// Division errors must be reported, never a wrong value.
+			return qErr == ErrDivide && rErr == ErrDivide
+		}
+		return qErr == nil && rErr == nil &&
+			int32(q) == int32(a)/int32(b) && int32(r) == int32(a)%int32(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	// The two singular cases explicitly (quick rarely generates them).
+	if _, err := evalBin(t, Div, 5, 0); err != ErrDivide {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, err := evalBin(t, Div, 1<<31, 0xFFFFFFFF); err != ErrDivide {
+		t.Errorf("INT_MIN / -1: %v", err)
+	}
+}
+
+func TestInterpPredicatesMatchHostProperty(t *testing.T) {
+	preds := map[Pred]func(a, b uint32) bool{
+		Eq:  func(a, b uint32) bool { return a == b },
+		Ne:  func(a, b uint32) bool { return a != b },
+		Lt:  func(a, b uint32) bool { return int32(a) < int32(b) },
+		Le:  func(a, b uint32) bool { return int32(a) <= int32(b) },
+		Gt:  func(a, b uint32) bool { return int32(a) > int32(b) },
+		Ge:  func(a, b uint32) bool { return int32(a) >= int32(b) },
+		ULt: func(a, b uint32) bool { return a < b },
+		ULe: func(a, b uint32) bool { return a <= b },
+		UGt: func(a, b uint32) bool { return a > b },
+		UGe: func(a, b uint32) bool { return a >= b },
+	}
+	for p, host := range preds {
+		p, host := p, host
+		prop := func(a, b uint32) bool {
+			pb := NewProgram()
+			fb := pb.Func("f", 2, true)
+			fb.Block("entry")
+			fb.Ret(fb.Cmp(p, fb.Param(0), fb.Param(1)))
+			ip, err := NewInterp(pb.Program(), NewLayout(isa.RISC))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ip.Call("f", a, b)
+			want := uint32(0)
+			if host(a, b) {
+				want = 1
+			}
+			return err == nil && got == want
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("pred %d: %v", p, err)
+		}
+		// Equal operands pin the boundary each ordering predicate straddles.
+		pb := NewProgram()
+		fb := pb.Func("f", 2, true)
+		fb.Block("entry")
+		fb.Ret(fb.Cmp(p, fb.Param(0), fb.Param(1)))
+		ip, _ := NewInterp(pb.Program(), NewLayout(isa.RISC))
+		got, _ := ip.Call("f", 7, 7)
+		want := uint32(0)
+		if host(7, 7) {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("pred %d on equal operands = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBuilderConveniences(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("pair", Field{Name: "x", Width: W32}, Field{Name: "y", Width: W16})
+	pb.GlobalStruct("gp", s, 1)
+	heap := pb.GlobalHeap("arena", 64)
+	if !heap.Heap {
+		t.Fatal("GlobalHeap did not mark the global as heap-backed")
+	}
+
+	helper := pb.Func("bump", 1, false) // void function for CallVoid
+	helper.Block("entry")
+	addr := helper.GlobalAddr("gp", 0)
+	old := helper.LoadField(s, "x", addr)
+	helper.StoreField(s, "x", addr, helper.Add(old, helper.Param(0)))
+	helper.RetI(0)
+
+	fb := pb.Func("main", 1, true)
+	if fb.Fn() == nil || fb.Fn().Name != "main" {
+		t.Fatal("Fn accessor broken")
+	}
+	fb.Local("buf", W8, 8)
+	fb.Block("entry")
+	fb.IrqOff()
+	fb.IrqOn()
+	fb.CallVoid("bump", fb.Const(40))
+	fb.CallVoid("bump", fb.Const(2))
+
+	// FieldAddr + explicit Load equals LoadField.
+	base := fb.GlobalAddr("gp", 0)
+	fx := fb.FieldAddr(s, "x", base)
+	viaAddr := fb.Load(W32, fx, 0)
+
+	// Mov copies; AndI masks.
+	copied := fb.Mov(viaAddr)
+	masked := fb.AndI(copied, 0xFF)
+
+	// LoadS sign-extends a negative byte from the local buffer.
+	buf := fb.LocalAddr("buf", 0)
+	fb.Store(W8, buf, 0, fb.Const(-3)) // 0xFD
+	sx := fb.LoadS(W8, buf, 0)
+
+	// result = masked + (sx + 3)  → masked when sx == -3.
+	fb.Ret(fb.Add(masked, fb.Add(sx, fb.Const(3))))
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("main = %d, want 42 (two bumps of the global field)", got)
+	}
+	if ip.GlobalAddr("gp") == 0 {
+		t.Error("GlobalAddr returned 0 for a laid-out global")
+	}
+	raw, err := ip.ReadBytes(ip.GlobalAddr("gp"), 4)
+	if err != nil || len(raw) != 4 {
+		t.Fatalf("ReadBytes: %v (%d bytes)", err, len(raw))
+	}
+}
+
+func TestInterpSyscallHookAndCtxSw(t *testing.T) {
+	pb := NewProgram()
+	fb := pb.Func("main", 0, true)
+	fb.Block("entry")
+	v := fb.Syscall(fb.Const(7), fb.Const(10), fb.Const(3))
+	// CtxSw is a no-op under the single-context interpreter.
+	fb.CtxSw(fb.Const(0), fb.Const(1))
+	fb.Ret(v)
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.RISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a hook, KSyscall is an error, not a silent zero.
+	if _, err := ip.Call("main"); err == nil {
+		t.Fatal("KSyscall without hook should error")
+	}
+	ip.Syscall = func(no, a, b, c uint32) (uint32, error) {
+		if no != 7 || a != 10 || b != 3 {
+			t.Errorf("syscall args = (%d, %d, %d)", no, a, b)
+		}
+		return a + b, nil
+	}
+	got, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Errorf("syscall result = %d, want 13", got)
+	}
+}
+
+func TestForwardCallResultIsUsable(t *testing.T) {
+	// Regression: a call emitted before its callee is defined must still
+	// carry the result (the caller is built first here).
+	pb := NewProgram()
+	fb := pb.Func("caller", 1, true)
+	fb.Block("entry")
+	v := fb.Call("callee", fb.Param(0))
+	fb.Ret(fb.Add(v, v))
+	cal := pb.Func("callee", 1, true)
+	cal.Block("entry")
+	cal.Ret(cal.BinImm(Add, cal.Param(0), 10))
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("caller", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("caller(6) = %d, want 32", got)
+	}
+}
+
+func TestVoidCallResultDiscardedWhenUnused(t *testing.T) {
+	pb := NewProgram()
+	fb := pb.Func("caller", 0, true)
+	fb.Block("entry")
+	fb.Call("voidfn") // result register allocated, never read
+	fb.RetI(7)
+	vf := pb.Func("voidfn", 0, false)
+	vf.Block("entry")
+	vf.RetI(0)
+
+	prog := pb.Program()
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("unused void-call result should validate: %v", err)
+	}
+	// The discard pass must have zeroed the call's Dst.
+	call := &prog.Funcs[0].Blocks[0].Instrs[0]
+	if call.Kind != KCall || call.Dst != 0 {
+		t.Errorf("call instr = %+v, want Dst cleared", call)
+	}
+}
+
+func TestVoidCallResultUseIsRejected(t *testing.T) {
+	pb := NewProgram()
+	fb := pb.Func("caller", 0, true)
+	fb.Block("entry")
+	v := fb.Call("voidfn")
+	fb.Ret(v) // reading a void function's result
+	vf := pb.Func("voidfn", 0, false)
+	vf.Block("entry")
+	vf.RetI(0)
+
+	if err := pb.Program().Validate(); err == nil {
+		t.Error("use of a void call result passed validation")
+	}
+}

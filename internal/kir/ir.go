@@ -1,0 +1,383 @@
+// Package kir defines the kernel intermediate representation: a small, typed,
+// non-SSA IR in which the guest operating system and the workload programs
+// are written exactly once. The compiler (internal/cc) lowers it to both
+// processor ISAs with platform-faithful conventions — packed data layout,
+// few registers and stack-heavy frames on the CISC target; word-padded
+// layout, many callee-saved registers and link-register frames on the RISC
+// target — so the architecture is the only variable between the two guest
+// kernels, mirroring the paper's experimental design.
+//
+// The package also provides a reference interpreter used as a differential-
+// testing oracle against both compiled backends.
+package kir
+
+import "fmt"
+
+// Width is a scalar width in bytes.
+type Width uint8
+
+// Scalar widths.
+const (
+	W8  Width = 1
+	W16 Width = 2
+	W32 Width = 4
+)
+
+// Reg is a virtual register identifier. Register 0 is invalid.
+type Reg int
+
+// BinOp is a two-operand arithmetic/logic operation.
+type BinOp uint8
+
+// Binary operations. Div/Rem semantics on divide-by-zero are platform-
+// faithful (trap on CISC, undefined-result on RISC); guest code must guard.
+const (
+	Add BinOp = iota + 1
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical
+	Sar // arithmetic
+)
+
+var binNames = [...]string{Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+	Rem: "rem", And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Sar: "sar"}
+
+// String returns the operation name.
+func (b BinOp) String() string {
+	if int(b) < len(binNames) && binNames[b] != "" {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin%d", b)
+}
+
+// Pred is a comparison predicate.
+type Pred uint8
+
+// Comparison predicates (signed unless prefixed U).
+const (
+	Eq Pred = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	ULt
+	ULe
+	UGt
+	UGe
+)
+
+var predNames = [...]string{Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt",
+	Ge: "ge", ULt: "ult", ULe: "ule", UGt: "ugt", UGe: "uge"}
+
+// String returns the predicate name.
+func (p Pred) String() string {
+	if int(p) < len(predNames) && predNames[p] != "" {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred%d", p)
+}
+
+// Kind discriminates IR instructions.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KInvalid    Kind = iota
+	KConst           // Dst = Imm
+	KBin             // Dst = A <BinOp> B
+	KBinImm          // Dst = A <BinOp> Imm
+	KCmp             // Dst = A <Pred> B (0/1)
+	KCmpImm          // Dst = A <Pred> Imm
+	KMov             // Dst = A
+	KLoad            // Dst = load Width [A + Imm]; Signed sign-extends
+	KStore           // store Width [A + Imm] = B
+	KLoadField       // Dst = load field Sym.Field at [A]
+	KStoreField      // store field Sym.Field at [A] = B
+	KFieldAddr       // Dst = A + offsetof(Sym, Field)
+	KIndex           // Dst = A + B*sizeof(Sym)
+	KGlobalAddr      // Dst = &Sym + Imm
+	KLocalAddr       // Dst = &local[Sym] + Imm
+	KCall            // Dst? = Sym(Args...)
+	KCallPtr         // Dst? = (*A)(Args...)
+	KRet             // return A (A may be 0 for void)
+	KJmp             // goto Then
+	KBr              // if A != 0 goto Then else Else
+	KIrqOff          // disable interrupts
+	KIrqOn           // enable interrupts
+	KHalt            // idle until next interrupt
+	KBug             // kernel BUG(): deliberate invalid instruction
+	KCtxSw           // context switch: prev desc in A, next desc in B
+	KFuncAddr        // Dst = address of function Sym (for call tables)
+	KSyscall         // Dst = syscall(Args[0]=number, Args[1..3]=arguments)
+)
+
+// Instr is one IR instruction. Fields are used according to Kind.
+type Instr struct {
+	Kind   Kind
+	Dst    Reg
+	A, B   Reg
+	Imm    int32
+	Width  Width
+	Signed bool
+	Bin    BinOp
+	Pred   Pred
+	Sym    string
+	Field  int
+	Args   []Reg
+	Then   string
+	Else   string
+}
+
+// Field describes one scalar or small-array member of a Struct.
+type Field struct {
+	Name  string
+	Width Width
+	Count int // array length; 0 or 1 for a scalar
+}
+
+func (f Field) count() int {
+	if f.Count <= 1 {
+		return 1
+	}
+	return f.Count
+}
+
+// Struct is a named record type. Its byte layout is platform-dependent; use
+// Layout to resolve offsets and sizes.
+type Struct struct {
+	Name   string
+	Fields []Field
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *Struct) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Global is one named object in the kernel data section.
+type Global struct {
+	Name string
+	// Type and Count describe an array of Count structs. For raw
+	// buffers/blobs, Type is nil and Size gives the byte size.
+	Type  *Struct
+	Count int
+	Size  uint32
+	// Init holds initial field values, element-major then field-major
+	// (Count*len(Fields) entries; missing entries are zero). Array fields
+	// are initialized to zero. For blobs, InitBytes seeds the buffer.
+	Init      []uint32
+	InitBytes []byte
+	// BSS marks uninitialized data placed in the bss region.
+	BSS bool
+	// Heap marks dynamically-backed storage (page cache, packet buffers)
+	// placed in the heap section — outside the kernel's static data/bss,
+	// and therefore outside the data-injection campaign's target space.
+	Heap bool
+}
+
+// Local is a function-local memory object (array/struct/address-taken slot).
+// Scalar temporaries live in virtual registers instead.
+type Local struct {
+	Name  string
+	Width Width
+	Count int // element count
+}
+
+// Size returns the logical byte size of the local.
+func (l Local) Size() uint32 { return uint32(l.Width) * uint32(l.Count) }
+
+// Block is a basic block. The final instruction must be a terminator
+// (KRet, KJmp, or KBr).
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminated reports whether the block ends in a terminator.
+func (b *Block) Terminated() bool {
+	if len(b.Instrs) == 0 {
+		return false
+	}
+	switch b.Instrs[len(b.Instrs)-1].Kind {
+	case KRet, KJmp, KBr:
+		return true
+	default:
+		return false
+	}
+}
+
+// Func is one IR function.
+type Func struct {
+	Name    string
+	NParams int
+	HasRet  bool
+	Locals  []Local
+	Blocks  []*Block
+	nextReg Reg
+}
+
+// Param returns the virtual register holding parameter i (0-based).
+// Parameters occupy registers 1..NParams.
+func (f *Func) Param(i int) Reg {
+	if i < 0 || i >= f.NParams {
+		panic(fmt.Sprintf("kir: %s has no param %d", f.Name, i))
+	}
+	return Reg(i + 1)
+}
+
+// NumRegs returns the number of virtual registers used (including params).
+func (f *Func) NumRegs() int { return int(f.nextReg) }
+
+// LocalIndex returns the index of the named local, or -1.
+func (f *Func) LocalIndex(name string) int {
+	for i, l := range f.Locals {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Block returns the named block, or nil.
+func (f *Func) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Program is a complete IR compilation unit.
+type Program struct {
+	Structs []*Struct
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Struct returns the named struct, or nil.
+func (p *Program) Struct(name string) *Struct {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Global returns the named global, or nil.
+func (p *Program) Global(name string) *Global {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Func returns the named function, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: terminated blocks, resolvable
+// symbols, register bounds, parameter counts.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("kir: func %s has no blocks", f.Name)
+		}
+		for _, b := range f.Blocks {
+			if !b.Terminated() {
+				return fmt.Errorf("kir: %s.%s not terminated", f.Name, b.Name)
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if err := p.validateInstr(f, b, in); err != nil {
+					return err
+				}
+				if i != len(b.Instrs)-1 {
+					switch in.Kind {
+					case KRet, KJmp, KBr:
+						return fmt.Errorf("kir: %s.%s has terminator mid-block", f.Name, b.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(f *Func, b *Block, in *Instr) error {
+	ctx := func() string { return fmt.Sprintf("kir: %s.%s", f.Name, b.Name) }
+	checkReg := func(r Reg) error {
+		if r <= 0 || int(r) > f.NumRegs() {
+			return fmt.Errorf("%s: bad register %d", ctx(), r)
+		}
+		return nil
+	}
+	switch in.Kind {
+	case KJmp:
+		if f.Block(in.Then) == nil {
+			return fmt.Errorf("%s: jump to unknown block %q", ctx(), in.Then)
+		}
+	case KBr:
+		if f.Block(in.Then) == nil || f.Block(in.Else) == nil {
+			return fmt.Errorf("%s: branch to unknown block %q/%q", ctx(), in.Then, in.Else)
+		}
+		return checkReg(in.A)
+	case KCall:
+		callee := p.Func(in.Sym)
+		if callee == nil {
+			return fmt.Errorf("%s: call to unknown func %q", ctx(), in.Sym)
+		}
+		if len(in.Args) != callee.NParams {
+			return fmt.Errorf("%s: call %s with %d args, want %d", ctx(), in.Sym, len(in.Args), callee.NParams)
+		}
+		if in.Dst != 0 && !callee.HasRet {
+			return fmt.Errorf("%s: call %s uses result of void func", ctx(), in.Sym)
+		}
+	case KLoadField, KStoreField, KFieldAddr, KIndex:
+		s := p.Struct(in.Sym)
+		if s == nil {
+			return fmt.Errorf("%s: unknown struct %q", ctx(), in.Sym)
+		}
+		if in.Kind != KIndex && (in.Field < 0 || in.Field >= len(s.Fields)) {
+			return fmt.Errorf("%s: struct %q has no field %d", ctx(), in.Sym, in.Field)
+		}
+	case KGlobalAddr:
+		if p.Global(in.Sym) == nil {
+			return fmt.Errorf("%s: unknown global %q", ctx(), in.Sym)
+		}
+	case KFuncAddr:
+		if p.Func(in.Sym) == nil {
+			return fmt.Errorf("%s: unknown func %q", ctx(), in.Sym)
+		}
+	case KLocalAddr:
+		if f.LocalIndex(in.Sym) < 0 {
+			return fmt.Errorf("%s: unknown local %q", ctx(), in.Sym)
+		}
+	case KRet:
+		if f.HasRet && in.A == 0 {
+			return fmt.Errorf("%s: ret without value in value-returning func", ctx())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,430 @@
+package kir
+
+import (
+	"errors"
+	"testing"
+
+	"kfi/internal/isa"
+)
+
+// buildFib builds: fib(n) iterative.
+func buildFib(pb *ProgramBuilder) {
+	fb := pb.Func("fib", 1, true)
+	n := fb.Param(0)
+	fb.Block("entry")
+	a := fb.Var()
+	b := fb.Var()
+	i := fb.Var()
+	fb.ConstTo(a, 0)
+	fb.ConstTo(b, 1)
+	fb.ConstTo(i, 0)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.Cmp(Lt, i, n)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	t := fb.Add(a, b)
+	fb.MovTo(a, b)
+	fb.MovTo(b, t)
+	fb.BinImmTo(i, Add, i, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	fb.Ret(a)
+}
+
+func TestInterpFib(t *testing.T) {
+	pb := NewProgram()
+	buildFib(pb)
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ n, want uint32 }{{0, 0}, {1, 1}, {2, 1}, {7, 13}, {20, 6765}}
+	for _, tt := range tests {
+		got, err := ip.Call("fib", tt.n)
+		if err != nil {
+			t.Fatalf("fib(%d): %v", tt.n, err)
+		}
+		if got != tt.want {
+			t.Errorf("fib(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestInterpGlobalsAndFields(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("proc", F32("pid"), F8("state"), F16("prio"), F32("ticks"))
+	pb.GlobalStruct("procs", s, 4,
+		// element 0: pid=10, state=1, prio=2, ticks=0
+		10, 1, 2, 0,
+		// element 1: pid=11, state=0, prio=5, ticks=100
+		11, 0, 5, 100,
+	)
+	fb := pb.Func("sum_prios", 0, true)
+	fb.Block("entry")
+	base := fb.GlobalAddr("procs", 0)
+	sum := fb.Var()
+	fb.ConstTo(sum, 0)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.CmpI(Lt, i, 4)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	p := fb.Index(s, base, i)
+	prio := fb.LoadField(s, "prio", p)
+	fb.BinTo(sum, Add, sum, prio)
+	fb.BinImmTo(i, Add, i, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	fb.Ret(sum)
+
+	f2 := pb.Func("bump_ticks", 1, false)
+	f2.Block("entry")
+	b2 := f2.GlobalAddr("procs", 0)
+	p2 := f2.Index(s, b2, f2.Param(0))
+	tk := f2.LoadField(s, "ticks", p2)
+	f2.StoreField(s, "ticks", p2, f2.AddI(tk, 7))
+	f2.Ret(0)
+
+	for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+		ip, err := NewInterp(pb.Program(), NewLayout(plat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ip.Call("sum_prios")
+		if err != nil {
+			t.Fatalf("[%v] sum_prios: %v", plat, err)
+		}
+		if got != 7 {
+			t.Errorf("[%v] sum_prios = %d, want 7", plat, got)
+		}
+		if _, err := ip.Call("bump_ticks", 1); err != nil {
+			t.Fatal(err)
+		}
+		v, err := ip.ReadField("procs", 1, s.FieldIndex("ticks"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 107 {
+			t.Errorf("[%v] ticks = %d, want 107", plat, v)
+		}
+	}
+}
+
+func TestInterpLocalsAndRawMemory(t *testing.T) {
+	pb := NewProgram()
+	fb := pb.Func("bytesum", 0, true)
+	fb.Local("buf", W8, 16)
+	fb.Block("entry")
+	buf := fb.LocalAddr("buf", 0)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("fill")
+	fb.Block("fill")
+	c := fb.CmpI(Lt, i, 16)
+	fb.Br(c, "fbody", "sum")
+	fb.Block("fbody")
+	addr := fb.Add(buf, i)
+	fb.Store(W8, addr, 0, i)
+	fb.BinImmTo(i, Add, i, 1)
+	fb.Jmp("fill")
+	fb.Block("sum")
+	total := fb.Var()
+	fb.ConstTo(total, 0)
+	fb.ConstTo(i, 0)
+	fb.Jmp("sloop")
+	fb.Block("sloop")
+	c2 := fb.CmpI(Lt, i, 16)
+	fb.Br(c2, "sbody", "done")
+	fb.Block("sbody")
+	a2 := fb.Add(buf, i)
+	v := fb.Load(W8, a2, 0)
+	fb.BinTo(total, Add, total, v)
+	fb.BinImmTo(i, Add, i, 1)
+	fb.Jmp("sloop")
+	fb.Block("done")
+	fb.Ret(total)
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.RISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("bytesum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 120 {
+		t.Errorf("bytesum = %d, want 120", got)
+	}
+}
+
+func TestInterpCallsAndFuncPtr(t *testing.T) {
+	pb := NewProgram()
+	pb.GlobalBytes("table", 8, nil)
+	dbl := pb.Func("double", 1, true)
+	dbl.Block("entry")
+	dbl.Ret(dbl.MulI(dbl.Param(0), 2))
+
+	tri := pb.Func("triple", 1, true)
+	tri.Block("entry")
+	tri.Ret(tri.MulI(tri.Param(0), 3))
+
+	setup := pb.Func("setup", 0, false)
+	setup.Block("entry")
+	tb := setup.GlobalAddr("table", 0)
+	setup.Store(W32, tb, 0, setup.FuncAddr("double"))
+	setup.Store(W32, tb, 4, setup.FuncAddr("triple"))
+	setup.Ret(0)
+
+	disp := pb.Func("dispatch", 2, true)
+	disp.Block("entry")
+	tb2 := disp.GlobalAddr("table", 0)
+	slot := disp.BinImm(Mul, disp.Param(0), 4)
+	fp := disp.Load(W32, disp.Add(tb2, slot), 0)
+	disp.Ret(disp.CallPtr(fp, true, disp.Param(1)))
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Call("setup"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ip.Call("dispatch", 0, 21); got != 42 {
+		t.Errorf("dispatch(0,21) = %d, want 42", got)
+	}
+	if got, _ := ip.Call("dispatch", 1, 21); got != 63 {
+		t.Errorf("dispatch(1,21) = %d, want 63", got)
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	pb := NewProgram()
+	bug := pb.Func("bugfn", 0, false)
+	bug.Block("entry")
+	bug.Bug()
+	bug.Ret(0)
+
+	halt := pb.Func("haltfn", 0, false)
+	halt.Block("entry")
+	halt.Halt()
+	halt.Ret(0)
+
+	fault := pb.Func("faultfn", 0, true)
+	fault.Block("entry")
+	z := fault.Const(16)
+	fault.Ret(fault.Load(W32, z, 0))
+
+	div := pb.Func("divzero", 1, true)
+	div.Block("entry")
+	z2 := div.Const(0)
+	div.Ret(div.Bin(Div, div.Param(0), z2))
+
+	spin := pb.Func("spin", 0, false)
+	spin.Block("entry")
+	spin.Jmp("entry")
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip.MaxSteps = 10000
+	tests := []struct {
+		fn   string
+		want error
+	}{
+		{"bugfn", ErrBug},
+		{"haltfn", ErrHalt},
+		{"faultfn", ErrFault},
+		{"divzero", ErrDivide},
+		{"spin", ErrSteps},
+	}
+	for _, tt := range tests {
+		var args []uint32
+		if tt.fn == "divzero" {
+			args = []uint32{10}
+		}
+		if _, err := ip.Call(tt.fn, args...); !errors.Is(err, tt.want) {
+			t.Errorf("%s: err = %v, want %v", tt.fn, err, tt.want)
+		}
+	}
+}
+
+func TestLayoutPackedVsPadded(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("mixed", F8("a"), F8("b"), F16("c"), F32("d"), F8("e"))
+	_ = s
+	cisc := NewLayout(isa.CISC)
+	riscL := NewLayout(isa.RISC)
+
+	// Packed: a@0 b@1 c@2 d@4 e@8 → size 12.
+	wantCISC := []uint32{0, 1, 2, 4, 8}
+	for i, w := range wantCISC {
+		if got := cisc.FieldOffset(s, i); got != w {
+			t.Errorf("CISC offset[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if got := cisc.StructSize(s); got != 12 {
+		t.Errorf("CISC size = %d, want 12", got)
+	}
+
+	// Padded: every scalar gets a word slot → offsets 0,4,8,12,16, size 20.
+	wantRISC := []uint32{0, 4, 8, 12, 16}
+	for i, w := range wantRISC {
+		if got := riscL.FieldOffset(s, i); got != w {
+			t.Errorf("RISC offset[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if got := riscL.StructSize(s); got != 20 {
+		t.Errorf("RISC size = %d, want 20", got)
+	}
+}
+
+func TestLayoutArrayFieldsKeepWidth(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("withbuf", F8("flag"), FArr("name", W8, 6), F32("len"))
+	cisc := NewLayout(isa.CISC)
+	riscL := NewLayout(isa.RISC)
+	// CISC: flag@0, name@1..6, len@8 (aligned), size 12.
+	if off := cisc.FieldOffset(s, 1); off != 1 {
+		t.Errorf("CISC name offset = %d, want 1", off)
+	}
+	if off := cisc.FieldOffset(s, 2); off != 8 {
+		t.Errorf("CISC len offset = %d, want 8", off)
+	}
+	// RISC: flag slot 0-3, name@4..9 (byte array keeps width), len@12.
+	if off := riscL.FieldOffset(s, 1); off != 4 {
+		t.Errorf("RISC name offset = %d, want 4", off)
+	}
+	if off := riscL.FieldOffset(s, 2); off != 12 {
+		t.Errorf("RISC len offset = %d, want 12", off)
+	}
+	if sz := riscL.StructSize(s); sz != 16 {
+		t.Errorf("RISC size = %d, want 16", sz)
+	}
+}
+
+func TestLayoutGlobalInitEncoding(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("kv", F8("k"), F32("v"))
+	g := pb.GlobalStruct("pairs", s, 2, 1, 100, 2, 200)
+	l := NewLayout(isa.RISC)
+	img := l.EncodeGlobal(g, putLE)
+	if len(img) != 16 {
+		t.Fatalf("image len = %d, want 16", len(img))
+	}
+	if img[0] != 1 || img[4] != 100 || img[8] != 2 || img[12] != 200 {
+		t.Errorf("image = % x", img)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(pb *ProgramBuilder)
+	}{
+		{"unterminated", func(pb *ProgramBuilder) {
+			fb := pb.Func("f", 0, false)
+			fb.Block("entry")
+			fb.Const(1)
+		}},
+		{"unknown jump", func(pb *ProgramBuilder) {
+			fb := pb.Func("f", 0, false)
+			fb.Block("entry")
+			fb.fn.Blocks[0].Instrs = append(fb.fn.Blocks[0].Instrs, Instr{Kind: KJmp, Then: "nowhere"})
+		}},
+		{"bad call arity", func(pb *ProgramBuilder) {
+			g := pb.Func("g", 2, false)
+			g.Block("entry")
+			g.Ret(0)
+			fb := pb.Func("f", 0, false)
+			fb.Block("entry")
+			fb.fn.Blocks[0].Instrs = append(fb.fn.Blocks[0].Instrs,
+				Instr{Kind: KCall, Sym: "g", Args: []Reg{}},
+				Instr{Kind: KRet})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pb := NewProgram()
+			tt.build(pb)
+			if err := pb.Program().Validate(); err == nil {
+				t.Error("Validate passed, want error")
+			}
+		})
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"dup struct", func() {
+			pb := NewProgram()
+			pb.Struct("s")
+			pb.Struct("s")
+		}},
+		{"dup func", func() {
+			pb := NewProgram()
+			pb.Func("f", 0, false)
+			pb.Func("f", 0, false)
+		}},
+		{"emit after terminator", func() {
+			pb := NewProgram()
+			fb := pb.Func("f", 0, false)
+			fb.Block("entry")
+			fb.Ret(0)
+			fb.Const(1)
+		}},
+		{"too many params", func() {
+			pb := NewProgram()
+			pb.Func("f", 9, false)
+		}},
+		{"unknown field", func() {
+			pb := NewProgram()
+			s := pb.Struct("s", F32("x"))
+			fb := pb.Func("f", 1, false)
+			fb.Block("entry")
+			fb.LoadField(s, "nope", fb.Param(0))
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	pb := NewProgram()
+	fb := pb.Func("fact", 1, true)
+	n := fb.Param(0)
+	fb.Block("entry")
+	c := fb.CmpI(Le, n, 1)
+	fb.Br(c, "base", "rec")
+	fb.Block("base")
+	fb.RetI(1)
+	fb.Block("rec")
+	sub := fb.Call("fact", fb.SubI(n, 1))
+	fb.Ret(fb.Bin(Mul, n, sub))
+
+	ip, err := NewInterp(pb.Program(), NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("fact", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 720 {
+		t.Errorf("fact(6) = %d, want 720", got)
+	}
+}

@@ -1,0 +1,123 @@
+package kir
+
+import "kfi/internal/isa"
+
+// Layout resolves struct field offsets, access widths, and object sizes for
+// one platform. The two layouts embody the paper's key data-sensitivity
+// mechanism:
+//
+//   - CISC (P4-class): fields are packed at natural alignment, so every byte
+//     of a hot structure belongs to some field and a flipped bit is likely to
+//     be consumed.
+//   - RISC (G4-class): every scalar field occupies a full 32-bit slot (the
+//     word-oriented data access the paper describes); sub-word fields leave
+//     padding bytes that are never read, so flips there are inconsequential
+//     even when the datum itself is used.
+//
+// Array fields keep their element width on both platforms (byte buffers are
+// byte buffers everywhere) but start word-aligned on RISC.
+type Layout struct {
+	platform isa.Platform
+}
+
+// NewLayout returns the layout rules for a platform.
+func NewLayout(p isa.Platform) Layout { return Layout{platform: p} }
+
+// Platform returns the platform these rules describe.
+func (l Layout) Platform() isa.Platform { return l.platform }
+
+func align(off, a uint32) uint32 { return (off + a - 1) &^ (a - 1) }
+
+// fieldSlot returns the offset of field i and the struct's total size.
+func (l Layout) walk(s *Struct) (offs []uint32, size uint32) {
+	offs = make([]uint32, len(s.Fields))
+	var off uint32
+	for i, f := range s.Fields {
+		w := uint32(f.Width)
+		switch {
+		case l.platform == isa.RISC && f.count() == 1:
+			// Scalars get a full word slot.
+			off = align(off, 4)
+			offs[i] = off
+			off += 4
+		case l.platform == isa.RISC:
+			off = align(off, 4)
+			offs[i] = off
+			off += w * uint32(f.count())
+		default:
+			off = align(off, w)
+			offs[i] = off
+			off += w * uint32(f.count())
+		}
+	}
+	return offs, align(off, 4)
+}
+
+// FieldOffset returns the byte offset of field i within the struct.
+func (l Layout) FieldOffset(s *Struct, i int) uint32 {
+	offs, _ := l.walk(s)
+	return offs[i]
+}
+
+// StructSize returns the platform size of the struct (word-aligned).
+func (l Layout) StructSize(s *Struct) uint32 {
+	_, size := l.walk(s)
+	return size
+}
+
+// GlobalSize returns the platform size of a global object.
+func (l Layout) GlobalSize(g *Global) uint32 {
+	if g.Type == nil {
+		return align(g.Size, 4)
+	}
+	n := g.Count
+	if n < 1 {
+		n = 1
+	}
+	return l.StructSize(g.Type) * uint32(n)
+}
+
+// LocalSlotSize returns the frame size of a local object. On RISC every
+// element of a scalar local rounds up to a word (stack slots are
+// word-granular, as on the real ABI); arrays keep element width.
+func (l Layout) LocalSlotSize(lo Local) uint32 {
+	if l.platform == isa.RISC && lo.Count <= 1 {
+		return 4
+	}
+	return align(lo.Size(), 4)
+}
+
+// EncodeGlobal renders a global's initial image per this layout. The
+// returned slice has length GlobalSize(g).
+func (l Layout) EncodeGlobal(g *Global, put func(buf []byte, off uint32, w Width, v uint32)) []byte {
+	size := l.GlobalSize(g)
+	buf := make([]byte, size)
+	if g.Type == nil {
+		copy(buf, g.InitBytes)
+		return buf
+	}
+	offs, ssize := l.walk(g.Type)
+	n := g.Count
+	if n < 1 {
+		n = 1
+	}
+	nf := len(g.Type.Fields)
+	for e := 0; e < n; e++ {
+		base := uint32(e) * ssize
+		for fi, f := range g.Type.Fields {
+			if f.count() != 1 {
+				continue // array fields are zero-initialized
+			}
+			idx := e*nf + fi
+			if idx >= len(g.Init) {
+				continue
+			}
+			v := g.Init[idx]
+			if v == 0 {
+				continue
+			}
+			put(buf, base+offs[fi], f.Width, v)
+		}
+	}
+	return buf
+}

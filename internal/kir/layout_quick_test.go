@@ -1,0 +1,147 @@
+package kir
+
+// Property-based tests on the platform data layouts: whatever random struct
+// shape the generator produces, both layouts must respect alignment, field
+// non-overlap, and containment — the invariants the compiled kernels and the
+// injector's address arithmetic rely on.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kfi/internal/isa"
+)
+
+// randomStruct is a generatable struct shape for testing/quick.
+type randomStruct struct {
+	Widths []uint8 // each 0..2 selecting W8/W16/W32
+	Counts []uint8 // parallel array lengths, 0..4
+}
+
+// Generate implements quick.Generator with 1-8 fields.
+func (randomStruct) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(8)
+	rs := randomStruct{Widths: make([]uint8, n), Counts: make([]uint8, n)}
+	for i := range rs.Widths {
+		rs.Widths[i] = uint8(r.Intn(3))
+		rs.Counts[i] = uint8(r.Intn(5))
+	}
+	return reflect.ValueOf(rs)
+}
+
+func (rs randomStruct) build() *Struct {
+	widths := []Width{W8, W16, W32}
+	s := &Struct{Name: "t"}
+	for i := range rs.Widths {
+		s.Fields = append(s.Fields, Field{
+			Name:  string(rune('a' + i)),
+			Width: widths[rs.Widths[i]%3],
+			Count: int(rs.Counts[i]),
+		})
+	}
+	return s
+}
+
+func fieldExtent(f Field) uint32 {
+	n := uint32(f.Count)
+	if n == 0 {
+		n = 1
+	}
+	return uint32(f.Width) * n
+}
+
+func TestLayoutInvariantsProperty(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		p := p
+		l := NewLayout(p)
+		prop := func(rs randomStruct) bool {
+			s := rs.build()
+			size := l.StructSize(s)
+			type span struct{ lo, hi uint32 }
+			var spans []span
+			for i, f := range s.Fields {
+				off := l.FieldOffset(s, i)
+				// Natural alignment: every field is aligned to its width
+				// (on RISC, scalars additionally to a word).
+				if off%uint32(f.Width) != 0 {
+					return false
+				}
+				if p == isa.RISC && off%4 != 0 {
+					return false
+				}
+				hi := off + fieldExtent(f)
+				// Containment within the struct.
+				if hi > size {
+					return false
+				}
+				spans = append(spans, span{off, hi})
+			}
+			// Offsets are monotonically non-decreasing and fields never
+			// overlap.
+			for i := 1; i < len(spans); i++ {
+				if spans[i].lo < spans[i-1].hi {
+					return false
+				}
+			}
+			// Total size is word-aligned (array indexing relies on this).
+			return size%4 == 0
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("[%v] %v", p, err)
+		}
+	}
+}
+
+func TestLayoutPaddedNeverSmallerProperty(t *testing.T) {
+	// The G4's word-padded layout can never produce a smaller struct than
+	// the P4's packed layout — the mechanism behind the data-layout
+	// ablation (padding absorbs flips).
+	packed := NewLayout(isa.CISC)
+	padded := NewLayout(isa.RISC)
+	prop := func(rs randomStruct) bool {
+		s := rs.build()
+		return padded.StructSize(s) >= packed.StructSize(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutGlobalSizeConsistencyProperty(t *testing.T) {
+	// A global holding N copies of a struct is exactly N times the struct
+	// size on both platforms (structs are self-aligning because their size
+	// is word-padded).
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		l := NewLayout(p)
+		prop := func(rs randomStruct, nSel uint8) bool {
+			s := rs.build()
+			n := 1 + int(nSel%6)
+			g := &Global{Name: "g", Type: s, Count: n}
+			return l.GlobalSize(g) == uint32(n)*l.StructSize(s)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("[%v] %v", p, err)
+		}
+	}
+}
+
+func TestLayoutEncodeGlobalSizeProperty(t *testing.T) {
+	// EncodeGlobal's image is always exactly GlobalSize bytes, regardless
+	// of struct shape or initializers.
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		l := NewLayout(p)
+		prop := func(rs randomStruct) bool {
+			s := rs.build()
+			g := &Global{Name: "g", Type: s, Count: 2}
+			img := l.EncodeGlobal(g, func(buf []byte, off uint32, w Width, v uint32) {
+				buf[off] = byte(v) // byte-order-free stand-in
+			})
+			return uint32(len(img)) == l.GlobalSize(g)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("[%v] %v", p, err)
+		}
+	}
+}

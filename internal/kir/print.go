@@ -1,0 +1,145 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders one instruction in a readable three-address syntax.
+func (in Instr) String() string {
+	r := func(x Reg) string { return fmt.Sprintf("v%d", x) }
+	switch in.Kind {
+	case KConst:
+		return fmt.Sprintf("%s = const %d", r(in.Dst), in.Imm)
+	case KBin:
+		return fmt.Sprintf("%s = %s %s, %s", r(in.Dst), in.Bin, r(in.A), r(in.B))
+	case KBinImm:
+		return fmt.Sprintf("%s = %s %s, %d", r(in.Dst), in.Bin, r(in.A), in.Imm)
+	case KCmp:
+		return fmt.Sprintf("%s = cmp.%s %s, %s", r(in.Dst), in.Pred, r(in.A), r(in.B))
+	case KCmpImm:
+		return fmt.Sprintf("%s = cmp.%s %s, %d", r(in.Dst), in.Pred, r(in.A), in.Imm)
+	case KMov:
+		return fmt.Sprintf("%s = %s", r(in.Dst), r(in.A))
+	case KLoad:
+		sx := ""
+		if in.Signed {
+			sx = ".s"
+		}
+		return fmt.Sprintf("%s = load%d%s [%s%+d]", r(in.Dst), in.Width*8, sx, r(in.A), in.Imm)
+	case KStore:
+		return fmt.Sprintf("store%d [%s%+d], %s", in.Width*8, r(in.A), in.Imm, r(in.B))
+	case KLoadField:
+		return fmt.Sprintf("%s = %s.field[%d] @%s", r(in.Dst), in.Sym, in.Field, r(in.A))
+	case KStoreField:
+		return fmt.Sprintf("%s.field[%d] @%s = %s", in.Sym, in.Field, r(in.A), r(in.B))
+	case KFieldAddr:
+		return fmt.Sprintf("%s = &%s.field[%d] @%s", r(in.Dst), in.Sym, in.Field, r(in.A))
+	case KIndex:
+		return fmt.Sprintf("%s = %s + %s*sizeof(%s)", r(in.Dst), r(in.A), r(in.B), in.Sym)
+	case KGlobalAddr:
+		return fmt.Sprintf("%s = &%s%+d", r(in.Dst), in.Sym, in.Imm)
+	case KLocalAddr:
+		return fmt.Sprintf("%s = &local.%s%+d", r(in.Dst), in.Sym, in.Imm)
+	case KFuncAddr:
+		return fmt.Sprintf("%s = &func.%s", r(in.Dst), in.Sym)
+	case KCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		if in.Dst != 0 {
+			return fmt.Sprintf("%s = call %s(%s)", r(in.Dst), in.Sym, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
+	case KCallPtr:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		if in.Dst != 0 {
+			return fmt.Sprintf("%s = call *%s(%s)", r(in.Dst), r(in.A), strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("call *%s(%s)", r(in.A), strings.Join(args, ", "))
+	case KSyscall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r(a)
+		}
+		return fmt.Sprintf("%s = syscall(%s)", r(in.Dst), strings.Join(args, ", "))
+	case KRet:
+		if in.A != 0 {
+			return fmt.Sprintf("ret %s", r(in.A))
+		}
+		return "ret"
+	case KJmp:
+		return fmt.Sprintf("jmp %s", in.Then)
+	case KBr:
+		return fmt.Sprintf("br %s, %s, %s", r(in.A), in.Then, in.Else)
+	case KIrqOff:
+		return "irq.off"
+	case KIrqOn:
+		return "irq.on"
+	case KHalt:
+		return "halt"
+	case KBug:
+		return "bug"
+	case KCtxSw:
+		return fmt.Sprintf("ctxsw %s, %s", r(in.A), r(in.B))
+	default:
+		return fmt.Sprintf("?kind(%d)", in.Kind)
+	}
+}
+
+// Dump renders one function as readable IR.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	ret := ""
+	if f.HasRet {
+		ret = " -> v"
+	}
+	fmt.Fprintf(&b, "func %s(%d params)%s {\n", f.Name, f.NParams, ret)
+	for _, lo := range f.Locals {
+		fmt.Fprintf(&b, "  local %s [%d x %d bytes]\n", lo.Name, lo.Count, lo.Width)
+	}
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dump renders the whole program: types, globals, and functions.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, s := range p.Structs {
+		fmt.Fprintf(&b, "struct %s {", s.Name)
+		for i, fl := range s.Fields {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %s:%d", fl.Name, fl.Width*8)
+			if fl.Count > 1 {
+				fmt.Fprintf(&b, "[%d]", fl.Count)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	for _, g := range p.Globals {
+		switch {
+		case g.Type != nil:
+			fmt.Fprintf(&b, "global %s: [%d]%s\n", g.Name, g.Count, g.Type.Name)
+		case g.BSS:
+			fmt.Fprintf(&b, "global %s: bss[%d]\n", g.Name, g.Size)
+		default:
+			fmt.Fprintf(&b, "global %s: bytes[%d]\n", g.Name, g.Size)
+		}
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+
+	"kfi/internal/isa"
+)
+
+func TestInstrStrings(t *testing.T) {
+	s := &Struct{Name: "proc", Fields: []Field{{Name: "pid", Width: W32}}}
+	_ = s
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Kind: KConst, Dst: 3, Imm: 42}, "v3 = const 42"},
+		{Instr{Kind: KBin, Dst: 4, Bin: Add, A: 1, B: 2}, "v4 = add v1, v2"},
+		{Instr{Kind: KBinImm, Dst: 4, Bin: Shl, A: 1, Imm: 3}, "v4 = shl v1, 3"},
+		{Instr{Kind: KCmp, Dst: 5, Pred: ULt, A: 1, B: 2}, "v5 = cmp.ult v1, v2"},
+		{Instr{Kind: KMov, Dst: 2, A: 1}, "v2 = v1"},
+		{Instr{Kind: KLoad, Dst: 2, Width: W8, Signed: true, A: 1, Imm: 4}, "v2 = load8.s [v1+4]"},
+		{Instr{Kind: KStore, Width: W32, A: 1, Imm: -8, B: 2}, "store32 [v1-8], v2"},
+		{Instr{Kind: KGlobalAddr, Dst: 2, Sym: "jiffies"}, "v2 = &jiffies+0"},
+		{Instr{Kind: KCall, Dst: 3, Sym: "f", Args: []Reg{1, 2}}, "v3 = call f(v1, v2)"},
+		{Instr{Kind: KCall, Sym: "g", Args: nil}, "call g()"},
+		{Instr{Kind: KCallPtr, A: 1, Args: []Reg{2}}, "call *v1(v2)"},
+		{Instr{Kind: KSyscall, Dst: 4, Args: []Reg{1, 2}}, "v4 = syscall(v1, v2)"},
+		{Instr{Kind: KRet, A: 1}, "ret v1"},
+		{Instr{Kind: KRet}, "ret"},
+		{Instr{Kind: KJmp, Then: "loop"}, "jmp loop"},
+		{Instr{Kind: KBr, A: 1, Then: "a", Else: "b"}, "br v1, a, b"},
+		{Instr{Kind: KIrqOff}, "irq.off"},
+		{Instr{Kind: KHalt}, "halt"},
+		{Instr{Kind: KBug}, "bug"},
+		{Instr{Kind: KCtxSw, A: 1, B: 2}, "ctxsw v1, v2"},
+		{Instr{Kind: KFuncAddr, Dst: 2, Sym: "sys_read"}, "v2 = &func.sys_read"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestProgramDump(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("pair", F32("a"), F8("b"), FArr("buf", W8, 4))
+	pb.GlobalStruct("pairs", s, 3)
+	pb.GlobalBytes("raw", 16, nil)
+	pb.GlobalBSS("zeroed", 64)
+	fb := pb.Func("sum", 1, true)
+	fb.Local("tmp", W32, 2)
+	fb.Block("entry")
+	v := fb.AddI(fb.Param(0), 1)
+	fb.Ret(v)
+
+	out := pb.Program().Dump()
+	for _, want := range []string{
+		"struct pair { a:32, b:8, buf:8[4] }",
+		"global pairs: [3]pair",
+		"global raw: bytes[16]",
+		"global zeroed: bss[64]",
+		"func sum(1 params) -> v {",
+		"local tmp [2 x 4 bytes]",
+		"entry:",
+		"v2 = add v1, 1",
+		"ret v2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The layouts of every struct must differ between platforms whenever the
+// struct contains sub-word scalars — the padding mechanism.
+func TestDumpAndLayoutConsistency(t *testing.T) {
+	pb := NewProgram()
+	s := pb.Struct("mixed", F8("x"), F8("z"), F32("y"))
+	cisc := NewLayout(isa.CISC)
+	riscL := NewLayout(isa.RISC)
+	if cisc.StructSize(s) >= riscL.StructSize(s) {
+		t.Errorf("packed size %d should be smaller than padded %d (two bytes pack into one word)",
+			cisc.StructSize(s), riscL.StructSize(s))
+	}
+}

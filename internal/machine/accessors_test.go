@@ -1,0 +1,192 @@
+package machine_test
+
+// Tests for the machine's accessor surface and the G4 exception-entry
+// sensitivity checks (SPRG2/SDR1/BAT corruption detected at interrupt
+// delivery — the paper's §5.2 register findings).
+
+import (
+	"errors"
+	"testing"
+
+	"kfi/internal/crashnet"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+	"kfi/internal/risc"
+)
+
+func TestPlatformAccessors(t *testing.T) {
+	cisc := buildSystem(t, isa.CISC, kernel.Options{}).Machine
+	riscM := buildSystem(t, isa.RISC, kernel.Options{}).Machine
+
+	if cisc.CISCCPU() == nil || cisc.RISCCPU() != nil {
+		t.Error("CISC machine exposes wrong concrete CPUs")
+	}
+	if riscM.RISCCPU() == nil || riscM.CISCCPU() != nil {
+		t.Error("RISC machine exposes wrong concrete CPUs")
+	}
+	if cisc.Config().Platform != isa.CISC || riscM.Config().Platform != isa.RISC {
+		t.Error("Config does not reflect the build platform")
+	}
+	if cisc.Core().Debug() == nil || riscM.Core().Debug() == nil {
+		t.Error("Core.Debug must expose the debug unit")
+	}
+	// Context frames: the RISC context (32 GPRs + specials) is necessarily
+	// larger than the CISC one (8 GPRs + specials).
+	if cw, rw := cisc.Core().CtxWords(), riscM.Core().CtxWords(); cw >= rw {
+		t.Errorf("context words CISC %d, RISC %d; RISC must be larger", cw, rw)
+	}
+}
+
+func TestSetStackBoundsControlsWrapper(t *testing.T) {
+	m := buildSystem(t, isa.RISC, kernel.Options{}).Machine
+	core := m.Core()
+	sp := core.SP()
+	core.SetStackBounds(sp-0x100, sp+0x100)
+	if !core.StackPointerInBounds() {
+		t.Error("SP inside the configured bounds reported out-of-bounds")
+	}
+	core.SetStackBounds(sp+0x1000, sp+0x2000)
+	if core.StackPointerInBounds() {
+		t.Error("SP below the configured bounds reported in-bounds")
+	}
+	// Zero bounds disable the check (boot state before the first ctxsw).
+	core.SetStackBounds(0, 0)
+	if !core.StackPointerInBounds() {
+		t.Error("zero bounds must disable the wrapper check")
+	}
+}
+
+// corruptG4SPR flips state in one supervisor register and runs to the next
+// timer interrupt, returning the outcome.
+func corruptG4SPR(t *testing.T, mutate func(c *risc.CPU)) machine.RunResult {
+	t.Helper()
+	sys := buildSystem(t, isa.RISC, kernel.Options{})
+	m := sys.Machine
+	m.Reboot()
+	// Let the system boot past the first ticks, then corrupt.
+	m.PauseAt = 200_000
+	if r := m.Run(); r.Outcome != machine.OutPaused {
+		t.Fatalf("pre-run: %v", r.Outcome)
+	}
+	mutate(m.RISCCPU())
+	return m.Run()
+}
+
+func TestG4TranslationStateSensitivity(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(c *risc.CPU)
+	}{
+		{"SDR1 HTABORG bit", func(c *risc.CPU) { c.SPR[risc.SprSDR1] ^= 1 << 20 }},
+		{"IBAT0U BEPI bit", func(c *risc.CPU) { c.SPR[risc.SprIBAT0U] ^= 1 << 24 }},
+		{"DBAT0U valid bit", func(c *risc.CPU) { c.SPR[risc.SprDBAT0U] ^= 1 << 1 }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			res := corruptG4SPR(t, tt.mutate)
+			if res.Outcome != machine.OutCrashed {
+				t.Fatalf("outcome %v, want crash at next exception entry", res.Outcome)
+			}
+			if res.Crash.Cause != isa.CauseBadArea {
+				t.Errorf("cause %v, want Bad Area (derailed translation)", res.Crash.Cause)
+			}
+		})
+	}
+}
+
+func TestG4SPRG2WildPointerOutcomes(t *testing.T) {
+	// SPRG2 is the exception scratch pointer: where it lands decides the
+	// failure mode (paper §5.2).
+	t.Run("unmapped", func(t *testing.T) {
+		res := corruptG4SPR(t, func(c *risc.CPU) { c.SPR[risc.SprSPRG2] = 0x00F00000 })
+		if res.Outcome != machine.OutCrashed || res.Crash.Cause != isa.CauseBadArea {
+			t.Errorf("got %v/%v, want crash/Bad Area", res.Outcome, crashCause(res))
+		}
+	})
+	t.Run("bus window", func(t *testing.T) {
+		res := corruptG4SPR(t, func(c *risc.CPU) { c.SPR[risc.SprSPRG2] = 0xF4000000 })
+		if res.Outcome != machine.OutCrashed || res.Crash.Cause != isa.CauseMachineCheck {
+			t.Errorf("got %v/%v, want crash/Machine Check", res.Outcome, crashCause(res))
+		}
+	})
+	t.Run("mapped memory derails execution", func(t *testing.T) {
+		// A wild but mapped scratch pointer lets the entry path continue
+		// into an essentially random location: anything but a clean
+		// completion with the golden checksum.
+		sys := buildSystem(t, isa.RISC, kernel.Options{})
+		clean := sys.Run()
+		res := corruptG4SPR(t, func(c *risc.CPU) { c.SPR[risc.SprSPRG2] = 0x00080000 })
+		if res.Outcome == machine.OutCompleted && res.Checksum == clean.Checksum {
+			t.Error("corrupted SPRG2 into mapped memory produced a golden run")
+		}
+	})
+}
+
+func crashCause(r machine.RunResult) isa.CrashCause {
+	if r.Crash == nil {
+		return 0
+	}
+	return r.Crash.Cause
+}
+
+func TestSetTraceObservesExecution(t *testing.T) {
+	sys := buildSystem(t, isa.CISC, kernel.Options{})
+	m := sys.Machine
+	m.Reboot()
+	var pcs []uint32
+	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		if len(pcs) < 64 {
+			pcs = append(pcs, pc)
+		}
+	})
+	m.PauseAt = 2_000
+	m.Run()
+	m.Core().SetTrace(nil)
+	if len(pcs) == 0 {
+		t.Fatal("trace hook never fired")
+	}
+	// The first traced PC is the boot entry point, inside a known kernel
+	// function.
+	if fr, ok := sys.KernelImage.FuncAt(pcs[0]); !ok || fr.Name == "" {
+		t.Errorf("first traced PC 0x%X is not inside any kernel function", pcs[0])
+	}
+}
+
+// failingSender always refuses delivery, simulating a dead network path
+// between the crashing guest and the monitoring machine.
+type failingSender struct{}
+
+func (failingSender) Send(crashnet.Packet) error { return errors.New("link down") }
+
+func TestCrashDegradesToUnknownWhenDeliveryFails(t *testing.T) {
+	// Reference run with a working channel: the crash is Known and the
+	// packet arrives.
+	ch := crashnet.NewChannel()
+	sys := buildSystem(t, isa.CISC, kernel.Options{CrashSender: ch})
+	m := sys.Machine
+	m.Reboot()
+	// Corrupt the scheduler's runqueue pointer walk: flip current to NULL.
+	m.Mem.RawWrite(m.Config().CurrentPtr, 4, 0)
+	res := m.Run()
+	if res.Outcome != machine.OutCrashed || !res.Crash.Known {
+		t.Fatalf("reference crash: %+v", res.Outcome)
+	}
+	if _, ok := ch.Recv(); !ok {
+		t.Fatal("no crash packet on working channel")
+	}
+
+	// Same corruption with a dead link: the crash record degrades to
+	// unknown (the paper's hang/unknown-crash column).
+	sys2 := buildSystem(t, isa.CISC, kernel.Options{CrashSender: failingSender{}})
+	m2 := sys2.Machine
+	m2.Reboot()
+	m2.Mem.RawWrite(m2.Config().CurrentPtr, 4, 0)
+	res2 := m2.Run()
+	if res2.Outcome != machine.OutCrashed {
+		t.Fatalf("outcome %v", res2.Outcome)
+	}
+	if res2.Crash.Known {
+		t.Error("crash stayed Known despite failed delivery")
+	}
+}

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/mem"
+	"kfi/internal/risc"
+)
+
+func newCores() (Core, Core) {
+	mc := mem.New(1<<20, binary.LittleEndian)
+	mc.Map(0x1000, 0x10000, mem.Present|mem.Writable)
+	cC := &ciscCore{cpu: cisc.NewCPU(mc), mem: mc}
+
+	mr := mem.New(1<<20, binary.BigEndian)
+	mr.Map(0x1000, 0x10000, mem.Present|mem.Writable)
+	cR := &riscCore{cpu: risc.NewCPU(mr), mem: mr}
+	return cC, cR
+}
+
+func TestContextSaveRestoreRoundTrip(t *testing.T) {
+	cC, cR := newCores()
+	for _, core := range []Core{cC, cR} {
+		core.SetPC(0x1234)
+		core.SetSP(0x8000)
+		ctx := uint32(0x2000)
+		core.SaveContext(ctx)
+		core.SetPC(0)
+		core.SetSP(0)
+		core.RestoreContext(ctx)
+		if core.PC() != 0x1234 || core.SP() != 0x8000 {
+			t.Errorf("round trip lost state: pc=0x%x sp=0x%x", core.PC(), core.SP())
+		}
+	}
+}
+
+func TestInitContextModes(t *testing.T) {
+	cC, cR := newCores()
+	for _, core := range []Core{cC, cR} {
+		ctx := uint32(0x3000)
+		core.InitContext(ctx, 0x5000, 0x7000, true)
+		if !core.CtxModeUser(ctx) {
+			t.Error("user context not marked user")
+		}
+		core.RestoreContext(ctx)
+		if core.Mode() != isa.UserMode {
+			t.Errorf("restored mode = %v, want user", core.Mode())
+		}
+		if core.PC() != 0x5000 || core.SP() != 0x7000 {
+			t.Errorf("restored entry/sp = 0x%x/0x%x", core.PC(), core.SP())
+		}
+		if !core.InterruptsEnabled() {
+			t.Error("fresh context must start with interrupts enabled")
+		}
+
+		core.InitContext(ctx, 0x5000, 0x7000, false)
+		if core.CtxModeUser(ctx) {
+			t.Error("kernel context marked user")
+		}
+	}
+}
+
+func TestCtxSPOffsetConsistent(t *testing.T) {
+	cC, cR := newCores()
+	for _, core := range []Core{cC, cR} {
+		ctx := uint32(0x4000)
+		core.SetSP(0xBEEF0)
+		core.SaveContext(ctx)
+		var got uint32
+		switch c := core.(type) {
+		case *ciscCore:
+			got = c.mem.RawRead(ctx+core.CtxSPOffset(), 4)
+		case *riscCore:
+			got = c.mem.RawRead(ctx+core.CtxSPOffset(), 4)
+		}
+		if got != 0xBEEF0 {
+			t.Errorf("CtxSPOffset does not point at the saved SP: 0x%x", got)
+		}
+	}
+}
+
+func TestStackBoundsBehavior(t *testing.T) {
+	cC, cR := newCores()
+	// CISC: no wrapper — always in bounds.
+	cC.SetStackBounds(0x8000, 0x9000)
+	cC.SetSP(0x100)
+	if !cC.StackPointerInBounds() {
+		t.Error("CISC must never report out-of-bounds (no wrapper)")
+	}
+	// RISC: the wrapper check.
+	cR.SetStackBounds(0x8000, 0x9000)
+	cR.SetSP(0x8800)
+	if !cR.StackPointerInBounds() {
+		t.Error("in-range SP reported out of bounds")
+	}
+	cR.SetSP(0x100)
+	if cR.StackPointerInBounds() {
+		t.Error("out-of-range SP not detected")
+	}
+	cR.SetStackBounds(0, 0)
+	if !cR.StackPointerInBounds() {
+		t.Error("disabled bounds must pass")
+	}
+}
+
+func TestCrashDumpPossible(t *testing.T) {
+	cC, cR := newCores()
+	// CISC: dump needs a writable stack.
+	cC.SetSP(0x8000)
+	if !cC.CrashDumpPossible() {
+		t.Error("healthy ESP should allow a dump")
+	}
+	cC.SetSP(0x100) // NULL page
+	if cC.CrashDumpPossible() {
+		t.Error("unmapped ESP should defeat the P4 dump")
+	}
+	// RISC: dump goes through SPRG2.
+	rc := cR.(*riscCore)
+	rc.cpu.SPR[risc.SprSPRG2] = 0x2000
+	if !cR.CrashDumpPossible() {
+		t.Error("healthy SPRG2 should allow a dump")
+	}
+	rc.cpu.SPR[risc.SprSPRG2] = 0xFFF0_0000
+	if cR.CrashDumpPossible() {
+		t.Error("wild SPRG2 should defeat the G4 dump")
+	}
+}
+
+func TestSyscallArgConventions(t *testing.T) {
+	cC, cR := newCores()
+	ccpu := cC.(*ciscCore).cpu
+	ccpu.Regs[cisc.EBX], ccpu.Regs[cisc.ECX], ccpu.Regs[cisc.EDX] = 1, 2, 3
+	if a, b, c := cC.SyscallArgs(); a != 1 || b != 2 || c != 3 {
+		t.Errorf("CISC args = %d,%d,%d", a, b, c)
+	}
+	cC.SetSyscallResult(99)
+	if ccpu.Regs[cisc.EAX] != 99 {
+		t.Error("CISC result not in EAX")
+	}
+
+	rcpu := cR.(*riscCore).cpu
+	rcpu.R[3], rcpu.R[4], rcpu.R[5] = 7, 8, 9
+	if a, b, c := cR.SyscallArgs(); a != 7 || b != 8 || c != 9 {
+		t.Errorf("RISC args = %d,%d,%d", a, b, c)
+	}
+	cR.SetSyscallResult(42)
+	if rcpu.R[3] != 42 {
+		t.Error("RISC result not in r3")
+	}
+}

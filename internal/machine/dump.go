@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"kfi/internal/isa"
+)
+
+// Message renders the crash the way the platform's kernel would print it —
+// the strings the paper quotes from its crash dumps ("Unable to handle
+// kernel NULL pointer dereference at virtual address 00000008", "kernel
+// access of bad area", ...).
+func (c *CrashRecord) Message(p isa.Platform) string {
+	if p == isa.CISC {
+		switch c.Cause {
+		case isa.CauseNULLPointer:
+			return fmt.Sprintf("Unable to handle kernel NULL pointer dereference at virtual address %08x", c.FaultAddr)
+		case isa.CauseBadPaging:
+			return fmt.Sprintf("Unable to handle kernel paging request at virtual address %08x", c.FaultAddr)
+		case isa.CauseInvalidInstr:
+			return fmt.Sprintf("invalid opcode: 0000 [#1] at EIP %08x", c.PC)
+		case isa.CauseGeneralProtection:
+			return fmt.Sprintf("general protection fault: 0000 [#1] at EIP %08x", c.PC)
+		case isa.CauseKernelPanic:
+			return "Kernel panic: fatal exception"
+		case isa.CauseInvalidTSS:
+			return fmt.Sprintf("invalid TSS: 0000 [#1] at EIP %08x", c.PC)
+		case isa.CauseDivideError:
+			return fmt.Sprintf("divide error: 0000 [#1] at EIP %08x", c.PC)
+		case isa.CauseBoundsTrap:
+			return fmt.Sprintf("bounds: 0000 [#1] at EIP %08x", c.PC)
+		default:
+			return fmt.Sprintf("unknown exception at EIP %08x", c.PC)
+		}
+	}
+	switch c.Cause {
+	case isa.CauseBadArea:
+		return fmt.Sprintf("kernel access of bad area, sig: 11 [#1] dar %08x nip %08x", c.FaultAddr, c.PC)
+	case isa.CauseIllegalInstr:
+		return fmt.Sprintf("kernel tried to execute illegal instruction at nip %08x", c.PC)
+	case isa.CauseStackOverflow:
+		return fmt.Sprintf("kernel stack overflow, r1 %08x nip %08x", c.SP, c.PC)
+	case isa.CauseMachineCheck:
+		return fmt.Sprintf("Machine check in kernel mode, dar %08x nip %08x", c.FaultAddr, c.PC)
+	case isa.CauseAlignment:
+		return fmt.Sprintf("alignment exception, dar %08x nip %08x", c.FaultAddr, c.PC)
+	case isa.CausePanic:
+		return "Kernel panic!!!"
+	case isa.CauseBusError:
+		return fmt.Sprintf("bus error (protection fault), dar %08x nip %08x", c.FaultAddr, c.PC)
+	case isa.CauseBadTrap:
+		return fmt.Sprintf("kernel bad trap at nip %08x", c.PC)
+	default:
+		return fmt.Sprintf("unknown exception at nip %08x", c.PC)
+	}
+}
+
+// Dump renders the full crash report in the style of the paper's dump
+// listings: the platform message, the register snapshot, and the top stack
+// words whose repeating return-address patterns diagnose stack overflows
+// (Figure 7's pattern ②).
+func (c *CrashRecord) Dump(p isa.Platform) string {
+	var b strings.Builder
+	b.WriteString(c.Message(p) + "\n")
+	pcName, spName := "EIP", "ESP"
+	if p == isa.RISC {
+		pcName, spName = "NIP", "R1 "
+	}
+	fmt.Fprintf(&b, "%s: %08x  %s: %08x  fault: %08x  cycles: %d\n",
+		pcName, c.PC, spName, c.SP, c.FaultAddr, c.Cycles)
+	b.WriteString("Stack:")
+	for i, fp := range c.FramePtrs {
+		if i%4 == 0 {
+			b.WriteString("\n ")
+		}
+		fmt.Fprintf(&b, " %08x", fp)
+	}
+	b.WriteString("\n")
+	if !c.Known {
+		b.WriteString("<dump unreliable: crash handler could not reach the collector>\n")
+	}
+	return b.String()
+}

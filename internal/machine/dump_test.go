@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"kfi/internal/isa"
+)
+
+func TestCrashMessagesMatchPaperStyle(t *testing.T) {
+	tests := []struct {
+		p     isa.Platform
+		cause isa.CrashCause
+		want  string
+	}{
+		{isa.CISC, isa.CauseNULLPointer, "Unable to handle kernel NULL pointer dereference at virtual address 00000008"},
+		{isa.CISC, isa.CauseBadPaging, "Unable to handle kernel paging request at virtual address 00000008"},
+		{isa.CISC, isa.CauseInvalidInstr, "invalid opcode"},
+		{isa.CISC, isa.CauseGeneralProtection, "general protection fault"},
+		{isa.CISC, isa.CauseInvalidTSS, "invalid TSS"},
+		{isa.CISC, isa.CauseDivideError, "divide error"},
+		{isa.CISC, isa.CauseKernelPanic, "Kernel panic"},
+		{isa.CISC, isa.CauseBoundsTrap, "bounds"},
+		{isa.RISC, isa.CauseBadArea, "kernel access of bad area"},
+		{isa.RISC, isa.CauseIllegalInstr, "illegal instruction"},
+		{isa.RISC, isa.CauseStackOverflow, "kernel stack overflow"},
+		{isa.RISC, isa.CauseMachineCheck, "Machine check"},
+		{isa.RISC, isa.CauseAlignment, "alignment exception"},
+		{isa.RISC, isa.CauseBusError, "bus error"},
+		{isa.RISC, isa.CauseBadTrap, "bad trap"},
+		{isa.RISC, isa.CausePanic, "Kernel panic!!!"},
+	}
+	for _, tt := range tests {
+		rec := &CrashRecord{Cause: tt.cause, PC: 0x10000, FaultAddr: 8, SP: 0x170000}
+		msg := rec.Message(tt.p)
+		if !strings.Contains(msg, tt.want) {
+			t.Errorf("[%v/%v] message %q missing %q", tt.p, tt.cause, msg, tt.want)
+		}
+	}
+}
+
+func TestCrashDumpContents(t *testing.T) {
+	rec := &CrashRecord{
+		Cause:     isa.CauseBadPaging,
+		PC:        0xC02ABF29,
+		FaultAddr: 0x170FC2A5,
+		SP:        0x00171F00,
+		Cycles:    13116444,
+		Known:     true,
+		FramePtrs: [8]uint32{0xC0119CB2, 0xC0107784, 0xC010799A, 0xC0108067, 0xC0119CB2, 0xC0107784, 0xC010799A, 0xC0108067},
+	}
+	dump := rec.Dump(isa.CISC)
+	for _, want := range []string{
+		"Unable to handle kernel paging request at virtual address 170fc2a5",
+		"EIP: c02abf29",
+		"c0119cb2", // the Figure 7 return-address pattern
+		"13116444",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	rec.Known = false
+	if !strings.Contains(rec.Dump(isa.CISC), "unreliable") {
+		t.Error("unknown-crash marker missing")
+	}
+}
+
+func TestDumpRISCRegisterNames(t *testing.T) {
+	rec := &CrashRecord{Cause: isa.CauseBadArea, PC: 0xC008D7A8, FaultAddr: 0x4D, Known: true}
+	dump := rec.Dump(isa.RISC)
+	if !strings.Contains(dump, "NIP") || !strings.Contains(dump, "R1") {
+		t.Errorf("RISC dump should use NIP/R1 names:\n%s", dump)
+	}
+}

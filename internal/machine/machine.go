@@ -1,0 +1,567 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kfi/internal/cc"
+	"kfi/internal/cisc"
+	"kfi/internal/crashnet"
+	"kfi/internal/isa"
+	"kfi/internal/mem"
+	"kfi/internal/risc"
+)
+
+// Hypercall numbers: syscall numbers at or above HyperBase are intercepted by
+// the monitoring harness (they model the instrumented benchmark reporting to
+// the NFTAPE control host, not guest functionality).
+const (
+	HyperBase = 0xF000
+	// HyperDone ends the run: the benchmark completed; arg0 carries its
+	// result checksum for fail-silence checking.
+	HyperDone = 0xF000
+	// HyperLog appends arg0's low byte to the run log.
+	HyperLog = 0xF001
+	// HyperFail ends the run: the instrumented benchmark detected incorrect
+	// behavior itself (a fail-silence violation surfaced at the application).
+	HyperFail = 0xF002
+)
+
+// Latency model constants (the paper's Figure 3 stages). The G4's exception
+// path is costlier than the P4's: its hardware stage is longer and its
+// software stage runs the kernel's checking wrapper before the handler —
+// which is why in the paper even immediate G4 crashes land above the 3k
+// bucket while immediate P4 crashes land below it (Figure 16).
+const (
+	// StageHardwareCISC/RISC: hardware exception handling ("more than 1000
+	// CPU cycles").
+	StageHardwareCISC = 1100
+	StageHardwareRISC = 2400
+	// StageSoftwareCISC/RISC: the software exception handler ("about 150 to
+	// 200 instructions"), plus the G4 wrapper.
+	StageSoftwareCISC = 320
+	StageSoftwareRISC = 800
+	// InterruptEntryCost is the vectoring cost for deliverable interrupts.
+	InterruptEntryCost = 120
+)
+
+// Config describes a bootable guest system. Symbol addresses come from the
+// kernel build (internal/kernel).
+type Config struct {
+	Platform isa.Platform
+	Image    *cc.Image
+	MemSize  uint32
+
+	TimerPeriod uint64 // cycles between timer interrupts
+	Watchdog    uint64 // hardware-watchdog budget per run, in cycles
+
+	// Kernel ABI addresses.
+	SyscallStub uint32 // assembly glue: dispatch syscall, then iret/rfi
+	TimerStub   uint32 // assembly glue: save volatiles, timer_tick, iret/rfi
+	BootEntry   uint32 // kstart: enables interrupts, schedules, never returns
+	BootSP      uint32 // boot/idle kernel stack top
+	BootStackLo uint32 // boot kernel stack bounds (for the G4 wrapper)
+	BootStackHi uint32
+	CurrentPtr  uint32 // address of the `current` process pointer
+	KStackOff   uint32 // offset of the kernel-stack-top field in a proc
+	StackLoOff  uint32 // offset of the stack lower bound field
+	StackHiOff  uint32 // offset of the stack upper bound field
+	CtxOff      uint32 // offset of the context save area in a proc
+
+	FSBase     uint32 // CISC: base of the FS per-CPU segment
+	SPRG2Value uint32 // RISC: exception scratch area expected in SPRG2
+
+	// NoStackWrapper disables the G4 kernel's exception-entry stack-range
+	// check (for the ablation bench); it has no effect on CISC, which never
+	// has the check.
+	NoStackWrapper bool
+
+	// CrashSender, when set, receives a crash packet for every known crash
+	// (the remote crash-data collector path).
+	CrashSender crashnet.Sender
+}
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+// Run outcomes.
+const (
+	// OutCompleted: the benchmark ran to completion (checksum recorded).
+	OutCompleted Outcome = iota + 1
+	// OutCrashed: a kernel-mode exception ended the run.
+	OutCrashed
+	// OutHung: the watchdog expired or the system idled with interrupts
+	// masked.
+	OutHung
+	// OutUserFault: a workload process died on a hardware exception.
+	OutUserFault
+	// OutFailReported: the instrumented benchmark reported bad data.
+	OutFailReported
+	// OutPaused: the run reached the requested PauseAt cycle and stopped so
+	// the injector can act; call Run again to continue.
+	OutPaused
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutCompleted:
+		return "completed"
+	case OutCrashed:
+		return "crashed"
+	case OutHung:
+		return "hung"
+	case OutUserFault:
+		return "user-fault"
+	case OutFailReported:
+		return "fail-reported"
+	case OutPaused:
+		return "paused"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// CrashRecord captures a kernel crash.
+type CrashRecord struct {
+	Cause     isa.CrashCause
+	PC        uint32
+	FaultAddr uint32
+	SP        uint32
+	Cycles    uint64 // absolute machine cycles at crash
+	// Known reports whether the embedded crash handler managed to dump
+	// failure data; unknown crashes land in the paper's "Hang/Unknown
+	// Crash" column.
+	Known bool
+	// FramePtrs holds the top stack words at crash time (the return-address
+	// patterns of Figure 7).
+	FramePtrs [8]uint32
+}
+
+// RunResult is the outcome of one benchmark run.
+type RunResult struct {
+	Outcome  Outcome
+	Checksum uint32
+	Crash    *CrashRecord
+	Cycles   uint64
+	Log      []byte
+}
+
+// Machine is one bootable guest system.
+type Machine struct {
+	cfg  Config
+	Mem  *mem.Memory
+	core Core
+
+	cpuC *cisc.CPU
+	cpuR *risc.CPU
+
+	nextTimer uint64
+	deadline  uint64
+	crashSeq  uint32
+
+	// PauseAt, when nonzero, makes Run return OutPaused once the cycle
+	// counter reaches it (the injector's mid-run trigger). It is cleared on
+	// firing and on reboot.
+	PauseAt uint64
+
+	// OnInstrBreak and OnDataBreak are the injector's hooks; they run with
+	// the machine paused at the event and may mutate memory, registers, and
+	// breakpoints before execution resumes.
+	OnInstrBreak func(ev isa.Event)
+	OnDataBreak  func(ev isa.Event)
+}
+
+// New builds a machine around a compiled image. The image sections are
+// mapped and loaded; further regions (stacks, user space) are mapped by the
+// kernel setup code before Seal.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Image == nil {
+		return nil, fmt.Errorf("machine: config needs an image")
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 8 << 20
+	}
+	if cfg.TimerPeriod == 0 {
+		cfg.TimerPeriod = 50_000
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 40_000_000
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	if cfg.Platform == isa.RISC {
+		order = binary.BigEndian
+	}
+	m := mem.New(cfg.MemSize, order)
+	if cfg.Platform == isa.RISC {
+		// The G4's processor-local bus hangs (machine check) only in an
+		// unclaimed window; other wild kernel pointers fault as "kernel
+		// access of a bad area". The P4 has no such window: everything
+		// wild page-faults.
+		m.SetBusWindow(0xF0000000, 0xF8000000)
+	}
+	im := cfg.Image
+	m.Map(im.CodeBase, uint32(len(im.Code)), mem.Present)
+	m.Map(im.DataBase, uint32(len(im.Data))+mem.PageSize, mem.Present|mem.Writable)
+	if im.BSSSize > 0 {
+		m.Map(im.BSSBase, im.BSSSize, mem.Present|mem.Writable)
+	}
+	if im.HeapSize > 0 {
+		m.Map(im.HeapBase, im.HeapSize, mem.Present|mem.Writable)
+	}
+	copy(m.RawBytes(im.CodeBase, uint32(len(im.Code))), im.Code)
+	copy(m.RawBytes(im.DataBase, uint32(len(im.Data))), im.Data)
+	m.AddRegion(mem.Region{Name: "text", Kind: mem.KindCode, Start: im.CodeBase, End: im.CodeBase + uint32(len(im.Code))})
+	if len(im.Data) > 0 {
+		m.AddRegion(mem.Region{Name: "data", Kind: mem.KindData, Start: im.DataBase, End: im.DataBase + uint32(len(im.Data))})
+	}
+	if im.BSSSize > 0 {
+		m.AddRegion(mem.Region{Name: "bss", Kind: mem.KindBSS, Start: im.BSSBase, End: im.BSSBase + im.BSSSize})
+	}
+	if im.HeapSize > 0 {
+		m.AddRegion(mem.Region{Name: "heap", Kind: mem.KindHeap, Start: im.HeapBase, End: im.HeapBase + im.HeapSize})
+	}
+
+	mach := &Machine{cfg: cfg, Mem: m}
+	switch cfg.Platform {
+	case isa.CISC:
+		mach.cpuC = cisc.NewCPU(m)
+		mach.core = &ciscCore{cpu: mach.cpuC, mem: m}
+	case isa.RISC:
+		mach.cpuR = risc.NewCPU(m)
+		mach.core = &riscCore{cpu: mach.cpuR, mem: m}
+	default:
+		return nil, fmt.Errorf("machine: unknown platform %v", cfg.Platform)
+	}
+	mach.resetCPUState()
+	return mach, nil
+}
+
+// Core returns the platform-generic CPU view.
+func (ma *Machine) Core() Core { return ma.core }
+
+// Config returns the machine configuration.
+func (ma *Machine) Config() Config { return ma.cfg }
+
+// CISCCPU returns the concrete CISC CPU (nil on RISC machines).
+func (ma *Machine) CISCCPU() *cisc.CPU { return ma.cpuC }
+
+// RISCCPU returns the concrete RISC CPU (nil on CISC machines).
+func (ma *Machine) RISCCPU() *risc.CPU { return ma.cpuR }
+
+// SysReg is a platform-generic injectable system register.
+type SysReg struct {
+	Name string
+	Bits uint
+	Get  func() uint32
+	Set  func(uint32)
+}
+
+// SystemRegisters returns the platform's injectable system-register file.
+func (ma *Machine) SystemRegisters() []SysReg {
+	var out []SysReg
+	if ma.cpuC != nil {
+		for _, r := range cisc.SystemRegisters() {
+			r := r
+			out = append(out, SysReg{Name: r.Name, Bits: r.Bits,
+				Get: func() uint32 { return r.Get(ma.cpuC) },
+				Set: func(v uint32) { r.Set(ma.cpuC, v) }})
+		}
+		return out
+	}
+	for _, r := range risc.SystemRegisters() {
+		r := r
+		out = append(out, SysReg{Name: r.Name, Bits: r.Bits,
+			Get: func() uint32 { return r.Get(ma.cpuR) },
+			Set: func(v uint32) { r.Set(ma.cpuR, v) }})
+	}
+	return out
+}
+
+// Seal snapshots memory as the pristine boot image; Reboot restores it.
+func (ma *Machine) Seal() { ma.Mem.Seal() }
+
+func (ma *Machine) resetCPUState() {
+	ma.core.Reset()
+	ma.core.SetPC(ma.cfg.BootEntry)
+	ma.core.SetSP(ma.cfg.BootSP)
+	if ma.cpuC != nil {
+		ma.cpuC.FSBase = ma.cfg.FSBase
+	} else {
+		ma.cpuR.SPR[risc.SprSPRG2] = ma.cfg.SPRG2Value
+		// Boot-firmware translation state: the page-table base and the
+		// kernel BAT mappings the exception path depends on.
+		ma.cpuR.SPR[risc.SprSDR1] = bootSDR1
+		ma.cpuR.SPR[risc.SprIBAT0U] = bootBAT
+		ma.cpuR.SPR[risc.SprDBAT0U] = bootBAT
+	}
+	ma.core.SetStackBounds(ma.cfg.BootStackLo, ma.cfg.BootStackHi)
+	ma.core.Clock().Reset()
+	ma.nextTimer = ma.cfg.TimerPeriod
+	ma.deadline = ma.cfg.Watchdog
+	ma.PauseAt = 0
+}
+
+// Reboot restores the sealed memory image and architectural boot state —
+// the watchdog-card auto-reboot between injections.
+func (ma *Machine) Reboot() {
+	ma.Mem.Reboot()
+	ma.resetCPUState()
+}
+
+// currentKernelSP reads the current process's kernel stack top from the
+// guest's `current` pointer.
+func (ma *Machine) currentKernelSP() uint32 {
+	cur := ma.Mem.RawRead(ma.cfg.CurrentPtr, 4)
+	return ma.Mem.RawRead(cur+ma.cfg.KStackOff, 4)
+}
+
+// Boot values and sensitivity masks for the G4 translation registers the
+// exception path depends on. Flips in the masked bits break the kernel's
+// address translation and surface at the next exception; flips in the
+// unmasked (reserved / fine-grained) bits pass, which is why only some bits
+// of these registers are error-sensitive (paper §5.2).
+const (
+	bootSDR1 = 0x00FF0000
+	sdr1Mask = 0xFFFF0000 // HTABORG: the hashed page table base
+	bootBAT  = 0xC0001FFE
+	batMask  = 0xFFFE0003 // BEPI block address + Vs/Vp valid bits
+)
+
+// interrupt delivers an interrupt through the platform trap glue. It returns
+// a crash result if the delivery machinery itself faults.
+func (ma *Machine) interrupt(stub uint32) *RunResult {
+	ma.core.Clock().Advance(InterruptEntryCost)
+	if ma.cpuR != nil {
+		// The G4 exception entry saves scratch state through SPRG2. A
+		// corrupted SPRG2 makes those stores fault (kernel access of a bad
+		// area, or a machine check beyond the bus limit); if the wild
+		// pointer happens to hit mapped memory, the entry path continues
+		// into it and the OS ends up executing from an essentially random
+		// location (paper §5.2).
+		// Corrupted translation state (page-table base or kernel BATs)
+		// derails the very first translation of the exception path: the
+		// kernel reports an access to a bad area at a wild address.
+		if got := ma.cpuR.SPR[risc.SprSDR1]; (got^bootSDR1)&sdr1Mask != 0 {
+			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
+			return &res
+		}
+		if got := ma.cpuR.SPR[risc.SprIBAT0U]; (got^bootBAT)&batMask != 0 {
+			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
+			return &res
+		}
+		if got := ma.cpuR.SPR[risc.SprDBAT0U]; (got^bootBAT)&batMask != 0 {
+			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
+			return &res
+		}
+		if got := ma.cpuR.SPR[risc.SprSPRG2]; got != ma.cfg.SPRG2Value {
+			if f := ma.Mem.Check(got&^3, 32, true, false); f != nil {
+				cause := isa.CauseBadArea
+				if f.Kind == mem.FaultBus {
+					cause = isa.CauseMachineCheck
+				}
+				res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: cause, FaultAddr: got})
+				return &res
+			}
+			ma.core.SetPC(got)
+			return nil
+		}
+	}
+	ev := ma.core.DeliverInterrupt(stub, ma.currentKernelSP())
+	if ev.Kind == isa.EvException {
+		res := ma.crashResult(ev)
+		return &res
+	}
+	if _, _, _, ok := ma.core.PendingDataBreak(); ok && ma.OnDataBreak != nil {
+		ma.OnDataBreak(isa.Event{Kind: isa.EvDataBreak, Access: isa.AccessWrite})
+	}
+	return nil
+}
+
+// ctxsw performs the context-switch primitive: save into prev, load from
+// next, and refresh the stack bounds used by the G4 wrapper.
+func (ma *Machine) ctxsw(prev, next uint32) {
+	off := ma.cfg.CtxOff
+	ma.core.SaveContext(prev + off)
+	ma.core.RestoreContext(next + off)
+	lo := ma.Mem.RawRead(next+ma.cfg.StackLoOff, 4)
+	hi := ma.Mem.RawRead(next+ma.cfg.StackHiOff, 4)
+	ma.core.SetStackBounds(lo, hi)
+}
+
+// crashResult classifies a kernel-mode exception, applies the Figure 3
+// latency stages, captures the dump, and ships the crash packet.
+func (ma *Machine) crashResult(ev isa.Event) RunResult {
+	cause := ev.Cause
+	// The G4 kernel's exception-entry wrapper: an out-of-range kernel stack
+	// pointer is reported as an explicit Stack Overflow. The P4 kernel has
+	// no such wrapper, so the same condition surfaces as whatever exception
+	// the propagating corruption eventually raises (paper §5.1).
+	if !ma.cfg.NoStackWrapper && !ma.core.StackPointerInBounds() {
+		cause = isa.CauseStackOverflow
+	}
+	clk := ma.core.Clock()
+	if ma.cfg.Platform == isa.RISC {
+		clk.Advance(StageHardwareRISC + StageSoftwareRISC)
+	} else {
+		clk.Advance(StageHardwareCISC + StageSoftwareCISC)
+	}
+	rec := &CrashRecord{
+		Cause:     cause,
+		PC:        ma.core.PC(),
+		FaultAddr: ev.FaultAddr,
+		SP:        ma.core.SP(),
+		Cycles:    clk.Cycles(),
+		Known:     ma.core.CrashDumpPossible(),
+	}
+	sp := rec.SP
+	for i := range rec.FramePtrs {
+		rec.FramePtrs[i] = ma.Mem.RawRead(sp+uint32(i)*4, 4)
+	}
+	if rec.Known && ma.cfg.CrashSender != nil {
+		ma.crashSeq++
+		pkt := crashnet.Packet{
+			Seq:       ma.crashSeq,
+			Platform:  ma.cfg.Platform,
+			Cause:     rec.Cause,
+			PC:        rec.PC,
+			FaultAddr: rec.FaultAddr,
+			SP:        rec.SP,
+			Cycles:    clk.Since(),
+			FramePtrs: rec.FramePtrs,
+		}
+		// The send path bypasses the guest filesystem entirely; a failure
+		// to deliver degrades the crash to unknown, exactly like a lost
+		// dump on the real testbed.
+		if err := ma.cfg.CrashSender.Send(pkt); err != nil {
+			rec.Known = false
+		}
+	}
+	return RunResult{Outcome: OutCrashed, Crash: rec, Cycles: clk.Cycles()}
+}
+
+// Run executes the guest from its current state until the benchmark
+// completes, the kernel crashes, a workload process faults, or the watchdog
+// expires.
+func (ma *Machine) Run() RunResult {
+	clk := ma.core.Clock()
+	var logBytes []byte
+	for {
+		if clk.Cycles() >= ma.deadline {
+			return RunResult{Outcome: OutHung, Cycles: clk.Cycles(), Log: logBytes}
+		}
+		if ma.PauseAt > 0 && clk.Cycles() >= ma.PauseAt {
+			ma.PauseAt = 0
+			return RunResult{Outcome: OutPaused, Cycles: clk.Cycles(), Log: logBytes}
+		}
+		if clk.Cycles() >= ma.nextTimer {
+			if ma.core.InterruptsEnabled() {
+				ma.nextTimer = clk.Cycles() + ma.cfg.TimerPeriod
+				if res := ma.interrupt(ma.cfg.TimerStub); res != nil {
+					res.Log = logBytes
+					return *res
+				}
+			} else {
+				ma.nextTimer = clk.Cycles() + 64
+			}
+		}
+		ev := ma.core.Step()
+		switch ev.Kind {
+		case isa.EvNone:
+		case isa.EvSyscall:
+			if ev.SysNo >= HyperBase {
+				a, _, _ := ma.core.SyscallArgs()
+				switch ev.SysNo {
+				case HyperDone:
+					return RunResult{Outcome: OutCompleted, Checksum: a, Cycles: clk.Cycles(), Log: logBytes}
+				case HyperFail:
+					return RunResult{Outcome: OutFailReported, Checksum: a, Cycles: clk.Cycles(), Log: logBytes}
+				case HyperLog:
+					logBytes = append(logBytes, byte(a))
+					ma.core.SetSyscallResult(0)
+				default:
+					ma.core.SetSyscallResult(^uint32(0))
+				}
+				continue
+			}
+			if res := ma.interrupt(ma.cfg.SyscallStub); res != nil {
+				res.Log = logBytes
+				return *res
+			}
+		case isa.EvHalt:
+			if !ma.core.InterruptsEnabled() {
+				// Idle with interrupts masked: the system is dead; the
+				// hardware watchdog will reboot it.
+				return RunResult{Outcome: OutHung, Cycles: clk.Cycles(), Log: logBytes}
+			}
+			if ma.nextTimer > clk.Cycles() {
+				clk.Advance(ma.nextTimer - clk.Cycles())
+			}
+		case isa.EvCtxSw:
+			ma.ctxsw(ev.Prev, ev.Next)
+		case isa.EvInstrBreak:
+			if ma.OnInstrBreak != nil {
+				ma.OnInstrBreak(ev)
+			} else {
+				ma.core.Debug().Clear(ev.Slot)
+			}
+		case isa.EvDataBreak:
+			if ma.OnDataBreak != nil {
+				ma.OnDataBreak(ev)
+			} else {
+				ma.core.Debug().Clear(ev.Slot)
+			}
+		case isa.EvException:
+			if ma.core.Mode() == isa.UserMode {
+				return RunResult{Outcome: OutUserFault, Cycles: clk.Cycles(), Log: logBytes}
+			}
+			res := ma.crashResult(ev)
+			res.Log = logBytes
+			return res
+		}
+	}
+}
+
+// CallGuest runs a guest function to completion with interrupts and
+// breakpoints inactive — the path used for boot-time initialization and
+// kernel profiling. The function must return normally; any event other than
+// plain execution is an error.
+func (ma *Machine) CallGuest(fn string, args ...uint32) (uint32, error) {
+	const sentinel = 0xDEAD0000
+	entry := ma.cfg.Image.Sym(fn)
+	if ma.cpuC != nil {
+		c := ma.cpuC
+		for i := len(args) - 1; i >= 0; i-- {
+			c.Regs[cisc.ESP] -= 4
+			ma.Mem.RawWrite(c.Regs[cisc.ESP], 4, args[i])
+		}
+		c.Regs[cisc.ESP] -= 4
+		ma.Mem.RawWrite(c.Regs[cisc.ESP], 4, sentinel)
+		c.EIP = entry
+		for steps := 0; steps < 100_000_000; steps++ {
+			if c.EIP == sentinel {
+				c.Regs[cisc.ESP] += uint32(4 * len(args))
+				return c.Regs[cisc.EAX], nil
+			}
+			if ev := c.Step(); ev.Kind != isa.EvNone {
+				return 0, fmt.Errorf("machine: %s: event %+v at eip=0x%x", fn, ev, c.EIP)
+			}
+		}
+		return 0, fmt.Errorf("machine: %s did not return", fn)
+	}
+	c := ma.cpuR
+	for i, v := range args {
+		c.R[3+i] = v
+	}
+	c.LR = sentinel
+	c.PC = entry
+	for steps := 0; steps < 100_000_000; steps++ {
+		if c.PC == sentinel&^3 {
+			return c.R[3], nil
+		}
+		if ev := c.Step(); ev.Kind != isa.EvNone {
+			return 0, fmt.Errorf("machine: %s: event %+v at pc=0x%x", fn, ev, c.PC)
+		}
+	}
+	return 0, fmt.Errorf("machine: %s did not return", fn)
+}

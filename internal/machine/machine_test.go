@@ -1,0 +1,247 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/crashnet"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/kir"
+	"kfi/internal/machine"
+	"kfi/internal/workload"
+)
+
+func buildSystem(t *testing.T, p isa.Platform, opts kernel.Options) *kernel.System {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPauseAtAndResume(t *testing.T) {
+	sys := buildSystem(t, isa.CISC, kernel.Options{})
+	clean := sys.Run()
+	if clean.Outcome != machine.OutCompleted {
+		t.Fatalf("clean run: %v", clean.Outcome)
+	}
+
+	m := sys.Machine
+	m.Reboot()
+	m.PauseAt = 500_000
+	r1 := m.Run()
+	if r1.Outcome != machine.OutPaused {
+		t.Fatalf("first leg: %v", r1.Outcome)
+	}
+	if r1.Cycles < 500_000 {
+		t.Errorf("paused at %d cycles, want >= 500000", r1.Cycles)
+	}
+	r2 := m.Run()
+	if r2.Outcome != machine.OutCompleted {
+		t.Fatalf("resume: %v", r2.Outcome)
+	}
+	if r2.Checksum != clean.Checksum {
+		t.Errorf("resumed run checksum 0x%x, want 0x%x", r2.Checksum, clean.Checksum)
+	}
+	if r2.Cycles != clean.Cycles {
+		t.Errorf("resumed run cycles %d, want %d (pause must not perturb)", r2.Cycles, clean.Cycles)
+	}
+}
+
+func TestPauseBeyondCompletion(t *testing.T) {
+	sys := buildSystem(t, isa.RISC, kernel.Options{})
+	m := sys.Machine
+	m.Reboot()
+	m.PauseAt = 1 << 40
+	res := m.Run()
+	if res.Outcome != machine.OutCompleted {
+		t.Errorf("outcome = %v, want completed (pause never reached)", res.Outcome)
+	}
+}
+
+func TestWatchdogReportsHang(t *testing.T) {
+	sys := buildSystem(t, isa.CISC, kernel.Options{Watchdog: 100_000})
+	res := sys.Run()
+	if res.Outcome != machine.OutHung {
+		t.Fatalf("outcome = %v, want hung (100k-cycle watchdog)", res.Outcome)
+	}
+	if res.Cycles < 100_000 {
+		t.Errorf("hang reported at %d cycles", res.Cycles)
+	}
+}
+
+func TestRebootRestoresState(t *testing.T) {
+	sys := buildSystem(t, isa.RISC, kernel.Options{})
+	golden := sys.Run()
+	// Scribble over kernel data and registers, then reboot.
+	m := sys.Machine
+	m.Mem.FlipBit(sys.KernelImage.Sym("jiffies"), 3)
+	m.Mem.FlipBit(sys.KernelImage.Sym("kernel_flag"), 5)
+	m.RISCCPU().SPR[274] ^= 0xFFFF
+	res := sys.Run()
+	if res.Outcome != machine.OutCompleted || res.Checksum != golden.Checksum {
+		t.Errorf("post-scribble run = %v checksum 0x%x, want clean 0x%x",
+			res.Outcome, res.Checksum, golden.Checksum)
+	}
+}
+
+func TestCrashPacketDelivery(t *testing.T) {
+	ch := crashnet.NewChannel()
+	sys := buildSystem(t, isa.RISC, kernel.Options{CrashSender: ch})
+	// Corrupt the journal's running-transaction pointer so kjournald
+	// crashes deterministically.
+	sys.Machine.Reboot()
+	sys.Machine.Mem.FlipBit(sys.KernelImage.Sym("journal"), 7)
+	res := sys.Machine.Run()
+	if res.Outcome != machine.OutCrashed {
+		t.Fatalf("outcome = %v, want crash", res.Outcome)
+	}
+	pkt, ok := ch.Recv()
+	if !ok {
+		t.Fatal("no crash packet delivered to the remote collector")
+	}
+	if pkt.Cause != res.Crash.Cause || pkt.PC != res.Crash.PC {
+		t.Errorf("packet %+v does not match crash %+v", pkt, res.Crash)
+	}
+	if pkt.Platform != isa.RISC {
+		t.Errorf("packet platform = %v", pkt.Platform)
+	}
+}
+
+// TestHypercalls builds a minimal guest whose boot code logs two bytes and
+// reports completion — exercising the harness hypercall surface directly.
+func TestHypercalls(t *testing.T) {
+	pb := kir.NewProgram()
+	fb := pb.Func("kstart", 0, false)
+	fb.Block("entry")
+	h := fb.Const(int32('h'))
+	logNo := fb.Const(machine.HyperLog)
+	fb.Syscall(logNo, h)
+	i := fb.Const(int32('i'))
+	fb.Syscall(logNo, i)
+	done := fb.Const(machine.HyperDone)
+	cs := fb.Const(1234)
+	fb.Syscall(done, cs)
+	fb.Bug()
+	fb.Ret(0)
+
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		im, err := cc.Compile(pb.Program(), p, cc.Bases{Code: 0x10000, Data: 0x20000, BSS: 0x30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := machine.New(machine.Config{
+			Platform:  p,
+			Image:     im,
+			MemSize:   1 << 20,
+			BootEntry: im.Sym("kstart"),
+			BootSP:    0x40000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem.Map(0x40000-0x1000, 0x1000, 2|1) // stack: present|writable
+		m.Seal()
+		m.Reboot()
+		res := m.Run()
+		if res.Outcome != machine.OutCompleted || res.Checksum != 1234 {
+			t.Fatalf("[%v] outcome = %v checksum %d", p, res.Outcome, res.Checksum)
+		}
+		if string(res.Log) != "hi" {
+			t.Errorf("[%v] log = %q, want %q", p, res.Log, "hi")
+		}
+	}
+}
+
+func TestSystemRegistersPerPlatform(t *testing.T) {
+	p4 := buildSystem(t, isa.CISC, kernel.Options{})
+	g4 := buildSystem(t, isa.RISC, kernel.Options{})
+	if n := len(p4.Machine.SystemRegisters()); n < 18 || n > 22 {
+		t.Errorf("P4 register file = %d, want about 20", n)
+	}
+	if n := len(g4.Machine.SystemRegisters()); n != 99 {
+		t.Errorf("G4 register file = %d, want 99", n)
+	}
+	// The generic accessors must reach the concrete CPUs.
+	regs := g4.Machine.SystemRegisters()
+	for _, r := range regs {
+		if r.Name == "SPRG2" {
+			r.Set(0xABCD)
+			if g4.Machine.RISCCPU().SPR[274] != 0xABCD {
+				t.Error("generic Set did not reach SPRG2")
+			}
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	outcomes := map[machine.Outcome]string{
+		machine.OutCompleted:    "completed",
+		machine.OutCrashed:      "crashed",
+		machine.OutHung:         "hung",
+		machine.OutUserFault:    "user-fault",
+		machine.OutFailReported: "fail-reported",
+		machine.OutPaused:       "paused",
+	}
+	for o, want := range outcomes {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestCallGuestArithmetic(t *testing.T) {
+	sys := buildSystem(t, isa.CISC, kernel.Options{})
+	// csum_partial over the version banner must be callable host-side.
+	banner := sys.KernelImage.Sym("version_banner")
+	v, err := sys.Machine.CallGuest("csum_partial", banner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 || v == 1 {
+		t.Errorf("checksum = %d, want a mixed hash", v)
+	}
+	// Deterministic.
+	v2, err := sys.Machine.CallGuest("csum_partial", banner, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != v2 {
+		t.Errorf("CallGuest not deterministic: %d vs %d", v, v2)
+	}
+}
+
+func TestTraceRun(t *testing.T) {
+	sys := buildSystem(t, isa.CISC, kernel.Options{})
+	sys.Machine.Reboot()
+	steps, res := sys.Machine.TraceRun(20)
+	if len(steps) != 20 {
+		t.Fatalf("captured %d steps, want 20", len(steps))
+	}
+	// The boot sequence starts in kstart: a frame push then sti/hlt.
+	if steps[0].Disasm != "push %ebp" {
+		t.Errorf("first instruction %q, want the kstart prologue", steps[0].Disasm)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Cycles < steps[i-1].Cycles {
+			t.Errorf("cycle counter went backwards at step %d", i)
+		}
+	}
+	if res.Outcome != machine.OutPaused && res.Outcome != machine.OutCompleted {
+		t.Errorf("trace run ended with %v", res.Outcome)
+	}
+	var buf strings.Builder
+	if err := machine.WriteTrace(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "push %ebp") {
+		t.Error("WriteTrace output missing disassembly")
+	}
+}

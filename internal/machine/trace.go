@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kfi/internal/cisc"
+	"kfi/internal/risc"
+)
+
+// TraceStep is one retired instruction captured by TraceRun.
+type TraceStep struct {
+	PC     uint32
+	Disasm string
+	Cycles uint64 // cycle counter after the instruction retired
+}
+
+// TraceRun executes from the machine's current state, capturing up to
+// maxSteps retired instructions with their disassembly, then stops (via the
+// pause mechanism) or ends with the run's outcome. It is a debugging and
+// teaching aid — the instruction stream it shows is exactly what the
+// injector corrupts.
+func (ma *Machine) TraceRun(maxSteps int) ([]TraceStep, RunResult) {
+	steps := make([]TraceStep, 0, maxSteps)
+	clk := ma.core.Clock()
+	ma.core.SetTrace(func(pc uint32, cost uint8) {
+		if len(steps) >= maxSteps {
+			return
+		}
+		steps = append(steps, TraceStep{
+			PC:     pc,
+			Disasm: ma.disasmAt(pc),
+			Cycles: clk.Cycles(),
+		})
+		if len(steps) == maxSteps {
+			// Stop at the next loop iteration.
+			ma.PauseAt = clk.Cycles()
+		}
+	})
+	res := ma.Run()
+	ma.core.SetTrace(nil)
+	return steps, res
+}
+
+// Disasm renders the instruction at pc against the machine's current memory
+// image (so a code injection's corrupted encoding shows up as corrupted).
+func (ma *Machine) Disasm(pc uint32) string { return ma.disasmAt(pc) }
+
+// disasmAt renders the instruction at pc (best effort; raw bytes on failure).
+func (ma *Machine) disasmAt(pc uint32) string {
+	if ma.cpuR != nil {
+		bs := ma.Mem.RawBytes(pc, 4)
+		if bs == nil {
+			return "<unmapped>"
+		}
+		w := binary.BigEndian.Uint32(bs)
+		in, err := risc.Decode(w)
+		if err != nil {
+			return fmt.Sprintf(".long 0x%08x", w)
+		}
+		return in.String()
+	}
+	bs := ma.Mem.RawBytes(pc, 9)
+	if bs == nil {
+		return "<unmapped>"
+	}
+	in, err := cisc.Decode(bs)
+	if err != nil {
+		return fmt.Sprintf(".byte 0x%02x", bs[0])
+	}
+	return in.String()
+}
+
+// WriteTrace prints trace steps in an objdump-like format.
+func WriteTrace(w io.Writer, steps []TraceStep) error {
+	for _, s := range steps {
+		if _, err := fmt.Fprintf(w, "%10d  %08x  %s\n", s.Cycles, s.PC, s.Disasm); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package mem
+
+import "fmt"
+
+// RegionKind classifies a named address-space region. The injection campaigns
+// draw their targets from these regions: code injections from KindCode, data
+// injections from KindData and KindBSS, and stack injections from the
+// KindStack region of a randomly chosen kernel process.
+type RegionKind int
+
+// Region kinds.
+const (
+	// KindCode is the kernel text section.
+	KindCode RegionKind = iota + 1
+	// KindData is the initialized kernel data section.
+	KindData
+	// KindBSS is the uninitialized kernel data section.
+	KindBSS
+	// KindStack is one kernel process stack.
+	KindStack
+	// KindHeap is the kernel dynamic-allocation arena (page allocator pool).
+	KindHeap
+	// KindUser is user-space text/data/stack for workload programs.
+	KindUser
+	// KindDevice is memory-mapped device space (NIC ring, watchdog port).
+	KindDevice
+)
+
+// String returns the region-kind name.
+func (k RegionKind) String() string {
+	switch k {
+	case KindCode:
+		return "code"
+	case KindData:
+		return "data"
+	case KindBSS:
+		return "bss"
+	case KindStack:
+		return "stack"
+	case KindHeap:
+		return "heap"
+	case KindUser:
+		return "user"
+	case KindDevice:
+		return "device"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Region is a named half-open address range [Start, End).
+type Region struct {
+	Name  string
+	Kind  RegionKind
+	Start uint32
+	End   uint32
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint32) bool { return addr >= r.Start && addr < r.End }
+
+// Size returns the region length in bytes.
+func (r Region) Size() uint32 { return r.End - r.Start }
+
+// AddRegion records a named region. Regions may not overlap; AddRegion
+// panics on overlap since that indicates a broken memory layout.
+func (m *Memory) AddRegion(r Region) {
+	if r.End <= r.Start {
+		panic(fmt.Sprintf("mem: empty region %q", r.Name))
+	}
+	for _, ex := range m.regions {
+		if r.Start < ex.End && ex.Start < r.End {
+			panic(fmt.Sprintf("mem: region %q overlaps %q", r.Name, ex.Name))
+		}
+	}
+	m.regions = append(m.regions, r)
+}
+
+// RegionAt returns the region containing addr, if any.
+func (m *Memory) RegionAt(addr uint32) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// RegionByName returns the region with the given name, if any.
+func (m *Memory) RegionByName(name string) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns a copy of all regions of the given kinds (or all regions if
+// no kinds are given).
+func (m *Memory) Regions(kinds ...RegionKind) []Region {
+	var out []Region
+	for _, r := range m.regions {
+		if len(kinds) == 0 {
+			out = append(out, r)
+			continue
+		}
+		for _, k := range kinds {
+			if r.Kind == k {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+package risc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm builds RISC machine code (a sequence of 32-bit big-endian words) with
+// labels and relocations. Emitters panic on impossible operands; those are
+// build bugs.
+type Asm struct {
+	words  []uint32
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type relocKind int
+
+const (
+	relRel24 relocKind = iota + 1 // b/bl 24-bit word displacement
+	relRel14                      // bc 14-bit word displacement
+	relHa16                       // addis high half (adjusted for signed low)
+	relLo16                       // addi/lwz low half
+)
+
+type fixup struct {
+	index  uint32 // word index
+	kind   relocKind
+	target string
+	addend int32
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]uint32)}
+}
+
+// Len returns the current code size in bytes.
+func (a *Asm) Len() uint32 { return uint32(len(a.words)) * 4 }
+
+// Label defines a label at the current position.
+func (a *Asm) Label(name string) {
+	if _, ok := a.labels[name]; ok {
+		panic(fmt.Sprintf("risc: label %q defined twice", name))
+	}
+	a.labels[name] = a.Len()
+}
+
+// LabelAddr returns the offset of a previously defined label.
+func (a *Asm) LabelAddr(name string) (uint32, bool) {
+	v, ok := a.labels[name]
+	return v, ok
+}
+
+// Labels returns all defined labels and their offsets.
+func (a *Asm) Labels() map[string]uint32 {
+	out := make(map[string]uint32, len(a.labels))
+	for k, v := range a.labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Link resolves fixups against the load base and external symbols and returns
+// big-endian machine code bytes.
+func (a *Asm) Link(base uint32, syms map[string]uint32) ([]byte, error) {
+	words := make([]uint32, len(a.words))
+	copy(words, a.words)
+	for _, f := range a.fixups {
+		var target uint32
+		if off, ok := a.labels[f.target]; ok {
+			target = base + off
+		} else if addr, ok := syms[f.target]; ok {
+			target = addr
+		} else {
+			return nil, fmt.Errorf("risc: undefined symbol %q", f.target)
+		}
+		target += uint32(f.addend)
+		pc := base + f.index*4
+		switch f.kind {
+		case relRel24:
+			rel := int64(target) - int64(pc)
+			if rel < -(1<<25) || rel >= 1<<25 || rel&3 != 0 {
+				return nil, fmt.Errorf("risc: rel24 to %q out of range (%d)", f.target, rel)
+			}
+			words[f.index] |= uint32(rel) & 0x03FFFFFC
+		case relRel14:
+			rel := int64(target) - int64(pc)
+			if rel < -(1<<15) || rel >= 1<<15 || rel&3 != 0 {
+				return nil, fmt.Errorf("risc: rel14 to %q out of range (%d)", f.target, rel)
+			}
+			words[f.index] |= uint32(rel) & 0xFFFC
+		case relHa16:
+			ha := (target + 0x8000) >> 16
+			words[f.index] |= ha & 0xFFFF
+		case relLo16:
+			words[f.index] |= target & 0xFFFF
+		}
+	}
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.BigEndian.PutUint32(out[i*4:], w)
+	}
+	return out, nil
+}
+
+func (a *Asm) emit(w uint32) { a.words = append(a.words, w) }
+
+func checkReg(r uint8) {
+	if r >= NumRegs {
+		panic(fmt.Sprintf("risc: bad register %d", r))
+	}
+}
+
+func checkSimm(v int32) {
+	if v < -0x8000 || v > 0x7FFF {
+		panic(fmt.Sprintf("risc: simm16 out of range: %d", v))
+	}
+}
+
+func dForm(opcd uint32, d, aReg uint8, imm uint32) uint32 {
+	checkReg(d)
+	checkReg(aReg)
+	return opcd<<26 | uint32(d)<<21 | uint32(aReg)<<16 | imm&0xFFFF
+}
+
+func xForm(d, aReg, b uint8, xo uint32, rc bool) uint32 {
+	checkReg(d)
+	checkReg(aReg)
+	checkReg(b)
+	w := 31<<26 | uint32(d)<<21 | uint32(aReg)<<16 | uint32(b)<<11 | xo<<1
+	if rc {
+		w |= 1
+	}
+	return w
+}
+
+// --- D-form arithmetic ---
+
+// Addi emits addi rD,rA,imm (li rD,imm when rA=0).
+func (a *Asm) Addi(d, ra uint8, imm int32) { checkSimm(imm); a.emit(dForm(14, d, ra, uint32(imm))) }
+
+// Li emits li rD,imm.
+func (a *Asm) Li(d uint8, imm int32) { a.Addi(d, 0, imm) }
+
+// Addis emits addis rD,rA,imm (lis when rA=0).
+func (a *Asm) Addis(d, ra uint8, imm int32) { checkSimm(imm); a.emit(dForm(15, d, ra, uint32(imm))) }
+
+// Lis emits lis rD,imm.
+func (a *Asm) Lis(d uint8, imm int32) { a.Addis(d, 0, imm) }
+
+// LiSym loads the 32-bit address of sym+addend into rD using lis/addi with
+// ha16/lo16 relocations (the PowerPC large-constant idiom).
+func (a *Asm) LiSym(d uint8, sym string, addend int32) {
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relHa16, target: sym, addend: addend})
+	a.emit(dForm(15, d, 0, 0))
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relLo16, target: sym, addend: addend})
+	a.emit(dForm(14, d, d, 0))
+}
+
+// Li32 loads an arbitrary 32-bit constant (lis/ori or a single addi).
+func (a *Asm) Li32(d uint8, v int32) {
+	if v >= -0x8000 && v <= 0x7FFF {
+		a.Li(d, v)
+		return
+	}
+	hi := uint32(v) >> 16
+	lo := uint32(v) & 0xFFFF
+	a.Lis(d, int32(int16(hi)))
+	if lo != 0 {
+		a.Ori(d, d, uint16(lo))
+	}
+}
+
+// Mulli emits mulli rD,rA,imm.
+func (a *Asm) Mulli(d, ra uint8, imm int32) { checkSimm(imm); a.emit(dForm(7, d, ra, uint32(imm))) }
+
+// Cmpwi emits cmpwi rA,imm.
+func (a *Asm) Cmpwi(ra uint8, imm int32) { checkSimm(imm); a.emit(dForm(11, 0, ra, uint32(imm))) }
+
+// Cmplwi emits cmplwi rA,imm.
+func (a *Asm) Cmplwi(ra uint8, imm uint16) { a.emit(dForm(10, 0, ra, uint32(imm))) }
+
+// Ori emits ori rA,rS,imm. Ori(0,0,0) is the canonical nop.
+func (a *Asm) Ori(ra, rs uint8, imm uint16) { a.emit(dForm(24, rs, ra, uint32(imm))) }
+
+// Oris emits oris rA,rS,imm.
+func (a *Asm) Oris(ra, rs uint8, imm uint16) { a.emit(dForm(25, rs, ra, uint32(imm))) }
+
+// Xori emits xori rA,rS,imm.
+func (a *Asm) Xori(ra, rs uint8, imm uint16) { a.emit(dForm(26, rs, ra, uint32(imm))) }
+
+// AndiRc emits andi. rA,rS,imm (always records to CR0).
+func (a *Asm) AndiRc(ra, rs uint8, imm uint16) { a.emit(dForm(28, rs, ra, uint32(imm))) }
+
+// Nop emits ori 0,0,0.
+func (a *Asm) Nop() { a.Ori(0, 0, 0) }
+
+// --- loads/stores ---
+
+// Lwz emits lwz rD,d(rA).
+func (a *Asm) Lwz(d, ra uint8, off int32) { checkSimm(off); a.emit(dForm(32, d, ra, uint32(off))) }
+
+// Lbz emits lbz rD,d(rA).
+func (a *Asm) Lbz(d, ra uint8, off int32) { checkSimm(off); a.emit(dForm(34, d, ra, uint32(off))) }
+
+// Lhz emits lhz rD,d(rA).
+func (a *Asm) Lhz(d, ra uint8, off int32) { checkSimm(off); a.emit(dForm(40, d, ra, uint32(off))) }
+
+// Lha emits lha rD,d(rA).
+func (a *Asm) Lha(d, ra uint8, off int32) { checkSimm(off); a.emit(dForm(42, d, ra, uint32(off))) }
+
+// Stw emits stw rS,d(rA).
+func (a *Asm) Stw(s, ra uint8, off int32) { checkSimm(off); a.emit(dForm(36, s, ra, uint32(off))) }
+
+// Stwu emits stwu rS,d(rA) — the frame-push idiom.
+func (a *Asm) Stwu(s, ra uint8, off int32) {
+	if ra == 0 {
+		panic("risc: stwu with rA=0")
+	}
+	checkSimm(off)
+	a.emit(dForm(37, s, ra, uint32(off)))
+}
+
+// Stb emits stb rS,d(rA).
+func (a *Asm) Stb(s, ra uint8, off int32) { checkSimm(off); a.emit(dForm(38, s, ra, uint32(off))) }
+
+// Sth emits sth rS,d(rA).
+func (a *Asm) Sth(s, ra uint8, off int32) { checkSimm(off); a.emit(dForm(44, s, ra, uint32(off))) }
+
+// Lwzx emits lwzx rD,rA,rB.
+func (a *Asm) Lwzx(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoLWZX, false)) }
+
+// Lbzx emits lbzx rD,rA,rB.
+func (a *Asm) Lbzx(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoLBZX, false)) }
+
+// Lhax emits lhax rD,rA,rB.
+func (a *Asm) Lhax(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoLHAX, false)) }
+
+// Stwx emits stwx rS,rA,rB.
+func (a *Asm) Stwx(s, ra, rb uint8) { a.emit(xForm(s, ra, rb, xoSTWX, false)) }
+
+// Stbx emits stbx rS,rA,rB.
+func (a *Asm) Stbx(s, ra, rb uint8) { a.emit(xForm(s, ra, rb, xoSTBX, false)) }
+
+// --- X-form ALU ---
+
+// Add emits add rD,rA,rB.
+func (a *Asm) Add(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoADD, false)) }
+
+// Subf emits subf rD,rA,rB (rD = rB - rA).
+func (a *Asm) Subf(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoSUBF, false)) }
+
+// Neg emits neg rD,rA.
+func (a *Asm) Neg(d, ra uint8) { a.emit(xForm(d, ra, 0, xoNEG, false)) }
+
+// Mullw emits mullw rD,rA,rB.
+func (a *Asm) Mullw(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoMULLW, false)) }
+
+// Divw emits divw rD,rA,rB (rD = rA / rB).
+func (a *Asm) Divw(d, ra, rb uint8) { a.emit(xForm(d, ra, rb, xoDIVW, false)) }
+
+// And emits and rA,rS,rB.
+func (a *Asm) And(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoAND, false)) }
+
+// Or emits or rA,rS,rB.
+func (a *Asm) Or(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoOR, false)) }
+
+// Mr emits mr rA,rS (or rA,rS,rS).
+func (a *Asm) Mr(ra, rs uint8) { a.Or(ra, rs, rs) }
+
+// Xor emits xor rA,rS,rB.
+func (a *Asm) Xor(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoXOR, false)) }
+
+// Nor emits nor rA,rS,rB (not = nor rA,rS,rS).
+func (a *Asm) Nor(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoNOR, false)) }
+
+// Slw emits slw rA,rS,rB.
+func (a *Asm) Slw(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoSLW, false)) }
+
+// Srw emits srw rA,rS,rB.
+func (a *Asm) Srw(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoSRW, false)) }
+
+// Sraw emits sraw rA,rS,rB.
+func (a *Asm) Sraw(ra, rs, rb uint8) { a.emit(xForm(rs, ra, rb, xoSRAW, false)) }
+
+// Srawi emits srawi rA,rS,sh.
+func (a *Asm) Srawi(ra, rs, sh uint8) { a.emit(xForm(rs, ra, sh&31, xoSRAWI, false)) }
+
+// Extsb emits extsb rA,rS.
+func (a *Asm) Extsb(ra, rs uint8) { a.emit(xForm(rs, ra, 0, xoEXTSB, false)) }
+
+// Extsh emits extsh rA,rS.
+func (a *Asm) Extsh(ra, rs uint8) { a.emit(xForm(rs, ra, 0, xoEXTSH, false)) }
+
+// Rlwinm emits rlwinm rA,rS,sh,mb,me.
+func (a *Asm) Rlwinm(ra, rs, sh, mb, me uint8) {
+	checkReg(ra)
+	checkReg(rs)
+	a.emit(21<<26 | uint32(rs)<<21 | uint32(ra)<<16 | uint32(sh&31)<<11 |
+		uint32(mb&31)<<6 | uint32(me&31)<<1)
+}
+
+// Slwi emits slwi rA,rS,n (rlwinm shorthand).
+func (a *Asm) Slwi(ra, rs, n uint8) { a.Rlwinm(ra, rs, n, 0, 31-n) }
+
+// Srwi emits srwi rA,rS,n.
+func (a *Asm) Srwi(ra, rs, n uint8) { a.Rlwinm(ra, rs, 32-n, n, 31) }
+
+// Cmpw emits cmpw rA,rB.
+func (a *Asm) Cmpw(ra, rb uint8) { a.emit(xForm(0, ra, rb, xoCMPW, false)) }
+
+// Cmplw emits cmplw rA,rB.
+func (a *Asm) Cmplw(ra, rb uint8) { a.emit(xForm(0, ra, rb, xoCMPLW, false)) }
+
+// --- branches ---
+
+// B emits b sym.
+func (a *Asm) B(sym string) {
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relRel24, target: sym})
+	a.emit(18 << 26)
+}
+
+// Bl emits bl sym (branch and link).
+func (a *Asm) Bl(sym string) {
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relRel24, target: sym})
+	a.emit(18<<26 | 1)
+}
+
+// Blr emits blr.
+func (a *Asm) Blr() { a.emit(19<<26 | 20<<21 | xo19BCLR<<1) }
+
+// Bctrl emits bctrl (indirect call via CTR).
+func (a *Asm) Bctrl() { a.emit(19<<26 | 20<<21 | xo19BCCTR<<1 | 1) }
+
+// Bctr emits bctr.
+func (a *Asm) Bctr() { a.emit(19<<26 | 20<<21 | xo19BCCTR<<1) }
+
+// Condition-code names for Bc: the CR0 bit tested.
+const (
+	BiLT = 0
+	BiGT = 1
+	BiEQ = 2
+	BiSO = 3
+)
+
+// Bc emits a conditional branch to sym. branchIfSet selects branch-on-true
+// (BO=12) versus branch-on-false (BO=4) of CR0 bit bi.
+func (a *Asm) Bc(branchIfSet bool, bi uint8, sym string) {
+	bo := uint32(4)
+	if branchIfSet {
+		bo = 12
+	}
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relRel14, target: sym})
+	a.emit(16<<26 | bo<<21 | uint32(bi&31)<<16)
+}
+
+// Beq emits beq sym.
+func (a *Asm) Beq(sym string) { a.Bc(true, BiEQ, sym) }
+
+// Bne emits bne sym.
+func (a *Asm) Bne(sym string) { a.Bc(false, BiEQ, sym) }
+
+// Blt emits blt sym.
+func (a *Asm) Blt(sym string) { a.Bc(true, BiLT, sym) }
+
+// Bge emits bge sym.
+func (a *Asm) Bge(sym string) { a.Bc(false, BiLT, sym) }
+
+// Bgt emits bgt sym.
+func (a *Asm) Bgt(sym string) { a.Bc(true, BiGT, sym) }
+
+// Ble emits ble sym.
+func (a *Asm) Ble(sym string) { a.Bc(false, BiGT, sym) }
+
+// Bdnz emits bdnz sym (decrement CTR, branch if nonzero).
+func (a *Asm) Bdnz(sym string) {
+	a.fixups = append(a.fixups, fixup{index: uint32(len(a.words)), kind: relRel14, target: sym})
+	a.emit(16<<26 | 16<<21)
+}
+
+// --- system ---
+
+// Sc emits sc.
+func (a *Asm) Sc() { a.emit(17<<26 | 2) }
+
+// Rfi emits rfi.
+func (a *Asm) Rfi() { a.emit(19<<26 | xo19RFI<<1) }
+
+// Isync emits isync.
+func (a *Asm) Isync() { a.emit(19<<26 | xo19ISYNC<<1) }
+
+// Sync emits sync.
+func (a *Asm) Sync() { a.emit(xForm(0, 0, 0, xoSYNC, false)) }
+
+// Twi emits twi TO,rA,imm (trap word immediate; TO=31 traps unconditionally).
+func (a *Asm) Twi(to, ra uint8, imm int32) {
+	checkSimm(imm)
+	a.emit(dForm(3, to&31, ra, uint32(imm)))
+}
+
+// Trap emits the unconditional trap tw 31,r0,r0 — the kernel BUG() shape.
+func (a *Asm) Trap() { a.emit(xForm(31, 0, 0, xoTW, false)) }
+
+// IllegalWord emits .long 0 — the classic illegal-instruction BUG marker.
+func (a *Asm) IllegalWord() { a.emit(0) }
+
+// Mfspr emits mfspr rD,spr.
+func (a *Asm) Mfspr(d uint8, spr uint16) {
+	checkReg(d)
+	a.emit(31<<26 | uint32(d)<<21 | uint32(spr&0x1F)<<16 | uint32(spr>>5&0x1F)<<11 | xoMFSPR<<1)
+}
+
+// Mtspr emits mtspr spr,rS.
+func (a *Asm) Mtspr(spr uint16, s uint8) {
+	checkReg(s)
+	a.emit(31<<26 | uint32(s)<<21 | uint32(spr&0x1F)<<16 | uint32(spr>>5&0x1F)<<11 | xoMTSPR<<1)
+}
+
+// Mflr emits mflr rD.
+func (a *Asm) Mflr(d uint8) { a.Mfspr(d, SprLR) }
+
+// Mtlr emits mtlr rS.
+func (a *Asm) Mtlr(s uint8) { a.Mtspr(SprLR, s) }
+
+// Mfctr emits mfctr rD.
+func (a *Asm) Mfctr(d uint8) { a.Mfspr(d, SprCTR) }
+
+// Mtctr emits mtctr rS.
+func (a *Asm) Mtctr(s uint8) { a.Mtspr(SprCTR, s) }
+
+// Mfmsr emits mfmsr rD.
+func (a *Asm) Mfmsr(d uint8) { a.emit(xForm(d, 0, 0, xoMFMSR, false)) }
+
+// Mtmsr emits mtmsr rS.
+func (a *Asm) Mtmsr(s uint8) { a.emit(xForm(s, 0, 0, xoMTMSR, false)) }
+
+// Mfcr emits mfcr rD.
+func (a *Asm) Mfcr(d uint8) { a.emit(xForm(d, 0, 0, xoMFCR, false)) }
+
+// Mtcrf emits mtcrf 0xff,rS (full condition-register restore).
+func (a *Asm) Mtcrf(s uint8) { a.emit(xForm(s, 0, 0, xoMTCRF, false)) }
+
+// CtxSw emits the simulator context-switch primitive ctxsw rA,rB.
+func (a *Asm) CtxSw(prev, next uint8) { a.emit(xForm(0, prev, next, xoCTXSW, false)) }
+
+// Halt emits the simulator idle primitive.
+func (a *Asm) Halt() { a.emit(xForm(0, 0, 0, xoHALT, false)) }

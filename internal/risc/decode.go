@@ -1,0 +1,402 @@
+package risc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Inst is one decoded 32-bit instruction.
+type Inst struct {
+	Op  Op
+	Raw uint32
+	RD  uint8 // D/S field (bits 21-25)
+	RA  uint8
+	RB  uint8
+	SH  uint8 // rlwinm/srawi shift
+	MB  uint8
+	ME  uint8
+	BO  uint8
+	BI  uint8
+	SPR uint16
+	TO  uint8
+	// SIMM is the sign-extended 16-bit immediate or branch displacement in
+	// bytes (already shifted for branches).
+	SIMM int32
+	UIMM uint32
+	LK   bool // link bit
+	AA   bool // absolute bit
+	Rc   bool // record bit
+}
+
+// ErrIllegal reports an encoding outside the implemented instruction set —
+// the program-check / illegal-instruction condition.
+var ErrIllegal = errors.New("risc: illegal instruction")
+
+func signExt16(v uint32) int32 { return int32(int16(v)) }
+
+// Decode decodes one 32-bit instruction word. It never panics; unknown
+// encodings return ErrIllegal.
+func Decode(raw uint32) (Inst, error) {
+	in := Inst{Raw: raw}
+	in.RD = uint8(raw >> 21 & 0x1F)
+	in.RA = uint8(raw >> 16 & 0x1F)
+	in.RB = uint8(raw >> 11 & 0x1F)
+	in.SIMM = signExt16(raw & 0xFFFF)
+	in.UIMM = raw & 0xFFFF
+
+	opcd := raw >> 26
+	switch opcd {
+	case 3:
+		in.Op, in.TO = OpTWI, in.RD
+	case 7:
+		in.Op = OpMULLI
+	case 10:
+		in.Op = OpCMPLWI
+		if in.RD != 0 { // only CR field 0; the reserved and L bits must be 0
+			return in, ErrIllegal
+		}
+	case 11:
+		in.Op = OpCMPWI
+		if in.RD != 0 {
+			return in, ErrIllegal
+		}
+	case 14:
+		in.Op = OpADDI
+	case 15:
+		in.Op = OpADDIS
+	case 16:
+		in.Op = OpBC
+		in.BO, in.BI = in.RD, in.RA
+		in.SIMM = int32(int16(raw&0xFFFC)) &^ 3
+		in.AA = raw&2 != 0
+		in.LK = raw&1 != 0
+	case 17:
+		// sc has every field reserved: only the canonical encoding decodes.
+		if raw != 0x44000002 {
+			return in, ErrIllegal
+		}
+		in.Op = OpSC
+	case 18:
+		in.Op = OpB
+		li := raw & 0x03FFFFFC
+		if li&0x02000000 != 0 {
+			li |= 0xFC000000 // sign extend 26-bit field
+		}
+		in.SIMM = int32(li)
+		in.AA = raw&2 != 0
+		in.LK = raw&1 != 0
+	case 19:
+		switch raw >> 1 & 0x3FF {
+		case xo19BCLR:
+			in.Op = OpBCLR
+			in.BO, in.BI = in.RD, in.RA
+			in.LK = raw&1 != 0
+			if in.RB != 0 { // the BH/reserved field must be 0
+				return in, ErrIllegal
+			}
+		case xo19BCCTR:
+			in.Op = OpBCCTR
+			in.BO, in.BI = in.RD, in.RA
+			in.LK = raw&1 != 0
+			if in.RB != 0 {
+				return in, ErrIllegal
+			}
+		case xo19RFI:
+			in.Op = OpRFI
+			if in.RD != 0 || in.RA != 0 || in.RB != 0 {
+				return in, ErrIllegal
+			}
+		case xo19ISYNC:
+			in.Op = OpISYNC
+			if in.RD != 0 || in.RA != 0 || in.RB != 0 {
+				return in, ErrIllegal
+			}
+		default:
+			return in, ErrIllegal
+		}
+	case 21:
+		in.Op = OpRLWINM
+		in.SH = in.RB
+		in.MB = uint8(raw >> 6 & 0x1F)
+		in.ME = uint8(raw >> 1 & 0x1F)
+		in.Rc = raw&1 != 0
+	case 24:
+		in.Op = OpORI
+	case 25:
+		in.Op = OpORIS
+	case 26:
+		in.Op = OpXORI
+	case 28:
+		in.Op, in.Rc = OpANDIRc, true
+	case 31:
+		xo := raw >> 1 & 0x3FF
+		in.Rc = raw&1 != 0
+		switch xo {
+		case xoCMPW:
+			in.Op = OpCMPW
+			if in.RD != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoCMPLW:
+			in.Op = OpCMPLW
+			if in.RD != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoTW:
+			in.Op, in.TO = OpTW, in.RD
+		case xoSUBF:
+			in.Op = OpSUBF
+		case xoNEG:
+			in.Op = OpNEG
+			if in.RB != 0 {
+				return in, ErrIllegal
+			}
+		case xoADD:
+			in.Op = OpADD
+		case xoMULLW:
+			in.Op = OpMULLW
+		case xoDIVW:
+			in.Op = OpDIVW
+		case xoAND:
+			in.Op = OpAND
+		case xoOR:
+			in.Op = OpOR
+		case xoXOR:
+			in.Op = OpXOR
+		case xoNOR:
+			in.Op = OpNOR
+		case xoSLW:
+			in.Op = OpSLW
+		case xoSRW:
+			in.Op = OpSRW
+		case xoSRAW:
+			in.Op = OpSRAW
+		case xoSRAWI:
+			in.Op, in.SH = OpSRAWI, in.RB
+		case xoEXTSB:
+			in.Op = OpEXTSB
+			if in.RB != 0 {
+				return in, ErrIllegal
+			}
+		case xoEXTSH:
+			in.Op = OpEXTSH
+			if in.RB != 0 {
+				return in, ErrIllegal
+			}
+		case xoLWZX:
+			in.Op = OpLWZX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoLBZX:
+			in.Op = OpLBZX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoLHZX:
+			in.Op = OpLHZX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoLHAX:
+			in.Op = OpLHAX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoSTWX:
+			in.Op = OpSTWX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoSTBX:
+			in.Op = OpSTBX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoSTHX:
+			in.Op = OpSTHX
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMFSPR:
+			in.Op = OpMFSPR
+			in.SPR = sprField(raw)
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMTSPR:
+			in.Op = OpMTSPR
+			in.SPR = sprField(raw)
+			if in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMFMSR:
+			in.Op = OpMFMSR
+			if in.RA != 0 || in.RB != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMTMSR:
+			in.Op = OpMTMSR
+			if in.RA != 0 || in.RB != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMFCR:
+			in.Op = OpMFCR
+			if in.RA != 0 || in.RB != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoMTCRF:
+			in.Op = OpMTCRF
+			if in.RA != 0 || in.RB != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoSYNC:
+			in.Op = OpSYNC
+			if in.RD != 0 || in.RA != 0 || in.RB != 0 || in.Rc {
+				return in, ErrIllegal
+			}
+		case xoCTXSW:
+			in.Op = OpCTXSW
+		case xoHALT:
+			in.Op = OpHALT
+		default:
+			return in, ErrIllegal
+		}
+	case 32:
+		in.Op = OpLWZ
+	case 34:
+		in.Op = OpLBZ
+	case 36:
+		in.Op = OpSTW
+	case 37:
+		in.Op = OpSTWU
+		if in.RA == 0 {
+			return in, ErrIllegal
+		}
+	case 38:
+		in.Op = OpSTB
+	case 40:
+		in.Op = OpLHZ
+	case 42:
+		in.Op = OpLHA
+	case 44:
+		in.Op = OpSTH
+	default:
+		return in, ErrIllegal
+	}
+	return in, nil
+}
+
+// sprField extracts the split 10-bit SPR number.
+func sprField(raw uint32) uint16 {
+	return uint16(raw>>16&0x1F | raw>>11&0x1F<<5)
+}
+
+// Cost returns the instruction's cycle cost.
+func (in Inst) Cost() uint8 { return cost(in.Op) }
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	n := in.Op.Name()
+	switch in.Op {
+	case OpADDI, OpADDIS, OpMULLI:
+		if in.Op == OpADDI && in.RA == 0 {
+			return fmt.Sprintf("li r%d,%d", in.RD, in.SIMM)
+		}
+		return fmt.Sprintf("%s r%d,r%d,%d", n, in.RD, in.RA, in.SIMM)
+	case OpCMPWI:
+		return fmt.Sprintf("cmpwi r%d,%d", in.RA, in.SIMM)
+	case OpCMPLWI:
+		return fmt.Sprintf("cmplwi r%d,%d", in.RA, in.UIMM)
+	case OpORI, OpORIS, OpXORI, OpANDIRc:
+		if in.Op == OpORI && in.RD == 0 && in.RA == 0 && in.UIMM == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("%s r%d,r%d,%d", n, in.RA, in.RD, in.UIMM)
+	case OpLWZ, OpLBZ, OpLHZ, OpLHA, OpSTW, OpSTWU, OpSTB, OpSTH:
+		return fmt.Sprintf("%s r%d,%d(r%d)", n, in.RD, in.SIMM, in.RA)
+	case OpTWI:
+		return fmt.Sprintf("twi %d,r%d,%d", in.TO, in.RA, in.SIMM)
+	case OpTW:
+		return fmt.Sprintf("tw %d,r%d,r%d", in.TO, in.RA, in.RB)
+	case OpB:
+		mn := "b"
+		if in.LK {
+			mn = "bl"
+		}
+		return fmt.Sprintf("%s .%+d", mn, in.SIMM)
+	case OpBC:
+		return fmt.Sprintf("bc %d,%d,.%+d", in.BO, in.BI, in.SIMM)
+	case OpBCLR:
+		if in.BO == 20 {
+			return "blr"
+		}
+		return fmt.Sprintf("bclr %d,%d", in.BO, in.BI)
+	case OpBCCTR:
+		if in.BO == 20 && in.LK {
+			return "bctrl"
+		}
+		return fmt.Sprintf("bcctr %d,%d", in.BO, in.BI)
+	case OpSC, OpRFI, OpISYNC, OpSYNC, OpHALT:
+		return n
+	case OpRLWINM:
+		return fmt.Sprintf("rlwinm r%d,r%d,%d,%d,%d", in.RA, in.RD, in.SH, in.MB, in.ME)
+	case OpCMPW, OpCMPLW:
+		return fmt.Sprintf("%s r%d,r%d", n, in.RA, in.RB)
+	case OpSUBF, OpADD, OpMULLW, OpDIVW:
+		return fmt.Sprintf("%s r%d,r%d,r%d", n, in.RD, in.RA, in.RB)
+	case OpAND, OpOR, OpXOR, OpNOR, OpSLW, OpSRW, OpSRAW:
+		if in.Op == OpOR && in.RD == in.RB {
+			return fmt.Sprintf("mr r%d,r%d", in.RA, in.RD)
+		}
+		return fmt.Sprintf("%s r%d,r%d,r%d", n, in.RA, in.RD, in.RB)
+	case OpSRAWI:
+		return fmt.Sprintf("srawi r%d,r%d,%d", in.RA, in.RD, in.SH)
+	case OpNEG:
+		return fmt.Sprintf("neg r%d,r%d", in.RD, in.RA)
+	case OpEXTSB, OpEXTSH:
+		return fmt.Sprintf("%s r%d,r%d", n, in.RA, in.RD)
+	case OpLWZX, OpLBZX, OpLHZX, OpLHAX, OpSTWX, OpSTBX, OpSTHX:
+		return fmt.Sprintf("%s r%d,r%d,r%d", n, in.RD, in.RA, in.RB)
+	case OpMFSPR:
+		if in.SPR == SprLR {
+			return fmt.Sprintf("mflr r%d", in.RD)
+		}
+		if in.SPR == SprCTR {
+			return fmt.Sprintf("mfctr r%d", in.RD)
+		}
+		return fmt.Sprintf("mfspr r%d,%d", in.RD, in.SPR)
+	case OpMTSPR:
+		if in.SPR == SprLR {
+			return fmt.Sprintf("mtlr r%d", in.RD)
+		}
+		if in.SPR == SprCTR {
+			return fmt.Sprintf("mtctr r%d", in.RD)
+		}
+		return fmt.Sprintf("mtspr %d,r%d", in.SPR, in.RD)
+	case OpMFMSR, OpMFCR:
+		return fmt.Sprintf("%s r%d", n, in.RD)
+	case OpMTCRF:
+		return fmt.Sprintf("mtcrf 0xff,r%d", in.RD)
+	case OpMTMSR:
+		return fmt.Sprintf("mtmsr r%d", in.RD)
+	case OpCTXSW:
+		return fmt.Sprintf("ctxsw r%d,r%d", in.RA, in.RB)
+	default:
+		return fmt.Sprintf(".long 0x%08x", in.Raw)
+	}
+}
+
+// DisasmRange disassembles words of code for diagnostics.
+func DisasmRange(words []uint32, base uint32) []string {
+	out := make([]string, 0, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		s := in.String()
+		if err != nil {
+			s = fmt.Sprintf(".long 0x%08x (illegal)", w)
+		}
+		out = append(out, fmt.Sprintf("%08x: %08x  %s", base+uint32(i)*4, w, s))
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package risc implements the "G4-class" processor: a fixed-width 32-bit RISC
+// instruction set architecture modeled on the 32-bit PowerPC (MPC7455),
+// with thirty-two general-purpose registers, a link register, word-oriented
+// memory access with alignment checking, supervisor-model special-purpose
+// registers (MSR, SRR0/1, SPRG0-3, HID0, BATs, performance monitor), and
+// PowerPC-style exception classification (bad area / illegal instruction /
+// alignment / machine check / trap).
+//
+// The implemented subset uses genuine PowerPC-32 encodings, so single-bit
+// instruction errors behave as on real silicon — e.g. one flipped bit turns
+// mflr r0 (0x7C0802A6) into lhax r0,r8,r0 (0x7C0802AE), the paper's
+// Figure 15 case study.
+package risc
+
+import "fmt"
+
+// Register conventions (PowerPC SVR4 ABI subset used by the compiler):
+// r0 scratch (reads as literal 0 in some address forms), r1 stack pointer,
+// r2 reserved, r3-r10 arguments/return, r11-r12 scratch, r13-r29
+// callee-saved, r30-r31 frame temporaries.
+const (
+	R0 = iota
+	SP // r1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	// ... r14-r31 are addressed numerically.
+	NumRegs = 32
+)
+
+// RegName returns the conventional register name.
+func RegName(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// Op identifies the semantic operation of a decoded instruction.
+type Op uint16
+
+// Semantic operations.
+const (
+	OpIllegal Op = iota
+
+	// D-form.
+	OpADDI
+	OpADDIS
+	OpMULLI
+	OpCMPLWI
+	OpCMPWI
+	OpORI
+	OpORIS
+	OpXORI
+	OpANDIRc
+	OpLWZ
+	OpLBZ
+	OpLHZ
+	OpLHA
+	OpSTW
+	OpSTWU
+	OpSTB
+	OpSTH
+	OpTWI
+
+	// Branches and system.
+	OpB
+	OpBC
+	OpBCLR
+	OpBCCTR
+	OpSC
+	OpRFI
+	OpISYNC
+	OpRLWINM
+
+	// X-form (primary opcode 31).
+	OpCMPW
+	OpCMPLW
+	OpTW
+	OpSUBF
+	OpNEG
+	OpADD
+	OpMULLW
+	OpDIVW
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLW
+	OpSRW
+	OpSRAW
+	OpSRAWI
+	OpEXTSB
+	OpEXTSH
+	OpLWZX
+	OpLBZX
+	OpLHZX
+	OpLHAX
+	OpSTWX
+	OpSTBX
+	OpSTHX
+	OpMFSPR
+	OpMTSPR
+	OpMFMSR
+	OpMTMSR
+	OpMFCR
+	OpMTCRF
+	OpSYNC
+	// Simulator-specific extensions in reserved XO space: the guest kernel's
+	// context-switch and idle primitives.
+	OpCTXSW
+	OpHALT
+
+	numOps
+)
+
+// Extended opcodes under primary opcode 31 (real PowerPC XO values, plus two
+// simulator extensions in reserved encoding space).
+const (
+	xoCMPW  = 0
+	xoTW    = 4
+	xoSUBF  = 40
+	xoCMPLW = 32
+	xoNEG   = 104
+	xoMULLW = 235
+	xoADD   = 266
+	xoDIVW  = 491
+	xoAND   = 28
+	xoOR    = 444
+	xoXOR   = 316
+	xoNOR   = 124
+	xoSLW   = 24
+	xoSRW   = 536
+	xoSRAW  = 792
+	xoSRAWI = 824
+	xoEXTSB = 954
+	xoEXTSH = 922
+	xoLWZX  = 23
+	xoLBZX  = 87
+	xoLHZX  = 279
+	xoLHAX  = 343
+	xoSTWX  = 151
+	xoSTBX  = 215
+	xoSTHX  = 407
+	xoMFSPR = 339
+	xoMTSPR = 467
+	xoMFMSR = 83
+	xoMTMSR = 146
+	xoMFCR  = 19
+	xoMTCRF = 144
+	xoSYNC  = 598
+	xoCTXSW = 1000 // simulator extension
+	xoHALT  = 1001 // simulator extension
+)
+
+// Extended opcodes under primary opcode 19.
+const (
+	xo19BCLR  = 16
+	xo19RFI   = 50
+	xo19ISYNC = 150
+	xo19BCCTR = 528
+)
+
+// Special-purpose register numbers (PowerPC SPR space).
+const (
+	SprXER    = 1
+	SprLR     = 8
+	SprCTR    = 9
+	SprDSISR  = 18
+	SprDAR    = 19
+	SprDEC    = 22
+	SprSDR1   = 25
+	SprSRR0   = 26
+	SprSRR1   = 27
+	SprSPRG0  = 272
+	SprSPRG1  = 273
+	SprSPRG2  = 274 // kernel stack anchor used by the exception entry path
+	SprSPRG3  = 275
+	SprEAR    = 282
+	SprTBL    = 284
+	SprTBU    = 285
+	SprPVR    = 287
+	SprIBAT0U = 528  // kernel instruction BAT (upper)
+	SprDBAT0U = 536  // kernel data BAT (upper)
+	SprHID0   = 1008 // cache/branch-unit control (BTIC enable lives here)
+	SprHID1   = 1009
+	SprIABR   = 1010
+	SprDABR   = 1013
+)
+
+// MSR bit masks (PowerPC layout).
+const (
+	MSREE = 0x00008000 // external interrupt enable
+	MSRPR = 0x00004000 // problem state (1 = user mode)
+	MSRME = 0x00001000 // machine check enable
+	MSRIR = 0x00000020 // instruction address translation
+	MSRDR = 0x00000010 // data address translation
+)
+
+// HID0 bit masks (subset).
+const (
+	HID0BTIC = 0x00000020 // branch target instruction cache enable
+	HID0ICE  = 0x00008000
+	HID0DCE  = 0x00004000
+)
+
+// CR0 field masks within the 32-bit condition register (CR0 occupies the
+// four most significant bits, PowerPC bit order LT GT EQ SO).
+const (
+	CR0LT = 0x80000000
+	CR0GT = 0x40000000
+	CR0EQ = 0x20000000
+	CR0SO = 0x10000000
+)
+
+// opName maps semantic ops to mnemonics for the disassembler.
+var opName = map[Op]string{
+	OpADDI: "addi", OpADDIS: "addis", OpMULLI: "mulli",
+	OpCMPLWI: "cmplwi", OpCMPWI: "cmpwi",
+	OpORI: "ori", OpORIS: "oris", OpXORI: "xori", OpANDIRc: "andi.",
+	OpLWZ: "lwz", OpLBZ: "lbz", OpLHZ: "lhz", OpLHA: "lha",
+	OpSTW: "stw", OpSTWU: "stwu", OpSTB: "stb", OpSTH: "sth",
+	OpTWI: "twi", OpB: "b", OpBC: "bc", OpBCLR: "bclr", OpBCCTR: "bcctr",
+	OpSC: "sc", OpRFI: "rfi", OpISYNC: "isync", OpRLWINM: "rlwinm",
+	OpCMPW: "cmpw", OpCMPLW: "cmplw", OpTW: "tw",
+	OpSUBF: "subf", OpNEG: "neg", OpADD: "add", OpMULLW: "mullw",
+	OpDIVW: "divw", OpAND: "and", OpOR: "or", OpXOR: "xor", OpNOR: "nor",
+	OpSLW: "slw", OpSRW: "srw", OpSRAW: "sraw", OpSRAWI: "srawi",
+	OpEXTSB: "extsb", OpEXTSH: "extsh",
+	OpLWZX: "lwzx", OpLBZX: "lbzx", OpLHZX: "lhzx", OpLHAX: "lhax",
+	OpSTWX: "stwx", OpSTBX: "stbx", OpSTHX: "sthx",
+	OpMFSPR: "mfspr", OpMTSPR: "mtspr", OpMFMSR: "mfmsr", OpMTMSR: "mtmsr",
+	OpMFCR: "mfcr", OpMTCRF: "mtcrf", OpSYNC: "sync",
+	OpCTXSW: "ctxsw", OpHALT: "halt",
+}
+
+// Name returns the mnemonic for an op.
+func (o Op) Name() string {
+	if s, ok := opName[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", o)
+}
+
+// cost returns the cycle cost for an op.
+func cost(o Op) uint8 {
+	switch o {
+	case OpLWZ, OpLBZ, OpLHZ, OpLHA, OpSTW, OpSTWU, OpSTB, OpSTH,
+		OpLWZX, OpLBZX, OpLHZX, OpLHAX, OpSTWX, OpSTBX, OpSTHX:
+		return 2
+	case OpMULLW, OpMULLI:
+		return 3
+	case OpDIVW:
+		return 19
+	case OpSC, OpRFI:
+		return 6
+	case OpMFSPR, OpMTSPR, OpMFMSR, OpMTMSR:
+		return 2
+	case OpB, OpBC, OpBCLR, OpBCCTR:
+		return 2
+	case OpCTXSW:
+		return 8
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,101 @@
+package risc
+
+import "fmt"
+
+// SysReg describes one injectable system register of the G4-class supervisor
+// programming model, mirroring the paper's target set ("memory management
+// registers, configuration registers, performance monitor registers,
+// exception-handling registers, and cache/memory subsystem registers").
+type SysReg struct {
+	Name string
+	Bits uint
+	Get  func(c *CPU) uint32
+	Set  func(c *CPU, v uint32)
+}
+
+// supervisor SPR numbers exposed to the injection campaign, grouped as on the
+// MPC7455. Together with MSR this yields the paper's "99 system registers".
+var supervisorSPRs = buildSupervisorSPRs()
+
+func buildSupervisorSPRs() []uint16 {
+	var sprs []uint16
+	add := func(ns ...uint16) { sprs = append(sprs, ns...) }
+	addRange := func(lo, hi uint16) {
+		for n := lo; n <= hi; n++ {
+			add(n)
+		}
+	}
+	// Exception handling and memory management.
+	add(SprDSISR, SprDAR, SprDEC, SprSDR1, SprSRR0, SprSRR1)
+	// Operating-system scratch registers.
+	addRange(SprSPRG0, SprSPRG3)
+	// External access, time base, processor version.
+	add(SprEAR, SprTBL, SprTBU, SprPVR)
+	// Block address translation (IBAT0-7, DBAT0-7 upper/lower).
+	addRange(528, 543)
+	addRange(560, 575)
+	// Performance monitor (UMMCR/UPMC shadows and supervisor set).
+	addRange(936, 943)
+	addRange(944, 959)
+	// Software TLB assist (DMISS, DCMP, HASH1, HASH2, IMISS, ICMP, RPA, +1).
+	addRange(976, 983)
+	// Configuration and cache control (HID0/1, IABR, DABR, MSSCR0, L2CR,
+	// ICTC, THRM1-3, PIR, ...).
+	addRange(1004, 1023)
+	return sprs
+}
+
+// sprNames labels the architecturally interesting SPRs; others print as SPRn.
+var sprNames = map[uint16]string{
+	SprDSISR: "DSISR", SprDAR: "DAR", SprDEC: "DEC", SprSDR1: "SDR1",
+	SprSRR0: "SRR0", SprSRR1: "SRR1",
+	SprSPRG0: "SPRG0", SprSPRG1: "SPRG1", SprSPRG2: "SPRG2", SprSPRG3: "SPRG3",
+	SprEAR: "EAR", SprTBL: "TBL", SprTBU: "TBU", SprPVR: "PVR",
+	SprHID0: "HID0", SprHID1: "HID1", SprIABR: "IABR", SprDABR: "DABR",
+}
+
+func init() {
+	// BAT register names, as numbered on the MPC7455: IBAT0-3 at 528-535,
+	// DBAT0-3 at 536-543, and the extended IBAT4-7/DBAT4-7 at 560-575.
+	for i := uint16(0); i < 4; i++ {
+		sprNames[528+2*i] = fmt.Sprintf("IBAT%dU", i)
+		sprNames[529+2*i] = fmt.Sprintf("IBAT%dL", i)
+		sprNames[536+2*i] = fmt.Sprintf("DBAT%dU", i)
+		sprNames[537+2*i] = fmt.Sprintf("DBAT%dL", i)
+		sprNames[560+2*i] = fmt.Sprintf("IBAT%dU", i+4)
+		sprNames[561+2*i] = fmt.Sprintf("IBAT%dL", i+4)
+		sprNames[568+2*i] = fmt.Sprintf("DBAT%dU", i+4)
+		sprNames[569+2*i] = fmt.Sprintf("DBAT%dL", i+4)
+	}
+}
+
+// SprName returns the SPR's conventional name.
+func SprName(n uint16) string {
+	if s, ok := sprNames[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("SPR%d", n)
+}
+
+// SystemRegisters returns the G4-class supervisor register file for the
+// injection campaign: MSR plus the supervisor SPRs (99 registers in total,
+// matching the paper's count). Only a handful are architecturally live;
+// errors in the rest never manifest, as the paper observed ("only 15 G4
+// registers contribute to the crashes").
+func SystemRegisters() []SysReg {
+	regs := make([]SysReg, 0, len(supervisorSPRs)+1)
+	regs = append(regs, SysReg{
+		Name: "MSR", Bits: 32,
+		Get: func(c *CPU) uint32 { return c.MSR },
+		Set: func(c *CPU, v uint32) { c.MSR = v },
+	})
+	for _, n := range supervisorSPRs {
+		n := n
+		regs = append(regs, SysReg{
+			Name: SprName(n), Bits: 32,
+			Get: func(c *CPU) uint32 { return c.SPR[n] },
+			Set: func(c *CPU, v uint32) { c.SPR[n] = v },
+		})
+	}
+	return regs
+}

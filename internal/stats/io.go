@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+)
+
+// Record is the JSONL serialization of one injection result, used by the
+// campaign tool's log files and the report tool.
+type Record struct {
+	Platform string        `json:"platform"`
+	Campaign string        `json:"campaign"`
+	Seq      int           `json:"seq"`
+	Result   inject.Result `json:"result"`
+}
+
+// WriteResults streams campaign results as JSON lines.
+func WriteResults(w io.Writer, platform isa.Platform, camp inject.Campaign, results []inject.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range results {
+		rec := Record{
+			Platform: platform.Short(),
+			Campaign: camp.String(),
+			Seq:      i,
+			Result:   r,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("stats: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadResults parses a JSONL stream back into records.
+func ReadResults(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("stats: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// GroupRecords partitions records by (platform, campaign).
+func GroupRecords(recs []Record) map[string][]inject.Result {
+	out := make(map[string][]inject.Result)
+	for _, rec := range recs {
+		key := rec.Platform + "/" + rec.Campaign
+		out[key] = append(out[key], rec.Result)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+)
+
+// PaperRow is one campaign row of the paper's Table 5 or 6. Percentages are
+// relative to activated errors (or all injections for system registers,
+// where ActivatedPct is NaN).
+type PaperRow struct {
+	Injected         int
+	ActivatedPct     float64 // NaN = not observable (system registers)
+	NotManifestedPct float64
+	FSVPct           float64
+	CrashPct         float64
+	HangPct          float64
+}
+
+var nan = math.NaN()
+
+// PaperTable holds the paper's Tables 5 and 6.
+var PaperTable = map[isa.Platform]map[inject.Campaign]PaperRow{
+	isa.CISC: {
+		inject.CampStack:  {10143, 29.3, 43.9, 0.0, 38.2, 17.9},
+		inject.CampSysReg: {3866, nan, 89.5, 0.0, 7.9, 2.6},
+		inject.CampData:   {46000, 0.5, 34.1, 0.0, 42.5, 23.4},
+		inject.CampCode:   {1790, 54.9, 31.4, 1.3, 46.3, 21.0},
+	},
+	isa.RISC: {
+		inject.CampStack:  {3017, 39.9, 78.9, 0.0, 14.3, 7.0},
+		inject.CampSysReg: {3967, nan, 95.1, 0.0, 1.7, 3.1},
+		inject.CampData:   {46000, 1.5, 78.3, 1.0, 7.8, 12.9},
+		inject.CampCode:   {2188, 64.7, 41.0, 2.3, 40.7, 16.0},
+	},
+}
+
+// PaperCauses holds the paper's crash-cause percentages: Figures 4/5
+// (campaign 0 = overall) and Figures 6, 10, 11, 12 per campaign.
+var PaperCauses = map[isa.Platform]map[inject.Campaign]map[isa.CrashCause]float64{
+	isa.CISC: {
+		0: { // Figure 4
+			isa.CauseBadPaging: 43.2, isa.CauseNULLPointer: 27.5,
+			isa.CauseInvalidInstr: 16.0, isa.CauseGeneralProtection: 12.1,
+			isa.CauseInvalidTSS: 1.0, isa.CauseKernelPanic: 0.1,
+			isa.CauseDivideError: 0.1, isa.CauseBoundsTrap: 0.1,
+		},
+		inject.CampStack: { // Figure 6
+			isa.CauseBadPaging: 45.4, isa.CauseNULLPointer: 31.5,
+			isa.CauseInvalidInstr: 15.9, isa.CauseGeneralProtection: 5.5,
+			isa.CauseInvalidTSS: 1.0, isa.CauseKernelPanic: 0.4,
+			isa.CauseDivideError: 0.2,
+		},
+		inject.CampSysReg: { // Figure 10
+			isa.CauseBadPaging: 37.4, isa.CauseGeneralProtection: 35.1,
+			isa.CauseNULLPointer: 18.4, isa.CauseInvalidInstr: 6.2,
+			isa.CauseInvalidTSS: 3.0,
+		},
+		inject.CampCode: { // Figure 11
+			isa.CauseBadPaging: 38.0, isa.CauseNULLPointer: 31.9,
+			isa.CauseInvalidInstr: 24.2, isa.CauseGeneralProtection: 5.5,
+			isa.CauseDivideError: 0.2,
+		},
+		inject.CampData: { // Figure 12
+			isa.CauseBadPaging: 52.1, isa.CauseNULLPointer: 28.1,
+			isa.CauseInvalidInstr: 17.7, isa.CauseGeneralProtection: 2.1,
+		},
+	},
+	isa.RISC: {
+		0: { // Figure 5
+			isa.CauseBadArea: 66.9, isa.CauseIllegalInstr: 16.3,
+			isa.CauseStackOverflow: 12.7, isa.CauseAlignment: 1.6,
+			isa.CauseMachineCheck: 1.4, isa.CauseBusError: 0.7,
+			isa.CauseBadTrap: 0.4, isa.CausePanic: 0.1,
+		},
+		inject.CampStack: { // Figure 6
+			isa.CauseBadArea: 53.5, isa.CauseStackOverflow: 41.9,
+			isa.CauseIllegalInstr: 2.9, isa.CauseAlignment: 1.2,
+			isa.CauseMachineCheck: 0.6,
+		},
+		inject.CampSysReg: { // Figure 10
+			isa.CauseBadArea: 75.4, isa.CauseIllegalInstr: 11.6,
+			isa.CauseStackOverflow: 4.3, isa.CauseMachineCheck: 4.3,
+			isa.CauseAlignment: 1.4, isa.CauseBusError: 1.4,
+			isa.CauseBadTrap: 1.4,
+		},
+		inject.CampCode: { // Figure 11
+			isa.CauseBadArea: 49.5, isa.CauseIllegalInstr: 41.5,
+			isa.CauseStackOverflow: 4.7, isa.CauseAlignment: 1.9,
+			isa.CauseBusError: 1.2, isa.CauseMachineCheck: 0.5,
+			isa.CausePanic: 0.5, isa.CauseBadTrap: 0.2,
+		},
+		inject.CampData: { // Figure 12
+			isa.CauseBadArea: 89.1, isa.CauseIllegalInstr: 9.1,
+			isa.CauseAlignment: 1.8,
+		},
+	},
+}
+
+// CompareTableRow renders a measured campaign against the paper's row:
+// "metric: paper% / measured%".
+func CompareTableRow(p isa.Platform, camp inject.Campaign, c Counts) string {
+	ref, ok := PaperTable[p][camp]
+	if !ok {
+		return ""
+	}
+	base := c.ActivatedBase()
+	pct := func(n int) float64 {
+		if base == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(base)
+	}
+	act := "N/A"
+	if !math.IsNaN(ref.ActivatedPct) && c.Injected > 0 {
+		act = fmt.Sprintf("%.1f/%.1f", ref.ActivatedPct, 100*float64(c.Activated)/float64(c.Injected))
+	}
+	return fmt.Sprintf("%-18s n=%d(paper %d)  act %s  nm %.1f/%.1f  fsv %.1f/%.1f  crash %.1f/%.1f  hang %.1f/%.1f",
+		camp, c.Injected, ref.Injected, act,
+		ref.NotManifestedPct, pct(c.NotManifested),
+		ref.FSVPct, pct(c.FailSilence),
+		ref.CrashPct, pct(c.Crash),
+		ref.HangPct, pct(c.HangUnknown))
+}
+
+// CompareCauses renders a measured cause distribution against the paper's
+// figure for the campaign (0 = overall), one line per cause.
+func CompareCauses(p isa.Platform, camp inject.Campaign, d CauseDist) string {
+	ref := PaperCauses[p][camp]
+	if ref == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-26s %8s %9s\n", "cause", "paper", "measured")
+	for _, cause := range isa.Causes(p) {
+		rp, inRef := ref[cause]
+		mp := d.Pct(cause)
+		if !inRef && mp == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-26s %7.1f%% %8.1f%%\n", cause, rp, mp)
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kfi/internal/inject"
+)
+
+// Subsystem classifies a kernel function name into the guest kernel's
+// subsystems, mirroring how the paper attributes Figure 7's propagation
+// ("a bit error in the mm subsystem ... crashes in the net subsystem").
+func Subsystem(fn string) string {
+	switch {
+	case fn == "":
+		return "?"
+	case strings.HasPrefix(fn, "sys_pipe"):
+		return "ipc"
+	case strings.HasPrefix(fn, "sys_"), fn == "syscall_entry", fn == "syscall_stub":
+		return "syscall"
+	case fn == "alloc_pages" || fn == "free_pages_ok":
+		return "mm"
+	case fn == "getblk" || fn == "sync_old_buffers" || fn == "kupdate":
+		return "fs"
+	case fn == "kjournald" || fn == "journal_commit":
+		return "journal"
+	case fn == "alloc_skb" || fn == "free_skb" || fn == "net_tx":
+		return "net"
+	case fn == "schedule" || fn == "find_next" || fn == "schedule_timeout" ||
+		fn == "timer_tick" || fn == "do_exit" || fn == "timer_stub" ||
+		fn == "kstart":
+		return "sched"
+	case fn == "spin_lock" || fn == "spin_unlock":
+		return "lock"
+	case fn == "memcpy" || fn == "memset" || fn == "csum_partial":
+		return "lib"
+	case fn == "kmain":
+		return "boot"
+	default:
+		return "other"
+	}
+}
+
+// Propagation summarizes where code-injection crashes landed relative to the
+// corrupted function: same function, same subsystem, or a different
+// subsystem entirely (the undetected-propagation case the paper highlights
+// as the dangerous one).
+type Propagation struct {
+	Crashes        int
+	SameFunction   int
+	SameSubsystem  int // different function, same subsystem
+	CrossSubsystem int
+	// Pairs counts injectedSubsystem→crashSubsystem transitions.
+	Pairs map[string]int
+}
+
+// Propagate analyzes code-injection results.
+func Propagate(results []inject.Result) Propagation {
+	p := Propagation{Pairs: make(map[string]int)}
+	for _, r := range results {
+		if r.Outcome != inject.OCrash || r.Target.Campaign != inject.CampCode {
+			continue
+		}
+		p.Crashes++
+		from, to := Subsystem(r.Target.Func), Subsystem(r.CrashFunc)
+		switch {
+		case r.CrashFunc == r.Target.Func:
+			p.SameFunction++
+		case from == to:
+			p.SameSubsystem++
+		default:
+			p.CrossSubsystem++
+			p.Pairs[from+"→"+to]++
+		}
+	}
+	return p
+}
+
+// CrossPct returns the share of crashes that escaped their subsystem before
+// being detected.
+func (p Propagation) CrossPct() float64 {
+	if p.Crashes == 0 {
+		return 0
+	}
+	return 100 * float64(p.CrossSubsystem) / float64(p.Crashes)
+}
+
+// Render prints the propagation summary with the most common cross-subsystem
+// paths.
+func (p Propagation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "error propagation over %d code-injection crashes:\n", p.Crashes)
+	pct := func(n int) float64 {
+		if p.Crashes == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(p.Crashes)
+	}
+	fmt.Fprintf(&b, "  crashed in the corrupted function:  %5.1f%%  (%d)\n", pct(p.SameFunction), p.SameFunction)
+	fmt.Fprintf(&b, "  escaped to the same subsystem:      %5.1f%%  (%d)\n", pct(p.SameSubsystem), p.SameSubsystem)
+	fmt.Fprintf(&b, "  escaped across subsystems:          %5.1f%%  (%d)\n", pct(p.CrossSubsystem), p.CrossSubsystem)
+	if len(p.Pairs) > 0 {
+		type kv struct {
+			k string
+			n int
+		}
+		var pairs []kv
+		for k, n := range p.Pairs {
+			pairs = append(pairs, kv{k, n})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].n != pairs[j].n {
+				return pairs[i].n > pairs[j].n
+			}
+			return pairs[i].k < pairs[j].k
+		})
+		b.WriteString("  top cross-subsystem paths:\n")
+		for i, kv := range pairs {
+			if i == 6 {
+				break
+			}
+			fmt.Fprintf(&b, "    %-22s %d\n", kv.k, kv.n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+// Package tracediff locates the first control-flow divergence between a
+// golden run and an injected run — the instruction-granularity view of the
+// error-propagation paths the paper reconstructs from crash dumps in §5.1
+// (Figure 7: a corrupted stack value propagating until the kernel finally
+// faults somewhere else entirely).
+//
+// Divergence is detected on the retired-PC stream. Errors that only corrupt
+// data flow show up at the first corrupted branch, call, or fault — which is
+// exactly the propagation distance of interest.
+package tracediff
+
+import (
+	"fmt"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+)
+
+// Step is one retired instruction with its symbolized location.
+type Step struct {
+	PC     uint32
+	Func   string
+	Disasm string
+}
+
+// Divergence reports where an injected run's instruction stream departed
+// from the golden run's.
+type Divergence struct {
+	// Diverged reports whether the streams split at all. A false value with
+	// differing checksums means the corruption propagated through data flow
+	// only — it never moved a branch before the run ended.
+	Diverged bool
+	// Index is the retired-instruction count at which the streams split.
+	Index int
+	// Common holds the last shared instructions before the split.
+	Common []Step
+	// Golden and Faulty hold the first instructions on each side after the
+	// split. Faulty disassembly is rendered against the corrupted memory
+	// image, so a code injection's mutated encoding is visible.
+	Golden []Step
+	Faulty []Step
+	// GoldenResult and FaultyResult are the two runs' outcomes.
+	GoldenResult machine.RunResult
+	FaultyResult machine.RunResult
+}
+
+// Diff runs sys twice — clean, then with the code-injection target applied —
+// and locates the first control-flow divergence. When the instruction
+// streams agree for their full length, the result has Diverged == false and
+// the two RunResults still expose whether the corruption propagated through
+// data flow (differing checksums) or was never activated. context bounds
+// the steps captured on each side; limit bounds the traced instructions per
+// run (0 means 8M).
+func Diff(sys *kernel.System, t inject.Target, context, limit int) (*Divergence, error) {
+	if t.Campaign != inject.CampCode {
+		return nil, fmt.Errorf("tracediff: only code injections are supported, got %v", t.Campaign)
+	}
+	if context <= 0 {
+		context = 8
+	}
+	if limit <= 0 {
+		limit = 8 << 20
+	}
+	m := sys.Machine
+
+	// Golden pass: record the full retired-PC stream.
+	m.Reboot()
+	golden := make([]uint32, 0, 1<<20)
+	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		if len(golden) < limit {
+			golden = append(golden, pc)
+		}
+	})
+	goldenRes := m.Run()
+	m.Core().SetTrace(nil)
+
+	// Faulty pass: inject through the same breakpoint mechanism the
+	// campaigns use, tracing until the streams split, then keep only
+	// `context` more steps.
+	m.Reboot()
+	const slot = 0
+	m.Core().Debug().Set(slot, isa.Breakpoint{Kind: isa.BreakInstruction, Addr: t.Addr})
+	m.OnInstrBreak = func(ev isa.Event) {
+		for i := uint(0); i < burstWidth(t); i++ {
+			m.Mem.FlipBit(t.Addr+uint32(t.ByteOff), (t.Bit+i)%8)
+		}
+		m.Core().Debug().Clear(slot)
+	}
+	defer func() { m.OnInstrBreak = nil }()
+
+	var (
+		idx      int
+		split    = -1
+		faultyPC []uint32
+	)
+	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		switch {
+		case split >= 0:
+			if len(faultyPC) < context {
+				faultyPC = append(faultyPC, pc)
+			}
+		case idx >= len(golden) || golden[idx] != pc:
+			split = idx
+			faultyPC = append(faultyPC, pc)
+		default:
+			idx++
+		}
+	})
+	faultyRes := m.Run()
+	m.Core().SetTrace(nil)
+
+	// A faulty run that dies at the corrupted instruction retires a strict
+	// prefix of the golden stream — no per-step mismatch ever fires. Treat
+	// early termination as divergence at the first never-retired golden
+	// instruction.
+	if split < 0 && idx < len(golden) && faultyRes.Outcome != machine.OutCompleted {
+		split = idx
+	}
+
+	d := &Divergence{Diverged: split >= 0, Index: split,
+		GoldenResult: goldenRes, FaultyResult: faultyRes}
+	if split < 0 {
+		return d, nil
+	}
+	// The faulty machine's memory holds the corrupted code image — resolve
+	// faulty steps against it. Golden code is identical outside the flipped
+	// byte, so shared and golden-side steps use the same image; only an
+	// instruction overlapping the flipped byte would disassemble
+	// differently, and showing the corrupted form there is the point.
+	lo := split - context
+	if lo < 0 {
+		lo = 0
+	}
+	for _, pc := range golden[lo:split] {
+		d.Common = append(d.Common, symbolize(sys, pc))
+	}
+	hi := split + context
+	if hi > len(golden) {
+		hi = len(golden)
+	}
+	for _, pc := range golden[split:hi] {
+		d.Golden = append(d.Golden, symbolize(sys, pc))
+	}
+	for _, pc := range faultyPC {
+		d.Faulty = append(d.Faulty, symbolize(sys, pc))
+	}
+	return d, nil
+}
+
+func burstWidth(t inject.Target) uint {
+	if t.Burst <= 1 {
+		return 1
+	}
+	return uint(t.Burst)
+}
+
+func symbolize(sys *kernel.System, pc uint32) Step {
+	s := Step{PC: pc, Disasm: sys.Machine.Disasm(pc)}
+	if fr, ok := sys.KernelImage.FuncAt(pc); ok {
+		s.Func = fr.Name
+	} else if fr, ok := sys.UserImage.FuncAt(pc); ok {
+		s.Func = fr.Name + " (user)"
+	}
+	return s
+}
+
+// Render formats a divergence as a report.
+func (d *Divergence) Render() string {
+	if !d.Diverged {
+		out := "no control-flow divergence: the injected run retired the same instruction stream\n"
+		switch {
+		case d.FaultyResult.Checksum != d.GoldenResult.Checksum:
+			out += fmt.Sprintf("data-only propagation: golden checksum 0x%08X, faulty 0x%08X (outcome %v)\n",
+				d.GoldenResult.Checksum, d.FaultyResult.Checksum, d.FaultyResult.Outcome)
+		default:
+			out += "and the corruption was absorbed: checksums match (not activated, or overwritten)\n"
+		}
+		return out
+	}
+	out := fmt.Sprintf("first divergence at retired instruction %d\n", d.Index)
+	out += fmt.Sprintf("golden outcome: %v    faulty outcome: %v", d.GoldenResult.Outcome, d.FaultyResult.Outcome)
+	if d.FaultyResult.Crash != nil {
+		out += fmt.Sprintf(" (%v)", d.FaultyResult.Crash.Cause)
+	}
+	out += "\n\nshared history:\n"
+	for _, s := range d.Common {
+		out += fmt.Sprintf("    %08x  %-14s %s\n", s.PC, s.Func, s.Disasm)
+	}
+	out += "\ngolden continues:\n"
+	for _, s := range d.Golden {
+		out += fmt.Sprintf("    %08x  %-14s %s\n", s.PC, s.Func, s.Disasm)
+	}
+	if len(d.Faulty) == 0 {
+		out += "\nfaulty stream ends here: the corrupted instruction faulted without retiring\n"
+		return out
+	}
+	out += "\nfaulty continues:\n"
+	for _, s := range d.Faulty {
+		out += fmt.Sprintf("  » %08x  %-14s %s\n", s.PC, s.Func, s.Disasm)
+	}
+	return out
+}

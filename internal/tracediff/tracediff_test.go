@@ -1,0 +1,134 @@
+package tracediff_test
+
+import (
+	"strings"
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/tracediff"
+	"kfi/internal/workload"
+)
+
+func buildSystem(t *testing.T, p isa.Platform) *kernel.System {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDiffFindsDivergence(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		p := p
+		t.Run(p.Short(), func(t *testing.T) {
+			sys := buildSystem(t, p)
+			// Corrupt the first instruction of a hot leaf function. Some
+			// single-bit flips only disturb data flow; scan a few bits
+			// until one moves control.
+			fr, ok := sys.KernelImage.FuncAt(sys.KernelImage.Sym("csum_partial"))
+			if !ok {
+				t.Fatal("no function at csum_partial")
+			}
+			var d *tracediff.Divergence
+			var err error
+			for bit := uint(0); bit < 8 && (d == nil || !d.Diverged); bit++ {
+				d, err = tracediff.Diff(sys, inject.Target{
+					Campaign: inject.CampCode,
+					Addr:     fr.Start,
+					Bit:      bit,
+					Func:     "csum_partial",
+				}, 6, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d == nil || !d.Diverged {
+				t.Fatal("no flip of the first opcode byte moved control flow")
+			}
+			if d.Index <= 0 {
+				t.Errorf("divergence at instruction %d", d.Index)
+			}
+			if len(d.Common) == 0 {
+				t.Fatal("shared-history context missing")
+			}
+			// Faulty-side steps are empty exactly when the corrupted
+			// instruction faulted without retiring (stream truncation);
+			// then the run must not have completed.
+			if len(d.Faulty) == 0 && d.FaultyResult.Outcome.String() == "completed" {
+				t.Fatal("no faulty steps yet the faulty run completed")
+			}
+			// The shared history must end inside (or at the call into) the
+			// corrupted function's neighborhood — the last common step is
+			// the instruction right before the corrupted one took effect.
+			rep := d.Render()
+			wants := []string{"first divergence", "golden continues"}
+			if len(d.Faulty) > 0 {
+				wants = append(wants, "faulty continues")
+			} else {
+				wants = append(wants, "faulty stream ends here")
+			}
+			for _, want := range wants {
+				if !strings.Contains(rep, want) {
+					t.Errorf("report missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffNoDivergenceOnDeadCode(t *testing.T) {
+	sys := buildSystem(t, isa.CISC)
+	// do_exit is never reached by the standard benchmark: the breakpoint
+	// never fires, so both runs retire identical streams.
+	fr, ok := sys.KernelImage.FuncAt(sys.KernelImage.Sym("do_exit"))
+	if !ok {
+		t.Fatal("no function at do_exit")
+	}
+	d, err := tracediff.Diff(sys, inject.Target{
+		Campaign: inject.CampCode,
+		Addr:     fr.Start,
+		Bit:      0,
+	}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diverged {
+		t.Fatalf("unexpected divergence at %d", d.Index)
+	}
+	if got := d.Render(); !strings.Contains(got, "no control-flow divergence") ||
+		!strings.Contains(got, "absorbed") {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestDiffRejectsNonCodeCampaigns(t *testing.T) {
+	sys := buildSystem(t, isa.CISC)
+	if _, err := tracediff.Diff(sys, inject.Target{Campaign: inject.CampStack}, 4, 0); err == nil {
+		t.Error("stack campaign accepted")
+	}
+}
+
+func TestDiffDoesNotPerturbGoldenBehavior(t *testing.T) {
+	// After a Diff, the system must still produce its golden checksum — the
+	// tool cleans up its breakpoints and trace hooks.
+	sys := buildSystem(t, isa.CISC)
+	fr, _ := sys.KernelImage.FuncAt(sys.KernelImage.Sym("memcpy"))
+	if _, err := tracediff.Diff(sys, inject.Target{
+		Campaign: inject.CampCode, Addr: fr.Start, Bit: 2,
+	}, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Machine.Reboot()
+	res := sys.Machine.Run()
+	if res.Outcome.String() != "completed" {
+		t.Errorf("post-diff run outcome %v", res.Outcome)
+	}
+}

@@ -1,0 +1,419 @@
+// Package workload provides the UnixBench-style guest benchmark: user-mode
+// worker programs that stress distinct kernel subsystems (arithmetic +
+// scheduling, buffer cache/filesystem, network transmit, page allocator) and
+// a coordinator that gathers per-worker results into a single checksum and
+// reports it to the monitoring harness. The checksum is the fail-silence
+// oracle: a run that completes with the wrong checksum is a fail-silence
+// violation.
+//
+// Results are interleaving-independent (each worker owns its result slot and
+// disk blocks), so the checksum is identical on both platforms and stable
+// under benign timing perturbations.
+package workload
+
+import (
+	"kfi/internal/kernel"
+	"kfi/internal/kir"
+	"kfi/internal/machine"
+)
+
+// Workers in the standard mix, in process-slot order (slots 3..6; slots 1-2
+// are the kernel daemons, slot 0 the idle process).
+const (
+	WorkerArith    = "bench_arith"
+	WorkerFS       = "bench_fs"
+	WorkerNet      = "bench_net"
+	WorkerMM       = "bench_mm"
+	WorkerPipeSrc  = "bench_pipe_writer"
+	WorkerPipeSink = "bench_pipe_reader"
+	Coordinator    = "bench_coordinator"
+)
+
+// pipeBytesPerScale is the number of bytes the pipe pair streams per unit of
+// workload scale. Writer and reader must agree on it.
+const pipeBytesPerScale = 768
+
+// Program builds the workload IR. scale multiplies the inner loop counts
+// (1 = the standard benchmark; larger values lengthen runs).
+func Program(scale int) *kir.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	pb := kir.NewProgram()
+	pb.GlobalBytes("banner", 32, []byte("kfi-unixbench"))
+
+	buildArith(pb, scale)
+	buildFS(pb, scale)
+	buildNet(pb, scale)
+	buildMM(pb, scale)
+	buildPipePair(pb, scale)
+	buildCoordinator(pb)
+	return pb.Program()
+}
+
+// sysc emits syscall(no, args...) with a constant number.
+func sysc(fb *kir.FuncBuilder, no int32, args ...kir.Reg) kir.Reg {
+	return fb.Syscall(fb.Const(no), args...)
+}
+
+// prologue returns (pid, slot) for a worker.
+func prologue(fb *kir.FuncBuilder) (pid, slot kir.Reg) {
+	pid = sysc(fb, kernel.SysGetpid)
+	slot = fb.SubI(pid, 1)
+	return pid, slot
+}
+
+// epilogue publishes the result and exits; it also terminates the entry
+// block (worker entries never return).
+func epilogue(fb *kir.FuncBuilder, slot, acc kir.Reg) {
+	sysc(fb, kernel.SysPutResult, slot, acc)
+	z := fb.Const(0)
+	sysc(fb, kernel.SysExit, z)
+	// Unreachable: sys_exit never returns.
+	fb.Bug()
+	fb.Ret(0)
+}
+
+// buildArith: integer mixing with periodic yields — the Dhrystone-flavored
+// syscall/scheduler exerciser.
+func buildArith(pb *kir.ProgramBuilder, scale int) {
+	fb := pb.Func(WorkerArith, 0, false)
+	fb.Block("entry")
+	pid, slot := prologue(fb)
+	acc := fb.Var()
+	fb.BinTo(acc, kir.Xor, fb.Const(0x7E3779B9), pid)
+	k := fb.Var()
+	fb.ConstTo(k, 1)
+	limit := int32(500 * scale)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.CmpI(kir.Le, k, limit)
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	fb.BinTo(acc, kir.Mul, acc, fb.Const(1664525))
+	fb.BinTo(acc, kir.Add, acc, fb.Const(1013904223))
+	fb.BinTo(acc, kir.Xor, acc, k)
+	y := fb.AndI(k, 63)
+	yield := fb.CmpI(kir.Eq, y, 0)
+	fb.Br(yield, "yield", "next")
+	fb.Block("yield")
+	sysc(fb, kernel.SysYield)
+	fb.Jmp("next")
+	fb.Block("next")
+	fb.BinImmTo(k, kir.Add, k, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	epilogue(fb, slot, acc)
+}
+
+// buildFS: write patterned blocks through the buffer cache, read them back,
+// and fold the bytes — the file-copy exerciser.
+func buildFS(pb *kir.ProgramBuilder, scale int) {
+	fb := pb.Func(WorkerFS, 0, false)
+	fb.Local("buf", kir.W8, 64)
+	fb.Block("entry")
+	_, slot := prologue(fb)
+	acc := fb.Var()
+	fb.ConstTo(acc, 7)
+	rounds := int32(2 * scale)
+	r := fb.Var()
+	fb.ConstTo(r, 0)
+	fb.Jmp("rounds")
+	fb.Block("rounds")
+	cr := fb.Cmp(kir.Lt, r, fb.Const(rounds))
+	fb.Br(cr, "blocks_init", "done")
+	fb.Block("blocks_init")
+	b := fb.Var()
+	fb.ConstTo(b, 0)
+	fb.Jmp("blocks")
+	fb.Block("blocks")
+	cb := fb.CmpI(kir.Lt, b, 6)
+	fb.Br(cb, "fill_init", "round_next")
+
+	// Fill the buffer with a block-dependent pattern.
+	fb.Block("fill_init")
+	blk := fb.Add(fb.MulI(slot, 8), b)
+	buf := fb.LocalAddr("buf", 0)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("fill")
+	fb.Block("fill")
+	ci := fb.CmpI(kir.Lt, i, 60)
+	fb.Br(ci, "fillb", "io")
+	fb.Block("fillb")
+	v := fb.Bin(kir.Xor, fb.Add(fb.MulI(blk, 7), i), fb.Const(0xA5))
+	fb.Store(kir.W8, fb.Add(buf, i), 0, v)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("fill")
+
+	fb.Block("io")
+	n := fb.Const(60)
+	sysc(fb, kernel.SysWrite, blk, buf, n)
+	// Clear and read back.
+	fb.ConstTo(i, 0)
+	fb.Jmp("clear")
+	fb.Block("clear")
+	cc2 := fb.CmpI(kir.Lt, i, 60)
+	fb.Br(cc2, "clearb", "readback")
+	fb.Block("clearb")
+	z := fb.Const(0)
+	fb.Store(kir.W8, fb.Add(buf, i), 0, z)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("clear")
+	fb.Block("readback")
+	n2 := fb.Const(60)
+	sysc(fb, kernel.SysRead, blk, buf, n2)
+	fb.ConstTo(i, 0)
+	fb.Jmp("fold")
+	fb.Block("fold")
+	cf := fb.CmpI(kir.Lt, i, 60)
+	fb.Br(cf, "foldb", "block_next")
+	fb.Block("foldb")
+	bv := fb.Load(kir.W8, fb.Add(buf, i), 0)
+	fb.BinTo(acc, kir.Mul, acc, fb.Const(31))
+	fb.BinTo(acc, kir.Add, acc, bv)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("fold")
+
+	fb.Block("block_next")
+	fb.BinImmTo(b, kir.Add, b, 1)
+	fb.Jmp("blocks")
+	fb.Block("round_next")
+	fb.BinImmTo(r, kir.Add, r, 1)
+	fb.Jmp("rounds")
+	fb.Block("done")
+	epilogue(fb, slot, acc)
+}
+
+// buildNet: transmit patterned packets and fold the kernel's checksums —
+// the network exerciser.
+func buildNet(pb *kir.ProgramBuilder, scale int) {
+	fb := pb.Func(WorkerNet, 0, false)
+	fb.Local("buf", kir.W8, 48)
+	fb.Block("entry")
+	_, slot := prologue(fb)
+	acc := fb.Var()
+	fb.ConstTo(acc, 3)
+	k := fb.Var()
+	fb.ConstTo(k, 0)
+	limit := int32(20 * scale)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.Cmp(kir.Lt, k, fb.Const(limit))
+	fb.Br(c, "fill_init", "done")
+	fb.Block("fill_init")
+	buf := fb.LocalAddr("buf", 0)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("fill")
+	fb.Block("fill")
+	ci := fb.CmpI(kir.Lt, i, 44)
+	fb.Br(ci, "fillb", "send")
+	fb.Block("fillb")
+	v := fb.Add(fb.Bin(kir.Mul, k, slot), i)
+	fb.Store(kir.W8, fb.Add(buf, i), 0, v)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("fill")
+	fb.Block("send")
+	n := fb.AddI(fb.AndI(k, 7), 36)
+	cs := sysc(fb, kernel.SysSend, buf, n)
+	fb.BinTo(acc, kir.Mul, acc, fb.Const(33))
+	fb.BinTo(acc, kir.Xor, acc, cs)
+	fb.BinImmTo(k, kir.Add, k, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	epilogue(fb, slot, acc)
+}
+
+// buildMM: drive the page allocator — the memory exerciser.
+func buildMM(pb *kir.ProgramBuilder, scale int) {
+	fb := pb.Func(WorkerMM, 0, false)
+	fb.Block("entry")
+	_, slot := prologue(fb)
+	acc := fb.Var()
+	fb.ConstTo(acc, 11)
+	k := fb.Var()
+	fb.ConstTo(k, 0)
+	limit := int32(6 * scale)
+	fb.Jmp("loop")
+	fb.Block("loop")
+	c := fb.Cmp(kir.Lt, k, fb.Const(limit))
+	fb.Br(c, "body", "done")
+	fb.Block("body")
+	iters := fb.Const(16)
+	n := sysc(fb, kernel.SysMemstress, iters)
+	fb.BinTo(acc, kir.Mul, acc, fb.Const(37))
+	fb.BinTo(acc, kir.Add, acc, n)
+	sysc(fb, kernel.SysYield)
+	fb.BinImmTo(k, kir.Add, k, 1)
+	fb.Jmp("loop")
+	fb.Block("done")
+	epilogue(fb, slot, acc)
+}
+
+// buildPipePair: a producer streams a deterministic byte pattern through the
+// kernel pipe while a consumer drains and checksums it — UnixBench's pipe
+// throughput test, and a heavy scheduler exerciser (both sides spin on
+// sys_yield when the ring is full/empty).
+func buildPipePair(pb *kir.ProgramBuilder, scale int) {
+	total := int32(pipeBytesPerScale * scale)
+	// Producer.
+	{
+		fb := pb.Func(WorkerPipeSrc, 0, false)
+		fb.Local("buf", kir.W8, 32)
+		fb.Block("entry")
+		_, slot := prologue(fb)
+		buf := fb.LocalAddr("buf", 0)
+		sent := fb.Var()
+		seq := fb.Var()
+		fb.ConstTo(sent, 0)
+		fb.ConstTo(seq, 0)
+		fb.Jmp("outer")
+		fb.Block("outer")
+		c := fb.Cmp(kir.Lt, sent, fb.Const(total))
+		fb.Br(c, "fill_init", "done")
+		fb.Block("fill_init")
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("fill")
+		fb.Block("fill")
+		ci := fb.CmpI(kir.Lt, i, 32)
+		fb.Br(ci, "fillb", "send")
+		fb.Block("fillb")
+		v := fb.Bin(kir.Xor, fb.Add(seq, i), fb.Const(0x5C))
+		fb.Store(kir.W8, fb.Add(buf, i), 0, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("fill")
+		fb.Block("send")
+		want := fb.Const(32)
+		off := fb.Var()
+		fb.ConstTo(off, 0)
+		fb.Jmp("drain")
+		fb.Block("drain")
+		left := fb.Bin(kir.Sub, want, off)
+		more := fb.CmpI(kir.Gt, left, 0)
+		fb.Br(more, "push", "next")
+		fb.Block("push")
+		n := sysc(fb, kernel.SysPipeWrite, fb.Add(buf, off), left)
+		wrote := fb.CmpI(kir.Gt, n, 0)
+		fb.Br(wrote, "acct", "retry")
+		fb.Block("retry")
+		sysc(fb, kernel.SysYield)
+		fb.Jmp("drain")
+		fb.Block("acct")
+		fb.BinTo(off, kir.Add, off, n)
+		fb.Jmp("drain")
+		fb.Block("next")
+		fb.BinTo(sent, kir.Add, sent, want)
+		fb.BinTo(seq, kir.Add, seq, want)
+		fb.Jmp("outer")
+		fb.Block("done")
+		// The producer reports the bytes it pushed.
+		epilogue(fb, slot, sent)
+	}
+	// Consumer.
+	{
+		fb := pb.Func(WorkerPipeSink, 0, false)
+		fb.Local("buf", kir.W8, 32)
+		fb.Block("entry")
+		_, slot := prologue(fb)
+		buf := fb.LocalAddr("buf", 0)
+		got := fb.Var()
+		acc := fb.Var()
+		fb.ConstTo(got, 0)
+		fb.ConstTo(acc, 17)
+		fb.Jmp("outer")
+		fb.Block("outer")
+		c := fb.Cmp(kir.Lt, got, fb.Const(total))
+		fb.Br(c, "pull", "done")
+		fb.Block("pull")
+		left := fb.Bin(kir.Sub, fb.Const(total), got)
+		chunk := fb.Var()
+		small := fb.CmpI(kir.Lt, left, 32)
+		fb.Br(small, "useleft", "use32")
+		fb.Block("useleft")
+		fb.MovTo(chunk, left)
+		fb.Jmp("issue")
+		fb.Block("use32")
+		fb.ConstTo(chunk, 32)
+		fb.Jmp("issue")
+		fb.Block("issue")
+		n := sysc(fb, kernel.SysPipeRead, buf, chunk)
+		read := fb.CmpI(kir.Gt, n, 0)
+		fb.Br(read, "fold_init", "retry")
+		fb.Block("retry")
+		sysc(fb, kernel.SysYield)
+		fb.Jmp("outer")
+		fb.Block("fold_init")
+		i := fb.Var()
+		fb.ConstTo(i, 0)
+		fb.Jmp("fold")
+		fb.Block("fold")
+		ci := fb.Cmp(kir.Lt, i, n)
+		fb.Br(ci, "foldb", "acct")
+		fb.Block("foldb")
+		v := fb.Load(kir.W8, fb.Add(buf, i), 0)
+		fb.BinTo(acc, kir.Mul, acc, fb.Const(131))
+		fb.BinTo(acc, kir.Add, acc, v)
+		fb.BinImmTo(i, kir.Add, i, 1)
+		fb.Jmp("fold")
+		fb.Block("acct")
+		fb.BinTo(got, kir.Add, got, n)
+		fb.Jmp("outer")
+		fb.Block("done")
+		epilogue(fb, slot, acc)
+	}
+}
+
+// buildCoordinator: wait for the workers, fold their results, and report the
+// final checksum to the harness.
+func buildCoordinator(pb *kir.ProgramBuilder) {
+	fb := pb.Func(Coordinator, 0, false)
+	fb.Block("entry")
+	fb.Jmp("wait")
+	fb.Block("wait")
+	active := sysc(fb, kernel.SysActive)
+	alone := fb.CmpI(kir.Le, active, 1)
+	fb.Br(alone, "gather_init", "nap")
+	fb.Block("nap")
+	two := fb.Const(2)
+	sysc(fb, kernel.SysSleep, two)
+	fb.Jmp("wait")
+	fb.Block("gather_init")
+	acc := fb.Var()
+	fb.ConstTo(acc, 0x1505)
+	i := fb.Var()
+	fb.ConstTo(i, 0)
+	fb.Jmp("gather")
+	fb.Block("gather")
+	c := fb.CmpI(kir.Lt, i, kernel.NPROC)
+	fb.Br(c, "fold", "report")
+	fb.Block("fold")
+	r := sysc(fb, kernel.SysGetResult, i)
+	fb.BinTo(acc, kir.Mul, acc, fb.Const(16777619))
+	fb.BinTo(acc, kir.Xor, acc, r)
+	fb.BinImmTo(i, kir.Add, i, 1)
+	fb.Jmp("gather")
+	fb.Block("report")
+	done := fb.Const(int32(machine.HyperDone))
+	fb.Syscall(done, acc)
+	// Unreachable: the harness ends the run at HyperDone.
+	fb.Bug()
+	fb.Ret(0)
+}
+
+// StandardProcs returns the standard benchmark process mix: the two kernel
+// daemons (kupdate, kjournald) and the four workers plus the coordinator.
+func StandardProcs() []kernel.ProcSpec {
+	return []kernel.ProcSpec{
+		{Name: "kupdate", Entry: "kupdate"},
+		{Name: "kjournald", Entry: "kjournald"},
+		{Name: "arith", Entry: WorkerArith, InUserImage: true, User: true},
+		{Name: "fs", Entry: WorkerFS, InUserImage: true, User: true},
+		{Name: "net", Entry: WorkerNet, InUserImage: true, User: true},
+		{Name: "mm", Entry: WorkerMM, InUserImage: true, User: true},
+		{Name: "pipe-writer", Entry: WorkerPipeSrc, InUserImage: true, User: true},
+		{Name: "pipe-reader", Entry: WorkerPipeSink, InUserImage: true, User: true},
+		{Name: "coordinator", Entry: Coordinator, InUserImage: true, User: true},
+	}
+}

@@ -1,0 +1,126 @@
+package workload_test
+
+import (
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+	"kfi/internal/workload"
+)
+
+func TestProgramValidates(t *testing.T) {
+	for _, scale := range []int{0, 1, 3} {
+		p := workload.Program(scale)
+		if err := p.Validate(); err != nil {
+			t.Errorf("scale %d: %v", scale, err)
+		}
+	}
+}
+
+func TestProgramCompilesBothPlatforms(t *testing.T) {
+	p := workload.Program(1)
+	for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+		im, err := cc.Compile(p, plat, kernel.UserBases)
+		if err != nil {
+			t.Fatalf("[%v] %v", plat, err)
+		}
+		for _, entry := range []string{
+			workload.WorkerArith, workload.WorkerFS, workload.WorkerNet,
+			workload.WorkerMM, workload.Coordinator,
+		} {
+			if _, ok := im.Syms[entry]; !ok {
+				t.Errorf("[%v] entry %s missing from image", plat, entry)
+			}
+		}
+	}
+}
+
+func TestStandardProcsShape(t *testing.T) {
+	procs := workload.StandardProcs()
+	if len(procs) != 9 {
+		t.Fatalf("StandardProcs = %d entries, want 9", len(procs))
+	}
+	var daemons, users int
+	for _, ps := range procs {
+		if ps.User {
+			users++
+			if !ps.InUserImage {
+				t.Errorf("user proc %q not in user image", ps.Name)
+			}
+		} else {
+			daemons++
+		}
+	}
+	if daemons != 2 || users != 7 {
+		t.Errorf("daemons=%d users=%d, want 2 and 7", daemons, users)
+	}
+}
+
+func TestScaleLengthensRuns(t *testing.T) {
+	cyclesAt := func(scale int) uint64 {
+		uimg, err := cc.Compile(workload.Program(scale), isa.CISC, kernel.UserBases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := kernel.BuildSystem(isa.CISC, uimg, workload.StandardProcs(), kernel.Options{
+			Watchdog: 500_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run()
+		if res.Outcome != machine.OutCompleted {
+			t.Fatalf("scale %d run: %v", scale, res.Outcome)
+		}
+		return res.Cycles
+	}
+	c1 := cyclesAt(1)
+	c3 := cyclesAt(3)
+	if c3 < c1*2 {
+		t.Errorf("scale 3 = %d cycles vs scale 1 = %d; want a clear lengthening", c3, c1)
+	}
+}
+
+func TestChecksumVariesWithScale(t *testing.T) {
+	// Different scales do different work and must produce different
+	// checksums; the same scale must reproduce exactly.
+	sum := func(scale int) uint32 {
+		uimg, err := cc.Compile(workload.Program(scale), isa.RISC, kernel.UserBases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := kernel.BuildSystem(isa.RISC, uimg, workload.StandardProcs(), kernel.Options{
+			Watchdog: 500_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run()
+		if res.Outcome != machine.OutCompleted {
+			t.Fatalf("run: %v", res.Outcome)
+		}
+		return res.Checksum
+	}
+	a, b, a2 := sum(1), sum(2), sum(1)
+	if a == b {
+		t.Error("scale 1 and 2 produced identical checksums")
+	}
+	if a != a2 {
+		t.Error("same scale produced different checksums")
+	}
+}
+
+func TestWorkloadProgramDeterministic(t *testing.T) {
+	// Reproducible images require reproducible IR: two builds at the same
+	// scale must dump identically (map-iteration order bugs show up here).
+	a := workload.Program(2).Dump()
+	b := workload.Program(2).Dump()
+	if a != b {
+		t.Fatal("workload IR differs between two builds at the same scale")
+	}
+	if workload.Program(1).Dump() == a {
+		t.Fatal("scale parameter has no effect on the workload IR")
+	}
+}
