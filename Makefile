@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One-iteration snapshot benchmark; rewrites BENCH_snapshot.json.
+bench:
+	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
+
+# Tier-1 gate + snapshot smoke run (see scripts/verify.sh).
+verify:
+	sh scripts/verify.sh

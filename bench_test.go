@@ -24,13 +24,18 @@ package kfi_test
 // model. BenchmarkPropagation quantifies the Figure 7 phenomenon.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"kfi"
 	"kfi/internal/cisc"
 	"kfi/internal/risc"
+	"kfi/internal/snapshot"
 )
 
 // Systems are expensive to build; share them across benchmarks.
@@ -693,6 +698,194 @@ func BenchmarkAblationMidRunTrigger(b *testing.B) {
 			c := kfi.Summarize(results)
 			b.ReportMetric(100*float64(c.Activated)/float64(c.Injected), "activation-%")
 			b.Logf("\nP4 stack %s (N=%d): %+v", name, b.N, c)
+		})
+	}
+}
+
+// --- Snapshot subsystem (fork-from-golden) -------------------------------
+
+// BenchmarkSnapshotSpeedup measures what the snapshot subsystem replaces on
+// a fixed-seed code-campaign batch: bringing the guest to each injection's
+// trigger point. Replay-from-boot pays reboot + golden-prefix execution per
+// target; restore-from-snapshot pays one traced golden pass for the whole
+// batch plus an O(dirty pages) restore per target (the fork-from-golden
+// chain internal/campaign runs). Both full campaign modes are also executed
+// and timed, and their outcome tables must match byte-for-byte — the modes
+// are bit-equivalent, only the cost differs. The end-to-end campaign gap is
+// smaller than the establishment gap because both modes still execute every
+// injection's post-injection tail (Amdahl); both numbers go to
+// BENCH_snapshot.json.
+func BenchmarkSnapshotSpeedup(b *testing.B) {
+	type row struct {
+		ReplayNS           int64   `json:"replay_ns"`
+		SnapshotNS         int64   `json:"snapshot_ns"`
+		Speedup            float64 `json:"speedup"`
+		CampaignReplayNS   int64   `json:"campaign_replay_ns"`
+		CampaignSnapshotNS int64   `json:"campaign_snapshot_ns"`
+		CampaignSpeedup    float64 `json:"campaign_speedup"`
+		Injections         int     `json:"injections"`
+		Triggers           int     `json:"triggers"`
+	}
+	rows := map[string]row{}
+	for _, p := range kfi.Platforms {
+		p := p
+		b.Run(p.Short(), func(b *testing.B) {
+			sys := benchSystem(b, p)
+			const n = 150
+			seed := int64(910) + int64(p)
+
+			// Full campaigns in both modes (untimed by the framework, but
+			// measured): the correctness half of the claim.
+			t0 := time.Now()
+			rep, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{Replay: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campReplay := time.Since(t0)
+			t0 = time.Now()
+			snapC, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campSnapshot := time.Since(t0)
+			repTable, snapTable := rep.Counts.TableRow("code"), snapC.Counts.TableRow("code")
+			if repTable != snapTable {
+				b.Fatalf("outcome tables diverge between modes:\n  replay:   %s\n  snapshot: %s", repTable, snapTable)
+			}
+
+			// Recover the batch's trigger cycles (first execution of each
+			// target address) from one traced golden run.
+			targets, err := kfi.NewTargets(sys, kfi.Code, n, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sys.Sys.Machine
+			m.Reboot()
+			clk := m.Core().Clock()
+			firstHit := map[uint32]uint64{}
+			m.Core().SetTrace(func(pc uint32, cost uint8) {
+				if _, ok := firstHit[pc]; !ok {
+					firstHit[pc] = clk.Cycles() - uint64(cost)
+				}
+			})
+			m.Run()
+			m.Core().SetTrace(nil)
+			var triggers []uint64
+			for _, t := range targets {
+				if cyc, ok := firstHit[t.Addr]; ok && cyc > 0 {
+					triggers = append(triggers, cyc)
+				}
+			}
+			sort.Slice(triggers, func(i, j int) bool { return triggers[i] < triggers[j] })
+			if len(triggers) == 0 {
+				b.Fatal("no activated targets in the batch")
+			}
+
+			var replayTot, snapTot time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Replay-from-boot: reboot and execute the golden prefix for
+				// every target.
+				t0 := time.Now()
+				for _, trig := range triggers {
+					m.Reboot()
+					m.PauseAt = trig
+					m.Run()
+				}
+				replayTot += time.Since(t0)
+
+				// Restore-from-snapshot: one golden pass chained through the
+				// sorted triggers, one dirty-page restore per target.
+				t0 = time.Now()
+				m.Reboot()
+				m.PauseAt = triggers[0]
+				m.Run()
+				chain := snapshot.Capture(m)
+				for _, trig := range triggers[1:] {
+					if _, err := chain.Restore(m); err != nil {
+						b.Fatal(err)
+					}
+					if trig > chain.Cycles {
+						m.PauseAt = trig
+						m.Run()
+						if _, err := chain.Recapture(m); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if _, err := chain.Restore(m); err != nil {
+					b.Fatal(err)
+				}
+				snapTot += time.Since(t0)
+				m.Mem.ClearBaseline()
+			}
+			b.StopTimer()
+
+			speedup := float64(replayTot) / float64(snapTot)
+			campSpeedup := float64(campReplay) / float64(campSnapshot)
+			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(float64(replayTot.Nanoseconds())/float64(b.N), "replay-ns/batch")
+			b.ReportMetric(float64(snapTot.Nanoseconds())/float64(b.N), "snapshot-ns/batch")
+			b.ReportMetric(campSpeedup, "campaign-speedup")
+			b.Logf("\n%v code batch (%d injections, %d activated triggers):\n"+
+				"  injection-point establishment: replay %v, snapshot %v, speedup %.1fx\n"+
+				"  end-to-end campaign:           replay %v, snapshot %v, speedup %.2fx\n%s",
+				p, n, len(triggers),
+				replayTot/time.Duration(b.N), snapTot/time.Duration(b.N), speedup,
+				campReplay, campSnapshot, campSpeedup, snapTable)
+			rows[p.Short()] = row{
+				ReplayNS:           replayTot.Nanoseconds() / int64(b.N),
+				SnapshotNS:         snapTot.Nanoseconds() / int64(b.N),
+				Speedup:            speedup,
+				CampaignReplayNS:   campReplay.Nanoseconds(),
+				CampaignSnapshotNS: campSnapshot.Nanoseconds(),
+				CampaignSpeedup:    campSpeedup,
+				Injections:         n,
+				Triggers:           len(triggers),
+			}
+		})
+	}
+	if len(rows) == len(kfi.Platforms) {
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_snapshot.json", append(buf, '\n'), 0o644); err != nil {
+				b.Logf("BENCH_snapshot.json: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkSnapshotRestoreVsReboot isolates the primitive the speedup rests
+// on: rewinding a machine to a mid-run checkpoint by copying dirty pages
+// versus re-executing the prefix from boot.
+func BenchmarkSnapshotRestoreVsReboot(b *testing.B) {
+	for _, p := range kfi.Platforms {
+		p := p
+		b.Run(p.Short(), func(b *testing.B) {
+			sys := benchSystem(b, p)
+			m := sys.Sys.Machine
+			const trigger = 500_000
+			b.Run("replay-to-trigger", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Reboot()
+					m.PauseAt = trigger
+					m.Run()
+				}
+			})
+			b.Run("restore-from-snapshot", func(b *testing.B) {
+				m.Reboot()
+				m.PauseAt = trigger
+				m.Run()
+				snap := snapshot.Capture(m)
+				defer m.Mem.ClearBaseline()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.PauseAt = snap.Cycles + 20_000
+					m.Run()
+					if _, err := snap.Restore(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

@@ -43,6 +43,8 @@ func run(args []string) error {
 		quiet        = fs.Bool("quiet", false, "suppress progress output")
 		burst        = fs.Int("burst", 1, "bits flipped per injection (1 = the paper's single-bit model)")
 		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
+		execMode     = fs.String("exec", "snapshot", "execution mode: snapshot (fork-from-golden) or replay (reboot per injection)")
+		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +87,17 @@ func run(args []string) error {
 		return fmt.Errorf("-burst must be in [1, 8], got %d", *burst)
 	}
 	cfg.Burst = uint8(*burst)
+	switch strings.ToLower(*execMode) {
+	case "snapshot", "fork", "fork-from-golden":
+		cfg.Exec = kfi.ExecOptions{SnapshotDir: *snapshotDir}
+	case "replay", "reboot":
+		if *snapshotDir != "" {
+			return fmt.Errorf("-snapshot-dir requires -exec snapshot")
+		}
+		cfg.Exec = kfi.ExecOptions{Replay: true}
+	default:
+		return fmt.Errorf("unknown -exec mode %q (want snapshot or replay)", *execMode)
+	}
 	if *crashAddr != "" {
 		sender, err := crashnet.NewUDPSender(*crashAddr)
 		if err != nil {

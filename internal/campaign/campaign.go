@@ -271,21 +271,11 @@ type Result struct {
 }
 
 // Run executes a campaign: golden is the fault-free checksum; progress (may
-// be nil) is called after each injection.
+// be nil) is called after each injection. It uses the default execution
+// options — fork-from-golden snapshot scheduling; see RunWith and ExecOptions
+// for the replay-from-boot reference mode.
 func Run(sys *kernel.System, golden uint32, profile *Profile, spec Spec, progress func(done, total int)) (*Result, error) {
-	gen := NewGenerator(sys, profile, spec.Seed, profileCycles(profile))
-	targets, err := gen.Targets(spec)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Spec: spec, Platform: sys.Platform, Results: make([]inject.Result, 0, len(targets))}
-	for i, t := range targets {
-		res.Results = append(res.Results, inject.RunOne(sys, t, golden))
-		if progress != nil {
-			progress(i+1, len(targets))
-		}
-	}
-	return res, nil
+	return RunWith(sys, golden, profile, spec, progress, ExecOptions{})
 }
 
 // Golden measures the fault-free checksum; it fails if the pristine system

@@ -68,8 +68,17 @@ func (f *Farm) Profile() *Profile { return f.profile }
 
 // Run executes a campaign, fanning targets out over the nodes. Results come
 // back in target order regardless of which node executed them, so a Farm run
-// produces the same result multiset as a single-node run of the same spec.
+// produces the same per-index results as a single-node run of the same spec.
+// It uses the default execution options (fork-from-golden); see RunWith.
 func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
+	return f.RunWith(spec, progress, ExecOptions{})
+}
+
+// RunWith is Run with explicit execution options. In fork-from-golden mode
+// each node takes a contiguous chunk of the trigger-sorted schedule, so
+// neighboring triggers share incremental checkpoints within a node; in
+// replay mode nodes steal individual targets dynamically.
+func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptions) (*Result, error) {
 	gen := NewGenerator(f.nodes[0], f.profile, spec.Seed, profileCycles(f.profile))
 	targets, err := gen.Targets(spec)
 	if err != nil {
@@ -79,8 +88,63 @@ func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
 
 	var (
 		mu   sync.Mutex
-		next int
 		done int
+	)
+	tickLocked := func() {
+		done++
+		d := done
+		mu.Unlock()
+		if progress != nil {
+			progress(d, len(targets))
+		}
+	}
+
+	if !opts.Replay {
+		sched, err := buildSchedule(f.nodes[0], targets)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range sched.pre {
+			results[i] = r
+			mu.Lock()
+			tickLocked()
+		}
+		chunkTick := func(int) {
+			mu.Lock()
+			tickLocked()
+		}
+		var (
+			wg   sync.WaitGroup
+			errs = make([]error, len(f.nodes))
+		)
+		per := (len(sched.order) + len(f.nodes) - 1) / len(f.nodes)
+		for ni, node := range f.nodes {
+			lo := ni * per
+			if lo >= len(sched.order) {
+				break
+			}
+			hi := lo + per
+			if hi > len(sched.order) {
+				hi = len(sched.order)
+			}
+			ni, node, chunk := ni, node, sched.order[lo:hi]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[ni] = runChunk(node, f.golden, targets, chunk, results, opts, chunkTick)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+	}
+
+	var (
+		next int
 		wg   sync.WaitGroup
 	)
 	for _, node := range f.nodes {
@@ -101,12 +165,7 @@ func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
 				results[i] = inject.RunOne(node, targets[i], f.golden)
 
 				mu.Lock()
-				done++
-				d := done
-				mu.Unlock()
-				if progress != nil {
-					progress(d, len(targets))
-				}
+				tickLocked()
 			}
 		}()
 	}

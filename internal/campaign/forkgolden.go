@@ -1,0 +1,309 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"kfi/internal/inject"
+	"kfi/internal/kernel"
+	"kfi/internal/machine"
+	"kfi/internal/snapshot"
+)
+
+// ExecOptions select how a campaign executes its injections.
+//
+// The zero value is the fork-from-golden mode (the fast path): the golden
+// prefix up to each injection's trigger point is executed once, checkpointed
+// with internal/snapshot, and every experiment sharing that prefix is
+// restore-inject-resumed in O(dirty pages). Outcomes are identical to replay
+// mode — the restored state is cycle-exact — only wall-clock time changes.
+type ExecOptions struct {
+	// Replay forces the paper's literal procedure: reboot and replay from
+	// boot for every injection (the reference mode the equivalence tests and
+	// benchmarks compare against).
+	Replay bool
+	// SnapshotDir, when set, persists golden-prefix waypoint snapshots there
+	// and reuses any compatible ones from earlier invocations (files are
+	// keyed by a fingerprint of the platform, configuration, and boot image).
+	SnapshotDir string
+}
+
+// RunWith is Run with explicit execution options.
+func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
+	progress func(done, total int), opts ExecOptions) (*Result, error) {
+	gen := NewGenerator(sys, profile, spec.Seed, profileCycles(profile))
+	targets, err := gen.Targets(spec)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]inject.Result, len(targets))
+	if opts.Replay {
+		for i, t := range targets {
+			results[i] = inject.RunOne(sys, t, golden)
+			if progress != nil {
+				progress(i+1, len(targets))
+			}
+		}
+		return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
+	}
+
+	done := 0
+	tick := func(int) {
+		done++
+		if progress != nil {
+			progress(done, len(targets))
+		}
+	}
+	sched, err := buildSchedule(sys, targets)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range sched.pre {
+		results[i] = r
+		tick(i)
+	}
+	if err := runChunk(sys, golden, targets, sched.order, results, opts, tick); err != nil {
+		return nil, err
+	}
+	return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
+}
+
+// trigOrder pairs a target index with its trigger cycle (the golden-run cycle
+// count just before the injection acts).
+type trigOrder struct {
+	trig uint64
+	idx  int
+}
+
+// goldenTrace is one traced golden run: the first cycle at which each PC is
+// about to execute, plus the run's length and checksum.
+type goldenTrace struct {
+	firstHit map[uint32]uint64
+	cycles   uint64
+	checksum uint32
+}
+
+// traceGolden runs the benchmark once with tracing and records, per PC, the
+// cycle count just before its first execution — the exact cycle at which a
+// code-injection breakpoint on that address would fire.
+func traceGolden(sys *kernel.System) (*goldenTrace, error) {
+	m := sys.Machine
+	m.Reboot()
+	clk := m.Core().Clock()
+	first := make(map[uint32]uint64, 1<<14)
+	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		if _, ok := first[pc]; !ok {
+			// Trace reports after the clock advanced past the instruction.
+			first[pc] = clk.Cycles() - uint64(cost)
+		}
+	})
+	res := m.Run()
+	m.Core().SetTrace(nil)
+	if res.Outcome != machine.OutCompleted {
+		return nil, fmt.Errorf("campaign: traced golden run did not complete: %v", res.Outcome)
+	}
+	return &goldenTrace{firstHit: first, cycles: res.Cycles, checksum: res.Checksum}, nil
+}
+
+// schedule is the fork-from-golden plan for one target set: the trigger-
+// sorted execution order plus results synthesized without running anything
+// (code targets whose instruction the golden run never executes — their
+// breakpoint can never fire, so the run is the golden run).
+type schedule struct {
+	order []trigOrder
+	pre   map[int]inject.Result
+}
+
+// buildSchedule computes each target's trigger cycle and sorts targets by
+// it. Delay-triggered targets (stack, system registers) use their Delay;
+// code targets use the first golden-run execution of their address;
+// everything else injects at boot (trigger 0).
+func buildSchedule(sys *kernel.System, targets []inject.Target) (*schedule, error) {
+	var tr *goldenTrace
+	for _, t := range targets {
+		if t.Campaign == inject.CampCode {
+			var err error
+			if tr, err = traceGolden(sys); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	s := &schedule{order: make([]trigOrder, 0, len(targets)), pre: map[int]inject.Result{}}
+	for i, t := range targets {
+		switch {
+		case t.Delay > 0:
+			s.order = append(s.order, trigOrder{t.Delay, i})
+		case t.Campaign == inject.CampCode:
+			c, ok := tr.firstHit[t.Addr]
+			if !ok {
+				s.pre[i] = notActivatedResult(t, tr.cycles, tr.checksum)
+				continue
+			}
+			s.order = append(s.order, trigOrder{c, i})
+		default:
+			s.order = append(s.order, trigOrder{0, i})
+		}
+	}
+	sort.SliceStable(s.order, func(a, b int) bool { return s.order[a].trig < s.order[b].trig })
+	return s, nil
+}
+
+// notActivatedResult mirrors RunOne's early return for an error that was
+// never injected: the run is the golden run.
+func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.Result {
+	return inject.Result{Target: t, ActivationKnown: t.Campaign != inject.CampSysReg,
+		Outcome: inject.ONotActivated, RunCycles: cycles, Checksum: checksum}
+}
+
+// runChunk executes a contiguous trigger-sorted slice of the schedule on one
+// system, chaining one incremental checkpoint along the golden prefix:
+//
+//	for each target (by ascending trigger):
+//	    restore the checkpoint             — O(pages dirtied by the last run)
+//	    advance golden to the trigger      — only forward, each cycle once
+//	    re-checkpoint in place             — O(pages dirtied by the advance)
+//	    inject and run to an outcome
+//
+// Because the machine's pause points are the deterministic loop-top cycle
+// counts of the golden run, a checkpoint taken at the pause for trigger T is
+// bit-identical to the state a from-boot replay pauses in for any trigger in
+// (T, pause], and advancing from it reproduces the from-boot pause for later
+// triggers. Outcomes therefore match replay mode exactly.
+func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
+	order []trigOrder, out []inject.Result, opts ExecOptions, done func(idx int)) error {
+	if len(order) == 0 {
+		return nil
+	}
+	m := sys.Machine
+	defer m.Mem.ClearBaseline()
+
+	var way *waypointStore
+	if opts.SnapshotDir != "" {
+		way = newWaypointStore(opts.SnapshotDir, snapshot.GoldenKey(m), order[len(order)-1].trig)
+	}
+
+	var snap *snapshot.Snapshot
+	if way != nil {
+		snap = way.bestBefore(order[0].trig, m)
+	}
+	if snap == nil {
+		m.Reboot()
+		snap = snapshot.Capture(m)
+	}
+
+	// goldenEnd, once set, is the golden run's completion as observed from a
+	// trigger beyond its end; every later trigger is also beyond the end.
+	var goldenEnd *machine.RunResult
+	for _, o := range order {
+		t := targets[o.idx]
+		if goldenEnd != nil && o.trig > snap.Cycles {
+			out[o.idx] = notActivatedResult(t, goldenEnd.Cycles, goldenEnd.Checksum)
+			done(o.idx)
+			continue
+		}
+		if _, err := snap.Restore(m); err != nil {
+			return err
+		}
+		if o.trig > snap.Cycles {
+			m.PauseAt = o.trig
+			pre := m.Run()
+			if pre.Outcome != machine.OutPaused {
+				// The benchmark finished before the trigger was reached: the
+				// pre-generated error is never injected (RunOne's early
+				// return), and so is every later, larger trigger.
+				goldenEnd = &pre
+				out[o.idx] = notActivatedResult(t, pre.Cycles, pre.Checksum)
+				done(o.idx)
+				continue
+			}
+			if _, err := snap.Recapture(m); err != nil {
+				return err
+			}
+			if way != nil {
+				way.maybeSave(snap)
+			}
+		}
+		out[o.idx] = inject.RunFrom(sys, t, golden)
+		done(o.idx)
+	}
+	return nil
+}
+
+// waypointStore persists golden-prefix checkpoints under a directory, keyed
+// by the machine's golden fingerprint, for reuse across invocations.
+type waypointStore struct {
+	dir       string
+	key       string
+	stride    uint64
+	lastSaved uint64
+}
+
+func newWaypointStore(dir, key string, maxTrig uint64) *waypointStore {
+	stride := maxTrig / 6
+	if stride < 250_000 {
+		stride = 250_000
+	}
+	return &waypointStore{dir: dir, key: key, stride: stride}
+}
+
+func (w *waypointStore) path(cycles uint64) string {
+	// Zero-padded so lexical directory order is cycle order.
+	return filepath.Join(w.dir, fmt.Sprintf("%s-c%020d.ksnap", w.key, cycles))
+}
+
+// bestBefore loads the latest stored waypoint at or before trig and installs
+// it on the machine (full-image restore; it becomes the armed baseline).
+// Corrupt or mismatched files are skipped. Returns nil when none usable.
+func (w *waypointStore) bestBefore(trig uint64, m *machine.Machine) *snapshot.Snapshot {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil
+	}
+	var best uint64
+	found := false
+	prefix := w.key + "-c"
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".ksnap") {
+			continue
+		}
+		var c uint64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".ksnap"), "%d", &c); err != nil {
+			continue
+		}
+		if c <= trig && (!found || c > best) {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	snap, err := snapshot.Load(w.path(best))
+	if err != nil || snap.Cycles != best {
+		return nil
+	}
+	if _, err := snap.Restore(m); err != nil {
+		return nil
+	}
+	w.lastSaved = best
+	return snap
+}
+
+// maybeSave persists the checkpoint when it advanced at least a stride past
+// the last saved waypoint. Failures are ignored: persistence is an
+// optimization, never a correctness dependency.
+func (w *waypointStore) maybeSave(s *snapshot.Snapshot) {
+	if s.Cycles < w.lastSaved+w.stride {
+		return
+	}
+	if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return
+	}
+	if err := s.Save(w.path(s.Cycles)); err == nil {
+		w.lastSaved = s.Cycles
+	}
+}

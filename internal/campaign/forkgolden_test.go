@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+)
+
+// TestForkFromGoldenMatchesReplay is the subsystem's central contract: on a
+// fixed seed, snapshot-mode campaigns must produce the exact per-injection
+// results of the paper's literal reboot-and-replay procedure, for every
+// campaign on both platforms.
+func TestForkFromGoldenMatchesReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys, golden, prof := getSystem(t, platform)
+		for _, camp := range []inject.Campaign{inject.CampStack, inject.CampSysReg, inject.CampData, inject.CampCode} {
+			t.Run(platform.Short()+"/"+camp.String(), func(t *testing.T) {
+				spec := Spec{Campaign: camp, N: 10, Seed: 41}
+				replay, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{Replay: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range replay.Results {
+					if !reflect.DeepEqual(replay.Results[i], snap.Results[i]) {
+						t.Errorf("injection %d diverges:\n  replay:   %+v\n  snapshot: %+v",
+							i, replay.Results[i], snap.Results[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestForkFromGoldenProgress checks the progress contract in snapshot mode:
+// called once per injection with a monotone done count.
+func TestForkFromGoldenProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	sys, golden, prof := getSystem(t, isa.CISC)
+	var calls []int
+	_, err := RunWith(sys, golden, prof, Spec{Campaign: inject.CampStack, N: 8, Seed: 5}, func(done, total int) {
+		if total != 8 {
+			t.Fatalf("total = %d, want 8", total)
+		}
+		calls = append(calls, done)
+	}, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 8 {
+		t.Fatalf("progress called %d times, want 8", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress call %d reported done=%d", i, d)
+		}
+	}
+}
+
+// TestSnapshotDirReuse runs the same campaign twice with a waypoint
+// directory: the second invocation must load the persisted prefix snapshots
+// and still produce identical results.
+func TestSnapshotDirReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	sys, golden, prof := getSystem(t, isa.RISC)
+	dir := t.TempDir()
+	spec := Spec{Campaign: inject.CampSysReg, N: 8, Seed: 13}
+	first, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ksnap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no waypoint snapshots were persisted")
+	}
+	second, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Error("results differ between fresh and waypoint-reusing invocations")
+	}
+}
+
+// TestFarmForkFromGoldenMatchesReplay pins the farm path: chunked
+// fork-from-golden across nodes equals dynamic replay across nodes.
+func TestFarmForkFromGoldenMatchesReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm campaigns are slow")
+	}
+	farm, err := NewFarm(isa.CISC, 3, 1, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Campaign: inject.CampCode, N: 18, Seed: 77}
+	replay, err := farm.RunWith(spec, nil, ExecOptions{Replay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := farm.RunWith(spec, nil, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range replay.Results {
+		if !reflect.DeepEqual(replay.Results[i], snap.Results[i]) {
+			t.Errorf("injection %d diverges between farm modes:\n  replay:   %+v\n  snapshot: %+v",
+				i, replay.Results[i], snap.Results[i])
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package cisc
+
+import "kfi/internal/isa"
+
+// State is the complete architectural and micro-architectural state of the
+// P4-class CPU, as captured by the checkpoint/restore subsystem: general and
+// system registers, privilege mode, debug-register file, cycle counter, and
+// the pending data-breakpoint trap carried between instructions. Memory is
+// captured separately (internal/mem baselines).
+type State struct {
+	Regs  [numRegs]uint32
+	EIP   uint32
+	Flags uint32
+
+	CR0, CR2, CR3            uint32
+	FS, GS                   uint32
+	TR                       uint32
+	GDTR, IDTR, LDTR         uint32
+	DR                       [4]uint32
+	DR6, DR7                 uint32
+	SysenterEIP, SysenterESP uint32
+
+	Mode   isa.Mode
+	FSBase uint32
+
+	Debug [isa.DebugSlots]isa.Breakpoint
+	Clock isa.ClockState
+
+	// Pending data-breakpoint trap (slot -1 when none).
+	PendingSlot   int
+	PendingAccess isa.DataAccess
+	PendingAddr   uint32
+}
+
+// SaveState captures the CPU for a checkpoint.
+func (c *CPU) SaveState() State {
+	return State{
+		Regs: c.Regs, EIP: c.EIP, Flags: c.Flags,
+		CR0: c.CR0, CR2: c.CR2, CR3: c.CR3,
+		FS: c.FS, GS: c.GS, TR: c.TR,
+		GDTR: c.GDTR, IDTR: c.IDTR, LDTR: c.LDTR,
+		DR: c.DR, DR6: c.DR6, DR7: c.DR7,
+		SysenterEIP: c.SysenterEIP, SysenterESP: c.SysenterESP,
+		Mode: c.Mode, FSBase: c.FSBase,
+		Debug: c.Debug.Slots(), Clock: c.Clk.State(),
+		PendingSlot: c.dbSlot, PendingAccess: c.dbAccess, PendingAddr: c.dbAddr,
+	}
+}
+
+// RestoreState reapplies a captured state. The CPU's memory binding and trace
+// hook are untouched: they belong to the hosting machine, not the checkpoint.
+func (c *CPU) RestoreState(s *State) {
+	c.Regs, c.EIP, c.Flags = s.Regs, s.EIP, s.Flags
+	c.CR0, c.CR2, c.CR3 = s.CR0, s.CR2, s.CR3
+	c.FS, c.GS, c.TR = s.FS, s.GS, s.TR
+	c.GDTR, c.IDTR, c.LDTR = s.GDTR, s.IDTR, s.LDTR
+	c.DR, c.DR6, c.DR7 = s.DR, s.DR6, s.DR7
+	c.SysenterEIP, c.SysenterESP = s.SysenterEIP, s.SysenterESP
+	c.Mode, c.FSBase = s.Mode, s.FSBase
+	c.Debug.SetSlots(s.Debug)
+	c.Clk.SetState(s.Clock)
+	c.dbSlot, c.dbAccess, c.dbAddr = s.PendingSlot, s.PendingAccess, s.PendingAddr
+}

@@ -106,6 +106,9 @@ type Config struct {
 	// Burst widens the error model: 0 or 1 is the paper's single-bit flip,
 	// k > 1 flips k adjacent bits per injection.
 	Burst uint8
+	// Exec selects the campaign execution mode (zero value: fork-from-golden
+	// snapshot scheduling; Replay forces per-injection reboot-and-replay).
+	Exec campaign.ExecOptions
 	// Progress, when set, receives per-injection progress.
 	Progress func(p isa.Platform, c inject.Campaign, done, total int)
 }
@@ -172,9 +175,9 @@ func Run(cfg Config) (*StudyResult, error) {
 				p, c := p, c
 				progress = func(done, total int) { cfg.Progress(p, c, done, total) }
 			}
-			res, err := campaign.Run(system.Sys, system.Golden, system.Profile,
+			res, err := campaign.RunWith(system.Sys, system.Golden, system.Profile,
 				campaign.Spec{Campaign: c, N: n, Seed: cfg.Seed + int64(c)*1000 + int64(p),
-					Burst: cfg.Burst}, progress)
+					Burst: cfg.Burst}, progress, cfg.Exec)
 			if err != nil {
 				return nil, err
 			}
@@ -188,8 +191,14 @@ func Run(cfg Config) (*StudyResult, error) {
 // benchmark harness path, which reuses systems across campaigns).
 func RunCampaignOn(system *System, camp inject.Campaign, n int, seed int64,
 	progress func(done, total int)) (*CampaignOutcome, error) {
-	res, err := campaign.Run(system.Sys, system.Golden, system.Profile,
-		campaign.Spec{Campaign: camp, N: n, Seed: seed}, progress)
+	return RunCampaignOnWith(system, camp, n, seed, progress, campaign.ExecOptions{})
+}
+
+// RunCampaignOnWith is RunCampaignOn with explicit execution options.
+func RunCampaignOnWith(system *System, camp inject.Campaign, n int, seed int64,
+	progress func(done, total int), exec campaign.ExecOptions) (*CampaignOutcome, error) {
+	res, err := campaign.RunWith(system.Sys, system.Golden, system.Profile,
+		campaign.Spec{Campaign: camp, N: n, Seed: seed}, progress, exec)
 	if err != nil {
 		return nil, err
 	}

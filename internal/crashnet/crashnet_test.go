@@ -186,3 +186,78 @@ func TestUDPAddressErrors(t *testing.T) {
 		t.Error("RecvWait on closed socket returned nil error")
 	}
 }
+
+// TestDrainAfterSenderFinished is the regression test for the DrainTimeout
+// tunable: packets a finished (closed) sender left in the socket buffer must
+// still be delivered by the drain path, because drainDeadline lies slightly
+// in the future rather than exactly at now.
+func TestDrainAfterSenderFinished(t *testing.T) {
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	const n = 5
+	snd, err := NewUDPSender(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p := samplePacket()
+		p.Seq = uint32(100 + i)
+		if err := snd.Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sender is completely done before the collector drains anything.
+	if err := snd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[uint32]bool{}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(seen) < n && time.Now().Before(deadline) {
+		if p, ok := col.Recv(); ok {
+			seen[p.Seq] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !seen[uint32(100+i)] {
+			t.Errorf("packet seq %d buffered before drain was never delivered", 100+i)
+		}
+	}
+}
+
+// TestDrainTimeoutTunable checks that Recv honors the exported knob: with a
+// generous DrainTimeout a packet that arrives shortly after the poll begins
+// is still caught by that same poll.
+func TestDrainTimeoutTunable(t *testing.T) {
+	old := DrainTimeout
+	defer func() { DrainTimeout = old }()
+	DrainTimeout = 500 * time.Millisecond
+
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	snd, err := NewUDPSender(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		snd.Send(samplePacket())
+	}()
+	start := time.Now()
+	p, ok := col.Recv()
+	if !ok {
+		t.Fatalf("packet sent 50ms into a 500ms drain window was not received (waited %v)", time.Since(start))
+	}
+	if p.Seq != samplePacket().Seq {
+		t.Errorf("got seq %d", p.Seq)
+	}
+}

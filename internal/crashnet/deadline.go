@@ -2,11 +2,17 @@ package crashnet
 
 import "time"
 
-// drainDeadline returns a near-immediate deadline for Recv. It must lie
-// slightly in the future: Go fails reads outright once a deadline has
-// already expired, even when datagrams are sitting in the socket buffer, so
-// an exactly-now deadline would make buffered packets undeliverable.
-func drainDeadline() time.Time { return time.Now().Add(5 * time.Millisecond) }
+// DrainTimeout bounds how long UDPCollector.Recv waits for an
+// already-buffered datagram. It must be slightly in the future: Go fails
+// reads outright once a deadline has already expired, even when datagrams are
+// sitting in the socket buffer, so a zero (exactly-now) deadline would make
+// buffered packets undeliverable. Raise it on congested or virtualized hosts
+// where loopback delivery can lag; campaigns poll Recv, so the value is a
+// per-poll bound, not added latency.
+var DrainTimeout = 5 * time.Millisecond
+
+// drainDeadline returns the near-immediate deadline for one Recv poll.
+func drainDeadline() time.Time { return time.Now().Add(DrainTimeout) }
 
 // noDeadline clears the read deadline.
 func noDeadline() time.Time { return time.Time{} }

@@ -162,17 +162,6 @@ func RunOne(sys *kernel.System, t Target, golden uint32) Result {
 	m := sys.Machine
 	m.Reboot()
 
-	res := Result{Target: t, ActivationKnown: t.Campaign != CampSysReg}
-	var activationCycle uint64
-	clock := m.Core().Clock()
-	activate := func() {
-		if !res.Activated {
-			res.Activated = true
-			activationCycle = clock.Cycles()
-			clock.Mark()
-		}
-	}
-
 	// Mid-run triggers: run uninstrumented until the injection time. If the
 	// benchmark finishes first, the pre-generated error was never injected
 	// (the paper: "some of the pre-generated errors are never injected
@@ -183,6 +172,29 @@ func RunOne(sys *kernel.System, t Target, golden uint32) Result {
 		if pre.Outcome != machine.OutPaused {
 			return Result{Target: t, ActivationKnown: t.Campaign != CampSysReg,
 				Outcome: ONotActivated, RunCycles: pre.Cycles, Checksum: pre.Checksum}
+		}
+	}
+
+	return RunFrom(sys, t, golden)
+}
+
+// RunFrom installs the target into the machine's current state, runs to an
+// outcome, and classifies it against the golden checksum. The machine must
+// already sit at the injection point: freshly rebooted for immediate targets,
+// or paused at the target's Delay cycle — either by RunOne's uninstrumented
+// advance or by a snapshot restore of that same golden prefix
+// (fork-from-golden injection).
+func RunFrom(sys *kernel.System, t Target, golden uint32) Result {
+	m := sys.Machine
+
+	res := Result{Target: t, ActivationKnown: t.Campaign != CampSysReg}
+	var activationCycle uint64
+	clock := m.Core().Clock()
+	activate := func() {
+		if !res.Activated {
+			res.Activated = true
+			activationCycle = clock.Cycles()
+			clock.Mark()
 		}
 	}
 

@@ -39,12 +39,22 @@ type Breakpoint struct {
 	Enabled bool
 }
 
+// DebugSlots is the number of breakpoint slots in a DebugUnit (DR0-DR3 on
+// the P4; generously more than the G4's IABR+DABR pair).
+const DebugSlots = 4
+
 // DebugUnit models the processor's debug-register facility. It is consulted
 // by the execution engine on every instruction fetch and data access. The
 // zero value is an empty, usable unit.
 type DebugUnit struct {
-	slots [4]Breakpoint
+	slots [DebugSlots]Breakpoint
 }
+
+// Slots returns a copy of every breakpoint slot (checkpoint path).
+func (d *DebugUnit) Slots() [DebugSlots]Breakpoint { return d.slots }
+
+// SetSlots replaces every breakpoint slot (restore path).
+func (d *DebugUnit) SetSlots(s [DebugSlots]Breakpoint) { d.slots = s }
 
 // Set installs a breakpoint into the given slot (0..3) and enables it.
 func (d *DebugUnit) Set(slot int, bp Breakpoint) {
@@ -62,7 +72,7 @@ func (d *DebugUnit) Clear(slot int) {
 
 // ClearAll erases every slot.
 func (d *DebugUnit) ClearAll() {
-	d.slots = [4]Breakpoint{}
+	d.slots = [DebugSlots]Breakpoint{}
 }
 
 // Get returns the breakpoint configured in the given slot.
@@ -133,3 +143,16 @@ func (c *CycleCounter) Since() uint64 { return c.cycles - c.mark }
 
 // Reset zeroes the counter and its mark.
 func (c *CycleCounter) Reset() { c.cycles, c.mark = 0, 0 }
+
+// ClockState is the externally visible state of a CycleCounter, captured and
+// reapplied by the checkpoint/restore subsystem.
+type ClockState struct {
+	Cycles uint64
+	Mark   uint64
+}
+
+// State captures the counter for a checkpoint.
+func (c *CycleCounter) State() ClockState { return ClockState{Cycles: c.cycles, Mark: c.mark} }
+
+// SetState reapplies a previously captured counter state.
+func (c *CycleCounter) SetState(s ClockState) { c.cycles, c.mark = s.Cycles, s.Mark }

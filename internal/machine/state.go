@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"fmt"
+
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/risc"
+)
+
+// State is the machine-level half of a checkpoint: the platform CPU state
+// plus the timer, watchdog, and pause scheduling that live in the machine
+// run loop. Memory is captured separately (the snapshot layer pairs a State
+// with a RAM image and a mem baseline).
+//
+// Deliberately excluded:
+//   - the injector hooks (OnInstrBreak/OnDataBreak) and the trace callback —
+//     they are host-side instrumentation the caller re-arms per run;
+//   - the crash-packet sequence number — it is host-side telemetry and stays
+//     monotonic across restores, exactly as it does across reboots.
+type State struct {
+	Platform isa.Platform
+
+	// Exactly one of CISC/RISC is set, matching Platform.
+	CISC *cisc.State
+	RISC *risc.State
+
+	NextTimer uint64
+	Deadline  uint64
+	PauseAt   uint64
+}
+
+// SaveState captures the machine (CPU + run-loop scheduling) for a
+// checkpoint.
+func (ma *Machine) SaveState() State {
+	s := State{
+		Platform:  ma.cfg.Platform,
+		NextTimer: ma.nextTimer,
+		Deadline:  ma.deadline,
+		PauseAt:   ma.PauseAt,
+	}
+	if ma.cpuC != nil {
+		cs := ma.cpuC.SaveState()
+		s.CISC = &cs
+	} else {
+		rs := ma.cpuR.SaveState()
+		s.RISC = &rs
+	}
+	return s
+}
+
+// RestoreState reapplies a captured machine state. It fails if the state was
+// captured on a different platform.
+func (ma *Machine) RestoreState(s *State) error {
+	if s.Platform != ma.cfg.Platform {
+		return fmt.Errorf("machine: restoring %v state onto a %v machine", s.Platform, ma.cfg.Platform)
+	}
+	switch {
+	case ma.cpuC != nil && s.CISC != nil:
+		ma.cpuC.RestoreState(s.CISC)
+	case ma.cpuR != nil && s.RISC != nil:
+		ma.cpuR.RestoreState(s.RISC)
+	default:
+		return fmt.Errorf("machine: state carries no CPU image for %v", ma.cfg.Platform)
+	}
+	ma.nextTimer = s.NextTimer
+	ma.deadline = s.Deadline
+	ma.PauseAt = s.PauseAt
+	return nil
+}

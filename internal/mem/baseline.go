@@ -1,0 +1,137 @@
+package mem
+
+import "math/bits"
+
+// Copy-on-write-style restore baselines.
+//
+// A baseline is a full RAM image registered with the memory so that restoring
+// back to it costs O(dirty pages) instead of O(memory size): once a baseline
+// is armed, every write path marks the pages it touches in a dirty bitmap,
+// and RestoreBaseline copies back only those pages. SyncBaseline goes the
+// other way — it advances the baseline to the current RAM contents, again
+// touching only dirty pages — which is what lets the campaign scheduler chain
+// incremental checkpoints along the golden run. This is the memory half of
+// the snapshot subsystem (see internal/snapshot); CPU state is captured
+// separately.
+
+// SetBaseline arms image as the restore baseline. The image must be exactly
+// the RAM size; SetBaseline panics otherwise (a snapshot from a different
+// machine configuration). When synced is true the image is promised to equal
+// the current RAM contents and the dirty bitmap starts empty; otherwise every
+// page starts dirty, so the first RestoreBaseline performs a full copy and
+// subsequent ones are incremental.
+//
+// The memory retains (aliases) image: the caller must not mutate it while the
+// baseline is armed, except through SyncBaseline.
+func (m *Memory) SetBaseline(image []byte, synced bool) {
+	if len(image) != len(m.ram) {
+		panic("mem: baseline image size mismatch")
+	}
+	m.baseline = image
+	pages := (len(m.ram) + PageSize - 1) / PageSize
+	m.dirty = make([]uint64, (pages+63)/64)
+	if !synced {
+		m.markAllDirty()
+	}
+}
+
+// Baseline returns the armed baseline image (nil when none is armed). The
+// snapshot layer uses pointer identity on this slice to recognize that its
+// own image is the armed baseline.
+func (m *Memory) Baseline() []byte { return m.baseline }
+
+// ClearBaseline disarms baseline tracking; write paths stop paying the
+// dirty-marking cost.
+func (m *Memory) ClearBaseline() {
+	m.baseline = nil
+	m.dirty = nil
+}
+
+// RestoreBaseline copies every dirty page of the baseline back into RAM and
+// clears the dirty bitmap, returning the number of pages copied. It panics
+// when no baseline is armed.
+func (m *Memory) RestoreBaseline() int {
+	if m.baseline == nil {
+		panic("mem: RestoreBaseline without a baseline")
+	}
+	return m.forEachDirtyPage(func(off int) {
+		copy(m.ram[off:off+PageSize], m.baseline[off:off+PageSize])
+	})
+}
+
+// SyncBaseline advances the baseline to the current RAM contents by copying
+// every dirty page from RAM into the baseline image, clearing the dirty
+// bitmap. It returns the number of pages copied and panics when no baseline
+// is armed. This is the incremental re-checkpoint primitive.
+func (m *Memory) SyncBaseline() int {
+	if m.baseline == nil {
+		panic("mem: SyncBaseline without a baseline")
+	}
+	return m.forEachDirtyPage(func(off int) {
+		copy(m.baseline[off:off+PageSize], m.ram[off:off+PageSize])
+	})
+}
+
+// DirtyPages returns the number of pages currently marked dirty.
+func (m *Memory) DirtyPages() int {
+	n := 0
+	m.visitDirty(func(int) { n++ })
+	return n
+}
+
+// Pristine returns the sealed boot image (nil before Seal). Callers must not
+// mutate it; the snapshot layer hashes it to identify the golden prefix a
+// machine will execute.
+func (m *Memory) Pristine() []byte { return m.pristine }
+
+// forEachDirtyPage runs fn for each dirty page's byte offset, clears the
+// bitmap, and returns the page count.
+func (m *Memory) forEachDirtyPage(fn func(off int)) int {
+	n := 0
+	m.visitDirty(func(page int) {
+		fn(page * PageSize)
+		n++
+	})
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+	return n
+}
+
+// visitDirty calls fn with each dirty page index, skipping bits beyond the
+// last real page (markAllDirty sets whole words).
+func (m *Memory) visitDirty(fn func(page int)) {
+	pages := len(m.ram) / PageSize
+	for wi, w := range m.dirty {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << bit
+			page := wi*64 + bit
+			if page < pages {
+				fn(page)
+			}
+		}
+	}
+}
+
+func (m *Memory) markAllDirty() {
+	for i := range m.dirty {
+		m.dirty[i] = ^uint64(0)
+	}
+}
+
+// touch marks every page overlapping [addr, addr+size) dirty. Callers have
+// already bounds-checked the access; out-of-range bytes are clipped anyway so
+// a stale caller cannot corrupt the bitmap.
+func (m *Memory) touch(addr, size uint32) {
+	if m.dirty == nil || size == 0 {
+		return
+	}
+	end := addr + size - 1
+	if end < addr || end >= uint32(len(m.ram)) {
+		end = uint32(len(m.ram)) - 1
+	}
+	for p := addr / PageSize; p <= end/PageSize; p++ {
+		m.dirty[p>>6] |= 1 << (p & 63)
+	}
+}

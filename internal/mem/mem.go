@@ -99,6 +99,12 @@ type Memory struct {
 	// the bus and machine-check. Everything else beyond RAM is merely
 	// unmapped. Both zero disables the window.
 	busLo, busHi uint32
+
+	// baseline/dirty implement the copy-on-write restore baseline used by
+	// the snapshot subsystem (see baseline.go). dirty is a page bitmap; both
+	// are nil when no baseline is armed.
+	baseline []byte
+	dirty    []uint64
 }
 
 // New creates a memory of the given size (rounded up to a whole number of
@@ -239,6 +245,7 @@ func (m *Memory) rawRead(addr, size uint32) uint32 {
 }
 
 func (m *Memory) rawWrite(addr, size, val uint32) {
+	m.touch(addr, size)
 	switch size {
 	case 1:
 		m.ram[addr] = byte(val)
@@ -268,11 +275,13 @@ func (m *Memory) RawWrite(addr, size, val uint32) {
 }
 
 // RawBytes returns a slice aliasing [addr, addr+n) without checks, or nil if
-// out of range.
+// out of range. The range is conservatively marked dirty for baseline
+// tracking, since the caller may write through the alias.
 func (m *Memory) RawBytes(addr, n uint32) []byte {
 	if addr+n > uint32(len(m.ram)) || addr+n < addr {
 		return nil
 	}
+	m.touch(addr, n)
 	return m.ram[addr : addr+n]
 }
 
@@ -283,6 +292,7 @@ func (m *Memory) FlipBit(addr uint32, bit uint) byte {
 	if addr >= uint32(len(m.ram)) {
 		return 0
 	}
+	m.touch(addr, 1)
 	old := m.ram[addr]
 	m.ram[addr] = old ^ (1 << (bit & 7))
 	return old
@@ -296,10 +306,12 @@ func (m *Memory) Seal() {
 }
 
 // Reboot restores the pristine boot image recorded by Seal. Page flags and
-// regions are retained (they are part of the boot configuration).
+// regions are retained (they are part of the boot configuration). The whole
+// image changes, so any armed baseline sees every page as dirty.
 func (m *Memory) Reboot() {
 	if m.pristine == nil {
 		panic("mem: Reboot before Seal")
 	}
+	m.markAllDirty()
 	copy(m.ram, m.pristine)
 }

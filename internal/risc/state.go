@@ -1,0 +1,56 @@
+package risc
+
+import "kfi/internal/isa"
+
+// State is the complete architectural and micro-architectural state of the
+// G4-class CPU, as captured by the checkpoint/restore subsystem: general
+// registers, the full 1024-entry SPR file, stack bounds, BTIC validity, the
+// debug-register file, cycle counter, and the pending data-breakpoint trap.
+// Memory is captured separately (internal/mem baselines).
+type State struct {
+	R  [NumRegs]uint32
+	PC uint32
+
+	LR, CTR, XER, CR uint32
+	MSR              uint32
+	SPR              [1024]uint32
+
+	StackLo, StackHi uint32
+
+	BTICValid   bool
+	BTICCounter uint32
+
+	Debug [isa.DebugSlots]isa.Breakpoint
+	Clock isa.ClockState
+
+	// Pending data-breakpoint trap (slot -1 when none).
+	PendingSlot   int
+	PendingAccess isa.DataAccess
+	PendingAddr   uint32
+}
+
+// SaveState captures the CPU for a checkpoint.
+func (c *CPU) SaveState() State {
+	return State{
+		R: c.R, PC: c.PC,
+		LR: c.LR, CTR: c.CTR, XER: c.XER, CR: c.CR, MSR: c.MSR,
+		SPR:     c.SPR,
+		StackLo: c.StackLo, StackHi: c.StackHi,
+		BTICValid: c.bticValid, BTICCounter: c.bticCounter,
+		Debug: c.Debug.Slots(), Clock: c.Clk.State(),
+		PendingSlot: c.dbSlot, PendingAccess: c.dbAccess, PendingAddr: c.dbAddr,
+	}
+}
+
+// RestoreState reapplies a captured state. The CPU's memory binding and trace
+// hook are untouched: they belong to the hosting machine, not the checkpoint.
+func (c *CPU) RestoreState(s *State) {
+	c.R, c.PC = s.R, s.PC
+	c.LR, c.CTR, c.XER, c.CR, c.MSR = s.LR, s.CTR, s.XER, s.CR, s.MSR
+	c.SPR = s.SPR
+	c.StackLo, c.StackHi = s.StackLo, s.StackHi
+	c.bticValid, c.bticCounter = s.BTICValid, s.BTICCounter
+	c.Debug.SetSlots(s.Debug)
+	c.Clk.SetState(s.Clock)
+	c.dbSlot, c.dbAccess, c.dbAddr = s.PendingSlot, s.PendingAccess, s.PendingAddr
+}

@@ -1,0 +1,381 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/mem"
+	"kfi/internal/risc"
+)
+
+// On-disk format (all integers big-endian):
+//
+//	magic   "KFISNAP1"                       (8 bytes: name + version)
+//	u32     platform
+//	u64     cycles
+//	u64     nextTimer | u64 deadline | u64 pauseAt
+//	        platform-specific CPU register block
+//	4 ×     breakpoint (u32 kind, addr, len, enabled)
+//	u64     clock cycles | u64 clock mark
+//	u32     pending slot (two's complement) | u32 access | u32 addr
+//	u32     image size
+//	u32     page count
+//	n ×     (u32 page index, 4096 bytes)    — pages omitted are all-zero
+//	u32     CRC-32C over everything above
+//
+// Decode verifies the trailing checksum before interpreting any structure,
+// so truncated or bit-flipped files fail with ErrChecksum — the same
+// single-bit-corruption class this laboratory injects — rather than producing
+// a silently wrong guest.
+
+const magic = "KFISNAP1"
+
+// maxImageSize caps the decoded memory image (a corrupted size field must
+// not drive a giant allocation).
+const maxImageSize = 1 << 28
+
+// ErrChecksum reports a snapshot file whose trailing CRC does not match its
+// contents (truncation, bit rot, or an interrupted write).
+var ErrChecksum = fmt.Errorf("snapshot: checksum mismatch")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes the snapshot in the on-disk format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	e := &encoder{}
+	e.bytes([]byte(magic))
+	e.u32(uint32(s.State.Platform))
+	e.u64(s.Cycles)
+	e.u64(s.State.NextTimer)
+	e.u64(s.State.Deadline)
+	e.u64(s.State.PauseAt)
+	switch {
+	case s.State.CISC != nil:
+		e.ciscState(s.State.CISC)
+	case s.State.RISC != nil:
+		e.riscState(s.State.RISC)
+	default:
+		return fmt.Errorf("snapshot: encode: state carries no CPU image")
+	}
+	e.u32(uint32(len(s.Image)))
+	e.sparseImage(s.Image)
+	e.u32(crc32.Checksum(e.buf, castagnoli))
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// Decode parses a snapshot from r, verifying the checksum before any
+// structural interpretation. It never panics on malformed input.
+func Decode(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxImageSize*2))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(data) < len(magic)+4 {
+		return nil, ErrChecksum
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if binary.BigEndian.Uint32(tail) != crc32.Checksum(body, castagnoli) {
+		return nil, ErrChecksum
+	}
+	d := &decoder{buf: body}
+	if string(d.take(len(magic))) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic (not a snapshot file, or wrong version)")
+	}
+	s := &Snapshot{}
+	s.State.Platform = isa.Platform(d.u32())
+	s.Cycles = d.u64()
+	s.State.NextTimer = d.u64()
+	s.State.Deadline = d.u64()
+	s.State.PauseAt = d.u64()
+	switch s.State.Platform {
+	case isa.CISC:
+		s.State.CISC = d.ciscState()
+	case isa.RISC:
+		s.State.RISC = d.riscState()
+	default:
+		return nil, fmt.Errorf("snapshot: unknown platform %d", s.State.Platform)
+	}
+	size := d.u32()
+	if size > maxImageSize || size%mem.PageSize != 0 {
+		return nil, fmt.Errorf("snapshot: implausible image size %d", size)
+	}
+	img, err := d.sparseImage(size)
+	if err != nil {
+		return nil, err
+	}
+	s.Image = img
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return s, nil
+}
+
+// Save atomically writes the snapshot to path (temp file + rename), so a
+// concurrent or interrupted writer never leaves a torn file for Load.
+func (s *Snapshot) Save(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ksnap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := s.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads and verifies a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// encoder accumulates the big-endian byte stream.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) bytes(b []byte) { e.buf = append(e.buf, b...) }
+func (e *encoder) u32(v uint32)   { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)   { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) breakpoints(bps [isa.DebugSlots]isa.Breakpoint) {
+	for _, bp := range bps {
+		e.u32(uint32(bp.Kind))
+		e.u32(bp.Addr)
+		e.u32(bp.Len)
+		if bp.Enabled {
+			e.u32(1)
+		} else {
+			e.u32(0)
+		}
+	}
+}
+
+func (e *encoder) cpuTail(debug [isa.DebugSlots]isa.Breakpoint, clk isa.ClockState, slot int, access isa.DataAccess, addr uint32) {
+	e.breakpoints(debug)
+	e.u64(clk.Cycles)
+	e.u64(clk.Mark)
+	e.u32(uint32(int32(slot)))
+	e.u32(uint32(access))
+	e.u32(addr)
+}
+
+func (e *encoder) ciscState(s *cisc.State) {
+	for _, r := range s.Regs {
+		e.u32(r)
+	}
+	e.u32(s.EIP)
+	e.u32(s.Flags)
+	e.u32(s.CR0)
+	e.u32(s.CR2)
+	e.u32(s.CR3)
+	e.u32(s.FS)
+	e.u32(s.GS)
+	e.u32(s.TR)
+	e.u32(s.GDTR)
+	e.u32(s.IDTR)
+	e.u32(s.LDTR)
+	for _, r := range s.DR {
+		e.u32(r)
+	}
+	e.u32(s.DR6)
+	e.u32(s.DR7)
+	e.u32(s.SysenterEIP)
+	e.u32(s.SysenterESP)
+	e.u32(uint32(s.Mode))
+	e.u32(s.FSBase)
+	e.cpuTail(s.Debug, s.Clock, s.PendingSlot, s.PendingAccess, s.PendingAddr)
+}
+
+func (e *encoder) riscState(s *risc.State) {
+	for _, r := range s.R {
+		e.u32(r)
+	}
+	e.u32(s.PC)
+	e.u32(s.LR)
+	e.u32(s.CTR)
+	e.u32(s.XER)
+	e.u32(s.CR)
+	e.u32(s.MSR)
+	for _, r := range s.SPR {
+		e.u32(r)
+	}
+	e.u32(s.StackLo)
+	e.u32(s.StackHi)
+	if s.BTICValid {
+		e.u32(1)
+	} else {
+		e.u32(0)
+	}
+	e.u32(s.BTICCounter)
+	e.cpuTail(s.Debug, s.Clock, s.PendingSlot, s.PendingAccess, s.PendingAddr)
+}
+
+// sparseImage emits only pages with nonzero content: kernel images leave most
+// of an 8 MiB guest RAM untouched, so this keeps waypoint files small.
+func (e *encoder) sparseImage(img []byte) {
+	countAt := len(e.buf)
+	e.u32(0)
+	var count uint32
+	for off := 0; off+mem.PageSize <= len(img); off += mem.PageSize {
+		page := img[off : off+mem.PageSize]
+		if allZero(page) {
+			continue
+		}
+		e.u32(uint32(off / mem.PageSize))
+		e.bytes(page)
+		count++
+	}
+	binary.BigEndian.PutUint32(e.buf[countAt:], count)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// decoder is a sticky-error cursor over the checksummed body.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = fmt.Errorf("snapshot: truncated body")
+		}
+		return make([]byte, n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u32() uint32 { return binary.BigEndian.Uint32(d.take(4)) }
+func (d *decoder) u64() uint64 { return binary.BigEndian.Uint64(d.take(8)) }
+
+func (d *decoder) breakpoints() [isa.DebugSlots]isa.Breakpoint {
+	var out [isa.DebugSlots]isa.Breakpoint
+	for i := range out {
+		out[i] = isa.Breakpoint{
+			Kind:    isa.BreakKind(d.u32()),
+			Addr:    d.u32(),
+			Len:     d.u32(),
+			Enabled: d.u32() != 0,
+		}
+	}
+	return out
+}
+
+func (d *decoder) cpuTail(debug *[isa.DebugSlots]isa.Breakpoint, clk *isa.ClockState, slot *int, access *isa.DataAccess, addr *uint32) {
+	*debug = d.breakpoints()
+	clk.Cycles = d.u64()
+	clk.Mark = d.u64()
+	*slot = int(int32(d.u32()))
+	*access = isa.DataAccess(d.u32())
+	*addr = d.u32()
+}
+
+func (d *decoder) ciscState() *cisc.State {
+	s := &cisc.State{}
+	for i := range s.Regs {
+		s.Regs[i] = d.u32()
+	}
+	s.EIP = d.u32()
+	s.Flags = d.u32()
+	s.CR0 = d.u32()
+	s.CR2 = d.u32()
+	s.CR3 = d.u32()
+	s.FS = d.u32()
+	s.GS = d.u32()
+	s.TR = d.u32()
+	s.GDTR = d.u32()
+	s.IDTR = d.u32()
+	s.LDTR = d.u32()
+	for i := range s.DR {
+		s.DR[i] = d.u32()
+	}
+	s.DR6 = d.u32()
+	s.DR7 = d.u32()
+	s.SysenterEIP = d.u32()
+	s.SysenterESP = d.u32()
+	s.Mode = isa.Mode(d.u32())
+	s.FSBase = d.u32()
+	d.cpuTail(&s.Debug, &s.Clock, &s.PendingSlot, &s.PendingAccess, &s.PendingAddr)
+	return s
+}
+
+func (d *decoder) riscState() *risc.State {
+	s := &risc.State{}
+	for i := range s.R {
+		s.R[i] = d.u32()
+	}
+	s.PC = d.u32()
+	s.LR = d.u32()
+	s.CTR = d.u32()
+	s.XER = d.u32()
+	s.CR = d.u32()
+	s.MSR = d.u32()
+	for i := range s.SPR {
+		s.SPR[i] = d.u32()
+	}
+	s.StackLo = d.u32()
+	s.StackHi = d.u32()
+	s.BTICValid = d.u32() != 0
+	s.BTICCounter = d.u32()
+	d.cpuTail(&s.Debug, &s.Clock, &s.PendingSlot, &s.PendingAccess, &s.PendingAddr)
+	return s
+}
+
+func (d *decoder) sparseImage(size uint32) ([]byte, error) {
+	pages := size / mem.PageSize
+	count := d.u32()
+	if count > pages {
+		return nil, fmt.Errorf("snapshot: %d pages listed for a %d-page image", count, pages)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	img := make([]byte, size)
+	last := -1
+	for i := uint32(0); i < count; i++ {
+		idx := d.u32()
+		if idx >= pages || int(idx) <= last {
+			if d.err == nil {
+				d.err = fmt.Errorf("snapshot: page index %d out of order or range", idx)
+			}
+			return nil, d.err
+		}
+		last = int(idx)
+		copy(img[idx*mem.PageSize:], d.take(mem.PageSize))
+	}
+	return img, d.err
+}

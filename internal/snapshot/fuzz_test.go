@@ -1,0 +1,119 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/mem"
+	"kfi/internal/risc"
+	"kfi/internal/snapshot"
+)
+
+// tinySnapshot builds a small synthetic snapshot (no guest system needed) so
+// codec robustness tests and the fuzzer run in microseconds.
+func tinySnapshot(p isa.Platform) *snapshot.Snapshot {
+	img := make([]byte, 4*mem.PageSize)
+	img[0] = 0xde             // page 0 nonzero
+	img[2*mem.PageSize] = 0xad // page 2 nonzero; pages 1 and 3 stay sparse
+	s := &snapshot.Snapshot{Cycles: 12345, Image: img}
+	s.State.Platform = p
+	s.State.NextTimer = 777
+	s.State.Deadline = 1 << 40
+	switch p {
+	case isa.CISC:
+		st := &cisc.State{EIP: 0x1000, PendingSlot: -1}
+		st.Regs[3] = 0xcafe
+		st.Debug[1] = isa.Breakpoint{Kind: isa.BreakData, Addr: 0x2000, Len: 4, Enabled: true}
+		st.Clock = isa.ClockState{Cycles: 12345, Mark: 99}
+		s.State.CISC = st
+	case isa.RISC:
+		st := &risc.State{PC: 0x1000, PendingSlot: -1, BTICValid: true}
+		st.R[13] = 0xbeef
+		st.SPR[26] = 0x4000
+		st.Clock = isa.ClockState{Cycles: 12345, Mark: 99}
+		s.State.RISC = st
+	}
+	return s
+}
+
+func encode(t testing.TB, s *snapshot.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCodecCorruptionRejected flips every byte of a valid encoding in turn —
+// the same single-bit corruption class the laboratory injects into guests —
+// and requires Decode to fail cleanly with ErrChecksum.
+func TestCodecCorruptionRejected(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		enc := encode(t, tinySnapshot(p))
+		for i := range enc {
+			mut := bytes.Clone(enc)
+			mut[i] ^= 0x40
+			if _, err := snapshot.Decode(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("%v: decode accepted a corrupted byte at offset %d", p, i)
+			}
+		}
+	}
+}
+
+// TestCodecTruncationRejected requires every proper prefix of a valid
+// encoding to fail (checksum), never panic or succeed.
+func TestCodecTruncationRejected(t *testing.T) {
+	enc := encode(t, tinySnapshot(isa.RISC))
+	for n := 0; n < len(enc); n++ {
+		if _, err := snapshot.Decode(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("decode accepted a %d-byte truncation of a %d-byte file", n, len(enc))
+		}
+	}
+}
+
+func TestTinyRoundTrip(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		orig := tinySnapshot(p)
+		dec, err := snapshot.Decode(bytes.NewReader(encode(t, orig)))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if dec.Cycles != orig.Cycles || !bytes.Equal(dec.Image, orig.Image) {
+			t.Errorf("%v: tiny snapshot did not round-trip", p)
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the on-disk codec. Decode must never
+// panic, and anything it does accept must re-encode to a decodable stream
+// describing the same machine.
+func FuzzDecode(f *testing.F) {
+	ciscEnc := encode(f, tinySnapshot(isa.CISC))
+	riscEnc := encode(f, tinySnapshot(isa.RISC))
+	f.Add(ciscEnc)
+	f.Add(riscEnc)
+	f.Add(ciscEnc[:len(ciscEnc)/2])
+	f.Add([]byte("KFISNAP1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := snapshot.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		again, err := snapshot.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if again.Cycles != s.Cycles || !bytes.Equal(again.Image, s.Image) {
+			t.Fatal("decode/encode/decode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,127 @@
+// Package snapshot implements the checkpoint/restore subsystem behind
+// fork-from-golden injection: it checkpoints the complete guest state — CPU
+// registers, system registers, debug registers, pending-trap and
+// cycle-counter state, the machine's timer/watchdog scheduling, and the full
+// memory image (which carries the kernel's scheduler and process state) —
+// into an in-memory Snapshot, and restores it in O(dirty pages) using the
+// copy-on-write page tracking of internal/mem.
+//
+// The intended pattern is the one FastFlip-style injection campaigns use:
+// capture once at (or just before) an injection trigger point on the golden
+// run, then restore-inject-resume for every experiment sharing that prefix
+// instead of replaying from boot. Recapture advances an armed snapshot
+// further along the golden run, again in O(dirty pages), so a campaign can
+// chain incremental checkpoints across its trigger times and execute the
+// golden prefix exactly once in total.
+//
+// Snapshots also serialize to a versioned, checksummed on-disk format
+// (codec.go) so golden-prefix checkpoints can be reused across invocations
+// (the kfi-campaign -snapshot-dir flag).
+package snapshot
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"kfi/internal/machine"
+)
+
+// Snapshot is one captured guest checkpoint.
+type Snapshot struct {
+	// Cycles is the machine cycle count at capture (a convenience mirror of
+	// the CPU cycle counter inside State).
+	Cycles uint64
+
+	// State is the CPU + machine run-loop state.
+	State machine.State
+
+	// Image is the full RAM contents at capture. While the snapshot is armed
+	// as a machine's restore baseline the machine aliases this slice; mutate
+	// it only through Recapture.
+	Image []byte
+}
+
+// Capture checkpoints the machine's current state and arms the snapshot as
+// the machine's restore baseline, so a later Restore on the same machine
+// costs O(pages dirtied since capture).
+func Capture(ma *machine.Machine) *Snapshot {
+	ram := ma.Mem.RawBytes(0, ma.Mem.Size())
+	image := make([]byte, len(ram))
+	copy(image, ram)
+	ma.Mem.SetBaseline(image, true)
+	return &Snapshot{
+		Cycles: ma.Core().Clock().Cycles(),
+		State:  ma.SaveState(),
+		Image:  image,
+	}
+}
+
+// Armed reports whether s is the machine's active restore baseline (pointer
+// identity on the image).
+func (s *Snapshot) Armed(ma *machine.Machine) bool {
+	b := ma.Mem.Baseline()
+	return len(b) > 0 && len(s.Image) > 0 && &b[0] == &s.Image[0]
+}
+
+// Restore rewinds the machine to the snapshot. When the snapshot is the
+// machine's armed baseline only dirty pages are copied; otherwise (a snapshot
+// loaded from disk, or one captured on another machine of the same
+// configuration) the full image is installed and the snapshot becomes the
+// armed baseline. It returns the number of pages copied.
+func (s *Snapshot) Restore(ma *machine.Machine) (int, error) {
+	if want, got := uint32(len(s.Image)), ma.Mem.Size(); want != got {
+		return 0, fmt.Errorf("snapshot: image is %d bytes, machine has %d", want, got)
+	}
+	if err := ma.RestoreState(&s.State); err != nil {
+		return 0, err
+	}
+	if !s.Armed(ma) {
+		ma.Mem.SetBaseline(s.Image, false)
+	}
+	return ma.Mem.RestoreBaseline(), nil
+}
+
+// Recapture advances an armed snapshot to the machine's current state in
+// O(dirty pages): the image absorbs the pages dirtied since the last
+// capture/restore and the CPU state is re-saved. The snapshot must be the
+// machine's armed baseline. It returns the number of pages absorbed.
+func (s *Snapshot) Recapture(ma *machine.Machine) (int, error) {
+	if !s.Armed(ma) {
+		return 0, fmt.Errorf("snapshot: Recapture of a snapshot that is not the machine's baseline")
+	}
+	n := ma.Mem.SyncBaseline()
+	s.Cycles = ma.Core().Clock().Cycles()
+	s.State = ma.SaveState()
+	return n, nil
+}
+
+// GoldenKey fingerprints the golden prefix a machine will execute: platform,
+// memory geometry, timer/watchdog configuration, and the sealed boot image.
+// Two machines with equal keys run identical golden prefixes, so waypoint
+// snapshots filed under the key are interchangeable between them.
+func GoldenKey(ma *machine.Machine) string {
+	cfg := ma.Config()
+	h := fnv.New64a()
+	var hdr [40]byte
+	put32 := func(off int, v uint32) {
+		hdr[off] = byte(v >> 24)
+		hdr[off+1] = byte(v >> 16)
+		hdr[off+2] = byte(v >> 8)
+		hdr[off+3] = byte(v)
+	}
+	put32(0, uint32(cfg.Platform))
+	put32(4, cfg.MemSize)
+	put32(8, uint32(cfg.TimerPeriod>>32))
+	put32(12, uint32(cfg.TimerPeriod))
+	put32(16, uint32(cfg.Watchdog>>32))
+	put32(20, uint32(cfg.Watchdog))
+	put32(24, cfg.BootEntry)
+	put32(28, cfg.BootSP)
+	put32(32, cfg.FSBase)
+	put32(36, cfg.SPRG2Value)
+	h.Write(hdr[:])
+	if p := ma.Mem.Pristine(); p != nil {
+		h.Write(p)
+	}
+	return fmt.Sprintf("%s-%016x", cfg.Platform.Short(), h.Sum64())
+}

@@ -130,9 +130,23 @@ func NewTargets(sys *System, camp Campaign, n int, seed int64) ([]Target, error)
 	return gen.Targets(campaign.Spec{Campaign: camp, N: n, Seed: seed})
 }
 
-// RunCampaign executes one campaign of n injections on a built system.
+// RunCampaign executes one campaign of n injections on a built system using
+// the default fork-from-golden execution mode (see ExecOptions).
 func RunCampaign(sys *System, camp Campaign, n int, seed int64, progress func(done, total int)) (*CampaignOutcome, error) {
 	return core.RunCampaignOn(sys, camp, n, seed, progress)
+}
+
+// ExecOptions select how campaigns execute injections: the zero value is
+// fork-from-golden snapshot scheduling (checkpoint the golden prefix once,
+// restore-inject-resume per experiment); Replay forces the paper's literal
+// reboot-and-replay-from-boot procedure; SnapshotDir persists golden-prefix
+// waypoint snapshots for reuse across invocations.
+type ExecOptions = campaign.ExecOptions
+
+// RunCampaignWith is RunCampaign with explicit execution options.
+func RunCampaignWith(sys *System, camp Campaign, n int, seed int64,
+	progress func(done, total int), exec ExecOptions) (*CampaignOutcome, error) {
+	return core.RunCampaignOnWith(sys, camp, n, seed, progress, exec)
 }
 
 // Study configuration and results.

@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate plus the snapshot-subsystem smoke run.
+#
+#   sh scripts/verify.sh         (or: make verify)
+#
+# Runs build, vet, and the full test suite, then a single iteration of the
+# Snapshot benchmarks, which rewrites BENCH_snapshot.json in the repo root
+# with the replay-from-boot vs restore-from-snapshot numbers on this host.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== snapshot benchmark smoke (-bench=Snapshot -benchtime=1x)"
+go test . -run '^$' -bench Snapshot -benchtime 1x
+
+echo "== BENCH_snapshot.json"
+cat BENCH_snapshot.json
+
+echo "verify: OK"
