@@ -11,9 +11,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# One-iteration snapshot benchmark; rewrites BENCH_snapshot.json.
+# One-iteration snapshot + predecode benchmarks; rewrites BENCH_snapshot.json
+# and BENCH_exec.json.
 bench:
 	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
+	$(GO) test . -run '^$$' -bench PredecodeSpeedup -benchtime 1x
 
 # Tier-1 gate + snapshot smoke run (see scripts/verify.sh).
 verify:

@@ -889,3 +889,124 @@ func BenchmarkSnapshotRestoreVsReboot(b *testing.B) {
 		})
 	}
 }
+
+// --- Predecode cache ------------------------------------------------------
+
+// BenchmarkPredecodeSpeedup measures what the per-page predecoded-instruction
+// cache buys on both platforms: raw interpreter throughput (instructions per
+// second over the fault-free golden run) and end-to-end code-campaign time,
+// each cached versus uncached. The cached and uncached campaigns' outcome
+// tables must match byte-for-byte — the cache is a pure execution-speed
+// optimization, observationally invisible even to injections that corrupt
+// already-cached code. Results go to BENCH_exec.json.
+func BenchmarkPredecodeSpeedup(b *testing.B) {
+	type row struct {
+		Steps               uint64  `json:"steps_per_run"`
+		StepsPerSecCached   float64 `json:"steps_per_sec_cached"`
+		StepsPerSecUncached float64 `json:"steps_per_sec_uncached"`
+		ExecSpeedup         float64 `json:"exec_speedup"`
+		CampaignCachedNS    int64   `json:"campaign_cached_ns"`
+		CampaignUncachedNS  int64   `json:"campaign_uncached_ns"`
+		CampaignSpeedup     float64 `json:"campaign_speedup"`
+		Injections          int     `json:"injections"`
+		TablesIdentical     bool    `json:"tables_identical"`
+	}
+	rows := map[string]row{}
+	for _, p := range kfi.Platforms {
+		p := p
+		b.Run(p.Short(), func(b *testing.B) {
+			sys := benchSystem(b, p)
+			m := sys.Sys.Machine
+			core := m.Core()
+			defer core.SetPredecode(true)
+
+			// One traced run counts retired instructions — deterministic, so
+			// it serves both configurations.
+			var steps uint64
+			core.SetTrace(func(pc uint32, cost uint8) { steps++ })
+			if res := sys.Sys.Run(); res.Checksum != sys.Golden {
+				b.Fatal("traced golden run diverged")
+			}
+			core.SetTrace(nil)
+
+			n := 150
+			if testing.Short() {
+				n = 40
+			}
+			seed := int64(1310) + int64(p)
+
+			// End-to-end code campaigns in both configurations; the outcome
+			// tables are the correctness half of the claim.
+			core.SetPredecode(false)
+			t0 := time.Now()
+			unc, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campUncached := time.Since(t0)
+			core.SetPredecode(true)
+			t0 = time.Now()
+			cac, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campCached := time.Since(t0)
+			uncTable, cacTable := unc.Counts.TableRow("code"), cac.Counts.TableRow("code")
+			if uncTable != cacTable {
+				b.Fatalf("outcome tables diverge between configurations:\n  uncached: %s\n  cached:   %s",
+					uncTable, cacTable)
+			}
+
+			// Raw interpreter throughput over complete fault-free runs.
+			var cachedTot, uncachedTot time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.SetPredecode(true)
+				t0 := time.Now()
+				if res := sys.Sys.Run(); res.Checksum != sys.Golden {
+					b.Fatal("cached golden run diverged")
+				}
+				cachedTot += time.Since(t0)
+				core.SetPredecode(false)
+				t0 = time.Now()
+				if res := sys.Sys.Run(); res.Checksum != sys.Golden {
+					b.Fatal("uncached golden run diverged")
+				}
+				uncachedTot += time.Since(t0)
+			}
+			b.StopTimer()
+
+			stepsCached := float64(steps) * float64(b.N) / cachedTot.Seconds()
+			stepsUncached := float64(steps) * float64(b.N) / uncachedTot.Seconds()
+			execSpeedup := float64(uncachedTot) / float64(cachedTot)
+			campSpeedup := float64(campUncached) / float64(campCached)
+			b.ReportMetric(stepsCached, "steps/sec-cached")
+			b.ReportMetric(stepsUncached, "steps/sec-uncached")
+			b.ReportMetric(execSpeedup, "exec-speedup")
+			b.ReportMetric(campSpeedup, "campaign-speedup")
+			b.Logf("\n%v predecode (%d steps/run, %d injections):\n"+
+				"  interpreter: %.2fM steps/s cached, %.2fM steps/s uncached, speedup %.2fx\n"+
+				"  campaign:    cached %v, uncached %v, speedup %.2fx\n%s",
+				p, steps, n, stepsCached/1e6, stepsUncached/1e6, execSpeedup,
+				campCached, campUncached, campSpeedup, cacTable)
+			rows[p.Short()] = row{
+				Steps:               steps,
+				StepsPerSecCached:   stepsCached,
+				StepsPerSecUncached: stepsUncached,
+				ExecSpeedup:         execSpeedup,
+				CampaignCachedNS:    campCached.Nanoseconds(),
+				CampaignUncachedNS:  campUncached.Nanoseconds(),
+				CampaignSpeedup:     campSpeedup,
+				Injections:          n,
+				TablesIdentical:     true,
+			}
+		})
+	}
+	if len(rows) == len(kfi.Platforms) {
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_exec.json", append(buf, '\n'), 0o644); err != nil {
+				b.Logf("BENCH_exec.json: %v", err)
+			}
+		}
+	}
+}

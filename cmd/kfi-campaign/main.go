@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"kfi"
@@ -45,6 +47,9 @@ func run(args []string) error {
 		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
 		execMode     = fs.String("exec", "snapshot", "execution mode: snapshot (fork-from-golden) or replay (reboot per injection)")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
+		nodes        = fs.Int("nodes", 0, "parallel guest systems per platform (0 = one per host CPU)")
+		cpuprofile   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +80,32 @@ func run(args []string) error {
 		defer logFile.Close()
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
+	}
+
+	if *nodes <= 0 {
+		*nodes = runtime.NumCPU()
+	}
 	cfg := kfi.StudyConfig{
 		Platforms:     platforms,
 		Campaigns:     campaigns,
@@ -82,6 +113,7 @@ func run(args []string) error {
 		PaperFraction: *paperFrac,
 		Seed:          *seed,
 		Build:         kfi.BuildOptions{Scale: *scale},
+		Nodes:         *nodes,
 	}
 	if *burst < 1 || *burst > 8 {
 		return fmt.Errorf("-burst must be in [1, 8], got %d", *burst)

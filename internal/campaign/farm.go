@@ -75,9 +75,10 @@ func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
 }
 
 // RunWith is Run with explicit execution options. In fork-from-golden mode
-// each node takes a contiguous chunk of the trigger-sorted schedule, so
-// neighboring triggers share incremental checkpoints within a node; in
-// replay mode nodes steal individual targets dynamically.
+// nodes steal small contiguous chunks of the trigger-sorted schedule from a
+// shared cursor, so neighboring triggers still share incremental checkpoints
+// within a node while a node that draws long-latency hangs cannot straggle
+// with a large fixed share; in replay mode nodes steal individual targets.
 func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptions) (*Result, error) {
 	gen := NewGenerator(f.nodes[0], f.profile, spec.Seed, profileCycles(f.profile))
 	targets, err := gen.Targets(spec)
@@ -116,22 +117,38 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 		var (
 			wg   sync.WaitGroup
 			errs = make([]error, len(f.nodes))
+			next int
 		)
-		per := (len(sched.order) + len(f.nodes) - 1) / len(f.nodes)
+		// Small chunks keep the shared cursor a cheap load balancer; several
+		// per node bound the straggler cost of an unlucky chunk to ~1/8 of a
+		// node's fair share. Each node keeps one snapshot chain across all the
+		// chunks it steals: the cursor hands chunks out in ascending trigger
+		// order, so a node's checkpoint only ever advances forward.
+		chunk := len(sched.order) / (len(f.nodes) * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
 		for ni, node := range f.nodes {
-			lo := ni * per
-			if lo >= len(sched.order) {
-				break
-			}
-			hi := lo + per
-			if hi > len(sched.order) {
-				hi = len(sched.order)
-			}
-			ni, node, chunk := ni, node, sched.order[lo:hi]
+			ni, node := ni, node
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[ni] = runChunk(node, f.golden, targets, chunk, results, opts, chunkTick)
+				runner := newChunkRunner(node, f.golden, targets, opts, maxTrig(sched.order))
+				defer runner.close()
+				for {
+					mu.Lock()
+					lo := next
+					next += chunk
+					mu.Unlock()
+					if lo >= len(sched.order) {
+						return
+					}
+					hi := min(lo+chunk, len(sched.order))
+					if err := runner.run(sched.order[lo:hi], results, chunkTick); err != nil {
+						errs[ni] = err
+						return
+					}
+				}
 			}()
 		}
 		wg.Wait()

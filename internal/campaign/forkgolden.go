@@ -152,6 +152,14 @@ func buildSchedule(sys *kernel.System, targets []inject.Target) (*schedule, erro
 	return s, nil
 }
 
+// maxTrig returns the last (largest) trigger of a trigger-sorted order.
+func maxTrig(order []trigOrder) uint64 {
+	if len(order) == 0 {
+		return 0
+	}
+	return order[len(order)-1].trig
+}
+
 // notActivatedResult mirrors RunOne's early return for an error that was
 // never injected: the run is the golden run.
 func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.Result {
@@ -159,8 +167,8 @@ func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.
 		Outcome: inject.ONotActivated, RunCycles: cycles, Checksum: checksum}
 }
 
-// runChunk executes a contiguous trigger-sorted slice of the schedule on one
-// system, chaining one incremental checkpoint along the golden prefix:
+// chunkRunner executes trigger-sorted slices of a schedule on one system,
+// chaining one incremental checkpoint along the golden prefix:
 //
 //	for each target (by ascending trigger):
 //	    restore the checkpoint             — O(pages dirtied by the last run)
@@ -173,35 +181,62 @@ func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.
 // bit-identical to the state a from-boot replay pauses in for any trigger in
 // (T, pause], and advancing from it reproduces the from-boot pause for later
 // triggers. Outcomes therefore match replay mode exactly.
-func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
-	order []trigOrder, out []inject.Result, opts ExecOptions, done func(idx int)) error {
+//
+// The runner is stateful so a farm node can execute many chunks with one
+// snapshot chain: as long as successive chunks carry non-decreasing triggers
+// (the dynamic scheduler hands chunks out in global trigger order), the
+// checkpoint only ever advances forward and the invariant above holds across
+// chunk boundaries.
+type chunkRunner struct {
+	sys     *kernel.System
+	golden  uint32
+	targets []inject.Target
+	opts    ExecOptions
+	maxTrig uint64
+
+	snap *snapshot.Snapshot
+	way  *waypointStore
+	// goldenEnd, once set, is the golden run's completion as observed from a
+	// trigger beyond its end; every later trigger is also beyond the end.
+	goldenEnd *machine.RunResult
+}
+
+// newChunkRunner prepares a runner; maxTrig is the schedule's largest trigger
+// (it sizes the waypoint stride). The snapshot chain starts lazily on the
+// first run call. Call close when done.
+func newChunkRunner(sys *kernel.System, golden uint32, targets []inject.Target,
+	opts ExecOptions, maxTrig uint64) *chunkRunner {
+	return &chunkRunner{sys: sys, golden: golden, targets: targets, opts: opts, maxTrig: maxTrig}
+}
+
+func (r *chunkRunner) close() {
+	if r.snap != nil {
+		r.sys.Machine.Mem.ClearBaseline()
+	}
+}
+
+// run executes one contiguous trigger-sorted slice of the schedule, writing
+// each target's result to out[idx] and reporting completion via done.
+func (r *chunkRunner) run(order []trigOrder, out []inject.Result, done func(idx int)) error {
 	if len(order) == 0 {
 		return nil
 	}
-	m := sys.Machine
-	defer m.Mem.ClearBaseline()
-
-	var way *waypointStore
-	if opts.SnapshotDir != "" {
-		way = newWaypointStore(opts.SnapshotDir, snapshot.GoldenKey(m), order[len(order)-1].trig)
+	m := r.sys.Machine
+	if r.snap == nil {
+		if r.opts.SnapshotDir != "" {
+			r.way = newWaypointStore(r.opts.SnapshotDir, snapshot.GoldenKey(m), r.maxTrig)
+			r.snap = r.way.bestBefore(order[0].trig, m)
+		}
+		if r.snap == nil {
+			m.Reboot()
+			r.snap = snapshot.Capture(m)
+		}
 	}
-
-	var snap *snapshot.Snapshot
-	if way != nil {
-		snap = way.bestBefore(order[0].trig, m)
-	}
-	if snap == nil {
-		m.Reboot()
-		snap = snapshot.Capture(m)
-	}
-
-	// goldenEnd, once set, is the golden run's completion as observed from a
-	// trigger beyond its end; every later trigger is also beyond the end.
-	var goldenEnd *machine.RunResult
+	snap := r.snap
 	for _, o := range order {
-		t := targets[o.idx]
-		if goldenEnd != nil && o.trig > snap.Cycles {
-			out[o.idx] = notActivatedResult(t, goldenEnd.Cycles, goldenEnd.Checksum)
+		t := r.targets[o.idx]
+		if r.goldenEnd != nil && o.trig > snap.Cycles {
+			out[o.idx] = notActivatedResult(t, r.goldenEnd.Cycles, r.goldenEnd.Checksum)
 			done(o.idx)
 			continue
 		}
@@ -215,7 +250,7 @@ func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
 				// The benchmark finished before the trigger was reached: the
 				// pre-generated error is never injected (RunOne's early
 				// return), and so is every later, larger trigger.
-				goldenEnd = &pre
+				r.goldenEnd = &pre
 				out[o.idx] = notActivatedResult(t, pre.Cycles, pre.Checksum)
 				done(o.idx)
 				continue
@@ -223,14 +258,26 @@ func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
 			if _, err := snap.Recapture(m); err != nil {
 				return err
 			}
-			if way != nil {
-				way.maybeSave(snap)
+			if r.way != nil {
+				r.way.maybeSave(snap)
 			}
 		}
-		out[o.idx] = inject.RunFrom(sys, t, golden)
+		out[o.idx] = inject.RunFrom(r.sys, t, r.golden)
 		done(o.idx)
 	}
 	return nil
+}
+
+// runChunk executes one slice as a standalone runner (the single-system
+// path).
+func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
+	order []trigOrder, out []inject.Result, opts ExecOptions, done func(idx int)) error {
+	if len(order) == 0 {
+		return nil
+	}
+	r := newChunkRunner(sys, golden, targets, opts, order[len(order)-1].trig)
+	defer r.close()
+	return r.run(order, out, done)
 }
 
 // waypointStore persists golden-prefix checkpoints under a directory, keyed

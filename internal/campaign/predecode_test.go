@@ -1,0 +1,44 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+)
+
+// TestPredecodeCampaignEquivalence pins the predecode cache's end-to-end
+// contract: full campaigns — including code-corruption injections that flip
+// bits inside already-cached pages — produce per-injection results that are
+// bit-identical with the cache on and off, on both platforms.
+func TestPredecodeCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys, golden, prof := getSystem(t, platform)
+		core := sys.Machine.Core()
+		for _, camp := range []inject.Campaign{inject.CampCode, inject.CampStack, inject.CampData} {
+			t.Run(platform.Short()+"/"+camp.String(), func(t *testing.T) {
+				spec := Spec{Campaign: camp, N: 10, Seed: 77}
+				cached, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				core.SetPredecode(false)
+				defer core.SetPredecode(true)
+				uncached, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range cached.Results {
+					if !reflect.DeepEqual(cached.Results[i], uncached.Results[i]) {
+						t.Errorf("injection %d diverges:\n  cached:   %+v\n  uncached: %+v",
+							i, cached.Results[i], uncached.Results[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -59,6 +59,16 @@ type CPU struct {
 	// pre-execution PC and the instruction cost (used by the profiler).
 	Trace func(pc uint32, cost uint8)
 
+	// NoPredecode disables the decoded-instruction cache (see icache.go),
+	// forcing the reference fetch+decode sequence on every Step.
+	NoPredecode bool
+
+	// Decoded-instruction cache state; icLast short-circuits the page lookup
+	// while execution stays within one page.
+	icache     map[uint32]*icachePage
+	icLast     *icachePage
+	icLastPage uint32
+
 	// pending data-breakpoint trap for the current instruction.
 	dbSlot   int
 	dbAccess isa.DataAccess
@@ -236,23 +246,13 @@ func (c *CPU) Step() isa.Event {
 	}
 	c.dbSlot = -1
 
-	// Fetch: one byte for the opcode, then the full instruction.
-	first, f := c.Mem.Fetch(c.EIP, 1, c.user())
-	if f != nil {
-		return c.memFault(f)
-	}
-	e := &opTable[first[0]]
-	if e.op == OpInvalid {
-		return c.exception(isa.CauseInvalidInstr, c.EIP)
-	}
-	n := uint32(e.format.Length())
-	raw, f := c.Mem.Fetch(c.EIP, n, c.user())
-	if f != nil {
-		return c.memFault(f)
-	}
-	in, err := Decode(raw)
-	if err != nil {
-		return c.exception(isa.CauseInvalidInstr, c.EIP)
+	// Fetch+decode, via the predecode cache when enabled (see icache.go).
+	var (
+		in   Inst
+		cost uint8
+	)
+	if fev, ok := c.fetchDecode(&in, &cost); !ok {
+		return fev
 	}
 
 	pc := c.EIP
@@ -260,15 +260,28 @@ func (c *CPU) Step() isa.Event {
 	if ev.Kind == isa.EvException {
 		return ev
 	}
-	c.Clk.Advance(uint64(e.cost))
+	c.Clk.Advance(uint64(cost))
 	if c.Trace != nil {
-		c.Trace(pc, e.cost)
+		c.Trace(pc, cost)
 	}
 	if ev.Kind != isa.EvNone {
 		return ev
 	}
 	if c.dbSlot >= 0 {
 		return isa.Event{Kind: isa.EvDataBreak, Slot: c.dbSlot, Access: c.dbAccess, BreakAddr: c.dbAddr}
+	}
+	return isa.Event{}
+}
+
+// RunUntil steps until the clock reaches limit or an instruction produces a
+// non-EvNone event, which it returns (EvNone means the limit was reached).
+// Keeping this loop inside the package lets the run harness amortize its
+// per-instruction bookkeeping over whole quiet stretches.
+func (c *CPU) RunUntil(limit uint64) isa.Event {
+	for c.Clk.Cycles() < limit {
+		if ev := c.Step(); ev.Kind != isa.EvNone {
+			return ev
+		}
 	}
 	return isa.Event{}
 }

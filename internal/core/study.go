@@ -109,6 +109,11 @@ type Config struct {
 	// Exec selects the campaign execution mode (zero value: fork-from-golden
 	// snapshot scheduling; Replay forces per-injection reboot-and-replay).
 	Exec campaign.ExecOptions
+	// Nodes runs each platform's campaigns on a farm of this many identical
+	// guest systems (0 or 1: a single system). Per-index results are
+	// identical to a single-node run of the same seed; only wall-clock
+	// changes.
+	Nodes int
 	// Progress, when set, receives per-injection progress.
 	Progress func(p isa.Platform, c inject.Campaign, done, total int)
 }
@@ -152,11 +157,33 @@ func Run(cfg Config) (*StudyResult, error) {
 	}
 	out := &StudyResult{PerPlatform: make(map[isa.Platform]*PlatformResult)}
 	for _, p := range cfg.Platforms {
-		system, err := BuildSystem(p, cfg.Build)
+		var (
+			system *System
+			farm   *campaign.Farm
+			golden uint32
+			err    error
+		)
+		if cfg.Nodes > 1 {
+			farm, err = campaign.NewFarm(p, cfg.Nodes, cfg.Build.Scale, kernel.Options{
+				TimerPeriod:    cfg.Build.TimerPeriod,
+				Watchdog:       cfg.Build.Watchdog,
+				CrashSender:    cfg.Build.CrashSender,
+				Prog:           cfg.Build.Kernel,
+				NoStackWrapper: cfg.Build.NoStackWrapper,
+			})
+			if err == nil {
+				golden = farm.Golden()
+			}
+		} else {
+			system, err = BuildSystem(p, cfg.Build)
+			if err == nil {
+				golden = system.Golden
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
-		pr := &PlatformResult{Platform: p, Golden: system.Golden,
+		pr := &PlatformResult{Platform: p, Golden: golden,
 			Outcomes: make(map[inject.Campaign]*CampaignOutcome)}
 		out.PerPlatform[p] = pr
 		for _, c := range cfg.Campaigns {
@@ -175,9 +202,15 @@ func Run(cfg Config) (*StudyResult, error) {
 				p, c := p, c
 				progress = func(done, total int) { cfg.Progress(p, c, done, total) }
 			}
-			res, err := campaign.RunWith(system.Sys, system.Golden, system.Profile,
-				campaign.Spec{Campaign: c, N: n, Seed: cfg.Seed + int64(c)*1000 + int64(p),
-					Burst: cfg.Burst}, progress, cfg.Exec)
+			spec := campaign.Spec{Campaign: c, N: n, Seed: cfg.Seed + int64(c)*1000 + int64(p),
+				Burst: cfg.Burst}
+			var res *campaign.Result
+			if farm != nil {
+				res, err = farm.RunWith(spec, progress, cfg.Exec)
+			} else {
+				res, err = campaign.RunWith(system.Sys, system.Golden, system.Profile,
+					spec, progress, cfg.Exec)
+			}
 			if err != nil {
 				return nil, err
 			}

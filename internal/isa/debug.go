@@ -48,13 +48,37 @@ const DebugSlots = 4
 // zero value is an empty, usable unit.
 type DebugUnit struct {
 	slots [DebugSlots]Breakpoint
+	// armedInstr/armedData count enabled slots per kind so the per-step
+	// Armed probe is a single compare, not a slot scan. Every slot
+	// mutation goes through recount.
+	armedInstr uint8
+	armedData  uint8
+}
+
+// recount refreshes the per-kind armed counters from the slots.
+func (d *DebugUnit) recount() {
+	d.armedInstr, d.armedData = 0, 0
+	for i := range d.slots {
+		if !d.slots[i].Enabled {
+			continue
+		}
+		switch d.slots[i].Kind {
+		case BreakInstruction:
+			d.armedInstr++
+		case BreakData:
+			d.armedData++
+		}
+	}
 }
 
 // Slots returns a copy of every breakpoint slot (checkpoint path).
 func (d *DebugUnit) Slots() [DebugSlots]Breakpoint { return d.slots }
 
 // SetSlots replaces every breakpoint slot (restore path).
-func (d *DebugUnit) SetSlots(s [DebugSlots]Breakpoint) { d.slots = s }
+func (d *DebugUnit) SetSlots(s [DebugSlots]Breakpoint) {
+	d.slots = s
+	d.recount()
+}
 
 // Set installs a breakpoint into the given slot (0..3) and enables it.
 func (d *DebugUnit) Set(slot int, bp Breakpoint) {
@@ -63,16 +87,19 @@ func (d *DebugUnit) Set(slot int, bp Breakpoint) {
 		bp.Len = 4
 	}
 	d.slots[slot] = bp
+	d.recount()
 }
 
 // Clear disables and erases the breakpoint in the given slot.
 func (d *DebugUnit) Clear(slot int) {
 	d.slots[slot] = Breakpoint{}
+	d.recount()
 }
 
 // ClearAll erases every slot.
 func (d *DebugUnit) ClearAll() {
 	d.slots = [DebugSlots]Breakpoint{}
+	d.armedInstr, d.armedData = 0, 0
 }
 
 // Get returns the breakpoint configured in the given slot.
@@ -111,12 +138,10 @@ func (d *DebugUnit) HitData(addr, size uint32) int {
 // execution engine uses this to skip per-access checks when no campaign is
 // active.
 func (d *DebugUnit) Armed(kind BreakKind) bool {
-	for i := range d.slots {
-		if d.slots[i].Enabled && d.slots[i].Kind == kind {
-			return true
-		}
+	if kind == BreakInstruction {
+		return d.armedInstr > 0
 	}
-	return false
+	return d.armedData > 0
 }
 
 // CycleCounter is the performance-monitoring counter used to measure

@@ -18,6 +18,11 @@ import (
 // packages.
 type Core interface {
 	Step() isa.Event
+	// RunUntil steps until the clock reaches limit or a step produces a
+	// non-EvNone event, which it returns; EvNone means the limit was
+	// reached. Equivalent to calling Step in a loop, but without the
+	// per-instruction interface dispatch.
+	RunUntil(limit uint64) isa.Event
 	Reset()
 
 	PC() uint32
@@ -67,6 +72,15 @@ type Core interface {
 	Debug() *isa.DebugUnit
 	SetTrace(fn func(pc uint32, cost uint8))
 	PendingDataBreak() (slot int, access isa.DataAccess, addr uint32, ok bool)
+
+	// SetPredecode enables/disables the decoded-instruction cache; disabled
+	// is the reference interpreter (fetch+decode every step). Outcomes are
+	// bit-identical either way; only wall-clock changes.
+	SetPredecode(on bool)
+	// FlushPredecode drops all predecoded instructions. Stale entries are
+	// already invalidated by memory generation counters; flushing only
+	// bounds memory and establishes cold-cache conditions.
+	FlushPredecode()
 }
 
 // ciscCore adapts cisc.CPU to Core.
@@ -77,8 +91,9 @@ type ciscCore struct {
 
 var _ Core = (*ciscCore)(nil)
 
-func (c *ciscCore) Step() isa.Event { return c.cpu.Step() }
-func (c *ciscCore) Reset()          { c.cpu.Reset() }
+func (c *ciscCore) Step() isa.Event                  { return c.cpu.Step() }
+func (c *ciscCore) RunUntil(limit uint64) isa.Event  { return c.cpu.RunUntil(limit) }
+func (c *ciscCore) Reset()                           { c.cpu.Reset() }
 func (c *ciscCore) PC() uint32      { return c.cpu.EIP }
 func (c *ciscCore) SetPC(v uint32)  { c.cpu.EIP = v }
 func (c *ciscCore) SP() uint32      { return c.cpu.Regs[cisc.ESP] }
@@ -167,6 +182,9 @@ func (c *ciscCore) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
 	return c.cpu.PendingDataBreak()
 }
 
+func (c *ciscCore) SetPredecode(on bool) { c.cpu.SetPredecode(on) }
+func (c *ciscCore) FlushPredecode()      { c.cpu.FlushPredecode() }
+
 // riscCore adapts risc.CPU to Core.
 type riscCore struct {
 	cpu *risc.CPU
@@ -175,8 +193,9 @@ type riscCore struct {
 
 var _ Core = (*riscCore)(nil)
 
-func (c *riscCore) Step() isa.Event { return c.cpu.Step() }
-func (c *riscCore) Reset()          { c.cpu.Reset() }
+func (c *riscCore) Step() isa.Event                 { return c.cpu.Step() }
+func (c *riscCore) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
+func (c *riscCore) Reset()                          { c.cpu.Reset() }
 func (c *riscCore) PC() uint32      { return c.cpu.PC }
 func (c *riscCore) SetPC(v uint32)  { c.cpu.PC = v }
 func (c *riscCore) SP() uint32      { return c.cpu.R[risc.SP] }
@@ -270,3 +289,6 @@ func (c *riscCore) SetTrace(fn func(pc uint32, cost uint8)) { c.cpu.Trace = fn }
 func (c *riscCore) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
 	return c.cpu.PendingDataBreak()
 }
+
+func (c *riscCore) SetPredecode(on bool) { c.cpu.SetPredecode(on) }
+func (c *riscCore) FlushPredecode()      { c.cpu.FlushPredecode() }

@@ -465,7 +465,17 @@ func (ma *Machine) Run() RunResult {
 				ma.nextTimer = clk.Cycles() + 64
 			}
 		}
-		ev := ma.core.Step()
+		// Run to the nearest deadline/pause/timer horizon in one batched
+		// call: the core checks only its clock per instruction, and the
+		// horizon conditions above are re-evaluated whenever it returns.
+		horizon := ma.deadline
+		if ma.PauseAt > 0 && ma.PauseAt < horizon {
+			horizon = ma.PauseAt
+		}
+		if ma.nextTimer < horizon {
+			horizon = ma.nextTimer
+		}
+		ev := ma.core.RunUntil(horizon)
 		switch ev.Kind {
 		case isa.EvNone:
 		case isa.EvSyscall:

@@ -56,6 +56,7 @@ func (m *Memory) RestoreBaseline() int {
 	}
 	return m.forEachDirtyPage(func(off int) {
 		copy(m.ram[off:off+PageSize], m.baseline[off:off+PageSize])
+		m.gens[off/PageSize]++
 	})
 }
 

@@ -105,6 +105,11 @@ type Memory struct {
 	// are nil when no baseline is armed.
 	baseline []byte
 	dirty    []uint64
+
+	// gens holds the per-page write-generation counters (see gen.go). Unlike
+	// the dirty bitmap they are always on and never reset: the predecode
+	// caches in the execution engines depend on them for invalidation.
+	gens []uint64
 }
 
 // New creates a memory of the given size (rounded up to a whole number of
@@ -115,6 +120,7 @@ func New(size uint32, order binary.ByteOrder) *Memory {
 	return &Memory{
 		ram:   make([]byte, size),
 		flags: make([]Flags, pages),
+		gens:  make([]uint64, pages),
 		order: order,
 	}
 }
@@ -126,6 +132,9 @@ func New(size uint32, order binary.ByteOrder) *Memory {
 // small fraction of its crashes).
 func (m *Memory) SetBusWindow(lo, hi uint32) {
 	m.busLo, m.busHi = lo, hi
+	// The window changes which fetches fault, so cached per-page
+	// fetchability answers must be revalidated.
+	m.bumpAllGens()
 }
 
 // Size returns the physical memory size in bytes.
@@ -145,6 +154,7 @@ func (m *Memory) Map(start, size uint32, f Flags) {
 	last := (start + size + PageSize - 1) / PageSize
 	for p := first; p < last && p < uint32(len(m.flags)); p++ {
 		m.flags[p] = f
+		m.gens[p]++
 	}
 }
 
@@ -160,6 +170,7 @@ func (m *Memory) MapFill(start, size uint32, f Flags) {
 	for p := first; p < last && p < uint32(len(m.flags)); p++ {
 		if m.flags[p] == 0 {
 			m.flags[p] = f
+			m.gens[p]++
 		}
 	}
 }
@@ -246,6 +257,7 @@ func (m *Memory) rawRead(addr, size uint32) uint32 {
 
 func (m *Memory) rawWrite(addr, size, val uint32) {
 	m.touch(addr, size)
+	m.bumpGen(addr, size)
 	switch size {
 	case 1:
 		m.ram[addr] = byte(val)
@@ -282,6 +294,7 @@ func (m *Memory) RawBytes(addr, n uint32) []byte {
 		return nil
 	}
 	m.touch(addr, n)
+	m.bumpGen(addr, n)
 	return m.ram[addr : addr+n]
 }
 
@@ -293,6 +306,7 @@ func (m *Memory) FlipBit(addr uint32, bit uint) byte {
 		return 0
 	}
 	m.touch(addr, 1)
+	m.bumpGen(addr, 1)
 	old := m.ram[addr]
 	m.ram[addr] = old ^ (1 << (bit & 7))
 	return old
@@ -313,5 +327,6 @@ func (m *Memory) Reboot() {
 		panic("mem: Reboot before Seal")
 	}
 	m.markAllDirty()
+	m.bumpAllGens()
 	copy(m.ram, m.pristine)
 }

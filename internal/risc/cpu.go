@@ -40,6 +40,16 @@ type CPU struct {
 	bticValid   bool
 	bticCounter uint32
 
+	// NoPredecode disables the decoded-instruction cache (see icache.go),
+	// forcing the reference fetch+decode sequence on every Step.
+	NoPredecode bool
+
+	// Decoded-instruction cache state; icLast short-circuits the page lookup
+	// while execution stays within one page.
+	icache     map[uint32]*icachePage
+	icLast     *icachePage
+	icLastPage uint32
+
 	// pending data-breakpoint trap.
 	dbSlot   int
 	dbAccess isa.DataAccess
@@ -246,17 +256,13 @@ func (c *CPU) Step() isa.Event {
 		// Instruction translation disabled mid-flight: machine check.
 		return c.exception(isa.CauseMachineCheck, c.PC)
 	}
-	rawBytes, f := c.Mem.Fetch(c.PC, 4, c.user())
-	if f != nil {
-		if f.Kind == mem.FaultBus {
-			return c.exception(isa.CauseMachineCheck, f.Addr)
-		}
-		return c.exception(isa.CauseBadArea, f.Addr)
-	}
-	raw := uint32(rawBytes[0])<<24 | uint32(rawBytes[1])<<16 | uint32(rawBytes[2])<<8 | uint32(rawBytes[3])
-	in, err := Decode(raw)
-	if err != nil {
-		return c.exception(isa.CauseIllegalInstr, c.PC)
+	// Fetch+decode, via the predecode cache when enabled (see icache.go).
+	var (
+		in  Inst
+		cst uint8
+	)
+	if fev, ok := c.fetchDecode(&in, &cst); !ok {
+		return fev
 	}
 
 	pc := c.PC
@@ -264,7 +270,6 @@ func (c *CPU) Step() isa.Event {
 	if ev.Kind == isa.EvException {
 		return ev
 	}
-	cst := cost(in.Op)
 	c.Clk.Advance(uint64(cst))
 	if c.Trace != nil {
 		c.Trace(pc, cst)
@@ -274,6 +279,19 @@ func (c *CPU) Step() isa.Event {
 	}
 	if c.dbSlot >= 0 {
 		return isa.Event{Kind: isa.EvDataBreak, Slot: c.dbSlot, Access: c.dbAccess, BreakAddr: c.dbAddr}
+	}
+	return isa.Event{}
+}
+
+// RunUntil steps until the clock reaches limit or an instruction produces a
+// non-EvNone event, which it returns (EvNone means the limit was reached).
+// Keeping this loop inside the package lets the run harness amortize its
+// per-instruction bookkeeping over whole quiet stretches.
+func (c *CPU) RunUntil(limit uint64) isa.Event {
+	for c.Clk.Cycles() < limit {
+		if ev := c.Step(); ev.Kind != isa.EvNone {
+			return ev
+		}
 	}
 	return isa.Event{}
 }

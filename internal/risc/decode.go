@@ -293,7 +293,7 @@ func sprField(raw uint32) uint16 {
 }
 
 // Cost returns the instruction's cycle cost.
-func (in Inst) Cost() uint8 { return cost(in.Op) }
+func (in Inst) Cost() uint8 { return costOf(in.Op) }
 
 // String disassembles the instruction.
 func (in Inst) String() string {

@@ -247,7 +247,7 @@ func (o Op) Name() string {
 }
 
 // cost returns the cycle cost for an op.
-func cost(o Op) uint8 {
+func costOf(o Op) uint8 {
 	switch o {
 	case OpLWZ, OpLBZ, OpLHZ, OpLHA, OpSTW, OpSTWU, OpSTB, OpSTH,
 		OpLWZX, OpLBZX, OpLHZX, OpLHAX, OpSTWX, OpSTBX, OpSTHX:

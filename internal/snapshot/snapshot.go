@@ -76,7 +76,12 @@ func (s *Snapshot) Restore(ma *machine.Machine) (int, error) {
 		return 0, err
 	}
 	if !s.Armed(ma) {
+		// Installing a foreign image rewrites all of RAM. Generation bumps
+		// from the full-copy RestoreBaseline below already invalidate stale
+		// predecoded instructions; the explicit flush just releases the old
+		// image's cache pages at a natural boundary.
 		ma.Mem.SetBaseline(s.Image, false)
+		ma.Core().FlushPredecode()
 	}
 	return ma.Mem.RestoreBaseline(), nil
 }

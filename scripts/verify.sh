@@ -25,4 +25,10 @@ go test . -run '^$' -bench Snapshot -benchtime 1x
 echo "== BENCH_snapshot.json"
 cat BENCH_snapshot.json
 
+echo "== predecode benchmark smoke (-short -bench=PredecodeSpeedup -benchtime=1x)"
+go test . -short -run '^$' -bench PredecodeSpeedup -benchtime 1x
+
+echo "== BENCH_exec.json"
+cat BENCH_exec.json
+
 echo "verify: OK"
