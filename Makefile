@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench verify
+.PHONY: build test vet race bench verify
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent farm/journal/transport layer.
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/crashnet/...
 
 # One-iteration snapshot + predecode benchmarks; rewrites BENCH_snapshot.json
 # and BENCH_exec.json.

@@ -47,6 +47,9 @@ func run(args []string) error {
 		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
 		execMode     = fs.String("exec", "snapshot", "execution mode: snapshot (fork-from-golden) or replay (reboot per injection)")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
+		journalDir   = fs.String("journal", "", "durably journal completed outcomes to this directory (one file per platform+campaign)")
+		resume       = fs.Bool("resume", false, "resume from the journals in -journal, skipping already-completed injections")
+		retries      = fs.Int("retries", 0, "supervised attempts per injection before quarantine (0 = default 3)")
 		nodes        = fs.Int("nodes", 0, "parallel guest systems per platform (0 = one per host CPU)")
 		cpuprofile   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -130,6 +133,15 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -exec mode %q (want snapshot or replay)", *execMode)
 	}
+	if *resume && *journalDir == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	cfg.Exec.MaxAttempts = *retries
+	cfg.JournalDir = *journalDir
+	cfg.Resume = *resume
 	if *crashAddr != "" {
 		sender, err := crashnet.NewUDPSender(*crashAddr)
 		if err != nil {
@@ -156,6 +168,9 @@ func run(args []string) error {
 
 	for _, p := range platforms {
 		fmt.Println(study.Table(p))
+		if q := quarantined(study, p, campaigns); q > 0 {
+			fmt.Printf("Quarantined on %v (harness retry budget exhausted, excluded from the table): %d\n\n", p, q)
+		}
 		if *figures {
 			fmt.Println(study.CauseFigure(p, 0))
 			for _, c := range campaigns {
@@ -181,6 +196,21 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// quarantined sums a platform's quarantine counts across campaigns.
+func quarantined(study *kfi.StudyResult, p kfi.Platform, campaigns []kfi.Campaign) int {
+	pr := study.PerPlatform[p]
+	if pr == nil {
+		return 0
+	}
+	q := 0
+	for _, c := range campaigns {
+		if oc := pr.Outcomes[c]; oc != nil {
+			q += oc.Counts.Quarantined
+		}
+	}
+	return q
 }
 
 func parsePlatforms(s string) ([]kfi.Platform, error) {

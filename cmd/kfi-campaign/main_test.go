@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -140,5 +141,45 @@ func TestCampaignRejectsBadSelectors(t *testing.T) {
 	if err := run([]string{"-platform", "p4", "-campaign", "code", "-n", "1",
 		"-quiet", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
 		t.Error("unwritable -out accepted")
+	}
+}
+
+func TestResumeFlagRequiresJournal(t *testing.T) {
+	if err := run([]string{"-platform", "p4", "-campaign", "stack", "-n", "1",
+		"-quiet", "-resume"}); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+	if err := run([]string{"-platform", "p4", "-campaign", "stack", "-n", "1",
+		"-quiet", "-retries", "-1"}); err == nil {
+		t.Error("negative -retries accepted")
+	}
+}
+
+// TestJournalResumeCLI runs a journaled campaign to completion, then reruns
+// the same command with -resume: every injection is served from the journal
+// and the JSONL output is byte-identical.
+func TestJournalResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	out1 := filepath.Join(dir, "first.jsonl")
+	out2 := filepath.Join(dir, "resumed.jsonl")
+	base := []string{"-platform", "g4", "-campaign", "stack", "-n", "8",
+		"-seed", "4", "-quiet", "-figures=false", "-journal", jdir}
+	if err := run(append(base, "-out", out1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-resume", "-out", out2)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed CLI output differs:\n%s\nvs\n%s", a, b)
 	}
 }

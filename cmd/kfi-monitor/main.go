@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sort"
 
@@ -46,13 +48,44 @@ func run(args []string, w io.Writer) error {
 }
 
 // collect drains packets until count is reached (or forever when count is
-// zero), printing each crash and a final summary.
+// zero), printing each crash and a final summary. A collector outlives its
+// inputs' noise: malformed datagrams and transient socket errors are skipped,
+// and a closed socket ends collection gracefully with the summary — a
+// campaign's worth of collected crashes must never be discarded over one bad
+// read.
 func collect(coll *crashnet.UDPCollector, count int, w io.Writer) error {
 	causes := make(map[isa.CrashCause]int)
 	received := 0
+	summary := func() {
+		type kv struct {
+			c isa.CrashCause
+			n int
+		}
+		var dist []kv
+		for c, n := range causes {
+			dist = append(dist, kv{c, n})
+		}
+		sort.Slice(dist, func(i, j int) bool {
+			if dist[i].n != dist[j].n {
+				return dist[i].n > dist[j].n
+			}
+			return dist[i].c < dist[j].c
+		})
+		fmt.Fprintf(w, "\n%d crashes collected:\n", received)
+		for _, d := range dist {
+			fmt.Fprintf(w, "  %-22s %5.1f%%  (%d)\n", d.c, 100*float64(d.n)/float64(received), d.n)
+		}
+	}
 	for count == 0 || received < count {
 		pkt, err := coll.RecvWait()
 		if err != nil {
+			if errors.Is(err, crashnet.ErrMalformed) || crashnet.Transient(err) {
+				continue // noise or a momentary stall: keep collecting
+			}
+			summary()
+			if errors.Is(err, net.ErrClosed) {
+				return nil // socket closed under us: a normal shutdown
+			}
 			return err
 		}
 		received++
@@ -60,23 +93,6 @@ func collect(coll *crashnet.UDPCollector, count int, w io.Writer) error {
 		fmt.Fprintf(w, "#%04d %-16s %-22s pc=0x%08X addr=0x%08X sp=0x%08X cycles=%d\n",
 			pkt.Seq, pkt.Platform.Short(), pkt.Cause, pkt.PC, pkt.FaultAddr, pkt.SP, pkt.Cycles)
 	}
-	type kv struct {
-		c isa.CrashCause
-		n int
-	}
-	var dist []kv
-	for c, n := range causes {
-		dist = append(dist, kv{c, n})
-	}
-	sort.Slice(dist, func(i, j int) bool {
-		if dist[i].n != dist[j].n {
-			return dist[i].n > dist[j].n
-		}
-		return dist[i].c < dist[j].c
-	})
-	fmt.Fprintf(w, "\n%d crashes collected:\n", received)
-	for _, d := range dist {
-		fmt.Fprintf(w, "  %-22s %5.1f%%  (%d)\n", d.c, 100*float64(d.n)/float64(received), d.n)
-	}
+	summary()
 	return nil
 }

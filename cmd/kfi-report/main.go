@@ -78,10 +78,15 @@ func run(args []string) error {
 	sort.Strings(keys)
 
 	fmt.Println(stats.TableHeader())
+	quarantined := 0
 	for _, k := range keys {
 		results := groups[k]
 		c := stats.Summarize(results)
 		fmt.Println(c.TableRow(k))
+		quarantined += c.Quarantined
+	}
+	if quarantined > 0 {
+		fmt.Printf("Quarantined (harness retry budget exhausted, excluded from the table): %d\n", quarantined)
 	}
 	fmt.Println()
 

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,20 @@ type Farm struct {
 	nodes    []*kernel.System
 	golden   uint32
 	profile  *Profile
+	// buildNode rebuilds a guest system from the farm's retained build
+	// inputs; it backs node failover (a replacement node spawned after a
+	// permanent node loss) and watchdog respawns.
+	buildNode func() (*kernel.System, error)
+
+	// Test hooks (nil in production).
+	//
+	// injectFrom overrides the fork-from-golden injection step on every
+	// node's runner; fault simulates SIGKILL-style node loss (a non-nil
+	// error for (node, idx) kills that node before the attempt runs —
+	// replacement nodes carry fresh ids, so a hook keyed on original ids
+	// fires at most once per node).
+	injectFrom func(idx int, sys *kernel.System, t inject.Target, golden uint32) inject.Result
+	fault      func(node, idx int) error
 }
 
 // NewFarm builds n identical guest systems of the given platform. opts may
@@ -37,8 +52,11 @@ func NewFarm(platform isa.Platform, n, scale int, opts kernel.Options) (*Farm, e
 		return nil, fmt.Errorf("campaign: farm workload: %w", err)
 	}
 	f := &Farm{platform: platform}
+	f.buildNode = func() (*kernel.System, error) {
+		return kernel.BuildSystem(platform, uimg, workload.StandardProcs(), opts)
+	}
 	for i := 0; i < n; i++ {
-		sys, err := kernel.BuildSystem(platform, uimg, workload.StandardProcs(), opts)
+		sys, err := f.buildNode()
 		if err != nil {
 			return nil, fmt.Errorf("campaign: farm node %d: %w", i, err)
 		}
@@ -74,11 +92,68 @@ func (f *Farm) Run(spec Spec, progress func(done, total int)) (*Result, error) {
 	return f.RunWith(spec, progress, ExecOptions{})
 }
 
+// stealQueue is the farm's shared work source: a cursor over the trigger-
+// sorted schedule handing out small contiguous chunks, plus a requeue list
+// fed by node failover. Requeued slices are served first — they carry the
+// lowest triggers, and the runner that picks one up restarts its snapshot
+// chain for them.
+type stealQueue struct {
+	mu       sync.Mutex
+	order    []trigOrder
+	next     int
+	chunk    int
+	requeued [][]trigOrder
+	stopped  bool
+}
+
+// pop hands out the next unit of work: a requeued remnant if any, else the
+// next fresh chunk. false means the queue is drained or stopped.
+func (q *stealQueue) pop() ([]trigOrder, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.stopped {
+		return nil, false
+	}
+	if len(q.requeued) > 0 {
+		s := q.requeued[0]
+		q.requeued = q.requeued[1:]
+		return s, true
+	}
+	if q.next >= len(q.order) {
+		return nil, false
+	}
+	lo := q.next
+	q.next += q.chunk
+	return q.order[lo:min(lo+q.chunk, len(q.order))], true
+}
+
+// requeue returns a dead node's unfinished slice to the queue.
+func (q *stealQueue) requeue(rem []trigOrder) {
+	if len(rem) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.requeued = append(q.requeued, rem)
+	q.mu.Unlock()
+}
+
+// stop drains the queue so every worker winds down after a fatal error.
+func (q *stealQueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+}
+
 // RunWith is Run with explicit execution options. In fork-from-golden mode
 // nodes steal small contiguous chunks of the trigger-sorted schedule from a
-// shared cursor, so neighboring triggers still share incremental checkpoints
+// shared queue, so neighboring triggers still share incremental checkpoints
 // within a node while a node that draws long-latency hangs cannot straggle
 // with a large fixed share; in replay mode nodes steal individual targets.
+//
+// The farm survives its own nodes: a node whose runner dies permanently has
+// its unfinished chunk requeued and a replacement node spawned from the
+// retained build inputs (up to a respawn budget), so a campaign's outcome
+// table is identical with and without mid-run node loss.
 func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptions) (*Result, error) {
 	gen := NewGenerator(f.nodes[0], f.profile, spec.Seed, profileCycles(f.profile))
 	targets, err := gen.Targets(spec)
@@ -86,91 +161,146 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 		return nil, err
 	}
 	results := make([]inject.Result, len(targets))
-
-	var (
-		mu   sync.Mutex
-		done int
-	)
-	tickLocked := func() {
-		done++
-		d := done
-		mu.Unlock()
-		if progress != nil {
-			progress(d, len(targets))
-		}
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results}
+	skip, err := applyCompleted(rec, opts)
+	if err != nil {
+		return nil, err
 	}
+	done := func(idx int) error { return rec.complete(idx, true) }
 
-	if !opts.Replay {
-		sched, err := buildSchedule(f.nodes[0], targets)
-		if err != nil {
+	if opts.Replay {
+		if err := f.runReplay(targets, results, skip, done, opts); err != nil {
 			return nil, err
-		}
-		for i, r := range sched.pre {
-			results[i] = r
-			mu.Lock()
-			tickLocked()
-		}
-		chunkTick := func(int) {
-			mu.Lock()
-			tickLocked()
-		}
-		var (
-			wg   sync.WaitGroup
-			errs = make([]error, len(f.nodes))
-			next int
-		)
-		// Small chunks keep the shared cursor a cheap load balancer; several
-		// per node bound the straggler cost of an unlucky chunk to ~1/8 of a
-		// node's fair share. Each node keeps one snapshot chain across all the
-		// chunks it steals: the cursor hands chunks out in ascending trigger
-		// order, so a node's checkpoint only ever advances forward.
-		chunk := len(sched.order) / (len(f.nodes) * 8)
-		if chunk < 1 {
-			chunk = 1
-		}
-		for ni, node := range f.nodes {
-			ni, node := ni, node
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				runner := newChunkRunner(node, f.golden, targets, opts, maxTrig(sched.order))
-				defer runner.close()
-				for {
-					mu.Lock()
-					lo := next
-					next += chunk
-					mu.Unlock()
-					if lo >= len(sched.order) {
-						return
-					}
-					hi := min(lo+chunk, len(sched.order))
-					if err := runner.run(sched.order[lo:hi], results, chunkTick); err != nil {
-						errs[ni] = err
-						return
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
 		}
 		return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
 	}
 
+	sched, err := buildSchedule(f.nodes[0], targets)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range sched.pre {
+		if skip[i] {
+			continue
+		}
+		results[i] = r
+		if err := done(i); err != nil {
+			return nil, err
+		}
+	}
+	order := filterOrder(sched.order, skip)
+
+	// Small chunks keep the shared queue a cheap load balancer; several per
+	// node bound the straggler cost of an unlucky chunk to ~1/8 of a node's
+	// fair share. Each node keeps one snapshot chain across all the chunks
+	// it steals: the queue hands fresh chunks out in ascending trigger
+	// order, so a node's checkpoint only ever advances forward (requeued
+	// failover remnants are the exception; the runner restarts its chain).
+	q := &stealQueue{order: order, chunk: max(len(order)/(len(f.nodes)*8), 1)}
+
+	worker := func(node int, sys *kernel.System) error {
+		runner := newChunkRunner(sys, f.golden, targets, opts, maxTrig(order))
+		defer runner.close()
+		runner.respawn = f.buildNode
+		if f.injectFrom != nil {
+			runner.injectFrom = f.injectFrom
+		}
+		if f.fault != nil {
+			runner.fault = func(idx int) error { return f.fault(node, idx) }
+		}
+		for {
+			slice, ok := q.pop()
+			if !ok {
+				return nil
+			}
+			if err := runner.run(slice, results, done); err != nil {
+				var nl *nodeLostError
+				if errors.As(err, &nl) {
+					q.requeue(nl.remaining)
+					return err
+				}
+				q.stop()
+				return err
+			}
+		}
+	}
+
+	// Supervisor: run one worker per node, respawn replacements for lost
+	// nodes (fresh ids beyond the original node range) until the respawn
+	// budget is spent, and surface the first fatal error.
+	ch := make(chan error, len(f.nodes))
+	live := 0
+	nextID := len(f.nodes)
+	for ni, node := range f.nodes {
+		ni, node := ni, node
+		live++
+		go func() { ch <- worker(ni, node) }()
+	}
+	respawns := 2 * len(f.nodes)
+	var fatal error
+	for live > 0 {
+		err := <-ch
+		live--
+		if err == nil {
+			continue
+		}
+		var nl *nodeLostError
+		if !errors.As(err, &nl) {
+			if fatal == nil {
+				fatal = err
+				q.stop()
+			}
+			continue
+		}
+		if fatal != nil {
+			continue
+		}
+		if respawns <= 0 {
+			fatal = fmt.Errorf("campaign: node respawn budget exhausted: %w", err)
+			q.stop()
+			continue
+		}
+		respawns--
+		sys, berr := f.buildNode()
+		if berr != nil {
+			fatal = fmt.Errorf("campaign: spawning replacement node: %w", berr)
+			q.stop()
+			continue
+		}
+		id := nextID
+		nextID++
+		live++
+		go func() { ch <- worker(id, sys) }()
+	}
+	if fatal != nil {
+		return nil, fatal
+	}
+	return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+}
+
+// runReplay fans replay-mode injections out over the nodes, one stolen
+// target at a time, each supervised (panic retry, watchdog respawn,
+// quarantine) like the fork-from-golden path.
+func (f *Farm) runReplay(targets []inject.Target, results []inject.Result,
+	skip []bool, done func(idx int) error, opts ExecOptions) error {
 	var (
+		mu   sync.Mutex
 		next int
 		wg   sync.WaitGroup
 	)
-	for _, node := range f.nodes {
-		node := node
+	errs := make([]error, len(f.nodes))
+	for ni, node := range f.nodes {
+		ni, node := ni, node
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rep := newReplayRunner(node, f.golden, opts)
+			rep.respawn = f.buildNode
 			for {
 				mu.Lock()
+				for next < len(targets) && skip[next] {
+					next++
+				}
 				if next >= len(targets) {
 					mu.Unlock()
 					return
@@ -179,13 +309,24 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 				next++
 				mu.Unlock()
 
-				results[i] = inject.RunOne(node, targets[i], f.golden)
-
-				mu.Lock()
-				tickLocked()
+				res, err := rep.runTarget(i, targets[i])
+				if err != nil {
+					errs[ni] = err
+					return
+				}
+				results[i] = res
+				if err := done(i); err != nil {
+					errs[ni] = err
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,11 +1,14 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"kfi/internal/inject"
 	"kfi/internal/kernel"
@@ -29,6 +32,74 @@ type ExecOptions struct {
 	// and reuses any compatible ones from earlier invocations (files are
 	// keyed by a fingerprint of the platform, configuration, and boot image).
 	SnapshotDir string
+
+	// Journal, when set, durably records every completed outcome (one
+	// append-only record per injection) as the campaign runs, so a killed
+	// process can resume instead of restarting from zero.
+	Journal *Journal
+	// Completed maps target indices to already-journaled outcomes from an
+	// interrupted run of the same campaign: their injections are skipped and
+	// the recorded results used verbatim, so a resumed campaign continues
+	// bit-identically where it left off.
+	Completed map[int]inject.Result
+
+	// MaxAttempts bounds supervised attempts per injection before its
+	// outcome is recorded as inject.OQuarantined (0 = default 3).
+	MaxAttempts int
+	// InjectionTimeout is the per-attempt wall-clock watchdog. An attempt
+	// that exceeds it is abandoned and retried on a respawned node (farm
+	// runs; single-system runs cannot replace their machine and report an
+	// error). 0 = default 2m; negative disables the watchdog.
+	InjectionTimeout time.Duration
+	// RetryBackoff is the delay before the first retry; it doubles with
+	// every further attempt (0 = default 2ms).
+	RetryBackoff time.Duration
+}
+
+// recorder serializes campaign completion accounting: the monotone progress
+// count and the journal appends, shared by every node goroutine.
+type recorder struct {
+	mu       sync.Mutex
+	journal  *Journal
+	progress func(done, total int)
+	results  []inject.Result
+	done     int
+}
+
+// complete records results[idx] as finished. Resumed outcomes replayed from
+// the journal pass journal=false — they are already durable.
+func (rc *recorder) complete(idx int, journal bool) error {
+	rc.mu.Lock()
+	rc.done++
+	d := rc.done
+	var err error
+	if journal && rc.journal != nil {
+		err = rc.journal.Append(idx, rc.results[idx])
+	}
+	rc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if rc.progress != nil {
+		rc.progress(d, len(rc.results))
+	}
+	return nil
+}
+
+// applyCompleted fills results from the resume set and returns the skip
+// mask. The recorded outcomes count toward progress but are not re-journaled.
+func applyCompleted(rc *recorder, opts ExecOptions) ([]bool, error) {
+	skip := make([]bool, len(rc.results))
+	for i := range rc.results {
+		if r, ok := opts.Completed[i]; ok {
+			rc.results[i] = r
+			skip[i] = true
+			if err := rc.complete(i, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return skip, nil
 }
 
 // RunWith is Run with explicit execution options.
@@ -40,35 +111,60 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 		return nil, err
 	}
 	results := make([]inject.Result, len(targets))
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results}
+	skip, err := applyCompleted(rec, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	if opts.Replay {
+		rep := newReplayRunner(sys, golden, opts)
 		for i, t := range targets {
-			results[i] = inject.RunOne(sys, t, golden)
-			if progress != nil {
-				progress(i+1, len(targets))
+			if skip[i] {
+				continue
+			}
+			res, err := rep.runTarget(i, t)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+			if err := rec.complete(i, true); err != nil {
+				return nil, err
 			}
 		}
 		return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
 	}
 
-	done := 0
-	tick := func(int) {
-		done++
-		if progress != nil {
-			progress(done, len(targets))
-		}
-	}
 	sched, err := buildSchedule(sys, targets)
 	if err != nil {
 		return nil, err
 	}
 	for i, r := range sched.pre {
+		if skip[i] {
+			continue
+		}
 		results[i] = r
-		tick(i)
+		if err := rec.complete(i, true); err != nil {
+			return nil, err
+		}
 	}
-	if err := runChunk(sys, golden, targets, sched.order, results, opts, tick); err != nil {
+	order := filterOrder(sched.order, skip)
+	if err := runChunk(sys, golden, targets, order, results, opts,
+		func(idx int) error { return rec.complete(idx, true) }, maxTrig(sched.order)); err != nil {
 		return nil, err
 	}
 	return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
+}
+
+// filterOrder drops already-completed entries from a trigger-sorted order.
+func filterOrder(order []trigOrder, skip []bool) []trigOrder {
+	out := make([]trigOrder, 0, len(order))
+	for _, o := range order {
+		if !skip[o.idx] {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // trigOrder pairs a target index with its trigger cycle (the golden-run cycle
@@ -167,6 +263,20 @@ func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.
 		Outcome: inject.ONotActivated, RunCycles: cycles, Checksum: checksum}
 }
 
+// nodeState is the machine-owning half of a chunkRunner: the guest system,
+// its snapshot chain, and everything else a supervised attempt may mutate.
+// When a wall-clock watchdog abandons an attempt, the goroutine it leaks
+// still owns this state, so the runner replaces the whole nodeState rather
+// than reusing any part of it.
+type nodeState struct {
+	sys  *kernel.System
+	way  *waypointStore
+	snap *snapshot.Snapshot
+	// goldenEnd, once set, is the golden run's completion as observed from a
+	// trigger beyond its end; every later trigger is also beyond the end.
+	goldenEnd *machine.RunResult
+}
+
 // chunkRunner executes trigger-sorted slices of a schedule on one system,
 // chaining one incremental checkpoint along the golden prefix:
 //
@@ -186,98 +296,261 @@ func notActivatedResult(t inject.Target, cycles uint64, checksum uint32) inject.
 // snapshot chain: as long as successive chunks carry non-decreasing triggers
 // (the dynamic scheduler hands chunks out in global trigger order), the
 // checkpoint only ever advances forward and the invariant above holds across
-// chunk boundaries.
+// chunk boundaries. A chunk requeued by node failover can carry triggers
+// below the chain position; the runner then restarts its chain from boot (or
+// the best persisted waypoint), which reproduces the same deterministic
+// pause states.
+//
+// Every injection is executed under the supervision policy (panic isolation,
+// wall-clock watchdog, retry with backoff, quarantine) — see supervise.go.
 type chunkRunner struct {
-	sys     *kernel.System
+	st      *nodeState
 	golden  uint32
 	targets []inject.Target
 	opts    ExecOptions
 	maxTrig uint64
+	sup     supervision
 
-	snap *snapshot.Snapshot
-	way  *waypointStore
-	// goldenEnd, once set, is the golden run's completion as observed from a
-	// trigger beyond its end; every later trigger is also beyond the end.
-	goldenEnd *machine.RunResult
+	// respawn, when set (farm nodes), builds a replacement guest system
+	// after a watchdog timeout poisoned the current one.
+	respawn func() (*kernel.System, error)
+	// injectFrom runs one injection from the prepared machine state;
+	// overridden by tests to seed panics and hangs.
+	injectFrom func(idx int, sys *kernel.System, t inject.Target, golden uint32) inject.Result
+	// fault, when set (tests), simulates SIGKILL-style node loss: a non-nil
+	// error for a target index kills this node before the attempt runs.
+	fault func(idx int) error
 }
 
 // newChunkRunner prepares a runner; maxTrig is the schedule's largest trigger
 // (it sizes the waypoint stride). The snapshot chain starts lazily on the
-// first run call. Call close when done.
+// first attempt. Call close when done.
 func newChunkRunner(sys *kernel.System, golden uint32, targets []inject.Target,
 	opts ExecOptions, maxTrig uint64) *chunkRunner {
-	return &chunkRunner{sys: sys, golden: golden, targets: targets, opts: opts, maxTrig: maxTrig}
+	return &chunkRunner{
+		st:      &nodeState{sys: sys},
+		golden:  golden,
+		targets: targets,
+		opts:    opts,
+		maxTrig: maxTrig,
+		sup:     opts.supervision(),
+		injectFrom: func(_ int, sys *kernel.System, t inject.Target, golden uint32) inject.Result {
+			return inject.RunFrom(sys, t, golden)
+		},
+	}
 }
 
 func (r *chunkRunner) close() {
-	if r.snap != nil {
-		r.sys.Machine.Mem.ClearBaseline()
+	if r.st.snap != nil {
+		r.st.sys.Machine.Mem.ClearBaseline()
 	}
 }
 
 // run executes one contiguous trigger-sorted slice of the schedule, writing
-// each target's result to out[idx] and reporting completion via done.
-func (r *chunkRunner) run(order []trigOrder, out []inject.Result, done func(idx int)) error {
-	if len(order) == 0 {
-		return nil
-	}
-	m := r.sys.Machine
-	if r.snap == nil {
-		if r.opts.SnapshotDir != "" {
-			r.way = newWaypointStore(r.opts.SnapshotDir, snapshot.GoldenKey(m), r.maxTrig)
-			r.snap = r.way.bestBefore(order[0].trig, m)
-		}
-		if r.snap == nil {
-			m.Reboot()
-			r.snap = snapshot.Capture(m)
-		}
-	}
-	snap := r.snap
-	for _, o := range order {
-		t := r.targets[o.idx]
-		if r.goldenEnd != nil && o.trig > snap.Cycles {
-			out[o.idx] = notActivatedResult(t, r.goldenEnd.Cycles, r.goldenEnd.Checksum)
-			done(o.idx)
-			continue
-		}
-		if _, err := snap.Restore(m); err != nil {
+// each target's result to out[idx] and reporting completion via done. A
+// permanently lost node surfaces as *nodeLostError carrying the unfinished
+// remainder (including the in-flight entry) for the farm to requeue.
+func (r *chunkRunner) run(order []trigOrder, out []inject.Result, done func(idx int) error) error {
+	for k, o := range order {
+		res, err := r.runTarget(o)
+		if err != nil {
+			if errors.Is(err, errNodeDown) {
+				return &nodeLostError{remaining: order[k:], cause: err}
+			}
 			return err
 		}
-		if o.trig > snap.Cycles {
-			m.PauseAt = o.trig
-			pre := m.Run()
-			if pre.Outcome != machine.OutPaused {
-				// The benchmark finished before the trigger was reached: the
-				// pre-generated error is never injected (RunOne's early
-				// return), and so is every later, larger trigger.
-				r.goldenEnd = &pre
-				out[o.idx] = notActivatedResult(t, pre.Cycles, pre.Checksum)
-				done(o.idx)
-				continue
-			}
-			if _, err := snap.Recapture(m); err != nil {
-				return err
-			}
-			if r.way != nil {
-				r.way.maybeSave(snap)
-			}
+		out[o.idx] = res
+		if err := done(o.idx); err != nil {
+			return err
 		}
-		out[o.idx] = inject.RunFrom(r.sys, t, r.golden)
-		done(o.idx)
 	}
 	return nil
+}
+
+// runTarget executes one scheduled injection under supervision: panics are
+// retried from a fresh snapshot restore with exponential backoff, watchdog
+// timeouts poison the machine and continue on a respawned one, and an
+// injection that exhausts its attempt budget is quarantined rather than
+// aborting the campaign.
+func (r *chunkRunner) runTarget(o trigOrder) (inject.Result, error) {
+	t := r.targets[o.idx]
+	if r.fault != nil {
+		if err := r.fault(o.idx); err != nil {
+			return inject.Result{}, err
+		}
+	}
+	if ge := r.st.goldenEnd; ge != nil && o.trig > ge.Cycles {
+		return notActivatedResult(t, ge.Cycles, ge.Checksum), nil
+	}
+	var diag string
+	for attempt := 1; ; attempt++ {
+		// Pin the node state before the attempt goroutine launches: after a
+		// timeout the abandoned goroutine keeps running against this state,
+		// so the next attempt must see a replacement, never a shared one.
+		st := r.st
+		out, timedOut := superviseAttempt(r.sup.timeout, func() (inject.Result, error) {
+			return r.attempt(st, o, t)
+		})
+		switch {
+		case timedOut:
+			diag = fmt.Sprintf("wall-clock watchdog (%v) exceeded", r.sup.timeout)
+			if err := r.replaceNode(); err != nil {
+				return inject.Result{}, err
+			}
+		case out.panicked:
+			diag = out.diag
+		case out.err != nil:
+			// Harness infrastructure failed (snapshot restore, respawn):
+			// not a per-injection condition, abort the run.
+			return inject.Result{}, out.err
+		default:
+			return out.res, nil
+		}
+		if attempt >= r.sup.maxAttempts {
+			return quarantinedResult(t, attempt, diag), nil
+		}
+		r.sup.sleep(r.sup.backoff << (attempt - 1))
+	}
+}
+
+// replaceNode swaps in a fresh guest system after a watchdog timeout left
+// the current machine to an abandoned goroutine. Single-system runs own
+// their caller's machine and cannot replace it.
+func (r *chunkRunner) replaceNode() error {
+	if r.respawn == nil {
+		return fmt.Errorf("campaign: injection exceeded the %v wall-clock watchdog; the machine is unrecoverable outside a farm (run with nodes > 1 for automatic respawn)", r.sup.timeout)
+	}
+	sys, err := r.respawn()
+	if err != nil {
+		return fmt.Errorf("campaign: respawn after watchdog timeout: %w", err)
+	}
+	r.st = &nodeState{sys: sys}
+	return nil
+}
+
+// attempt is one supervised execution of a scheduled target: ensure the
+// snapshot chain covers the trigger, restore, advance, re-checkpoint, and
+// inject. It mutates only st (pinned by the caller) so an abandoned attempt
+// can never corrupt a successor's state.
+func (r *chunkRunner) attempt(st *nodeState, o trigOrder, t inject.Target) (inject.Result, error) {
+	m := st.sys.Machine
+	if st.snap == nil || o.trig < st.snap.Cycles {
+		// First use, or a requeued/retried trigger behind the chain: start
+		// (or restart) the chain from the best persisted waypoint at or
+		// before the trigger, else from boot. The restarted chain passes
+		// through the same deterministic pause states, so outcomes are
+		// unchanged.
+		if r.opts.SnapshotDir != "" && st.way == nil {
+			st.way = newWaypointStore(r.opts.SnapshotDir, snapshot.GoldenKey(m), r.maxTrig)
+		}
+		var snap *snapshot.Snapshot
+		if st.way != nil {
+			snap = st.way.bestBefore(o.trig, m)
+		}
+		if snap == nil {
+			m.Reboot()
+			snap = snapshot.Capture(m)
+		}
+		st.snap = snap
+	}
+	snap := st.snap
+	if _, err := snap.Restore(m); err != nil {
+		return inject.Result{}, err
+	}
+	if o.trig > snap.Cycles {
+		m.PauseAt = o.trig
+		pre := m.Run()
+		if pre.Outcome != machine.OutPaused {
+			// The benchmark finished before the trigger was reached: the
+			// pre-generated error is never injected (RunOne's early
+			// return), and so is every later, larger trigger.
+			st.goldenEnd = &pre
+			return notActivatedResult(t, pre.Cycles, pre.Checksum), nil
+		}
+		if _, err := snap.Recapture(m); err != nil {
+			return inject.Result{}, err
+		}
+		if st.way != nil {
+			st.way.maybeSave(snap)
+		}
+	}
+	return r.injectFrom(o.idx, st.sys, t, r.golden), nil
 }
 
 // runChunk executes one slice as a standalone runner (the single-system
 // path).
 func runChunk(sys *kernel.System, golden uint32, targets []inject.Target,
-	order []trigOrder, out []inject.Result, opts ExecOptions, done func(idx int)) error {
+	order []trigOrder, out []inject.Result, opts ExecOptions, done func(idx int) error,
+	maxTrig uint64) error {
 	if len(order) == 0 {
 		return nil
 	}
-	r := newChunkRunner(sys, golden, targets, opts, order[len(order)-1].trig)
+	r := newChunkRunner(sys, golden, targets, opts, maxTrig)
 	defer r.close()
 	return r.run(order, out, done)
+}
+
+// replayRunner supervises replay-mode injections (reboot-and-replay from
+// boot). Each attempt is self-contained — RunOne reboots — so retries need
+// no snapshot bookkeeping; a watchdog timeout still poisons the machine and
+// needs a respawn (farm) or aborts (single system).
+type replayRunner struct {
+	sys     *kernel.System
+	golden  uint32
+	sup     supervision
+	respawn func() (*kernel.System, error)
+	// injectOne is inject.RunOne, overridden by tests.
+	injectOne func(idx int, sys *kernel.System, t inject.Target, golden uint32) inject.Result
+	fault     func(idx int) error
+}
+
+func newReplayRunner(sys *kernel.System, golden uint32, opts ExecOptions) *replayRunner {
+	return &replayRunner{
+		sys:    sys,
+		golden: golden,
+		sup:    opts.supervision(),
+		injectOne: func(_ int, sys *kernel.System, t inject.Target, golden uint32) inject.Result {
+			return inject.RunOne(sys, t, golden)
+		},
+	}
+}
+
+// runTarget mirrors chunkRunner.runTarget for replay mode.
+func (r *replayRunner) runTarget(idx int, t inject.Target) (inject.Result, error) {
+	if r.fault != nil {
+		if err := r.fault(idx); err != nil {
+			return inject.Result{}, err
+		}
+	}
+	var diag string
+	for attempt := 1; ; attempt++ {
+		sys := r.sys // pinned: see chunkRunner.runTarget
+		out, timedOut := superviseAttempt(r.sup.timeout, func() (inject.Result, error) {
+			return r.injectOne(idx, sys, t, r.golden), nil
+		})
+		switch {
+		case timedOut:
+			diag = fmt.Sprintf("wall-clock watchdog (%v) exceeded", r.sup.timeout)
+			if r.respawn == nil {
+				return inject.Result{}, fmt.Errorf("campaign: injection exceeded the %v wall-clock watchdog; the machine is unrecoverable outside a farm (run with nodes > 1 for automatic respawn)", r.sup.timeout)
+			}
+			sys, err := r.respawn()
+			if err != nil {
+				return inject.Result{}, fmt.Errorf("campaign: respawn after watchdog timeout: %w", err)
+			}
+			r.sys = sys
+		case out.panicked:
+			diag = out.diag
+		case out.err != nil:
+			return inject.Result{}, out.err
+		default:
+			return out.res, nil
+		}
+		if attempt >= r.sup.maxAttempts {
+			return quarantinedResult(t, attempt, diag), nil
+		}
+		r.sup.sleep(r.sup.backoff << (attempt - 1))
+	}
 }
 
 // waypointStore persists golden-prefix checkpoints under a directory, keyed

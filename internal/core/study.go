@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -107,8 +109,18 @@ type Config struct {
 	// k > 1 flips k adjacent bits per injection.
 	Burst uint8
 	// Exec selects the campaign execution mode (zero value: fork-from-golden
-	// snapshot scheduling; Replay forces per-injection reboot-and-replay).
+	// snapshot scheduling; Replay forces per-injection reboot-and-replay) and
+	// the per-injection supervision policy.
 	Exec campaign.ExecOptions
+	// JournalDir, when set, durably journals every completed outcome to one
+	// append-only file per (platform, campaign) under this directory, so an
+	// interrupted study can be resumed.
+	JournalDir string
+	// Resume reopens existing journals under JournalDir and skips the
+	// injections they already record, continuing each campaign bit-identically
+	// where the interrupted run stopped. Campaigns without a journal (or with
+	// an empty one) simply start from the beginning.
+	Resume bool
 	// Nodes runs each platform's campaigns on a farm of this many identical
 	// guest systems (0 or 1: a single system). Per-index results are
 	// identical to a single-node run of the same seed; only wall-clock
@@ -204,12 +216,21 @@ func Run(cfg Config) (*StudyResult, error) {
 			}
 			spec := campaign.Spec{Campaign: c, N: n, Seed: cfg.Seed + int64(c)*1000 + int64(p),
 				Burst: cfg.Burst}
+			exec, err := openJournal(cfg, p, golden, spec)
+			if err != nil {
+				return nil, err
+			}
 			var res *campaign.Result
 			if farm != nil {
-				res, err = farm.RunWith(spec, progress, cfg.Exec)
+				res, err = farm.RunWith(spec, progress, exec)
 			} else {
 				res, err = campaign.RunWith(system.Sys, system.Golden, system.Profile,
-					spec, progress, cfg.Exec)
+					spec, progress, exec)
+			}
+			if exec.Journal != nil {
+				if cerr := exec.Journal.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
 			}
 			if err != nil {
 				return nil, err
@@ -218,6 +239,43 @@ func Run(cfg Config) (*StudyResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// JournalPath returns the journal file used for one (platform, campaign)
+// under a journal directory.
+func JournalPath(dir string, p isa.Platform, c inject.Campaign) string {
+	slug := strings.ReplaceAll(strings.ToLower(c.String()), " ", "-")
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.kjournal", strings.ToLower(p.Short()), slug))
+}
+
+// openJournal attaches the campaign's journal to the execution options:
+// freshly created, or — with Resume — reopened with its completed outcomes
+// loaded for skipping. A header mismatch (the journal on disk describes
+// different experiments than this run) is an error, never silently ignored.
+func openJournal(cfg Config, p isa.Platform, golden uint32, spec campaign.Spec) (campaign.ExecOptions, error) {
+	exec := cfg.Exec
+	if cfg.JournalDir == "" {
+		return exec, nil
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return exec, err
+	}
+	path := JournalPath(cfg.JournalDir, p, spec.Campaign)
+	h := campaign.HeaderFor(p, golden, spec)
+	if cfg.Resume {
+		j, completed, err := campaign.ResumeJournal(path, h)
+		if err != nil {
+			return exec, err
+		}
+		exec.Journal, exec.Completed = j, completed
+		return exec, nil
+	}
+	j, err := campaign.CreateJournal(path, h)
+	if err != nil {
+		return exec, err
+	}
+	exec.Journal = j
+	return exec, nil
 }
 
 // RunCampaignOn executes a single campaign on a pre-built system (the

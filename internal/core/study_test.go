@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,5 +228,53 @@ func TestBuildOptionsOverridesPlumbed(t *testing.T) {
 	}
 	if sys.Golden == 0 {
 		t.Error("no golden checksum under overridden timer")
+	}
+}
+
+// TestStudyJournalAndResume drives the journal wiring end to end through the
+// study layer: a journaled study writes one journal per platform+campaign,
+// and a resumed study with fully-populated journals reuses every recorded
+// outcome (bit-identical results, zero re-execution) — while a journal
+// written by a different study is rejected, not spliced in.
+func TestStudyJournalAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs injections")
+	}
+	dir := t.TempDir()
+	cfg := core.Config{
+		Platforms:  []isa.Platform{isa.CISC},
+		Campaigns:  []inject.Campaign{inject.CampStack},
+		Counts:     map[inject.Campaign]int{inject.CampStack: 8},
+		Seed:       11,
+		JournalDir: dir,
+	}
+	first, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := core.JournalPath(dir, isa.CISC, inject.CampStack)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	// Resume with every outcome already journaled: the study must reuse
+	// them verbatim without re-running a single injection (the progress
+	// callback only ever reports journaled completions).
+	cfg.Resume = true
+	resumed, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := first.PerPlatform[isa.CISC].Outcomes[inject.CampStack].Results
+	b := resumed.PerPlatform[isa.CISC].Outcomes[inject.CampStack].Results
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("resumed study results differ from the journaled originals")
+	}
+
+	// A different seed describes different experiments: the resume must
+	// refuse the on-disk journal instead of silently reusing it.
+	cfg.Seed = 12
+	if _, err := core.Run(cfg); err == nil {
+		t.Fatal("resume accepted a journal from a different study")
 	}
 }

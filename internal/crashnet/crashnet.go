@@ -16,9 +16,28 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"kfi/internal/isa"
 )
+
+// Transient reports whether a transport error is worth retrying: deadline
+// expiries and the momentary kernel-side conditions (receiver not yet bound,
+// socket buffers full, interrupted syscall). Anything else — a closed socket,
+// an unreachable network — is permanent for this process.
+func Transient(err error) bool { return transient(err) }
+
+func transient(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
+}
 
 // Packet is one crash report. The wire encoding is a fixed-size big-endian
 // record (a "UDP-like packet" in the paper's words).
@@ -52,10 +71,14 @@ func (p *Packet) Marshal() []byte {
 	return buf
 }
 
+// ErrMalformed reports a datagram that is not a crash packet (noise on the
+// collection port, or a torn packet).
+var ErrMalformed = errors.New("crashnet: malformed packet")
+
 // Unmarshal decodes a packet.
 func Unmarshal(buf []byte) (Packet, error) {
 	if len(buf) < packetSize {
-		return Packet{}, fmt.Errorf("crashnet: short packet (%d bytes)", len(buf))
+		return Packet{}, fmt.Errorf("%w: short packet (%d bytes)", ErrMalformed, len(buf))
 	}
 	be := binary.BigEndian
 	var p Packet
@@ -165,20 +188,35 @@ func (u *UDPCollector) Addr() string { return u.conn.LocalAddr().String() }
 
 // Recv drains one already-arrived packet, returning false when none is
 // buffered (it waits at most a few milliseconds, never indefinitely).
+//
+// Only "nothing more is buffered" (the drain deadline expiring) or a hard
+// socket error ends the drain. A malformed datagram — noise on the port, a
+// torn crash packet — or a transient read error is skipped and the drain
+// continues within the same deadline, so garbage between two valid packets
+// cannot make the caller abandon the second one.
 func (u *UDPCollector) Recv() (Packet, bool) {
-	buf := make([]byte, packetSize)
+	buf := make([]byte, 2*packetSize)
 	if err := u.conn.SetReadDeadline(drainDeadline()); err != nil {
 		return Packet{}, false
 	}
-	n, _, err := u.conn.ReadFromUDP(buf)
-	if err != nil {
-		return Packet{}, false
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return Packet{}, false // nothing more buffered: drain done
+			}
+			if transient(err) {
+				continue // momentary; the deadline still bounds the drain
+			}
+			return Packet{}, false // hard socket error: drain cannot continue
+		}
+		p, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagram: skip it, keep draining
+		}
+		return p, true
 	}
-	p, err := Unmarshal(buf[:n])
-	if err != nil {
-		return Packet{}, false
-	}
-	return p, true
 }
 
 // RecvWait blocks until a packet arrives or the socket closes.
@@ -197,9 +235,30 @@ func (u *UDPCollector) RecvWait() (Packet, error) {
 // Close closes the socket.
 func (u *UDPCollector) Close() error { return u.conn.Close() }
 
-// UDPSender sends crash packets to a collector address.
+// Send retry defaults: a crash packet is the only record of a guest crash
+// (the machine degrades an unsent crash to "unknown"), so a momentary send
+// failure is worth a few cheap retries.
+const (
+	defaultSendRetries = 3
+	defaultRetryBase   = time.Millisecond
+)
+
+// UDPSender sends crash packets to a collector address. Transient send
+// failures are retried with exponential backoff: losing a crash packet turns
+// a diagnosed crash into an unknown one in the outcome table, so the sender
+// works harder than fire-and-forget UDP normally would.
 type UDPSender struct {
 	conn *net.UDPConn
+	// MaxRetries bounds re-transmissions after a transient failure
+	// (0 = default 3); permanent errors are never retried.
+	MaxRetries int
+	// RetryBase is the delay before the first retry, doubling with each
+	// further attempt (0 = default 1ms).
+	RetryBase time.Duration
+
+	// write/sleep are stubbed by tests to script failures without a socket.
+	write func([]byte) (int, error)
+	sleep func(time.Duration)
 }
 
 var _ Sender = (*UDPSender)(nil)
@@ -217,10 +276,35 @@ func NewUDPSender(addr string) (*UDPSender, error) {
 	return &UDPSender{conn: conn}, nil
 }
 
-// Send transmits one packet.
+// Send transmits one packet, retrying transient failures up to MaxRetries
+// times with exponential backoff.
 func (s *UDPSender) Send(p Packet) error {
-	_, err := s.conn.Write(p.Marshal())
-	return err
+	write, sleep := s.write, s.sleep
+	if write == nil {
+		write = s.conn.Write
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	retries := s.MaxRetries
+	if retries <= 0 {
+		retries = defaultSendRetries
+	}
+	base := s.RetryBase
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	buf := p.Marshal()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if _, err = write(buf); err == nil {
+			return nil
+		}
+		if !transient(err) || attempt >= retries {
+			return fmt.Errorf("crashnet: send: %w", err)
+		}
+		sleep(base << attempt)
+	}
 }
 
 // Close closes the socket.

@@ -1,0 +1,177 @@
+package crashnet
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"kfi/internal/isa"
+)
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ECONNREFUSED, true},
+		{syscall.ENOBUFS, true},
+		{syscall.EAGAIN, true},
+		{syscall.EINTR, true},
+		{&net.OpError{Op: "write", Err: syscall.ECONNREFUSED}, true},
+		{net.ErrClosed, false},
+		{syscall.EBADF, false},
+		{errors.New("something else"), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// flakyWrite scripts a write stub: the first len(errs) calls return those
+// errors in order, every later call succeeds.
+func flakyWrite(calls *int, errs ...error) func([]byte) (int, error) {
+	return func(b []byte) (int, error) {
+		i := *calls
+		*calls++
+		if i < len(errs) && errs[i] != nil {
+			return 0, errs[i]
+		}
+		return len(b), nil
+	}
+}
+
+func TestSendRetriesTransientErrors(t *testing.T) {
+	var calls int
+	var slept []time.Duration
+	s := &UDPSender{
+		write: flakyWrite(&calls, syscall.ECONNREFUSED, syscall.ENOBUFS),
+		sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := s.Send(Packet{Seq: 1, Platform: isa.CISC}); err != nil {
+		t.Fatalf("send failed despite retry budget: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("write called %d times, want 3", calls)
+	}
+	// Exponential backoff: base, then 2*base.
+	want := []time.Duration{defaultRetryBase, 2 * defaultRetryBase}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestSendPermanentErrorNotRetried(t *testing.T) {
+	var calls int
+	s := &UDPSender{
+		write: flakyWrite(&calls, net.ErrClosed),
+		sleep: func(time.Duration) { t.Fatal("slept before a permanent error") },
+	}
+	err := s.Send(Packet{Seq: 2})
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("err = %v, want wrapped net.ErrClosed", err)
+	}
+	if calls != 1 {
+		t.Fatalf("write called %d times for a permanent error, want 1", calls)
+	}
+}
+
+func TestSendRetryBudgetExhausted(t *testing.T) {
+	var calls int
+	var slept int
+	s := &UDPSender{
+		MaxRetries: 2,
+		RetryBase:  time.Microsecond,
+		write: func(b []byte) (int, error) {
+			calls++
+			return 0, syscall.ECONNREFUSED
+		},
+		sleep: func(time.Duration) { slept++ },
+	}
+	err := s.Send(Packet{Seq: 3})
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want wrapped ECONNREFUSED", err)
+	}
+	if calls != 3 || slept != 2 {
+		t.Fatalf("calls = %d (want 3), sleeps = %d (want 2)", calls, slept)
+	}
+}
+
+// TestRecvDrainsPastGarbage is the regression test for the drain-ending bug:
+// a malformed datagram sitting in front of a valid packet used to end the
+// drain and strand the packet. Recv must skip the noise and deliver it.
+func TestRecvDrainsPastGarbage(t *testing.T) {
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	raw, err := net.Dial("udp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	snd, err := NewUDPSender(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	// Garbage first, then the real packet: UDP on loopback preserves order.
+	if _, err := raw.Write([]byte{0xBA, 0xD0}); err != nil {
+		t.Fatal(err)
+	}
+	want := Packet{Seq: 41, Platform: isa.RISC, Cause: isa.CauseAlignment, Cycles: 777}
+	if err := snd.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got, ok := col.Recv(); ok {
+			if got != want {
+				t.Fatalf("drained %+v, want %+v", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("valid packet behind garbage never delivered")
+		}
+	}
+}
+
+// TestRecvHardErrorEndsDrain: a closed socket must end the drain rather
+// than spin.
+func TestRecvHardErrorEndsDrain(t *testing.T) {
+	col, err := NewUDPCollector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := col.Recv()
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("closed socket produced a packet")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv on closed socket did not return")
+	}
+}
+
+func TestUnmarshalErrorIsMalformed(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short-packet err = %v, want ErrMalformed", err)
+	}
+}

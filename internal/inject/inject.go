@@ -116,6 +116,13 @@ const (
 	// OHangUnknown: watchdog-detected hang or a crash whose dump could not
 	// be collected (the paper's combined "Hang/Unknown Crash" column).
 	OHangUnknown
+	// OQuarantined: the harness, not the guest, failed — the injection run
+	// panicked or exceeded its wall-clock watchdog on every supervised
+	// attempt, so its outcome is unknowable and the experiment is set aside
+	// with diagnostics (Result.Diag) instead of aborting the campaign. It is
+	// a property of the measurement apparatus and is excluded from the
+	// paper's failure-distribution columns.
+	OQuarantined
 )
 
 // String returns the outcome label.
@@ -131,6 +138,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case OHangUnknown:
 		return "hang/unknown"
+	case OQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -154,6 +163,11 @@ type Result struct {
 	CrashPC   uint32
 	CrashFunc string
 	Checksum  uint32
+	// Diag carries harness-side diagnostics for OQuarantined results: the
+	// captured panic value (with the failing frame) or the watchdog timeout,
+	// plus the attempt count. Empty for every guest-classified outcome, so
+	// existing logs and tables are unchanged.
+	Diag string `json:"Diag,omitempty"`
 }
 
 // RunOne reboots the system, installs the target, runs the benchmark, and

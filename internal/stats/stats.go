@@ -24,6 +24,11 @@ type Counts struct {
 	FailSilence   int
 	Crash         int
 	HangUnknown   int
+	// Quarantined counts injections the harness set aside after exhausting
+	// their supervised retry budget (a property of the measurement apparatus,
+	// not of the guest — excluded from the paper's columns, reported
+	// alongside them).
+	Quarantined int
 }
 
 // Summarize tallies campaign results.
@@ -47,6 +52,8 @@ func Summarize(results []inject.Result) Counts {
 			c.Crash++
 		case inject.OHangUnknown:
 			c.HangUnknown++
+		case inject.OQuarantined:
+			c.Quarantined++
 		}
 	}
 	return c

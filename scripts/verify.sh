@@ -19,6 +19,9 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
+echo "== go test -race (campaign + crashnet: the concurrent farm/journal/transport layer)"
+go test -race ./internal/campaign/... ./internal/crashnet/...
+
 echo "== snapshot benchmark smoke (-bench=Snapshot -benchtime=1x)"
 go test . -run '^$' -bench Snapshot -benchtime 1x
 
