@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet lint race bench verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static checks: gofmt, exhaustive outcome switches, and the
+# deterministic-path wall-clock/global-RNG rules (see internal/lint).
+lint:
+	sh scripts/lint.sh
 
 test:
 	$(GO) test ./...
@@ -15,11 +20,12 @@ test:
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/crashnet/...
 
-# One-iteration snapshot + predecode benchmarks; rewrites BENCH_snapshot.json
-# and BENCH_exec.json.
+# One-iteration snapshot + predecode + static-sense benchmarks; rewrites
+# BENCH_snapshot.json, BENCH_exec.json, and BENCH_sense.json.
 bench:
 	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
 	$(GO) test . -run '^$$' -bench PredecodeSpeedup -benchtime 1x
+	$(GO) test . -run '^$$' -bench StaticSense -benchtime 1x
 
 # Tier-1 gate + snapshot smoke run (see scripts/verify.sh).
 verify:

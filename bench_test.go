@@ -36,6 +36,7 @@ import (
 	"kfi/internal/cisc"
 	"kfi/internal/risc"
 	"kfi/internal/snapshot"
+	"kfi/internal/staticsense"
 )
 
 // Systems are expensive to build; share them across benchmarks.
@@ -1006,6 +1007,112 @@ func BenchmarkPredecodeSpeedup(b *testing.B) {
 		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
 			if err := os.WriteFile("BENCH_exec.json", append(buf, '\n'), 0o644); err != nil {
 				b.Logf("BENCH_exec.json: %v", err)
+			}
+		}
+	}
+}
+
+// --- Static error-sensitivity analysis ------------------------------------
+
+// BenchmarkStaticSense measures the static analyzer's two costs and its one
+// payoff on both platforms: the one-time whole-image sweep time, the fraction
+// of the bit-level code-injection space it proves inert, and the end-to-end
+// code-campaign speedup from pruning predicted-inert sites. The pruned and
+// unpruned campaigns' outcome tables must match byte-for-byte — synthesized
+// results stand in for executions the analyzer proved pointless. Results go
+// to BENCH_sense.json.
+func BenchmarkStaticSense(b *testing.B) {
+	type row struct {
+		AnalysisNS       int64   `json:"analysis_ns"`
+		Sites            int     `json:"sites"`
+		InertPct         float64 `json:"inert_pct"`
+		CampaignFullNS   int64   `json:"campaign_full_ns"`
+		CampaignPrunedNS int64   `json:"campaign_pruned_ns"`
+		CampaignSpeedup  float64 `json:"campaign_speedup"`
+		Injections       int     `json:"injections"`
+		Skipped          int     `json:"skipped"`
+		TablesIdentical  bool    `json:"tables_identical"`
+	}
+	rows := map[string]row{}
+	for _, p := range kfi.Platforms {
+		p := p
+		b.Run(p.Short(), func(b *testing.B) {
+			sys := benchSystem(b, p)
+
+			// One-time analysis cost and the size of the proof it produces.
+			var rep *staticsense.Report
+			var analysis time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				an, err := staticsense.New(sys.Sys.KernelImage)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = an.Sweep()
+				analysis += time.Since(t0)
+			}
+			b.StopTimer()
+			analysisPer := analysis / time.Duration(b.N)
+
+			n := 150
+			if testing.Short() {
+				n = 40
+			}
+			seed := int64(2904) + int64(p)
+
+			// End-to-end code campaigns: annotated-but-unpruned versus
+			// pruned. Table equality is the correctness half of the claim.
+			t0 := time.Now()
+			full, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{Sense: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campFull := time.Since(t0)
+			t0 = time.Now()
+			pruned, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{Prune: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			campPruned := time.Since(t0)
+			fullTable, prunedTable := full.Counts.TableRow("code"), pruned.Counts.TableRow("code")
+			if fullTable != prunedTable {
+				b.Fatalf("outcome tables diverge between full and pruned campaigns:\n  full:   %s\n  pruned: %s",
+					fullTable, prunedTable)
+			}
+			skipped := 0
+			for _, r := range pruned.Results {
+				if r.PredSkipped {
+					skipped++
+				}
+			}
+
+			campSpeedup := float64(campFull) / float64(campPruned)
+			b.ReportMetric(float64(analysisPer.Nanoseconds()), "analysis-ns")
+			b.ReportMetric(100*rep.InertFrac(), "inert-%")
+			b.ReportMetric(campSpeedup, "campaign-speedup")
+			b.Logf("\n%v static sense (%d sites, %d injections):\n"+
+				"  analysis:  %v for the whole image, %.1f%% of flips proven inert\n"+
+				"  campaign:  full %v, pruned %v (%d skipped), speedup %.2fx\n%s",
+				p, rep.Sites, n, analysisPer, 100*rep.InertFrac(),
+				campFull, campPruned, skipped, campSpeedup, prunedTable)
+			rows[p.Short()] = row{
+				AnalysisNS:       analysisPer.Nanoseconds(),
+				Sites:            rep.Sites,
+				InertPct:         100 * rep.InertFrac(),
+				CampaignFullNS:   campFull.Nanoseconds(),
+				CampaignPrunedNS: campPruned.Nanoseconds(),
+				CampaignSpeedup:  campSpeedup,
+				Injections:       n,
+				Skipped:          skipped,
+				TablesIdentical:  true,
+			}
+		})
+	}
+	if len(rows) == len(kfi.Platforms) {
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_sense.json", append(buf, '\n'), 0o644); err != nil {
+				b.Logf("BENCH_sense.json: %v", err)
 			}
 		}
 	}

@@ -46,6 +46,8 @@ func run(args []string) error {
 		burst        = fs.Int("burst", 1, "bits flipped per injection (1 = the paper's single-bit model)")
 		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
 		execMode     = fs.String("exec", "snapshot", "execution mode: snapshot (fork-from-golden) or replay (reboot per injection)")
+		sense        = fs.Bool("sense", false, "run the static error-sensitivity pre-pass and print the predicted-vs-observed confusion matrix")
+		prune        = fs.Bool("prune", false, "implies -sense; skip injections predicted inert, synthesizing their outcomes from the golden run (snapshot mode only)")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
 		journalDir   = fs.String("journal", "", "durably journal completed outcomes to this directory (one file per platform+campaign)")
 		resume       = fs.Bool("resume", false, "resume from the journals in -journal, skipping already-completed injections")
@@ -129,10 +131,15 @@ func run(args []string) error {
 		if *snapshotDir != "" {
 			return fmt.Errorf("-snapshot-dir requires -exec snapshot")
 		}
+		if *prune {
+			return fmt.Errorf("-prune requires -exec snapshot (pruned outcomes are synthesized from the traced golden run)")
+		}
 		cfg.Exec = kfi.ExecOptions{Replay: true}
 	default:
 		return fmt.Errorf("unknown -exec mode %q (want snapshot or replay)", *execMode)
 	}
+	cfg.Exec.Sense = *sense || *prune
+	cfg.Exec.Prune = *prune
 	if *resume && *journalDir == "" {
 		return fmt.Errorf("-resume requires -journal")
 	}
@@ -170,6 +177,16 @@ func run(args []string) error {
 		fmt.Println(study.Table(p))
 		if q := quarantined(study, p, campaigns); q > 0 {
 			fmt.Printf("Quarantined on %v (harness retry budget exhausted, excluded from the table): %d\n\n", p, q)
+		}
+		if cfg.Exec.Sense {
+			pr := study.PerPlatform[p]
+			for _, c := range campaigns {
+				if oc := pr.Outcomes[c]; oc != nil {
+					if conf := stats.Confuse(oc.Results); conf.Annotated > 0 {
+						fmt.Printf("%v %v — %s\n", p, c, conf.Render())
+					}
+				}
+			}
 		}
 		if *figures {
 			fmt.Println(study.CauseFigure(p, 0))

@@ -1,0 +1,34 @@
+// Kfi-lint runs the repository's own static checks (internal/lint): the
+// exhaustive inject.Outcome switch rule and the no-wall-clock/no-global-RNG
+// rule for packages on the deterministic replay path. Exit status 1 means
+// findings, so it slots directly into scripts/lint.sh and CI.
+//
+//	kfi-lint            # lint the repository rooted at the working directory
+//	kfi-lint /path/to/repo
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kfi/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lint.Check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kfi-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kfi-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -44,6 +44,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("kfi-report", flag.ContinueOnError)
 	var (
 		latency   = fs.Bool("latency", true, "print cycles-to-crash histograms")
+		confusion = fs.Bool("confusion", true, "print predicted-vs-observed confusion matrices for sensed campaigns")
 		causes    = fs.Bool("causes", true, "print crash-cause distributions")
 		registers = fs.Bool("registers", true, "print per-register crash counts")
 		compare   = fs.Bool("compare", false, "print measured values side-by-side with the paper's")
@@ -89,6 +90,14 @@ func run(args []string) error {
 		fmt.Printf("Quarantined (harness retry budget exhausted, excluded from the table): %d\n", quarantined)
 	}
 	fmt.Println()
+
+	if *confusion {
+		for _, k := range keys {
+			if conf := stats.Confuse(groups[k]); conf.Annotated > 0 {
+				fmt.Printf("%s — %s\n", k, conf.Render())
+			}
+		}
+	}
 
 	if *ci {
 		fmt.Println("95% Wilson intervals (sampling error at this campaign size):")

@@ -1,0 +1,83 @@
+// Kfi-sense runs the bit-level static error-sensitivity analyzer
+// (internal/staticsense) over a built kernel image and reports, without
+// executing a single injection, how the code-injection space splits across
+// the classification lattice — including the fraction a pruned campaign may
+// skip as predicted inert.
+//
+//	kfi-sense -platform both
+//	kfi-sense -platform g4 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kfi/internal/cc"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/staticsense"
+	"kfi/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kfi-sense:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("kfi-sense", flag.ContinueOnError)
+	var (
+		platformFlag = fs.String("platform", "both", "target platform: p4, g4, or both")
+		scale        = fs.Int("scale", 1, "benchmark workload scale (changes the compiled image)")
+		asJSON       = fs.Bool("json", false, "emit the per-class tallies as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var platforms []isa.Platform
+	switch *platformFlag {
+	case "p4", "cisc":
+		platforms = []isa.Platform{isa.CISC}
+	case "g4", "risc", "ppc":
+		platforms = []isa.Platform{isa.RISC}
+	case "both", "all":
+		platforms = []isa.Platform{isa.CISC, isa.RISC}
+	default:
+		return fmt.Errorf("unknown platform %q (want p4, g4, or both)", *platformFlag)
+	}
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", *scale)
+	}
+
+	var reports []*staticsense.Report
+	for _, p := range platforms {
+		uimg, err := cc.Compile(workload.Program(*scale), p, kernel.UserBases)
+		if err != nil {
+			return err
+		}
+		sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+		if err != nil {
+			return err
+		}
+		an, err := staticsense.New(sys.KernelImage)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, an.Sweep())
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for _, r := range reports {
+		fmt.Fprint(w, r.Render())
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSenseRendersBothPlatforms(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-platform", "both"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"P4", "G4", "inert-encoding", "predicted inert"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSenseJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-platform", "g4", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		Sites   int            `json:"sites"`
+		ByClass map[string]int `json:"by_class"`
+		Inert   int            `json:"inert"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].Sites == 0 || reports[0].Inert == 0 {
+		t.Errorf("implausible report: %+v", reports)
+	}
+}
+
+func TestSenseFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-platform", "vax"}, &out); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"-scale", "0"}, &out); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}

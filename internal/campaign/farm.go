@@ -160,8 +160,12 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	if err != nil {
 		return nil, err
 	}
+	sense, err := buildSense(f.nodes[0], targets, opts)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]inject.Result, len(targets))
-	rec := &recorder{journal: opts.Journal, progress: progress, results: results}
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results, sense: sense}
 	skip, err := applyCompleted(rec, opts)
 	if err != nil {
 		return nil, err
@@ -179,6 +183,7 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	if err != nil {
 		return nil, err
 	}
+	prunePre(sched, targets, sense, opts)
 	for i, r := range sched.pre {
 		if skip[i] {
 			continue

@@ -43,6 +43,20 @@ type ExecOptions struct {
 	// bit-identically where it left off.
 	Completed map[int]inject.Result
 
+	// Sense runs the static error-sensitivity pre-pass (internal/staticsense)
+	// over the campaign's code targets and annotates every result with the
+	// analyzer's predicted class (inject.Result.PredClass/PredInert), feeding
+	// the predicted-vs-observed confusion matrix without changing which
+	// injections execute.
+	Sense bool
+	// Prune implies Sense and additionally skips injections the analyzer
+	// predicts inert: their results are synthesized from the traced golden
+	// run (outcome not-manifested, golden checksum and cycle count) and
+	// journaled with PredSkipped set. Requires the fork-from-golden
+	// scheduler — combining Prune with Replay is an error, because replay
+	// mode never traces the golden run the synthesized results come from.
+	Prune bool
+
 	// MaxAttempts bounds supervised attempts per injection before its
 	// outcome is recorded as inject.OQuarantined (0 = default 3).
 	MaxAttempts int
@@ -63,7 +77,11 @@ type recorder struct {
 	journal  *Journal
 	progress func(done, total int)
 	results  []inject.Result
-	done     int
+	// sense, when set, annotates every completed result with its static
+	// prediction before the journal append, so predictions are durable
+	// alongside outcomes.
+	sense *sensePass
+	done  int
 }
 
 // complete records results[idx] as finished. Resumed outcomes replayed from
@@ -72,6 +90,7 @@ func (rc *recorder) complete(idx int, journal bool) error {
 	rc.mu.Lock()
 	rc.done++
 	d := rc.done
+	rc.sense.annotate(idx, &rc.results[idx])
 	var err error
 	if journal && rc.journal != nil {
 		err = rc.journal.Append(idx, rc.results[idx])
@@ -110,8 +129,12 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	if err != nil {
 		return nil, err
 	}
+	sense, err := buildSense(sys, targets, opts)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]inject.Result, len(targets))
-	rec := &recorder{journal: opts.Journal, progress: progress, results: results}
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results, sense: sense}
 	skip, err := applyCompleted(rec, opts)
 	if err != nil {
 		return nil, err
@@ -139,6 +162,7 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	if err != nil {
 		return nil, err
 	}
+	prunePre(sched, targets, sense, opts)
 	for i, r := range sched.pre {
 		if skip[i] {
 			continue
@@ -211,6 +235,10 @@ func traceGolden(sys *kernel.System) (*goldenTrace, error) {
 type schedule struct {
 	order []trigOrder
 	pre   map[int]inject.Result
+	// golden is the traced golden run the schedule was built from (nil when
+	// the target set has no code targets); pruning synthesizes skipped
+	// results from it.
+	golden *goldenTrace
 }
 
 // buildSchedule computes each target's trigger cycle and sorts targets by
@@ -228,7 +256,7 @@ func buildSchedule(sys *kernel.System, targets []inject.Target) (*schedule, erro
 			break
 		}
 	}
-	s := &schedule{order: make([]trigOrder, 0, len(targets)), pre: map[int]inject.Result{}}
+	s := &schedule{order: make([]trigOrder, 0, len(targets)), pre: map[int]inject.Result{}, golden: tr}
 	for i, t := range targets {
 		switch {
 		case t.Delay > 0:

@@ -64,6 +64,10 @@ type Header struct {
 	Seed     int64           `json:"seed"`
 	Burst    uint8           `json:"burst"`
 	Golden   uint32          `json:"golden"`
+	// Prune records whether the campaign ran with predicted-inert pruning:
+	// a pruned journal holds synthesized results for skipped injections, so
+	// it must not be spliced into a run with a different pruning mode.
+	Prune bool `json:"prune,omitempty"`
 }
 
 // HeaderFor builds the journal header for a campaign spec.

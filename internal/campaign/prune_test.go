@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/stats"
+)
+
+// TestPruneEquivalenceAndSoundness is the pruning subsystem's central
+// contract, on both platforms:
+//
+//   - equivalence: a pruned campaign's outcome table is identical to the
+//     unpruned one on every non-pruned site, and its synthesized results
+//     match what actually executing the pruned sites produces;
+//   - soundness: no flip the analyzer predicted inert ever manifests when
+//     it is really executed.
+func TestPruneEquivalenceAndSoundness(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		t.Run(platform.Short(), func(t *testing.T) {
+			sys, golden, prof := getSystem(t, platform)
+			spec := Spec{Campaign: inject.CampCode, N: n, Seed: 907}
+
+			full, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{Sense: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			skipped := 0
+			for i := range full.Results {
+				f, p := full.Results[i], pruned.Results[i]
+				if !p.PredSkipped {
+					if !reflect.DeepEqual(f, p) {
+						t.Errorf("injection %d diverges:\n  full:   %+v\n  pruned: %+v", i, f, p)
+					}
+					continue
+				}
+				skipped++
+				// The synthesized result must match the executed one: the
+				// flip really ran in the full campaign and — if the analyzer
+				// is sound — completed as the golden run.
+				if f.Outcome != inject.ONotManifested {
+					t.Errorf("injection %d: predicted inert but executed outcome is %v (%s)",
+						i, f.Outcome, f.PredClass)
+				}
+				if f.Checksum != p.Checksum || f.RunCycles != p.RunCycles {
+					t.Errorf("injection %d: synthesized (cycles=%d sum=%#x) != executed (cycles=%d sum=%#x)",
+						i, p.RunCycles, p.Checksum, f.RunCycles, f.Checksum)
+				}
+				if !f.PredInert || !p.PredInert {
+					t.Errorf("injection %d: skipped without an inert prediction", i)
+				}
+			}
+			if skipped == 0 {
+				t.Logf("%v: no predicted-inert targets drawn in %d injections", platform, n)
+			}
+
+			// Soundness over the whole annotated table: every inert
+			// prediction that executed must have stayed invisible.
+			for i, r := range full.Results {
+				if r.PredInert && r.Outcome != inject.ONotActivated && r.Outcome != inject.ONotManifested {
+					t.Errorf("soundness violation at injection %d: predicted inert (%s), observed %v",
+						i, r.PredClass, r.Outcome)
+				}
+			}
+			if c := stats.Confuse(full.Results); c.Violations != 0 {
+				t.Errorf("confusion matrix reports %d violations:\n%s", c.Violations, c.Render())
+			}
+
+			// The aggregate table row the paper prints must be unchanged.
+			fullRow := stats.Summarize(full.Results).TableRow("code")
+			prunedRow := stats.Summarize(pruned.Results).TableRow("code")
+			if fullRow != prunedRow {
+				t.Errorf("table rows diverge:\n  full:   %s\n  pruned: %s", fullRow, prunedRow)
+			}
+		})
+	}
+}
+
+// TestPruneRejectedInReplay: replay mode never traces the golden run, so
+// pruning must be refused, not silently ignored.
+func TestPruneRejectedInReplay(t *testing.T) {
+	sys, golden, prof := getSystem(t, isa.CISC)
+	_, err := RunWith(sys, golden, prof, Spec{Campaign: inject.CampCode, N: 1, Seed: 1}, nil,
+		ExecOptions{Prune: true, Replay: true})
+	if err == nil {
+		t.Fatal("Prune+Replay accepted")
+	}
+}
+
+// TestSenseAnnotatesOnlyCodeTargets: stack targets carry no prediction even
+// with sensing on.
+func TestSenseAnnotatesOnlyCodeTargets(t *testing.T) {
+	sys, golden, prof := getSystem(t, isa.CISC)
+	res, err := RunWith(sys, golden, prof, Spec{Campaign: inject.CampStack, N: 4, Seed: 3}, nil,
+		ExecOptions{Sense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Results {
+		if r.PredClass != "" || r.PredInert || r.PredSkipped {
+			t.Errorf("stack injection %d carries a code prediction: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+
+	"kfi/internal/inject"
+	"kfi/internal/kernel"
+	"kfi/internal/staticsense"
+)
+
+// sensePass holds the static pre-pass verdicts for one campaign's target
+// list: per-index predictions for every classifiable code target, plus the
+// subset a pruned run may skip. A nil *sensePass (sensing off) is valid and
+// inert everywhere it is used.
+type sensePass struct {
+	preds map[int]staticsense.Prediction
+	prune map[int]bool
+}
+
+// buildSense runs the static analyzer over the campaign's code targets when
+// ExecOptions ask for it. Only single-bit CampCode targets are classified:
+// the analyzer's lattice is defined per (instruction, byte, bit) flip, so
+// burst targets and the data/stack/system-register campaigns stay
+// unannotated and are never pruned.
+func buildSense(sys *kernel.System, targets []inject.Target, opts ExecOptions) (*sensePass, error) {
+	if !opts.Sense && !opts.Prune {
+		return nil, nil
+	}
+	if opts.Prune && opts.Replay {
+		return nil, fmt.Errorf("campaign: Prune requires the fork-from-golden scheduler; replay mode never traces the golden run the synthesized results come from")
+	}
+	an, err := staticsense.New(sys.KernelImage)
+	if err != nil {
+		return nil, err
+	}
+	sp := &sensePass{preds: map[int]staticsense.Prediction{}, prune: map[int]bool{}}
+	for i, t := range targets {
+		if t.Campaign != inject.CampCode || t.Burst > 1 {
+			continue
+		}
+		p := an.ClassifyFlip(t.Addr, t.ByteOff, t.Bit)
+		sp.preds[i] = p
+		if opts.Prune && p.Inert {
+			sp.prune[i] = true
+		}
+	}
+	return sp, nil
+}
+
+// annotate stamps the static verdict onto a completed result. Callers hold
+// the recorder lock; a nil pass or an unclassified index is a no-op.
+func (sp *sensePass) annotate(idx int, r *inject.Result) {
+	if sp == nil {
+		return
+	}
+	p, ok := sp.preds[idx]
+	if !ok {
+		return
+	}
+	r.PredClass = p.Class.String()
+	r.PredInert = p.Inert
+}
+
+// prunePre moves every predicted-inert scheduled entry out of the trigger
+// order and into the schedule's synthesized results. Only entries that made
+// it into the order are prunable — a code target the golden run never
+// reaches is already a synthesized not-activated result, which is more
+// precise than the analyzer's activated-but-inert verdict.
+func prunePre(sched *schedule, targets []inject.Target, sp *sensePass, opts ExecOptions) {
+	if sp == nil || !opts.Prune || sched.golden == nil {
+		return
+	}
+	kept := sched.order[:0]
+	for _, o := range sched.order {
+		if sp.prune[o.idx] {
+			sched.pre[o.idx] = prunedResult(targets[o.idx], sched.golden)
+			continue
+		}
+		kept = append(kept, o)
+	}
+	sched.order = kept
+}
+
+// prunedResult synthesizes the outcome the soundness argument (DESIGN.md
+// §13) guarantees for an inert flip the golden run activates: the run
+// completes with the golden checksum and cycle count, so the error
+// activated but did not manifest.
+func prunedResult(t inject.Target, tr *goldenTrace) inject.Result {
+	return inject.Result{
+		Target:          t,
+		Activated:       true,
+		ActivationKnown: true,
+		Outcome:         inject.ONotManifested,
+		RunCycles:       tr.cycles,
+		Checksum:        tr.checksum,
+		PredSkipped:     true,
+	}
+}

@@ -1,0 +1,24 @@
+package cisc
+
+// ExecEqual reports whether two decoded instructions are indistinguishable
+// to the executor: Step dispatches on every Inst field except Opcode (which
+// only selects the opTable row already folded into Op/Format/cost) and Name
+// (diagnostics only). Two encodings with equal fields and equal cycle cost
+// therefore produce bit-identical architectural state and timing.
+//
+// This is the CISC half of the staticsense "inert encoding" class: a bit
+// flip that lands on a don't-care encoding bit (the spare mod-nibble bits,
+// or an opcode alias) decodes to an ExecEqual instruction and can never
+// manifest. Decode zeroes every field a format does not use, so whole-field
+// comparison equals comparison of the execution-relevant projection.
+func ExecEqual(a, b Inst) bool {
+	return a.Op == b.Op && a.Format == b.Format && a.Len == b.Len &&
+		a.R1 == b.R1 && a.R2 == b.R2 && a.Idx == b.Idx && a.Scale == b.Scale &&
+		a.Cc == b.Cc && a.Imm == b.Imm && a.Disp == b.Disp && a.Abs == b.Abs &&
+		a.Cost() == b.Cost()
+}
+
+// MaxInstLen is the longest encoding Decode accepts (FAbsI32: opcode,
+// 4-byte address, 4-byte immediate). Static analyzers use it to bound the
+// re-decode window around a corrupted byte.
+const MaxInstLen = 9

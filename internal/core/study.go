@@ -262,6 +262,7 @@ func openJournal(cfg Config, p isa.Platform, golden uint32, spec campaign.Spec) 
 	}
 	path := JournalPath(cfg.JournalDir, p, spec.Campaign)
 	h := campaign.HeaderFor(p, golden, spec)
+	h.Prune = cfg.Exec.Prune
 	if cfg.Resume {
 		j, completed, err := campaign.ResumeJournal(path, h)
 		if err != nil {

@@ -168,6 +168,18 @@ type Result struct {
 	// plus the attempt count. Empty for every guest-classified outcome, so
 	// existing logs and tables are unchanged.
 	Diag string `json:"Diag,omitempty"`
+
+	// PredClass/PredInert carry the static pre-pass verdict
+	// (internal/staticsense) when a campaign runs with sensing enabled:
+	// the flip's classification-lattice class and whether the analyzer
+	// predicted it inert. Both stay zero when sensing is off, so existing
+	// journals and logs are unchanged.
+	PredClass string `json:"PredClass,omitempty"`
+	PredInert bool   `json:"PredInert,omitempty"`
+	// PredSkipped marks results a pruned campaign synthesized from the
+	// golden run instead of executing, on the strength of an inert
+	// prediction.
+	PredSkipped bool `json:"PredSkipped,omitempty"`
 }
 
 // RunOne reboots the system, installs the target, runs the benchmark, and

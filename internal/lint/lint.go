@@ -1,0 +1,275 @@
+// Package lint implements the repo's own static checks — the invariants the
+// type system cannot express but the reproduction depends on:
+//
+//   - exhaustive outcome switches: any switch statement that dispatches on
+//     the inject.Outcome constants must either cover every constant or carry
+//     a default clause, so adding an outcome cannot silently fall through a
+//     classifier or table builder;
+//   - deterministic replay paths: packages on the guest-deterministic path
+//     (everything a campaign result depends on) must not call time.Now or
+//     use math/rand's implicit global source — wall-clock reads and shared
+//     RNG state are exactly what breaks bit-identical resume and
+//     fork-from-golden equivalence. Seeded rand.New(rand.NewSource(...)) is
+//     allowed; tests are exempt.
+//
+// The checks are purely syntactic (go/parser, no type checking), so they run
+// in milliseconds and cannot be broken by build-tag or module complications.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint violation.
+type Finding struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.File, f.Line, f.Msg)
+}
+
+// deterministicDirs lists the packages on the guest-deterministic path,
+// relative to the repo root: everything whose behavior feeds a campaign
+// outcome, a journal record, or a resumable schedule.
+var deterministicDirs = []string{
+	"internal/campaign",
+	"internal/cc",
+	"internal/cisc",
+	"internal/core",
+	"internal/inject",
+	"internal/isa",
+	"internal/kernel",
+	"internal/kir",
+	"internal/machine",
+	"internal/mem",
+	"internal/risc",
+	"internal/snapshot",
+	"internal/staticsense",
+	"internal/stats",
+	"internal/tracediff",
+	"internal/workload",
+}
+
+// outcomeSource is the file defining the inject.Outcome constants, relative
+// to the repo root.
+const outcomeSource = "internal/inject/inject.go"
+
+// Check lints the repository rooted at root and returns every violation,
+// sorted by file and line. It fails only on infrastructure errors (missing
+// outcome definitions, unparsable files); violations are data, not errors.
+func Check(root string) ([]Finding, error) {
+	outcomes, err := outcomeConstants(filepath.Join(root, outcomeSource))
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "related" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		findings = append(findings, checkOutcomeSwitches(fset, file, rel, outcomes)...)
+		if inDeterministicDir(rel) {
+			findings = append(findings, checkDeterminism(fset, file, rel)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	return findings, nil
+}
+
+// outcomeConstants parses the inject.Outcome constant names from their
+// defining file: every name in a const block whose declared type is Outcome
+// (including iota continuations inheriting the type).
+func outcomeConstants(path string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parsing outcome definitions: %w", err)
+	}
+	names := map[string]bool{}
+	for _, decl := range file.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.CONST {
+			continue
+		}
+		isOutcome := false
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if vs.Type != nil {
+				id, ok := vs.Type.(*ast.Ident)
+				isOutcome = ok && id.Name == "Outcome"
+			}
+			if !isOutcome {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name != "_" {
+					names[n.Name] = true
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Outcome constants found in %s", path)
+	}
+	return names, nil
+}
+
+// checkOutcomeSwitches flags switch statements that dispatch on the outcome
+// constants but neither cover all of them nor carry a default clause.
+func checkOutcomeSwitches(fset *token.FileSet, file *ast.File, rel string, outcomes map[string]bool) []Finding {
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		covered := map[string]bool{}
+		hasDefault := false
+		usesOutcome := false
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range cc.List {
+				if name, ok := constName(e); ok && outcomes[name] {
+					usesOutcome = true
+					covered[name] = true
+				}
+			}
+		}
+		if !usesOutcome || hasDefault {
+			return true
+		}
+		var missing []string
+		for name := range outcomes {
+			if !covered[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			findings = append(findings, Finding{
+				File: rel,
+				Line: fset.Position(sw.Pos()).Line,
+				Msg: fmt.Sprintf("switch over inject.Outcome misses %s and has no default",
+					strings.Join(missing, ", ")),
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// constName extracts the bare or package-qualified identifier a case
+// expression refers to (ONotActivated or inject.ONotActivated).
+func constName(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		if _, ok := x.X.(*ast.Ident); ok {
+			return x.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// checkDeterminism flags wall-clock reads and global-RNG use in packages on
+// the deterministic replay path.
+func checkDeterminism(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	imports := map[string]bool{}
+	for _, imp := range file.Imports {
+		imports[strings.Trim(imp.Path.Value, `"`)] = true
+	}
+	if !imports["time"] && !imports["math/rand"] {
+		return nil
+	}
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil { // shadowed identifier, not a package
+			return true
+		}
+		switch {
+		case pkg.Name == "time" && imports["time"] && sel.Sel.Name == "Now":
+			findings = append(findings, Finding{
+				File: rel, Line: fset.Position(sel.Pos()).Line,
+				Msg: "time.Now in a deterministic replay path (outcomes must not depend on the wall clock)",
+			})
+		case pkg.Name == "rand" && imports["math/rand"] &&
+			sel.Sel.Name != "New" && sel.Sel.Name != "NewSource":
+			findings = append(findings, Finding{
+				File: rel, Line: fset.Position(sel.Pos()).Line,
+				Msg: fmt.Sprintf("rand.%s uses the global math/rand source in a deterministic replay path (use rand.New(rand.NewSource(seed)))", sel.Sel.Name),
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// inDeterministicDir reports whether a repo-relative file lives in one of
+// the guest-deterministic packages (or a subpackage of one).
+func inDeterministicDir(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, d := range deterministicDirs {
+		if strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a fixture repo: a minimal Outcome definition plus the
+// given files.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	base := map[string]string{
+		outcomeSource: `package inject
+type Outcome int
+const (
+	OA Outcome = iota + 1
+	OB
+	OC
+)
+`,
+	}
+	for k, v := range files {
+		base[k] = v
+	}
+	for rel, src := range base {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func findingStrings(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+func TestExhaustiveOutcomeSwitch(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/s.go": `package stats
+func f(o int) {
+	switch o {
+	case OA:
+	case OB:
+	}
+}
+const (
+	OA = 1
+	OB = 2
+)
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "OC") {
+		t.Errorf("want one finding missing OC, got %v", findingStrings(fs))
+	}
+}
+
+func TestExhaustiveSwitchSatisfiedByDefaultOrFullCover(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/full.go": `package stats
+import "x/inject"
+func f(o inject.Outcome) {
+	switch o {
+	case inject.OA, inject.OB:
+	case inject.OC:
+	}
+}
+`,
+		"internal/stats/def.go": `package stats
+import "x/inject"
+func g(o inject.Outcome) {
+	switch o {
+	case inject.OA:
+	default:
+	}
+}
+`,
+		"internal/stats/unrelated.go": `package stats
+func h(n int) {
+	switch n {
+	case 1:
+	}
+}
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("want no findings, got %v", findingStrings(fs))
+	}
+}
+
+func TestDeterminismRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/machine/clock.go": `package machine
+import (
+	"math/rand"
+	"time"
+)
+func bad() int64 {
+	r := rand.Int()
+	return time.Now().UnixNano() + int64(r)
+}
+func good() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+`,
+		// Tests are exempt even in deterministic dirs.
+		"internal/machine/clock_test.go": `package machine
+import "time"
+func tbad() int64 { return time.Now().UnixNano() }
+`,
+		// crashnet is off the deterministic path.
+		"internal/crashnet/net.go": `package crashnet
+import "time"
+func deadline() int64 { return time.Now().UnixNano() }
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings (rand.Int, time.Now), got %v", findingStrings(fs))
+	}
+	if !strings.Contains(fs[0].Msg, "rand.Int") || !strings.Contains(fs[1].Msg, "time.Now") {
+		t.Errorf("unexpected findings: %v", findingStrings(fs))
+	}
+}
+
+// TestRepoIsClean is the gate the lint.sh script enforces: the repository
+// itself must pass its own linter.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := Check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("repository has lint findings:\n  %s", strings.Join(findingStrings(fs), "\n  "))
+	}
+}

@@ -91,14 +91,14 @@ type ciscCore struct {
 
 var _ Core = (*ciscCore)(nil)
 
-func (c *ciscCore) Step() isa.Event                  { return c.cpu.Step() }
-func (c *ciscCore) RunUntil(limit uint64) isa.Event  { return c.cpu.RunUntil(limit) }
-func (c *ciscCore) Reset()                           { c.cpu.Reset() }
-func (c *ciscCore) PC() uint32      { return c.cpu.EIP }
-func (c *ciscCore) SetPC(v uint32)  { c.cpu.EIP = v }
-func (c *ciscCore) SP() uint32      { return c.cpu.Regs[cisc.ESP] }
-func (c *ciscCore) SetSP(v uint32)  { c.cpu.Regs[cisc.ESP] = v }
-func (c *ciscCore) Mode() isa.Mode  { return c.cpu.Mode }
+func (c *ciscCore) Step() isa.Event                 { return c.cpu.Step() }
+func (c *ciscCore) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
+func (c *ciscCore) Reset()                          { c.cpu.Reset() }
+func (c *ciscCore) PC() uint32                      { return c.cpu.EIP }
+func (c *ciscCore) SetPC(v uint32)                  { c.cpu.EIP = v }
+func (c *ciscCore) SP() uint32                      { return c.cpu.Regs[cisc.ESP] }
+func (c *ciscCore) SetSP(v uint32)                  { c.cpu.Regs[cisc.ESP] = v }
+func (c *ciscCore) Mode() isa.Mode                  { return c.cpu.Mode }
 
 func (c *ciscCore) InterruptsEnabled() bool { return c.cpu.Flags&cisc.FlagIF != 0 }
 
@@ -196,11 +196,11 @@ var _ Core = (*riscCore)(nil)
 func (c *riscCore) Step() isa.Event                 { return c.cpu.Step() }
 func (c *riscCore) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
 func (c *riscCore) Reset()                          { c.cpu.Reset() }
-func (c *riscCore) PC() uint32      { return c.cpu.PC }
-func (c *riscCore) SetPC(v uint32)  { c.cpu.PC = v }
-func (c *riscCore) SP() uint32      { return c.cpu.R[risc.SP] }
-func (c *riscCore) SetSP(v uint32)  { c.cpu.R[risc.SP] = v }
-func (c *riscCore) Mode() isa.Mode  { return c.cpu.Mode() }
+func (c *riscCore) PC() uint32                      { return c.cpu.PC }
+func (c *riscCore) SetPC(v uint32)                  { c.cpu.PC = v }
+func (c *riscCore) SP() uint32                      { return c.cpu.R[risc.SP] }
+func (c *riscCore) SetSP(v uint32)                  { c.cpu.R[risc.SP] = v }
+func (c *riscCore) Mode() isa.Mode                  { return c.cpu.Mode() }
 
 func (c *riscCore) InterruptsEnabled() bool { return c.cpu.InterruptsEnabled() }
 

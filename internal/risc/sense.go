@@ -1,0 +1,64 @@
+package risc
+
+// ExecView reduces a decoded instruction to the fields its executor
+// actually reads, so two encodings with equal views (the cost is per-Op,
+// hence automatically equal) execute identically. Unlike the CISC decoder,
+// Decode fills every bitfield slot regardless of the operation — RD carries
+// BO for bc, compare opcodes ignore their Rc slot, and the X-form ALU ops
+// accept but never evaluate the Rc bit (cpu.go computes no CR0 for them) —
+// so whole-struct comparison would be wrong in both directions. The
+// projection below must mirror cpu.go's Step; keep them in sync.
+//
+// ok is false for operations outside the table (OpIllegal or a future op
+// this projection does not model yet): callers must then treat the two
+// instructions as distinguishable.
+func ExecView(in Inst) (Inst, bool) {
+	v := Inst{Op: in.Op}
+	switch in.Op {
+	case OpADDI, OpADDIS, OpMULLI,
+		OpLWZ, OpLBZ, OpLHZ, OpLHA, OpSTW, OpSTWU, OpSTB, OpSTH:
+		v.RD, v.RA, v.SIMM = in.RD, in.RA, in.SIMM
+	case OpCMPWI:
+		v.RA, v.SIMM = in.RA, in.SIMM
+	case OpCMPLWI:
+		v.RA, v.UIMM = in.RA, in.UIMM
+	case OpORI, OpORIS, OpXORI, OpANDIRc:
+		v.RD, v.RA, v.UIMM = in.RD, in.RA, in.UIMM
+	case OpRLWINM:
+		// rlwinm is the one rotate that honours Rc.
+		v.RD, v.RA, v.SH, v.MB, v.ME, v.Rc = in.RD, in.RA, in.SH, in.MB, in.ME, in.Rc
+	case OpTWI:
+		v.TO, v.RA, v.SIMM = in.TO, in.RA, in.SIMM
+	case OpB:
+		v.SIMM, v.AA, v.LK = in.SIMM, in.AA, in.LK
+	case OpBC:
+		v.BO, v.BI, v.SIMM, v.AA, v.LK = in.BO, in.BI, in.SIMM, in.AA, in.LK
+	case OpBCLR, OpBCCTR:
+		v.BO, v.BI, v.LK = in.BO, in.BI, in.LK
+	case OpSC, OpRFI, OpISYNC, OpSYNC, OpHALT:
+		// No operand fields (sc reads r0 implicitly; decode pins the rest).
+	case OpCMPW, OpCMPLW:
+		v.RA, v.RB = in.RA, in.RB
+	case OpTW:
+		v.TO, v.RA, v.RB = in.TO, in.RA, in.RB
+	case OpADD, OpSUBF, OpMULLW, OpDIVW,
+		OpAND, OpOR, OpXOR, OpNOR, OpSLW, OpSRW, OpSRAW,
+		OpLWZX, OpLBZX, OpLHZX, OpLHAX, OpSTWX, OpSTBX, OpSTHX:
+		// X-form ALU ignores Rc in the executor; loads/stores reject it in
+		// decode. Either way it is not part of the view.
+		v.RD, v.RA, v.RB = in.RD, in.RA, in.RB
+	case OpNEG, OpEXTSB, OpEXTSH:
+		v.RD, v.RA = in.RD, in.RA
+	case OpSRAWI:
+		v.RD, v.RA, v.SH = in.RD, in.RA, in.SH
+	case OpMFSPR, OpMTSPR:
+		v.RD, v.SPR = in.RD, in.SPR
+	case OpMFMSR, OpMTMSR, OpMFCR, OpMTCRF:
+		v.RD = in.RD
+	case OpCTXSW:
+		v.RA, v.RB = in.RA, in.RB
+	default:
+		return in, false
+	}
+	return v, true
+}

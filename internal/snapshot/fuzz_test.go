@@ -15,7 +15,7 @@ import (
 // codec robustness tests and the fuzzer run in microseconds.
 func tinySnapshot(p isa.Platform) *snapshot.Snapshot {
 	img := make([]byte, 4*mem.PageSize)
-	img[0] = 0xde             // page 0 nonzero
+	img[0] = 0xde              // page 0 nonzero
 	img[2*mem.PageSize] = 0xad // page 2 nonzero; pages 1 and 3 stay sparse
 	s := &snapshot.Snapshot{Cycles: 12345, Image: img}
 	s.State.Platform = p

@@ -1,0 +1,190 @@
+package staticsense
+
+import (
+	"errors"
+	"fmt"
+
+	"kfi/internal/cisc"
+)
+
+// ciscAlwaysLive are registers the analyzer never allows in a dead set:
+// interrupt delivery pushes frames through ESP at arbitrary instruction
+// boundaries, and EBP anchors the frame chain crash diagnosis walks, so
+// neither is ever provably dead from the linear instruction stream alone.
+const ciscAlwaysLive = regSet(1<<cisc.ESP | 1<<cisc.EBP)
+
+// classifyCISC classifies one flip against the variable-length decoder.
+// The flipped bytes are re-decoded in a fresh window so a flip may shrink,
+// grow, or invalidate the instruction — the CISC-specific hazards of §4.4.
+func (a *Analyzer) classifyCISC(addr uint32, info instrInfo, byteOff uint8, bit uint) Prediction {
+	orig := info.cInst
+	off := addr - a.img.CodeBase
+	end := off + cisc.MaxInstLen
+	if end > uint32(len(a.img.Code)) {
+		end = uint32(len(a.img.Code))
+	}
+	var win [cisc.MaxInstLen]byte
+	n := copy(win[:], a.img.Code[off:end])
+	win[byteOff] ^= 1 << bit
+
+	flip, err := cisc.Decode(win[:n])
+	if err != nil {
+		if n < cisc.MaxInstLen && errors.Is(err, cisc.ErrTruncated) {
+			// The flipped encoding wants bytes beyond the code image; what
+			// the fetch would read there is outside the analyzed image.
+			return Prediction{Class: ClassUnknown, Detail: "flipped instruction runs past the code image"}
+		}
+		return Prediction{Class: ClassInvalid, Detail: "flipped bytes do not decode (#UD)"}
+	}
+	if flip.Len != orig.Len {
+		return Prediction{Class: ClassLength,
+			Detail: fmt.Sprintf("decoded length %d -> %d resynchronizes the downstream stream", orig.Len, flip.Len)}
+	}
+	if cisc.ExecEqual(orig, flip) {
+		if a.midEntry(addr, orig.Len) {
+			return Prediction{Class: ClassInertEncoding,
+				Detail: "execution-identical decode, but a direct branch targets mid-instruction"}
+		}
+		return Prediction{Class: ClassInertEncoding, Inert: true,
+			Detail: "flip lands on a don't-care encoding bit"}
+	}
+
+	var cl Class
+	switch {
+	case flip.Op != orig.Op || flip.Format != orig.Format || flip.Cc != orig.Cc ||
+		flip.Cost() != orig.Cost():
+		cl = ClassOpcode
+	case flip.R1 != orig.R1 || flip.R2 != orig.R2 || flip.Idx != orig.Idx ||
+		flip.Scale != orig.Scale:
+		cl = ClassRegField
+	default:
+		cl = ClassImmediate
+	}
+	if p, ok := a.deadValueCISC(addr, orig, flip, cl); ok {
+		return p
+	}
+	return Prediction{Class: cl, Detail: fmt.Sprintf("%s -> %s", orig.Name(), flip.Name())}
+}
+
+// deadValueCISC proves a same-length flip inert by liveness: both sides
+// must be pure (no memory, flags, control, traps, or system state — only
+// GPR writes), equal-cost (so the cycle clock and interrupt timing are
+// untouched), and every register either version writes must be dead in the
+// linear window that follows. See DESIGN.md §13 for why this transfers to
+// every dynamic execution of the corrupted address.
+func (a *Analyzer) deadValueCISC(addr uint32, orig, flip cisc.Inst, cl Class) (Prediction, bool) {
+	wOrig, ok := ciscPure(orig)
+	if !ok {
+		return Prediction{}, false
+	}
+	wFlip, ok := ciscPure(flip)
+	if !ok {
+		return Prediction{}, false
+	}
+	if orig.Cost() != flip.Cost() {
+		return Prediction{}, false
+	}
+	dest := wOrig | wFlip
+	if dest&ciscAlwaysLive != 0 || a.midEntry(addr, orig.Len) {
+		return Prediction{}, false
+	}
+	if !a.deadAfter(addr, dest) {
+		return Prediction{}, false
+	}
+	return Prediction{Class: ClassDeadValue, Inert: true,
+		Detail: fmt.Sprintf("%s flip, but both versions only write dead registers", cl)}, true
+}
+
+// ciscPure returns the GPR write set of an instruction that is pure: it
+// writes only general registers — no memory access, no flag update, no
+// control transfer, no possible trap, no system state. The whitelist is
+// deliberately narrow; every op outside it fails the dead-value proof.
+func ciscPure(in cisc.Inst) (regSet, bool) {
+	switch in.Op {
+	case cisc.OpMOV, cisc.OpLEA, cisc.OpLEAIDX,
+		cisc.OpMOVZX8, cisc.OpMOVSX8, cisc.OpMOVZX16, cisc.OpMOVSX16,
+		cisc.OpNOT, cisc.OpSETCC, cisc.OpSTR, cisc.OpMOVRSEG:
+		return 1 << in.R1, true
+	case cisc.OpXCHG:
+		return 1<<in.R1 | 1<<in.R2, true
+	case cisc.OpXCHGA:
+		return 1<<cisc.EAX | 1<<in.R1, true
+	case cisc.OpNOP:
+		return 0, true
+	}
+	return 0, false
+}
+
+// ciscEffects models one instruction for the linear liveness scan. The
+// contract is asymmetric: reads may over-approximate (extra reads only
+// lose precision), kills must under-approximate (only unconditional
+// full-register writes), and anything unmodeled — control flow, trap-
+// capable ops (idiv/mod/bound/int), and system-state writers — must be a
+// barrier.
+func ciscEffects(in cisc.Inst) effects {
+	r := func(regs ...uint8) regSet {
+		var s regSet
+		for _, x := range regs {
+			s |= 1 << x
+		}
+		return s
+	}
+	// Second ALU operand is a register only in the FRR form.
+	src := regSet(0)
+	if in.Format == cisc.FRR {
+		src = 1 << in.R2
+	}
+	switch in.Op {
+	case cisc.OpNOP, cisc.OpCLI, cisc.OpSTI, cisc.OpCMPLABS:
+		return effects{}
+	case cisc.OpMOV:
+		return effects{reads: src, kills: r(in.R1)}
+	case cisc.OpADD, cisc.OpSUB, cisc.OpAND, cisc.OpOR, cisc.OpXOR,
+		cisc.OpIMUL, cisc.OpSHL, cisc.OpSHR, cisc.OpSAR:
+		return effects{reads: r(in.R1) | src, kills: r(in.R1)}
+	case cisc.OpCMP, cisc.OpTEST:
+		return effects{reads: r(in.R1) | src}
+	case cisc.OpXCHG:
+		return effects{reads: r(in.R1, in.R2), kills: r(in.R1, in.R2)}
+	case cisc.OpXCHGA:
+		return effects{reads: r(cisc.EAX, in.R1), kills: r(cisc.EAX, in.R1)}
+	case cisc.OpNEG, cisc.OpNOT, cisc.OpINC, cisc.OpDEC:
+		return effects{reads: r(in.R1), kills: r(in.R1)}
+	case cisc.OpMOVZX8, cisc.OpMOVSX8, cisc.OpMOVZX16, cisc.OpMOVSX16:
+		return effects{reads: r(in.R2), kills: r(in.R1)}
+	case cisc.OpSETCC, cisc.OpLDABS, cisc.OpSTR, cisc.OpMOVRSEG:
+		return effects{kills: r(in.R1)}
+	case cisc.OpLD32, cisc.OpLD16ZX, cisc.OpLD16SX, cisc.OpLD8ZX, cisc.OpLD8SX,
+		cisc.OpLOADFS:
+		return effects{reads: r(in.R2), kills: r(in.R1)}
+	case cisc.OpLD32IDX:
+		return effects{reads: r(in.R2, in.Idx), kills: r(in.R1)}
+	case cisc.OpST32, cisc.OpST16, cisc.OpST8, cisc.OpCMPM:
+		return effects{reads: r(in.R1, in.R2)}
+	case cisc.OpST32IDX:
+		return effects{reads: r(in.R1, in.R2, in.Idx)}
+	case cisc.OpSTABS:
+		return effects{reads: r(in.R1)}
+	case cisc.OpMOVMI8, cisc.OpINCM, cisc.OpDECM:
+		return effects{reads: r(in.R2)}
+	case cisc.OpADDM:
+		return effects{reads: r(in.R1, in.R2), kills: r(in.R1)}
+	case cisc.OpADDMS, cisc.OpSUBMS, cisc.OpANDMS, cisc.OpORMS, cisc.OpXORMS:
+		return effects{reads: r(in.R1, in.R2)}
+	case cisc.OpLEA:
+		return effects{reads: r(in.R2), kills: r(in.R1)}
+	case cisc.OpLEAIDX:
+		return effects{reads: r(in.R2, in.Idx), kills: r(in.R1)}
+	case cisc.OpPUSH:
+		return effects{reads: r(in.R1, cisc.ESP)}
+	case cisc.OpPUSHI, cisc.OpPUSHF, cisc.OpPOPF:
+		return effects{reads: r(cisc.ESP)}
+	case cisc.OpPOP:
+		return effects{reads: r(cisc.ESP), kills: r(in.R1)}
+	case cisc.OpLEAVE:
+		return effects{reads: r(cisc.EBP, cisc.ESP)}
+	}
+	// Control flow, idiv/mod (#DE), bound/int (traps), iret/hlt/ctxsw/ud2,
+	// control/debug/segment/task-register writes, and anything unforeseen.
+	return effects{barrier: true}
+}

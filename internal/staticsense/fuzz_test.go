@@ -1,0 +1,75 @@
+package staticsense
+
+import (
+	"testing"
+
+	"kfi/internal/cisc"
+)
+
+// FuzzClassifyFlip drives the CISC classifier with arbitrary byte streams
+// and checks its two hard contracts against the real decoder:
+//
+//   - it never panics, whatever the image contents;
+//   - its verdicts never disagree with cisc.Decode on instruction
+//     boundaries: ClassInvalid means the flipped bytes do not decode,
+//     ClassLength means they decode at a different length, and every
+//     same-length class decodes at the original length.
+func FuzzClassifyFlip(f *testing.F) {
+	// Seed with every valid opcode byte leading a window wide enough for
+	// the largest format, so each decoder format is exercised from the
+	// first generation on.
+	for b := 0; b < 256; b++ {
+		if _, _, ok := cisc.Lookup(byte(b)); ok {
+			f.Add([]byte{byte(b), 0x31, 0x44, 0x33, 0x22, 0x11, 0x20, 0x01, 0x02}, uint8(0), uint8(3))
+		}
+	}
+	// The synthetic sequence from the unit tests: two movs and a ret.
+	f.Add([]byte{0x02, 0x31, 0x06, 0x03, 0x44, 0x33, 0x22, 0x11, 0x0b}, uint8(1), uint8(0))
+
+	f.Fuzz(func(t *testing.T, code []byte, byteOff, bit uint8) {
+		if len(code) == 0 || len(code) > 64 {
+			return
+		}
+		an, err := New(ciscImage(append([]byte(nil), code...)))
+		if err != nil {
+			t.Fatalf("New on a valid range: %v", err)
+		}
+		for _, addr := range an.addrs {
+			info := an.instrs[addr]
+			off := byteOff % info.size
+			p := an.ClassifyFlip(addr, off, uint(bit%8))
+
+			// Re-decode the flipped window with the real decoder.
+			o := int(addr - an.img.CodeBase)
+			end := o + cisc.MaxInstLen
+			if end > len(an.img.Code) {
+				end = len(an.img.Code)
+			}
+			win := append([]byte(nil), an.img.Code[o:end]...)
+			win[off] ^= 1 << (bit % 8)
+			flip, derr := cisc.Decode(win)
+
+			switch p.Class {
+			case ClassUnknown:
+				// The analyzer declined (e.g. the flipped encoding runs past
+				// the image); nothing to cross-check.
+			case ClassInvalid:
+				if derr == nil {
+					t.Errorf("%#x+%d bit %d: ClassInvalid but decoder accepts % x", addr, off, bit%8, win)
+				}
+			case ClassLength:
+				if derr != nil {
+					t.Errorf("%#x+%d bit %d: ClassLength but decoder rejects: %v", addr, off, bit%8, derr)
+				} else if flip.Len == info.cInst.Len {
+					t.Errorf("%#x+%d bit %d: ClassLength but length unchanged (%d)", addr, off, bit%8, flip.Len)
+				}
+			default:
+				if derr != nil {
+					t.Errorf("%#x+%d bit %d: %v but decoder rejects: %v", addr, off, bit%8, p.Class, derr)
+				} else if flip.Len != info.cInst.Len {
+					t.Errorf("%#x+%d bit %d: %v but length %d -> %d", addr, off, bit%8, p.Class, info.cInst.Len, flip.Len)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package staticsense
+
+import "kfi/internal/isa"
+
+// regSet is a bitmask over guest general registers (8 on CISC, 32 on
+// RISC); bit i is register i.
+type regSet uint32
+
+// effects models one instruction for the linear liveness scan. The
+// soundness contract: reads must be a superset of the registers the
+// executor may read, kills a subset of the registers it unconditionally
+// fully overwrites, and barrier true for anything else that could end or
+// divert the linear window (control transfer, trap, system-state write,
+// unmodeled operation).
+type effects struct {
+	reads   regSet
+	kills   regSet
+	barrier bool
+}
+
+// scanLimit bounds the liveness window. Compiled basic blocks are short;
+// a register still unkilled after this many instructions is treated live.
+const scanLimit = 64
+
+// deadAfter proves every register in want dead after the instruction at
+// addr: walking the *linear* successor stream (never following control
+// flow), each register must be fully overwritten before any instruction
+// reads it, before the first barrier, and within scanLimit instructions.
+//
+// Linearity is what makes the proof transfer to every dynamic execution of
+// addr: control flow always falls through the window instructions in order
+// until the first barrier, and conditional branches are barriers, so the
+// window is exactly the code that executes after the corrupted write —
+// modulo interrupts, whose handlers are register-transparent (they must
+// save and restore any GPR they touch for the golden run to be correct).
+func (a *Analyzer) deadAfter(addr uint32, want regSet) bool {
+	if want == 0 {
+		return true
+	}
+	next := addr + uint32(a.instrs[addr].size)
+	for i := 0; i < scanLimit; i++ {
+		info, ok := a.instrs[next]
+		if !ok {
+			// Ran past the decoded instructions (function end): no kill
+			// proof, treat as live.
+			return false
+		}
+		var e effects
+		if a.platform == isa.RISC {
+			e = riscEffects(info.rInst, info.rOK)
+		} else {
+			e = ciscEffects(info.cInst)
+		}
+		if e.barrier || e.reads&want != 0 {
+			return false
+		}
+		want &^= e.kills
+		if want == 0 {
+			return true
+		}
+		next += uint32(info.size)
+	}
+	return false
+}

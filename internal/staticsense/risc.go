@@ -1,0 +1,153 @@
+package staticsense
+
+import (
+	"fmt"
+
+	"kfi/internal/risc"
+)
+
+// riscAlwaysLive keeps r1 (the stack pointer) out of every dead set:
+// exception entry and the kernel glue reach through it at arbitrary
+// instruction boundaries.
+const riscAlwaysLive = regSet(1 << risc.SP)
+
+// classifyRISC classifies one flip in a fixed-width 32-bit word. The word
+// is stored big-endian (see asm.go), so memory byte k holds instruction
+// bits [31-8k .. 24-8k]. Alignment makes mid-instruction entry impossible,
+// which removes the CISC resync hazards: there is no length class here.
+func (a *Analyzer) classifyRISC(addr uint32, info instrInfo, byteOff uint8, bit uint) Prediction {
+	if !info.rOK {
+		return Prediction{Class: ClassUnknown, Detail: "original word does not decode"}
+	}
+	orig := info.rInst
+	off := addr - a.img.CodeBase
+	raw := beWord(a.img.Code[off:])
+	flipped := raw ^ 1<<(bit+8*uint(3-byteOff))
+
+	flip, err := risc.Decode(flipped)
+	if err != nil {
+		return Prediction{Class: ClassInvalid, Detail: "flipped word does not decode (program check)"}
+	}
+	vo, okO := risc.ExecView(orig)
+	vf, okF := risc.ExecView(flip)
+	if okO && okF && vo == vf {
+		// Equal views imply equal Op, and the cycle cost is per-Op.
+		return Prediction{Class: ClassInertEncoding, Inert: true,
+			Detail: "flip lands on a bit the executor ignores"}
+	}
+	if !okO || !okF {
+		if flip.Op != orig.Op {
+			return Prediction{Class: ClassOpcode, Detail: "operation changed (unmodeled side)"}
+		}
+		return Prediction{Class: ClassUnknown, Detail: "operation outside the exec-view model"}
+	}
+
+	var cl Class
+	switch {
+	case flip.Op != orig.Op:
+		cl = ClassOpcode
+	case vo.RD != vf.RD || vo.RA != vf.RA || vo.RB != vf.RB:
+		cl = ClassRegField
+	default:
+		cl = ClassImmediate
+	}
+	if p, ok := a.deadValueRISC(addr, orig, flip, cl); ok {
+		return p
+	}
+	return Prediction{Class: cl, Detail: fmt.Sprintf("%s -> %s", orig.Op.Name(), flip.Op.Name())}
+}
+
+// deadValueRISC is the fixed-width twin of deadValueCISC: pure, equal-cost
+// instruction pair whose written registers are all dead downstream.
+func (a *Analyzer) deadValueRISC(addr uint32, orig, flip risc.Inst, cl Class) (Prediction, bool) {
+	wOrig, ok := riscPure(orig)
+	if !ok {
+		return Prediction{}, false
+	}
+	wFlip, ok := riscPure(flip)
+	if !ok {
+		return Prediction{}, false
+	}
+	if orig.Cost() != flip.Cost() {
+		return Prediction{}, false
+	}
+	dest := wOrig | wFlip
+	if dest&riscAlwaysLive != 0 {
+		return Prediction{}, false
+	}
+	if !a.deadAfter(addr, dest) {
+		return Prediction{}, false
+	}
+	return Prediction{Class: ClassDeadValue, Inert: true,
+		Detail: fmt.Sprintf("%s flip, but both versions only write dead registers", cl)}, true
+}
+
+// riscPure returns the GPR write set of a pure instruction: GPR-only
+// writes, no memory, no CR/XER update, no control transfer, no trap. divw
+// is included because the PowerPC divide never traps (undefined results
+// are modeled as 0); andi. and every Rc-honouring rlwinm are excluded for
+// their CR0 write. The X-form ALU ops are pure even with Rc set — the
+// executor ignores the bit entirely (see risc.ExecView).
+func riscPure(in risc.Inst) (regSet, bool) {
+	switch in.Op {
+	case risc.OpADDI, risc.OpADDIS, risc.OpMULLI,
+		risc.OpADD, risc.OpSUBF, risc.OpNEG, risc.OpMULLW, risc.OpDIVW:
+		return 1 << in.RD, true
+	case risc.OpORI, risc.OpORIS, risc.OpXORI:
+		return 1 << in.RA, true
+	case risc.OpRLWINM:
+		if in.Rc {
+			return 0, false
+		}
+		return 1 << in.RA, true
+	case risc.OpAND, risc.OpOR, risc.OpXOR, risc.OpNOR,
+		risc.OpSLW, risc.OpSRW, risc.OpSRAW, risc.OpSRAWI,
+		risc.OpEXTSB, risc.OpEXTSH:
+		return 1 << in.RA, true
+	}
+	return 0, false
+}
+
+// riscEffects models one instruction for the liveness scan; same contract
+// as ciscEffects (reads over-approximate, kills under-approximate,
+// unmodeled ops are barriers). RA reads are recorded even where the
+// executor treats ra=0 as a literal zero — a spurious r0 read only costs
+// precision.
+func riscEffects(in risc.Inst, ok bool) effects {
+	if !ok {
+		return effects{barrier: true}
+	}
+	switch in.Op {
+	case risc.OpADDI, risc.OpADDIS, risc.OpMULLI,
+		risc.OpLWZ, risc.OpLBZ, risc.OpLHZ, risc.OpLHA:
+		return effects{reads: 1 << in.RA, kills: 1 << in.RD}
+	case risc.OpCMPWI, risc.OpCMPLWI:
+		return effects{reads: 1 << in.RA}
+	case risc.OpORI, risc.OpORIS, risc.OpXORI, risc.OpANDIRc, risc.OpRLWINM,
+		risc.OpSRAWI, risc.OpEXTSB, risc.OpEXTSH:
+		return effects{reads: 1 << in.RD, kills: 1 << in.RA}
+	case risc.OpSTW, risc.OpSTB, risc.OpSTH:
+		return effects{reads: 1<<in.RA | 1<<in.RD}
+	case risc.OpSTWU:
+		return effects{reads: 1<<in.RA | 1<<in.RD, kills: 1 << in.RA}
+	case risc.OpLWZX, risc.OpLBZX, risc.OpLHZX, risc.OpLHAX:
+		return effects{reads: 1<<in.RA | 1<<in.RB, kills: 1 << in.RD}
+	case risc.OpSTWX, risc.OpSTBX, risc.OpSTHX:
+		return effects{reads: 1<<in.RA | 1<<in.RB | 1<<in.RD}
+	case risc.OpADD, risc.OpSUBF, risc.OpMULLW, risc.OpDIVW:
+		return effects{reads: 1<<in.RA | 1<<in.RB, kills: 1 << in.RD}
+	case risc.OpNEG:
+		return effects{reads: 1 << in.RA, kills: 1 << in.RD}
+	case risc.OpAND, risc.OpOR, risc.OpXOR, risc.OpNOR,
+		risc.OpSLW, risc.OpSRW, risc.OpSRAW:
+		return effects{reads: 1<<in.RD | 1<<in.RB, kills: 1 << in.RA}
+	case risc.OpCMPW, risc.OpCMPLW:
+		return effects{reads: 1<<in.RA | 1<<in.RB}
+	case risc.OpMFSPR, risc.OpMFMSR, risc.OpMFCR:
+		return effects{kills: 1 << in.RD}
+	case risc.OpISYNC, risc.OpSYNC:
+		return effects{}
+	}
+	// Branches, sc/rfi, tw/twi, mtspr/mtmsr/mtcrf, ctxsw/halt, illegal.
+	return effects{barrier: true}
+}

@@ -1,0 +1,286 @@
+// Package staticsense statically classifies single-bit flips in a built
+// kernel's code image without executing them — the decoder-aware pre-pass
+// the FastFlip/BEC line of work applies to fault-injection campaigns.
+//
+// The analyzer walks every compiled kernel function, recovers instruction
+// boundaries exactly the way the campaign generator does, and places each
+// candidate (address, byte, bit) flip in a classification lattice:
+//
+//	invalid > length > opcode > reg-field > immediate > dead-value > inert-encoding
+//
+// ordered by how directly the flip threatens execution. The two bottom
+// classes are *predicted inert*: the flip provably cannot change any
+// architecturally visible outcome of a run (workload checksum, cycle count,
+// crash/hang state), so a campaign may skip them and journal the golden
+// outcome instead. See DESIGN.md §13 for the full soundness argument; the
+// campaign-side confusion matrix (internal/stats) measures it per run.
+package staticsense
+
+import (
+	"fmt"
+	"sort"
+
+	"kfi/internal/cc"
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/risc"
+)
+
+// Class places one candidate flip in the classification lattice.
+type Class uint8
+
+const (
+	// ClassUnknown marks flips the analyzer cannot reason about: the
+	// address is not a statically decoded instruction boundary, the byte
+	// offset lies outside the instruction, or the original word does not
+	// decode. Never predicted inert.
+	ClassUnknown Class = iota
+	// ClassInvalid flips decode to no instruction at all: reaching them
+	// raises the ISA's invalid-opcode exception (#UD / program check).
+	ClassInvalid
+	// ClassLength flips change the decoded instruction length (CISC only),
+	// resynchronizing the downstream instruction stream.
+	ClassLength
+	// ClassOpcode flips keep the length but change the operation.
+	ClassOpcode
+	// ClassRegField flips keep the operation but change a register or
+	// addressing operand field.
+	ClassRegField
+	// ClassImmediate flips keep operation and registers but change an
+	// immediate, displacement, or condition field.
+	ClassImmediate
+	// ClassDeadValue flips change only the value written to destination
+	// registers that a conservative linear liveness scan proves dead
+	// (overwritten before any read, barrier, or control transfer), by an
+	// instruction pair proven pure and cost-equal. Predicted inert.
+	ClassDeadValue
+	// ClassInertEncoding flips land on don't-care encoding bits: the
+	// flipped word decodes to an instruction the executor cannot
+	// distinguish from the original. Predicted inert.
+	ClassInertEncoding
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	ClassUnknown:       "unknown",
+	ClassInvalid:       "invalid",
+	ClassLength:        "length",
+	ClassOpcode:        "opcode",
+	ClassRegField:      "reg-field",
+	ClassImmediate:     "immediate",
+	ClassDeadValue:     "dead-value",
+	ClassInertEncoding: "inert-encoding",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Classes lists every class in lattice order (most to least threatening),
+// for stable rendering of per-class tallies.
+func Classes() []Class {
+	out := make([]Class, 0, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Prediction is the analyzer's verdict on one candidate flip.
+type Prediction struct {
+	Class Class
+	// Inert predicts that injecting the flip cannot change any
+	// architecturally visible outcome: if the campaign executes it anyway,
+	// the run must end with the golden checksum and cycle count.
+	Inert bool
+	// Detail is a one-line human explanation of the verdict.
+	Detail string
+}
+
+// instrInfo caches one statically decoded instruction.
+type instrInfo struct {
+	size  uint8
+	cInst cisc.Inst // CISC: the decoded original
+	rInst risc.Inst // RISC: the decoded original
+	rOK   bool      // RISC: whether the word decodes at all
+}
+
+// Analyzer classifies flips against one built kernel image. Building it
+// decodes every function once; ClassifyFlip is then O(window) per query.
+type Analyzer struct {
+	platform isa.Platform
+	img      *cc.Image
+	instrs   map[uint32]instrInfo
+	// addrs lists decoded instruction addresses in ascending order, for
+	// deterministic sweeps.
+	addrs []uint32
+	// directTargets holds every direct branch/call target in the image
+	// (CISC only): an inert prediction additionally requires that no such
+	// target lands strictly inside the flipped instruction, where the
+	// corrupted byte would be reinterpreted mid-stream.
+	directTargets map[uint32]bool
+}
+
+// New builds an analyzer over a compiled kernel image.
+func New(img *cc.Image) (*Analyzer, error) {
+	a := &Analyzer{
+		platform:      img.Platform,
+		img:           img,
+		instrs:        make(map[uint32]instrInfo, len(img.Code)/3),
+		directTargets: map[uint32]bool{},
+	}
+	for _, fn := range img.Funcs {
+		if fn.Start < img.CodeBase || uint64(fn.End-img.CodeBase) > uint64(len(img.Code)) || fn.End < fn.Start {
+			return nil, fmt.Errorf("staticsense: function %s [%#x,%#x) outside code image", fn.Name, fn.Start, fn.End)
+		}
+		a.addFunc(fn)
+	}
+	sort.Slice(a.addrs, func(i, j int) bool { return a.addrs[i] < a.addrs[j] })
+	return a, nil
+}
+
+// addFunc decodes one function's instruction boundaries, mirroring the
+// campaign generator: 4-byte words on RISC, sequential variable-length
+// decode stopping at the first error on CISC.
+func (a *Analyzer) addFunc(fn cc.FuncRange) {
+	code := a.img.Code[fn.Start-a.img.CodeBase : fn.End-a.img.CodeBase]
+	if a.platform == isa.RISC {
+		for off := uint32(0); off+4 <= uint32(len(code)); off += 4 {
+			in, err := risc.Decode(beWord(code[off:]))
+			addr := fn.Start + off
+			a.instrs[addr] = instrInfo{size: 4, rInst: in, rOK: err == nil}
+			a.addrs = append(a.addrs, addr)
+		}
+		return
+	}
+	for off := 0; off < len(code); {
+		in, err := cisc.Decode(code[off:])
+		if err != nil {
+			break
+		}
+		addr := fn.Start + uint32(off)
+		a.instrs[addr] = instrInfo{size: in.Len, cInst: in}
+		a.addrs = append(a.addrs, addr)
+		if t, ok := directTarget(in, addr); ok {
+			a.directTargets[t] = true
+		}
+		off += int(in.Len)
+	}
+}
+
+// directTarget extracts the statically known destination of a direct
+// branch or call. Indirect transfers (register, return) take their targets
+// from data the compiler emitted as valid instruction boundaries, so only
+// direct encodings need enumerating for the mid-entry check.
+func directTarget(in cisc.Inst, addr uint32) (uint32, bool) {
+	switch in.Op {
+	case cisc.OpJMP, cisc.OpJCC, cisc.OpCALL:
+	default:
+		return 0, false
+	}
+	switch in.Format {
+	case cisc.FRel8, cisc.FRel32:
+		return addr + uint32(in.Len) + uint32(in.Imm), true
+	case cisc.FAbsI32, cisc.FAbsR:
+		if in.Format == cisc.FAbsI32 {
+			return in.Abs, true
+		}
+	}
+	return 0, false
+}
+
+// midEntry reports whether any direct branch target lands strictly inside
+// [addr+1, addr+size): executing from there would reinterpret the flipped
+// byte against a different instruction frame, voiding the classification.
+// Compiled code never branches mid-instruction, so this is a defensive
+// check that only fires on hand-crafted images.
+func (a *Analyzer) midEntry(addr uint32, size uint8) bool {
+	for t := addr + 1; t < addr+uint32(size); t++ {
+		if a.directTargets[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyFlip classifies the single-bit flip of bit `bit` (0–7) in the
+// byte at addr+byteOff, where addr must be an instruction boundary — the
+// exact shape of a CampCode injection target. Unknown addresses and
+// out-of-range offsets yield ClassUnknown, never a panic.
+func (a *Analyzer) ClassifyFlip(addr uint32, byteOff uint8, bit uint) Prediction {
+	info, ok := a.instrs[addr]
+	if !ok {
+		return Prediction{Class: ClassUnknown, Detail: "address is not a decoded instruction boundary"}
+	}
+	if byteOff >= info.size {
+		return Prediction{Class: ClassUnknown, Detail: "byte offset beyond the instruction"}
+	}
+	bit &= 7
+	if a.platform == isa.RISC {
+		return a.classifyRISC(addr, info, byteOff, bit)
+	}
+	return a.classifyCISC(addr, info, byteOff, bit)
+}
+
+// Report tallies a whole-image sweep of every candidate flip.
+type Report struct {
+	Platform isa.Platform `json:"platform"`
+	// Sites is the size of the code-injection space: one per (instruction,
+	// byte, bit) triple over every decoded instruction.
+	Sites   int            `json:"sites"`
+	ByClass map[string]int `json:"by_class"`
+	// Inert counts sites predicted inert (dead-value + inert-encoding).
+	Inert int `json:"inert"`
+}
+
+// InertFrac is the fraction of the injection space predicted inert — the
+// pruning rate a -prune campaign achieves on uniformly drawn code targets.
+func (r *Report) InertFrac() float64 {
+	if r.Sites == 0 {
+		return 0
+	}
+	return float64(r.Inert) / float64(r.Sites)
+}
+
+// Sweep classifies every candidate flip in the image.
+func (a *Analyzer) Sweep() *Report {
+	r := &Report{Platform: a.platform, ByClass: map[string]int{}}
+	for _, addr := range a.addrs {
+		size := a.instrs[addr].size
+		for off := uint8(0); off < size; off++ {
+			for bit := uint(0); bit < 8; bit++ {
+				p := a.ClassifyFlip(addr, off, bit)
+				r.Sites++
+				r.ByClass[p.Class.String()]++
+				if p.Inert {
+					r.Inert++
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Render formats a sweep as an aligned per-class table.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("%-10s %9d candidate (instruction, byte, bit) flips\n", r.Platform, r.Sites)
+	for _, c := range Classes() {
+		n := r.ByClass[c.String()]
+		if n == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", c, n, 100*float64(n)/float64(r.Sites))
+	}
+	out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", "predicted inert", r.Inert, 100*r.InertFrac())
+	return out
+}
+
+// beWord reads a big-endian 32-bit instruction word (the RISC memory
+// layout: asm.go emits big-endian, and the core fetches the same way).
+func beWord(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"kfi/internal/inject"
+	"kfi/internal/staticsense"
+)
+
+// ConfusionRow is one predicted-class row of the predicted-vs-observed
+// matrix, with observed outcomes grouped the way the soundness argument
+// cares about them: skipped (synthesized, never executed), not activated,
+// not manifested, manifested (fail silence + crash + hang), quarantined.
+type ConfusionRow struct {
+	Class         string `json:"class"`
+	Skipped       int    `json:"skipped"`
+	NotActivated  int    `json:"not_activated"`
+	NotManifested int    `json:"not_manifested"`
+	Manifested    int    `json:"manifested"`
+	Quarantined   int    `json:"quarantined"`
+}
+
+// Total is the row's experiment count.
+func (r ConfusionRow) Total() int {
+	return r.Skipped + r.NotActivated + r.NotManifested + r.Manifested + r.Quarantined
+}
+
+// Confusion cross-tabulates the static analyzer's predictions against
+// observed campaign outcomes — the validation table for the pre-pass.
+type Confusion struct {
+	// Annotated counts results carrying a static prediction; results from
+	// campaigns (or target kinds) the analyzer does not cover are ignored.
+	Annotated int `json:"annotated"`
+	// Rows lists the non-empty predicted classes in lattice order.
+	Rows []ConfusionRow `json:"rows"`
+	// Violations counts soundness failures: flips predicted inert that were
+	// actually executed (not skipped) and manifested anyway. The analyzer
+	// is sound iff this is zero.
+	Violations int `json:"violations"`
+}
+
+// Confuse builds the predicted-vs-observed confusion matrix from annotated
+// campaign results. Results without a prediction contribute nothing.
+func Confuse(results []inject.Result) Confusion {
+	byClass := map[string]*ConfusionRow{}
+	c := Confusion{}
+	for _, r := range results {
+		if r.PredClass == "" {
+			continue
+		}
+		c.Annotated++
+		row := byClass[r.PredClass]
+		if row == nil {
+			row = &ConfusionRow{Class: r.PredClass}
+			byClass[r.PredClass] = row
+		}
+		manifested := false
+		switch {
+		case r.PredSkipped:
+			row.Skipped++
+		case r.Outcome == inject.ONotActivated:
+			row.NotActivated++
+		case r.Outcome == inject.ONotManifested:
+			row.NotManifested++
+		case r.Outcome == inject.OQuarantined:
+			row.Quarantined++
+		default:
+			row.Manifested++
+			manifested = true
+		}
+		if r.PredInert && !r.PredSkipped && manifested {
+			c.Violations++
+		}
+	}
+	for _, cl := range staticsense.Classes() {
+		if row := byClass[cl.String()]; row != nil {
+			c.Rows = append(c.Rows, *row)
+		}
+	}
+	return c
+}
+
+// Render formats the confusion matrix as an aligned table.
+func (c Confusion) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predicted vs observed (annotated: %d)\n", c.Annotated)
+	fmt.Fprintf(&b, "  %-16s %8s %8s %8s %8s %8s %8s\n",
+		"predicted", "total", "skipped", "not-act", "not-man", "manifest", "quar")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  %-16s %8d %8d %8d %8d %8d %8d\n",
+			r.Class, r.Total(), r.Skipped, r.NotActivated, r.NotManifested, r.Manifested, r.Quarantined)
+	}
+	fmt.Fprintf(&b, "  predicted-inert soundness violations: %d\n", c.Violations)
+	return b.String()
+}

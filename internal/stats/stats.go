@@ -64,10 +64,16 @@ func (c Counts) Manifested() int { return c.FailSilence + c.Crash + c.HangUnknow
 
 // ActivatedBase returns the denominator used for the paper's percentage
 // columns: activated errors when activation is observable, otherwise all
-// injections.
+// injections. Quarantined experiments never produced an observable outcome,
+// so they are excluded from the denominator either way (they are reported
+// in the table footer instead).
 func (c Counts) ActivatedBase() int {
 	if c.ActivationNA {
-		return c.Injected
+		base := c.Injected - c.Quarantined
+		if base <= 0 {
+			base = 1
+		}
+		return base
 	}
 	base := c.Activated
 	if base == 0 {

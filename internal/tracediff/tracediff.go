@@ -52,7 +52,9 @@ type Divergence struct {
 // the two RunResults still expose whether the corruption propagated through
 // data flow (differing checksums) or was never activated. context bounds
 // the steps captured on each side; limit bounds the traced instructions per
-// run (0 means 8M).
+// run (0 means 8M). A limit shorter than the golden run truncates the
+// comparison horizon: streams that agree up to the horizon report no
+// divergence, even if they differ beyond it.
 func Diff(sys *kernel.System, t inject.Target, context, limit int) (*Divergence, error) {
 	if t.Campaign != inject.CampCode {
 		return nil, fmt.Errorf("tracediff: only code injections are supported, got %v", t.Campaign)
@@ -65,16 +67,21 @@ func Diff(sys *kernel.System, t inject.Target, context, limit int) (*Divergence,
 	}
 	m := sys.Machine
 
-	// Golden pass: record the full retired-PC stream.
+	// Golden pass: record the retired-PC stream up to the limit, plus the
+	// total retired count so a truncated recording is distinguishable from
+	// a completed one.
 	m.Reboot()
 	golden := make([]uint32, 0, 1<<20)
+	goldenTotal := 0
 	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		goldenTotal++
 		if len(golden) < limit {
 			golden = append(golden, pc)
 		}
 	})
 	goldenRes := m.Run()
 	m.Core().SetTrace(nil)
+	truncated := goldenTotal > len(golden)
 
 	// Faulty pass: inject through the same breakpoint mechanism the
 	// campaigns use, tracing until the streams split, then keep only
@@ -93,15 +100,29 @@ func Diff(sys *kernel.System, t inject.Target, context, limit int) (*Divergence,
 	var (
 		idx      int
 		split    = -1
+		beyond   bool // ran past a truncated golden recording: nothing to compare against
 		faultyPC []uint32
 	)
 	m.Core().SetTrace(func(pc uint32, cost uint8) {
 		switch {
+		case beyond:
 		case split >= 0:
 			if len(faultyPC) < context {
 				faultyPC = append(faultyPC, pc)
 			}
-		case idx >= len(golden) || golden[idx] != pc:
+		case idx >= len(golden):
+			// The golden stream has no instruction at this index. If the
+			// recording was cut off by the limit the streams may well still
+			// agree — the comparison horizon just ended, which is not a
+			// divergence. Only a complete golden stream makes extra faulty
+			// instructions a real split.
+			if truncated {
+				beyond = true
+				return
+			}
+			split = idx
+			faultyPC = append(faultyPC, pc)
+		case golden[idx] != pc:
 			split = idx
 			faultyPC = append(faultyPC, pc)
 		default:
@@ -115,7 +136,7 @@ func Diff(sys *kernel.System, t inject.Target, context, limit int) (*Divergence,
 	// prefix of the golden stream — no per-step mismatch ever fires. Treat
 	// early termination as divergence at the first never-retired golden
 	// instruction.
-	if split < 0 && idx < len(golden) && faultyRes.Outcome != machine.OutCompleted {
+	if split < 0 && !beyond && idx < len(golden) && faultyRes.Outcome != machine.OutCompleted {
 		split = idx
 	}
 

@@ -8,6 +8,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/staticsense"
 	"kfi/internal/tracediff"
 	"kfi/internal/workload"
 )
@@ -106,6 +107,129 @@ func TestDiffNoDivergenceOnDeadCode(t *testing.T) {
 	if got := d.Render(); !strings.Contains(got, "no control-flow divergence") ||
 		!strings.Contains(got, "absorbed") {
 		t.Errorf("render = %q", got)
+	}
+}
+
+// firstRetiredPC captures the first instruction the benchmark retires.
+func firstRetiredPC(t *testing.T, sys *kernel.System) uint32 {
+	t.Helper()
+	m := sys.Machine
+	m.Reboot()
+	var first uint32
+	got := false
+	m.Core().SetTrace(func(pc uint32, cost uint8) {
+		if !got {
+			first, got = pc, true
+		}
+	})
+	m.Run()
+	m.Core().SetTrace(nil)
+	if !got {
+		t.Fatal("benchmark retired no instructions")
+	}
+	return first
+}
+
+// TestDiffDivergenceAtInstructionZero corrupts the very first retired
+// instruction into an undecodable word: the streams split before any shared
+// history exists, so Index is 0 and Common is empty.
+func TestDiffDivergenceAtInstructionZero(t *testing.T) {
+	sys := buildSystem(t, isa.RISC)
+	entry := firstRetiredPC(t, sys)
+	an, err := staticsense.New(sys.KernelImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byteOff uint8
+	var bit uint
+	found := false
+	for off := uint8(0); off < 4 && !found; off++ {
+		for b := uint(0); b < 8 && !found; b++ {
+			if an.ClassifyFlip(entry, off, b).Class == staticsense.ClassInvalid {
+				byteOff, bit, found = off, b, true
+			}
+		}
+	}
+	if !found {
+		t.Skipf("no invalidating flip in the entry instruction at %#x", entry)
+	}
+	d, err := tracediff.Diff(sys, inject.Target{
+		Campaign: inject.CampCode, Addr: entry, ByteOff: byteOff, Bit: bit,
+	}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Diverged || d.Index != 0 {
+		t.Fatalf("diverged=%v index=%d, want divergence at instruction 0", d.Diverged, d.Index)
+	}
+	if len(d.Common) != 0 {
+		t.Errorf("divergence at 0 has %d shared steps", len(d.Common))
+	}
+	if rep := d.Render(); !strings.Contains(rep, "first divergence at retired instruction 0") {
+		t.Errorf("render = %q", rep)
+	}
+}
+
+// TestDiffTruncatedGoldenIsNotDivergence: a comparison limit shorter than
+// the run must not turn the truncation point into a phantom split. The
+// breakpoint here never fires (do_exit is unreached), so the two runs are
+// identical and any reported divergence is an artifact.
+func TestDiffTruncatedGoldenIsNotDivergence(t *testing.T) {
+	sys := buildSystem(t, isa.CISC)
+	fr, ok := sys.KernelImage.FuncAt(sys.KernelImage.Sym("do_exit"))
+	if !ok {
+		t.Fatal("no function at do_exit")
+	}
+	for _, limit := range []int{1, 100} {
+		d, err := tracediff.Diff(sys, inject.Target{
+			Campaign: inject.CampCode, Addr: fr.Start, Bit: 0,
+		}, 4, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Diverged {
+			t.Errorf("limit %d: phantom divergence at %d", limit, d.Index)
+		}
+	}
+}
+
+// TestDiffUnequalLengthStreams: a faulty run that retires a strict prefix
+// of the complete golden stream (it crashes mid-benchmark without ever
+// mismatching a PC) is a divergence at the first never-retired golden
+// instruction, with an empty faulty side.
+func TestDiffUnequalLengthStreams(t *testing.T) {
+	sys := buildSystem(t, isa.RISC)
+	entry := firstRetiredPC(t, sys)
+	an, err := staticsense.New(sys.KernelImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byteOff uint8
+	var bit uint
+	found := false
+	for off := uint8(0); off < 4 && !found; off++ {
+		for b := uint(0); b < 8 && !found; b++ {
+			if an.ClassifyFlip(entry, off, b).Class == staticsense.ClassInvalid {
+				byteOff, bit, found = off, b, true
+			}
+		}
+	}
+	if !found {
+		t.Skipf("no invalidating flip in the entry instruction at %#x", entry)
+	}
+	d, err := tracediff.Diff(sys, inject.Target{
+		Campaign: inject.CampCode, Addr: entry, ByteOff: byteOff, Bit: bit,
+	}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Diverged {
+		t.Fatal("undecodable first instruction did not diverge")
+	}
+	if len(d.Faulty) == 0 {
+		if rep := d.Render(); !strings.Contains(rep, "faulted without retiring") {
+			t.Errorf("prefix-death render = %q", rep)
+		}
 	}
 }
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# lint.sh — repo-specific static checks (see internal/lint):
+#
+#   - gofmt cleanliness
+#   - exhaustive switches over the inject.Outcome constants
+#   - no time.Now / global math/rand in deterministic replay packages
+#
+#   sh scripts/lint.sh      (or: make lint)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal examples *.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== kfi-lint"
+go run ./cmd/kfi-lint .
+
+echo "lint: OK"

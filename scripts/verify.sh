@@ -16,6 +16,9 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== lint (gofmt + exhaustive outcome switches + deterministic-path rules)"
+sh scripts/lint.sh
+
 echo "== go test ./..."
 go test ./...
 
@@ -33,5 +36,11 @@ go test . -short -run '^$' -bench PredecodeSpeedup -benchtime 1x
 
 echo "== BENCH_exec.json"
 cat BENCH_exec.json
+
+echo "== static-sense benchmark smoke (-short -bench=StaticSense -benchtime=1x)"
+go test . -short -run '^$' -bench StaticSense -benchtime 1x
+
+echo "== BENCH_sense.json"
+cat BENCH_sense.json
 
 echo "verify: OK"
