@@ -19,6 +19,7 @@ import (
 
 	"kfi"
 	"kfi/internal/cisc"
+	"kfi/internal/cli"
 	"kfi/internal/machine"
 	"kfi/internal/risc"
 )
@@ -42,9 +43,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	platform := kfi.P4
-	if *platformFlag == "g4" {
-		platform = kfi.G4
+	platform, err := cli.ParsePlatform(*platformFlag)
+	if err != nil {
+		return err
 	}
 
 	sys, err := kfi.BuildSystem(platform, kfi.BuildOptions{})

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"kfi"
+	"kfi/internal/cli"
 	"kfi/internal/crashnet"
 	"kfi/internal/inject"
 	"kfi/internal/stats"
@@ -60,7 +61,7 @@ func run(args []string) error {
 		return err
 	}
 
-	platforms, err := parsePlatforms(*platformFlag)
+	platforms, err := cli.ParsePlatforms(*platformFlag)
 	if err != nil {
 		return err
 	}
@@ -228,19 +229,6 @@ func quarantined(study *kfi.StudyResult, p kfi.Platform, campaigns []kfi.Campaig
 		}
 	}
 	return q
-}
-
-func parsePlatforms(s string) ([]kfi.Platform, error) {
-	switch strings.ToLower(s) {
-	case "p4", "cisc":
-		return []kfi.Platform{kfi.P4}, nil
-	case "g4", "risc", "ppc":
-		return []kfi.Platform{kfi.G4}, nil
-	case "both", "all":
-		return []kfi.Platform{kfi.P4, kfi.G4}, nil
-	default:
-		return nil, fmt.Errorf("unknown platform %q (want p4, g4, or both)", s)
-	}
 }
 
 func parseCampaigns(s string) ([]kfi.Campaign, error) {

@@ -11,29 +11,6 @@ import (
 	"kfi/internal/stats"
 )
 
-func TestParsePlatforms(t *testing.T) {
-	tests := []struct {
-		give    string
-		wantLen int
-		wantErr bool
-	}{
-		{"p4", 1, false},
-		{"G4", 1, false},
-		{"both", 2, false},
-		{"all", 2, false},
-		{"vax", 0, true},
-	}
-	for _, tt := range tests {
-		got, err := parsePlatforms(tt.give)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parsePlatforms(%q) err = %v", tt.give, err)
-		}
-		if len(got) != tt.wantLen {
-			t.Errorf("parsePlatforms(%q) = %v", tt.give, got)
-		}
-	}
-}
-
 func TestParseCampaigns(t *testing.T) {
 	got, err := parseCampaigns("stack, code")
 	if err != nil || len(got) != 2 || got[0] != kfi.Stack || got[1] != kfi.Code {

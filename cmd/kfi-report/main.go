@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"kfi"
+	"kfi/internal/cli"
 	"kfi/internal/stats"
 )
 
@@ -26,14 +28,20 @@ func main() {
 	}
 }
 
-// splitKey maps a "p4/Stack" group key back to platform and campaign.
+// splitKey maps a "p4/Stack" group key back to platform and campaign. The
+// platform half resolves through the registry, so logs from any registered
+// platform group correctly.
 func splitKey(k string) (kfi.Platform, kfi.Campaign) {
 	platform := kfi.P4
-	if len(k) >= 2 && k[:2] == "g4" {
-		platform = kfi.G4
+	name, rest, cut := strings.Cut(k, "/")
+	if !cut {
+		return platform, 0
+	}
+	if p, err := cli.ParsePlatform(name); err == nil {
+		platform = p
 	}
 	for _, c := range kfi.AllCampaigns {
-		if len(k) > 3 && k[3:] == c.String() {
+		if rest == c.String() {
 			return platform, c
 		}
 	}

@@ -16,7 +16,7 @@ import (
 	"os"
 
 	"kfi/internal/cc"
-	"kfi/internal/isa"
+	"kfi/internal/cli"
 	"kfi/internal/kernel"
 	"kfi/internal/staticsense"
 	"kfi/internal/workload"
@@ -39,16 +39,9 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var platforms []isa.Platform
-	switch *platformFlag {
-	case "p4", "cisc":
-		platforms = []isa.Platform{isa.CISC}
-	case "g4", "risc", "ppc":
-		platforms = []isa.Platform{isa.RISC}
-	case "both", "all":
-		platforms = []isa.Platform{isa.CISC, isa.RISC}
-	default:
-		return fmt.Errorf("unknown platform %q (want p4, g4, or both)", *platformFlag)
+	platforms, err := cli.ParsePlatforms(*platformFlag)
+	if err != nil {
+		return err
 	}
 	if *scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d", *scale)

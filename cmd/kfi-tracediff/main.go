@@ -17,6 +17,7 @@ import (
 	"kfi"
 	"kfi/internal/cc"
 	"kfi/internal/cisc"
+	"kfi/internal/cli"
 	"kfi/internal/inject"
 	"kfi/internal/tracediff"
 )
@@ -49,14 +50,9 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-bit must be 0-7")
 	}
 
-	var platform kfi.Platform
-	switch *platformFlag {
-	case "p4":
-		platform = kfi.P4
-	case "g4":
-		platform = kfi.G4
-	default:
-		return fmt.Errorf("unknown platform %q", *platformFlag)
+	platform, err := cli.ParsePlatform(*platformFlag)
+	if err != nil {
+		return err
 	}
 
 	sys, err := kfi.BuildSystem(platform, kfi.BuildOptions{})

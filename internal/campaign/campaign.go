@@ -9,12 +9,12 @@ import (
 	"math/rand"
 	"sort"
 
-	"kfi/internal/cisc"
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
 	"kfi/internal/machine"
 	"kfi/internal/mem"
+	"kfi/internal/platform"
 )
 
 // Spec describes one injection campaign.
@@ -241,24 +241,15 @@ type instrRef struct {
 }
 
 // instructionBoundaries statically decodes a compiled function's
-// instructions (4-byte words on RISC; variable-length decode on CISC).
+// instructions through the platform descriptor (fixed-width words on RISC;
+// variable-length decode on CISC).
 func (g *Generator) instructionBoundaries(fn FuncWeight) []instrRef {
-	var out []instrRef
 	im := g.sys.KernelImage
 	code := im.Code[fn.Start-im.CodeBase : fn.End-im.CodeBase]
-	if g.sys.Platform == isa.RISC {
-		for off := uint32(0); off+4 <= uint32(len(code)); off += 4 {
-			out = append(out, instrRef{addr: fn.Start + off, size: 4})
-		}
-		return out
-	}
-	for off := 0; off < len(code); {
-		in, err := cisc.Decode(code[off:])
-		if err != nil {
-			break
-		}
-		out = append(out, instrRef{addr: fn.Start + uint32(off), size: in.Len})
-		off += int(in.Len)
+	refs := platform.MustGet(g.sys.Platform).InstructionBoundaries(code, fn.Start)
+	out := make([]instrRef, len(refs))
+	for i, r := range refs {
+		out[i] = instrRef{addr: r.Addr, size: r.Size}
 	}
 	return out
 }

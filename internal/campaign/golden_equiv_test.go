@@ -1,0 +1,121 @@
+package campaign_test
+
+// Behavior-preservation harness for the platform-registry refactor: campaign
+// outcome tables and journal files must be byte-identical to the goldens
+// captured from the pre-refactor tree, on both platforms. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/campaign -run TestCampaignGolden
+//
+// only when a change is *supposed* to alter outcomes (new workload, new
+// error model); a registry or dispatch refactor must never need it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kfi/internal/campaign"
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/stats"
+	"kfi/internal/workload"
+)
+
+// equivSpecs is the fixed campaign set the goldens cover. Small enough to
+// run in the normal test suite, large enough that every outcome class and
+// both crash-cause tables show up.
+var equivSpecs = []campaign.Spec{
+	{Campaign: inject.CampStack, N: 10, Seed: 1009},
+	{Campaign: inject.CampSysReg, N: 10, Seed: 1013},
+	{Campaign: inject.CampData, N: 10, Seed: 1019},
+	{Campaign: inject.CampCode, N: 10, Seed: 1021},
+}
+
+func TestCampaignGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		p := p
+		t.Run(p.Short(), func(t *testing.T) {
+			uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := campaign.Golden(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := campaign.ProfileKernel(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var table strings.Builder
+			table.WriteString(stats.TableHeader() + "\n")
+			var all []inject.Result
+			for _, spec := range equivSpecs {
+				jpath := filepath.Join(t.TempDir(), "journal.bin")
+				j, err := campaign.CreateJournal(jpath, campaign.HeaderFor(p, golden, spec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := campaign.RunWith(sys, golden, prof, spec, nil,
+					campaign.ExecOptions{Journal: j})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				c := stats.Summarize(res.Results)
+				table.WriteString(c.TableRow(spec.Campaign.String()) + "\n")
+				all = append(all, res.Results...)
+
+				jbytes, err := os.ReadFile(jpath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareGolden(t, goldenName(p, spec.Campaign.String()+".journal"), jbytes)
+			}
+			table.WriteString("\n" + stats.CrashCauses(all).Render(p) + "\n")
+			table.WriteString(stats.Latencies(all).Render() + "\n")
+			compareGolden(t, goldenName(p, "table.txt"), []byte(table.String()))
+		})
+	}
+}
+
+func goldenName(p isa.Platform, suffix string) string {
+	return fmt.Sprintf("golden_%s_%s", p.Short(), strings.ReplaceAll(suffix, " ", ""))
+}
+
+// compareGolden checks got against testdata/<name>, rewriting the golden
+// instead when UPDATE_GOLDEN=1.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with UPDATE_GOLDEN=1 to create): %v", path, err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("%s differs from golden (%d bytes vs %d); the refactor changed observable campaign behavior", name, len(got), len(want))
+	}
+}

@@ -1,7 +1,6 @@
 package cc
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -87,10 +86,7 @@ func Compile(p *kir.Program, platform isa.Platform, bases Bases) (*Image, error)
 	}
 
 	// Lay out globals: initialized data then bss.
-	var order binary.ByteOrder = binary.LittleEndian
-	if platform == isa.RISC {
-		order = binary.BigEndian
-	}
+	order := isa.ByteOrder(platform)
 	put := func(buf []byte, off uint32, w kir.Width, v uint32) {
 		switch w {
 		case kir.W8:
@@ -127,19 +123,39 @@ func Compile(p *kir.Program, platform isa.Platform, bases Bases) (*Image, error)
 	im.BSSSize = bssOff
 	im.HeapSize = heapOff
 
-	// Compile functions into one assembly unit.
-	switch platform {
-	case isa.CISC:
-		if err := compileCISC(p, im); err != nil {
-			return nil, err
-		}
-	case isa.RISC:
-		if err := compileRISC(p, im); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("cc: unknown platform %v", platform)
+	// Compile functions into one assembly unit through the registered
+	// backend.
+	backend, ok := backends[platform]
+	if !ok {
+		return nil, fmt.Errorf("cc: no compiler backend registered for %v", platform)
+	}
+	if err := backend(p, im); err != nil {
+		return nil, err
 	}
 	sort.Slice(im.Funcs, func(i, j int) bool { return im.Funcs[i].Start < im.Funcs[j].Start })
 	return im, nil
+}
+
+// Backend lowers a validated IR program into im's code section (appending to
+// im.Code, registering Syms and Funcs).
+type Backend func(p *kir.Program, im *Image) error
+
+var backends = map[isa.Platform]Backend{}
+
+// RegisterBackend registers a platform's compiler backend. The built-in
+// backends register themselves in this package's init; extension platforms
+// (which live above cc in the import graph) call this from their setup code.
+func RegisterBackend(platform isa.Platform, b Backend) {
+	if b == nil {
+		panic("cc: RegisterBackend with nil Backend")
+	}
+	if _, dup := backends[platform]; dup {
+		panic(fmt.Sprintf("cc: backend already registered for %v", platform))
+	}
+	backends[platform] = b
+}
+
+func init() {
+	RegisterBackend(isa.CISC, compileCISC)
+	RegisterBackend(isa.RISC, compileRISC)
 }

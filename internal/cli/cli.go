@@ -1,0 +1,54 @@
+// Package cli holds small helpers shared by the kfi command-line tools —
+// chiefly the -platform flag parsing, which resolves names through the
+// platform registry so every tool accepts the same names and prints the
+// same error for an unknown one.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"kfi/internal/isa"
+	"kfi/internal/platform"
+
+	// Every CLI resolves platforms by name, so importing this package pulls
+	// in the built-in registrations.
+	_ "kfi/internal/platform/all"
+)
+
+// shortNames returns the primary (isa Short) names of every registered
+// platform, in registry order — "p4, g4" today — for error messages.
+func shortNames() string {
+	var out []string
+	for _, d := range platform.All() {
+		out = append(out, d.ID().Short())
+	}
+	return strings.Join(out, ", ")
+}
+
+// ParsePlatform resolves a single-platform flag value ("p4", "g4", or any
+// registered alias, case-insensitively).
+func ParsePlatform(s string) (isa.Platform, error) {
+	if d, ok := platform.ByName(s); ok {
+		return d.ID(), nil
+	}
+	return 0, fmt.Errorf("unknown platform %q (want %s)", s, shortNames())
+}
+
+// ParsePlatforms resolves a multi-platform flag value: a registered name or
+// alias selects that platform; "both" or "all" selects every registered
+// platform in registry order.
+func ParsePlatforms(s string) ([]isa.Platform, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "both", "all":
+		var out []isa.Platform
+		for _, d := range platform.All() {
+			out = append(out, d.ID())
+		}
+		return out, nil
+	}
+	if d, ok := platform.ByName(s); ok {
+		return []isa.Platform{d.ID()}, nil
+	}
+	return nil, fmt.Errorf("unknown platform %q (want %s, or both)", s, shortNames())
+}

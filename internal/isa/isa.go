@@ -1,4 +1,4 @@
-// Package isa defines the architecture-neutral vocabulary shared by the two
+// Package isa defines the architecture-neutral vocabulary shared by the
 // simulated processors: platform identifiers, privilege modes, crash causes,
 // debug (breakpoint) units, and the cycle counter used for crash-latency
 // measurements.
@@ -7,14 +7,24 @@
 // variable-length instructions, 8 general-purpose registers, 8/16/32-bit
 // memory operands) and internal/risc (the "G4-class" processor: fixed 32-bit
 // instructions, 32 general-purpose registers, word-oriented memory access).
+//
+// Platform-keyed facts (names, crash-cause tables, byte order) live in a
+// registry seeded with the two built-in platforms. An extension platform
+// registers its own PlatformInfo via RegisterPlatform; everything downstream
+// (stats tables, cause attribution, layout rules) then resolves through the
+// same lookups the built-ins use. Executable behavior (cores, decoders,
+// snapshot codecs) is registered separately in internal/platform.
 package isa
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
-// Platform identifies one of the two simulated processor architectures.
+// Platform identifies one simulated processor architecture.
 type Platform int
 
-// Platform values. They deliberately mirror the paper's two targets.
+// Built-in platform values. They deliberately mirror the paper's two targets.
 const (
 	// CISC is the Pentium 4-class processor: variable-length instruction
 	// encoding, eight general-purpose registers, byte/halfword/word memory
@@ -27,28 +37,128 @@ const (
 	RISC
 )
 
+// PlatformInfo is the architecture-neutral data a platform contributes to
+// the registry: report labels, memory model facts, and its crash-cause
+// vocabulary. All slices and maps are treated as immutable after
+// registration.
+type PlatformInfo struct {
+	// Name is the human-readable platform name used in reports.
+	Name string
+	// Short is the compact tag used in tables and filenames.
+	Short string
+	// BigEndian selects the guest byte order.
+	BigEndian bool
+	// WordOrientedLayout selects the RISC-style stack-frame rule: every
+	// single-element local gets a full word slot.
+	WordOrientedLayout bool
+	// Causes lists every crash cause the platform's crash handler can
+	// report, in the order used by the paper's crash-cause tables.
+	Causes []CrashCause
+	// InvalidMemory lists the subset of Causes the paper groups under
+	// "invalid memory access".
+	InvalidMemory []CrashCause
+	// CauseNames labels the platform's causes in reports.
+	CauseNames map[CrashCause]string
+}
+
+var (
+	platforms  = map[Platform]PlatformInfo{}
+	causeOwner = map[CrashCause]Platform{}
+	causeNames = map[CrashCause]string{}
+)
+
+// RegisterPlatform adds a platform's data to the registry. It panics on a
+// duplicate platform, a zero platform value, a missing Name or Short, an
+// attempt to re-register a built-in, or a crash cause already owned by
+// another platform — registration bugs must fail loudly at init time, not
+// surface as mislabeled tables later.
+func RegisterPlatform(p Platform, info PlatformInfo) {
+	if p == 0 {
+		panic("isa: RegisterPlatform with zero Platform value")
+	}
+	if info.Name == "" || info.Short == "" {
+		panic(fmt.Sprintf("isa: RegisterPlatform(%d) with empty Name or Short", int(p)))
+	}
+	if prev, ok := platforms[p]; ok {
+		panic(fmt.Sprintf("isa: duplicate RegisterPlatform(%d): already registered as %q", int(p), prev.Name))
+	}
+	for _, c := range info.Causes {
+		if c == CauseNone {
+			panic(fmt.Sprintf("isa: platform %q claims CauseNone", info.Name))
+		}
+		if owner, ok := causeOwner[c]; ok {
+			panic(fmt.Sprintf("isa: crash cause %d claimed by both %q and %q", int(c), platforms[owner].Name, info.Name))
+		}
+		if info.CauseNames[c] == "" {
+			panic(fmt.Sprintf("isa: platform %q cause %d has no name", info.Name, int(c)))
+		}
+	}
+	owned := map[CrashCause]bool{}
+	for _, c := range info.Causes {
+		owned[c] = true
+	}
+	for _, c := range info.InvalidMemory {
+		if !owned[c] {
+			panic(fmt.Sprintf("isa: platform %q invalid-memory cause %d is not in its cause list", info.Name, int(c)))
+		}
+	}
+	platforms[p] = info
+	for _, c := range info.Causes {
+		causeOwner[c] = p
+		causeNames[c] = info.CauseNames[c]
+	}
+}
+
+// Platforms returns every registered platform identifier, in ascending
+// order. The two built-ins are always present.
+func Platforms() []Platform {
+	out := make([]Platform, 0, len(platforms))
+	for p := range platforms {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Registered reports whether p has been registered.
+func Registered(p Platform) bool {
+	_, ok := platforms[p]
+	return ok
+}
+
 // String returns the human-readable platform name used in reports.
 func (p Platform) String() string {
-	switch p {
-	case CISC:
-		return "P4-class (CISC)"
-	case RISC:
-		return "G4-class (RISC)"
-	default:
-		return fmt.Sprintf("Platform(%d)", int(p))
+	if info, ok := platforms[p]; ok {
+		return info.Name
 	}
+	return fmt.Sprintf("Platform(%d)", int(p))
 }
 
 // Short returns the compact platform tag used in tables and filenames.
 func (p Platform) Short() string {
-	switch p {
-	case CISC:
-		return "p4"
-	case RISC:
-		return "g4"
-	default:
-		return "??"
+	if info, ok := platforms[p]; ok {
+		return info.Short
 	}
+	return "??"
+}
+
+// ByteOrder returns the guest byte order for the platform. Unregistered
+// platforms default to little-endian.
+func ByteOrder(p Platform) binary.ByteOrder {
+	if platforms[p].BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// WordOrientedLayout reports whether the platform uses the RISC-style
+// word-slot stack layout rule.
+func WordOrientedLayout(p Platform) bool {
+	return platforms[p].WordOrientedLayout
 }
 
 // Mode is the processor privilege mode.
@@ -77,7 +187,8 @@ func (m Mode) String() string {
 // CrashCause is the crash subcategory recorded by the crash handler. The
 // first group corresponds to the paper's Table 3 (Pentium 4); the second to
 // Table 4 (PowerPC G4). A given machine only ever reports causes from its own
-// platform's group.
+// platform's group. Extension platforms define their own causes starting at
+// FirstExtensionCause.
 type CrashCause int
 
 // Crash causes, Table 3 (CISC/P4) then Table 4 (RISC/G4).
@@ -107,29 +218,16 @@ const (
 	numCrashCauses
 )
 
-var crashCauseNames = map[CrashCause]string{
-	CauseNone:              "none",
-	CauseNULLPointer:       "NULL Pointer",
-	CauseBadPaging:         "Bad Paging",
-	CauseInvalidInstr:      "Invalid Instruction",
-	CauseGeneralProtection: "General Protection Fault",
-	CauseKernelPanic:       "Kernel Panic",
-	CauseInvalidTSS:        "Invalid TSS",
-	CauseDivideError:       "Divide Error",
-	CauseBoundsTrap:        "Bounds Trap",
-	CauseBadArea:           "Bad Area",
-	CauseIllegalInstr:      "Illegal Instruction",
-	CauseStackOverflow:     "Stack Overflow",
-	CauseMachineCheck:      "Machine Check",
-	CauseAlignment:         "Alignment",
-	CausePanic:             "Panic!!!",
-	CauseBusError:          "Bus Error",
-	CauseBadTrap:           "Bad Trap",
-}
+// FirstExtensionCause is the first CrashCause value free for extension
+// platforms; values below it are reserved for the built-in tables.
+const FirstExtensionCause = numCrashCauses
 
 // String returns the crash-cause label used in the paper's figures.
 func (c CrashCause) String() string {
-	if s, ok := crashCauseNames[c]; ok {
+	if c == CauseNone {
+		return "none"
+	}
+	if s, ok := causeNames[c]; ok {
 		return s
 	}
 	return fmt.Sprintf("CrashCause(%d)", int(c))
@@ -137,47 +235,70 @@ func (c CrashCause) String() string {
 
 // Platform reports which platform a crash cause belongs to.
 func (c CrashCause) Platform() Platform {
-	switch {
-	case c >= CauseNULLPointer && c <= CauseBoundsTrap:
-		return CISC
-	case c >= CauseBadArea && c <= CauseBadTrap:
-		return RISC
-	default:
-		return 0
-	}
+	return causeOwner[c]
 }
 
 // Causes returns every crash cause defined for the given platform, in the
-// order used by the paper's crash-cause tables.
+// order used by the paper's crash-cause tables. The returned slice must not
+// be modified.
 func Causes(p Platform) []CrashCause {
-	switch p {
-	case CISC:
-		return []CrashCause{
-			CauseNULLPointer, CauseBadPaging, CauseInvalidInstr,
-			CauseGeneralProtection, CauseKernelPanic, CauseInvalidTSS,
-			CauseDivideError, CauseBoundsTrap,
-		}
-	case RISC:
-		return []CrashCause{
-			CauseBadArea, CauseIllegalInstr, CauseStackOverflow,
-			CauseMachineCheck, CauseAlignment, CausePanic,
-			CauseBusError, CauseBadTrap,
-		}
-	default:
-		return nil
-	}
+	return platforms[p].Causes
 }
 
 // InvalidMemoryCauses returns the causes the paper groups under "invalid
 // memory access" for the platform (Bad Paging + NULL Pointer on the P4;
-// Bad Area on the G4).
+// Bad Area on the G4). The returned slice must not be modified.
 func InvalidMemoryCauses(p Platform) []CrashCause {
-	switch p {
-	case CISC:
-		return []CrashCause{CauseNULLPointer, CauseBadPaging}
-	case RISC:
-		return []CrashCause{CauseBadArea}
-	default:
-		return nil
-	}
+	return platforms[p].InvalidMemory
+}
+
+// The built-in platforms are seeded here rather than from internal/cisc and
+// internal/risc so that packages importing isa alone (stats, kir, tests)
+// always see the paper's two targets; the concrete packages register their
+// executable Descriptors in internal/platform on top of this data. Because
+// the built-ins are already present, RegisterPlatform's duplicate check also
+// forbids overriding them.
+func init() {
+	RegisterPlatform(CISC, PlatformInfo{
+		Name:  "P4-class (CISC)",
+		Short: "p4",
+		Causes: []CrashCause{
+			CauseNULLPointer, CauseBadPaging, CauseInvalidInstr,
+			CauseGeneralProtection, CauseKernelPanic, CauseInvalidTSS,
+			CauseDivideError, CauseBoundsTrap,
+		},
+		InvalidMemory: []CrashCause{CauseNULLPointer, CauseBadPaging},
+		CauseNames: map[CrashCause]string{
+			CauseNULLPointer:       "NULL Pointer",
+			CauseBadPaging:         "Bad Paging",
+			CauseInvalidInstr:      "Invalid Instruction",
+			CauseGeneralProtection: "General Protection Fault",
+			CauseKernelPanic:       "Kernel Panic",
+			CauseInvalidTSS:        "Invalid TSS",
+			CauseDivideError:       "Divide Error",
+			CauseBoundsTrap:        "Bounds Trap",
+		},
+	})
+	RegisterPlatform(RISC, PlatformInfo{
+		Name:               "G4-class (RISC)",
+		Short:              "g4",
+		BigEndian:          true,
+		WordOrientedLayout: true,
+		Causes: []CrashCause{
+			CauseBadArea, CauseIllegalInstr, CauseStackOverflow,
+			CauseMachineCheck, CauseAlignment, CausePanic,
+			CauseBusError, CauseBadTrap,
+		},
+		InvalidMemory: []CrashCause{CauseBadArea},
+		CauseNames: map[CrashCause]string{
+			CauseBadArea:       "Bad Area",
+			CauseIllegalInstr:  "Illegal Instruction",
+			CauseStackOverflow: "Stack Overflow",
+			CauseMachineCheck:  "Machine Check",
+			CauseAlignment:     "Alignment",
+			CausePanic:         "Panic!!!",
+			CauseBusError:      "Bus Error",
+			CauseBadTrap:       "Bad Trap",
+		},
+	})
 }

@@ -16,25 +16,43 @@ type Glue struct {
 	TimerStub   uint32
 }
 
+// GlueFunc assembles a platform's trap stubs at base, resolving kernel
+// symbols through syms. It returns the stub code and its local labels
+// (which must include "syscall_stub" and "timer_stub").
+type GlueFunc func(base uint32, syms map[string]uint32) ([]byte, map[string]uint32, error)
+
+var glueFuncs = map[isa.Platform]GlueFunc{}
+
+// RegisterGlue registers a platform's trap-stub assembler. Platform packages
+// cannot register themselves here (the kernel layer sits above them), so
+// each platform's glue lives in this package and extension platforms call
+// RegisterGlue from their own setup code.
+func RegisterGlue(p isa.Platform, fn GlueFunc) {
+	if fn == nil {
+		panic("kernel: RegisterGlue with nil GlueFunc")
+	}
+	if _, dup := glueFuncs[p]; dup {
+		panic(fmt.Sprintf("kernel: glue already registered for %v", p))
+	}
+	glueFuncs[p] = fn
+}
+
+func init() {
+	RegisterGlue(isa.CISC, ciscGlue)
+	RegisterGlue(isa.RISC, riscGlue)
+}
+
 // appendGlue assembles the platform trap stubs at the end of the compiled
 // kernel image and registers them as symbols/functions. The stubs are the
 // entry.S of this kernel: they bridge the hardware interrupt frame to the
 // compiled C-level handlers and return with iret/rfi.
 func appendGlue(im *cc.Image) (Glue, error) {
 	base := im.CodeBase + uint32(len(im.Code))
-	var (
-		code   []byte
-		labels map[string]uint32
-		err    error
-	)
-	switch im.Platform {
-	case isa.CISC:
-		code, labels, err = ciscGlue(base, im.Syms)
-	case isa.RISC:
-		code, labels, err = riscGlue(base, im.Syms)
-	default:
-		return Glue{}, fmt.Errorf("kernel: unknown platform %v", im.Platform)
+	gf, ok := glueFuncs[im.Platform]
+	if !ok {
+		return Glue{}, fmt.Errorf("kernel: no trap glue registered for %v", im.Platform)
 	}
+	code, labels, err := gf(base, im.Syms)
 	if err != nil {
 		return Glue{}, err
 	}

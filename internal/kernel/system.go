@@ -8,6 +8,7 @@ import (
 	"kfi/internal/isa"
 	"kfi/internal/machine"
 	"kfi/internal/mem"
+	"kfi/internal/platform"
 )
 
 // ProcSpec describes one process created at boot (process slot 0 is always
@@ -60,12 +61,10 @@ func KStackTop(i int) uint32 { return KStackArea + uint32(i+1)*KStackSlot }
 // UStackTop returns the top of process slot i's user stack.
 func UStackTop(i int) uint32 { return UStackArea + uint32(i+1)*UStackSlot }
 
-// KStackSize returns the per-platform kernel stack size (4 KiB P4 / 8 KiB G4).
+// KStackSize returns the per-platform kernel stack size (4 KiB P4 / 8 KiB
+// G4), as declared by the platform descriptor.
 func KStackSize(p isa.Platform) uint32 {
-	if p == isa.RISC {
-		return KStackSizeRISC
-	}
-	return KStackSizeCISC
+	return platform.MustGet(p).KernelStackSize()
 }
 
 // BuildSystem compiles the kernel for the platform, appends the trap glue,

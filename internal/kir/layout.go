@@ -18,10 +18,16 @@ import "kfi/internal/isa"
 // byte buffers everywhere) but start word-aligned on RISC.
 type Layout struct {
 	platform isa.Platform
+	// wordSlots is the platform's word-oriented layout property, resolved
+	// once from the isa registry (extension platforms declare it in their
+	// PlatformInfo).
+	wordSlots bool
 }
 
 // NewLayout returns the layout rules for a platform.
-func NewLayout(p isa.Platform) Layout { return Layout{platform: p} }
+func NewLayout(p isa.Platform) Layout {
+	return Layout{platform: p, wordSlots: isa.WordOrientedLayout(p)}
+}
 
 // Platform returns the platform these rules describe.
 func (l Layout) Platform() isa.Platform { return l.platform }
@@ -35,12 +41,12 @@ func (l Layout) walk(s *Struct) (offs []uint32, size uint32) {
 	for i, f := range s.Fields {
 		w := uint32(f.Width)
 		switch {
-		case l.platform == isa.RISC && f.count() == 1:
+		case l.wordSlots && f.count() == 1:
 			// Scalars get a full word slot.
 			off = align(off, 4)
 			offs[i] = off
 			off += 4
-		case l.platform == isa.RISC:
+		case l.wordSlots:
 			off = align(off, 4)
 			offs[i] = off
 			off += w * uint32(f.count())
@@ -81,7 +87,7 @@ func (l Layout) GlobalSize(g *Global) uint32 {
 // element of a scalar local rounds up to a word (stack slots are
 // word-granular, as on the real ABI); arrays keep element width.
 func (l Layout) LocalSlotSize(lo Local) uint32 {
-	if l.platform == isa.RISC && lo.Count <= 1 {
+	if l.wordSlots && lo.Count <= 1 {
 		return 4
 	}
 	return align(lo.Size(), 4)

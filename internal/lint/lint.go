@@ -11,6 +11,15 @@
 //     RNG state are exactly what breaks bit-identical resume and
 //     fork-from-golden equivalence. Seeded rand.New(rand.NewSource(...)) is
 //     allowed; tests are exempt.
+//   - no platform dispatch outside the registry: comparing or switching on
+//     the platform enum constants (isa.CISC, isa.RISC, kfi.P4, kfi.G4) is
+//     how platform-specific behavior leaked across layers before the
+//     internal/platform registry existed. New code must resolve behavior
+//     through a platform.Descriptor (or a per-layer capability registry)
+//     instead; only the ISA packages themselves, the registry, and a short
+//     allowlist of intrinsically two-ISA tools may branch on the constants.
+//     Data uses — map literals keyed by platform, registrations, constant
+//     definitions — are fine; only switch/if dispatch is flagged.
 //
 // The checks are purely syntactic (go/parser, no type checking), so they run
 // in milliseconds and cannot be broken by build-tag or module complications.
@@ -52,6 +61,7 @@ var deterministicDirs = []string{
 	"internal/kir",
 	"internal/machine",
 	"internal/mem",
+	"internal/platform",
 	"internal/risc",
 	"internal/snapshot",
 	"internal/staticsense",
@@ -63,6 +73,27 @@ var deterministicDirs = []string{
 // outcomeSource is the file defining the inject.Outcome constants, relative
 // to the repo root.
 const outcomeSource = "internal/inject/inject.go"
+
+// platformDispatchDirs are the packages allowed to branch on the platform
+// enum: the enum's home, the registry, and the two ISA implementations the
+// registry exists to encapsulate.
+var platformDispatchDirs = []string{
+	"internal/isa",
+	"internal/platform",
+	"internal/cisc",
+	"internal/risc",
+}
+
+// platformDispatchAllow lists individual files outside those packages that
+// may still dispatch on the enum, each with a reason. Additions need the
+// same justification: the file must be intrinsically about the concrete
+// ISAs, not about behavior a Descriptor could carry.
+var platformDispatchAllow = map[string]string{
+	// kfi-asm is a decoder exploration tool: it renders per-ISA flip
+	// matrices straight from the cisc/risc decode tables, which no
+	// registry interface abstracts (and should not).
+	"cmd/kfi-asm/main.go": "decoder-level tool",
+}
 
 // Check lints the repository rooted at root and returns every violation,
 // sorted by file and line. It fails only on infrastructure errors (missing
@@ -99,6 +130,9 @@ func Check(root string) ([]Finding, error) {
 		findings = append(findings, checkOutcomeSwitches(fset, file, rel, outcomes)...)
 		if inDeterministicDir(rel) {
 			findings = append(findings, checkDeterminism(fset, file, rel)...)
+		}
+		if !platformDispatchExempt(rel) {
+			findings = append(findings, checkPlatformDispatch(fset, file, rel)...)
 		}
 		return nil
 	})
@@ -260,6 +294,79 @@ func checkDeterminism(fset *token.FileSet, file *ast.File, rel string) []Finding
 		return true
 	})
 	return findings
+}
+
+// platformEnumConst reports whether an expression is a package-qualified
+// reference to one of the platform enum constants.
+func platformEnumConst(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Obj != nil {
+		return false
+	}
+	switch {
+	case pkg.Name == "isa" && (sel.Sel.Name == "CISC" || sel.Sel.Name == "RISC"):
+		return true
+	case pkg.Name == "kfi" && (sel.Sel.Name == "P4" || sel.Sel.Name == "G4"):
+		return true
+	}
+	return false
+}
+
+// checkPlatformDispatch flags switch cases over, and ==/!= comparisons
+// against, the platform enum constants. Other uses — map keys, registration
+// arguments, slice literals — are deliberately not flagged: holding data per
+// platform is fine, branching on identity is what the registry replaces.
+func checkPlatformDispatch(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	var findings []Finding
+	flag := func(pos token.Pos, what string) {
+		findings = append(findings, Finding{
+			File: rel, Line: fset.Position(pos).Line,
+			Msg: what + " dispatches on the platform enum; resolve behavior through the internal/platform registry instead",
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SwitchStmt:
+			for _, stmt := range x.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if platformEnumConst(e) {
+						flag(e.Pos(), "switch case")
+						return true // one finding per switch is enough
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if (x.Op == token.EQL || x.Op == token.NEQ) &&
+				(platformEnumConst(x.X) || platformEnumConst(x.Y)) {
+				flag(x.Pos(), "comparison")
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// platformDispatchExempt reports whether a repo-relative file may branch on
+// the platform enum constants.
+func platformDispatchExempt(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	if _, ok := platformDispatchAllow[rel]; ok {
+		return true
+	}
+	for _, d := range platformDispatchDirs {
+		if strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // inDeterministicDir reports whether a repo-relative file lives in one of

@@ -144,6 +144,78 @@ func deadline() int64 { return time.Now().UnixNano() }
 	}
 }
 
+func TestPlatformDispatchRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// Switch and comparison dispatch outside the registry: flagged.
+		"internal/stats/dispatch.go": `package stats
+import "x/isa"
+func f(p isa.Platform) int {
+	switch p {
+	case isa.CISC:
+		return 1
+	case isa.RISC:
+		return 2
+	}
+	if p == isa.RISC {
+		return 3
+	}
+	return 0
+}
+`,
+		// kfi-alias comparison: also flagged.
+		"cmd/kfi-x/main.go": `package main
+import "kfi"
+func g(p kfi.Platform) bool { return p != kfi.G4 }
+`,
+		// Data uses are fine: map literals, registration calls, slices.
+		"internal/kernel/data.go": `package kernel
+import "x/isa"
+var table = map[isa.Platform]int{isa.CISC: 1, isa.RISC: 2}
+var order = []isa.Platform{isa.CISC, isa.RISC}
+func init() { register(isa.CISC, 7) }
+func register(p isa.Platform, n int) {}
+`,
+		// The registry and ISA packages may dispatch.
+		"internal/platform/reg.go": `package platform
+import "x/isa"
+func h(p isa.Platform) bool { return p == isa.CISC }
+`,
+		"internal/risc/core.go": `package risc
+import "x/isa"
+func h(p isa.Platform) bool { return p == isa.RISC }
+`,
+		// Allowlisted file.
+		"cmd/kfi-asm/main.go": `package main
+import "kfi"
+func d(p kfi.Platform) bool { return p == kfi.G4 }
+`,
+		// A local variable shadowing the package name is not the enum.
+		"internal/stats/shadow.go": `package stats
+func s() bool {
+	type t struct{ CISC int }
+	isa := t{CISC: 1}
+	return isa.CISC == 1
+}
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("want 3 findings (switch, ==, !=), got %v", findingStrings(fs))
+	}
+	wantFiles := []string{"cmd/kfi-x/main.go", "internal/stats/dispatch.go", "internal/stats/dispatch.go"}
+	for i, f := range fs {
+		if filepath.ToSlash(f.File) != wantFiles[i] {
+			t.Errorf("finding %d in %s, want %s: %s", i, f.File, wantFiles[i], f.Msg)
+		}
+		if !strings.Contains(f.Msg, "internal/platform registry") {
+			t.Errorf("finding %d does not point at the registry: %s", i, f.Msg)
+		}
+	}
+}
+
 // TestRepoIsClean is the gate the lint.sh script enforces: the repository
 // itself must pass its own linter.
 func TestRepoIsClean(t *testing.T) {

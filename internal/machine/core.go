@@ -1,294 +1,29 @@
-// Package machine assembles a bootable guest system for either platform:
-// CPU + memory + timer + watchdog + crash handler + the host-side trap glue
-// (interrupt delivery, context switching) that on real hardware would be
-// hand-written kernel assembly. It exposes the run loop the injection
-// campaigns drive: run-until-{completion, crash, hang}, with breakpoint
-// events surfaced to the injector through hooks.
+// Package machine assembles a bootable guest system for any registered
+// platform: CPU + memory + timer + watchdog + crash handler + the host-side
+// trap glue (interrupt delivery, context switching) that on real hardware
+// would be hand-written kernel assembly. It exposes the run loop the
+// injection campaigns drive: run-until-{completion, crash, hang}, with
+// breakpoint events surfaced to the injector through hooks.
+//
+// Everything platform-specific resolves through the internal/platform
+// registry: the machine consults the platform Descriptor for core
+// construction, bus windows, and crash staging, and the platform Core for
+// boot state, delivery vetting, and call conventions. Importing this package
+// registers both built-in platforms.
 package machine
 
 import (
-	"kfi/internal/cisc"
-	"kfi/internal/isa"
-	"kfi/internal/mem"
-	"kfi/internal/risc"
+	"kfi/internal/platform"
+
+	// The built-in platforms register their descriptors on import, so any
+	// machine user can construct either guest.
+	_ "kfi/internal/cisc"
+	_ "kfi/internal/risc"
 )
 
 // Core is the platform-generic view of a processor used by the machine
-// layer. Both adapters are thin; everything architectural stays in the ISA
-// packages.
-type Core interface {
-	Step() isa.Event
-	// RunUntil steps until the clock reaches limit or a step produces a
-	// non-EvNone event, which it returns; EvNone means the limit was
-	// reached. Equivalent to calling Step in a loop, but without the
-	// per-instruction interface dispatch.
-	RunUntil(limit uint64) isa.Event
-	Reset()
+// layer; see platform.Core for the contract.
+type Core = platform.Core
 
-	PC() uint32
-	SetPC(uint32)
-	SP() uint32
-	SetSP(uint32)
-	Mode() isa.Mode
-	InterruptsEnabled() bool
-
-	// DeliverInterrupt vectors to handler, switching to the given kernel
-	// stack when interrupted in user mode.
-	DeliverInterrupt(handler, kernelSP uint32) isa.Event
-
-	// SetSyscallResult places a value in the syscall return register.
-	SetSyscallResult(v uint32)
-	// SyscallArgs returns the three syscall argument registers.
-	SyscallArgs() (a, b, c uint32)
-
-	// Context save/restore for the ctxsw primitive. The context area is
-	// CtxWords() 32-bit words at addr, written with raw (glue) access.
-	CtxWords() int
-	SaveContext(addr uint32)
-	RestoreContext(addr uint32)
-	// InitContext crafts a fresh context that starts executing at entry
-	// with the given stack pointer and mode.
-	InitContext(addr, entry, sp uint32, user bool)
-	// CtxSPOffset is the byte offset of the saved stack pointer within a
-	// context area (used to resolve a sleeping process's stack extent).
-	CtxSPOffset() uint32
-	// CtxModeUser reports whether a saved context at addr was in user mode.
-	CtxModeUser(addr uint32) bool
-
-	// SetStackBounds tells the core the current kernel stack range (used by
-	// the RISC exception-entry wrapper; a no-op on CISC, which has no such
-	// check — a paper finding).
-	SetStackBounds(lo, hi uint32)
-	// StackPointerInBounds reports whether SP is inside the current kernel
-	// stack range (the RISC wrapper check).
-	StackPointerInBounds() bool
-
-	// CrashDumpPossible reports whether the embedded crash handler can run
-	// and ship a dump: when it cannot, the crash counts in the paper's
-	// "Hang/Unknown Crash" column.
-	CrashDumpPossible() bool
-
-	Clock() *isa.CycleCounter
-	Debug() *isa.DebugUnit
-	SetTrace(fn func(pc uint32, cost uint8))
-	PendingDataBreak() (slot int, access isa.DataAccess, addr uint32, ok bool)
-
-	// SetPredecode enables/disables the decoded-instruction cache; disabled
-	// is the reference interpreter (fetch+decode every step). Outcomes are
-	// bit-identical either way; only wall-clock changes.
-	SetPredecode(on bool)
-	// FlushPredecode drops all predecoded instructions. Stale entries are
-	// already invalidated by memory generation counters; flushing only
-	// bounds memory and establishes cold-cache conditions.
-	FlushPredecode()
-}
-
-// ciscCore adapts cisc.CPU to Core.
-type ciscCore struct {
-	cpu *cisc.CPU
-	mem *mem.Memory
-}
-
-var _ Core = (*ciscCore)(nil)
-
-func (c *ciscCore) Step() isa.Event                 { return c.cpu.Step() }
-func (c *ciscCore) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
-func (c *ciscCore) Reset()                          { c.cpu.Reset() }
-func (c *ciscCore) PC() uint32                      { return c.cpu.EIP }
-func (c *ciscCore) SetPC(v uint32)                  { c.cpu.EIP = v }
-func (c *ciscCore) SP() uint32                      { return c.cpu.Regs[cisc.ESP] }
-func (c *ciscCore) SetSP(v uint32)                  { c.cpu.Regs[cisc.ESP] = v }
-func (c *ciscCore) Mode() isa.Mode                  { return c.cpu.Mode }
-
-func (c *ciscCore) InterruptsEnabled() bool { return c.cpu.Flags&cisc.FlagIF != 0 }
-
-func (c *ciscCore) DeliverInterrupt(handler, ksp uint32) isa.Event {
-	return c.cpu.DeliverInterrupt(handler, ksp)
-}
-
-func (c *ciscCore) SetSyscallResult(v uint32) { c.cpu.Regs[cisc.EAX] = v }
-
-func (c *ciscCore) SyscallArgs() (uint32, uint32, uint32) {
-	return c.cpu.Regs[cisc.EBX], c.cpu.Regs[cisc.ECX], c.cpu.Regs[cisc.EDX]
-}
-
-// CISC context: 8 GPRs, EIP, EFLAGS, mode.
-func (c *ciscCore) CtxWords() int { return 11 }
-
-func (c *ciscCore) SaveContext(addr uint32) {
-	for i := 0; i < 8; i++ {
-		c.mem.RawWrite(addr+uint32(i)*4, 4, c.cpu.Regs[i])
-	}
-	c.mem.RawWrite(addr+32, 4, c.cpu.EIP)
-	c.mem.RawWrite(addr+36, 4, c.cpu.Flags)
-	c.mem.RawWrite(addr+40, 4, uint32(c.cpu.Mode))
-}
-
-func (c *ciscCore) RestoreContext(addr uint32) {
-	for i := 0; i < 8; i++ {
-		c.cpu.Regs[i] = c.mem.RawRead(addr+uint32(i)*4, 4)
-	}
-	c.cpu.EIP = c.mem.RawRead(addr+32, 4)
-	c.cpu.Flags = c.mem.RawRead(addr+36, 4)
-	if isa.Mode(c.mem.RawRead(addr+40, 4)) == isa.UserMode {
-		c.cpu.Mode = isa.UserMode
-	} else {
-		c.cpu.Mode = isa.KernelMode
-	}
-}
-
-func (c *ciscCore) InitContext(addr, entry, sp uint32, user bool) {
-	for i := 0; i < 8; i++ {
-		c.mem.RawWrite(addr+uint32(i)*4, 4, 0)
-	}
-	c.mem.RawWrite(addr+uint32(cisc.ESP)*4, 4, sp)
-	c.mem.RawWrite(addr+32, 4, entry)
-	c.mem.RawWrite(addr+36, 4, uint32(cisc.FlagIF))
-	mode := isa.KernelMode
-	if user {
-		mode = isa.UserMode
-	}
-	c.mem.RawWrite(addr+40, 4, uint32(mode))
-}
-
-// CtxSPOffset: ESP is general register 4.
-func (c *ciscCore) CtxSPOffset() uint32 { return uint32(cisc.ESP) * 4 }
-
-// CtxModeUser reads the saved mode word.
-func (c *ciscCore) CtxModeUser(addr uint32) bool {
-	return isa.Mode(c.mem.RawRead(addr+40, 4)) == isa.UserMode
-}
-
-// SetStackBounds is a no-op: the P4 kernel performs no stack-range checking.
-func (c *ciscCore) SetStackBounds(lo, hi uint32) {}
-
-// StackPointerInBounds always reports true on CISC: there is no wrapper, so
-// stack overflows propagate into other exception categories (paper §5.1).
-func (c *ciscCore) StackPointerInBounds() bool { return true }
-
-// CrashDumpPossible: the P4 crash handler dumps via the current stack; a
-// corrupted, unmapped ESP defeats it.
-func (c *ciscCore) CrashDumpPossible() bool {
-	sp := c.cpu.Regs[cisc.ESP]
-	return c.mem.Check(sp-64, 64, true, false) == nil
-}
-
-func (c *ciscCore) Clock() *isa.CycleCounter { return &c.cpu.Clk }
-func (c *ciscCore) Debug() *isa.DebugUnit    { return &c.cpu.Debug }
-
-func (c *ciscCore) SetTrace(fn func(pc uint32, cost uint8)) { c.cpu.Trace = fn }
-
-func (c *ciscCore) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
-	return c.cpu.PendingDataBreak()
-}
-
-func (c *ciscCore) SetPredecode(on bool) { c.cpu.SetPredecode(on) }
-func (c *ciscCore) FlushPredecode()      { c.cpu.FlushPredecode() }
-
-// riscCore adapts risc.CPU to Core.
-type riscCore struct {
-	cpu *risc.CPU
-	mem *mem.Memory
-}
-
-var _ Core = (*riscCore)(nil)
-
-func (c *riscCore) Step() isa.Event                 { return c.cpu.Step() }
-func (c *riscCore) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
-func (c *riscCore) Reset()                          { c.cpu.Reset() }
-func (c *riscCore) PC() uint32                      { return c.cpu.PC }
-func (c *riscCore) SetPC(v uint32)                  { c.cpu.PC = v }
-func (c *riscCore) SP() uint32                      { return c.cpu.R[risc.SP] }
-func (c *riscCore) SetSP(v uint32)                  { c.cpu.R[risc.SP] = v }
-func (c *riscCore) Mode() isa.Mode                  { return c.cpu.Mode() }
-
-func (c *riscCore) InterruptsEnabled() bool { return c.cpu.InterruptsEnabled() }
-
-func (c *riscCore) DeliverInterrupt(handler, ksp uint32) isa.Event {
-	return c.cpu.DeliverInterrupt(handler, ksp)
-}
-
-func (c *riscCore) SetSyscallResult(v uint32) { c.cpu.R[3] = v }
-
-func (c *riscCore) SyscallArgs() (uint32, uint32, uint32) {
-	return c.cpu.R[3], c.cpu.R[4], c.cpu.R[5]
-}
-
-// RISC context: 32 GPRs, PC, LR, CTR, CR, MSR.
-func (c *riscCore) CtxWords() int { return 37 }
-
-func (c *riscCore) SaveContext(addr uint32) {
-	for i := 0; i < 32; i++ {
-		c.mem.RawWrite(addr+uint32(i)*4, 4, c.cpu.R[i])
-	}
-	c.mem.RawWrite(addr+128, 4, c.cpu.PC)
-	c.mem.RawWrite(addr+132, 4, c.cpu.LR)
-	c.mem.RawWrite(addr+136, 4, c.cpu.CTR)
-	c.mem.RawWrite(addr+140, 4, c.cpu.CR)
-	c.mem.RawWrite(addr+144, 4, c.cpu.MSR)
-}
-
-func (c *riscCore) RestoreContext(addr uint32) {
-	for i := 0; i < 32; i++ {
-		c.cpu.R[i] = c.mem.RawRead(addr+uint32(i)*4, 4)
-	}
-	c.cpu.PC = c.mem.RawRead(addr+128, 4)
-	c.cpu.LR = c.mem.RawRead(addr+132, 4)
-	c.cpu.CTR = c.mem.RawRead(addr+136, 4)
-	c.cpu.CR = c.mem.RawRead(addr+140, 4)
-	c.cpu.MSR = c.mem.RawRead(addr+144, 4)
-}
-
-func (c *riscCore) InitContext(addr, entry, sp uint32, user bool) {
-	for i := 0; i < 37; i++ {
-		c.mem.RawWrite(addr+uint32(i)*4, 4, 0)
-	}
-	c.mem.RawWrite(addr+4, 4, sp) // r1
-	c.mem.RawWrite(addr+128, 4, entry)
-	msr := uint32(risc.MSRME | risc.MSRIR | risc.MSRDR | risc.MSREE)
-	if user {
-		msr |= risc.MSRPR
-	}
-	c.mem.RawWrite(addr+144, 4, msr)
-}
-
-// CtxSPOffset: r1 is the stack pointer.
-func (c *riscCore) CtxSPOffset() uint32 { return 4 }
-
-// CtxModeUser reads MSR[PR] from the saved context.
-func (c *riscCore) CtxModeUser(addr uint32) bool {
-	return c.mem.RawRead(addr+144, 4)&risc.MSRPR != 0
-}
-
-func (c *riscCore) SetStackBounds(lo, hi uint32) {
-	c.cpu.StackLo, c.cpu.StackHi = lo, hi
-}
-
-// StackPointerInBounds implements the G4 kernel's exception-entry wrapper:
-// it validates the stack pointer against the current 8 KiB kernel stack.
-func (c *riscCore) StackPointerInBounds() bool {
-	if c.cpu.StackHi == 0 {
-		return true
-	}
-	sp := c.cpu.R[risc.SP]
-	return sp > c.cpu.StackLo && sp <= c.cpu.StackHi
-}
-
-// CrashDumpPossible: the G4 handler switches to the SPRG2 scratch area, so
-// the dump survives stack corruption but not SPRG2 corruption.
-func (c *riscCore) CrashDumpPossible() bool {
-	sprg2 := c.cpu.SPR[risc.SprSPRG2]
-	return c.mem.Check(sprg2, 64, true, false) == nil
-}
-
-func (c *riscCore) Clock() *isa.CycleCounter { return &c.cpu.Clk }
-func (c *riscCore) Debug() *isa.DebugUnit    { return &c.cpu.Debug }
-
-func (c *riscCore) SetTrace(fn func(pc uint32, cost uint8)) { c.cpu.Trace = fn }
-
-func (c *riscCore) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
-	return c.cpu.PendingDataBreak()
-}
-
-func (c *riscCore) SetPredecode(on bool) { c.cpu.SetPredecode(on) }
-func (c *riscCore) FlushPredecode()      { c.cpu.FlushPredecode() }
+// SysReg is one injectable system register; see platform.SysReg.
+type SysReg = platform.SysReg

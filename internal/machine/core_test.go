@@ -7,22 +7,23 @@ import (
 	"kfi/internal/cisc"
 	"kfi/internal/isa"
 	"kfi/internal/mem"
+	"kfi/internal/platform"
 	"kfi/internal/risc"
 )
 
-func newCores() (Core, Core) {
+func newCores() (Core, *mem.Memory, Core, *mem.Memory) {
 	mc := mem.New(1<<20, binary.LittleEndian)
 	mc.Map(0x1000, 0x10000, mem.Present|mem.Writable)
-	cC := &ciscCore{cpu: cisc.NewCPU(mc), mem: mc}
+	cC := platform.MustGet(isa.CISC).NewCore(mc)
 
 	mr := mem.New(1<<20, binary.BigEndian)
 	mr.Map(0x1000, 0x10000, mem.Present|mem.Writable)
-	cR := &riscCore{cpu: risc.NewCPU(mr), mem: mr}
-	return cC, cR
+	cR := platform.MustGet(isa.RISC).NewCore(mr)
+	return cC, mc, cR, mr
 }
 
 func TestContextSaveRestoreRoundTrip(t *testing.T) {
-	cC, cR := newCores()
+	cC, _, cR, _ := newCores()
 	for _, core := range []Core{cC, cR} {
 		core.SetPC(0x1234)
 		core.SetSP(0x8000)
@@ -38,7 +39,7 @@ func TestContextSaveRestoreRoundTrip(t *testing.T) {
 }
 
 func TestInitContextModes(t *testing.T) {
-	cC, cR := newCores()
+	cC, _, cR, _ := newCores()
 	for _, core := range []Core{cC, cR} {
 		ctx := uint32(0x3000)
 		core.InitContext(ctx, 0x5000, 0x7000, true)
@@ -64,18 +65,15 @@ func TestInitContextModes(t *testing.T) {
 }
 
 func TestCtxSPOffsetConsistent(t *testing.T) {
-	cC, cR := newCores()
-	for _, core := range []Core{cC, cR} {
+	cC, mc, cR, mr := newCores()
+	for _, tc := range []struct {
+		core Core
+		mem  *mem.Memory
+	}{{cC, mc}, {cR, mr}} {
 		ctx := uint32(0x4000)
-		core.SetSP(0xBEEF0)
-		core.SaveContext(ctx)
-		var got uint32
-		switch c := core.(type) {
-		case *ciscCore:
-			got = c.mem.RawRead(ctx+core.CtxSPOffset(), 4)
-		case *riscCore:
-			got = c.mem.RawRead(ctx+core.CtxSPOffset(), 4)
-		}
+		tc.core.SetSP(0xBEEF0)
+		tc.core.SaveContext(ctx)
+		got := tc.mem.RawRead(ctx+tc.core.CtxSPOffset(), 4)
 		if got != 0xBEEF0 {
 			t.Errorf("CtxSPOffset does not point at the saved SP: 0x%x", got)
 		}
@@ -83,7 +81,7 @@ func TestCtxSPOffsetConsistent(t *testing.T) {
 }
 
 func TestStackBoundsBehavior(t *testing.T) {
-	cC, cR := newCores()
+	cC, _, cR, _ := newCores()
 	// CISC: no wrapper — always in bounds.
 	cC.SetStackBounds(0x8000, 0x9000)
 	cC.SetSP(0x100)
@@ -107,7 +105,7 @@ func TestStackBoundsBehavior(t *testing.T) {
 }
 
 func TestCrashDumpPossible(t *testing.T) {
-	cC, cR := newCores()
+	cC, _, cR, _ := newCores()
 	// CISC: dump needs a writable stack.
 	cC.SetSP(0x8000)
 	if !cC.CrashDumpPossible() {
@@ -118,20 +116,20 @@ func TestCrashDumpPossible(t *testing.T) {
 		t.Error("unmapped ESP should defeat the P4 dump")
 	}
 	// RISC: dump goes through SPRG2.
-	rc := cR.(*riscCore)
-	rc.cpu.SPR[risc.SprSPRG2] = 0x2000
+	rcpu := risc.CPUOf(cR)
+	rcpu.SPR[risc.SprSPRG2] = 0x2000
 	if !cR.CrashDumpPossible() {
 		t.Error("healthy SPRG2 should allow a dump")
 	}
-	rc.cpu.SPR[risc.SprSPRG2] = 0xFFF0_0000
+	rcpu.SPR[risc.SprSPRG2] = 0xFFF0_0000
 	if cR.CrashDumpPossible() {
 		t.Error("wild SPRG2 should defeat the G4 dump")
 	}
 }
 
 func TestSyscallArgConventions(t *testing.T) {
-	cC, cR := newCores()
-	ccpu := cC.(*ciscCore).cpu
+	cC, _, cR, _ := newCores()
+	ccpu := cisc.CPUOf(cC)
 	ccpu.Regs[cisc.EBX], ccpu.Regs[cisc.ECX], ccpu.Regs[cisc.EDX] = 1, 2, 3
 	if a, b, c := cC.SyscallArgs(); a != 1 || b != 2 || c != 3 {
 		t.Errorf("CISC args = %d,%d,%d", a, b, c)
@@ -141,7 +139,7 @@ func TestSyscallArgConventions(t *testing.T) {
 		t.Error("CISC result not in EAX")
 	}
 
-	rcpu := cR.(*riscCore).cpu
+	rcpu := risc.CPUOf(cR)
 	rcpu.R[3], rcpu.R[4], rcpu.R[5] = 7, 8, 9
 	if a, b, c := cR.SyscallArgs(); a != 7 || b != 8 || c != 9 {
 		t.Errorf("RISC args = %d,%d,%d", a, b, c)

@@ -5,55 +5,18 @@ import (
 	"strings"
 
 	"kfi/internal/isa"
+	"kfi/internal/platform"
 )
 
 // Message renders the crash the way the platform's kernel would print it —
 // the strings the paper quotes from its crash dumps ("Unable to handle
 // kernel NULL pointer dereference at virtual address 00000008", "kernel
-// access of bad area", ...).
+// access of bad area", ...). The wording belongs to the platform descriptor.
 func (c *CrashRecord) Message(p isa.Platform) string {
-	if p == isa.CISC {
-		switch c.Cause {
-		case isa.CauseNULLPointer:
-			return fmt.Sprintf("Unable to handle kernel NULL pointer dereference at virtual address %08x", c.FaultAddr)
-		case isa.CauseBadPaging:
-			return fmt.Sprintf("Unable to handle kernel paging request at virtual address %08x", c.FaultAddr)
-		case isa.CauseInvalidInstr:
-			return fmt.Sprintf("invalid opcode: 0000 [#1] at EIP %08x", c.PC)
-		case isa.CauseGeneralProtection:
-			return fmt.Sprintf("general protection fault: 0000 [#1] at EIP %08x", c.PC)
-		case isa.CauseKernelPanic:
-			return "Kernel panic: fatal exception"
-		case isa.CauseInvalidTSS:
-			return fmt.Sprintf("invalid TSS: 0000 [#1] at EIP %08x", c.PC)
-		case isa.CauseDivideError:
-			return fmt.Sprintf("divide error: 0000 [#1] at EIP %08x", c.PC)
-		case isa.CauseBoundsTrap:
-			return fmt.Sprintf("bounds: 0000 [#1] at EIP %08x", c.PC)
-		default:
-			return fmt.Sprintf("unknown exception at EIP %08x", c.PC)
-		}
+	if d, ok := platform.Find(p); ok {
+		return d.CrashMessage(c.Cause, c.PC, c.FaultAddr, c.SP)
 	}
-	switch c.Cause {
-	case isa.CauseBadArea:
-		return fmt.Sprintf("kernel access of bad area, sig: 11 [#1] dar %08x nip %08x", c.FaultAddr, c.PC)
-	case isa.CauseIllegalInstr:
-		return fmt.Sprintf("kernel tried to execute illegal instruction at nip %08x", c.PC)
-	case isa.CauseStackOverflow:
-		return fmt.Sprintf("kernel stack overflow, r1 %08x nip %08x", c.SP, c.PC)
-	case isa.CauseMachineCheck:
-		return fmt.Sprintf("Machine check in kernel mode, dar %08x nip %08x", c.FaultAddr, c.PC)
-	case isa.CauseAlignment:
-		return fmt.Sprintf("alignment exception, dar %08x nip %08x", c.FaultAddr, c.PC)
-	case isa.CausePanic:
-		return "Kernel panic!!!"
-	case isa.CauseBusError:
-		return fmt.Sprintf("bus error (protection fault), dar %08x nip %08x", c.FaultAddr, c.PC)
-	case isa.CauseBadTrap:
-		return fmt.Sprintf("kernel bad trap at nip %08x", c.PC)
-	default:
-		return fmt.Sprintf("unknown exception at nip %08x", c.PC)
-	}
+	return fmt.Sprintf("%s at pc %08x", c.Cause, c.PC)
 }
 
 // Dump renders the full crash report in the style of the paper's dump
@@ -63,9 +26,9 @@ func (c *CrashRecord) Message(p isa.Platform) string {
 func (c *CrashRecord) Dump(p isa.Platform) string {
 	var b strings.Builder
 	b.WriteString(c.Message(p) + "\n")
-	pcName, spName := "EIP", "ESP"
-	if p == isa.RISC {
-		pcName, spName = "NIP", "R1 "
+	pcName, spName := "PC ", "SP "
+	if d, ok := platform.Find(p); ok {
+		pcName, spName = d.RegisterLabels()
 	}
 	fmt.Fprintf(&b, "%s: %08x  %s: %08x  fault: %08x  cycles: %d\n",
 		pcName, c.PC, spName, c.SP, c.FaultAddr, c.Cycles)

@@ -1,7 +1,6 @@
 package machine
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"kfi/internal/cc"
@@ -9,6 +8,7 @@ import (
 	"kfi/internal/crashnet"
 	"kfi/internal/isa"
 	"kfi/internal/mem"
+	"kfi/internal/platform"
 	"kfi/internal/risc"
 )
 
@@ -27,23 +27,10 @@ const (
 	HyperFail = 0xF002
 )
 
-// Latency model constants (the paper's Figure 3 stages). The G4's exception
-// path is costlier than the P4's: its hardware stage is longer and its
-// software stage runs the kernel's checking wrapper before the handler —
-// which is why in the paper even immediate G4 crashes land above the 3k
-// bucket while immediate P4 crashes land below it (Figure 16).
-const (
-	// StageHardwareCISC/RISC: hardware exception handling ("more than 1000
-	// CPU cycles").
-	StageHardwareCISC = 1100
-	StageHardwareRISC = 2400
-	// StageSoftwareCISC/RISC: the software exception handler ("about 150 to
-	// 200 instructions"), plus the G4 wrapper.
-	StageSoftwareCISC = 320
-	StageSoftwareRISC = 800
-	// InterruptEntryCost is the vectoring cost for deliverable interrupts.
-	InterruptEntryCost = 120
-)
+// InterruptEntryCost is the vectoring cost for deliverable interrupts. The
+// crash-path latency stages (the paper's Figure 3) are per-platform and live
+// in each platform's Descriptor.CrashStages.
+const InterruptEntryCost = 120
 
 // Config describes a bootable guest system. Symbol addresses come from the
 // kernel build (internal/kernel).
@@ -151,10 +138,8 @@ type RunResult struct {
 type Machine struct {
 	cfg  Config
 	Mem  *mem.Memory
+	desc platform.Descriptor
 	core Core
-
-	cpuC *cisc.CPU
-	cpuR *risc.CPU
 
 	nextTimer uint64
 	deadline  uint64
@@ -179,6 +164,10 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Image == nil {
 		return nil, fmt.Errorf("machine: config needs an image")
 	}
+	desc, ok := platform.Find(cfg.Platform)
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown platform %v", cfg.Platform)
+	}
 	if cfg.MemSize == 0 {
 		cfg.MemSize = 8 << 20
 	}
@@ -188,17 +177,9 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Watchdog == 0 {
 		cfg.Watchdog = 40_000_000
 	}
-	var order binary.ByteOrder = binary.LittleEndian
-	if cfg.Platform == isa.RISC {
-		order = binary.BigEndian
-	}
-	m := mem.New(cfg.MemSize, order)
-	if cfg.Platform == isa.RISC {
-		// The G4's processor-local bus hangs (machine check) only in an
-		// unclaimed window; other wild kernel pointers fault as "kernel
-		// access of a bad area". The P4 has no such window: everything
-		// wild page-faults.
-		m.SetBusWindow(0xF0000000, 0xF8000000)
+	m := mem.New(cfg.MemSize, isa.ByteOrder(cfg.Platform))
+	if lo, hi, ok := desc.BusWindow(); ok {
+		m.SetBusWindow(lo, hi)
 	}
 	im := cfg.Image
 	m.Map(im.CodeBase, uint32(len(im.Code)), mem.Present)
@@ -222,17 +203,8 @@ func New(cfg Config) (*Machine, error) {
 		m.AddRegion(mem.Region{Name: "heap", Kind: mem.KindHeap, Start: im.HeapBase, End: im.HeapBase + im.HeapSize})
 	}
 
-	mach := &Machine{cfg: cfg, Mem: m}
-	switch cfg.Platform {
-	case isa.CISC:
-		mach.cpuC = cisc.NewCPU(m)
-		mach.core = &ciscCore{cpu: mach.cpuC, mem: m}
-	case isa.RISC:
-		mach.cpuR = risc.NewCPU(m)
-		mach.core = &riscCore{cpu: mach.cpuR, mem: m}
-	default:
-		return nil, fmt.Errorf("machine: unknown platform %v", cfg.Platform)
-	}
+	mach := &Machine{cfg: cfg, Mem: m, desc: desc}
+	mach.core = desc.NewCore(m)
 	mach.resetCPUState()
 	return mach, nil
 }
@@ -243,40 +215,17 @@ func (ma *Machine) Core() Core { return ma.core }
 // Config returns the machine configuration.
 func (ma *Machine) Config() Config { return ma.cfg }
 
-// CISCCPU returns the concrete CISC CPU (nil on RISC machines).
-func (ma *Machine) CISCCPU() *cisc.CPU { return ma.cpuC }
+// Descriptor returns the platform descriptor the machine was built from.
+func (ma *Machine) Descriptor() platform.Descriptor { return ma.desc }
 
-// RISCCPU returns the concrete RISC CPU (nil on CISC machines).
-func (ma *Machine) RISCCPU() *risc.CPU { return ma.cpuR }
+// CISCCPU returns the concrete CISC CPU (nil on other platforms).
+func (ma *Machine) CISCCPU() *cisc.CPU { return cisc.CPUOf(ma.core) }
 
-// SysReg is a platform-generic injectable system register.
-type SysReg struct {
-	Name string
-	Bits uint
-	Get  func() uint32
-	Set  func(uint32)
-}
+// RISCCPU returns the concrete RISC CPU (nil on other platforms).
+func (ma *Machine) RISCCPU() *risc.CPU { return risc.CPUOf(ma.core) }
 
 // SystemRegisters returns the platform's injectable system-register file.
-func (ma *Machine) SystemRegisters() []SysReg {
-	var out []SysReg
-	if ma.cpuC != nil {
-		for _, r := range cisc.SystemRegisters() {
-			r := r
-			out = append(out, SysReg{Name: r.Name, Bits: r.Bits,
-				Get: func() uint32 { return r.Get(ma.cpuC) },
-				Set: func(v uint32) { r.Set(ma.cpuC, v) }})
-		}
-		return out
-	}
-	for _, r := range risc.SystemRegisters() {
-		r := r
-		out = append(out, SysReg{Name: r.Name, Bits: r.Bits,
-			Get: func() uint32 { return r.Get(ma.cpuR) },
-			Set: func(v uint32) { r.Set(ma.cpuR, v) }})
-	}
-	return out
-}
+func (ma *Machine) SystemRegisters() []SysReg { return ma.core.SystemRegisters() }
 
 // Seal snapshots memory as the pristine boot image; Reboot restores it.
 func (ma *Machine) Seal() { ma.Mem.Seal() }
@@ -285,16 +234,10 @@ func (ma *Machine) resetCPUState() {
 	ma.core.Reset()
 	ma.core.SetPC(ma.cfg.BootEntry)
 	ma.core.SetSP(ma.cfg.BootSP)
-	if ma.cpuC != nil {
-		ma.cpuC.FSBase = ma.cfg.FSBase
-	} else {
-		ma.cpuR.SPR[risc.SprSPRG2] = ma.cfg.SPRG2Value
-		// Boot-firmware translation state: the page-table base and the
-		// kernel BAT mappings the exception path depends on.
-		ma.cpuR.SPR[risc.SprSDR1] = bootSDR1
-		ma.cpuR.SPR[risc.SprIBAT0U] = bootBAT
-		ma.cpuR.SPR[risc.SprDBAT0U] = bootBAT
-	}
+	ma.core.InstallBootState(platform.BootState{
+		FSBase: ma.cfg.FSBase,
+		SPRG2:  ma.cfg.SPRG2Value,
+	})
 	ma.core.SetStackBounds(ma.cfg.BootStackLo, ma.cfg.BootStackHi)
 	ma.core.Clock().Reset()
 	ma.nextTimer = ma.cfg.TimerPeriod
@@ -316,56 +259,20 @@ func (ma *Machine) currentKernelSP() uint32 {
 	return ma.Mem.RawRead(cur+ma.cfg.KStackOff, 4)
 }
 
-// Boot values and sensitivity masks for the G4 translation registers the
-// exception path depends on. Flips in the masked bits break the kernel's
-// address translation and surface at the next exception; flips in the
-// unmasked (reserved / fine-grained) bits pass, which is why only some bits
-// of these registers are error-sensitive (paper §5.2).
-const (
-	bootSDR1 = 0x00FF0000
-	sdr1Mask = 0xFFFF0000 // HTABORG: the hashed page table base
-	bootBAT  = 0xC0001FFE
-	batMask  = 0xFFFE0003 // BEPI block address + Vs/Vp valid bits
-)
-
 // interrupt delivers an interrupt through the platform trap glue. It returns
 // a crash result if the delivery machinery itself faults.
 func (ma *Machine) interrupt(stub uint32) *RunResult {
 	ma.core.Clock().Advance(InterruptEntryCost)
-	if ma.cpuR != nil {
-		// The G4 exception entry saves scratch state through SPRG2. A
-		// corrupted SPRG2 makes those stores fault (kernel access of a bad
-		// area, or a machine check beyond the bus limit); if the wild
-		// pointer happens to hit mapped memory, the entry path continues
-		// into it and the OS ends up executing from an essentially random
-		// location (paper §5.2).
-		// Corrupted translation state (page-table base or kernel BATs)
-		// derails the very first translation of the exception path: the
-		// kernel reports an access to a bad area at a wild address.
-		if got := ma.cpuR.SPR[risc.SprSDR1]; (got^bootSDR1)&sdr1Mask != 0 {
-			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
-			return &res
-		}
-		if got := ma.cpuR.SPR[risc.SprIBAT0U]; (got^bootBAT)&batMask != 0 {
-			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
-			return &res
-		}
-		if got := ma.cpuR.SPR[risc.SprDBAT0U]; (got^bootBAT)&batMask != 0 {
-			res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: isa.CauseBadArea, FaultAddr: got})
-			return &res
-		}
-		if got := ma.cpuR.SPR[risc.SprSPRG2]; got != ma.cfg.SPRG2Value {
-			if f := ma.Mem.Check(got&^3, 32, true, false); f != nil {
-				cause := isa.CauseBadArea
-				if f.Kind == mem.FaultBus {
-					cause = isa.CauseMachineCheck
-				}
-				res := ma.crashResult(isa.Event{Kind: isa.EvException, Cause: cause, FaultAddr: got})
-				return &res
-			}
-			ma.core.SetPC(got)
-			return nil
-		}
+	// Let the platform vet the architectural state its exception entry path
+	// depends on (scratch pointers, translation registers); a corrupted
+	// delivery path crashes or hijacks execution before the handler runs
+	// (paper §5.2).
+	if d := ma.core.VetDelivery(); d.Crash {
+		res := ma.crashResult(d.Event)
+		return &res
+	} else if d.Hijack {
+		ma.core.SetPC(d.HijackPC)
+		return nil
 	}
 	ev := ma.core.DeliverInterrupt(stub, ma.currentKernelSP())
 	if ev.Kind == isa.EvException {
@@ -401,11 +308,8 @@ func (ma *Machine) crashResult(ev isa.Event) RunResult {
 		cause = isa.CauseStackOverflow
 	}
 	clk := ma.core.Clock()
-	if ma.cfg.Platform == isa.RISC {
-		clk.Advance(StageHardwareRISC + StageSoftwareRISC)
-	} else {
-		clk.Advance(StageHardwareCISC + StageSoftwareCISC)
-	}
+	hw, sw := ma.desc.CrashStages()
+	clk.Advance(hw + sw)
 	rec := &CrashRecord{
 		Cause:     cause,
 		PC:        ma.core.PC(),
@@ -537,40 +441,14 @@ func (ma *Machine) Run() RunResult {
 // kernel profiling. The function must return normally; any event other than
 // plain execution is an error.
 func (ma *Machine) CallGuest(fn string, args ...uint32) (uint32, error) {
-	const sentinel = 0xDEAD0000
 	entry := ma.cfg.Image.Sym(fn)
-	if ma.cpuC != nil {
-		c := ma.cpuC
-		for i := len(args) - 1; i >= 0; i-- {
-			c.Regs[cisc.ESP] -= 4
-			ma.Mem.RawWrite(c.Regs[cisc.ESP], 4, args[i])
-		}
-		c.Regs[cisc.ESP] -= 4
-		ma.Mem.RawWrite(c.Regs[cisc.ESP], 4, sentinel)
-		c.EIP = entry
-		for steps := 0; steps < 100_000_000; steps++ {
-			if c.EIP == sentinel {
-				c.Regs[cisc.ESP] += uint32(4 * len(args))
-				return c.Regs[cisc.EAX], nil
-			}
-			if ev := c.Step(); ev.Kind != isa.EvNone {
-				return 0, fmt.Errorf("machine: %s: event %+v at eip=0x%x", fn, ev, c.EIP)
-			}
-		}
-		return 0, fmt.Errorf("machine: %s did not return", fn)
-	}
-	c := ma.cpuR
-	for i, v := range args {
-		c.R[3+i] = v
-	}
-	c.LR = sentinel
-	c.PC = entry
+	ma.core.BeginCall(entry, args)
 	for steps := 0; steps < 100_000_000; steps++ {
-		if c.PC == sentinel&^3 {
-			return c.R[3], nil
+		if ret, done := ma.core.CallDone(len(args)); done {
+			return ret, nil
 		}
-		if ev := c.Step(); ev.Kind != isa.EvNone {
-			return 0, fmt.Errorf("machine: %s: event %+v at pc=0x%x", fn, ev, c.PC)
+		if ev := ma.core.Step(); ev.Kind != isa.EvNone {
+			return 0, fmt.Errorf("machine: %s: event %+v at pc=0x%x", fn, ev, ma.core.PC())
 		}
 	}
 	return 0, fmt.Errorf("machine: %s did not return", fn)

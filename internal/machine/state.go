@@ -3,9 +3,8 @@ package machine
 import (
 	"fmt"
 
-	"kfi/internal/cisc"
 	"kfi/internal/isa"
-	"kfi/internal/risc"
+	"kfi/internal/platform"
 )
 
 // State is the machine-level half of a checkpoint: the platform CPU state
@@ -21,9 +20,9 @@ import (
 type State struct {
 	Platform isa.Platform
 
-	// Exactly one of CISC/RISC is set, matching Platform.
-	CISC *cisc.State
-	RISC *risc.State
+	// CPU is the platform-owned CPU checkpoint (serialized through the
+	// platform snapshot codec).
+	CPU platform.CPUState
 
 	NextTimer uint64
 	Deadline  uint64
@@ -33,20 +32,13 @@ type State struct {
 // SaveState captures the machine (CPU + run-loop scheduling) for a
 // checkpoint.
 func (ma *Machine) SaveState() State {
-	s := State{
+	return State{
 		Platform:  ma.cfg.Platform,
+		CPU:       ma.core.SaveCPUState(),
 		NextTimer: ma.nextTimer,
 		Deadline:  ma.deadline,
 		PauseAt:   ma.PauseAt,
 	}
-	if ma.cpuC != nil {
-		cs := ma.cpuC.SaveState()
-		s.CISC = &cs
-	} else {
-		rs := ma.cpuR.SaveState()
-		s.RISC = &rs
-	}
-	return s
 }
 
 // RestoreState reapplies a captured machine state. It fails if the state was
@@ -55,13 +47,11 @@ func (ma *Machine) RestoreState(s *State) error {
 	if s.Platform != ma.cfg.Platform {
 		return fmt.Errorf("machine: restoring %v state onto a %v machine", s.Platform, ma.cfg.Platform)
 	}
-	switch {
-	case ma.cpuC != nil && s.CISC != nil:
-		ma.cpuC.RestoreState(s.CISC)
-	case ma.cpuR != nil && s.RISC != nil:
-		ma.cpuR.RestoreState(s.RISC)
-	default:
+	if s.CPU == nil {
 		return fmt.Errorf("machine: state carries no CPU image for %v", ma.cfg.Platform)
+	}
+	if err := ma.core.RestoreCPUState(s.CPU); err != nil {
+		return err
 	}
 	ma.nextTimer = s.NextTimer
 	ma.deadline = s.Deadline

@@ -1,12 +1,8 @@
 package machine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
-
-	"kfi/internal/cisc"
-	"kfi/internal/risc"
 )
 
 // TraceStep is one retired instruction captured by TraceRun.
@@ -48,29 +44,7 @@ func (ma *Machine) TraceRun(maxSteps int) ([]TraceStep, RunResult) {
 func (ma *Machine) Disasm(pc uint32) string { return ma.disasmAt(pc) }
 
 // disasmAt renders the instruction at pc (best effort; raw bytes on failure).
-func (ma *Machine) disasmAt(pc uint32) string {
-	if ma.cpuR != nil {
-		bs := ma.Mem.RawBytes(pc, 4)
-		if bs == nil {
-			return "<unmapped>"
-		}
-		w := binary.BigEndian.Uint32(bs)
-		in, err := risc.Decode(w)
-		if err != nil {
-			return fmt.Sprintf(".long 0x%08x", w)
-		}
-		return in.String()
-	}
-	bs := ma.Mem.RawBytes(pc, 9)
-	if bs == nil {
-		return "<unmapped>"
-	}
-	in, err := cisc.Decode(bs)
-	if err != nil {
-		return fmt.Sprintf(".byte 0x%02x", bs[0])
-	}
-	return in.String()
-}
+func (ma *Machine) disasmAt(pc uint32) string { return ma.core.DisasmAt(pc) }
 
 // WriteTrace prints trace steps in an objdump-like format.
 func WriteTrace(w io.Writer, steps []TraceStep) error {

@@ -1,0 +1,13 @@
+// Package all registers every built-in platform descriptor. Import it for
+// side effects from binaries and helpers that resolve platforms by name:
+//
+//	import _ "kfi/internal/platform/all"
+//
+// Packages that construct machines directly get the registrations
+// transitively (internal/machine imports both ISA packages).
+package all
+
+import (
+	_ "kfi/internal/cisc"
+	_ "kfi/internal/risc"
+)

@@ -1,0 +1,188 @@
+package platform_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kfi/internal/isa"
+	"kfi/internal/platform"
+	_ "kfi/internal/platform/all"
+)
+
+// TestCauseOwnershipExhaustive ties the crash-cause vocabulary to the
+// descriptor registry: every registered platform claims a non-empty,
+// duplicate-free cause list whose entries report that platform as their
+// owner; no cause is claimed twice across platforms; and every built-in
+// cause value is claimed by a platform that also registered a Descriptor —
+// so no cause can appear in a report without a platform able to produce it.
+func TestCauseOwnershipExhaustive(t *testing.T) {
+	claimed := map[isa.CrashCause]isa.Platform{}
+	for _, d := range platform.All() {
+		p := d.ID()
+		causes := isa.Causes(p)
+		if len(causes) == 0 {
+			t.Errorf("%v: no crash causes registered", p)
+		}
+		seen := map[isa.CrashCause]bool{}
+		for _, c := range causes {
+			if c == isa.CauseNone {
+				t.Errorf("%v claims CauseNone", p)
+			}
+			if seen[c] {
+				t.Errorf("%v lists cause %v twice", p, c)
+			}
+			seen[c] = true
+			if owner := c.Platform(); owner != p {
+				t.Errorf("cause %v in %v's list reports owner %v", c, p, owner)
+			}
+			if prev, ok := claimed[c]; ok {
+				t.Errorf("cause %v claimed by both %v and %v", c, prev, p)
+			}
+			claimed[c] = p
+			if s := c.String(); s == fmt.Sprintf("CrashCause(%d)", int(c)) {
+				t.Errorf("cause %v of %v has no registered name", int(c), p)
+			}
+		}
+	}
+	// Every built-in cause value must be claimed by a descriptor-backed
+	// platform: an unclaimed constant is dead vocabulary no crash handler
+	// can report and no table can label.
+	for c := isa.CauseNone + 1; c < isa.FirstExtensionCause; c++ {
+		owner := c.Platform()
+		if owner == 0 {
+			t.Errorf("built-in cause %d (%v) is claimed by no platform", int(c), c)
+			continue
+		}
+		if _, ok := platform.Find(owner); !ok {
+			t.Errorf("built-in cause %v is owned by %v, which has no Descriptor", c, owner)
+		}
+	}
+}
+
+// TestInvalidMemorySubset checks the paper's "invalid memory access"
+// grouping stays inside each platform's cause list.
+func TestInvalidMemorySubset(t *testing.T) {
+	for _, d := range platform.All() {
+		p := d.ID()
+		owned := map[isa.CrashCause]bool{}
+		for _, c := range isa.Causes(p) {
+			owned[c] = true
+		}
+		for _, c := range isa.InvalidMemoryCauses(p) {
+			if !owned[c] {
+				t.Errorf("%v invalid-memory cause %v is not in its cause list", p, c)
+			}
+		}
+	}
+}
+
+// expectPanic runs fn and requires it to panic with a message containing
+// substr — the registries must fail loudly and name the offender.
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic (want one mentioning %q)", substr)
+			return
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
+			t.Errorf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+// fakeDesc wraps a real descriptor, overriding identity — enough to probe
+// the registration checks without implementing a CPU.
+type fakeDesc struct {
+	platform.Descriptor
+	id      isa.Platform
+	aliases []string
+}
+
+func (f fakeDesc) ID() isa.Platform  { return f.id }
+func (f fakeDesc) Aliases() []string { return f.aliases }
+
+// Extension IDs burned by the panic tests below. They stay registered in the
+// isa registry after the expected panics (registration is not transactional
+// across the two registries), so they must not collide with IDs other tests
+// use.
+const (
+	panicTestEmptyAlias = isa.Platform(97)
+	panicTestNameClash  = isa.Platform(98)
+)
+
+func TestDescriptorRegistrationPanics(t *testing.T) {
+	base := platform.MustGet(isa.CISC)
+
+	expectPanic(t, "Register(nil)", func() { platform.Register(nil) })
+	expectPanic(t, "zero isa.Platform ID", func() {
+		platform.Register(fakeDesc{Descriptor: base, id: 0})
+	})
+	expectPanic(t, "isa.PlatformInfo", func() {
+		platform.Register(fakeDesc{Descriptor: base, id: isa.Platform(9999)})
+	})
+	expectPanic(t, "duplicate descriptor", func() { platform.Register(base) })
+
+	isa.RegisterPlatform(panicTestEmptyAlias, isa.PlatformInfo{Name: "empty-alias probe", Short: "exh97"})
+	expectPanic(t, "empty name", func() {
+		platform.Register(fakeDesc{Descriptor: base, id: panicTestEmptyAlias, aliases: []string{""}})
+	})
+
+	isa.RegisterPlatform(panicTestNameClash, isa.PlatformInfo{Name: "name-clash probe", Short: "exh98"})
+	expectPanic(t, "claimed by both", func() {
+		platform.Register(fakeDesc{Descriptor: base, id: panicTestNameClash, aliases: []string{"p4"}})
+	})
+
+	if _, ok := platform.Find(panicTestEmptyAlias); ok {
+		t.Error("failed registration left a descriptor behind")
+	}
+	if _, ok := platform.ByName("exh98"); ok {
+		t.Error("failed registration left a name binding behind")
+	}
+}
+
+func TestPlatformInfoRegistrationPanics(t *testing.T) {
+	expectPanic(t, "zero Platform value", func() {
+		isa.RegisterPlatform(0, isa.PlatformInfo{Name: "x", Short: "x"})
+	})
+	expectPanic(t, "empty Name or Short", func() {
+		isa.RegisterPlatform(isa.Platform(96), isa.PlatformInfo{Name: "no short"})
+	})
+	expectPanic(t, "duplicate RegisterPlatform", func() {
+		isa.RegisterPlatform(isa.CISC, isa.PlatformInfo{Name: "again", Short: "p4b"})
+	})
+	expectPanic(t, "claims CauseNone", func() {
+		isa.RegisterPlatform(isa.Platform(96), isa.PlatformInfo{
+			Name: "x", Short: "x96", Causes: []isa.CrashCause{isa.CauseNone},
+		})
+	})
+	expectPanic(t, "claimed by both", func() {
+		isa.RegisterPlatform(isa.Platform(96), isa.PlatformInfo{
+			Name: "x", Short: "x96",
+			Causes:     []isa.CrashCause{isa.CauseBadPaging},
+			CauseNames: map[isa.CrashCause]string{isa.CauseBadPaging: "stolen"},
+		})
+	})
+	expectPanic(t, "has no name", func() {
+		isa.RegisterPlatform(isa.Platform(96), isa.PlatformInfo{
+			Name: "x", Short: "x96",
+			Causes: []isa.CrashCause{isa.FirstExtensionCause + 90},
+		})
+	})
+	expectPanic(t, "not in its cause list", func() {
+		c := isa.FirstExtensionCause + 91
+		isa.RegisterPlatform(isa.Platform(96), isa.PlatformInfo{
+			Name: "x", Short: "x96",
+			Causes:        []isa.CrashCause{c},
+			CauseNames:    map[isa.CrashCause]string{c: "ext"},
+			InvalidMemory: []isa.CrashCause{c + 1},
+		})
+	})
+	// Every probe above must have failed before mutating the registry.
+	if isa.Registered(isa.Platform(96)) {
+		t.Error("failed RegisterPlatform left platform 96 registered")
+	}
+}

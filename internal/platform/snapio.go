@@ -1,0 +1,115 @@
+package platform
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kfi/internal/isa"
+)
+
+// SnapWriter and SnapReader are the big-endian cursors a platform's CPUState
+// uses to serialize itself inside a snapshot file. They exist so the
+// snapshot codec never needs to know a platform's register layout: the wire
+// format of each CPU block is owned by the platform package that defines the
+// state, while framing, checksumming, and the sparse memory image stay in
+// internal/snapshot.
+
+// SnapWriter appends big-endian fields to a snapshot byte stream.
+type SnapWriter struct {
+	buf []byte
+}
+
+// NewSnapWriter wraps an existing buffer (the snapshot encoder's stream);
+// Bytes returns it with the CPU block appended.
+func NewSnapWriter(buf []byte) *SnapWriter { return &SnapWriter{buf: buf} }
+
+// Bytes returns the accumulated stream.
+func (w *SnapWriter) Bytes() []byte { return w.buf }
+
+// U32 appends a big-endian 32-bit word.
+func (w *SnapWriter) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian 64-bit word.
+func (w *SnapWriter) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a bool as a 32-bit 0/1 word.
+func (w *SnapWriter) Bool(b bool) {
+	if b {
+		w.U32(1)
+	} else {
+		w.U32(0)
+	}
+}
+
+// CPUTail appends the state every platform shares: the debug-register file,
+// the cycle counter, and the pending data-breakpoint trap. Keeping it here
+// guarantees all platforms serialize the common tail identically.
+func (w *SnapWriter) CPUTail(debug [isa.DebugSlots]isa.Breakpoint, clk isa.ClockState,
+	slot int, access isa.DataAccess, addr uint32) {
+	for _, bp := range debug {
+		w.U32(uint32(bp.Kind))
+		w.U32(bp.Addr)
+		w.U32(bp.Len)
+		w.Bool(bp.Enabled)
+	}
+	w.U64(clk.Cycles)
+	w.U64(clk.Mark)
+	w.U32(uint32(int32(slot)))
+	w.U32(uint32(access))
+	w.U32(addr)
+}
+
+// SnapReader is a sticky-error big-endian cursor over a snapshot CPU block.
+type SnapReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewSnapReader wraps the unread remainder of a snapshot body.
+func NewSnapReader(buf []byte) *SnapReader { return &SnapReader{buf: buf} }
+
+// Offset reports how many bytes have been consumed.
+func (r *SnapReader) Offset() int { return r.off }
+
+// Err returns the first error encountered (a truncated block), if any.
+func (r *SnapReader) Err() error { return r.err }
+
+func (r *SnapReader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("platform: truncated CPU state block")
+		}
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U32 reads a big-endian 32-bit word.
+func (r *SnapReader) U32() uint32 { return binary.BigEndian.Uint32(r.take(4)) }
+
+// U64 reads a big-endian 64-bit word.
+func (r *SnapReader) U64() uint64 { return binary.BigEndian.Uint64(r.take(8)) }
+
+// Bool reads a 32-bit 0/1 word.
+func (r *SnapReader) Bool() bool { return r.U32() != 0 }
+
+// CPUTail reads the shared tail written by SnapWriter.CPUTail.
+func (r *SnapReader) CPUTail(debug *[isa.DebugSlots]isa.Breakpoint, clk *isa.ClockState,
+	slot *int, access *isa.DataAccess, addr *uint32) {
+	for i := range debug {
+		debug[i] = isa.Breakpoint{
+			Kind:    isa.BreakKind(r.U32()),
+			Addr:    r.U32(),
+			Len:     r.U32(),
+			Enabled: r.Bool(),
+		}
+	}
+	clk.Cycles = r.U64()
+	clk.Mark = r.U64()
+	*slot = int(int32(r.U32()))
+	*access = isa.DataAccess(r.U32())
+	*addr = r.U32()
+}

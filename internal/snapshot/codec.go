@@ -8,10 +8,9 @@ import (
 	"os"
 	"path/filepath"
 
-	"kfi/internal/cisc"
 	"kfi/internal/isa"
 	"kfi/internal/mem"
-	"kfi/internal/risc"
+	"kfi/internal/platform"
 )
 
 // On-disk format (all integers big-endian):
@@ -55,14 +54,12 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	e.u64(s.State.NextTimer)
 	e.u64(s.State.Deadline)
 	e.u64(s.State.PauseAt)
-	switch {
-	case s.State.CISC != nil:
-		e.ciscState(s.State.CISC)
-	case s.State.RISC != nil:
-		e.riscState(s.State.RISC)
-	default:
+	if s.State.CPU == nil {
 		return fmt.Errorf("snapshot: encode: state carries no CPU image")
 	}
+	sw := platform.NewSnapWriter(e.buf)
+	s.State.CPU.EncodeSnapshot(sw)
+	e.buf = sw.Bytes()
 	e.u32(uint32(len(s.Image)))
 	e.sparseImage(s.Image)
 	e.u32(crc32.Checksum(e.buf, castagnoli))
@@ -94,14 +91,18 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	s.State.NextTimer = d.u64()
 	s.State.Deadline = d.u64()
 	s.State.PauseAt = d.u64()
-	switch s.State.Platform {
-	case isa.CISC:
-		s.State.CISC = d.ciscState()
-	case isa.RISC:
-		s.State.RISC = d.riscState()
-	default:
+	desc, ok := platform.Find(s.State.Platform)
+	if !ok {
 		return nil, fmt.Errorf("snapshot: unknown platform %d", s.State.Platform)
 	}
+	cpu := desc.NewCPUState()
+	sr := platform.NewSnapReader(d.buf[d.off:])
+	cpu.DecodeSnapshot(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	d.off += sr.Offset()
+	s.State.CPU = cpu
 	size := d.u32()
 	if size > maxImageSize || size%mem.PageSize != 0 {
 		return nil, fmt.Errorf("snapshot: implausible image size %d", size)
@@ -160,79 +161,6 @@ func (e *encoder) bytes(b []byte) { e.buf = append(e.buf, b...) }
 func (e *encoder) u32(v uint32)   { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
 func (e *encoder) u64(v uint64)   { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
 
-func (e *encoder) breakpoints(bps [isa.DebugSlots]isa.Breakpoint) {
-	for _, bp := range bps {
-		e.u32(uint32(bp.Kind))
-		e.u32(bp.Addr)
-		e.u32(bp.Len)
-		if bp.Enabled {
-			e.u32(1)
-		} else {
-			e.u32(0)
-		}
-	}
-}
-
-func (e *encoder) cpuTail(debug [isa.DebugSlots]isa.Breakpoint, clk isa.ClockState, slot int, access isa.DataAccess, addr uint32) {
-	e.breakpoints(debug)
-	e.u64(clk.Cycles)
-	e.u64(clk.Mark)
-	e.u32(uint32(int32(slot)))
-	e.u32(uint32(access))
-	e.u32(addr)
-}
-
-func (e *encoder) ciscState(s *cisc.State) {
-	for _, r := range s.Regs {
-		e.u32(r)
-	}
-	e.u32(s.EIP)
-	e.u32(s.Flags)
-	e.u32(s.CR0)
-	e.u32(s.CR2)
-	e.u32(s.CR3)
-	e.u32(s.FS)
-	e.u32(s.GS)
-	e.u32(s.TR)
-	e.u32(s.GDTR)
-	e.u32(s.IDTR)
-	e.u32(s.LDTR)
-	for _, r := range s.DR {
-		e.u32(r)
-	}
-	e.u32(s.DR6)
-	e.u32(s.DR7)
-	e.u32(s.SysenterEIP)
-	e.u32(s.SysenterESP)
-	e.u32(uint32(s.Mode))
-	e.u32(s.FSBase)
-	e.cpuTail(s.Debug, s.Clock, s.PendingSlot, s.PendingAccess, s.PendingAddr)
-}
-
-func (e *encoder) riscState(s *risc.State) {
-	for _, r := range s.R {
-		e.u32(r)
-	}
-	e.u32(s.PC)
-	e.u32(s.LR)
-	e.u32(s.CTR)
-	e.u32(s.XER)
-	e.u32(s.CR)
-	e.u32(s.MSR)
-	for _, r := range s.SPR {
-		e.u32(r)
-	}
-	e.u32(s.StackLo)
-	e.u32(s.StackHi)
-	if s.BTICValid {
-		e.u32(1)
-	} else {
-		e.u32(0)
-	}
-	e.u32(s.BTICCounter)
-	e.cpuTail(s.Debug, s.Clock, s.PendingSlot, s.PendingAccess, s.PendingAddr)
-}
-
 // sparseImage emits only pages with nonzero content: kernel images leave most
 // of an 8 MiB guest RAM untouched, so this keeps waypoint files small.
 func (e *encoder) sparseImage(img []byte) {
@@ -281,79 +209,6 @@ func (d *decoder) take(n int) []byte {
 
 func (d *decoder) u32() uint32 { return binary.BigEndian.Uint32(d.take(4)) }
 func (d *decoder) u64() uint64 { return binary.BigEndian.Uint64(d.take(8)) }
-
-func (d *decoder) breakpoints() [isa.DebugSlots]isa.Breakpoint {
-	var out [isa.DebugSlots]isa.Breakpoint
-	for i := range out {
-		out[i] = isa.Breakpoint{
-			Kind:    isa.BreakKind(d.u32()),
-			Addr:    d.u32(),
-			Len:     d.u32(),
-			Enabled: d.u32() != 0,
-		}
-	}
-	return out
-}
-
-func (d *decoder) cpuTail(debug *[isa.DebugSlots]isa.Breakpoint, clk *isa.ClockState, slot *int, access *isa.DataAccess, addr *uint32) {
-	*debug = d.breakpoints()
-	clk.Cycles = d.u64()
-	clk.Mark = d.u64()
-	*slot = int(int32(d.u32()))
-	*access = isa.DataAccess(d.u32())
-	*addr = d.u32()
-}
-
-func (d *decoder) ciscState() *cisc.State {
-	s := &cisc.State{}
-	for i := range s.Regs {
-		s.Regs[i] = d.u32()
-	}
-	s.EIP = d.u32()
-	s.Flags = d.u32()
-	s.CR0 = d.u32()
-	s.CR2 = d.u32()
-	s.CR3 = d.u32()
-	s.FS = d.u32()
-	s.GS = d.u32()
-	s.TR = d.u32()
-	s.GDTR = d.u32()
-	s.IDTR = d.u32()
-	s.LDTR = d.u32()
-	for i := range s.DR {
-		s.DR[i] = d.u32()
-	}
-	s.DR6 = d.u32()
-	s.DR7 = d.u32()
-	s.SysenterEIP = d.u32()
-	s.SysenterESP = d.u32()
-	s.Mode = isa.Mode(d.u32())
-	s.FSBase = d.u32()
-	d.cpuTail(&s.Debug, &s.Clock, &s.PendingSlot, &s.PendingAccess, &s.PendingAddr)
-	return s
-}
-
-func (d *decoder) riscState() *risc.State {
-	s := &risc.State{}
-	for i := range s.R {
-		s.R[i] = d.u32()
-	}
-	s.PC = d.u32()
-	s.LR = d.u32()
-	s.CTR = d.u32()
-	s.XER = d.u32()
-	s.CR = d.u32()
-	s.MSR = d.u32()
-	for i := range s.SPR {
-		s.SPR[i] = d.u32()
-	}
-	s.StackLo = d.u32()
-	s.StackHi = d.u32()
-	s.BTICValid = d.u32() != 0
-	s.BTICCounter = d.u32()
-	d.cpuTail(&s.Debug, &s.Clock, &s.PendingSlot, &s.PendingAccess, &s.PendingAddr)
-	return s
-}
 
 func (d *decoder) sparseImage(size uint32) ([]byte, error) {
 	pages := size / mem.PageSize

@@ -27,13 +27,13 @@ func tinySnapshot(p isa.Platform) *snapshot.Snapshot {
 		st.Regs[3] = 0xcafe
 		st.Debug[1] = isa.Breakpoint{Kind: isa.BreakData, Addr: 0x2000, Len: 4, Enabled: true}
 		st.Clock = isa.ClockState{Cycles: 12345, Mark: 99}
-		s.State.CISC = st
+		s.State.CPU = st
 	case isa.RISC:
 		st := &risc.State{PC: 0x1000, PendingSlot: -1, BTICValid: true}
 		st.R[13] = 0xbeef
 		st.SPR[26] = 0x4000
 		st.Clock = isa.ClockState{Cycles: 12345, Mark: 99}
-		s.State.RISC = st
+		s.State.CPU = st
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"kfi/internal/cc"
 	"kfi/internal/cisc"
 )
 
@@ -13,18 +14,97 @@ import (
 // neither is ever provably dead from the linear instruction stream alone.
 const ciscAlwaysLive = regSet(1<<cisc.ESP | 1<<cisc.EBP)
 
-// classifyCISC classifies one flip against the variable-length decoder.
-// The flipped bytes are re-decoded in a fresh window so a flip may shrink,
+// ciscClassifier owns the variable-length decode tables for one image.
+type ciscClassifier struct {
+	img    *cc.Image
+	instrs map[uint32]cisc.Inst
+	// directTargets holds every direct branch/call target in the image: an
+	// inert prediction additionally requires that no such target lands
+	// strictly inside the flipped instruction, where the corrupted byte
+	// would be reinterpreted mid-stream.
+	directTargets map[uint32]bool
+}
+
+func newCISCClassifier(img *cc.Image) Classifier {
+	return &ciscClassifier{
+		img:           img,
+		instrs:        make(map[uint32]cisc.Inst, len(img.Code)/3),
+		directTargets: map[uint32]bool{},
+	}
+}
+
+// AddFunc mirrors the campaign generator's boundary recovery: sequential
+// variable-length decode stopping at the first error.
+func (c *ciscClassifier) AddFunc(code []byte, base uint32) {
+	for off := 0; off < len(code); {
+		in, err := cisc.Decode(code[off:])
+		if err != nil {
+			break
+		}
+		addr := base + uint32(off)
+		c.instrs[addr] = in
+		if t, ok := directTarget(in, addr); ok {
+			c.directTargets[t] = true
+		}
+		off += int(in.Len)
+	}
+}
+
+func (c *ciscClassifier) Sites() []Site {
+	out := make([]Site, 0, len(c.instrs))
+	for addr, in := range c.instrs {
+		out = append(out, Site{Addr: addr, Size: in.Len})
+	}
+	return out
+}
+
+// directTarget extracts the statically known destination of a direct
+// branch or call. Indirect transfers (register, return) take their targets
+// from data the compiler emitted as valid instruction boundaries, so only
+// direct encodings need enumerating for the mid-entry check.
+func directTarget(in cisc.Inst, addr uint32) (uint32, bool) {
+	switch in.Op {
+	case cisc.OpJMP, cisc.OpJCC, cisc.OpCALL:
+	default:
+		return 0, false
+	}
+	switch in.Format {
+	case cisc.FRel8, cisc.FRel32:
+		return addr + uint32(in.Len) + uint32(in.Imm), true
+	case cisc.FAbsI32, cisc.FAbsR:
+		if in.Format == cisc.FAbsI32 {
+			return in.Abs, true
+		}
+	}
+	return 0, false
+}
+
+// midEntry reports whether any direct branch target lands strictly inside
+// [addr+1, addr+size): executing from there would reinterpret the flipped
+// byte against a different instruction frame, voiding the classification.
+// Compiled code never branches mid-instruction, so this is a defensive
+// check that only fires on hand-crafted images.
+func (c *ciscClassifier) midEntry(addr uint32, size uint8) bool {
+	for t := addr + 1; t < addr+uint32(size); t++ {
+		if c.directTargets[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// Classify classifies one flip against the variable-length decoder. The
+// flipped bytes are re-decoded in a fresh window so a flip may shrink,
 // grow, or invalidate the instruction — the CISC-specific hazards of §4.4.
-func (a *Analyzer) classifyCISC(addr uint32, info instrInfo, byteOff uint8, bit uint) Prediction {
-	orig := info.cInst
-	off := addr - a.img.CodeBase
+func (c *ciscClassifier) Classify(addr uint32, byteOff uint8, bit uint) Prediction {
+	orig := c.instrs[addr]
+	off := addr - c.img.CodeBase
 	end := off + cisc.MaxInstLen
-	if end > uint32(len(a.img.Code)) {
-		end = uint32(len(a.img.Code))
+	if end > uint32(len(c.img.Code)) {
+		end = uint32(len(c.img.Code))
 	}
 	var win [cisc.MaxInstLen]byte
-	n := copy(win[:], a.img.Code[off:end])
+	n := copy(win[:], c.img.Code[off:end])
 	win[byteOff] ^= 1 << bit
 
 	flip, err := cisc.Decode(win[:n])
@@ -41,7 +121,7 @@ func (a *Analyzer) classifyCISC(addr uint32, info instrInfo, byteOff uint8, bit 
 			Detail: fmt.Sprintf("decoded length %d -> %d resynchronizes the downstream stream", orig.Len, flip.Len)}
 	}
 	if cisc.ExecEqual(orig, flip) {
-		if a.midEntry(addr, orig.Len) {
+		if c.midEntry(addr, orig.Len) {
 			return Prediction{Class: ClassInertEncoding,
 				Detail: "execution-identical decode, but a direct branch targets mid-instruction"}
 		}
@@ -60,19 +140,19 @@ func (a *Analyzer) classifyCISC(addr uint32, info instrInfo, byteOff uint8, bit 
 	default:
 		cl = ClassImmediate
 	}
-	if p, ok := a.deadValueCISC(addr, orig, flip, cl); ok {
+	if p, ok := c.deadValue(addr, orig, flip, cl); ok {
 		return p
 	}
 	return Prediction{Class: cl, Detail: fmt.Sprintf("%s -> %s", orig.Name(), flip.Name())}
 }
 
-// deadValueCISC proves a same-length flip inert by liveness: both sides
-// must be pure (no memory, flags, control, traps, or system state — only
-// GPR writes), equal-cost (so the cycle clock and interrupt timing are
+// deadValue proves a same-length flip inert by liveness: both sides must be
+// pure (no memory, flags, control, traps, or system state — only GPR
+// writes), equal-cost (so the cycle clock and interrupt timing are
 // untouched), and every register either version writes must be dead in the
 // linear window that follows. See DESIGN.md §13 for why this transfers to
 // every dynamic execution of the corrupted address.
-func (a *Analyzer) deadValueCISC(addr uint32, orig, flip cisc.Inst, cl Class) (Prediction, bool) {
+func (c *ciscClassifier) deadValue(addr uint32, orig, flip cisc.Inst, cl Class) (Prediction, bool) {
 	wOrig, ok := ciscPure(orig)
 	if !ok {
 		return Prediction{}, false
@@ -85,14 +165,23 @@ func (a *Analyzer) deadValueCISC(addr uint32, orig, flip cisc.Inst, cl Class) (P
 		return Prediction{}, false
 	}
 	dest := wOrig | wFlip
-	if dest&ciscAlwaysLive != 0 || a.midEntry(addr, orig.Len) {
+	if dest&ciscAlwaysLive != 0 || c.midEntry(addr, orig.Len) {
 		return Prediction{}, false
 	}
-	if !a.deadAfter(addr, dest) {
+	if !deadAfterScan(dest, addr+uint32(orig.Len), c.lookupEffects) {
 		return Prediction{}, false
 	}
 	return Prediction{Class: ClassDeadValue, Inert: true,
 		Detail: fmt.Sprintf("%s flip, but both versions only write dead registers", cl)}, true
+}
+
+// lookupEffects feeds the shared liveness scan.
+func (c *ciscClassifier) lookupEffects(addr uint32) (uint8, effects, bool) {
+	in, ok := c.instrs[addr]
+	if !ok {
+		return 0, effects{}, false
+	}
+	return in.Len, ciscEffects(in), true
 }
 
 // ciscPure returns the GPR write set of an instruction that is pure: it

@@ -30,22 +30,23 @@ func FuzzClassifyFlip(f *testing.F) {
 		if len(code) == 0 || len(code) > 64 {
 			return
 		}
-		an, err := New(ciscImage(append([]byte(nil), code...)))
+		img := ciscImage(append([]byte(nil), code...))
+		an, err := New(img)
 		if err != nil {
 			t.Fatalf("New on a valid range: %v", err)
 		}
 		for _, addr := range an.addrs {
-			info := an.instrs[addr]
-			off := byteOff % info.size
+			size := an.sizes[addr]
+			off := byteOff % size
 			p := an.ClassifyFlip(addr, off, uint(bit%8))
 
 			// Re-decode the flipped window with the real decoder.
-			o := int(addr - an.img.CodeBase)
+			o := int(addr - img.CodeBase)
 			end := o + cisc.MaxInstLen
-			if end > len(an.img.Code) {
-				end = len(an.img.Code)
+			if end > len(img.Code) {
+				end = len(img.Code)
 			}
-			win := append([]byte(nil), an.img.Code[o:end]...)
+			win := append([]byte(nil), img.Code[o:end]...)
 			win[off] ^= 1 << (bit % 8)
 			flip, derr := cisc.Decode(win)
 
@@ -60,14 +61,14 @@ func FuzzClassifyFlip(f *testing.F) {
 			case ClassLength:
 				if derr != nil {
 					t.Errorf("%#x+%d bit %d: ClassLength but decoder rejects: %v", addr, off, bit%8, derr)
-				} else if flip.Len == info.cInst.Len {
+				} else if flip.Len == size {
 					t.Errorf("%#x+%d bit %d: ClassLength but length unchanged (%d)", addr, off, bit%8, flip.Len)
 				}
 			default:
 				if derr != nil {
 					t.Errorf("%#x+%d bit %d: %v but decoder rejects: %v", addr, off, bit%8, p.Class, derr)
-				} else if flip.Len != info.cInst.Len {
-					t.Errorf("%#x+%d bit %d: %v but length %d -> %d", addr, off, bit%8, p.Class, info.cInst.Len, flip.Len)
+				} else if flip.Len != size {
+					t.Errorf("%#x+%d bit %d: %v but length %d -> %d", addr, off, bit%8, p.Class, size, flip.Len)
 				}
 			}
 		}

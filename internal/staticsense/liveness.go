@@ -1,7 +1,5 @@
 package staticsense
 
-import "kfi/internal/isa"
-
 // regSet is a bitmask over guest general registers (8 on CISC, 32 on
 // RISC); bit i is register i.
 type regSet uint32
@@ -22,34 +20,27 @@ type effects struct {
 // a register still unkilled after this many instructions is treated live.
 const scanLimit = 64
 
-// deadAfter proves every register in want dead after the instruction at
-// addr: walking the *linear* successor stream (never following control
-// flow), each register must be fully overwritten before any instruction
-// reads it, before the first barrier, and within scanLimit instructions.
+// deadAfterScan proves every register in want dead from address next on:
+// walking the *linear* successor stream (never following control flow),
+// each register must be fully overwritten before any instruction reads it,
+// before the first barrier, and within scanLimit instructions. lookup
+// resolves one decoded instruction to its size and liveness effects; a miss
+// (function end) yields no kill proof, so the register is treated live.
 //
-// Linearity is what makes the proof transfer to every dynamic execution of
-// addr: control flow always falls through the window instructions in order
-// until the first barrier, and conditional branches are barriers, so the
-// window is exactly the code that executes after the corrupted write —
-// modulo interrupts, whose handlers are register-transparent (they must
-// save and restore any GPR they touch for the golden run to be correct).
-func (a *Analyzer) deadAfter(addr uint32, want regSet) bool {
+// Linearity is what makes the proof transfer to every dynamic execution:
+// control flow always falls through the window instructions in order until
+// the first barrier, and conditional branches are barriers, so the window
+// is exactly the code that executes after the corrupted write — modulo
+// interrupts, whose handlers are register-transparent (they must save and
+// restore any GPR they touch for the golden run to be correct).
+func deadAfterScan(want regSet, next uint32, lookup func(addr uint32) (size uint8, e effects, ok bool)) bool {
 	if want == 0 {
 		return true
 	}
-	next := addr + uint32(a.instrs[addr].size)
 	for i := 0; i < scanLimit; i++ {
-		info, ok := a.instrs[next]
+		size, e, ok := lookup(next)
 		if !ok {
-			// Ran past the decoded instructions (function end): no kill
-			// proof, treat as live.
 			return false
-		}
-		var e effects
-		if a.platform == isa.RISC {
-			e = riscEffects(info.rInst, info.rOK)
-		} else {
-			e = ciscEffects(info.cInst)
 		}
 		if e.barrier || e.reads&want != 0 {
 			return false
@@ -58,7 +49,7 @@ func (a *Analyzer) deadAfter(addr uint32, want regSet) bool {
 		if want == 0 {
 			return true
 		}
-		next += uint32(info.size)
+		next += uint32(size)
 	}
 	return false
 }

@@ -3,6 +3,7 @@ package staticsense
 import (
 	"fmt"
 
+	"kfi/internal/cc"
 	"kfi/internal/risc"
 )
 
@@ -11,17 +12,54 @@ import (
 // instruction boundaries.
 const riscAlwaysLive = regSet(1 << risc.SP)
 
-// classifyRISC classifies one flip in a fixed-width 32-bit word. The word
-// is stored big-endian (see asm.go), so memory byte k holds instruction
-// bits [31-8k .. 24-8k]. Alignment makes mid-instruction entry impossible,
-// which removes the CISC resync hazards: there is no length class here.
-func (a *Analyzer) classifyRISC(addr uint32, info instrInfo, byteOff uint8, bit uint) Prediction {
-	if !info.rOK {
+// riscInstr caches one statically decoded word.
+type riscInstr struct {
+	inst risc.Inst
+	ok   bool // whether the word decodes at all
+}
+
+// riscClassifier owns the fixed-width decode tables for one image.
+type riscClassifier struct {
+	img    *cc.Image
+	instrs map[uint32]riscInstr
+}
+
+func newRISCClassifier(img *cc.Image) Classifier {
+	return &riscClassifier{
+		img:    img,
+		instrs: make(map[uint32]riscInstr, len(img.Code)/4),
+	}
+}
+
+// AddFunc mirrors the campaign generator's boundary recovery: one site per
+// aligned 4-byte word.
+func (c *riscClassifier) AddFunc(code []byte, base uint32) {
+	for off := uint32(0); off+4 <= uint32(len(code)); off += 4 {
+		in, err := risc.Decode(beWord(code[off:]))
+		c.instrs[base+off] = riscInstr{inst: in, ok: err == nil}
+	}
+}
+
+func (c *riscClassifier) Sites() []Site {
+	out := make([]Site, 0, len(c.instrs))
+	for addr := range c.instrs {
+		out = append(out, Site{Addr: addr, Size: 4})
+	}
+	return out
+}
+
+// Classify classifies one flip in a fixed-width 32-bit word. The word is
+// stored big-endian (see asm.go), so memory byte k holds instruction bits
+// [31-8k .. 24-8k]. Alignment makes mid-instruction entry impossible, which
+// removes the CISC resync hazards: there is no length class here.
+func (c *riscClassifier) Classify(addr uint32, byteOff uint8, bit uint) Prediction {
+	info := c.instrs[addr]
+	if !info.ok {
 		return Prediction{Class: ClassUnknown, Detail: "original word does not decode"}
 	}
-	orig := info.rInst
-	off := addr - a.img.CodeBase
-	raw := beWord(a.img.Code[off:])
+	orig := info.inst
+	off := addr - c.img.CodeBase
+	raw := beWord(c.img.Code[off:])
 	flipped := raw ^ 1<<(bit+8*uint(3-byteOff))
 
 	flip, err := risc.Decode(flipped)
@@ -51,15 +89,16 @@ func (a *Analyzer) classifyRISC(addr uint32, info instrInfo, byteOff uint8, bit 
 	default:
 		cl = ClassImmediate
 	}
-	if p, ok := a.deadValueRISC(addr, orig, flip, cl); ok {
+	if p, ok := c.deadValue(addr, orig, flip, cl); ok {
 		return p
 	}
 	return Prediction{Class: cl, Detail: fmt.Sprintf("%s -> %s", orig.Op.Name(), flip.Op.Name())}
 }
 
-// deadValueRISC is the fixed-width twin of deadValueCISC: pure, equal-cost
-// instruction pair whose written registers are all dead downstream.
-func (a *Analyzer) deadValueRISC(addr uint32, orig, flip risc.Inst, cl Class) (Prediction, bool) {
+// deadValue is the fixed-width twin of the CISC classifier's proof: pure,
+// equal-cost instruction pair whose written registers are all dead
+// downstream.
+func (c *riscClassifier) deadValue(addr uint32, orig, flip risc.Inst, cl Class) (Prediction, bool) {
 	wOrig, ok := riscPure(orig)
 	if !ok {
 		return Prediction{}, false
@@ -75,11 +114,20 @@ func (a *Analyzer) deadValueRISC(addr uint32, orig, flip risc.Inst, cl Class) (P
 	if dest&riscAlwaysLive != 0 {
 		return Prediction{}, false
 	}
-	if !a.deadAfter(addr, dest) {
+	if !deadAfterScan(dest, addr+4, c.lookupEffects) {
 		return Prediction{}, false
 	}
 	return Prediction{Class: ClassDeadValue, Inert: true,
 		Detail: fmt.Sprintf("%s flip, but both versions only write dead registers", cl)}, true
+}
+
+// lookupEffects feeds the shared liveness scan.
+func (c *riscClassifier) lookupEffects(addr uint32) (uint8, effects, bool) {
+	info, ok := c.instrs[addr]
+	if !ok {
+		return 0, effects{}, false
+	}
+	return 4, riscEffects(info.inst, info.ok), true
 }
 
 // riscPure returns the GPR write set of a pure instruction: GPR-only

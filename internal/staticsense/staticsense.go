@@ -21,9 +21,7 @@ import (
 	"sort"
 
 	"kfi/internal/cc"
-	"kfi/internal/cisc"
 	"kfi/internal/isa"
-	"kfi/internal/risc"
 )
 
 // Class places one candidate flip in the classification lattice.
@@ -101,110 +99,86 @@ type Prediction struct {
 	Detail string
 }
 
-// instrInfo caches one statically decoded instruction.
-type instrInfo struct {
-	size  uint8
-	cInst cisc.Inst // CISC: the decoded original
-	rInst risc.Inst // RISC: the decoded original
-	rOK   bool      // RISC: whether the word decodes at all
+// Site is one statically decoded instruction boundary: the unit of the
+// code-campaign injection space.
+type Site struct {
+	Addr uint32
+	Size uint8
+}
+
+// Classifier is one platform's static classification strategy: it owns the
+// platform's decoded-instruction tables and the decoder-aware reasoning.
+// Implementations are registered per platform with RegisterClassifier; the
+// Analyzer provides the platform-independent driving (function walk, sweep,
+// reporting).
+type Classifier interface {
+	// AddFunc statically decodes one function's code bytes (base is the
+	// guest address of code[0]), recording instruction boundaries for
+	// Classify and the liveness scan. It must mirror the campaign
+	// generator's boundary recovery exactly.
+	AddFunc(code []byte, base uint32)
+	// Sites returns every decoded instruction boundary, in any order.
+	Sites() []Site
+	// Classify classifies the flip of bit `bit` (0–7, already masked) in
+	// the byte at addr+byteOff; addr is a boundary previously recorded by
+	// AddFunc and byteOff is within the instruction.
+	Classify(addr uint32, byteOff uint8, bit uint) Prediction
+}
+
+var classifiers = map[isa.Platform]func(img *cc.Image) Classifier{}
+
+// RegisterClassifier registers a platform's classifier factory. The built-in
+// platforms register theirs in this package's init; extension platforms
+// (which sit above cc in the import graph) call this from their own setup
+// code before building an Analyzer.
+func RegisterClassifier(p isa.Platform, mk func(img *cc.Image) Classifier) {
+	if mk == nil {
+		panic("staticsense: RegisterClassifier with nil factory")
+	}
+	if _, dup := classifiers[p]; dup {
+		panic(fmt.Sprintf("staticsense: classifier already registered for %v", p))
+	}
+	classifiers[p] = mk
+}
+
+func init() {
+	RegisterClassifier(isa.CISC, newCISCClassifier)
+	RegisterClassifier(isa.RISC, newRISCClassifier)
 }
 
 // Analyzer classifies flips against one built kernel image. Building it
 // decodes every function once; ClassifyFlip is then O(window) per query.
 type Analyzer struct {
 	platform isa.Platform
-	img      *cc.Image
-	instrs   map[uint32]instrInfo
+	cl       Classifier
 	// addrs lists decoded instruction addresses in ascending order, for
-	// deterministic sweeps.
+	// deterministic sweeps; sizes maps each to its instruction length.
 	addrs []uint32
-	// directTargets holds every direct branch/call target in the image
-	// (CISC only): an inert prediction additionally requires that no such
-	// target lands strictly inside the flipped instruction, where the
-	// corrupted byte would be reinterpreted mid-stream.
-	directTargets map[uint32]bool
+	sizes map[uint32]uint8
 }
 
 // New builds an analyzer over a compiled kernel image.
 func New(img *cc.Image) (*Analyzer, error) {
-	a := &Analyzer{
-		platform:      img.Platform,
-		img:           img,
-		instrs:        make(map[uint32]instrInfo, len(img.Code)/3),
-		directTargets: map[uint32]bool{},
+	mk, ok := classifiers[img.Platform]
+	if !ok {
+		return nil, fmt.Errorf("staticsense: no classifier registered for %v", img.Platform)
 	}
+	a := &Analyzer{platform: img.Platform, cl: mk(img)}
 	for _, fn := range img.Funcs {
 		if fn.Start < img.CodeBase || uint64(fn.End-img.CodeBase) > uint64(len(img.Code)) || fn.End < fn.Start {
 			return nil, fmt.Errorf("staticsense: function %s [%#x,%#x) outside code image", fn.Name, fn.Start, fn.End)
 		}
-		a.addFunc(fn)
+		a.cl.AddFunc(img.Code[fn.Start-img.CodeBase:fn.End-img.CodeBase], fn.Start)
+	}
+	sites := a.cl.Sites()
+	a.addrs = make([]uint32, 0, len(sites))
+	a.sizes = make(map[uint32]uint8, len(sites))
+	for _, s := range sites {
+		a.addrs = append(a.addrs, s.Addr)
+		a.sizes[s.Addr] = s.Size
 	}
 	sort.Slice(a.addrs, func(i, j int) bool { return a.addrs[i] < a.addrs[j] })
 	return a, nil
-}
-
-// addFunc decodes one function's instruction boundaries, mirroring the
-// campaign generator: 4-byte words on RISC, sequential variable-length
-// decode stopping at the first error on CISC.
-func (a *Analyzer) addFunc(fn cc.FuncRange) {
-	code := a.img.Code[fn.Start-a.img.CodeBase : fn.End-a.img.CodeBase]
-	if a.platform == isa.RISC {
-		for off := uint32(0); off+4 <= uint32(len(code)); off += 4 {
-			in, err := risc.Decode(beWord(code[off:]))
-			addr := fn.Start + off
-			a.instrs[addr] = instrInfo{size: 4, rInst: in, rOK: err == nil}
-			a.addrs = append(a.addrs, addr)
-		}
-		return
-	}
-	for off := 0; off < len(code); {
-		in, err := cisc.Decode(code[off:])
-		if err != nil {
-			break
-		}
-		addr := fn.Start + uint32(off)
-		a.instrs[addr] = instrInfo{size: in.Len, cInst: in}
-		a.addrs = append(a.addrs, addr)
-		if t, ok := directTarget(in, addr); ok {
-			a.directTargets[t] = true
-		}
-		off += int(in.Len)
-	}
-}
-
-// directTarget extracts the statically known destination of a direct
-// branch or call. Indirect transfers (register, return) take their targets
-// from data the compiler emitted as valid instruction boundaries, so only
-// direct encodings need enumerating for the mid-entry check.
-func directTarget(in cisc.Inst, addr uint32) (uint32, bool) {
-	switch in.Op {
-	case cisc.OpJMP, cisc.OpJCC, cisc.OpCALL:
-	default:
-		return 0, false
-	}
-	switch in.Format {
-	case cisc.FRel8, cisc.FRel32:
-		return addr + uint32(in.Len) + uint32(in.Imm), true
-	case cisc.FAbsI32, cisc.FAbsR:
-		if in.Format == cisc.FAbsI32 {
-			return in.Abs, true
-		}
-	}
-	return 0, false
-}
-
-// midEntry reports whether any direct branch target lands strictly inside
-// [addr+1, addr+size): executing from there would reinterpret the flipped
-// byte against a different instruction frame, voiding the classification.
-// Compiled code never branches mid-instruction, so this is a defensive
-// check that only fires on hand-crafted images.
-func (a *Analyzer) midEntry(addr uint32, size uint8) bool {
-	for t := addr + 1; t < addr+uint32(size); t++ {
-		if a.directTargets[t] {
-			return true
-		}
-	}
-	return false
 }
 
 // ClassifyFlip classifies the single-bit flip of bit `bit` (0–7) in the
@@ -212,18 +186,14 @@ func (a *Analyzer) midEntry(addr uint32, size uint8) bool {
 // exact shape of a CampCode injection target. Unknown addresses and
 // out-of-range offsets yield ClassUnknown, never a panic.
 func (a *Analyzer) ClassifyFlip(addr uint32, byteOff uint8, bit uint) Prediction {
-	info, ok := a.instrs[addr]
+	size, ok := a.sizes[addr]
 	if !ok {
 		return Prediction{Class: ClassUnknown, Detail: "address is not a decoded instruction boundary"}
 	}
-	if byteOff >= info.size {
+	if byteOff >= size {
 		return Prediction{Class: ClassUnknown, Detail: "byte offset beyond the instruction"}
 	}
-	bit &= 7
-	if a.platform == isa.RISC {
-		return a.classifyRISC(addr, info, byteOff, bit)
-	}
-	return a.classifyCISC(addr, info, byteOff, bit)
+	return a.cl.Classify(addr, byteOff, bit&7)
 }
 
 // Report tallies a whole-image sweep of every candidate flip.
@@ -250,7 +220,7 @@ func (r *Report) InertFrac() float64 {
 func (a *Analyzer) Sweep() *Report {
 	r := &Report{Platform: a.platform, ByClass: map[string]int{}}
 	for _, addr := range a.addrs {
-		size := a.instrs[addr].size
+		size := a.sizes[addr]
 		for off := uint8(0); off < size; off++ {
 			for bit := uint(0); bit < 8; bit++ {
 				p := a.ClassifyFlip(addr, off, bit)

@@ -4,6 +4,8 @@
 #   - gofmt cleanliness
 #   - exhaustive switches over the inject.Outcome constants
 #   - no time.Now / global math/rand in deterministic replay packages
+#   - no switch/if dispatch on the platform enum outside internal/platform,
+#     the ISA packages, and the explicit allowlist (use the registry)
 #
 #   sh scripts/lint.sh      (or: make lint)
 set -eu
