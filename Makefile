@@ -16,9 +16,9 @@ lint:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent farm/journal/transport layer.
+# Race-detector pass over the concurrent farm/journal/transport/control-plane layer.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/crashnet/...
+	$(GO) test -race ./internal/campaign/... ./internal/crashnet/... ./internal/ctlplane/...
 
 # One-iteration snapshot + predecode + static-sense benchmarks; rewrites
 # BENCH_snapshot.json, BENCH_exec.json, and BENCH_sense.json.

@@ -8,6 +8,13 @@
 //	kfi-campaign -platform both -campaign all -n 300
 //	kfi-campaign -platform p4 -campaign code -n 1790 -out p4-code.jsonl
 //	kfi-campaign -paper-fraction 0.05    # 5% of the paper's 115k injections
+//
+// With -submit, the same flags describe campaigns handed to a ctlplane
+// coordinator instead of run locally; worker machines started with
+// `kfi-ctl work` execute them, and the derived per-(platform, campaign)
+// seeds match a local run of the same flags exactly:
+//
+//	kfi-campaign -submit -coordinator 127.0.0.1:9380 -platform both -campaign all -n 300
 package main
 
 import (
@@ -21,7 +28,7 @@ import (
 	"kfi"
 	"kfi/internal/cli"
 	"kfi/internal/crashnet"
-	"kfi/internal/inject"
+	"kfi/internal/ctlplane"
 	"kfi/internal/stats"
 )
 
@@ -56,6 +63,8 @@ func run(args []string) error {
 		nodes        = fs.Int("nodes", 0, "parallel guest systems per platform (0 = one per host CPU)")
 		cpuprofile   = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		submit       = fs.Bool("submit", false, "submit the campaigns to a ctlplane coordinator instead of running locally")
+		coordinator  = fs.String("coordinator", "", "coordinator base URL for -submit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,9 +74,43 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	campaigns, err := parseCampaigns(*campaignFlag)
+	campaigns, err := cli.ParseCampaigns(*campaignFlag)
 	if err != nil {
 		return err
+	}
+
+	if *burst < 1 || *burst > 8 {
+		return fmt.Errorf("-burst must be in [1, 8], got %d", *burst)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	if *submit {
+		if *coordinator == "" {
+			return fmt.Errorf("-submit requires -coordinator")
+		}
+		if *n <= 0 {
+			return fmt.Errorf("-submit requires an explicit -n (the coordinator does not scale paper sizes)")
+		}
+		client, err := ctlplane.NewClient(*coordinator)
+		if err != nil {
+			return fmt.Errorf("-coordinator: %w", err)
+		}
+		for _, p := range platforms {
+			for _, c := range campaigns {
+				spec := ctlplane.SpecFor(p, c, *n, *seed, uint8(*burst), *scale, *retries)
+				st, err := client.Submit(spec)
+				if err != nil {
+					return fmt.Errorf("submitting %v %v: %w", p, c, err)
+				}
+				fmt.Printf("submitted %-28s %-16s %-18s n=%-6d state=%s\n",
+					st.ID, p.Short(), c, *n, st.State)
+			}
+		}
+		fmt.Printf("watch with: kfi-ctl status -coordinator %s\n", client.Base)
+		return nil
+	} else if *coordinator != "" {
+		return fmt.Errorf("-coordinator requires -submit")
 	}
 
 	counts := map[kfi.Campaign]int{}
@@ -121,9 +164,6 @@ func run(args []string) error {
 		Build:         kfi.BuildOptions{Scale: *scale},
 		Nodes:         *nodes,
 	}
-	if *burst < 1 || *burst > 8 {
-		return fmt.Errorf("-burst must be in [1, 8], got %d", *burst)
-	}
 	cfg.Burst = uint8(*burst)
 	switch strings.ToLower(*execMode) {
 	case "snapshot", "fork", "fork-from-golden":
@@ -143,9 +183,6 @@ func run(args []string) error {
 	cfg.Exec.Prune = *prune
 	if *resume && *journalDir == "" {
 		return fmt.Errorf("-resume requires -journal")
-	}
-	if *retries < 0 {
-		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
 	cfg.Exec.MaxAttempts = *retries
 	cfg.JournalDir = *journalDir
@@ -229,26 +266,4 @@ func quarantined(study *kfi.StudyResult, p kfi.Platform, campaigns []kfi.Campaig
 		}
 	}
 	return q
-}
-
-func parseCampaigns(s string) ([]kfi.Campaign, error) {
-	if strings.EqualFold(s, "all") {
-		return kfi.AllCampaigns, nil
-	}
-	var out []kfi.Campaign
-	for _, part := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(part)) {
-		case "stack":
-			out = append(out, inject.CampStack)
-		case "sysreg", "registers", "regs":
-			out = append(out, inject.CampSysReg)
-		case "data":
-			out = append(out, inject.CampData)
-		case "code":
-			out = append(out, inject.CampCode)
-		default:
-			return nil, fmt.Errorf("unknown campaign %q", part)
-		}
-	}
-	return out, nil
 }

@@ -7,21 +7,40 @@ import (
 	"testing"
 
 	"kfi"
+	"kfi/internal/cli"
 	"kfi/internal/crashnet"
 	"kfi/internal/stats"
 )
 
 func TestParseCampaigns(t *testing.T) {
-	got, err := parseCampaigns("stack, code")
+	got, err := cli.ParseCampaigns("stack, code")
 	if err != nil || len(got) != 2 || got[0] != kfi.Stack || got[1] != kfi.Code {
-		t.Errorf("parseCampaigns = %v, %v", got, err)
+		t.Errorf("ParseCampaigns = %v, %v", got, err)
 	}
-	all, err := parseCampaigns("all")
+	all, err := cli.ParseCampaigns("all")
 	if err != nil || len(all) != 4 {
 		t.Errorf("all = %v, %v", all, err)
 	}
-	if _, err := parseCampaigns("bogus"); err == nil {
+	if _, err := cli.ParseCampaigns("bogus"); err == nil {
 		t.Error("bogus campaign accepted")
+	}
+}
+
+func TestSubmitFlagValidation(t *testing.T) {
+	if err := run([]string{"-submit", "-platform", "p4", "-campaign", "code", "-n", "5"}); err == nil {
+		t.Error("-submit without -coordinator accepted")
+	}
+	if err := run([]string{"-submit", "-coordinator", "127.0.0.1:9380",
+		"-platform", "p4", "-campaign", "code"}); err == nil {
+		t.Error("-submit without -n accepted")
+	}
+	if err := run([]string{"-submit", "-coordinator", "ftp://x",
+		"-platform", "p4", "-campaign", "code", "-n", "5"}); err == nil {
+		t.Error("non-http coordinator URL accepted")
+	}
+	if err := run([]string{"-coordinator", "127.0.0.1:9380",
+		"-platform", "p4", "-campaign", "code", "-n", "5"}); err == nil {
+		t.Error("-coordinator without -submit accepted")
 	}
 }
 

@@ -35,7 +35,7 @@ func TestCollectPrintsAndSummarizes(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := collect(coll, len(pkts), &out); err != nil {
+	if err := collect(coll, len(pkts), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"kfi/internal/inject"
@@ -226,6 +227,69 @@ func (fr *frameReader) next() ([]byte, bool) {
 	}
 	fr.off += int64(4 + n + 4)
 	return payload, true
+}
+
+// Frame wraps a payload in the journal's length/CRC-32C framing. It is the
+// wire framing of the control plane's result streams as well: a worker ships
+// outcome rows as journal frames, so the coordinator persists exactly what
+// arrived and a torn tail frame from a dead worker is indistinguishable from
+// (and as harmless as) a torn tail record from a crash mid-append.
+func Frame(payload []byte) []byte { return frame(payload) }
+
+// FrameReader iterates the intact frames of a stream; any damage — a short
+// read, an implausible length, a CRC mismatch — reads as end-of-stream.
+type FrameReader struct {
+	fr frameReader
+}
+
+// NewFrameReader wraps a stream of journal frames.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{fr: frameReader{r: r}} }
+
+// Next returns the next intact frame's payload, or false at end-of-stream or
+// the first sign of damage.
+func (r *FrameReader) Next() ([]byte, bool) { return r.fr.next() }
+
+// EncodeRecord marshals one outcome record to the journal's payload format.
+func EncodeRecord(idx int, res inject.Result) ([]byte, error) {
+	return json.Marshal(journalRecord{Idx: idx, Result: res})
+}
+
+// DecodeRecord parses a record payload produced by EncodeRecord (or read
+// back out of a journal frame).
+func DecodeRecord(payload []byte) (int, inject.Result, error) {
+	var rec journalRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, inject.Result{}, fmt.Errorf("campaign: record: %w", err)
+	}
+	return rec.Idx, rec.Result, nil
+}
+
+// CanonicalJournalBytes renders a completed (or partial) outcome set as a
+// journal in canonical form: the header frame followed by one record frame
+// per outcome in ascending index order. Two runs of the same campaign that
+// completed the same outcomes produce byte-identical canonical journals no
+// matter which nodes — goroutines or machines — executed which injections,
+// or in what order the records originally landed.
+func CanonicalJournalBytes(h Header, completed map[int]inject.Result) ([]byte, error) {
+	h.Magic = journalMagic
+	hp, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	out := frame(hp)
+	idxs := make([]int, 0, len(completed))
+	for i := range completed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		payload, err := EncodeRecord(i, completed[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame(payload)...)
+	}
+	return out, nil
 }
 
 // frame wraps a payload in the length/CRC framing.

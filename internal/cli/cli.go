@@ -1,13 +1,17 @@
-// Package cli holds small helpers shared by the kfi command-line tools —
-// chiefly the -platform flag parsing, which resolves names through the
-// platform registry so every tool accepts the same names and prints the
-// same error for an unknown one.
+// Package cli holds small helpers shared by the kfi command-line tools: the
+// -platform and -campaign flag parsing (resolved through the platform
+// registry so every tool accepts the same names and prints the same error
+// for an unknown one), and the -listen / -coordinator address parsing shared
+// by kfi-campaign, kfi-ctl, and kfi-monitor.
 package cli
 
 import (
 	"fmt"
+	"net"
+	"net/url"
 	"strings"
 
+	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/platform"
 
@@ -51,4 +55,86 @@ func ParsePlatforms(s string) ([]isa.Platform, error) {
 		return []isa.Platform{d.ID()}, nil
 	}
 	return nil, fmt.Errorf("unknown platform %q (want %s, or both)", s, shortNames())
+}
+
+// ParseCampaign resolves a single campaign name.
+func ParseCampaign(s string) (inject.Campaign, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "stack":
+		return inject.CampStack, nil
+	case "sysreg", "registers", "regs", "system-registers":
+		return inject.CampSysReg, nil
+	case "data":
+		return inject.CampData, nil
+	case "code":
+		return inject.CampCode, nil
+	}
+	return 0, fmt.Errorf("unknown campaign %q (want stack, sysreg, data, or code)", s)
+}
+
+// ParseCampaigns resolves a -campaign flag value: a comma-separated list of
+// campaign names, or "all" for the four campaigns in the paper's table order.
+func ParseCampaigns(s string) ([]inject.Campaign, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return []inject.Campaign{inject.CampStack, inject.CampSysReg,
+			inject.CampData, inject.CampCode}, nil
+	}
+	var out []inject.Campaign
+	for _, part := range strings.Split(s, ",") {
+		c, err := ParseCampaign(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseListenAddr validates a -listen flag value: a host:port (the host may
+// be empty for all interfaces, the port may be 0 for an ephemeral one).
+func ParseListenAddr(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("empty listen address (want host:port)")
+	}
+	if strings.Contains(s, "://") {
+		return "", fmt.Errorf("listen address %q must be host:port, not a URL", s)
+	}
+	_, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", fmt.Errorf("invalid listen address %q (want host:port): %v", s, err)
+	}
+	if port == "" {
+		return "", fmt.Errorf("listen address %q is missing a port", s)
+	}
+	return s, nil
+}
+
+// ParseCoordinatorURL validates and normalizes a -coordinator flag value to
+// an http(s) base URL with no trailing slash. A bare host:port is accepted
+// and given the http scheme, so "-coordinator 127.0.0.1:9380" and
+// "-coordinator http://127.0.0.1:9380" name the same service.
+func ParseCoordinatorURL(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("empty coordinator URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("invalid coordinator URL %q: %v", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("coordinator URL %q: unsupported scheme %q (want http or https)", s, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("coordinator URL %q is missing a host", s)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("coordinator URL %q must not carry a query or fragment", s)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	return u.String(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"kfi/internal/inject"
 	"kfi/internal/isa"
 )
 
@@ -97,6 +98,97 @@ func TestUnknownPlatformErrorText(t *testing.T) {
 	for _, want := range []string{`unknown platform "vax"`, "p4", "g4", "both"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("error %q does not mention %q", got, want)
+		}
+	}
+}
+
+func TestParseCampaign(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    inject.Campaign
+		wantErr bool
+	}{
+		{in: "stack", want: inject.CampStack},
+		{in: "Stack", want: inject.CampStack},
+		{in: " sysreg ", want: inject.CampSysReg},
+		{in: "registers", want: inject.CampSysReg},
+		{in: "regs", want: inject.CampSysReg},
+		{in: "system-registers", want: inject.CampSysReg},
+		{in: "data", want: inject.CampData},
+		{in: "CODE", want: inject.CampCode},
+		{in: "paging", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseCampaign(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseCampaign(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseCampaign(%q) = %v, %v, want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestParseListenAddr(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "127.0.0.1:9380", want: "127.0.0.1:9380"},
+		{in: ":9380", want: ":9380"},
+		{in: "localhost:0", want: "localhost:0"},
+		{in: "[::1]:9380", want: "[::1]:9380"},
+		{in: "", wantErr: true},
+		{in: "127.0.0.1", wantErr: true},             // no port
+		{in: "http://127.0.0.1:9380", wantErr: true}, // URL, not host:port
+		{in: "host:port:extra", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseListenAddr(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseListenAddr(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseListenAddr(%q) = %q, %v, want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestParseCoordinatorURL(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "127.0.0.1:9380", want: "http://127.0.0.1:9380"},
+		{in: "http://127.0.0.1:9380", want: "http://127.0.0.1:9380"},
+		{in: "http://127.0.0.1:9380/", want: "http://127.0.0.1:9380"},
+		{in: "https://kfi.example", want: "https://kfi.example"},
+		{in: "  http://h:1  ", want: "http://h:1"},
+		{in: "", wantErr: true},
+		{in: "ftp://127.0.0.1:9380", wantErr: true},
+		{in: "http://", wantErr: true},              // no host
+		{in: "http://h:1/x?drain=1", wantErr: true}, // query
+		{in: "http://h:1/x#frag", wantErr: true},    // fragment
+	}
+	for _, c := range cases {
+		got, err := ParseCoordinatorURL(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseCoordinatorURL(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseCoordinatorURL(%q) = %q, %v, want %q", c.in, got, err, c.want)
 		}
 	}
 }

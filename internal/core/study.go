@@ -214,7 +214,7 @@ func Run(cfg Config) (*StudyResult, error) {
 				p, c := p, c
 				progress = func(done, total int) { cfg.Progress(p, c, done, total) }
 			}
-			spec := campaign.Spec{Campaign: c, N: n, Seed: cfg.Seed + int64(c)*1000 + int64(p),
+			spec := campaign.Spec{Campaign: c, N: n, Seed: SpecSeed(cfg.Seed, p, c),
 				Burst: cfg.Burst}
 			exec, err := openJournal(cfg, p, golden, spec)
 			if err != nil {
@@ -239,6 +239,14 @@ func Run(cfg Config) (*StudyResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// SpecSeed derives the per-(platform, campaign) target-generation seed from
+// a study's base seed. Every execution mode — single system, in-process
+// farm, or a ctlplane submission — must use this same derivation for its
+// outcome tables to be comparable injection-for-injection.
+func SpecSeed(base int64, p isa.Platform, c inject.Campaign) int64 {
+	return base + int64(c)*1000 + int64(p)
 }
 
 // JournalPath returns the journal file used for one (platform, campaign)

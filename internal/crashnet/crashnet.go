@@ -186,36 +186,52 @@ func NewUDPCollector(addr string) (*UDPCollector, error) {
 // Addr returns the bound address for senders.
 func (u *UDPCollector) Addr() string { return u.conn.LocalAddr().String() }
 
+// ErrDrainTimeout reports a drain deadline expiring with nothing buffered:
+// the socket is healthy and simply empty. It is deliberately a distinct
+// type of failure from ErrMalformed — an empty socket means "drain done",
+// a malformed datagram means "skip this one and keep reading" — and callers
+// that conflate them either abandon packets still in the buffer or spin on
+// an empty socket.
+var ErrDrainTimeout = errors.New("crashnet: drain timeout (no packet buffered)")
+
 // Recv drains one already-arrived packet, returning false when none is
 // buffered (it waits at most a few milliseconds, never indefinitely).
-//
-// Only "nothing more is buffered" (the drain deadline expiring) or a hard
-// socket error ends the drain. A malformed datagram — noise on the port, a
-// torn crash packet — or a transient read error is skipped and the drain
-// continues within the same deadline, so garbage between two valid packets
-// cannot make the caller abandon the second one.
+// RecvErr is the same drain with the reason it stopped.
 func (u *UDPCollector) Recv() (Packet, bool) {
+	p, err := u.RecvErr()
+	return p, err == nil
+}
+
+// RecvErr drains one already-arrived packet. A nil error yields a packet;
+// ErrDrainTimeout means the buffer is empty (the normal end of a drain);
+// anything else is a hard socket error that ends the drain permanently.
+//
+// A malformed datagram — noise on the port, a torn crash packet — or a
+// transient read error is skipped and the drain continues within the same
+// deadline, so garbage between two valid packets cannot make the caller
+// abandon the second one; ErrMalformed never escapes this method.
+func (u *UDPCollector) RecvErr() (Packet, error) {
 	buf := make([]byte, 2*packetSize)
 	if err := u.conn.SetReadDeadline(drainDeadline()); err != nil {
-		return Packet{}, false
+		return Packet{}, err
 	}
 	for {
 		n, _, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				return Packet{}, false // nothing more buffered: drain done
+				return Packet{}, ErrDrainTimeout // nothing more buffered
 			}
 			if transient(err) {
 				continue // momentary; the deadline still bounds the drain
 			}
-			return Packet{}, false // hard socket error: drain cannot continue
+			return Packet{}, err // hard socket error: drain cannot continue
 		}
 		p, err := Unmarshal(buf[:n])
 		if err != nil {
 			continue // malformed datagram: skip it, keep draining
 		}
-		return p, true
+		return p, nil
 	}
 }
 

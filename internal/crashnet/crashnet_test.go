@@ -261,3 +261,60 @@ func TestDrainTimeoutTunable(t *testing.T) {
 		t.Errorf("got seq %d", p.Seq)
 	}
 }
+
+// TestRecvErrTypedTimeout pins the drain contract: an empty socket yields
+// ErrDrainTimeout (a typed "drain done", never ErrMalformed), a buffered
+// packet yields nil, garbage on the port is skipped rather than surfaced,
+// and a closed socket yields a hard error distinct from both sentinels.
+func TestRecvErrTypedTimeout(t *testing.T) {
+	coll, err := NewUDPCollector("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	// Empty socket: the deadline expiry is typed, not conflated with noise.
+	if _, err := coll.RecvErr(); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("empty drain err = %v, want ErrDrainTimeout", err)
+	}
+	if errors.Is(ErrDrainTimeout, ErrMalformed) {
+		t.Fatal("ErrDrainTimeout must be distinct from ErrMalformed")
+	}
+
+	sender, err := NewUDPSender(coll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Garbage before a valid packet: the drain skips it and still delivers
+	// the packet; ErrMalformed never escapes RecvErr.
+	if _, err := sender.conn.Write([]byte("noise")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(samplePacket()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p, err := coll.RecvErr()
+		if err == nil {
+			if p.Seq != samplePacket().Seq {
+				t.Fatalf("drained packet %+v, want seq %d", p, samplePacket().Seq)
+			}
+			break
+		}
+		if !errors.Is(err, ErrDrainTimeout) {
+			t.Fatalf("drain err = %v, want nil or ErrDrainTimeout while packet in flight", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("packet never delivered through RecvErr")
+		}
+	}
+
+	// Closed socket: a hard error, not the timeout sentinel.
+	coll.Close()
+	if _, err := coll.RecvErr(); err == nil || errors.Is(err, ErrDrainTimeout) || errors.Is(err, ErrMalformed) {
+		t.Fatalf("closed-socket err = %v, want a hard socket error", err)
+	}
+}

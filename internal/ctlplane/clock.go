@@ -1,0 +1,20 @@
+package ctlplane
+
+import "time"
+
+// Clock is the control plane's only source of wall-clock time. Everything
+// time-dependent — lease deadlines, expiry sweeps, heartbeat bookkeeping —
+// flows through an injected Clock, so tests drive lease expiry by advancing
+// a fake instead of sleeping, and the package stays deterministic under test
+// like the guest-deterministic packages (a kfi-lint rule enforces that no
+// other ctlplane file reads the wall clock or uses the ambient net/http
+// default client/transport).
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock is the production Clock.
+type SystemClock struct{}
+
+// Now returns the wall-clock time.
+func (SystemClock) Now() time.Time { return time.Now() }

@@ -1,0 +1,182 @@
+package ctlplane
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"kfi/internal/campaign"
+	"kfi/internal/inject"
+	"kfi/internal/kernel"
+)
+
+// fakeClock is a hand-advanced Clock: tests drive lease expiry by moving
+// time, never by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2004, 6, 28, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// testCoordinator spins up a coordinator and an HTTP server over it.
+func testCoordinator(t *testing.T, cfg Config) (*Coordinator, *Client) {
+	t.Helper()
+	if cfg.JournalDir == "" {
+		cfg.JournalDir = t.TempDir()
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord)
+	t.Cleanup(func() { srv.Close(); coord.Close() })
+	client, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, client
+}
+
+// waitStatus polls a campaign until pred holds (the wall-clock timeout only
+// bounds the test; campaign time itself may be fake).
+func waitStatus(t *testing.T, client *Client, id string, what string, pred func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := client.Status(id)
+		if err != nil {
+			t.Fatalf("status %s: %v", id, err)
+		}
+		if pred(st) {
+			return st
+		}
+		if st.State == StateFailed {
+			t.Fatalf("campaign %s failed waiting for %s: %s", id, what, st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached %s (last: %+v)", id, what, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// testSpec is the mini-campaign most tests run: real CISC platform, small N.
+func testSpec(camp inject.Campaign, n int, seed int64) Spec {
+	return Spec{Platform: "p4", Campaign: campaignSlug(camp), N: n, Seed: seed}
+}
+
+// farmRun executes a spec through the in-process farm and returns its
+// outcome table and canonical journal bytes — the single-process truth the
+// distributed runs must reproduce byte-for-byte.
+func farmRun(t *testing.T, spec Spec) (map[int]inject.Result, []byte) {
+	t.Helper()
+	res, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm, err := campaign.NewFarm(res.Platform, 3, res.Scale, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := farm.RunWith(res.Spec, nil, campaign.ExecOptions{MaxAttempts: res.Retries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := make(map[int]inject.Result, len(out.Results))
+	for i, r := range out.Results {
+		table[i] = r
+	}
+	h := campaign.HeaderFor(res.Platform, farm.Golden(), res.Spec)
+	canon, err := campaign.CanonicalJournalBytes(h, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table, canon
+}
+
+// localRows computes a campaign's true rows for a set of indices through a
+// NodeRunner — what an honest worker would stream.
+func localRows(t *testing.T, spec Spec, indices []int) []ResultRow {
+	t.Helper()
+	res, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := campaign.NewNodeRunner(res.Platform, res.Scale, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nr.Close()
+	plan, err := nr.Plan(res.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []ResultRow
+	err = nr.RunIndices(plan, indices, campaign.ExecOptions{}, func(idx int, r inject.Result) error {
+		rows = append(rows, ResultRow{Idx: idx, Result: r})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// streamRows ships rows to the coordinator under a lease.
+func streamRows(t *testing.T, client *Client, campaignID, leaseID string, rows []ResultRow) StreamSummary {
+	t.Helper()
+	sum, err := client.StreamResults(campaignID, leaseID,
+		func(send func(idx int, res inject.Result) error) error {
+			for _, r := range rows {
+				if err := send(r.Idx, r.Result); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("streaming %d rows: %v", len(rows), err)
+	}
+	return sum
+}
+
+// assertTableEqual compares a coordinator's finished results to the farm's.
+func assertTableEqual(t *testing.T, client *Client, id string, wantTable map[int]inject.Result, wantBytes []byte) {
+	t.Helper()
+	_, got, err := client.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantTable) {
+		t.Fatalf("outcome table has %d rows, want %d", len(got), len(wantTable))
+	}
+	for idx, want := range wantTable {
+		if got[idx] != want {
+			t.Errorf("idx %d: outcome %+v, want %+v", idx, got[idx], want)
+		}
+	}
+	raw, err := client.RawResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, wantBytes) {
+		t.Errorf("canonical journal bytes differ from farm run (%d vs %d bytes)", len(raw), len(wantBytes))
+	}
+}

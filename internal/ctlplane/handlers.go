@@ -1,0 +1,358 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+
+	"kfi/internal/campaign"
+)
+
+// routes wires the /v1 API onto the coordinator's mux.
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("POST /v1/campaigns", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/campaigns", c.handleList)
+	c.mux.HandleFunc("GET /v1/campaigns/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /v1/campaigns/{id}/results", c.handleResults)
+	c.mux.HandleFunc("POST /v1/campaigns/{id}/results", c.handleStream)
+	c.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", c.handleCancel)
+	c.mux.HandleFunc("POST /v1/campaigns/{id}/error", c.handleError)
+	c.mux.HandleFunc("POST /v1/lease", c.handleLease)
+	c.mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/drain", c.handleDrain)
+	c.mux.HandleFunc("POST /v1/crash", c.handleCrash)
+}
+
+// maxBodyBytes bounds non-streaming request bodies; every JSON request in
+// the protocol is far smaller.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// find resolves a campaign by path ID.
+func (c *Coordinator) find(w http.ResponseWriter, r *http.Request) *campaignState {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	st := c.campaigns[id]
+	c.mu.Unlock()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, "no campaign %q", id)
+	}
+	return st
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "coordinator is draining")
+		return
+	}
+	c.mu.Unlock()
+	st, existed, err := c.admit(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	st.mu.Lock()
+	status := st.statusLocked()
+	st.mu.Unlock()
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, status)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	campaigns := c.snapshot()
+	c.mu.Lock()
+	out := ServiceStatus{Draining: c.draining, Campaigns: campaigns, Crashes: c.crashes}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := c.find(w, r)
+	if st == nil {
+		return
+	}
+	now := c.clock.Now()
+	st.mu.Lock()
+	if st.state == StateRunning {
+		c.sweepLocked(st, now)
+	}
+	status := st.statusLocked()
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleResults serves a finished campaign's canonical journal bytes. The
+// body is the durable artifact itself — header frame plus index-sorted
+// record frames — so a client can verify it against a local farm run
+// byte-for-byte.
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	st := c.find(w, r)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	state := st.state
+	st.mu.Unlock()
+	if state != StateDone {
+		writeErr(w, http.StatusConflict, "campaign %s is %s, results require done", st.id, state)
+		return
+	}
+	data, err := os.ReadFile(c.journalPath(st.id))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading journal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handleStream ingests a worker's chunked stream of journal-framed outcome
+// rows. Each valid frame is journaled at most once: a row whose index is
+// already journaled — a zombie worker racing the lease that replaced it, a
+// retry after a torn connection — is discarded as a duplicate, which is what
+// makes delivery effectively exactly-once without any wire-level acking.
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	st := c.find(w, r)
+	if st == nil {
+		return
+	}
+	leaseID := r.URL.Query().Get("lease")
+	var sum StreamSummary
+	fr := campaign.NewFrameReader(r.Body)
+	for {
+		payload, ok := fr.Next()
+		if !ok {
+			// A CRC/length mismatch means the connection died mid-frame;
+			// everything before the damage is intact, so treat it as
+			// end-of-stream exactly like journal recovery does.
+			break
+		}
+		idx, res, err := campaign.DecodeRecord(payload)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "undecodable row after %d accepted: %v", sum.Accepted, err)
+			return
+		}
+		st.mu.Lock()
+		if idx < 0 || idx >= st.total {
+			st.mu.Unlock()
+			writeErr(w, http.StatusBadRequest, "row index %d out of range [0, %d)", idx, st.total)
+			return
+		}
+		if _, dup := st.done[idx]; dup {
+			st.duplicates++
+			sum.Duplicates++
+			// Still credit the lease: the index is durably journaled, so the
+			// lease holding it must not keep it outstanding (or expiry would
+			// requeue work that is already done).
+			st.queue.markDone(leaseID, idx)
+			st.mu.Unlock()
+			continue
+		}
+		if st.journal == nil {
+			// Terminal campaign (cancelled/failed): nothing to persist to.
+			st.mu.Unlock()
+			continue
+		}
+		if err := st.journal.Append(idx, res); err != nil {
+			st.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
+		st.done[idx] = res
+		st.counts.Add(res)
+		st.queue.markDone(leaseID, idx)
+		sum.Accepted++
+		if st.state == StateRunning && len(st.done) >= st.total {
+			c.finalizeLocked(st)
+		}
+		st.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st := c.find(w, r)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if !st.state.Terminal() {
+		st.cancelled = true
+		st.state = StateCancelled
+		if st.journal != nil {
+			st.journal.Close()
+			st.journal = nil
+		}
+		st.queue.pending = nil
+		for id := range st.queue.leases {
+			delete(st.queue.leases, id)
+			c.mu.Lock()
+			delete(c.leaseOwner, id)
+			c.mu.Unlock()
+		}
+	}
+	status := st.statusLocked()
+	st.mu.Unlock()
+	c.logf("campaign %s: cancelled", st.id)
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleError fails a campaign on a worker-reported unrecoverable error.
+// Worker-local trouble (a crashed guest, a lost node) never lands here — the
+// supervision layers absorb those; this is for contradictions that make the
+// campaign itself unrunnable, like a golden-checksum mismatch proving the
+// worker and coordinator built different guests.
+func (c *Coordinator) handleError(w http.ResponseWriter, r *http.Request) {
+	st := c.find(w, r)
+	if st == nil {
+		return
+	}
+	var rep ErrorReport
+	if !readJSON(w, r, &rep) {
+		return
+	}
+	st.mu.Lock()
+	if !st.state.Terminal() {
+		st.state = StateFailed
+		st.errMsg = fmt.Sprintf("worker %s: %s", rep.Worker, rep.Msg)
+		if st.journal != nil {
+			st.journal.Close()
+			st.journal = nil
+		}
+	}
+	status := st.statusLocked()
+	st.mu.Unlock()
+	c.logf("campaign %s: failed by worker report: %s", st.id, rep.Msg)
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, LeaseResponse{NoWork: true, Drain: true})
+		return
+	}
+	ids := make([]string, 0, len(c.campaigns))
+	for id := range c.campaigns {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		c.mu.Lock()
+		st := c.campaigns[id]
+		c.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		if st.state != StateRunning {
+			st.mu.Unlock()
+			continue
+		}
+		c.sweepLocked(st, now)
+		l := st.queue.grant(st.id, req.Worker, now, c.cfg.LeaseTTL)
+		if l == nil {
+			st.mu.Unlock()
+			continue
+		}
+		resp := LeaseResponse{
+			LeaseID:         l.id,
+			CampaignID:      st.id,
+			Spec:            st.spec,
+			Golden:          st.golden,
+			Indices:         append([]int(nil), l.order...),
+			HeartbeatMillis: (c.cfg.LeaseTTL / 3).Milliseconds(),
+		}
+		st.mu.Unlock()
+		c.mu.Lock()
+		c.leaseOwner[l.id] = id
+		c.mu.Unlock()
+		c.logf("lease %s: %d indices to worker %s", l.id, len(resp.Indices), req.Worker)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{NoWork: true})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	id, ok := c.leaseOwner[req.LeaseID]
+	var st *campaignState
+	if ok {
+		st = c.campaigns[id]
+	}
+	c.mu.Unlock()
+	if st == nil {
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Lost: true})
+		return
+	}
+	st.mu.Lock()
+	c.sweepLocked(st, now)
+	alive := st.queue.heartbeat(req.LeaseID, now, c.cfg.LeaseTTL)
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Lost: !alive})
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.logf("draining: no further leases will be granted")
+	c.handleList(w, r)
+}
+
+func (c *Coordinator) handleCrash(w http.ResponseWriter, r *http.Request) {
+	var rep CrashReport
+	if !readJSON(w, r, &rep) {
+		return
+	}
+	c.mu.Lock()
+	c.crashes.Received++
+	if c.crashes.ByCause == nil {
+		c.crashes.ByCause = make(map[string]int)
+	}
+	c.crashes.ByCause[rep.Cause]++
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct{}{})
+}

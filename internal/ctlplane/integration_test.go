@@ -1,0 +1,135 @@
+package ctlplane
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"kfi/internal/inject"
+)
+
+// Environment variables that turn the test binary into a worker process.
+const (
+	workerEnvCoord = "KFI_CTLPLANE_TEST_COORD"
+	workerEnvName  = "KFI_CTLPLANE_TEST_NAME"
+)
+
+// TestIntegrationWorkerProcess is not a test of its own: re-executed with
+// workerEnvCoord set, it turns this test binary into a worker agent for
+// TestDistributedCampaignSurvivesWorkerKill's coordinator. Without the env
+// var it skips immediately.
+func TestIntegrationWorkerProcess(t *testing.T) {
+	coord := os.Getenv(workerEnvCoord)
+	if coord == "" {
+		t.Skip("helper: runs only when re-executed as a worker process")
+	}
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:  coord,
+		Name:         os.Getenv(workerEnvName),
+		PollInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spawnWorker re-executes the test binary as a worker process.
+func spawnWorker(t *testing.T, coordURL, name string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestIntegrationWorkerProcess$", "-test.timeout=300s")
+	cmd.Env = append(os.Environ(), workerEnvCoord+"="+coordURL, workerEnvName+"="+name)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning worker %s: %v", name, err)
+	}
+	return cmd
+}
+
+// TestDistributedCampaignSurvivesWorkerKill is the tentpole's acceptance
+// test: a coordinator in this process, two worker processes (separate OS
+// processes re-executed from the test binary), a real-platform campaign.
+// One worker is SIGKILLed mid-campaign — no cleanup, no goodbye, exactly
+// like a machine dropping off the network. The survivor must pick up the
+// dead worker's leases after expiry and finish, and the recovered run's
+// outcome table AND canonical journal bytes must be identical to the same
+// spec executed through the in-process farm.
+func TestDistributedCampaignSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test: spawns worker processes")
+	}
+	dir := t.TempDir()
+	coord, err := NewCoordinator(Config{
+		JournalDir: dir,
+		LeaseTTL:   700 * time.Millisecond,
+		ChunkSize:  2, // small chunks: many lease round trips, a long kill window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: coord}
+	go srv.Serve(ln)
+	defer srv.Close()
+	coordURL := "http://" + ln.Addr().String()
+	client, err := NewClient(coordURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := testSpec(inject.CampStack, 80, 13)
+	sub, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := spawnWorker(t, coordURL, "proc-victim")
+	survivor := spawnWorker(t, coordURL, "proc-survivor")
+	defer func() {
+		victim.Process.Kill()
+		survivor.Process.Kill()
+		victim.Wait()
+		survivor.Wait()
+	}()
+
+	// Let the campaign make real progress, then kill the victim cold. The
+	// wait predicate leaves most of the campaign still to run, so the kill
+	// lands mid-flight.
+	killAt := waitStatus(t, client, sub.ID, "enough progress to kill mid-campaign",
+		func(st Status) bool { return st.State == StateRunning && st.Done >= 8 })
+	if killAt.Done >= killAt.Total {
+		t.Fatalf("campaign finished (%d/%d) before the kill; enlarge the spec", killAt.Done, killAt.Total)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	t.Logf("killed victim worker at %d/%d journaled", killAt.Done, killAt.Total)
+
+	st := waitStatus(t, client, sub.ID, "done after worker kill",
+		func(st Status) bool { return st.State == StateDone })
+	if st.Done != st.Total {
+		t.Fatalf("final status %+v", st)
+	}
+
+	// Drain so the survivor exits cleanly.
+	if _, err := client.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Fatalf("surviving worker exited with %v", err)
+	}
+
+	wantTable, wantBytes := farmRun(t, spec)
+	assertTableEqual(t, client, sub.ID, wantTable, wantBytes)
+}

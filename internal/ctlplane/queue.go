@@ -1,0 +1,139 @@
+package ctlplane
+
+import (
+	"fmt"
+	"time"
+)
+
+// chunkQueue hands out chunks of one campaign's trigger-sorted execution
+// order and tracks the leases on them — the farm's steal queue promoted to
+// machine scale. Goroutines stealing from a shared queue become workers
+// leasing over HTTP; a goroutine's nodeLostError becomes a lease expiring
+// after missed heartbeats. Fresh chunks are served in ascending trigger
+// order (so each worker's snapshot chain advances forward); the requeued
+// remnants of expired leases are served first, exactly like the farm's
+// failover remnants.
+//
+// The queue is not self-locking: the owning campaign's mutex guards it.
+type chunkQueue struct {
+	pending []chunk
+	leases  map[string]*lease
+	seq     int
+}
+
+// chunk is a contiguous slice of the trigger-sorted execution order.
+type chunk struct {
+	indices []int
+}
+
+// lease is one outstanding grant of a chunk to a worker.
+type lease struct {
+	id     string
+	worker string
+	// order preserves the chunk's trigger order for requeue; outstanding
+	// tracks which of its indices have not been journaled yet.
+	order       []int
+	outstanding map[int]bool
+	deadline    time.Time
+}
+
+func newChunkQueue() *chunkQueue {
+	return &chunkQueue{leases: make(map[string]*lease)}
+}
+
+// push appends a fresh chunk (ascending trigger order across pushes).
+func (q *chunkQueue) push(indices []int) {
+	if len(indices) > 0 {
+		q.pending = append(q.pending, chunk{indices: indices})
+	}
+}
+
+// requeue returns an expired lease's unfinished indices to the front of the
+// queue, where the next lease request picks them up first.
+func (q *chunkQueue) requeue(indices []int) {
+	if len(indices) > 0 {
+		q.pending = append([]chunk{{indices: indices}}, q.pending...)
+	}
+}
+
+// grant leases the next chunk to a worker, or returns nil when none is
+// pending. campaignID scopes the lease ID so heartbeats and result streams
+// for different campaigns can never collide.
+func (q *chunkQueue) grant(campaignID, worker string, now time.Time, ttl time.Duration) *lease {
+	if len(q.pending) == 0 {
+		return nil
+	}
+	ch := q.pending[0]
+	q.pending = q.pending[1:]
+	q.seq++
+	l := &lease{
+		id:          fmt.Sprintf("%s/%d", campaignID, q.seq),
+		worker:      worker,
+		order:       ch.indices,
+		outstanding: make(map[int]bool, len(ch.indices)),
+		deadline:    now.Add(ttl),
+	}
+	for _, i := range ch.indices {
+		l.outstanding[i] = true
+	}
+	q.leases[l.id] = l
+	return l
+}
+
+// heartbeat extends a live lease; false means the lease is gone (expired
+// and requeued, or completed) and the worker should abandon the chunk.
+func (q *chunkQueue) heartbeat(leaseID string, now time.Time, ttl time.Duration) bool {
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.deadline = now.Add(ttl)
+	return true
+}
+
+// markDone records that a row for idx was journaled under the given lease,
+// releasing the lease once its last outstanding index lands. Rows journaled
+// under other leases (or no lease) don't touch this bookkeeping — expiry
+// requeues only indices nobody journaled, so a duplicate execution is
+// possible but a lost index is not.
+func (q *chunkQueue) markDone(leaseID string, idx int) {
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return
+	}
+	delete(l.outstanding, idx)
+	if len(l.outstanding) == 0 {
+		delete(q.leases, leaseID)
+	}
+}
+
+// sweep expires every lease whose deadline passed, requeueing its
+// unjournaled indices in trigger order. It returns the expired lease IDs.
+func (q *chunkQueue) sweep(now time.Time, journaled func(idx int) bool) []string {
+	var expired []string
+	for id, l := range q.leases {
+		if !now.After(l.deadline) {
+			continue
+		}
+		var rem []int
+		for _, i := range l.order {
+			if l.outstanding[i] && !journaled(i) {
+				rem = append(rem, i)
+			}
+		}
+		delete(q.leases, id)
+		q.requeue(rem)
+		expired = append(expired, id)
+	}
+	return expired
+}
+
+// counts reports the queue's pending and leased chunk counts.
+func (q *chunkQueue) counts() (pending, leased int) {
+	return len(q.pending), len(q.leases)
+}
+
+// idle reports whether nothing is pending or leased.
+func (q *chunkQueue) idle() bool {
+	return len(q.pending) == 0 && len(q.leases) == 0
+}

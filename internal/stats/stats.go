@@ -35,28 +35,35 @@ type Counts struct {
 func Summarize(results []inject.Result) Counts {
 	var c Counts
 	for _, r := range results {
-		c.Injected++
-		if !r.ActivationKnown {
-			c.ActivationNA = true
-		} else if r.Activated {
-			c.Activated++
-		}
-		switch r.Outcome {
-		case inject.ONotActivated:
-			c.NotActivated++
-		case inject.ONotManifested:
-			c.NotManifested++
-		case inject.OFailSilence:
-			c.FailSilence++
-		case inject.OCrash:
-			c.Crash++
-		case inject.OHangUnknown:
-			c.HangUnknown++
-		case inject.OQuarantined:
-			c.Quarantined++
-		}
+		c.Add(r)
 	}
 	return c
+}
+
+// Add tallies one result — the streaming form of Summarize, used by
+// consumers that account for outcomes as they arrive (the control plane's
+// live campaign status) rather than over a finished slice.
+func (c *Counts) Add(r inject.Result) {
+	c.Injected++
+	if !r.ActivationKnown {
+		c.ActivationNA = true
+	} else if r.Activated {
+		c.Activated++
+	}
+	switch r.Outcome {
+	case inject.ONotActivated:
+		c.NotActivated++
+	case inject.ONotManifested:
+		c.NotManifested++
+	case inject.OFailSilence:
+		c.FailSilence++
+	case inject.OCrash:
+		c.Crash++
+	case inject.OHangUnknown:
+		c.HangUnknown++
+	case inject.OQuarantined:
+		c.Quarantined++
+	}
 }
 
 // Manifested returns how many injections visibly affected the system.

@@ -22,8 +22,8 @@ sh scripts/lint.sh
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (campaign + crashnet: the concurrent farm/journal/transport layer)"
-go test -race ./internal/campaign/... ./internal/crashnet/...
+echo "== go test -race (campaign + crashnet + ctlplane: the concurrent farm/journal/transport/control-plane layer)"
+go test -race ./internal/campaign/... ./internal/crashnet/... ./internal/ctlplane/...
 
 echo "== snapshot benchmark smoke (-bench=Snapshot -benchtime=1x)"
 go test . -run '^$' -bench Snapshot -benchtime 1x
