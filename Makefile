@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench verify
+.PHONY: build test vet lint race bench bench-harden verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ bench:
 	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
 	$(GO) test . -run '^$$' -bench PredecodeSpeedup -benchtime 1x
 	$(GO) test . -run '^$$' -bench StaticSense -benchtime 1x
+
+# One-iteration matched hardened-vs-unhardened study on both platforms;
+# rewrites BENCH_harden.json (detection coverage + code/cycle overheads).
+bench-harden:
+	$(GO) test . -run '^$$' -bench BenchmarkHarden -benchtime 1x
 
 # Tier-1 gate + snapshot smoke run (see scripts/verify.sh).
 verify:

@@ -37,6 +37,7 @@ import (
 	"kfi/internal/risc"
 	"kfi/internal/snapshot"
 	"kfi/internal/staticsense"
+	"kfi/internal/stats"
 )
 
 // Systems are expensive to build; share them across benchmarks.
@@ -1113,6 +1114,96 @@ func BenchmarkStaticSense(b *testing.B) {
 		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
 			if err := os.WriteFile("BENCH_sense.json", append(buf, '\n'), 0o644); err != nil {
 				b.Logf("BENCH_sense.json: %v", err)
+			}
+		}
+	}
+}
+
+// --- Software-implemented fault detection (hardening) ---------------------
+
+// BenchmarkHarden runs the matched hardened-vs-unhardened study end to end on
+// both platforms: the same injection plan against a plain build and a build
+// carrying the kir.Harden duplication + control-flow-signature passes. It
+// reports the detection coverage the hardened kernel achieves over errors
+// that manifest, and the two overheads the detection costs — static (kernel
+// code bytes) and dynamic (fault-free golden-run cycles). Single-bit and
+// adjacent double-bit code campaigns both run; the unhardened side must
+// record zero detections. Results go to BENCH_harden.json.
+func BenchmarkHarden(b *testing.B) {
+	type row struct {
+		Opts           string  `json:"opts"`
+		CodeOverhead   float64 `json:"code_overhead"`
+		CycleOverhead  float64 `json:"cycle_overhead"`
+		Injected       int     `json:"injected_per_build"`
+		Detected       int     `json:"detected"`
+		CoveragePct    float64 `json:"coverage_pct"`
+		Burst2Detected int     `json:"burst2_detected"`
+	}
+	rows := map[string]row{}
+	opts := kfi.HardenOptions{Dup: true, CFSig: true}
+	for _, p := range kfi.Platforms {
+		p := p
+		b.Run(p.Short(), func(b *testing.B) {
+			n := 120
+			if testing.Short() {
+				n = 40
+			}
+			seed := int64(8800) + int64(p)
+			specs := []kfi.HardenSpec{
+				{Campaign: kfi.Code, N: n, Seed: seed},
+				{Campaign: kfi.Code, N: n, Seed: seed, Burst: 2},
+				{Campaign: kfi.Stack, N: n / 2, Seed: seed + 1},
+				{Campaign: kfi.Data, N: n / 2, Seed: seed + 2},
+			}
+			var study *kfi.HardenStudy
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				study, err = kfi.RunHardenStudy(p, 1, opts, specs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+
+			var plain, hard, burst2 []kfi.Result
+			for _, r := range study.Rows {
+				plain = append(plain, r.Plain...)
+				hard = append(hard, r.Hard...)
+				if r.Spec.Burst == 2 {
+					burst2 = append(burst2, r.Hard...)
+				}
+			}
+			pc, hc := kfi.Summarize(plain), kfi.Summarize(hard)
+			if pc.Detected != 0 {
+				b.Fatalf("unhardened build recorded %d detections", pc.Detected)
+			}
+			b.ReportMetric(hc.DetectionCoverage(), "coverage-%")
+			b.ReportMetric(study.CodeOverhead(), "code-x")
+			b.ReportMetric(study.CycleOverhead(), "cycles-x")
+			b.Logf("\n%v hardened (%v) vs unhardened, %d injections per build:\n%s\n%s\n%s\n"+
+				"  overhead: code x%.2f (%d -> %d bytes), fault-free run x%.2f (%d -> %d cycles)",
+				p, opts, len(hard),
+				stats.CoverageHeader(),
+				hc.CoverageRow("hardened"),
+				pc.CoverageRow("unhardened"),
+				study.CodeOverhead(), study.CodeBytes, study.HardCodeBytes,
+				study.CycleOverhead(), study.GoldenCycles, study.HardGoldenCycles)
+			rows[p.Short()] = row{
+				Opts:           opts.String(),
+				CodeOverhead:   study.CodeOverhead(),
+				CycleOverhead:  study.CycleOverhead(),
+				Injected:       len(hard),
+				Detected:       hc.Detected,
+				CoveragePct:    hc.DetectionCoverage(),
+				Burst2Detected: kfi.Summarize(burst2).Detected,
+			}
+		})
+	}
+	if len(rows) == len(kfi.Platforms) {
+		if buf, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_harden.json", append(buf, '\n'), 0o644); err != nil {
+				b.Logf("BENCH_harden.json: %v", err)
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 
 	"kfi"
 	"kfi/internal/cli"
+	"kfi/internal/core"
 	"kfi/internal/crashnet"
 	"kfi/internal/ctlplane"
 	"kfi/internal/stats"
@@ -65,6 +66,8 @@ func run(args []string) error {
 		memprofile   = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		submit       = fs.Bool("submit", false, "submit the campaigns to a ctlplane coordinator instead of running locally")
 		coordinator  = fs.String("coordinator", "", "coordinator base URL for -submit")
+		harden       = fs.String("harden", "", "build the guest kernel with software fault-detection passes: dup, cfsig, dup+cfsig, or all")
+		hardenStudy  = fs.Bool("harden-study", false, "run matched hardened/unhardened campaigns from the same injection plan and print the detection-coverage table (requires -harden)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +88,19 @@ func run(args []string) error {
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
+	hardenOpts, err := kfi.ParseHardenOptions(*harden)
+	if err != nil {
+		return err
+	}
+	if *hardenStudy {
+		if !hardenOpts.Enabled() {
+			return fmt.Errorf("-harden-study requires -harden (e.g. -harden dup+cfsig)")
+		}
+		if *submit {
+			return fmt.Errorf("-harden-study runs locally; submit the hardened and unhardened campaigns separately instead")
+		}
+		return runHardenStudy(platforms, campaigns, hardenOpts, *n, *seed, *scale, uint8(*burst), *quiet)
+	}
 	if *submit {
 		if *coordinator == "" {
 			return fmt.Errorf("-submit requires -coordinator")
@@ -98,7 +114,7 @@ func run(args []string) error {
 		}
 		for _, p := range platforms {
 			for _, c := range campaigns {
-				spec := ctlplane.SpecFor(p, c, *n, *seed, uint8(*burst), *scale, *retries)
+				spec := ctlplane.SpecFor(p, c, *n, *seed, uint8(*burst), *scale, *retries, hardenOpts)
 				st, err := client.Submit(spec)
 				if err != nil {
 					return fmt.Errorf("submitting %v %v: %w", p, c, err)
@@ -161,7 +177,7 @@ func run(args []string) error {
 		Counts:        counts,
 		PaperFraction: *paperFrac,
 		Seed:          *seed,
-		Build:         kfi.BuildOptions{Scale: *scale},
+		Build:         kfi.BuildOptions{Scale: *scale, Harden: hardenOpts},
 		Nodes:         *nodes,
 	}
 	cfg.Burst = uint8(*burst)
@@ -249,6 +265,62 @@ func run(args []string) error {
 		for _, c := range campaigns {
 			fmt.Println(study.LatencyFigure(c))
 		}
+	}
+	return nil
+}
+
+// runHardenStudy executes the matched hardened-vs-unhardened study: every
+// requested campaign runs at single-bit and double-bit (adjacent-pair) burst
+// widths against both builds, and each platform prints a detection-coverage
+// table plus the hardening's static and dynamic overhead.
+func runHardenStudy(platforms []kfi.Platform, campaigns []kfi.Campaign,
+	opts kfi.HardenOptions, n int, seed int64, scale int, burst uint8, quiet bool) error {
+	if n <= 0 {
+		n = 100
+	}
+	wide := burst
+	if wide <= 1 {
+		wide = 2 // the double-bit adjacent-pair model
+	}
+	for _, p := range platforms {
+		var specs []kfi.HardenSpec
+		for _, c := range campaigns {
+			s := kfi.HardenSpec{Campaign: c, N: n, Seed: core.SpecSeed(seed, p, c)}
+			specs = append(specs, s)
+			s.Burst = wide
+			specs = append(specs, s)
+		}
+		var progress func(done, total int)
+		if !quiet {
+			progress = func(done, total int) {
+				if done == total || done%50 == 0 {
+					fmt.Fprintf(os.Stderr, "\r%-18s harden-study %6d/%d", p.Short(), done, total)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			}
+		}
+		study, err := kfi.RunHardenStudy(p, scale, opts, specs, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v — Detection Coverage, Hardened (%s) vs Unhardened\n", p, opts)
+		fmt.Println(stats.CoverageHeader())
+		for _, row := range study.Rows {
+			b := row.Spec.Burst
+			if b == 0 {
+				b = 1
+			}
+			label := func(variant string) string {
+				return fmt.Sprintf("%v %db %s", row.Spec.Campaign, b, variant)
+			}
+			fmt.Println(kfi.Summarize(row.Hard).CoverageRow(label("hardened")))
+			fmt.Println(kfi.Summarize(row.Plain).CoverageRow(label("unhardened")))
+		}
+		fmt.Printf("Overhead: code x%.2f (%d -> %d bytes), fault-free run x%.2f (%d -> %d cycles)\n\n",
+			study.CodeOverhead(), study.CodeBytes, study.HardCodeBytes,
+			study.CycleOverhead(), study.GoldenCycles, study.HardGoldenCycles)
 	}
 	return nil
 }

@@ -191,6 +191,12 @@ func status(args []string, w io.Writer) error {
 func printStatus(w io.Writer, st ctlplane.Status) {
 	fmt.Fprintf(w, "%-28s %-9s %6d/%-6d chunks: %d pending, %d leased",
 		st.ID, st.State, st.Done, st.Total, st.Pending, st.Leased)
+	if st.Spec.Harden != "" {
+		fmt.Fprintf(w, ", hardened (%s)", st.Spec.Harden)
+	}
+	if st.Counts.Detected > 0 {
+		fmt.Fprintf(w, ", %d detected", st.Counts.Detected)
+	}
 	if st.Duplicates > 0 {
 		fmt.Fprintf(w, ", %d dup rows", st.Duplicates)
 	}

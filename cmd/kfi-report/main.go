@@ -87,17 +87,32 @@ func run(args []string) error {
 	sort.Strings(keys)
 
 	fmt.Println(stats.TableHeader())
-	quarantined := 0
+	quarantined, detected := 0, 0
 	for _, k := range keys {
 		results := groups[k]
 		c := stats.Summarize(results)
 		fmt.Println(c.TableRow(k))
 		quarantined += c.Quarantined
+		detected += c.Detected
 	}
 	if quarantined > 0 {
 		fmt.Printf("Quarantined (harness retry budget exhausted, excluded from the table): %d\n", quarantined)
 	}
+	if detected > 0 {
+		fmt.Printf("Detected by the hardened kernel's software fault detector: %d\n", detected)
+	}
 	fmt.Println()
+
+	// Logs from hardened campaigns additionally get the detection-coverage
+	// view: the paper-faithful columns above never count detections, so
+	// render the coverage table whenever any group recorded one.
+	if detected > 0 {
+		fmt.Println(stats.CoverageHeader())
+		for _, k := range keys {
+			fmt.Println(stats.Summarize(groups[k]).CoverageRow(k))
+		}
+		fmt.Println()
+	}
 
 	if *confusion {
 		for _, k := range keys {

@@ -69,6 +69,13 @@ type Header struct {
 	// a pruned journal holds synthesized results for skipped injections, so
 	// it must not be spliced into a run with a different pruning mode.
 	Prune bool `json:"prune,omitempty"`
+	// Harden names the hardening passes the guest kernel was built with
+	// (kir.HardenOpts.String(), e.g. "dup+cfsig"); empty for unhardened
+	// campaigns, so pre-hardening journals remain byte-identical. The golden
+	// checksum alone cannot tell the builds apart — a hardened fault-free run
+	// produces the same workload checksum by construction — so resume
+	// matching needs the explicit marker.
+	Harden string `json:"harden,omitempty"`
 }
 
 // HeaderFor builds the journal header for a campaign spec.

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"kfi/internal/isa"
 	"kfi/internal/kir"
 )
 
@@ -108,6 +109,76 @@ func TestDifferentialRandomControlFlow(t *testing.T) {
 		checkAgainstInterp(t, prog, "wrap", args)
 		if t.Failed() {
 			t.Fatalf("divergence in generated program %d (seed 2026)", pi)
+		}
+	}
+}
+
+// TestDifferentialHardenedFaultFree proves hardened compilation is
+// observationally transparent on fault-free inputs: fuzzed programs compiled
+// with every hardening combination run to completion on both platforms with
+// results identical to the unhardened build, and the synthesized detector is
+// never reached (reaching it would raise a syscall event and fail the run).
+func TestDifferentialHardenedFaultFree(t *testing.T) {
+	nProgs := 15
+	if testing.Short() {
+		nProgs = 5
+	}
+	combos := []kir.HardenOpts{
+		{Dup: true},
+		{CFSig: true},
+		{Dup: true, CFSig: true},
+	}
+	rng := rand.New(rand.NewSource(2077))
+	for pi := 0; pi < nProgs; pi++ {
+		pb := kir.NewProgram()
+		genFunc(pb, rng, "f")
+		wrap := pb.Func("wrap", 2, true)
+		wrap.Block("entry")
+		r1 := wrap.Call("f", wrap.Param(0), wrap.Param(1))
+		r2 := wrap.Call("f", wrap.Param(1), r1)
+		wrap.Ret(wrap.Add(r1, r2))
+		prog := pb.Program()
+
+		argSets := [][]uint32{
+			{0, 0},
+			{rng.Uint32(), rng.Uint32()},
+			{0xFFFFFFFF, 1},
+		}
+		for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+			plainIm, err := Compile(prog, plat, testBases)
+			if err != nil {
+				t.Fatalf("Compile(%v): %v", plat, err)
+			}
+			want := make([]uint32, len(argSets))
+			plain := loadGuest(t, plainIm)
+			for ai, args := range argSets {
+				v, err := plain.call(t, "wrap", args...)
+				if err != nil {
+					t.Fatalf("[%v] plain wrap%v: %v", plat, args, err)
+				}
+				want[ai] = v
+			}
+			for _, opts := range combos {
+				hardIm, err := CompileWith(prog, plat, testBases, Options{Harden: opts})
+				if err != nil {
+					t.Fatalf("CompileWith(%v, %v): %v", plat, opts, err)
+				}
+				if len(hardIm.Code) <= len(plainIm.Code) {
+					t.Errorf("[%v] %v image not larger than plain (%d <= %d)",
+						plat, opts, len(hardIm.Code), len(plainIm.Code))
+				}
+				g := loadGuest(t, hardIm)
+				for ai, args := range argSets {
+					got, err := g.call(t, "wrap", args...)
+					if err != nil {
+						t.Fatalf("[%v] %v wrap%v: %v (program %d)", plat, opts, args, err, pi)
+					}
+					if got != want[ai] {
+						t.Errorf("[%v] %v wrap%v = %d, want %d (program %d)",
+							plat, opts, args, got, want[ai], pi)
+					}
+				}
+			}
 		}
 	}
 }

@@ -66,6 +66,22 @@ type Bases struct {
 	Heap uint32
 }
 
+// Options selects optional compilation passes applied before lowering.
+type Options struct {
+	// Harden applies the software fault-detection transforms
+	// (kir.Harden) to the program before it reaches the backend. Both
+	// backends compile the transformed IR through the ordinary pipeline, so
+	// hardened images need no backend changes.
+	Harden kir.HardenOpts
+}
+
+// CompileWith is Compile with optional pre-lowering passes. With zero
+// Options it is exactly Compile: the program passes through untouched and
+// the image is byte-identical.
+func CompileWith(p *kir.Program, platform isa.Platform, bases Bases, opts Options) (*Image, error) {
+	return Compile(kir.Harden(p, opts.Harden), platform, bases)
+}
+
 // Compile lowers a validated IR program to a linked image for the platform.
 func Compile(p *kir.Program, platform isa.Platform, bases Bases) (*Image, error) {
 	if err := p.Validate(); err != nil {

@@ -19,6 +19,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/kir"
 	"kfi/internal/stats"
 	"kfi/internal/workload"
 )
@@ -44,6 +45,10 @@ type BuildOptions struct {
 	Kernel kernel.ProgOptions
 	// NoStackWrapper disables the G4 overflow check (ablation).
 	NoStackWrapper bool
+	// Harden applies the software fault-detection transforms to the kernel
+	// image (the workload stays unhardened). Zero value: the paper-faithful
+	// unhardened build, byte-identical to builds that predate hardening.
+	Harden kir.HardenOpts
 }
 
 // BuildSystem compiles kernel + workload for the platform, boots, seals,
@@ -62,6 +67,7 @@ func BuildSystem(platform isa.Platform, opts BuildOptions) (*System, error) {
 		CrashSender:    opts.CrashSender,
 		Prog:           opts.Kernel,
 		NoStackWrapper: opts.NoStackWrapper,
+		Harden:         opts.Harden,
 	})
 	if err != nil {
 		return nil, err
@@ -182,6 +188,7 @@ func Run(cfg Config) (*StudyResult, error) {
 				CrashSender:    cfg.Build.CrashSender,
 				Prog:           cfg.Build.Kernel,
 				NoStackWrapper: cfg.Build.NoStackWrapper,
+				Harden:         cfg.Build.Harden,
 			})
 			if err == nil {
 				golden = farm.Golden()
@@ -271,6 +278,9 @@ func openJournal(cfg Config, p isa.Platform, golden uint32, spec campaign.Spec) 
 	path := JournalPath(cfg.JournalDir, p, spec.Campaign)
 	h := campaign.HeaderFor(p, golden, spec)
 	h.Prune = cfg.Exec.Prune
+	if cfg.Build.Harden.Enabled() {
+		h.Harden = cfg.Build.Harden.String()
+	}
 	if cfg.Resume {
 		j, completed, err := campaign.ResumeJournal(path, h)
 		if err != nil {

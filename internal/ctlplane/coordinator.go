@@ -288,7 +288,7 @@ func (c *Coordinator) prepare(st *campaignState) {
 		c.logf("campaign %s: failed: %v", st.id, err)
 	}
 
-	nr, err := campaign.NewNodeRunner(res.Platform, res.Scale, kernel.Options{})
+	nr, err := campaign.NewNodeRunner(res.Platform, res.Scale, kernel.Options{Harden: res.Harden})
 	if err != nil {
 		fail(err)
 		return
@@ -299,6 +299,9 @@ func (c *Coordinator) prepare(st *campaignState) {
 		return
 	}
 	header := campaign.HeaderFor(res.Platform, nr.Golden(), res.Spec)
+	if res.Harden.Enabled() {
+		header.Harden = res.Harden.String()
+	}
 	journal, completed, err := campaign.ResumeJournal(c.journalPath(st.id), header)
 	if err != nil {
 		fail(err)

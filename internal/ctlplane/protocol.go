@@ -43,6 +43,7 @@ import (
 	"kfi/internal/core"
 	"kfi/internal/inject"
 	"kfi/internal/isa"
+	"kfi/internal/kir"
 	"kfi/internal/stats"
 )
 
@@ -59,6 +60,11 @@ type Spec struct {
 	Scale int `json:"scale,omitempty"`
 	// Retries bounds supervised attempts per injection (0 = default).
 	Retries int `json:"retries,omitempty"`
+	// Harden names the kernel hardening passes ("dup", "cfsig", "dup+cfsig");
+	// empty runs the paper-faithful unhardened build. Every worker builds its
+	// guest with the same passes, so the coordinator's golden cross-check
+	// also pins the hardening configuration.
+	Harden string `json:"harden,omitempty"`
 }
 
 // Resolved is a Spec validated against the platform registry.
@@ -67,6 +73,7 @@ type Resolved struct {
 	Spec     campaign.Spec
 	Scale    int
 	Retries  int
+	Harden   kir.HardenOpts
 }
 
 // Resolve validates the wire spec: the platform and campaign must resolve
@@ -93,11 +100,16 @@ func (s Spec) Resolve() (Resolved, error) {
 	if s.Retries < 0 {
 		return Resolved{}, fmt.Errorf("retries must be >= 0, got %d", s.Retries)
 	}
+	harden, err := kir.ParseHardenOpts(s.Harden)
+	if err != nil {
+		return Resolved{}, err
+	}
 	return Resolved{
 		Platform: p,
 		Spec:     campaign.Spec{Campaign: c, N: s.N, Seed: s.Seed, Burst: s.Burst},
 		Scale:    scale,
 		Retries:  s.Retries,
+		Harden:   harden,
 	}, nil
 }
 
@@ -114,6 +126,11 @@ func (s Spec) ID() (string, error) {
 	canon := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d",
 		strings.ToLower(r.Platform.Short()), campaignSlug(r.Spec.Campaign),
 		s.N, s.Seed, s.Burst, r.Scale, r.Retries)
+	if r.Harden.Enabled() {
+		// Appended only when set, so every pre-hardening spec keeps the
+		// campaign ID (and journal identity) it always had.
+		canon += "|harden=" + r.Harden.String()
+	}
 	sum := crc32.Checksum([]byte(canon), crc32.MakeTable(crc32.Castagnoli))
 	return fmt.Sprintf("%s-%s-%08x", strings.ToLower(r.Platform.Short()),
 		campaignSlug(r.Spec.Campaign), sum), nil
@@ -261,8 +278,8 @@ type CrashReport struct {
 // per-(platform, campaign) seed exactly as the local study engine does, so
 // `kfi-campaign -submit` and a local `kfi-campaign` run of the same flags
 // inject the same targets.
-func SpecFor(p isa.Platform, c inject.Campaign, n int, baseSeed int64, burst uint8, scale, retries int) Spec {
-	return Spec{
+func SpecFor(p isa.Platform, c inject.Campaign, n int, baseSeed int64, burst uint8, scale, retries int, harden kir.HardenOpts) Spec {
+	s := Spec{
 		Platform: strings.ToLower(p.Short()),
 		Campaign: campaignSlug(c),
 		N:        n,
@@ -271,6 +288,10 @@ func SpecFor(p isa.Platform, c inject.Campaign, n int, baseSeed int64, burst uin
 		Scale:    scale,
 		Retries:  retries,
 	}
+	if harden.Enabled() {
+		s.Harden = harden.String()
+	}
+	return s
 }
 
 // SortStatuses orders campaign statuses for stable listings: non-terminal

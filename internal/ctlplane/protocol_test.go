@@ -9,6 +9,7 @@ import (
 	"kfi/internal/core"
 	"kfi/internal/inject"
 	"kfi/internal/isa"
+	"kfi/internal/kir"
 )
 
 func TestSpecResolveValidation(t *testing.T) {
@@ -25,6 +26,8 @@ func TestSpecResolveValidation(t *testing.T) {
 		{name: "zero n", spec: Spec{Platform: "p4", Campaign: "stack", N: 0}, wantErr: true},
 		{name: "burst too wide", spec: Spec{Platform: "p4", Campaign: "stack", N: 5, Burst: 9}, wantErr: true},
 		{name: "negative retries", spec: Spec{Platform: "p4", Campaign: "stack", N: 5, Retries: -1}, wantErr: true},
+		{name: "hardened", spec: Spec{Platform: "p4", Campaign: "stack", N: 5, Harden: "dup+cfsig"}},
+		{name: "unknown harden pass", spec: Spec{Platform: "p4", Campaign: "stack", N: 5, Harden: "tmr"}, wantErr: true},
 	}
 	for _, c := range cases {
 		_, err := c.spec.Resolve()
@@ -65,6 +68,8 @@ func TestSpecIDIdentity(t *testing.T) {
 		func(s *Spec) { s.Retries = 5 },
 		func(s *Spec) { s.Platform = "g4" },
 		func(s *Spec) { s.Campaign = "data" },
+		func(s *Spec) { s.Harden = "dup" },
+		func(s *Spec) { s.Harden = "dup+cfsig" },
 	} {
 		m := base
 		mut(&m)
@@ -83,7 +88,7 @@ func TestSpecIDIdentity(t *testing.T) {
 func TestSpecForMatchesStudySeeds(t *testing.T) {
 	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
 		for _, c := range []inject.Campaign{inject.CampStack, inject.CampSysReg, inject.CampData, inject.CampCode} {
-			spec := SpecFor(p, c, 50, 7, 1, 1, 0)
+			spec := SpecFor(p, c, 50, 7, 1, 1, 0, kir.HardenOpts{})
 			if spec.Seed != core.SpecSeed(7, p, c) {
 				t.Errorf("%v %v: seed %d, want %d", p, c, spec.Seed, core.SpecSeed(7, p, c))
 			}

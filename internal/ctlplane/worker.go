@@ -134,8 +134,8 @@ func (w *Worker) node(campaignID string, spec Spec) (*workerNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.logf("campaign %s: building %s guest (scale %d)", campaignID, spec.Platform, res.Scale)
-	nr, err := campaign.NewNodeRunner(res.Platform, res.Scale, kernel.Options{})
+	w.logf("campaign %s: building %s guest (scale %d, harden %v)", campaignID, spec.Platform, res.Scale, res.Harden)
+	nr, err := campaign.NewNodeRunner(res.Platform, res.Scale, kernel.Options{Harden: res.Harden})
 	if err != nil {
 		return nil, err
 	}

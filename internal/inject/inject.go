@@ -123,6 +123,12 @@ const (
 	// a property of the measurement apparatus and is excluded from the
 	// paper's failure-distribution columns.
 	OQuarantined
+	// ODetected: a hardened guest's software fault detector (the kir
+	// duplication/signature checks) caught the error and halted cleanly
+	// before it could propagate — the coverage the hardened-study campaigns
+	// measure. Appended after OQuarantined so journal and protocol
+	// encodings of the earlier outcomes stay stable.
+	ODetected
 )
 
 // String returns the outcome label.
@@ -140,6 +146,8 @@ func (o Outcome) String() string {
 		return "hang/unknown"
 	case OQuarantined:
 		return "quarantined"
+	case ODetected:
+		return "detected"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -180,6 +188,10 @@ type Result struct {
 	// golden run instead of executing, on the strength of an inert
 	// prediction.
 	PredSkipped bool `json:"PredSkipped,omitempty"`
+	// DetectSite identifies the hardening check that fired for ODetected
+	// results (the site id compiled into the failed consistency/signature
+	// check). Zero otherwise, so unhardened journals and logs are unchanged.
+	DetectSite uint32 `json:"DetectSite,omitempty"`
 }
 
 // RunOne reboots the system, installs the target, runs the benchmark, and
@@ -294,6 +306,12 @@ func RunFrom(sys *kernel.System, t Target, golden uint32) Result {
 	case machine.OutHung:
 		res.Outcome = OHangUnknown
 		markActivatedByManifestation(&res, t)
+	case machine.OutDetected:
+		res.Outcome = ODetected
+		res.DetectSite = run.Checksum
+		res.Checksum = 0 // the hypercall argument is a site id, not a checksum
+		markActivatedByManifestation(&res, t)
+		res.Latency = run.Cycles - activationCycle
 	case machine.OutCrashed:
 		res.Cause = run.Crash.Cause
 		res.CrashPC = run.Crash.PC

@@ -1,0 +1,104 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/kir"
+	"kfi/internal/machine"
+	"kfi/internal/workload"
+)
+
+func buildHardened(t *testing.T, platform isa.Platform, opts kir.HardenOpts) *kernel.System {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), platform, kernel.UserBases)
+	if err != nil {
+		t.Fatalf("compile workload: %v", err)
+	}
+	sys, err := kernel.BuildSystem(platform, uimg, workload.StandardProcs(),
+		kernel.Options{Harden: opts})
+	if err != nil {
+		t.Fatalf("BuildSystem(harden=%v): %v", opts, err)
+	}
+	return sys
+}
+
+// TestHardenedKernelFaultFree is the vertical-slice check for the hardening
+// layer: a fully hardened kernel (duplication + control-flow signatures) must
+// build within the kernel code budget, boot, and run the standard workload to
+// completion on both platforms with the same workload checksum as the
+// unhardened build. The detector must never fire without an injected fault.
+func TestHardenedKernelFaultFree(t *testing.T) {
+	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
+		t.Run(platform.Short(), func(t *testing.T) {
+			plain := buildStandard(t, platform)
+			want := plain.Run()
+			if want.Outcome != machine.OutCompleted {
+				t.Fatalf("unhardened outcome = %v", want.Outcome)
+			}
+			hard := buildHardened(t, platform, kir.HardenOpts{Dup: true, CFSig: true})
+			if len(hard.KernelImage.Code) <= len(plain.KernelImage.Code) {
+				t.Errorf("hardened code (%d bytes) not larger than unhardened (%d bytes)",
+					len(hard.KernelImage.Code), len(plain.KernelImage.Code))
+			}
+			res := hard.Run()
+			if res.Outcome != machine.OutCompleted {
+				t.Fatalf("hardened outcome = %v (crash=%+v, cycles=%d)",
+					res.Outcome, res.Crash, res.Cycles)
+			}
+			if res.Checksum != want.Checksum {
+				t.Errorf("hardened checksum 0x%08x != unhardened 0x%08x",
+					res.Checksum, want.Checksum)
+			}
+			if res.Cycles <= want.Cycles {
+				t.Errorf("hardened run (%d cycles) not slower than unhardened (%d cycles)",
+					res.Cycles, want.Cycles)
+			}
+			ratio := float64(len(hard.KernelImage.Code)) / float64(len(plain.KernelImage.Code))
+			t.Logf("%v: code x%.2f, cycles x%.2f (%d -> %d)", platform, ratio,
+				float64(res.Cycles)/float64(want.Cycles), want.Cycles, res.Cycles)
+		})
+	}
+}
+
+// TestHardenedKernelSinglePass checks each transform independently builds and
+// completes — a regression guard for pass interactions hiding single-pass
+// breakage.
+func TestHardenedKernelSinglePass(t *testing.T) {
+	for _, opts := range []kir.HardenOpts{{Dup: true}, {CFSig: true}} {
+		t.Run(opts.String(), func(t *testing.T) {
+			sys := buildHardened(t, isa.RISC, opts)
+			res := sys.Run()
+			if res.Outcome != machine.OutCompleted {
+				t.Fatalf("outcome = %v (crash=%+v)", res.Outcome, res.Crash)
+			}
+		})
+	}
+}
+
+// TestUnhardenedBuildUnchanged pins the acceptance criterion that zero-value
+// Options produce exactly the pre-hardening image: the transform must not
+// perturb paper-faithful builds.
+func TestUnhardenedBuildUnchanged(t *testing.T) {
+	uimg, err := cc.Compile(workload.Program(1), isa.CISC, kernel.UserBases)
+	if err != nil {
+		t.Fatalf("compile workload: %v", err)
+	}
+	a, err := kernel.BuildSystem(isa.CISC, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernel.BuildSystem(isa.CISC, uimg, workload.StandardProcs(),
+		kernel.Options{Harden: kir.HardenOpts{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.KernelImage.Code) != string(b.KernelImage.Code) {
+		t.Error("zero-value Harden changed the kernel code image")
+	}
+	if string(a.KernelImage.Data) != string(b.KernelImage.Data) {
+		t.Error("zero-value Harden changed the kernel data image")
+	}
+}

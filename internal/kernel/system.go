@@ -6,6 +6,7 @@ import (
 	"kfi/internal/cc"
 	"kfi/internal/crashnet"
 	"kfi/internal/isa"
+	"kfi/internal/kir"
 	"kfi/internal/machine"
 	"kfi/internal/mem"
 	"kfi/internal/platform"
@@ -35,6 +36,12 @@ type Options struct {
 	// NoStackWrapper disables the G4 exception-entry stack check, turning
 	// the G4 kernel's overflow detection off (ablation).
 	NoStackWrapper bool
+	// Harden applies the software fault-detection transforms (kir.Harden)
+	// to the kernel image. The workload image passed to BuildSystem is
+	// compiled separately by the caller and stays unhardened: the study
+	// measures detection of kernel errors, mirroring the paper's
+	// kernel-only injection targets.
+	Harden kir.HardenOpts
 }
 
 // System is a bootable, sealed guest system ready for injection runs.
@@ -74,9 +81,15 @@ func KStackSize(p isa.Platform) uint32 {
 // userImage may be nil when procs contains only kernel daemons.
 func BuildSystem(platform isa.Platform, userImage *cc.Image, procs []ProcSpec, opts Options) (*System, error) {
 	src := ProgramWith(opts.Prog)
-	kimg, err := cc.Compile(src.Prog, platform, KernelBases)
+	kimg, err := cc.CompileWith(src.Prog, platform, KernelBases, cc.Options{Harden: opts.Harden})
 	if err != nil {
 		return nil, fmt.Errorf("kernel: compile: %w", err)
+	}
+	if opts.Harden.Enabled() && opts.Watchdog == 0 {
+		// A hardened kernel retires several times the instructions per run;
+		// give the hardware watchdog matching headroom so the slowdown is
+		// not misclassified as a hang. Explicit Watchdog settings win.
+		opts.Watchdog = 160_000_000
 	}
 	glue, err := appendGlue(kimg)
 	if err != nil {

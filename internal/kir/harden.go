@@ -1,0 +1,395 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the software-implemented fault-detection transforms
+// (SIHFT) applied to a program before compilation. Both are architecture-
+// neutral rewrites of the IR, so the CISC and RISC backends emit hardened
+// images through the ordinary compilation pipeline:
+//
+//   - Dup duplicates every computation into a shadow register set and
+//     compares the two copies at synchronization points — stores, call and
+//     syscall arguments, branch conditions, and returned values (the
+//     EDDI-style data-flow detector).
+//   - CFSig assigns every basic block a compile-time signature, updates a
+//     dedicated signature register on each control transfer, and checks it
+//     at block entry (the CFCSS-style assigned-signature detector).
+//
+// On a mismatch the rewritten code branches to a per-function fail block
+// that calls the synthesized detector DetectFunc with a program-unique site
+// identifier. The detector degrades gracefully: it issues DetectHypercall
+// and spins, so a hardened guest halts cleanly at the first detected error
+// instead of running on corrupted state.
+
+// HardenOpts selects the hardening transforms. The zero value disables
+// hardening entirely; Harden then returns its input untouched, which keeps
+// unhardened images bit-identical to builds that never heard of hardening.
+type HardenOpts struct {
+	// Dup enables instruction/register duplication with consistency checks.
+	Dup bool
+	// CFSig enables control-flow signature checking.
+	CFSig bool
+}
+
+// Enabled reports whether any transform is selected.
+func (o HardenOpts) Enabled() bool { return o.Dup || o.CFSig }
+
+// String names the selected transform combination ("dup+cfsig", "dup",
+// "cfsig", or "none").
+func (o HardenOpts) String() string {
+	switch {
+	case o.Dup && o.CFSig:
+		return "dup+cfsig"
+	case o.Dup:
+		return "dup"
+	case o.CFSig:
+		return "cfsig"
+	default:
+		return "none"
+	}
+}
+
+// ParseHardenOpts parses a HardenOpts.String() form — the CLI flag and wire
+// syntax. "" and "none" mean no hardening; pass names may be joined with
+// "+" in either order ("dup", "cfsig", "dup+cfsig", "all").
+func ParseHardenOpts(s string) (HardenOpts, error) {
+	var o HardenOpts
+	switch s {
+	case "", "none":
+		return o, nil
+	case "all":
+		return HardenOpts{Dup: true, CFSig: true}, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "dup":
+			o.Dup = true
+		case "cfsig":
+			o.CFSig = true
+		default:
+			return HardenOpts{}, fmt.Errorf("kir: unknown hardening pass %q (want dup, cfsig, dup+cfsig, all, or none)", part)
+		}
+	}
+	return o, nil
+}
+
+// DetectFunc is the synthesized detector entry point hardened code calls on
+// a consistency or signature mismatch. Its single parameter is the site
+// identifier of the failed check.
+const DetectFunc = "__harden_detect"
+
+// DetectHypercall is the hypercall number the detector issues, with the
+// site identifier as the first argument. internal/machine intercepts it
+// (machine.HyperDetect mirrors this value) and classifies the run as
+// detected.
+const DetectHypercall = 0xF003
+
+// Harden returns a copy of p with the selected transforms applied to every
+// function, plus the synthesized DetectFunc. The input program is never
+// modified. With no transform selected — or when p already contains
+// DetectFunc, i.e. has been hardened once — p is returned as-is.
+func Harden(p *Program, opts HardenOpts) *Program {
+	if !opts.Enabled() || p.Func(DetectFunc) != nil {
+		return p
+	}
+	out := &Program{Structs: p.Structs, Globals: p.Globals}
+	site := int32(1)
+	for _, f := range p.Funcs {
+		h := &hardener{opts: opts, site: &site}
+		out.Funcs = append(out.Funcs, h.run(f))
+	}
+	out.Funcs = append(out.Funcs, detectorFunc())
+	return out
+}
+
+// detectorFunc synthesizes DetectFunc: report the site through the
+// detection hypercall, then spin. Under internal/machine the hypercall
+// terminates the run before the loop is re-entered; the loop guarantees a
+// clean halt even on a host that ignores the hypercall.
+func detectorFunc() *Func {
+	const (
+		site = Reg(1)
+		no   = Reg(2)
+		res  = Reg(3)
+	)
+	return &Func{
+		Name:    DetectFunc,
+		NParams: 1,
+		nextReg: 4,
+		Blocks: []*Block{{
+			Name: "spin",
+			Instrs: []Instr{
+				{Kind: KConst, Dst: no, Imm: DetectHypercall},
+				{Kind: KSyscall, Dst: res, Args: []Reg{no, site}},
+				{Kind: KJmp, Then: "spin"},
+			},
+		}},
+	}
+}
+
+// hardener rewrites one function. It streams the original blocks into a new
+// block list, splitting at every inserted check branch.
+type hardener struct {
+	opts HardenOpts
+	site *int32 // program-wide site counter
+
+	out   *Func
+	cur   *Block
+	conts int // continuation-block counter
+
+	shadowBase Reg // original register count; shadow(r) = r + shadowBase
+	siteReg    Reg // holds the current check's site id for the fail block
+	sigReg     Reg // the control-flow signature register (CFSig only)
+	sigs       map[string]int32
+}
+
+// failName is the per-function fail block every check branches to. Guest
+// source never uses the "__h" prefix, so the name cannot collide.
+const failName = "__hfail"
+
+func (h *hardener) run(f *Func) *Func {
+	orig := Reg(f.NumRegs())
+	next := orig + 1
+	if h.opts.Dup {
+		h.shadowBase = orig
+		next = 2*orig + 1
+	}
+	h.siteReg = next
+	next++
+	if h.opts.CFSig {
+		h.sigReg = next
+		next++
+		h.sigs = make(map[string]int32, len(f.Blocks))
+		for i, b := range f.Blocks {
+			h.sigs[b.Name] = int32(0x5A10 + i)
+		}
+	}
+	h.out = &Func{Name: f.Name, NParams: f.NParams, HasRet: f.HasRet,
+		Locals: f.Locals, nextReg: next}
+
+	for bi, b := range f.Blocks {
+		h.startBlock(b.Name)
+		if h.opts.CFSig {
+			if bi == 0 {
+				// The entry block has no predecessor to set the signature.
+				h.emit(Instr{Kind: KConst, Dst: h.sigReg, Imm: h.sigs[b.Name]})
+			} else {
+				h.checkSig(h.sigs[b.Name])
+			}
+		}
+		if h.opts.Dup && bi == 0 {
+			for i := 0; i < f.NParams; i++ {
+				r := Reg(i + 1)
+				h.emit(Instr{Kind: KMov, Dst: h.shadow(r), A: r})
+			}
+		}
+		for _, in := range b.Instrs {
+			h.instr(in)
+		}
+	}
+
+	h.startBlock(failName)
+	h.emit(Instr{Kind: KCall, Sym: DetectFunc, Args: []Reg{h.siteReg}})
+	h.emit(Instr{Kind: KJmp, Then: failName})
+	return h.out
+}
+
+func (h *hardener) startBlock(name string) {
+	b := &Block{Name: name}
+	h.out.Blocks = append(h.out.Blocks, b)
+	h.cur = b
+}
+
+func (h *hardener) emit(in Instr) { h.cur.Instrs = append(h.cur.Instrs, in) }
+
+func (h *hardener) newReg() Reg {
+	h.out.nextReg++
+	return h.out.nextReg - 1
+}
+
+func (h *hardener) shadow(r Reg) Reg { return r + h.shadowBase }
+
+// cloneInstr copies an instruction, unaliasing its Args slice so the output
+// program shares no mutable state with the input.
+func cloneInstr(in Instr) Instr {
+	if in.Args != nil {
+		in.Args = append([]Reg(nil), in.Args...)
+	}
+	return in
+}
+
+func (h *hardener) instr(in Instr) {
+	if !h.opts.Dup {
+		switch in.Kind {
+		case KJmp:
+			h.emit(Instr{Kind: KConst, Dst: h.sigReg, Imm: h.sigs[in.Then]})
+		case KBr:
+			h.sigSelect(in)
+		}
+		h.emit(cloneInstr(in))
+		return
+	}
+	switch in.Kind {
+	case KConst, KGlobalAddr, KLocalAddr, KFuncAddr:
+		// Operand-free definitions: re-execute for the shadow copy.
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst = h.shadow(in.Dst)
+		h.emit(sh)
+	case KBin:
+		if in.Bin == Div || in.Bin == Rem {
+			// Division semantics are platform-faithful (may trap); check
+			// the operands and execute once rather than trapping twice.
+			h.check(in.A)
+			h.check(in.B)
+			h.emit(cloneInstr(in))
+			h.copyShadow(in.Dst)
+			return
+		}
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A, sh.B = h.shadow(in.Dst), h.shadow(in.A), h.shadow(in.B)
+		h.emit(sh)
+	case KBinImm:
+		if in.Bin == Div || in.Bin == Rem {
+			h.check(in.A)
+			h.emit(cloneInstr(in))
+			h.copyShadow(in.Dst)
+			return
+		}
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A = h.shadow(in.Dst), h.shadow(in.A)
+		h.emit(sh)
+	case KCmp:
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A, sh.B = h.shadow(in.Dst), h.shadow(in.A), h.shadow(in.B)
+		h.emit(sh)
+	case KCmpImm:
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A = h.shadow(in.Dst), h.shadow(in.A)
+		h.emit(sh)
+	case KMov:
+		h.emit(cloneInstr(in))
+		h.emit(Instr{Kind: KMov, Dst: h.shadow(in.Dst), A: h.shadow(in.A)})
+	case KFieldAddr:
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A = h.shadow(in.Dst), h.shadow(in.A)
+		h.emit(sh)
+	case KIndex:
+		h.emit(cloneInstr(in))
+		sh := in
+		sh.Dst, sh.A, sh.B = h.shadow(in.Dst), h.shadow(in.A), h.shadow(in.B)
+		h.emit(sh)
+	case KLoad, KLoadField:
+		// Memory is not duplicated: check the address, load once, and seed
+		// the shadow copy from the loaded value.
+		h.check(in.A)
+		h.emit(cloneInstr(in))
+		h.copyShadow(in.Dst)
+	case KStore, KStoreField:
+		h.check(in.A)
+		h.check(in.B)
+		h.emit(cloneInstr(in))
+	case KCall:
+		for _, a := range in.Args {
+			h.check(a)
+		}
+		h.emit(cloneInstr(in))
+		h.copyShadow(in.Dst)
+	case KCallPtr:
+		h.check(in.A)
+		for _, a := range in.Args {
+			h.check(a)
+		}
+		h.emit(cloneInstr(in))
+		h.copyShadow(in.Dst)
+	case KSyscall:
+		for _, a := range in.Args {
+			h.check(a)
+		}
+		h.emit(cloneInstr(in))
+		h.copyShadow(in.Dst)
+	case KCtxSw:
+		h.check(in.A)
+		h.check(in.B)
+		h.emit(cloneInstr(in))
+	case KRet:
+		if in.A != 0 {
+			h.check(in.A)
+		}
+		h.emit(cloneInstr(in))
+	case KJmp:
+		if h.opts.CFSig {
+			h.emit(Instr{Kind: KConst, Dst: h.sigReg, Imm: h.sigs[in.Then]})
+		}
+		h.emit(cloneInstr(in))
+	case KBr:
+		h.check(in.A)
+		if h.opts.CFSig {
+			h.sigSelect(in)
+		}
+		h.emit(cloneInstr(in))
+	default: // KIrqOff, KIrqOn, KHalt, KBug
+		h.emit(cloneInstr(in))
+	}
+}
+
+// sigSelect updates the signature register before a conditional branch:
+// sigReg = cond != 0 ? sig(Then) : sig(Else), computed branch-free as
+// (cond != 0) * (sigThen ^ sigElse) ^ sigElse.
+func (h *hardener) sigSelect(in Instr) {
+	st, se := h.sigs[in.Then], h.sigs[in.Else]
+	tmp := h.newReg()
+	h.emit(Instr{Kind: KCmpImm, Dst: tmp, Pred: Ne, A: in.A, Imm: 0})
+	h.emit(Instr{Kind: KBinImm, Dst: tmp, Bin: Mul, A: tmp, Imm: st ^ se})
+	h.emit(Instr{Kind: KBinImm, Dst: h.sigReg, Bin: Xor, A: tmp, Imm: se})
+}
+
+// check compares a register against its shadow and branches to the fail
+// block on mismatch.
+func (h *hardener) check(r Reg) {
+	if r <= 0 || r > h.shadowBase {
+		return // hardening-introduced register: no shadow exists
+	}
+	h.emitCheck(Instr{Kind: KCmp, Pred: Ne, A: r, B: h.shadow(r)})
+}
+
+// checkSig verifies the signature register holds the current block's
+// assigned signature.
+func (h *hardener) checkSig(sig int32) {
+	h.emitCheck(Instr{Kind: KCmpImm, Pred: Ne, A: h.sigReg, Imm: sig})
+}
+
+// emitCheck materializes the site id, emits the (destination-less) compare
+// cmp, and splits the current block on the verdict. A fresh compare
+// destination per check keeps the cmp+br pair fusible by the backends.
+func (h *hardener) emitCheck(cmp Instr) {
+	h.emit(Instr{Kind: KConst, Dst: h.siteReg, Imm: h.nextSite()})
+	cmp.Dst = h.newReg()
+	h.emit(cmp)
+	cont := fmt.Sprintf("__hc%d", h.conts)
+	h.conts++
+	h.emit(Instr{Kind: KBr, A: cmp.Dst, Then: failName, Else: cont})
+	h.startBlock(cont)
+}
+
+// copyShadow seeds dst's shadow from the just-computed primary value (used
+// after loads, calls, syscalls, and single-execution divisions).
+func (h *hardener) copyShadow(dst Reg) {
+	if dst > 0 && dst <= h.shadowBase {
+		h.emit(Instr{Kind: KMov, Dst: h.shadow(dst), A: dst})
+	}
+}
+
+func (h *hardener) nextSite() int32 {
+	s := *h.site
+	*h.site++
+	return s
+}

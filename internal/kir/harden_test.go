@@ -1,0 +1,244 @@
+package kir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"kfi/internal/isa"
+)
+
+// hardenCombos enumerates every enabled transform combination.
+var hardenCombos = []HardenOpts{
+	{Dup: true},
+	{CFSig: true},
+	{Dup: true, CFSig: true},
+}
+
+// hardenProg builds a program exercising every interpretable instruction
+// kind: loops, conditional branches, direct/indirect/void calls, globals,
+// struct fields, locals, guarded division, and shifts.
+func hardenProg() *Program {
+	pb := NewProgram()
+	st := pb.Struct("pair", F32("lo"), F32("hi"))
+	pb.GlobalStruct("pairs", st, 4)
+	pb.GlobalBytes("blob", 64, []byte{1, 2, 3, 4})
+
+	add := pb.Func("add2", 2, true)
+	add.Block("e")
+	add.Ret(add.Add(add.Param(0), add.Param(1)))
+
+	note := pb.Func("note", 1, false)
+	note.Block("e")
+	g := note.GlobalAddr("blob", 8)
+	note.Store(W32, g, 0, note.Param(0))
+	note.Ret(0)
+
+	f := pb.Func("work", 2, true)
+	f.Local("scratch", W32, 4)
+	f.Block("entry")
+	acc := f.Var()
+	i := f.Var()
+	f.ConstTo(acc, 0)
+	f.ConstTo(i, 0)
+	fp := f.FuncAddr("add2")
+	f.Jmp("head")
+
+	f.Block("head")
+	cond := f.Cmp(Lt, i, f.Param(0))
+	f.Br(cond, "body", "done")
+
+	f.Block("body")
+	// Struct traffic through KIndex/KFieldAddr/KStoreField/KLoadField.
+	base := f.GlobalAddr("pairs", 0)
+	el := f.Index(pb.prog.Struct("pair"), base, f.BinImm(And, i, 3))
+	f.StoreField(pb.prog.Struct("pair"), "lo", el, i)
+	lo := f.LoadField(pb.prog.Struct("pair"), "lo", el)
+	f.MovTo(acc, f.Add(acc, lo))
+	// Local scratch traffic.
+	sc := f.LocalAddr("scratch", 4)
+	f.Store(W16, sc, 2, acc)
+	f.MovTo(acc, f.Add(acc, f.Load(W16, sc, 2)))
+	// Calls: direct, indirect, void.
+	f.MovTo(acc, f.Add(acc, f.Call("add2", i, f.Param(1))))
+	f.MovTo(acc, f.Add(acc, f.CallPtr(fp, true, acc, i)))
+	f.CallVoid("note", acc)
+	// Guarded division and shifts.
+	den := f.BinImm(Or, f.Param(1), 1)
+	f.MovTo(acc, f.Add(acc, f.Bin(Div, acc, den)))
+	f.MovTo(acc, f.Bin(Xor, acc, f.BinImm(Shl, i, 3)))
+	f.MovTo(i, f.AddI(i, 1))
+	f.Jmp("head")
+
+	f.Block("done")
+	neg := f.CmpI(Lt, acc, 0)
+	f.Br(neg, "flip", "out")
+	f.Block("flip")
+	f.MovTo(acc, f.Bin(Sub, f.Const(0), acc))
+	f.Jmp("out")
+	f.Block("out")
+	f.Ret(acc)
+
+	return pb.Program()
+}
+
+// runHardenProg interprets work(n, k) and returns the result plus the final
+// global-memory contents.
+func runHardenProg(t *testing.T, p *Program, n, k uint32) (uint32, []byte) {
+	t.Helper()
+	ip, err := NewInterp(p, NewLayout(isa.CISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip.Syscall = func(no, a, b, c uint32) (uint32, error) {
+		return 0, fmt.Errorf("unexpected syscall %#x in fault-free run", no)
+	}
+	v, err := ip.Call("work", n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := ip.GlobalAddr("blob") + 64
+	mem, err := ip.ReadBytes(interpBase, end-interpBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, mem
+}
+
+// TestHardenFaultFree proves the transforms are semantics-preserving: on
+// fault-free inputs every hardened variant computes the plain program's
+// results and memory effects, and the detector is never reached.
+func TestHardenFaultFree(t *testing.T) {
+	plain := hardenProg()
+	wantV, wantMem := runHardenProg(t, plain, 7, 3)
+	for _, opts := range hardenCombos {
+		hard := Harden(hardenProg(), opts)
+		if hard.Func(DetectFunc) == nil {
+			t.Fatalf("%v: no detector function synthesized", opts)
+		}
+		if err := hard.Validate(); err != nil {
+			t.Fatalf("%v: hardened program invalid: %v", opts, err)
+		}
+		gotV, gotMem := runHardenProg(t, hard, 7, 3)
+		if gotV != wantV {
+			t.Errorf("%v: work() = %d, unhardened %d", opts, gotV, wantV)
+		}
+		if string(gotMem) != string(wantMem) {
+			t.Errorf("%v: global memory diverged from unhardened run", opts)
+		}
+	}
+}
+
+// TestHardenLeavesInputUntouched proves Harden transforms a copy: the input
+// program dumps identically before and after.
+func TestHardenLeavesInputUntouched(t *testing.T) {
+	p := hardenProg()
+	before := p.Dump()
+	for _, opts := range hardenCombos {
+		Harden(p, opts)
+	}
+	if p.Dump() != before {
+		t.Fatal("Harden modified its input program")
+	}
+}
+
+// TestHardenIdempotent proves disabled options and already-hardened inputs
+// pass through unchanged, so double application cannot double the checks.
+func TestHardenIdempotent(t *testing.T) {
+	p := hardenProg()
+	if got := Harden(p, HardenOpts{}); got != p {
+		t.Fatal("Harden with zero options must return the input")
+	}
+	h := Harden(p, HardenOpts{Dup: true, CFSig: true})
+	if got := Harden(h, HardenOpts{Dup: true}); got != h {
+		t.Fatal("re-hardening a hardened program must be a no-op")
+	}
+}
+
+// errDetected marks a detector invocation observed by the test hook.
+var errDetected = errors.New("detected")
+
+// interpDetects runs work(5,2) on p and reports whether the detector fired
+// (via DetectHypercall) and the site it reported.
+func interpDetects(t *testing.T, p *Program) (bool, uint32) {
+	t.Helper()
+	ip, err := NewInterp(p, NewLayout(isa.RISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var site uint32
+	fired := false
+	ip.Syscall = func(no, a, b, c uint32) (uint32, error) {
+		if no != DetectHypercall {
+			return 0, fmt.Errorf("unexpected syscall %#x", no)
+		}
+		fired = true
+		site = a
+		return 0, errDetected
+	}
+	_, err = ip.Call("work", 5, 2)
+	if fired && !errors.Is(err, errDetected) {
+		t.Fatalf("detector fired but run ended with %v", err)
+	}
+	return fired, site
+}
+
+// TestHardenDetectsDataError simulates a computation error — one original
+// instruction's result silently off by one, the shadow path intact — and
+// proves the duplication checks trap it into the detector with a site id.
+func TestHardenDetectsDataError(t *testing.T) {
+	hard := Harden(hardenProg(), HardenOpts{Dup: true})
+	f := hard.Func("work")
+	// Corrupt the primary copy of the first KBinImm in the loop body whose
+	// destination has a shadow; its shadow twin computes the true value.
+	nregs := Reg(hardenProg().Func("work").NumRegs())
+	found := false
+outer:
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Kind == KBinImm && in.Bin == And && in.Dst <= nregs {
+				in.Imm ^= 1
+				found = true
+				break outer
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no corruptible instruction found")
+	}
+	fired, site := interpDetects(t, hard)
+	if !fired {
+		t.Fatal("duplication checks missed a corrupted primary computation")
+	}
+	if site == 0 {
+		t.Fatal("detector reported site 0; sites start at 1")
+	}
+}
+
+// TestHardenDetectsFlowError simulates a control-flow error — a jump
+// rewired to the wrong block — and proves the signature checks catch it.
+func TestHardenDetectsFlowError(t *testing.T) {
+	hard := Harden(hardenProg(), HardenOpts{CFSig: true})
+	f := hard.Func("work")
+	// Rewire the loop latch's back edge to "done": control arrives with the
+	// signature set for "head".
+	found := false
+	for _, b := range f.Blocks {
+		if n := len(b.Instrs); n > 0 {
+			in := &b.Instrs[n-1]
+			if in.Kind == KJmp && in.Then == "head" && b.Name != "entry" {
+				in.Then = "done"
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no back edge found to rewire")
+	}
+	fired, _ := interpDetects(t, hard)
+	if !fired {
+		t.Fatal("signature checks missed a rewired control transfer")
+	}
+}

@@ -69,6 +69,38 @@ const (
 	}
 }
 
+// TestAppendedOutcomeConstantRejected mirrors the ODetected addition: when a
+// new constant is appended to the Outcome block, every exhaustive no-default
+// switch that predates it must be flagged until it handles the new outcome.
+func TestAppendedOutcomeConstantRejected(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		outcomeSource: `package inject
+type Outcome int
+const (
+	OA Outcome = iota + 1
+	OB
+	OC
+	ODetected
+)
+`,
+		"internal/stats/s.go": `package stats
+import "x/inject"
+func f(o inject.Outcome) {
+	switch o {
+	case inject.OA, inject.OB, inject.OC:
+	}
+}
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "ODetected") {
+		t.Errorf("want one finding missing ODetected, got %v", findingStrings(fs))
+	}
+}
+
 func TestExhaustiveSwitchSatisfiedByDefaultOrFullCover(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"internal/stats/full.go": `package stats

@@ -25,6 +25,10 @@ const (
 	// HyperFail ends the run: the instrumented benchmark detected incorrect
 	// behavior itself (a fail-silence violation surfaced at the application).
 	HyperFail = 0xF002
+	// HyperDetect ends the run: a hardened guest's software fault detector
+	// (kir.DetectHypercall) caught a consistency or signature mismatch; arg0
+	// carries the detection-site identifier.
+	HyperDetect = 0xF003
 )
 
 // InterruptEntryCost is the vectoring cost for deliverable interrupts. The
@@ -87,6 +91,10 @@ const (
 	// OutPaused: the run reached the requested PauseAt cycle and stopped so
 	// the injector can act; call Run again to continue.
 	OutPaused
+	// OutDetected: a hardened guest's software fault detector caught the
+	// error and halted cleanly (Checksum carries the detection site).
+	// Appended after OutPaused so earlier encodings stay stable.
+	OutDetected
 )
 
 // String returns the outcome name.
@@ -104,6 +112,8 @@ func (o Outcome) String() string {
 		return "fail-reported"
 	case OutPaused:
 		return "paused"
+	case OutDetected:
+		return "detected"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -390,6 +400,8 @@ func (ma *Machine) Run() RunResult {
 					return RunResult{Outcome: OutCompleted, Checksum: a, Cycles: clk.Cycles(), Log: logBytes}
 				case HyperFail:
 					return RunResult{Outcome: OutFailReported, Checksum: a, Cycles: clk.Cycles(), Log: logBytes}
+				case HyperDetect:
+					return RunResult{Outcome: OutDetected, Checksum: a, Cycles: clk.Cycles(), Log: logBytes}
 				case HyperLog:
 					logBytes = append(logBytes, byte(a))
 					ma.core.SetSyscallResult(0)

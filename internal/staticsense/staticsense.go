@@ -22,6 +22,7 @@ import (
 
 	"kfi/internal/cc"
 	"kfi/internal/isa"
+	"kfi/internal/kir"
 )
 
 // Class places one candidate flip in the classification lattice.
@@ -151,6 +152,10 @@ func init() {
 type Analyzer struct {
 	platform isa.Platform
 	cl       Classifier
+	// hardened records whether the image carries the kir.Harden detector —
+	// sweeps over hardened images label their reports, since the hardening
+	// checks themselves enlarge the code-injection space being classified.
+	hardened bool
 	// addrs lists decoded instruction addresses in ascending order, for
 	// deterministic sweeps; sizes maps each to its instruction length.
 	addrs []uint32
@@ -163,7 +168,8 @@ func New(img *cc.Image) (*Analyzer, error) {
 	if !ok {
 		return nil, fmt.Errorf("staticsense: no classifier registered for %v", img.Platform)
 	}
-	a := &Analyzer{platform: img.Platform, cl: mk(img)}
+	_, hardened := img.Syms[kir.DetectFunc]
+	a := &Analyzer{platform: img.Platform, cl: mk(img), hardened: hardened}
 	for _, fn := range img.Funcs {
 		if fn.Start < img.CodeBase || uint64(fn.End-img.CodeBase) > uint64(len(img.Code)) || fn.End < fn.Start {
 			return nil, fmt.Errorf("staticsense: function %s [%#x,%#x) outside code image", fn.Name, fn.Start, fn.End)
@@ -205,6 +211,10 @@ type Report struct {
 	ByClass map[string]int `json:"by_class"`
 	// Inert counts sites predicted inert (dead-value + inert-encoding).
 	Inert int `json:"inert"`
+	// Hardened labels sweeps over images built with the kir.Harden passes
+	// (detected via the synthesized detector symbol); omitted for ordinary
+	// images, so pre-hardening reports serialize byte-identically.
+	Hardened bool `json:"hardened,omitempty"`
 }
 
 // InertFrac is the fraction of the injection space predicted inert — the
@@ -218,7 +228,7 @@ func (r *Report) InertFrac() float64 {
 
 // Sweep classifies every candidate flip in the image.
 func (a *Analyzer) Sweep() *Report {
-	r := &Report{Platform: a.platform, ByClass: map[string]int{}}
+	r := &Report{Platform: a.platform, ByClass: map[string]int{}, Hardened: a.hardened}
 	for _, addr := range a.addrs {
 		size := a.sizes[addr]
 		for off := uint8(0); off < size; off++ {
@@ -237,7 +247,11 @@ func (a *Analyzer) Sweep() *Report {
 
 // Render formats a sweep as an aligned per-class table.
 func (r *Report) Render() string {
-	out := fmt.Sprintf("%-10s %9d candidate (instruction, byte, bit) flips\n", r.Platform, r.Sites)
+	label := ""
+	if r.Hardened {
+		label = " (hardened image)"
+	}
+	out := fmt.Sprintf("%-10s %9d candidate (instruction, byte, bit) flips%s\n", r.Platform, r.Sites, label)
 	for _, c := range Classes() {
 		n := r.ByClass[c.String()]
 		if n == 0 {

@@ -7,6 +7,7 @@ import (
 	"kfi/internal/cisc"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/kir"
 	"kfi/internal/workload"
 )
 
@@ -198,5 +199,39 @@ func TestSweepRealKernels(t *testing.T) {
 			t.Errorf("%v: class counts sum to %d, want %d", p, sum, r.Sites)
 		}
 		t.Logf("\n%s", r.Render())
+	}
+}
+
+// TestSweepLabelsHardenedImages: a sweep over a hardened kernel carries the
+// Hardened label (derived from the synthesized detector symbol), and the
+// hardening checks visibly enlarge the classified injection space.
+func TestSweepLabelsHardenedImages(t *testing.T) {
+	plainAn, err := New(buildKernelImage(t, isa.RISC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := plainAn.Sweep()
+	if plain.Hardened {
+		t.Fatal("unhardened sweep labeled hardened")
+	}
+	uimg, err := cc.Compile(workload.Program(1), isa.RISC, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(isa.RISC, uimg, workload.StandardProcs(),
+		kernel.Options{Harden: kir.HardenOpts{Dup: true, CFSig: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(sys.KernelImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := an.Sweep()
+	if !r.Hardened {
+		t.Error("hardened sweep not labeled hardened")
+	}
+	if r.Sites <= plain.Sites {
+		t.Errorf("hardened sweep has %d sites, want more than the unhardened %d", r.Sites, plain.Sites)
 	}
 }

@@ -1,0 +1,48 @@
+package stats
+
+// This file renders coverage tables for hardened-vs-unhardened studies:
+// where Tables 5/6 classify failures, a detection-coverage table classifies
+// how a software-hardened kernel disposed of the same injected errors —
+// detected, masked, silently corrupting, crashing, or hanging.
+
+import "fmt"
+
+// Masked returns injections that never visibly affected the system: the
+// error was not activated, or was activated and overwritten/ignored before
+// any failure.
+func (c Counts) Masked() int { return c.NotActivated + c.NotManifested }
+
+// DetectionCoverage returns the share (in percent) of non-masked errors the
+// software detector caught: Detected / (Detected + FailSilence + Crash +
+// Hang). This is the hardening literature's coverage figure — masked errors
+// need no detection, so they are excluded from the denominator.
+func (c Counts) DetectionCoverage() float64 {
+	base := c.Detected + c.Manifested()
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(base)
+}
+
+// CoverageHeader renders the detection-coverage table's column header.
+// Rows come from Counts.CoverageRow; a hardened and an unhardened variant of
+// the same campaign render as adjacent rows with identical columns (the
+// unhardened row's Detected column is structurally zero).
+func CoverageHeader() string {
+	return fmt.Sprintf("%-26s %8s  %14s  %14s  %12s  %14s  %14s  %8s",
+		"Campaign", "Injected", "Detected", "Masked", "SilentCorr", "KnownCrash", "Hang/Unknown", "Coverage")
+}
+
+// CoverageRow renders one variant (e.g. "stack hardened burst=2") as a
+// detection-coverage table row. Percentages are over non-quarantined
+// injections; the final column is DetectionCoverage.
+func (c Counts) CoverageRow(name string) string {
+	base := c.Injected - c.Quarantined
+	if base <= 0 {
+		base = 1
+	}
+	cell := func(n int) string { return fmt.Sprintf("%d(%s)", n, pct(n, base)) }
+	return fmt.Sprintf("%-26s %8d  %14s  %14s  %12s  %14s  %14s  %7.1f%%",
+		name, c.Injected, cell(c.Detected), cell(c.Masked()), cell(c.FailSilence),
+		cell(c.Crash), cell(c.HangUnknown), c.DetectionCoverage())
+}

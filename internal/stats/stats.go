@@ -29,6 +29,11 @@ type Counts struct {
 	// not of the guest — excluded from the paper's columns, reported
 	// alongside them).
 	Quarantined int
+	// Detected counts injections a hardened guest's software fault detector
+	// caught. Always zero for unhardened campaigns, so the paper-faithful
+	// table columns are unchanged; hardened studies report it through the
+	// coverage table (CoverageRow) instead.
+	Detected int
 }
 
 // Summarize tallies campaign results.
@@ -63,6 +68,8 @@ func (c *Counts) Add(r inject.Result) {
 		c.HangUnknown++
 	case inject.OQuarantined:
 		c.Quarantined++
+	case inject.ODetected:
+		c.Detected++
 	}
 }
 

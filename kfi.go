@@ -29,6 +29,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/kir"
 	"kfi/internal/machine"
 	"kfi/internal/stats"
 	"kfi/internal/tracediff"
@@ -97,13 +98,15 @@ type (
 // Outcome classification of one injection.
 type Outcome = inject.Outcome
 
-// Injection outcomes (the paper's Table 2).
+// Injection outcomes (the paper's Table 2, plus Detected for hardened
+// guests whose software fault detector caught the error).
 const (
 	NotActivated  = inject.ONotActivated
 	NotManifested = inject.ONotManifested
 	FailSilence   = inject.OFailSilence
 	Crash         = inject.OCrash
 	HangUnknown   = inject.OHangUnknown
+	Detected      = inject.ODetected
 )
 
 // System is a built, sealed guest system with its golden checksum and
@@ -198,6 +201,33 @@ type Divergence = tracediff.Divergence
 // applied, locating the first control-flow divergence.
 func TraceDiff(sys *System, t Target, context int) (*Divergence, error) {
 	return tracediff.Diff(sys.Sys, t, context, 0)
+}
+
+// HardenOptions selects the software fault-detection transforms applied to
+// the guest kernel (EDDI-style duplication, CFCSS-style control-flow
+// signatures). The zero value builds the paper-faithful unhardened kernel.
+type HardenOptions = kir.HardenOpts
+
+// ParseHardenOptions parses the CLI/wire form of HardenOptions ("dup",
+// "cfsig", "dup+cfsig", "all", "none", or "").
+func ParseHardenOptions(s string) (HardenOptions, error) { return kir.ParseHardenOpts(s) }
+
+// HardenStudy is a matched hardened-vs-unhardened comparison on one
+// platform; HardenRow is one campaign's outcome pair within it.
+type (
+	HardenStudy = campaign.HardenStudy
+	HardenRow   = campaign.HardenRow
+)
+
+// HardenSpec describes one campaign of a hardened study.
+type HardenSpec = campaign.Spec
+
+// RunHardenStudy runs matched hardened/unhardened campaigns from the same
+// injection plan on one platform (see campaign.RunHardenStudy for the
+// matched-plan semantics).
+func RunHardenStudy(p Platform, scale int, opts HardenOptions, specs []HardenSpec,
+	progress func(done, total int)) (*HardenStudy, error) {
+	return campaign.RunHardenStudy(p, scale, opts, specs, progress)
 }
 
 // RunResult is the outcome of a single benchmark run (no injection).

@@ -43,4 +43,10 @@ go test . -short -run '^$' -bench StaticSense -benchtime 1x
 echo "== BENCH_sense.json"
 cat BENCH_sense.json
 
+echo "== hardened mini-campaign smoke (-short -bench=BenchmarkHarden -benchtime=1x)"
+go test . -short -run '^$' -bench BenchmarkHarden -benchtime 1x
+
+echo "== BENCH_harden.json"
+cat BENCH_harden.json
+
 echo "verify: OK"
