@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-harden verify
+.PHONY: build test vet lint race bench bench-sense bench-harden verify
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ race:
 bench:
 	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
 	$(GO) test . -run '^$$' -bench PredecodeSpeedup -benchtime 1x
+	$(GO) test . -run '^$$' -bench StaticSense -benchtime 1x
+
+# One-iteration whole-target static-sense + incremental-cache benchmark on
+# both platforms; rewrites BENCH_sense.json (per-target inert fractions,
+# pruned-campaign speedup, cold/warm section-cache speedup).
+bench-sense:
 	$(GO) test . -run '^$$' -bench StaticSense -benchtime 1x
 
 # One-iteration matched hardened-vs-unhardened study on both platforms;

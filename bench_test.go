@@ -34,6 +34,7 @@ import (
 
 	"kfi"
 	"kfi/internal/cisc"
+	"kfi/internal/kernel"
 	"kfi/internal/risc"
 	"kfi/internal/snapshot"
 	"kfi/internal/staticsense"
@@ -1015,24 +1016,33 @@ func BenchmarkPredecodeSpeedup(b *testing.B) {
 
 // --- Static error-sensitivity analysis ------------------------------------
 
-// BenchmarkStaticSense measures the static analyzer's two costs and its one
-// payoff on both platforms: the one-time whole-image sweep time, the fraction
-// of the bit-level code-injection space it proves inert, and the end-to-end
-// code-campaign speedup from pruning predicted-inert sites. The pruned and
-// unpruned campaigns' outcome tables must match byte-for-byte — synthesized
-// results stand in for executions the analyzer proved pointless. Results go
-// to BENCH_sense.json.
+// BenchmarkStaticSense measures the whole-target static analyzer's costs
+// and payoffs on both platforms: the one-time whole-target sweep time (all
+// four injection spaces — code, data, stack, sysreg), the fraction of each
+// space it proves inert, the end-to-end code-campaign speedup from pruning
+// predicted-inert sites, and the incremental-campaign speedup from a warm
+// per-section outcome cache. The pruned and unpruned campaigns' outcome
+// tables must match byte-for-byte, and the warm cached run must reproduce
+// the cold run's table exactly. Results go to BENCH_sense.json.
 func BenchmarkStaticSense(b *testing.B) {
+	type targetRow struct {
+		Sites    int     `json:"sites"`
+		InertPct float64 `json:"inert_pct"`
+	}
 	type row struct {
-		AnalysisNS       int64   `json:"analysis_ns"`
-		Sites            int     `json:"sites"`
-		InertPct         float64 `json:"inert_pct"`
-		CampaignFullNS   int64   `json:"campaign_full_ns"`
-		CampaignPrunedNS int64   `json:"campaign_pruned_ns"`
-		CampaignSpeedup  float64 `json:"campaign_speedup"`
-		Injections       int     `json:"injections"`
-		Skipped          int     `json:"skipped"`
-		TablesIdentical  bool    `json:"tables_identical"`
+		AnalysisNS       int64                `json:"analysis_ns"`
+		Sites            int                  `json:"sites"`
+		InertPct         float64              `json:"inert_pct"`
+		Targets          map[string]targetRow `json:"targets"`
+		CampaignFullNS   int64                `json:"campaign_full_ns"`
+		CampaignPrunedNS int64                `json:"campaign_pruned_ns"`
+		CampaignSpeedup  float64              `json:"campaign_speedup"`
+		CacheColdNS      int64                `json:"cache_cold_ns"`
+		CacheWarmNS      int64                `json:"cache_warm_ns"`
+		CacheSpeedup     float64              `json:"cache_speedup"`
+		Injections       int                  `json:"injections"`
+		Skipped          int                  `json:"skipped"`
+		TablesIdentical  bool                 `json:"tables_identical"`
 	}
 	rows := map[string]row{}
 	for _, p := range kfi.Platforms {
@@ -1040,13 +1050,21 @@ func BenchmarkStaticSense(b *testing.B) {
 		b.Run(p.Short(), func(b *testing.B) {
 			sys := benchSystem(b, p)
 
-			// One-time analysis cost and the size of the proof it produces.
+			// One-time whole-target analysis cost and the size of the proof
+			// it produces across all four injection spaces.
 			var rep *staticsense.Report
 			var analysis time.Duration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				t0 := time.Now()
-				an, err := staticsense.New(sys.Sys.KernelImage)
+				an, err := staticsense.NewAnalyzer(staticsense.Config{
+					Image:              sys.Sys.KernelImage,
+					Prog:               sys.Sys.Prog,
+					Proc:               sys.Sys.Src.Proc,
+					KStackSize:         sys.Sys.KStackSize,
+					HostReadGlobals:    kernel.HostReadGlobals(),
+					HostReadTaskFields: kernel.HostReadTaskFields(),
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -1055,6 +1073,14 @@ func BenchmarkStaticSense(b *testing.B) {
 			}
 			b.StopTimer()
 			analysisPer := analysis / time.Duration(b.N)
+			targets := map[string]targetRow{}
+			for _, tr := range rep.Targets {
+				frac := 0.0
+				if tr.Sites > 0 {
+					frac = float64(tr.Inert) / float64(tr.Sites)
+				}
+				targets[tr.Target] = targetRow{Sites: tr.Sites, InertPct: 100 * frac}
+			}
 
 			n := 150
 			if testing.Short() {
@@ -1088,22 +1114,51 @@ func BenchmarkStaticSense(b *testing.B) {
 				}
 			}
 
+			// Incremental campaign: a cold section-cached run fills the
+			// per-section cache, a warm re-run replays every row from it.
+			cacheDir := b.TempDir()
+			t0 = time.Now()
+			cold, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil,
+				kfi.ExecOptions{Sense: true, SectionCache: cacheDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cacheCold := time.Since(t0)
+			t0 = time.Now()
+			warm, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil,
+				kfi.ExecOptions{Sense: true, SectionCache: cacheDir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cacheWarm := time.Since(t0)
+			if ct, wt := cold.Counts.TableRow("code"), warm.Counts.TableRow("code"); ct != wt {
+				b.Fatalf("outcome tables diverge between cold and warm cached campaigns:\n  cold: %s\n  warm: %s", ct, wt)
+			}
+
 			campSpeedup := float64(campFull) / float64(campPruned)
+			cacheSpeedup := float64(cacheCold) / float64(cacheWarm)
 			b.ReportMetric(float64(analysisPer.Nanoseconds()), "analysis-ns")
 			b.ReportMetric(100*rep.InertFrac(), "inert-%")
 			b.ReportMetric(campSpeedup, "campaign-speedup")
-			b.Logf("\n%v static sense (%d sites, %d injections):\n"+
-				"  analysis:  %v for the whole image, %.1f%% of flips proven inert\n"+
-				"  campaign:  full %v, pruned %v (%d skipped), speedup %.2fx\n%s",
-				p, rep.Sites, n, analysisPer, 100*rep.InertFrac(),
-				campFull, campPruned, skipped, campSpeedup, prunedTable)
+			b.ReportMetric(cacheSpeedup, "cache-speedup")
+			b.Logf("\n%v static sense (%d sites over %d target classes, %d injections):\n"+
+				"  analysis:  %v for the whole target, %.1f%% of flips proven inert\n"+
+				"  campaign:  full %v, pruned %v (%d skipped), speedup %.2fx\n"+
+				"  cache:     cold %v, warm %v, speedup %.2fx\n%s",
+				p, rep.Sites, len(rep.Targets), n, analysisPer, 100*rep.InertFrac(),
+				campFull, campPruned, skipped, campSpeedup,
+				cacheCold, cacheWarm, cacheSpeedup, prunedTable)
 			rows[p.Short()] = row{
 				AnalysisNS:       analysisPer.Nanoseconds(),
 				Sites:            rep.Sites,
 				InertPct:         100 * rep.InertFrac(),
+				Targets:          targets,
 				CampaignFullNS:   campFull.Nanoseconds(),
 				CampaignPrunedNS: campPruned.Nanoseconds(),
 				CampaignSpeedup:  campSpeedup,
+				CacheColdNS:      cacheCold.Nanoseconds(),
+				CacheWarmNS:      cacheWarm.Nanoseconds(),
+				CacheSpeedup:     cacheSpeedup,
 				Injections:       n,
 				Skipped:          skipped,
 				TablesIdentical:  true,

@@ -58,6 +58,7 @@ func run(args []string) error {
 		sense        = fs.Bool("sense", false, "run the static error-sensitivity pre-pass and print the predicted-vs-observed confusion matrix")
 		prune        = fs.Bool("prune", false, "implies -sense; skip injections predicted inert, synthesizing their outcomes from the golden run (snapshot mode only)")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
+		secCache     = fs.String("section-cache", "", "per-section outcome cache directory: re-runs replay unchanged sections' results and re-inject only changed ones (snapshot mode only)")
 		journalDir   = fs.String("journal", "", "durably journal completed outcomes to this directory (one file per platform+campaign)")
 		resume       = fs.Bool("resume", false, "resume from the journals in -journal, skipping already-completed injections")
 		retries      = fs.Int("retries", 0, "supervised attempts per injection before quarantine (0 = default 3)")
@@ -183,10 +184,13 @@ func run(args []string) error {
 	cfg.Burst = uint8(*burst)
 	switch strings.ToLower(*execMode) {
 	case "snapshot", "fork", "fork-from-golden":
-		cfg.Exec = kfi.ExecOptions{SnapshotDir: *snapshotDir}
+		cfg.Exec = kfi.ExecOptions{SnapshotDir: *snapshotDir, SectionCache: *secCache}
 	case "replay", "reboot":
 		if *snapshotDir != "" {
 			return fmt.Errorf("-snapshot-dir requires -exec snapshot")
+		}
+		if *secCache != "" {
+			return fmt.Errorf("-section-cache requires -exec snapshot (cache keys fingerprint the traced golden run)")
 		}
 		if *prune {
 			return fmt.Errorf("-prune requires -exec snapshot (pruned outcomes are synthesized from the traced golden run)")

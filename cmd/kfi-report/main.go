@@ -116,9 +116,16 @@ func run(args []string) error {
 
 	if *confusion {
 		for _, k := range keys {
-			if conf := stats.Confuse(groups[k]); conf.Annotated > 0 {
-				fmt.Printf("%s — %s\n", k, conf.Render())
+			conf := stats.Confuse(groups[k])
+			if conf.Annotated == 0 && conf.Cached == 0 {
+				continue
 			}
+			fmt.Printf("%s — %s", k, conf.Render())
+			fmt.Print(stats.RenderByTarget(stats.ConfuseByTarget(groups[k])))
+			if secs := stats.CachedSections(groups[k]); len(secs) > 0 {
+				fmt.Printf("  cached sections: %s\n", strings.Join(secs, ", "))
+			}
+			fmt.Println()
 		}
 	}
 

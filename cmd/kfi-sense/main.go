@@ -1,11 +1,12 @@
-// Kfi-sense runs the bit-level static error-sensitivity analyzer
+// Kfi-sense runs the whole-target static error-sensitivity analyzer
 // (internal/staticsense) over a built kernel image and reports, without
-// executing a single injection, how the code-injection space splits across
-// the classification lattice — including the fraction a pruned campaign may
-// skip as predicted inert.
+// executing a single injection, how each injection space — code, data,
+// stack, and system registers — splits across the classification lattice,
+// including the fraction a pruned campaign may skip as predicted inert.
 //
 //	kfi-sense -platform both
-//	kfi-sense -platform g4 -json
+//	kfi-sense -platform g4 -target data
+//	kfi-sense -platform p4 -json
 package main
 
 import (
@@ -34,7 +35,8 @@ func run(args []string, w io.Writer) error {
 	var (
 		platformFlag = fs.String("platform", "both", "target platform: p4, g4, or both")
 		scale        = fs.Int("scale", 1, "benchmark workload scale (changes the compiled image)")
-		asJSON       = fs.Bool("json", false, "emit the per-class tallies as JSON")
+		target       = fs.String("target", "all", "restrict the sweep report to one target class: code, data, stack, sysreg, or all")
+		asJSON       = fs.Bool("json", false, "emit the per-target, per-class tallies as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +47,11 @@ func run(args []string, w io.Writer) error {
 	}
 	if *scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d", *scale)
+	}
+	switch *target {
+	case "all", "code", "data", "stack", "sysreg":
+	default:
+		return fmt.Errorf("unknown -target %q (want code, data, stack, sysreg, or all)", *target)
 	}
 
 	var reports []*staticsense.Report
@@ -57,11 +64,22 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		an, err := staticsense.New(sys.KernelImage)
+		an, err := staticsense.NewAnalyzer(staticsense.Config{
+			Image:              sys.KernelImage,
+			Prog:               sys.Prog,
+			Proc:               sys.Src.Proc,
+			KStackSize:         sys.KStackSize,
+			HostReadGlobals:    kernel.HostReadGlobals(),
+			HostReadTaskFields: kernel.HostReadTaskFields(),
+		})
 		if err != nil {
 			return err
 		}
-		reports = append(reports, an.Sweep())
+		r, err := filterReport(an.Sweep(), *target)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r)
 	}
 
 	if *asJSON {
@@ -73,4 +91,27 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, r.Render())
 	}
 	return nil
+}
+
+// filterReport restricts a whole-target sweep report to one target class,
+// rebuilding the aggregate tallies from the surviving section so totals and
+// fractions stay self-consistent.
+func filterReport(r *staticsense.Report, target string) (*staticsense.Report, error) {
+	if target == "all" {
+		return r, nil
+	}
+	for _, t := range r.Targets {
+		if t.Target != target {
+			continue
+		}
+		return &staticsense.Report{
+			Platform: r.Platform,
+			Sites:    t.Sites,
+			ByClass:  t.ByClass,
+			Inert:    t.Inert,
+			Hardened: r.Hardened,
+			Targets:  []*staticsense.TargetReport{t},
+		}, nil
+	}
+	return nil, fmt.Errorf("the %v sweep has no %q target class", r.Platform, target)
 }

@@ -165,7 +165,8 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 		return nil, err
 	}
 	results := make([]inject.Result, len(targets))
-	rec := &recorder{journal: opts.Journal, progress: progress, results: results, sense: sense}
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results,
+		sense: sense, markCached: opts.SectionCache != ""}
 	skip, err := applyCompleted(rec, opts)
 	if err != nil {
 		return nil, err
@@ -173,17 +174,27 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	done := func(idx int) error { return rec.complete(idx, true) }
 
 	if opts.Replay {
+		if opts.SectionCache != "" {
+			return nil, fmt.Errorf("campaign: SectionCache requires the fork-from-golden scheduler; replay mode never traces the golden run the cache keys fingerprint")
+		}
 		if err := f.runReplay(targets, results, skip, done, opts); err != nil {
 			return nil, err
 		}
 		return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
 	}
 
-	sched, err := buildSchedule(f.nodes[0], targets)
+	sched, err := buildSchedule(f.nodes[0], targets, opts)
 	if err != nil {
 		return nil, err
 	}
 	prunePre(sched, targets, sense, opts)
+	secs, err := openSectionCache(f.nodes[0], f.golden, spec, targets, sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := secs.restore(rec, skip); err != nil {
+		return nil, err
+	}
 	for i, r := range sched.pre {
 		if skip[i] {
 			continue
@@ -279,6 +290,9 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	}
 	if fatal != nil {
 		return nil, fatal
+	}
+	if err := secs.store(results); err != nil {
+		return nil, err
 	}
 	return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
 }

@@ -57,6 +57,23 @@ type ExecOptions struct {
 	// mode never traces the golden run the synthesized results come from.
 	Prune bool
 
+	// SectionCache, when set, is the directory of the per-section outcome
+	// cache (FastFlip-style incremental campaigns). Targets are grouped into
+	// sections — code targets by the containing kernel function, every other
+	// campaign into one whole-image section — and each section's completed
+	// rows are persisted keyed by a content hash of the section's compiled
+	// bytes, its target list (triggers included), the campaign parameters,
+	// and the traced golden run's fingerprint. A re-run whose section hashes
+	// all match replays every row from the cache; a run with one modified
+	// section re-executes only that section. Rows are stamped with
+	// inject.Result.PredCached on cold and warm runs alike, so warm tables
+	// and journals stay byte-identical to the cold run that filled the
+	// cache. Requires the fork-from-golden scheduler (incompatible with
+	// Replay, which never traces the golden run the keys fingerprint).
+	SectionCache string
+	// onSection, when set (tests), observes each section's cache decision.
+	onSection func(name string, hit bool)
+
 	// MaxAttempts bounds supervised attempts per injection before its
 	// outcome is recorded as inject.OQuarantined (0 = default 3).
 	MaxAttempts int
@@ -81,7 +98,11 @@ type recorder struct {
 	// prediction before the journal append, so predictions are durable
 	// alongside outcomes.
 	sense *sensePass
-	done  int
+	// markCached stamps PredCached on every completed result (section-cache
+	// runs): the marker records cache membership, not a hit, so cold and
+	// warm runs journal identical rows.
+	markCached bool
+	done       int
 }
 
 // complete records results[idx] as finished. Resumed outcomes replayed from
@@ -90,6 +111,9 @@ func (rc *recorder) complete(idx int, journal bool) error {
 	rc.mu.Lock()
 	rc.done++
 	d := rc.done
+	if rc.markCached {
+		rc.results[idx].PredCached = true
+	}
 	rc.sense.annotate(idx, &rc.results[idx])
 	var err error
 	if journal && rc.journal != nil {
@@ -124,6 +148,9 @@ func applyCompleted(rc *recorder, opts ExecOptions) ([]bool, error) {
 // RunWith is Run with explicit execution options.
 func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	progress func(done, total int), opts ExecOptions) (*Result, error) {
+	if opts.SectionCache != "" && opts.Replay {
+		return nil, fmt.Errorf("campaign: SectionCache requires the fork-from-golden scheduler; replay mode never traces the golden run the cache keys fingerprint")
+	}
 	gen := NewGenerator(sys, profile, spec.Seed, profileCycles(profile))
 	targets, err := gen.Targets(spec)
 	if err != nil {
@@ -134,7 +161,8 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 		return nil, err
 	}
 	results := make([]inject.Result, len(targets))
-	rec := &recorder{journal: opts.Journal, progress: progress, results: results, sense: sense}
+	rec := &recorder{journal: opts.Journal, progress: progress, results: results,
+		sense: sense, markCached: opts.SectionCache != ""}
 	skip, err := applyCompleted(rec, opts)
 	if err != nil {
 		return nil, err
@@ -158,11 +186,18 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 		return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
 	}
 
-	sched, err := buildSchedule(sys, targets)
+	sched, err := buildSchedule(sys, targets, opts)
 	if err != nil {
 		return nil, err
 	}
 	prunePre(sched, targets, sense, opts)
+	secs, err := openSectionCache(sys, golden, spec, targets, sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := secs.restore(rec, skip); err != nil {
+		return nil, err
+	}
 	for i, r := range sched.pre {
 		if skip[i] {
 			continue
@@ -175,6 +210,9 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	order := filterOrder(sched.order, skip)
 	if err := runChunk(sys, golden, targets, order, results, opts,
 		func(idx int) error { return rec.complete(idx, true) }, maxTrig(sched.order)); err != nil {
+		return nil, err
+	}
+	if err := secs.store(results); err != nil {
 		return nil, err
 	}
 	return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
@@ -244,16 +282,22 @@ type schedule struct {
 // buildSchedule computes each target's trigger cycle and sorts targets by
 // it. Delay-triggered targets (stack, system registers) use their Delay;
 // code targets use the first golden-run execution of their address;
-// everything else injects at boot (trigger 0).
-func buildSchedule(sys *kernel.System, targets []inject.Target) (*schedule, error) {
+// everything else injects at boot (trigger 0). The golden run is traced
+// when code targets need their trigger cycles, and also when the options
+// prune or cache sections — both synthesize rows from the golden outcome.
+func buildSchedule(sys *kernel.System, targets []inject.Target, opts ExecOptions) (*schedule, error) {
 	var tr *goldenTrace
+	needGolden := !opts.Replay && (opts.Prune || opts.SectionCache != "")
 	for _, t := range targets {
 		if t.Campaign == inject.CampCode {
-			var err error
-			if tr, err = traceGolden(sys); err != nil {
-				return nil, err
-			}
+			needGolden = true
 			break
+		}
+	}
+	if needGolden {
+		var err error
+		if tr, err = traceGolden(sys); err != nil {
+			return nil, err
 		}
 	}
 	s := &schedule{order: make([]trigOrder, 0, len(targets)), pre: map[int]inject.Result{}, golden: tr}

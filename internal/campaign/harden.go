@@ -175,7 +175,7 @@ func matchedTargets(plain, hard *studySystem, spec Spec) (pt, ht []inject.Target
 // runTargets executes an explicit target list on one system through the
 // ordinary fork-from-golden scheduler.
 func runTargets(ss *studySystem, targets []inject.Target, tick func()) ([]inject.Result, error) {
-	sched, err := buildSchedule(ss.sys, targets)
+	sched, err := buildSchedule(ss.sys, targets, ExecOptions{})
 	if err != nil {
 		return nil, err
 	}

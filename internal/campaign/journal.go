@@ -76,6 +76,11 @@ type Header struct {
 	// produces the same workload checksum by construction — so resume
 	// matching needs the explicit marker.
 	Harden string `json:"harden,omitempty"`
+	// Cached records whether the campaign ran with the per-section outcome
+	// cache: cached rows carry PredCached, so a cached journal must not be
+	// spliced into an uncached run (or vice versa) — the rows would differ
+	// byte-for-byte even though the outcomes match.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // HeaderFor builds the journal header for a campaign spec.

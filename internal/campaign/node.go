@@ -98,7 +98,7 @@ func (nr *NodeRunner) Plan(spec Spec) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := buildSchedule(nr.sys, targets)
+	sched, err := buildSchedule(nr.sys, targets, ExecOptions{})
 	if err != nil {
 		return nil, err
 	}

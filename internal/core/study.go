@@ -278,6 +278,7 @@ func openJournal(cfg Config, p isa.Platform, golden uint32, spec campaign.Spec) 
 	path := JournalPath(cfg.JournalDir, p, spec.Campaign)
 	h := campaign.HeaderFor(p, golden, spec)
 	h.Prune = cfg.Exec.Prune
+	h.Cached = cfg.Exec.SectionCache != ""
 	if cfg.Build.Harden.Enabled() {
 		h.Harden = cfg.Build.Harden.String()
 	}

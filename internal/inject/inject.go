@@ -188,6 +188,12 @@ type Result struct {
 	// golden run instead of executing, on the strength of an inert
 	// prediction.
 	PredSkipped bool `json:"PredSkipped,omitempty"`
+	// PredCached marks results an incremental campaign may satisfy from the
+	// per-section outcome cache (campaign.ExecOptions.SectionCache). It is
+	// stamped on cold runs too — the marker records cache *membership*, not
+	// a hit — so a warm re-run's table and journal stay byte-identical to
+	// the cold run that populated the cache.
+	PredCached bool `json:"PredCached,omitempty"`
 	// DetectSite identifies the hardening check that fired for ODetected
 	// results (the site id compiled into the failed consistency/signature
 	// check). Zero otherwise, so unhardened journals and logs are unchanged.

@@ -51,9 +51,13 @@ type System struct {
 	KernelImage *cc.Image
 	UserImage   *cc.Image
 	Src         *Source
-	Procs       []ProcSpec // index 0 is the idle process
-	KStackSize  uint32
-	Glue        Glue
+	// Prog is the KIR program KernelImage was compiled from, with any
+	// hardening passes already applied — the program whose accesses the
+	// static analyzer must model, since hardening adds loads and stores.
+	Prog       *kir.Program
+	Procs      []ProcSpec // index 0 is the idle process
+	KStackSize uint32
+	Glue       Glue
 }
 
 // KernelBases are the kernel image load addresses.
@@ -81,7 +85,8 @@ func KStackSize(p isa.Platform) uint32 {
 // userImage may be nil when procs contains only kernel daemons.
 func BuildSystem(platform isa.Platform, userImage *cc.Image, procs []ProcSpec, opts Options) (*System, error) {
 	src := ProgramWith(opts.Prog)
-	kimg, err := cc.CompileWith(src.Prog, platform, KernelBases, cc.Options{Harden: opts.Harden})
+	hprog := kir.Harden(src.Prog, opts.Harden)
+	kimg, err := cc.Compile(hprog, platform, KernelBases)
 	if err != nil {
 		return nil, fmt.Errorf("kernel: compile: %w", err)
 	}
@@ -200,6 +205,7 @@ func BuildSystem(platform isa.Platform, userImage *cc.Image, procs []ProcSpec, o
 		KernelImage: kimg,
 		UserImage:   userImage,
 		Src:         src,
+		Prog:        hprog,
 		Procs:       allProcs,
 		KStackSize:  ksize,
 		Glue:        glue,
@@ -299,4 +305,21 @@ func (s *System) LiveKernelSP(i int) uint32 {
 func (s *System) Run() machine.RunResult {
 	s.Machine.Reboot()
 	return s.Machine.Run()
+}
+
+// HostReadGlobals lists kernel globals the host runtime reads directly
+// (outside compiled kernel code): the machine's current-task resolution and
+// the injectors' stack-address resolution. A static data-liveness analysis
+// must treat every byte of these as live even when no compiled instruction
+// reads them.
+func HostReadGlobals() []string {
+	return []string{"current", "current_idx", "task_ptrs"}
+}
+
+// HostReadTaskFields lists task_struct fields the host runtime reads
+// directly: the machine's stack-overflow checks and context switching, and
+// LiveKernelSP's saved-context probe. Like HostReadGlobals, these are live
+// regardless of what compiled code does.
+func HostReadTaskFields() []string {
+	return []string{"kstack", "stack_lo", "stack_hi", "ctx"}
 }

@@ -5,6 +5,12 @@
 //     the inject.Outcome constants must either cover every constant or carry
 //     a default clause, so adding an outcome cannot silently fall through a
 //     classifier or table builder;
+//   - exhaustive class switches: the same rule for the staticsense.Class
+//     lattice constants in every package outside internal/staticsense —
+//     consumers like the campaign prune-eligibility dispatch must confront
+//     each new class explicitly, because a class silently falling through
+//     to "not prunable" hides coverage while one falling through to
+//     "prunable" is a soundness bug;
 //   - deterministic replay paths: packages on the guest-deterministic path
 //     (everything a campaign result depends on) must not call time.Now or
 //     use math/rand's implicit global source — wall-clock reads and shared
@@ -80,6 +86,10 @@ var deterministicDirs = []string{
 // to the repo root.
 const outcomeSource = "internal/inject/inject.go"
 
+// classSource is the file defining the staticsense.Class constants, relative
+// to the repo root.
+const classSource = "internal/staticsense/staticsense.go"
+
 // platformDispatchDirs are the packages allowed to branch on the platform
 // enum: the enum's home, the registry, and the two ISA implementations the
 // registry exists to encapsulate.
@@ -105,7 +115,11 @@ var platformDispatchAllow = map[string]string{
 // sorted by file and line. It fails only on infrastructure errors (missing
 // outcome definitions, unparsable files); violations are data, not errors.
 func Check(root string) ([]Finding, error) {
-	outcomes, err := outcomeConstants(filepath.Join(root, outcomeSource))
+	outcomes, err := typedConstants(filepath.Join(root, outcomeSource), "Outcome")
+	if err != nil {
+		return nil, err
+	}
+	classes, err := typedConstants(filepath.Join(root, classSource), "Class")
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +147,10 @@ func Check(root string) ([]Finding, error) {
 		if err != nil {
 			return fmt.Errorf("lint: %w", err)
 		}
-		findings = append(findings, checkOutcomeSwitches(fset, file, rel, outcomes)...)
+		findings = append(findings, checkEnumSwitches(fset, file, rel, outcomes, "inject.Outcome")...)
+		if !strings.HasPrefix(filepath.ToSlash(rel), "internal/staticsense/") {
+			findings = append(findings, checkEnumSwitches(fset, file, rel, classes, "staticsense.Class")...)
+		}
 		if inDeterministicDir(rel) {
 			findings = append(findings, checkDeterminism(fset, file, rel)...)
 		}
@@ -157,14 +174,16 @@ func Check(root string) ([]Finding, error) {
 	return findings, nil
 }
 
-// outcomeConstants parses the inject.Outcome constant names from their
-// defining file: every name in a const block whose declared type is Outcome
-// (including iota continuations inheriting the type).
-func outcomeConstants(path string) (map[string]bool, error) {
+// typedConstants parses an enum's constant names from its defining file:
+// every exported name in a const block whose declared type matches typeName
+// (including iota continuations inheriting the type). Unexported names —
+// sentinels like the class count — are not part of the public enum and are
+// excluded.
+func typedConstants(path, typeName string) (map[string]bool, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
-		return nil, fmt.Errorf("lint: parsing outcome definitions: %w", err)
+		return nil, fmt.Errorf("lint: parsing %s definitions: %w", typeName, err)
 	}
 	names := map[string]bool{}
 	for _, decl := range file.Decls {
@@ -172,7 +191,7 @@ func outcomeConstants(path string) (map[string]bool, error) {
 		if !ok || gen.Tok != token.CONST {
 			continue
 		}
-		isOutcome := false
+		isTyped := false
 		for _, spec := range gen.Specs {
 			vs, ok := spec.(*ast.ValueSpec)
 			if !ok {
@@ -180,27 +199,27 @@ func outcomeConstants(path string) (map[string]bool, error) {
 			}
 			if vs.Type != nil {
 				id, ok := vs.Type.(*ast.Ident)
-				isOutcome = ok && id.Name == "Outcome"
+				isTyped = ok && id.Name == typeName
 			}
-			if !isOutcome {
+			if !isTyped {
 				continue
 			}
 			for _, n := range vs.Names {
-				if n.Name != "_" {
+				if n.Name != "_" && ast.IsExported(n.Name) {
 					names[n.Name] = true
 				}
 			}
 		}
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("lint: no Outcome constants found in %s", path)
+		return nil, fmt.Errorf("lint: no %s constants found in %s", typeName, path)
 	}
 	return names, nil
 }
 
-// checkOutcomeSwitches flags switch statements that dispatch on the outcome
+// checkEnumSwitches flags switch statements that dispatch on an enum's
 // constants but neither cover all of them nor carry a default clause.
-func checkOutcomeSwitches(fset *token.FileSet, file *ast.File, rel string, outcomes map[string]bool) []Finding {
+func checkEnumSwitches(fset *token.FileSet, file *ast.File, rel string, outcomes map[string]bool, label string) []Finding {
 	var findings []Finding
 	ast.Inspect(file, func(n ast.Node) bool {
 		sw, ok := n.(*ast.SwitchStmt)
@@ -240,8 +259,8 @@ func checkOutcomeSwitches(fset *token.FileSet, file *ast.File, rel string, outco
 			findings = append(findings, Finding{
 				File: rel,
 				Line: fset.Position(sw.Pos()).Line,
-				Msg: fmt.Sprintf("switch over inject.Outcome misses %s and has no default",
-					strings.Join(missing, ", ")),
+				Msg: fmt.Sprintf("switch over %s misses %s and has no default",
+					label, strings.Join(missing, ", ")),
 			})
 		}
 		return true

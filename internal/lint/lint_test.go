@@ -21,6 +21,15 @@ const (
 	OC
 )
 `,
+		classSource: `package staticsense
+type Class uint8
+const (
+	ClassUnknown Class = iota
+	ClassInert
+
+	numClasses
+)
+`,
 	}
 	for k, v := range files {
 		base[k] = v
@@ -98,6 +107,59 @@ func f(o inject.Outcome) {
 	}
 	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "ODetected") {
 		t.Errorf("want one finding missing ODetected, got %v", findingStrings(fs))
+	}
+}
+
+// TestAppendedClassConstantRejected mirrors the outcome rule for the
+// staticsense.Class lattice: appending a class constant must flag every
+// exhaustive no-default Class switch outside the defining package until it
+// handles the new class. The unexported count sentinel is not part of the
+// enum and must not be demanded.
+func TestAppendedClassConstantRejected(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		classSource: `package staticsense
+type Class uint8
+const (
+	ClassUnknown Class = iota
+	ClassInert
+	ClassMaskedReg
+
+	numClasses
+)
+`,
+		"internal/campaign/sense.go": `package campaign
+import "x/staticsense"
+func eligible(c staticsense.Class) bool {
+	switch c {
+	case staticsense.ClassUnknown:
+		return false
+	case staticsense.ClassInert:
+		return true
+	}
+	return false
+}
+`,
+		// The defining package itself may switch partially.
+		"internal/staticsense/internal.go": `package staticsense
+func detail(c Class) int {
+	switch c {
+	case ClassUnknown:
+		return 0
+	}
+	return 1
+}
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "ClassMaskedReg") ||
+		!strings.Contains(fs[0].Msg, "staticsense.Class") {
+		t.Errorf("want one finding missing ClassMaskedReg, got %v", findingStrings(fs))
+	}
+	if len(fs) == 1 && strings.Contains(fs[0].Msg, "numClasses") {
+		t.Errorf("unexported sentinel demanded by the rule: %v", fs[0])
 	}
 }
 

@@ -33,6 +33,12 @@ const (
 	sdr1Mask = 0xFFFF0000 // HTABORG: the hashed page table base
 	bootBAT  = 0xC0001FFE
 	batMask  = 0xFFFE0003 // BEPI block address + Vs/Vp valid bits
+
+	// SDR1LiveMask and BATLiveMask expose the vetted bit ranges: the only
+	// bits of SDR1 and the boot BAT pair the exception-delivery path ever
+	// consults. The static analyzer treats all other bits as inert.
+	SDR1LiveMask uint32 = sdr1Mask
+	BATLiveMask  uint32 = batMask
 )
 
 type descriptor struct{}

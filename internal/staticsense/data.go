@@ -1,0 +1,540 @@
+package staticsense
+
+import (
+	"fmt"
+	"sort"
+
+	"kfi/internal/cc"
+	"kfi/internal/kir"
+)
+
+// This file implements the data-target half of the whole-target analysis: a
+// conservative whole-program access analysis over the (post-hardening) KIR
+// program that proves, per byte of the static data and bss sections, whether
+// any kernel instruction, glue path, or host access can ever read or write
+// it. Bytes in words nothing touches are ClassUnreferenced; bytes that may
+// be written but are provably never read are ClassDeadStore; everything else
+// stays ClassUnknown.
+//
+// Soundness rests on two structural properties of the kernel program,
+// documented in DESIGN.md §17 and validated by the differential campaign
+// test: globals are only addressable through KGlobalAddr (no integer-to-
+// pointer forging), and derived pointers stay within the extent of the
+// global they were derived from. Anything the analysis cannot track — a
+// pointer stored to memory, passed to a call, returned, or blurred by
+// untracked arithmetic — escapes, and escaped globals are marked fully read
+// and written.
+
+// accessInfo records per-byte read/write reachability for one global.
+type accessInfo struct {
+	read    []bool
+	written []bool
+}
+
+func (ai *accessInfo) markFull() {
+	for i := range ai.read {
+		ai.read[i] = true
+		ai.written[i] = true
+	}
+}
+
+// accessMap is the whole-program analysis result.
+type accessMap struct {
+	layout kir.Layout
+	// globals holds per-byte access bits for every non-heap global.
+	globals map[string]*accessInfo
+	// escaped globals had their address stored, passed, or returned; they
+	// are marked fully accessed after analysis.
+	escaped map[string]bool
+	// procRead/procWritten record task_struct field accesses by index. The
+	// struct's instances live on the kernel stacks, outside any global, so
+	// they are tracked by field identity rather than by address.
+	procRead    map[int]bool
+	procWritten map[int]bool
+}
+
+// maxOffs bounds the tracked offset set per (register, global) pair;
+// larger sets widen to the whole global.
+const maxOffs = 8
+
+// offsets abstracts the byte offsets a pointer may carry into one global:
+// an optional element stride (from KIndex) plus a small set of base
+// offsets, widening to star (any offset) when tracking is lost.
+type offsets struct {
+	star   bool
+	stride uint32
+	offs   map[int64]struct{}
+}
+
+func (o *offsets) clone() *offsets {
+	n := &offsets{star: o.star, stride: o.stride}
+	if o.offs != nil {
+		n.offs = make(map[int64]struct{}, len(o.offs))
+		for k := range o.offs {
+			n.offs[k] = struct{}{}
+		}
+	}
+	return n
+}
+
+// join merges other into o, reporting whether o changed.
+func (o *offsets) join(other *offsets) bool {
+	if o.star {
+		return false
+	}
+	if other.star {
+		o.star = true
+		o.offs = nil
+		return true
+	}
+	changed := false
+	if other.stride != 0 {
+		if o.stride == 0 {
+			o.stride = other.stride
+			changed = true
+		} else if o.stride != other.stride {
+			o.star = true
+			o.offs = nil
+			return true
+		}
+	}
+	for k := range other.offs {
+		if _, ok := o.offs[k]; !ok {
+			if o.offs == nil {
+				o.offs = map[int64]struct{}{}
+			}
+			o.offs[k] = struct{}{}
+			changed = true
+		}
+	}
+	if len(o.offs) > maxOffs {
+		o.star = true
+		o.offs = nil
+		return true
+	}
+	return changed
+}
+
+// shift returns a copy with every base offset moved by delta.
+func (o *offsets) shift(delta int64) *offsets {
+	if o.star {
+		return &offsets{star: true}
+	}
+	n := &offsets{stride: o.stride, offs: make(map[int64]struct{}, len(o.offs))}
+	for k := range o.offs {
+		n.offs[k+delta] = struct{}{}
+	}
+	return n
+}
+
+// indexed returns a copy carrying an additional element stride.
+func (o *offsets) indexed(stride uint32) *offsets {
+	if o.star || stride == 0 {
+		return &offsets{star: true}
+	}
+	n := o.clone()
+	if n.stride == 0 {
+		n.stride = stride
+	} else if n.stride != stride {
+		return &offsets{star: true}
+	}
+	return n
+}
+
+// blur widens all offsets to star (untracked pointer arithmetic).
+func (o *offsets) blur() *offsets { return &offsets{star: true} }
+
+// ptrVal is the abstract value of one virtual register: the set of globals
+// it may point into, each with tracked offsets. Non-pointer values are the
+// empty set; values loaded from memory or produced by calls are "top" —
+// they may point anywhere, but only at escaped globals, which are marked
+// fully accessed regardless.
+type ptrVal struct {
+	globs map[string]*offsets
+}
+
+func (v *ptrVal) joinGlob(name string, o *offsets) bool {
+	if v.globs == nil {
+		v.globs = map[string]*offsets{}
+	}
+	cur, ok := v.globs[name]
+	if !ok {
+		v.globs[name] = o.clone()
+		return true
+	}
+	return cur.join(o)
+}
+
+func (v *ptrVal) joinVal(other *ptrVal, transform func(*offsets) *offsets) bool {
+	changed := false
+	for name, o := range other.globs {
+		if v.joinGlob(name, transform(o)) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func ident(o *offsets) *offsets { return o }
+
+// analyzeProgram runs the access analysis over every function and applies
+// the host-access conventions.
+func analyzeProgram(prog *kir.Program, layout kir.Layout, proc *kir.Struct, hostRead, hostReadFields []string) *accessMap {
+	am := &accessMap{
+		layout:      layout,
+		globals:     map[string]*accessInfo{},
+		escaped:     map[string]bool{},
+		procRead:    map[int]bool{},
+		procWritten: map[int]bool{},
+	}
+	tracked := map[string]*kir.Global{}
+	for _, g := range prog.Globals {
+		if g.Heap {
+			continue
+		}
+		size := layout.GlobalSize(g)
+		am.globals[g.Name] = &accessInfo{read: make([]bool, size), written: make([]bool, size)}
+		tracked[g.Name] = g
+	}
+	structs := map[string]*kir.Struct{}
+	for _, s := range prog.Structs {
+		structs[s.Name] = s
+	}
+	fa := &funcAnalysis{am: am, structs: structs, proc: proc}
+	for _, f := range prog.Funcs {
+		fa.run(f)
+	}
+	// Escaped globals may be reached through any loaded or passed pointer:
+	// every byte is reachable for both reads and writes.
+	for name := range am.escaped {
+		if ai := am.globals[name]; ai != nil {
+			ai.markFull()
+		}
+	}
+	// Host accesses bypass compiled code entirely; treat them as full
+	// accesses of the named globals and task fields.
+	for _, name := range hostRead {
+		if ai := am.globals[name]; ai != nil {
+			ai.markFull()
+		}
+	}
+	if proc != nil {
+		for _, fname := range hostReadFields {
+			if i := proc.FieldIndex(fname); i >= 0 {
+				am.procRead[i] = true
+				am.procWritten[i] = true
+			}
+		}
+	}
+	return am
+}
+
+// funcAnalysis runs one function's flow-insensitive points-to fixpoint and
+// then records accesses and escapes with the converged values.
+type funcAnalysis struct {
+	am      *accessMap
+	structs map[string]*kir.Struct
+	proc    *kir.Struct
+	vals    []ptrVal
+}
+
+func (fa *funcAnalysis) run(f *kir.Func) {
+	fa.vals = make([]ptrVal, f.NumRegs()+1)
+	// Phase 1: propagate pointer values to a fixpoint. The lattice is
+	// finite (per register: bounded offset sets per global, monotone
+	// joins), so this terminates; the cap is a safety net only.
+	for iter := 0; iter < 1000; iter++ {
+		if !fa.pass(f, false) {
+			break
+		}
+	}
+	// Phase 2: record accesses and escapes using the converged values.
+	fa.pass(f, true)
+}
+
+func (fa *funcAnalysis) val(r kir.Reg) *ptrVal {
+	if int(r) <= 0 || int(r) >= len(fa.vals) {
+		return &ptrVal{}
+	}
+	return &fa.vals[r]
+}
+
+// assign joins src (through transform) into dst, reporting change.
+func (fa *funcAnalysis) assign(dst kir.Reg, src *ptrVal, transform func(*offsets) *offsets) bool {
+	if int(dst) <= 0 || int(dst) >= len(fa.vals) {
+		return false
+	}
+	return fa.vals[dst].joinVal(src, transform)
+}
+
+func (fa *funcAnalysis) pass(f *kir.Func, record bool) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if fa.step(&b.Instrs[i], record) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (fa *funcAnalysis) fieldExtent(sym string, field int) (*kir.Struct, uint32, uint32, bool) {
+	s := fa.structs[sym]
+	if s == nil || field < 0 || field >= len(s.Fields) {
+		return nil, 0, 0, false
+	}
+	off := fa.am.layout.FieldOffset(s, field)
+	fl := s.Fields[field]
+	n := fl.Count
+	if n <= 1 {
+		n = 1
+	}
+	return s, off, uint32(fl.Width) * uint32(n), true
+}
+
+func (fa *funcAnalysis) step(in *kir.Instr, record bool) bool {
+	switch in.Kind {
+	case kir.KGlobalAddr:
+		o := &offsets{offs: map[int64]struct{}{int64(in.Imm): {}}}
+		if _, tracked := fa.am.globals[in.Sym]; !tracked {
+			return false // heap global: outside the static data space
+		}
+		return fa.val(in.Dst).joinGlob(in.Sym, o)
+	case kir.KMov:
+		return fa.assign(in.Dst, fa.val(in.A), ident)
+	case kir.KBinImm:
+		switch in.Bin {
+		case kir.Add:
+			d := int64(in.Imm)
+			return fa.assign(in.Dst, fa.val(in.A), func(o *offsets) *offsets { return o.shift(d) })
+		case kir.Sub:
+			d := -int64(in.Imm)
+			return fa.assign(in.Dst, fa.val(in.A), func(o *offsets) *offsets { return o.shift(d) })
+		default:
+			return fa.assign(in.Dst, fa.val(in.A), (*offsets).blur)
+		}
+	case kir.KBin:
+		c := fa.assign(in.Dst, fa.val(in.A), (*offsets).blur)
+		if fa.assign(in.Dst, fa.val(in.B), (*offsets).blur) {
+			c = true
+		}
+		return c
+	case kir.KFieldAddr:
+		_, off, _, ok := fa.fieldExtent(in.Sym, in.Field)
+		if !ok {
+			return fa.assign(in.Dst, fa.val(in.A), (*offsets).blur)
+		}
+		if record {
+			fa.markProcField(in.Sym, in.Field, true, true)
+		}
+		d := int64(off)
+		return fa.assign(in.Dst, fa.val(in.A), func(o *offsets) *offsets { return o.shift(d) })
+	case kir.KIndex:
+		s := fa.structs[in.Sym]
+		if s == nil {
+			return fa.assign(in.Dst, fa.val(in.A), (*offsets).blur)
+		}
+		stride := fa.am.layout.StructSize(s)
+		return fa.assign(in.Dst, fa.val(in.A), func(o *offsets) *offsets { return o.indexed(stride) })
+	case kir.KLoad:
+		if record {
+			fa.markAccess(fa.val(in.A), int64(in.Imm), uint32(in.Width), true)
+		}
+		return false
+	case kir.KStore:
+		if record {
+			fa.markAccess(fa.val(in.A), int64(in.Imm), uint32(in.Width), false)
+			fa.escape(fa.val(in.B))
+		}
+		return false
+	case kir.KLoadField:
+		if record {
+			if _, off, size, ok := fa.fieldExtent(in.Sym, in.Field); ok {
+				fa.markAccess(fa.val(in.A), int64(off), size, true)
+			}
+			fa.markProcField(in.Sym, in.Field, true, false)
+		}
+		return false
+	case kir.KStoreField:
+		if record {
+			if _, off, size, ok := fa.fieldExtent(in.Sym, in.Field); ok {
+				fa.markAccess(fa.val(in.A), int64(off), size, false)
+			}
+			fa.markProcField(in.Sym, in.Field, false, true)
+			fa.escape(fa.val(in.B))
+		}
+		return false
+	case kir.KCall, kir.KCallPtr, kir.KSyscall:
+		if record {
+			for _, arg := range in.Args {
+				fa.escape(fa.val(arg))
+			}
+			if in.Kind == kir.KCallPtr {
+				fa.escape(fa.val(in.A))
+			}
+		}
+		return false
+	case kir.KCtxSw:
+		if record {
+			fa.escape(fa.val(in.A))
+			fa.escape(fa.val(in.B))
+		}
+		return false
+	case kir.KRet:
+		if record && in.A != 0 {
+			fa.escape(fa.val(in.A))
+		}
+		return false
+	default:
+		// KConst, KCmp, KCmpImm, KLocalAddr, KFuncAddr, KJmp, KBr, KIrqOff,
+		// KIrqOn, KHalt, KBug: no global pointers produced or consumed.
+		return false
+	}
+}
+
+// markProcField records a task_struct field access when the instruction's
+// struct tag names the Proc type, regardless of what the base pointer
+// resolves to — task_struct instances live on kernel stacks, outside every
+// global extent.
+func (fa *funcAnalysis) markProcField(sym string, field int, read, written bool) {
+	if fa.proc == nil || sym != fa.proc.Name {
+		return
+	}
+	if read {
+		fa.am.procRead[field] = true
+	}
+	if written {
+		fa.am.procWritten[field] = true
+	}
+}
+
+// escape records that the registers' pointed-to globals may now be reached
+// through memory, another function, or the host.
+func (fa *funcAnalysis) escape(v *ptrVal) {
+	for name := range v.globs {
+		fa.am.escaped[name] = true
+	}
+}
+
+// markAccess records a read or write of `size` bytes at every offset the
+// pointer may carry, plus imm. Offsets that leave the global's extent are
+// ignored: by the memory-safety convention a derived pointer is only
+// dereferenced inside its base global, so an out-of-extent offset means the
+// path is infeasible for that global.
+func (fa *funcAnalysis) markAccess(v *ptrVal, imm int64, size uint32, read bool) {
+	for name, o := range v.globs {
+		ai := fa.am.globals[name]
+		if ai == nil {
+			continue
+		}
+		glen := int64(len(ai.read))
+		mark := func(start int64) {
+			if start < 0 || start+int64(size) > glen {
+				return
+			}
+			for b := start; b < start+int64(size); b++ {
+				if read {
+					ai.read[b] = true
+				} else {
+					ai.written[b] = true
+				}
+			}
+		}
+		if o.star {
+			ai.markFull()
+			continue
+		}
+		for base := range o.offs {
+			if o.stride == 0 {
+				mark(base + imm)
+				continue
+			}
+			for n := int64(0); base+n*int64(o.stride)+imm < glen; n++ {
+				mark(base + n*int64(o.stride) + imm)
+			}
+		}
+	}
+}
+
+// extent locates one global in the linked image's data or bss section.
+type extent struct {
+	name       string
+	start, end uint32 // [start, end)
+}
+
+func buildExtents(prog *kir.Program, img *cc.Image) []extent {
+	var exts []extent
+	for _, g := range prog.Globals {
+		if g.Heap {
+			continue
+		}
+		addr, ok := img.Syms[g.Name]
+		if !ok {
+			continue
+		}
+		exts = append(exts, extent{name: g.Name, start: addr, end: addr + img.Layout.GlobalSize(g)})
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].start < exts[j].start })
+	return exts
+}
+
+// byteAccess resolves one absolute data/bss address to its access bits.
+// Bytes in no global's extent are alignment padding: never accessed.
+func (a *Analyzer) byteAccess(addr uint32) (read, written bool) {
+	i := sort.Search(len(a.extents), func(i int) bool { return a.extents[i].end > addr })
+	if i >= len(a.extents) || addr < a.extents[i].start {
+		return false, false
+	}
+	e := a.extents[i]
+	ai := a.acc.globals[e.name]
+	if ai == nil {
+		return true, true
+	}
+	off := addr - e.start
+	return ai.read[off], ai.written[off]
+}
+
+func (a *Analyzer) inDataSpace(addr uint32) bool {
+	if addr >= a.img.DataBase && addr < a.img.DataBase+uint32(len(a.img.Data)) {
+		return true
+	}
+	return addr >= a.img.BSSBase && addr < a.img.BSSBase+a.img.BSSSize
+}
+
+// ClassifyData classifies a single-bit flip of the byte at addr in the
+// kernel's static data or bss section — the shape of a CampData injection
+// target. The verdict is byte-granular (bit is accepted for interface
+// symmetry): a flip in a word nothing ever touches is ClassUnreferenced, a
+// flip in a byte that may be written but is never read is ClassDeadStore,
+// anything else is ClassUnknown.
+func (a *Analyzer) ClassifyData(addr uint32, bit uint) Prediction {
+	_ = bit
+	if a.acc == nil {
+		return Prediction{Class: ClassUnknown, Detail: "no program access model (code-only analyzer)"}
+	}
+	word := addr &^ 3
+	if !a.inDataSpace(word) || !a.inDataSpace(word+3) {
+		return Prediction{Class: ClassUnknown, Detail: "outside the static data and bss sections"}
+	}
+	anyAccess, selfRead := false, false
+	for b := word; b < word+4; b++ {
+		r, w := a.byteAccess(b)
+		if r || w {
+			anyAccess = true
+		}
+		if b == addr {
+			selfRead = r
+		}
+	}
+	switch {
+	case !anyAccess:
+		return Prediction{Class: ClassUnreferenced, Inert: true,
+			Detail: "no kernel instruction, glue path, or host access touches this word"}
+	case !selfRead:
+		return Prediction{Class: ClassDeadStore, Inert: true,
+			Detail: "byte may be written but is provably never read"}
+	default:
+		return Prediction{Class: ClassUnknown, Detail: fmt.Sprintf("byte at %#x is read by the kernel", addr)}
+	}
+}

@@ -57,6 +57,23 @@ const (
 	// flipped word decodes to an instruction the executor cannot
 	// distinguish from the original. Predicted inert.
 	ClassInertEncoding
+	// ClassDeadStore flips land in a data or stack byte the whole-program
+	// access analysis proves is possibly written but never read (by compiled
+	// code, the glue paths, or the host runtime). Predicted inert — the
+	// flipped value is never consumed — but not skippable: neighboring
+	// bytes of the same word may be read, so activation is statically
+	// unknown.
+	ClassDeadStore
+	// ClassUnreferenced flips land in an aligned 4-byte word no kernel
+	// instruction, glue path, or host access ever touches (padding holes,
+	// never-referenced globals or fields). Predicted inert; a pruned data
+	// campaign may skip these as not-activated.
+	ClassUnreferenced
+	// ClassMaskedReg flips land on a system-register bit outside the
+	// platform's statically derived consulted mask: no implicit processor
+	// path and no decoded instruction in the image ever reads the bit.
+	// Predicted inert; a pruned sysreg campaign may skip these.
+	ClassMaskedReg
 
 	numClasses
 )
@@ -70,6 +87,9 @@ var classNames = [numClasses]string{
 	ClassImmediate:     "immediate",
 	ClassDeadValue:     "dead-value",
 	ClassInertEncoding: "inert-encoding",
+	ClassDeadStore:     "dead-store",
+	ClassUnreferenced:  "unreferenced",
+	ClassMaskedReg:     "masked-reg",
 }
 
 func (c Class) String() string {
@@ -77,6 +97,16 @@ func (c Class) String() string {
 		return classNames[c]
 	}
 	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Inert reports whether the class as a whole is predicted inert: every
+// prediction the analyzer emits with this class carries Inert set.
+func (c Class) Inert() bool {
+	switch c {
+	case ClassDeadValue, ClassInertEncoding, ClassDeadStore, ClassUnreferenced, ClassMaskedReg:
+		return true
+	}
+	return false
 }
 
 // Classes lists every class in lattice order (most to least threatening),
@@ -160,6 +190,67 @@ type Analyzer struct {
 	// deterministic sweeps; sizes maps each to its instruction length.
 	addrs []uint32
 	sizes map[uint32]uint8
+
+	// Whole-target state, nil/zero for code-only analyzers built with New.
+	img        *cc.Image
+	acc        *accessMap
+	extents    []extent
+	stack      *stackModel
+	sysregs    map[string]SysRegInfo
+	sysOrder   []string
+	kstackSize uint32
+}
+
+// Config describes one built system to NewAnalyzer. Image is required;
+// every other field unlocks one additional target class, so partial
+// configurations degrade to ClassUnknown rather than failing.
+type Config struct {
+	// Image is the compiled kernel image (with glue appended), exactly what
+	// the campaign injects into.
+	Image *cc.Image
+	// Prog is the KIR program Image was compiled from, with hardening
+	// passes already applied — the access model for data and stack flips.
+	Prog *kir.Program
+	// Proc is the task_struct type co-located at the base of each kernel
+	// stack slot; enables stack-byte classification.
+	Proc *kir.Struct
+	// KStackSize is the per-slot kernel stack size in bytes (the stack
+	// sweep span).
+	KStackSize uint32
+	// HostReadGlobals names globals the host runtime reads outside compiled
+	// code (current-task resolution, injector address resolution). Every
+	// byte of these is conservatively live.
+	HostReadGlobals []string
+	// HostReadTaskFields names Proc fields the host runtime reads directly
+	// (stack checks, context switch, saved-SP probes).
+	HostReadTaskFields []string
+}
+
+// NewAnalyzer builds a whole-target analyzer: code flips classify exactly as
+// with New, and the Config's program/layout information additionally
+// classifies data, stack, and system-register flips.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	a, err := New(cfg.Image)
+	if err != nil {
+		return nil, err
+	}
+	a.img = cfg.Image
+	if cfg.Prog != nil {
+		a.acc = analyzeProgram(cfg.Prog, cfg.Image.Layout, cfg.Proc, cfg.HostReadGlobals, cfg.HostReadTaskFields)
+		a.extents = buildExtents(cfg.Prog, cfg.Image)
+		if cfg.Proc != nil {
+			a.stack = newStackModel(cfg.Proc, cfg.Image.Layout, a.acc)
+		}
+		a.kstackSize = cfg.KStackSize
+	}
+	if mk := sysregModels[a.platform]; mk != nil {
+		a.sysregs = map[string]SysRegInfo{}
+		for _, info := range mk(cfg.Image) {
+			a.sysregs[info.Name] = info
+			a.sysOrder = append(a.sysOrder, info.Name)
+		}
+	}
+	return a, nil
 }
 
 // New builds an analyzer over a compiled kernel image.
@@ -202,19 +293,41 @@ func (a *Analyzer) ClassifyFlip(addr uint32, byteOff uint8, bit uint) Prediction
 	return a.cl.Classify(addr, byteOff, bit&7)
 }
 
+// TargetReport tallies the sweep of one target class (code, data, stack,
+// sysreg): its injection-space size and per-class split.
+type TargetReport struct {
+	Target  string         `json:"target"`
+	Sites   int            `json:"sites"`
+	ByClass map[string]int `json:"by_class"`
+	Inert   int            `json:"inert"`
+}
+
+// InertFrac is the fraction of this target's injection space predicted inert.
+func (t *TargetReport) InertFrac() float64 {
+	if t.Sites == 0 {
+		return 0
+	}
+	return float64(t.Inert) / float64(t.Sites)
+}
+
 // Report tallies a whole-image sweep of every candidate flip.
 type Report struct {
 	Platform isa.Platform `json:"platform"`
-	// Sites is the size of the code-injection space: one per (instruction,
-	// byte, bit) triple over every decoded instruction.
+	// Sites is the size of the swept injection space: one per (instruction,
+	// byte, bit) triple for code-only analyzers, summed across every swept
+	// target class for whole-target analyzers.
 	Sites   int            `json:"sites"`
 	ByClass map[string]int `json:"by_class"`
-	// Inert counts sites predicted inert (dead-value + inert-encoding).
+	// Inert counts sites predicted inert.
 	Inert int `json:"inert"`
 	// Hardened labels sweeps over images built with the kir.Harden passes
 	// (detected via the synthesized detector symbol); omitted for ordinary
 	// images, so pre-hardening reports serialize byte-identically.
 	Hardened bool `json:"hardened,omitempty"`
+	// Targets breaks the sweep down per target class, in the fixed order
+	// code, data, stack, sysreg. Only whole-target analyzers (NewAnalyzer)
+	// emit it; code-only reports keep their original shape.
+	Targets []*TargetReport `json:"targets,omitempty"`
 }
 
 // InertFrac is the fraction of the injection space predicted inert — the
@@ -226,40 +339,125 @@ func (r *Report) InertFrac() float64 {
 	return float64(r.Inert) / float64(r.Sites)
 }
 
-// Sweep classifies every candidate flip in the image.
+// Sweep classifies every candidate flip the analyzer can reason about: the
+// code image always, plus the data, stack, and sysreg spaces when built with
+// NewAnalyzer and the Config unlocked them.
 func (a *Analyzer) Sweep() *Report {
 	r := &Report{Platform: a.platform, ByClass: map[string]int{}, Hardened: a.hardened}
-	for _, addr := range a.addrs {
-		size := a.sizes[addr]
-		for off := uint8(0); off < size; off++ {
-			for bit := uint(0); bit < 8; bit++ {
-				p := a.ClassifyFlip(addr, off, bit)
-				r.Sites++
-				r.ByClass[p.Class.String()]++
-				if p.Inert {
-					r.Inert++
-				}
-			}
+	tgts := []*TargetReport{a.sweepCode()}
+	if a.acc != nil {
+		tgts = append(tgts, a.sweepData())
+		if a.stack != nil && a.kstackSize > 0 {
+			tgts = append(tgts, a.sweepStack())
+		}
+	}
+	if a.img != nil && len(a.sysOrder) > 0 {
+		tgts = append(tgts, a.sweepSysReg())
+	}
+	if len(tgts) > 1 {
+		r.Targets = tgts
+	}
+	for _, t := range tgts {
+		r.Sites += t.Sites
+		r.Inert += t.Inert
+		for k, v := range t.ByClass {
+			r.ByClass[k] += v
 		}
 	}
 	return r
 }
 
-// Render formats a sweep as an aligned per-class table.
+func newTargetReport(name string) *TargetReport {
+	return &TargetReport{Target: name, ByClass: map[string]int{}}
+}
+
+func (t *TargetReport) tally(p Prediction, n int) {
+	t.Sites += n
+	t.ByClass[p.Class.String()] += n
+	if p.Inert {
+		t.Inert += n
+	}
+}
+
+func (a *Analyzer) sweepCode() *TargetReport {
+	t := newTargetReport("code")
+	for _, addr := range a.addrs {
+		size := a.sizes[addr]
+		for off := uint8(0); off < size; off++ {
+			for bit := uint(0); bit < 8; bit++ {
+				t.tally(a.ClassifyFlip(addr, off, bit), 1)
+			}
+		}
+	}
+	return t
+}
+
+func (a *Analyzer) sweepData() *TargetReport {
+	t := newTargetReport("data")
+	sweep := func(base, size uint32) {
+		for addr := base; addr < base+size; addr++ {
+			// Data classification is byte-granular: all 8 bits share a class.
+			t.tally(a.ClassifyData(addr, 0), 8)
+		}
+	}
+	sweep(a.img.DataBase, uint32(len(a.img.Data)))
+	sweep(a.img.BSSBase, a.img.BSSSize)
+	return t
+}
+
+func (a *Analyzer) sweepStack() *TargetReport {
+	t := newTargetReport("stack")
+	for off := uint32(0); off < a.kstackSize; off++ {
+		t.tally(a.ClassifyStackByte(off), 8)
+	}
+	return t
+}
+
+func (a *Analyzer) sweepSysReg() *TargetReport {
+	t := newTargetReport("sysreg")
+	for _, name := range a.sysOrder {
+		for bit := uint(0); bit < a.sysregs[name].Bits; bit++ {
+			t.tally(a.ClassifySysReg(name, bit), 1)
+		}
+	}
+	return t
+}
+
+// Render formats a sweep as an aligned per-class table, with one section per
+// swept target class for whole-target reports.
 func (r *Report) Render() string {
 	label := ""
 	if r.Hardened {
 		label = " (hardened image)"
 	}
-	out := fmt.Sprintf("%-10s %9d candidate (instruction, byte, bit) flips%s\n", r.Platform, r.Sites, label)
+	if len(r.Targets) == 0 {
+		out := fmt.Sprintf("%-10s %9d candidate (instruction, byte, bit) flips%s\n", r.Platform, r.Sites, label)
+		out += renderClasses(r.ByClass, r.Sites, r.Inert)
+		return out
+	}
+	out := fmt.Sprintf("%-10s %9d candidate flips across %d target classes%s\n",
+		r.Platform, r.Sites, len(r.Targets), label)
+	for _, t := range r.Targets {
+		out += fmt.Sprintf(" %s: %d sites\n", t.Target, t.Sites)
+		out += renderClasses(t.ByClass, t.Sites, t.Inert)
+	}
+	return out
+}
+
+func renderClasses(byClass map[string]int, sites, inert int) string {
+	out := ""
 	for _, c := range Classes() {
-		n := r.ByClass[c.String()]
+		n := byClass[c.String()]
 		if n == 0 {
 			continue
 		}
-		out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", c, n, 100*float64(n)/float64(r.Sites))
+		out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", c, n, 100*float64(n)/float64(sites))
 	}
-	out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", "predicted inert", r.Inert, 100*r.InertFrac())
+	frac := 0.0
+	if sites > 0 {
+		frac = float64(inert) / float64(sites)
+	}
+	out += fmt.Sprintf("  %-16s %9d  (%5.1f%%)\n", "predicted inert", inert, 100*frac)
 	return out
 }
 

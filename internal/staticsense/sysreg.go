@@ -1,0 +1,195 @@
+package staticsense
+
+import (
+	"fmt"
+
+	"kfi/internal/cc"
+	"kfi/internal/cisc"
+	"kfi/internal/isa"
+	"kfi/internal/risc"
+)
+
+// SysRegInfo is one platform system register's static read model: which of
+// its bits the processor core or the compiled image can ever consult. A set
+// bit in InertMask means the bit is provably never read — not by an
+// implicit processor path (mode checks, translation vetting, exception
+// delivery) and not by any decoded instruction in the image — so flipping
+// it cannot change any architecturally visible outcome.
+type SysRegInfo struct {
+	Name      string
+	Bits      uint
+	InertMask uint32
+}
+
+// SysRegFunc derives a platform's register read models from a built image:
+// unconditionally consulted bits come from the core's implicit paths, and
+// explicit-read instructions found in the image mark whole registers live.
+type SysRegFunc func(img *cc.Image) []SysRegInfo
+
+var sysregModels = map[isa.Platform]SysRegFunc{}
+
+// RegisterSysRegModel registers a platform's system-register read-model
+// builder. Platforms without one (the extension/toy platforms) simply get
+// no sysreg predictions: every sysreg flip stays ClassUnknown.
+func RegisterSysRegModel(p isa.Platform, fn SysRegFunc) {
+	if fn == nil {
+		panic("staticsense: RegisterSysRegModel with nil builder")
+	}
+	if _, dup := sysregModels[p]; dup {
+		panic(fmt.Sprintf("staticsense: sysreg model already registered for %v", p))
+	}
+	sysregModels[p] = fn
+}
+
+func init() {
+	RegisterSysRegModel(isa.CISC, ciscSysRegModel)
+	RegisterSysRegModel(isa.RISC, riscSysRegModel)
+}
+
+// ClassifySysReg classifies a single-bit flip of the named system register —
+// the shape of a CampSysReg injection target. Bits inside the platform's
+// consulted mask (or of registers without a model) stay ClassUnknown.
+func (a *Analyzer) ClassifySysReg(name string, bit uint) Prediction {
+	info, ok := a.sysregs[name]
+	if !ok {
+		return Prediction{Class: ClassUnknown, Detail: fmt.Sprintf("no static read model for register %q", name)}
+	}
+	if bit >= info.Bits {
+		return Prediction{Class: ClassUnknown, Detail: "bit beyond the register width"}
+	}
+	if info.InertMask>>bit&1 != 0 {
+		return Prediction{Class: ClassMaskedReg, Inert: true,
+			Detail: fmt.Sprintf("%s bit %d is never consulted by the core or the image", name, bit)}
+	}
+	return Prediction{Class: ClassUnknown, Detail: fmt.Sprintf("%s bit %d may be consulted", name, bit)}
+}
+
+func fullMask(bits uint) uint32 {
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<bits - 1
+}
+
+// ciscSysRegModel builds the P4-class read model. Implicit consults, from
+// the core's execution and interrupt-delivery paths: EFLAGS, ESP, and EIP
+// everywhere; CR0's PE bit at iret/int/interrupt delivery; FS's full
+// selector at every movfs (the != SelFS check). Explicit reads are decoded
+// from the image: movrc (CR0/CR2/CR3), movrd (DR0–3), movrseg (FS/GS), str
+// (TR). GDTR, IDTR, LDTR, DR6, DR7, and the SYSENTER registers have no read
+// path at all — reset-initialized and state-serialized only.
+func ciscSysRegModel(img *cc.Image) []SysRegInfo {
+	read := map[string]bool{}
+	scanImage(img, func(addr uint32, code []byte) int {
+		in, err := cisc.Decode(code)
+		if err != nil {
+			return 0
+		}
+		switch in.Op {
+		case cisc.OpMOVRC:
+			switch in.R2 {
+			case 0:
+				read["CR0"] = true
+			case 2:
+				read["CR2"] = true
+			case 3:
+				read["CR3"] = true
+			}
+		case cisc.OpMOVRD:
+			read[fmt.Sprintf("DR%d", in.R2&3)] = true
+		case cisc.OpMOVRSEG:
+			if in.R2 == 0 {
+				read["FS"] = true
+			} else {
+				read["GS"] = true
+			}
+		case cisc.OpSTR:
+			read["TR"] = true
+		case cisc.OpLOADFS:
+			read["FS"] = true
+		}
+		return int(in.Len)
+	})
+	var infos []SysRegInfo
+	for _, sr := range cisc.SystemRegisters() {
+		info := SysRegInfo{Name: sr.Name, Bits: sr.Bits}
+		switch {
+		case sr.Name == "EFLAGS" || sr.Name == "ESP" || sr.Name == "EIP":
+			// Consulted every instruction: fully live.
+		case read[sr.Name]:
+			// Explicitly read somewhere in the image: fully live.
+		case sr.Name == "CR0":
+			// Never moved to a GPR, but PE is consulted implicitly.
+			info.InertMask = fullMask(sr.Bits) &^ cisc.CR0PE
+		default:
+			info.InertMask = fullMask(sr.Bits)
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// riscSysRegModel builds the G4-class read model. Implicit consults: the
+// MSR's EE/PR/ME/IR/DR bits by the execution and interrupt paths; HID0's
+// BTIC bit by the branch-target cache; and the exception-delivery vetting's
+// SPRG2 (full), SDR1 (HTABORG field), and IBAT0U/DBAT0U (BEPI + valid
+// bits). Explicit reads are decoded from the image: mfmsr makes the whole
+// MSR live, mfspr makes the named SPR live. Everything else — DEC, the
+// time base, DAR/DSISR, SRR0/SRR1 (rfi restores from the stack frame, not
+// the save/restore registers), the remaining BATs, and the performance
+// monitor — is written by the core at most, never read.
+func riscSysRegModel(img *cc.Image) []SysRegInfo {
+	read := map[string]bool{}
+	scanImage(img, func(addr uint32, code []byte) int {
+		if len(code) < 4 {
+			return 0
+		}
+		in, err := risc.Decode(beWord(code))
+		if err != nil {
+			return 0
+		}
+		switch in.Op {
+		case risc.OpMFSPR:
+			read[risc.SprName(in.SPR)] = true
+		case risc.OpMFMSR:
+			read["MSR"] = true
+		}
+		return 4
+	})
+	liveBits := map[string]uint32{
+		"MSR":    risc.MSREE | risc.MSRPR | risc.MSRME | risc.MSRIR | risc.MSRDR,
+		"HID0":   risc.HID0BTIC,
+		"SPRG2":  ^uint32(0),
+		"SDR1":   risc.SDR1LiveMask,
+		"IBAT0U": risc.BATLiveMask,
+		"DBAT0U": risc.BATLiveMask,
+	}
+	var infos []SysRegInfo
+	for _, sr := range risc.SystemRegisters() {
+		info := SysRegInfo{Name: sr.Name, Bits: sr.Bits}
+		if !read[sr.Name] {
+			info.InertMask = fullMask(sr.Bits) &^ liveBits[sr.Name]
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// scanImage walks every function's code bytes (glue stubs included) the way
+// the classifiers do: sequential decode, stopping a function at the first
+// undecodable byte. step returns the decoded length, or 0 to stop.
+func scanImage(img *cc.Image, step func(addr uint32, code []byte) int) {
+	for _, fn := range img.Funcs {
+		if fn.Start < img.CodeBase || uint64(fn.End-img.CodeBase) > uint64(len(img.Code)) || fn.End < fn.Start {
+			continue
+		}
+		code := img.Code[fn.Start-img.CodeBase : fn.End-img.CodeBase]
+		for off := 0; off < len(code); {
+			n := step(fn.Start+uint32(off), code[off:])
+			if n <= 0 {
+				break
+			}
+			off += n
+		}
+	}
+}

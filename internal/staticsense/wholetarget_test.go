@@ -1,0 +1,270 @@
+package staticsense
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"kfi/internal/cc"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/risc"
+	"kfi/internal/workload"
+)
+
+// buildWholeSystem compiles the benchmark workload and kernel for p and
+// returns the full system, not just the image — the whole-target analyzer
+// needs the KIR program, the task layout, and the host-access conventions.
+func buildWholeSystem(t *testing.T, p isa.Platform) *kernel.System {
+	t.Helper()
+	uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func wholeAnalyzer(t *testing.T, sys *kernel.System) *Analyzer {
+	t.Helper()
+	an, err := NewAnalyzer(Config{
+		Image:              sys.KernelImage,
+		Prog:               sys.Prog,
+		Proc:               sys.Src.Proc,
+		KStackSize:         sys.KStackSize,
+		HostReadGlobals:    kernel.HostReadGlobals(),
+		HostReadTaskFields: kernel.HostReadTaskFields(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestClassInertPartition(t *testing.T) {
+	inert := map[Class]bool{
+		ClassDeadValue: true, ClassInertEncoding: true,
+		ClassDeadStore: true, ClassUnreferenced: true, ClassMaskedReg: true,
+	}
+	for _, c := range Classes() {
+		if got := c.Inert(); got != inert[c] {
+			t.Errorf("%v.Inert() = %v, want %v", c, got, inert[c])
+		}
+	}
+}
+
+func TestClassifyDataRealKernel(t *testing.T) {
+	sys := buildWholeSystem(t, isa.RISC)
+	an := wholeAnalyzer(t, sys)
+	img := sys.KernelImage
+
+	// Outside the static data and bss sections nothing is claimed.
+	if p := an.ClassifyData(img.CodeBase, 0); p.Class != ClassUnknown || p.Inert {
+		t.Errorf("code address classified %v inert=%v, want unknown", p.Class, p.Inert)
+	}
+
+	// Host-read globals are live even if no kernel instruction reads them.
+	cur, ok := img.Syms["current"]
+	if !ok {
+		t.Fatal("kernel image has no `current` symbol")
+	}
+	if p := an.ClassifyData(cur, 0); p.Class != ClassUnknown || p.Inert {
+		t.Errorf("host-read global classified %v inert=%v, want unknown", p.Class, p.Inert)
+	}
+
+	// The access analysis must prove some of the data space untouched, and
+	// every data verdict must be one of the three data classes.
+	found := map[Class]int{}
+	scan := func(base, size uint32) {
+		for addr := base; addr < base+size; addr++ {
+			p := an.ClassifyData(addr, 0)
+			switch p.Class {
+			case ClassUnknown, ClassUnreferenced, ClassDeadStore:
+				found[p.Class]++
+				if p.Inert != (p.Class != ClassUnknown) {
+					t.Fatalf("class %v at %#x has Inert=%v", p.Class, addr, p.Inert)
+				}
+			default:
+				t.Fatalf("data byte %#x classified %v — not a data-target class", addr, p.Class)
+			}
+		}
+	}
+	scan(img.DataBase, uint32(len(img.Data)))
+	scan(img.BSSBase, img.BSSSize)
+	if found[ClassUnreferenced] == 0 {
+		t.Error("access analysis proved no data byte unreferenced")
+	}
+	if found[ClassUnknown] == 0 {
+		t.Error("access analysis claims the kernel reads no data at all")
+	}
+
+	// A code-only analyzer stays conservative on every data address.
+	codeOnly, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := codeOnly.ClassifyData(img.DataBase, 0); p.Class != ClassUnknown || p.Inert {
+		t.Errorf("code-only ClassifyData = %v inert=%v, want unknown", p.Class, p.Inert)
+	}
+}
+
+func TestClassifyStackByteRealKernel(t *testing.T) {
+	sys := buildWholeSystem(t, isa.CISC)
+	an := wholeAnalyzer(t, sys)
+	proc := sys.Src.Proc
+	layout := sys.KernelImage.Layout
+	taskSize := layout.StructSize(proc)
+	if taskSize == 0 || taskSize >= sys.KStackSize {
+		t.Fatalf("implausible task_struct size %d (stack %d)", taskSize, sys.KStackSize)
+	}
+
+	// Above the task area is live stack: always unknown.
+	if p := an.ClassifyStackByte(sys.KStackSize - 4); p.Class != ClassUnknown || p.Inert {
+		t.Errorf("live stack byte classified %v inert=%v, want unknown", p.Class, p.Inert)
+	}
+
+	// Host-read task fields are live even without a kernel-code read.
+	for _, name := range kernel.HostReadTaskFields() {
+		fi := proc.FieldIndex(name)
+		if fi < 0 {
+			t.Fatalf("task_struct has no field %q", name)
+		}
+		off := layout.FieldOffset(proc, fi)
+		if p := an.ClassifyStackByte(off); p.Class != ClassUnknown || p.Inert {
+			t.Errorf("host-read field %q classified %v inert=%v, want unknown", name, p.Class, p.Inert)
+		}
+	}
+
+	// Some of the task area must be provably inert (padding or unaccessed
+	// fields), and verdicts stay within the stack-target classes.
+	inert := 0
+	for off := uint32(0); off < taskSize; off++ {
+		p := an.ClassifyStackByte(off)
+		switch p.Class {
+		case ClassUnknown, ClassUnreferenced, ClassDeadStore:
+			if p.Inert {
+				inert++
+			}
+		default:
+			t.Fatalf("stack byte %d classified %v — not a stack-target class", off, p.Class)
+		}
+	}
+	if inert == 0 {
+		t.Error("no task_struct byte predicted inert")
+	}
+
+	// A code-only analyzer has no task layout model.
+	codeOnly, err := New(sys.KernelImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := codeOnly.ClassifyStackByte(0); p.Class != ClassUnknown || p.Inert {
+		t.Errorf("code-only ClassifyStackByte = %v inert=%v, want unknown", p.Class, p.Inert)
+	}
+}
+
+func TestClassifySysRegRealKernels(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys := buildWholeSystem(t, p)
+		an := wholeAnalyzer(t, sys)
+
+		if pr := an.ClassifySysReg("NOSUCHREG", 0); pr.Class != ClassUnknown || pr.Inert {
+			t.Errorf("%v: unknown register classified %v inert=%v", p, pr.Class, pr.Inert)
+		}
+
+		masked, unknown := 0, 0
+		for _, sr := range sys.Machine.SystemRegisters() {
+			// A bit beyond the register's width is never claimed inert.
+			if pr := an.ClassifySysReg(sr.Name, 64); pr.Class != ClassUnknown || pr.Inert {
+				t.Errorf("%v: %s bit 64 classified %v inert=%v", p, sr.Name, pr.Class, pr.Inert)
+			}
+			for bit := uint(0); bit < sr.Bits; bit++ {
+				switch pr := an.ClassifySysReg(sr.Name, bit); pr.Class {
+				case ClassMaskedReg:
+					masked++
+				case ClassUnknown:
+					unknown++
+				default:
+					t.Fatalf("%v: %s bit %d classified %v — not a sysreg class", p, sr.Name, bit, pr.Class)
+				}
+			}
+		}
+		if masked == 0 {
+			t.Errorf("%v: read model proved no sysreg bit masked", p)
+		}
+		if unknown == 0 {
+			t.Errorf("%v: read model claims every sysreg bit is dead", p)
+		}
+	}
+
+	// Spot check against the paper's sensitivity structure: the MSR's
+	// external-interrupt enable is consulted by the core's delivery path,
+	// so the G4 model must keep it live.
+	sys := buildWholeSystem(t, isa.RISC)
+	an := wholeAnalyzer(t, sys)
+	ee := uint(bits.TrailingZeros32(risc.MSREE))
+	if pr := an.ClassifySysReg("MSR", ee); pr.Class != ClassUnknown || pr.Inert {
+		t.Errorf("MSR EE bit classified %v inert=%v, want unknown", pr.Class, pr.Inert)
+	}
+}
+
+// TestSweepWholeTarget: the whole-target sweep reports all four target
+// classes in the paper's fixed order, its aggregates are the sums of the
+// per-target tallies, and unlocking the data/stack/sysreg spaces does not
+// perturb the original code-image classification.
+func TestSweepWholeTarget(t *testing.T) {
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys := buildWholeSystem(t, p)
+		an := wholeAnalyzer(t, sys)
+		r := an.Sweep()
+
+		want := []string{"code", "data", "stack", "sysreg"}
+		if len(r.Targets) != len(want) {
+			t.Fatalf("%v: sweep has %d target classes, want %d", p, len(r.Targets), len(want))
+		}
+		sites, inert := 0, 0
+		byClass := map[string]int{}
+		for i, tr := range r.Targets {
+			if tr.Target != want[i] {
+				t.Errorf("%v: target %d is %q, want %q", p, i, tr.Target, want[i])
+			}
+			if tr.Sites == 0 {
+				t.Errorf("%v: %s target has no sites", p, tr.Target)
+			}
+			sum := 0
+			for k, v := range tr.ByClass {
+				sum += v
+				byClass[k] += v
+			}
+			if sum != tr.Sites {
+				t.Errorf("%v/%s: class counts sum to %d, want %d", p, tr.Target, sum, tr.Sites)
+			}
+			sites += tr.Sites
+			inert += tr.Inert
+		}
+		if sites != r.Sites || inert != r.Inert {
+			t.Errorf("%v: aggregate sites/inert %d/%d, want %d/%d", p, r.Sites, r.Inert, sites, inert)
+		}
+		if !reflect.DeepEqual(byClass, r.ByClass) {
+			t.Errorf("%v: aggregate ByClass %v does not match per-target sum %v", p, r.ByClass, byClass)
+		}
+
+		// The stack space is the full per-platform slot, bytes times bits.
+		if got, wantSites := r.Targets[2].Sites, int(sys.KStackSize)*8; got != wantSites {
+			t.Errorf("%v: stack target has %d sites, want %d", p, got, wantSites)
+		}
+
+		// Code classification is identical to the code-only analyzer's.
+		codeOnly, err := New(sys.KernelImage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := codeOnly.Sweep()
+		if cr.Sites != r.Targets[0].Sites || !reflect.DeepEqual(cr.ByClass, r.Targets[0].ByClass) {
+			t.Errorf("%v: whole-target code tally diverges from the code-only sweep", p)
+		}
+	}
+}

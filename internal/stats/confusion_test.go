@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kfi/internal/inject"
+	"kfi/internal/staticsense"
+)
+
+func annotated(camp inject.Campaign, fn, class string, inert, skipped, cached bool, o inject.Outcome) inject.Result {
+	return inject.Result{
+		Target:      inject.Target{Campaign: camp, Func: fn},
+		Outcome:     o,
+		PredClass:   class,
+		PredInert:   inert,
+		PredSkipped: skipped,
+		PredCached:  cached,
+	}
+}
+
+func TestConfuseCountsAndViolations(t *testing.T) {
+	unk := staticsense.ClassUnknown.String()
+	ie := staticsense.ClassInertEncoding.String()
+	results := []inject.Result{
+		annotated(inject.CampCode, "f", ie, true, true, false, inject.ONotManifested),
+		annotated(inject.CampCode, "f", ie, true, false, false, inject.ONotManifested),
+		annotated(inject.CampCode, "f", ie, true, false, false, inject.OCrash), // executed inert that crashed
+		annotated(inject.CampCode, "f", unk, false, false, false, inject.ONotActivated),
+		annotated(inject.CampCode, "f", unk, false, false, false, inject.OQuarantined),
+		{Target: inject.Target{Campaign: inject.CampCode, Func: "f"}, Outcome: inject.OCrash}, // unannotated
+	}
+	c := Confuse(results)
+	if c.Annotated != 5 {
+		t.Errorf("Annotated = %d, want 5", c.Annotated)
+	}
+	if c.Violations != 1 {
+		t.Errorf("Violations = %d, want 1 (the executed inert crash)", c.Violations)
+	}
+	if c.Cached != 0 {
+		t.Errorf("Cached = %d, want 0", c.Cached)
+	}
+	if len(c.Rows) != 2 || c.Rows[0].Class != unk || c.Rows[1].Class != ie {
+		t.Fatalf("rows not in lattice order: %+v", c.Rows)
+	}
+	if r := c.Rows[1]; r.Skipped != 1 || r.NotManifested != 1 || r.Manifested != 1 || r.Total() != 3 {
+		t.Errorf("inert-encoding row miscounted: %+v", r)
+	}
+	if r := c.Rows[0]; r.NotActivated != 1 || r.Quarantined != 1 || r.Total() != 2 {
+		t.Errorf("unknown row miscounted: %+v", r)
+	}
+}
+
+// TestConfusionRenderGolden pins the exact rendering, cached and uncached:
+// the uncached header must stay byte-identical to the pre-cache format.
+func TestConfusionRenderGolden(t *testing.T) {
+	ie := staticsense.ClassInertEncoding.String()
+	results := []inject.Result{
+		annotated(inject.CampCode, "f", ie, true, true, false, inject.ONotManifested),
+		annotated(inject.CampCode, "f", ie, true, false, false, inject.OCrash),
+	}
+	want := "" +
+		"Predicted vs observed (annotated: 2)\n" +
+		"  predicted           total  skipped  not-act  not-man manifest     quar\n" +
+		"  inert-encoding          2        1        0        0        1        0\n" +
+		"  predicted-inert soundness violations: 1\n"
+	if got := Confuse(results).Render(); got != want {
+		t.Errorf("uncached render:\n got: %q\nwant: %q", got, want)
+	}
+
+	for i := range results {
+		results[i].PredCached = true
+	}
+	wantCached := "" +
+		"Predicted vs observed (annotated: 2, cached rows: 2)\n" +
+		"  predicted           total  skipped  not-act  not-man manifest     quar\n" +
+		"  inert-encoding          2        1        0        0        1        0\n" +
+		"  predicted-inert soundness violations: 1\n"
+	if got := Confuse(results).Render(); got != wantCached {
+		t.Errorf("cached render:\n got: %q\nwant: %q", got, wantCached)
+	}
+}
+
+func TestConfuseByTarget(t *testing.T) {
+	results := []inject.Result{
+		annotated(inject.CampCode, "f", staticsense.ClassInertEncoding.String(), true, true, true, inject.ONotManifested),
+		annotated(inject.CampData, "", staticsense.ClassUnreferenced.String(), true, true, true, inject.ONotActivated),
+		annotated(inject.CampSysReg, "", staticsense.ClassMaskedReg.String(), true, false, true, inject.ONotManifested),
+		annotated(inject.CampStack, "", staticsense.ClassUnknown.String(), false, false, true, inject.OCrash),
+		// A burst data row: cached but unannotated — still counted per kind.
+		{Target: inject.Target{Campaign: inject.CampData}, Outcome: inject.OCrash, PredCached: true},
+	}
+	ts := ConfuseByTarget(results)
+	order := make([]string, len(ts))
+	for i, tc := range ts {
+		order[i] = tc.Target
+	}
+	want := []string{
+		inject.CampStack.String(), inject.CampSysReg.String(),
+		inject.CampData.String(), inject.CampCode.String(),
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("target order %v, want %v", order, want)
+	}
+	for _, tc := range ts {
+		if tc.Annotated != 1 {
+			t.Errorf("%s: Annotated = %d, want 1", tc.Target, tc.Annotated)
+		}
+	}
+	if data := ts[2]; data.Cached != 2 {
+		t.Errorf("data kind Cached = %d, want 2 (annotated + burst row)", data.Cached)
+	}
+
+	// Kinds with neither annotations nor cached rows vanish.
+	bare := []inject.Result{{Target: inject.Target{Campaign: inject.CampStack}, Outcome: inject.OCrash}}
+	if got := ConfuseByTarget(bare); len(got) != 0 {
+		t.Errorf("bare results produced %d target rows", len(got))
+	}
+}
+
+// TestRenderByTargetGolden pins the per-target breakdown table.
+func TestRenderByTargetGolden(t *testing.T) {
+	results := []inject.Result{
+		annotated(inject.CampCode, "f", staticsense.ClassInertEncoding.String(), true, true, true, inject.ONotManifested),
+		annotated(inject.CampCode, "g", staticsense.ClassUnknown.String(), false, false, true, inject.OCrash),
+		annotated(inject.CampSysReg, "", staticsense.ClassMaskedReg.String(), true, false, true, inject.ONotManifested),
+	}
+	want := "" +
+		"  target             annotated    inert  skipped   cached violations\n" +
+		"  System Registers           1        1        0        1          0\n" +
+		"  Code                       2        1        1        2          0\n"
+	if got := RenderByTarget(ConfuseByTarget(results)); got != want {
+		t.Errorf("per-target render:\n got: %q\nwant: %q", got, want)
+	}
+	if got := RenderByTarget(nil); got != "" {
+		t.Errorf("empty breakdown renders %q", got)
+	}
+}
+
+func TestCachedSections(t *testing.T) {
+	results := []inject.Result{
+		annotated(inject.CampCode, "zeta", "", false, false, true, inject.OCrash),
+		annotated(inject.CampCode, "alpha", "", false, false, true, inject.OCrash),
+		annotated(inject.CampCode, "alpha", "", false, false, true, inject.ONotManifested),
+		annotated(inject.CampData, "", "", false, false, true, inject.ONotActivated),
+		annotated(inject.CampCode, "uncached", "", false, false, false, inject.OCrash),
+	}
+	got := CachedSections(results)
+	want := []string{"_image", "alpha", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CachedSections = %v, want %v", got, want)
+	}
+	if got := CachedSections(nil); len(got) != 0 {
+		t.Errorf("no results yielded sections %v", got)
+	}
+}
+
+// TestConfusionClassCoverage: every lattice class renders through the
+// confusion matrix without falling out of the per-target inert tally.
+func TestConfusionClassCoverage(t *testing.T) {
+	var results []inject.Result
+	for _, cl := range staticsense.Classes() {
+		results = append(results,
+			annotated(inject.CampCode, "f", cl.String(), cl.Inert(), false, false, inject.ONotManifested))
+	}
+	c := Confuse(results)
+	if len(c.Rows) != len(staticsense.Classes()) {
+		t.Fatalf("%d rows for %d classes", len(c.Rows), len(staticsense.Classes()))
+	}
+	out := RenderByTarget(ConfuseByTarget(results))
+	wantInert := 0
+	for _, cl := range staticsense.Classes() {
+		if cl.Inert() {
+			wantInert++
+		}
+	}
+	if !strings.Contains(out, "Code") {
+		t.Fatalf("breakdown missing the code row:\n%s", out)
+	}
+	ts := ConfuseByTarget(results)
+	if len(ts) != 1 || ts[0].Annotated != len(staticsense.Classes()) {
+		t.Fatalf("unexpected breakdown: %+v", ts)
+	}
+}
