@@ -20,11 +20,11 @@ test:
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/crashnet/... ./internal/ctlplane/...
 
-# One-iteration snapshot + predecode + static-sense benchmarks; rewrites
-# BENCH_snapshot.json, BENCH_exec.json, and BENCH_sense.json.
+# One-iteration snapshot + execution-engine + static-sense benchmarks;
+# rewrites BENCH_snapshot.json, BENCH_exec.json, and BENCH_sense.json.
 bench:
 	$(GO) test . -run '^$$' -bench Snapshot -benchtime 1x
-	$(GO) test . -run '^$$' -bench PredecodeSpeedup -benchtime 1x
+	$(GO) test . -run '^$$' -bench EngineSpeedup -benchtime 1x
 	$(GO) test . -run '^$$' -bench StaticSense -benchtime 1x
 
 # One-iteration whole-target static-sense + incremental-cache benchmark on

@@ -24,6 +24,7 @@ package kfi_test
 // model. BenchmarkPropagation quantifies the Figure 7 phenomenon.
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -34,7 +35,10 @@ import (
 
 	"kfi"
 	"kfi/internal/cisc"
+	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/mem"
+	"kfi/internal/platform"
 	"kfi/internal/risc"
 	"kfi/internal/snapshot"
 	"kfi/internal/staticsense"
@@ -893,44 +897,149 @@ func BenchmarkSnapshotRestoreVsReboot(b *testing.B) {
 	}
 }
 
-// --- Predecode cache ------------------------------------------------------
+// --- Execution engines ----------------------------------------------------
 
-// BenchmarkPredecodeSpeedup measures what the per-page predecoded-instruction
-// cache buys on both platforms: raw interpreter throughput (instructions per
-// second over the fault-free golden run) and end-to-end code-campaign time,
-// each cached versus uncached. The cached and uncached campaigns' outcome
-// tables must match byte-for-byte — the cache is a pure execution-speed
-// optimization, observationally invisible even to injections that corrupt
-// already-cached code. Results go to BENCH_exec.json.
-func BenchmarkPredecodeSpeedup(b *testing.B) {
-	type row struct {
-		Steps               uint64  `json:"steps_per_run"`
-		StepsPerSecCached   float64 `json:"steps_per_sec_cached"`
-		StepsPerSecUncached float64 `json:"steps_per_sec_uncached"`
-		ExecSpeedup         float64 `json:"exec_speedup"`
-		CampaignCachedNS    int64   `json:"campaign_cached_ns"`
-		CampaignUncachedNS  int64   `json:"campaign_uncached_ns"`
-		CampaignSpeedup     float64 `json:"campaign_speedup"`
-		Injections          int     `json:"injections"`
-		TablesIdentical     bool    `json:"tables_identical"`
+// peakRig builds a bare core of platform p primed to run a register-dense
+// compute loop of iters iterations ending in a halt — the translator's best
+// case (every iteration is one fused register-run closure plus one branch),
+// mirroring how dynamic-translation papers report peak vs. workload
+// throughput. It returns the core (to hand to Descriptor.NewEngine), a reset
+// that re-arms the loop without touching memory, and a state snapshot used
+// to assert architectural equivalence across engines.
+func peakRig(b *testing.B, p kfi.Platform, iters uint32) (core platform.Core, reset func(), state func() string) {
+	b.Helper()
+	const base = mem.PageSize
+	desc, ok := platform.ByName(p.Short())
+	if !ok {
+		b.Fatalf("no descriptor for %v", p)
 	}
+	switch p {
+	case kfi.P4:
+		m := mem.New(1<<16, binary.LittleEndian)
+		m.Map(base, mem.PageSize, mem.Present)
+		a := cisc.NewAsm()
+		a.MovRI(1, int32(iters))
+		a.MovRI(2, 0x1234567)
+		a.MovRI(3, 7)
+		a.MovRI(4, 0)
+		a.Label("loop")
+		a.AddRR(2, 3)
+		a.XorRR(4, 2)
+		a.MovRR(5, 4)
+		a.Lea(6, 5, 8)
+		a.IncR(2)
+		a.OrRR(3, 4)
+		a.Movzx16(7, 4)
+		a.AddRI(5, 13)
+		a.NotR(6)
+		a.ShlRI(4, 1)
+		a.SubRI(1, 1)
+		a.Jcc(cisc.CcNE, "loop")
+		a.Hlt()
+		code, err := a.Link(base, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(m.RawBytes(base, uint32(len(code))), code)
+		core = desc.NewCore(m)
+		cpu := cisc.CPUOf(core)
+		reset = func() {
+			cpu.Reset()
+			cpu.Clk = isa.CycleCounter{}
+			cpu.EIP = base
+		}
+		state = func() string {
+			return fmt.Sprint(cpu.Regs, cpu.EIP, cpu.Flags, cpu.Clk.Cycles())
+		}
+		return core, reset, state
+	case kfi.G4:
+		m := mem.New(1<<16, binary.BigEndian)
+		m.Map(base, mem.PageSize, mem.Present)
+		a := risc.NewAsm()
+		a.Li32(1, int32(iters))
+		a.Li32(2, 0x1234567)
+		a.Li(3, 7)
+		a.Li(4, 0)
+		a.Label("loop")
+		a.Add(2, 2, 3)
+		a.Xor(4, 4, 2)
+		a.Mr(5, 4)
+		a.Addi(6, 5, 8)
+		a.Slwi(7, 4, 1)
+		a.Or(3, 3, 4)
+		a.Extsh(8, 4)
+		a.Addi(5, 5, 13)
+		a.Nor(6, 6, 6)
+		a.Srawi(9, 2, 3)
+		a.Addi(1, 1, -1)
+		a.Cmpwi(1, 0)
+		a.Bne("loop")
+		a.Halt()
+		code, err := a.Link(base, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(m.RawBytes(base, uint32(len(code))), code)
+		core = desc.NewCore(m)
+		cpu := risc.CPUOf(core)
+		reset = func() {
+			cpu.Reset()
+			cpu.Clk = isa.CycleCounter{}
+			cpu.PC = base
+		}
+		state = func() string {
+			return fmt.Sprint(cpu.R, cpu.PC, cpu.CR, cpu.Clk.Cycles())
+		}
+		return core, reset, state
+	}
+	b.Fatalf("peakRig: unknown platform %v", p)
+	return nil, nil, nil
+}
+
+// BenchmarkEngineSpeedup measures the three execution engines (step
+// interpreter, predecoded interpreter, basic-block translator) on both
+// platforms: raw throughput (instructions per second over the fault-free
+// golden run) and end-to-end code-campaign time, per engine. Every engine's
+// campaign outcome table must match byte-for-byte — engine choice is a pure
+// execution-speed knob, observationally invisible even to injections that
+// corrupt already-translated code. Results go to BENCH_exec.json.
+func BenchmarkEngineSpeedup(b *testing.B) {
+	type engRow struct {
+		StepsPerSec     float64 `json:"steps_per_sec"`
+		PeakStepsPerSec float64 `json:"peak_steps_per_sec"`
+		CampaignNS      int64   `json:"campaign_ns"`
+		Blocks          uint64  `json:"translated_blocks,omitempty"`
+		Hits            uint64  `json:"closure_cache_hits,omitempty"`
+		Invalidations   uint64  `json:"invalidations,omitempty"`
+		Fallbacks       uint64  `json:"fallbacks,omitempty"`
+	}
+	type row struct {
+		Steps                uint64            `json:"steps_per_run"`
+		PeakSteps            uint64            `json:"peak_steps_per_run"`
+		Engines              map[string]engRow `json:"engines"`
+		TranslateSpeedup     float64           `json:"translate_vs_predecode_speedup"`
+		PeakTranslateSpeedup float64           `json:"peak_translate_vs_predecode_speedup"`
+		CampaignSpeedup      float64           `json:"campaign_translate_vs_predecode_speedup"`
+		Injections           int               `json:"injections"`
+		TablesIdentical      bool              `json:"tables_identical"`
+	}
+	engines := []kfi.EngineKind{kfi.EngineInterp, kfi.EnginePredecode, kfi.EngineTranslate}
 	rows := map[string]row{}
 	for _, p := range kfi.Platforms {
 		p := p
 		b.Run(p.Short(), func(b *testing.B) {
 			sys := benchSystem(b, p)
 			m := sys.Sys.Machine
-			core := m.Core()
-			defer core.SetPredecode(true)
+			defer m.SetEngine(0)
 
 			// One traced run counts retired instructions — deterministic, so
-			// it serves both configurations.
+			// it serves every engine.
 			var steps uint64
-			core.SetTrace(func(pc uint32, cost uint8) { steps++ })
+			m.Core().SetTrace(func(pc uint32, cost uint8) { steps++ })
 			if res := sys.Sys.Run(); res.Checksum != sys.Golden {
 				b.Fatal("traced golden run diverged")
 			}
-			core.SetTrace(nil)
+			m.Core().SetTrace(nil)
 
 			n := 150
 			if testing.Short() {
@@ -938,70 +1047,139 @@ func BenchmarkPredecodeSpeedup(b *testing.B) {
 			}
 			seed := int64(1310) + int64(p)
 
-			// End-to-end code campaigns in both configurations; the outcome
-			// tables are the correctness half of the claim.
-			core.SetPredecode(false)
-			t0 := time.Now()
-			unc, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			campUncached := time.Since(t0)
-			core.SetPredecode(true)
-			t0 = time.Now()
-			cac, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			campCached := time.Since(t0)
-			uncTable, cacTable := unc.Counts.TableRow("code"), cac.Counts.TableRow("code")
-			if uncTable != cacTable {
-				b.Fatalf("outcome tables diverge between configurations:\n  uncached: %s\n  cached:   %s",
-					uncTable, cacTable)
+			// End-to-end code campaigns on every engine; the outcome tables
+			// are the correctness half of the claim.
+			er := map[string]engRow{}
+			campNS := map[kfi.EngineKind]int64{}
+			var baseTable string
+			identical := true
+			for _, k := range engines {
+				t0 := time.Now()
+				oc, err := kfi.RunCampaignWith(sys, kfi.Code, n, seed, nil, kfi.ExecOptions{Engine: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				campNS[k] = time.Since(t0).Nanoseconds()
+				table := oc.Counts.TableRow("code")
+				if baseTable == "" {
+					baseTable = table
+				} else if table != baseTable {
+					identical = false
+					b.Errorf("outcome tables diverge between engines:\n  %s: %s\n  %s: %s",
+						engines[0], baseTable, k, table)
+				}
+				er[k.String()] = engRow{
+					CampaignNS:    campNS[k],
+					Blocks:        oc.EngineStats.Translated,
+					Hits:          oc.EngineStats.Hits,
+					Invalidations: oc.EngineStats.Invalidations,
+					Fallbacks:     oc.EngineStats.Fallbacks,
+				}
 			}
 
-			// Raw interpreter throughput over complete fault-free runs.
-			var cachedTot, uncachedTot time.Duration
+			// Raw throughput over complete fault-free runs, per engine.
+			tot := map[kfi.EngineKind]time.Duration{}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				core.SetPredecode(true)
-				t0 := time.Now()
-				if res := sys.Sys.Run(); res.Checksum != sys.Golden {
-					b.Fatal("cached golden run diverged")
+				for _, k := range engines {
+					if err := m.SetEngine(k); err != nil {
+						b.Fatal(err)
+					}
+					t0 := time.Now()
+					if res := sys.Sys.Run(); res.Checksum != sys.Golden {
+						b.Fatalf("%v golden run diverged", k)
+					}
+					tot[k] += time.Since(t0)
 				}
-				cachedTot += time.Since(t0)
-				core.SetPredecode(false)
-				t0 = time.Now()
-				if res := sys.Sys.Run(); res.Checksum != sys.Golden {
-					b.Fatal("uncached golden run diverged")
-				}
-				uncachedTot += time.Since(t0)
 			}
 			b.StopTimer()
 
-			stepsCached := float64(steps) * float64(b.N) / cachedTot.Seconds()
-			stepsUncached := float64(steps) * float64(b.N) / uncachedTot.Seconds()
-			execSpeedup := float64(uncachedTot) / float64(cachedTot)
-			campSpeedup := float64(campUncached) / float64(campCached)
-			b.ReportMetric(stepsCached, "steps/sec-cached")
-			b.ReportMetric(stepsUncached, "steps/sec-uncached")
-			b.ReportMetric(execSpeedup, "exec-speedup")
+			for _, k := range engines {
+				e := er[k.String()]
+				e.StepsPerSec = float64(steps) * float64(b.N) / tot[k].Seconds()
+				er[k.String()] = e
+				b.ReportMetric(e.StepsPerSec, "steps/sec-"+k.String())
+			}
+			execSpeedup := float64(tot[kfi.EnginePredecode]) / float64(tot[kfi.EngineTranslate])
+			campSpeedup := float64(campNS[kfi.EnginePredecode]) / float64(campNS[kfi.EngineTranslate])
+			b.ReportMetric(execSpeedup, "translate-speedup")
 			b.ReportMetric(campSpeedup, "campaign-speedup")
-			b.Logf("\n%v predecode (%d steps/run, %d injections):\n"+
-				"  interpreter: %.2fM steps/s cached, %.2fM steps/s uncached, speedup %.2fx\n"+
-				"  campaign:    cached %v, uncached %v, speedup %.2fx\n%s",
-				p, steps, n, stepsCached/1e6, stepsUncached/1e6, execSpeedup,
-				campCached, campUncached, campSpeedup, cacTable)
+
+			// Peak throughput: a register-dense compute loop on a bare core,
+			// the translator's best case (the golden runs above are
+			// memory-bound, so they understate the dispatch win). The final
+			// architectural state and cycle count must agree across engines.
+			iters := uint32(400_000)
+			if testing.Short() {
+				iters = 100_000
+			}
+			core, reset, state := peakRig(b, p, iters)
+			desc, ok := platform.ByName(p.Short())
+			if !ok {
+				b.Fatalf("no descriptor for %v", p)
+			}
+			runToHalt := func(eng platform.ExecEngine) {
+				for {
+					ev := eng.RunUntil(^uint64(0))
+					if ev.Kind == isa.EvHalt {
+						return
+					}
+					if ev.Kind != isa.EvNone {
+						b.Fatalf("peak loop: unexpected event %v at cause %v", ev.Kind, ev.Cause)
+					}
+				}
+			}
+			// One traced interpreter run counts the loop's retired steps.
+			var peakSteps uint64
+			eng, err := desc.NewEngine(kfi.EngineInterp, core)
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.SetTrace(func(pc uint32, cost uint8) { peakSteps++ })
+			reset()
+			runToHalt(eng)
+			core.SetTrace(nil)
+			var peakState string
+			peakNS := map[kfi.EngineKind]time.Duration{}
+			for _, k := range engines {
+				eng, err := desc.NewEngine(k, core)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reset()
+				t0 := time.Now()
+				runToHalt(eng)
+				peakNS[k] = time.Since(t0)
+				if peakState == "" {
+					peakState = state()
+				} else if s := state(); s != peakState {
+					identical = false
+					b.Errorf("peak loop final state diverges on %v:\n  %s\nvs\n  %s", k, peakState, s)
+				}
+				e := er[k.String()]
+				e.PeakStepsPerSec = float64(peakSteps) / peakNS[k].Seconds()
+				er[k.String()] = e
+			}
+			peakSpeedup := float64(peakNS[kfi.EnginePredecode]) / float64(peakNS[kfi.EngineTranslate])
+			b.ReportMetric(peakSpeedup, "peak-translate-speedup")
+			b.Logf("\n%v engines (%d steps/run, %d peak steps, %d injections):\n"+
+				"  interp:    %8.2fM steps/s, peak %8.2fM, campaign %v\n"+
+				"  predecode: %8.2fM steps/s, peak %8.2fM, campaign %v\n"+
+				"  translate: %8.2fM steps/s, peak %8.2fM, campaign %v   (vs predecode: exec %.2fx, peak %.2fx, campaign %.2fx)\n%s",
+				p, steps, peakSteps, n,
+				er["interp"].StepsPerSec/1e6, er["interp"].PeakStepsPerSec/1e6, time.Duration(campNS[kfi.EngineInterp]),
+				er["predecode"].StepsPerSec/1e6, er["predecode"].PeakStepsPerSec/1e6, time.Duration(campNS[kfi.EnginePredecode]),
+				er["translate"].StepsPerSec/1e6, er["translate"].PeakStepsPerSec/1e6, time.Duration(campNS[kfi.EngineTranslate]),
+				execSpeedup, peakSpeedup, campSpeedup, baseTable)
 			rows[p.Short()] = row{
-				Steps:               steps,
-				StepsPerSecCached:   stepsCached,
-				StepsPerSecUncached: stepsUncached,
-				ExecSpeedup:         execSpeedup,
-				CampaignCachedNS:    campCached.Nanoseconds(),
-				CampaignUncachedNS:  campUncached.Nanoseconds(),
-				CampaignSpeedup:     campSpeedup,
-				Injections:          n,
-				TablesIdentical:     true,
+				Steps:                steps,
+				PeakSteps:            peakSteps,
+				Engines:              er,
+				TranslateSpeedup:     execSpeedup,
+				PeakTranslateSpeedup: peakSpeedup,
+				CampaignSpeedup:      campSpeedup,
+				Injections:           n,
+				TablesIdentical:      identical,
 			}
 		})
 	}

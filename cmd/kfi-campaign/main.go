@@ -55,6 +55,8 @@ func run(args []string) error {
 		burst        = fs.Int("burst", 1, "bits flipped per injection (1 = the paper's single-bit model)")
 		crashAddr    = fs.String("crashnet", "", "UDP address of a kfi-monitor collecting crash packets")
 		execMode     = fs.String("exec", "snapshot", "execution mode: snapshot (fork-from-golden) or replay (reboot per injection)")
+		engineFlag   = fs.String("engine", "", "execution engine: interp, predecode, or translate (default: the platform default)")
+		verbose      = fs.Bool("v", false, "print execution-engine counters after each platform")
 		sense        = fs.Bool("sense", false, "run the static error-sensitivity pre-pass and print the predicted-vs-observed confusion matrix")
 		prune        = fs.Bool("prune", false, "implies -sense; skip injections predicted inert, synthesizing their outcomes from the golden run (snapshot mode only)")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist/reuse golden-prefix snapshots in this directory (snapshot mode only)")
@@ -93,6 +95,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	engine, err := cli.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
 	if *hardenStudy {
 		if !hardenOpts.Enabled() {
 			return fmt.Errorf("-harden-study requires -harden (e.g. -harden dup+cfsig)")
@@ -115,7 +121,7 @@ func run(args []string) error {
 		}
 		for _, p := range platforms {
 			for _, c := range campaigns {
-				spec := ctlplane.SpecFor(p, c, *n, *seed, uint8(*burst), *scale, *retries, hardenOpts)
+				spec := ctlplane.SpecFor(p, c, *n, *seed, uint8(*burst), *scale, *retries, hardenOpts, engine)
 				st, err := client.Submit(spec)
 				if err != nil {
 					return fmt.Errorf("submitting %v %v: %w", p, c, err)
@@ -201,6 +207,7 @@ func run(args []string) error {
 	}
 	cfg.Exec.Sense = *sense || *prune
 	cfg.Exec.Prune = *prune
+	cfg.Exec.Engine = engine
 	if *resume && *journalDir == "" {
 		return fmt.Errorf("-resume requires -journal")
 	}
@@ -236,6 +243,15 @@ func run(args []string) error {
 		if q := quarantined(study, p, campaigns); q > 0 {
 			fmt.Printf("Quarantined on %v (harness retry budget exhausted, excluded from the table): %d\n\n", p, q)
 		}
+		if *verbose {
+			pr := study.PerPlatform[p]
+			for _, c := range campaigns {
+				if oc := pr.Outcomes[c]; oc != nil {
+					fmt.Printf("%v %v — %s\n", p, c, stats.EngineLine(oc.Engine.String(), oc.EngineStats))
+				}
+			}
+			fmt.Println()
+		}
 		if cfg.Exec.Sense {
 			pr := study.PerPlatform[p]
 			for _, c := range campaigns {
@@ -260,6 +276,14 @@ func run(args []string) error {
 				if oc := pr.Outcomes[c]; oc != nil {
 					if err := stats.WriteResults(logFile, p, c, oc.Results); err != nil {
 						return err
+					}
+					if *verbose {
+						// Engine-counter summary records ride along only on
+						// request, so default logs stay byte-stable across
+						// runs (counters vary with resume and farm layout).
+						if err := stats.WriteEngineStats(logFile, p, c, oc.Engine, oc.EngineStats); err != nil {
+							return err
+						}
 					}
 				}
 			}

@@ -112,11 +112,16 @@ func serve(args []string, w io.Writer) error {
 func work(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("kfi-ctl work", flag.ContinueOnError)
 	var (
-		_    = fs.String("coordinator", "", "coordinator base URL (required)")
-		name = fs.String("name", "", "worker name for leases and logs (default host/pid derived)")
-		poll = fs.Duration("poll", 2*time.Second, "idle delay between lease polls")
+		_          = fs.String("coordinator", "", "coordinator base URL (required)")
+		name       = fs.String("name", "", "worker name for leases and logs (default host/pid derived)")
+		poll       = fs.Duration("poll", 2*time.Second, "idle delay between lease polls")
+		engineFlag = fs.String("engine", "", "override the execution engine for every leased chunk: interp, predecode, or translate (default: what each campaign spec selects)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := cli.ParseEngine(*engineFlag)
+	if err != nil {
 		return err
 	}
 	wname := *name
@@ -132,6 +137,7 @@ func work(args []string, w io.Writer) error {
 		Coordinator:  client.Base,
 		Name:         wname,
 		PollInterval: *poll,
+		Engine:       engine,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, "kfi-ctl[%s]: "+format+"\n", append([]any{wname}, args...)...)
 		},

@@ -98,6 +98,14 @@ func run(args []string) error {
 	if quarantined > 0 {
 		fmt.Printf("Quarantined (harness retry budget exhausted, excluded from the table): %d\n", quarantined)
 	}
+	// Logs written with `kfi-campaign -v` carry per-campaign engine-counter
+	// summary records; render one line per group that has one.
+	engines := stats.GroupEngineRecords(recs)
+	for _, k := range keys {
+		if rec, ok := engines[k]; ok {
+			fmt.Printf("%s — %s\n", k, stats.EngineLine(rec.Engine, *rec.EngineStats))
+		}
+	}
 	if detected > 0 {
 		fmt.Printf("Detected by the hardened kernel's software fault detector: %d\n", detected)
 	}

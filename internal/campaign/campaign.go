@@ -259,6 +259,12 @@ type Result struct {
 	Spec     Spec
 	Platform isa.Platform
 	Results  []inject.Result
+	// Engine is the execution engine the campaign ran on; EngineStats are
+	// its observability counters accumulated over the run (all zero for the
+	// interpreter engines, which have nothing to count). Farm runs sum the
+	// per-node counters. Purely informational: outcomes never depend on them.
+	Engine      platform.EngineKind
+	EngineStats platform.EngineStats
 }
 
 // Run executes a campaign: golden is the fault-free checksum; progress (may

@@ -1,0 +1,124 @@
+package campaign_test
+
+// Engine-equivalence harness for the ExecEngine seam: every execution
+// engine (step interpreter, predecoded interpreter, basic-block translator)
+// must produce byte-identical campaign outcome tables and journal record
+// streams on both platforms — and identical to the goldens in testdata, so
+// an engine cannot drift even in ways the engines happen to share. The
+// engines differ only in wall-clock throughput; any divergence here is a
+// translator (or predecode-cache) soundness bug, not a tolerance to widen.
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kfi/internal/campaign"
+	"kfi/internal/cc"
+	"kfi/internal/inject"
+	"kfi/internal/isa"
+	"kfi/internal/kernel"
+	"kfi/internal/platform"
+	"kfi/internal/stats"
+	"kfi/internal/workload"
+)
+
+// journalBody strips a journal's header frame (4-byte length + JSON payload
+// + 4-byte CRC), leaving the outcome record stream. Headers legitimately
+// differ across engines — they record which engine ran — so equivalence is
+// asserted on every byte after the header.
+func journalBody(t *testing.T, b []byte) []byte {
+	t.Helper()
+	if len(b) < 8 {
+		t.Fatalf("journal too short for a header frame: %d bytes", len(b))
+	}
+	end := 4 + int(binary.BigEndian.Uint32(b)) + 4
+	if end > len(b) {
+		t.Fatalf("journal header frame (%d bytes) overruns the file (%d bytes)", end, len(b))
+	}
+	return b[end:]
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are slow")
+	}
+	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
+		p := p
+		t.Run(p.Short(), func(t *testing.T) {
+			uimg, err := cc.Compile(workload.Program(1), p, kernel.UserBases)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := kernel.BuildSystem(p, uimg, workload.StandardProcs(), kernel.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := campaign.Golden(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := campaign.ProfileKernel(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, kind := range platform.EngineKinds() {
+				kind := kind
+				t.Run(kind.String(), func(t *testing.T) {
+					var table strings.Builder
+					table.WriteString(stats.TableHeader() + "\n")
+					var all []inject.Result
+					for _, spec := range equivSpecs {
+						jpath := filepath.Join(t.TempDir(), "journal.bin")
+						h := campaign.HeaderFor(p, golden, spec)
+						h.Engine = kind.String() // what kfi-campaign -engine records
+						j, err := campaign.CreateJournal(jpath, h)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := campaign.RunWith(sys, golden, prof, spec, nil,
+							campaign.ExecOptions{Engine: kind, Journal: j})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := j.Close(); err != nil {
+							t.Fatal(err)
+						}
+						if res.Engine != kind {
+							t.Fatalf("campaign ran on engine %v, requested %v", res.Engine, kind)
+						}
+						c := stats.Summarize(res.Results)
+						table.WriteString(c.TableRow(spec.Campaign.String()) + "\n")
+						all = append(all, res.Results...)
+
+						jbytes, err := os.ReadFile(jpath)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gold, err := os.ReadFile(filepath.Join("testdata",
+							goldenName(p, spec.Campaign.String()+".journal")))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got, want := journalBody(t, jbytes), journalBody(t, gold); string(got) != string(want) {
+							t.Errorf("%s %v journal records differ from golden (%d bytes vs %d): engine changed observable outcomes",
+								spec.Campaign, kind, len(got), len(want))
+						}
+					}
+					table.WriteString("\n" + stats.CrashCauses(all).Render(p) + "\n")
+					table.WriteString(stats.Latencies(all).Render() + "\n")
+					gold, err := os.ReadFile(filepath.Join("testdata", goldenName(p, "table.txt")))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if table.String() != string(gold) {
+						t.Errorf("%v outcome table differs from golden: engine changed observable outcomes", kind)
+					}
+				})
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/platform"
 	"kfi/internal/workload"
 )
 
@@ -177,10 +178,12 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 		if opts.SectionCache != "" {
 			return nil, fmt.Errorf("campaign: SectionCache requires the fork-from-golden scheduler; replay mode never traces the golden run the cache keys fingerprint")
 		}
-		if err := f.runReplay(targets, results, skip, done, opts); err != nil {
+		estats, err := f.runReplay(targets, results, skip, done, opts)
+		if err != nil {
 			return nil, err
 		}
-		return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+		return &Result{Spec: spec, Platform: f.platform, Results: results,
+			Engine: f.nodes[0].Machine.EngineKind(), EngineStats: estats}, nil
 	}
 
 	sched, err := buildSchedule(f.nodes[0], targets, opts)
@@ -214,10 +217,28 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	// failover remnants are the exception; the runner restarts its chain).
 	q := &stealQueue{order: order, chunk: max(len(order)/(len(f.nodes)*8), 1)}
 
+	// Engine counters are summed across every node's engine when its worker
+	// winds down (systems poisoned by a watchdog lose their tally; the
+	// counters are observability, never correctness).
+	var (
+		esMu   sync.Mutex
+		estats platform.EngineStats
+	)
+
 	worker := func(node int, sys *kernel.System) error {
+		if err := sys.Machine.SetEngine(opts.Engine); err != nil {
+			q.stop()
+			return err
+		}
+		sys.Machine.Engine().ResetStats()
 		runner := newChunkRunner(sys, f.golden, targets, opts, maxTrig(order))
 		defer runner.close()
-		runner.respawn = f.buildNode
+		defer func() {
+			esMu.Lock()
+			estats.Add(runner.st.sys.Machine.Engine().Stats())
+			esMu.Unlock()
+		}()
+		runner.respawn = f.respawnWith(opts)
 		if f.injectFrom != nil {
 			runner.injectFrom = f.injectFrom
 		}
@@ -294,18 +315,37 @@ func (f *Farm) RunWith(spec Spec, progress func(done, total int), opts ExecOptio
 	if err := secs.store(results); err != nil {
 		return nil, err
 	}
-	return &Result{Spec: spec, Platform: f.platform, Results: results}, nil
+	return &Result{Spec: spec, Platform: f.platform, Results: results,
+		Engine: f.nodes[0].Machine.EngineKind(), EngineStats: estats}, nil
+}
+
+// respawnWith builds a replacement node configured like the campaign's
+// original nodes: the execution engine selected in opts is reapplied, so a
+// post-watchdog respawn cannot silently fall back to the platform default.
+func (f *Farm) respawnWith(opts ExecOptions) func() (*kernel.System, error) {
+	return func() (*kernel.System, error) {
+		sys, err := f.buildNode()
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Machine.SetEngine(opts.Engine); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	}
 }
 
 // runReplay fans replay-mode injections out over the nodes, one stolen
 // target at a time, each supervised (panic retry, watchdog respawn,
 // quarantine) like the fork-from-golden path.
 func (f *Farm) runReplay(targets []inject.Target, results []inject.Result,
-	skip []bool, done func(idx int) error, opts ExecOptions) error {
+	skip []bool, done func(idx int) error, opts ExecOptions) (platform.EngineStats, error) {
 	var (
-		mu   sync.Mutex
-		next int
-		wg   sync.WaitGroup
+		mu     sync.Mutex
+		next   int
+		wg     sync.WaitGroup
+		esMu   sync.Mutex
+		estats platform.EngineStats
 	)
 	errs := make([]error, len(f.nodes))
 	for ni, node := range f.nodes {
@@ -313,8 +353,18 @@ func (f *Farm) runReplay(targets []inject.Target, results []inject.Result,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if err := node.Machine.SetEngine(opts.Engine); err != nil {
+				errs[ni] = err
+				return
+			}
+			node.Machine.Engine().ResetStats()
 			rep := newReplayRunner(node, f.golden, opts)
-			rep.respawn = f.buildNode
+			rep.respawn = f.respawnWith(opts)
+			defer func() {
+				esMu.Lock()
+				estats.Add(rep.sys.Machine.Engine().Stats())
+				esMu.Unlock()
+			}()
 			for {
 				mu.Lock()
 				for next < len(targets) && skip[next] {
@@ -344,8 +394,8 @@ func (f *Farm) runReplay(targets []inject.Target, results []inject.Result,
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return platform.EngineStats{}, err
 		}
 	}
-	return nil
+	return estats, nil
 }

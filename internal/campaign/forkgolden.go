@@ -13,6 +13,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/kernel"
 	"kfi/internal/machine"
+	"kfi/internal/platform"
 	"kfi/internal/snapshot"
 )
 
@@ -28,6 +29,14 @@ type ExecOptions struct {
 	// boot for every injection (the reference mode the equivalence tests and
 	// benchmarks compare against).
 	Replay bool
+	// Engine selects the execution engine the guest runs on (step
+	// interpreter, predecoded interpreter, or the basic-block translator —
+	// see internal/platform.EngineKind). The zero value is the platform
+	// default. Outcomes are engine-invariant — the equivalence tests pin
+	// campaign tables and journals byte-identical across engines — so the
+	// choice only changes wall-clock time.
+	Engine platform.EngineKind
+
 	// SnapshotDir, when set, persists golden-prefix waypoint snapshots there
 	// and reuses any compatible ones from earlier invocations (files are
 	// keyed by a fingerprint of the platform, configuration, and boot image).
@@ -151,6 +160,10 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	if opts.SectionCache != "" && opts.Replay {
 		return nil, fmt.Errorf("campaign: SectionCache requires the fork-from-golden scheduler; replay mode never traces the golden run the cache keys fingerprint")
 	}
+	if err := sys.Machine.SetEngine(opts.Engine); err != nil {
+		return nil, err
+	}
+	sys.Machine.Engine().ResetStats()
 	gen := NewGenerator(sys, profile, spec.Seed, profileCycles(profile))
 	targets, err := gen.Targets(spec)
 	if err != nil {
@@ -183,7 +196,8 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 				return nil, err
 			}
 		}
-		return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
+		return &Result{Spec: spec, Platform: sys.Platform, Results: results,
+			Engine: sys.Machine.EngineKind(), EngineStats: sys.Machine.Engine().Stats()}, nil
 	}
 
 	sched, err := buildSchedule(sys, targets, opts)
@@ -215,7 +229,8 @@ func RunWith(sys *kernel.System, golden uint32, profile *Profile, spec Spec,
 	if err := secs.store(results); err != nil {
 		return nil, err
 	}
-	return &Result{Spec: spec, Platform: sys.Platform, Results: results}, nil
+	return &Result{Spec: spec, Platform: sys.Platform, Results: results,
+		Engine: sys.Machine.EngineKind(), EngineStats: sys.Machine.Engine().Stats()}, nil
 }
 
 // filterOrder drops already-completed entries from a trigger-sorted order.

@@ -81,6 +81,13 @@ type Header struct {
 	// spliced into an uncached run (or vice versa) — the rows would differ
 	// byte-for-byte even though the outcomes match.
 	Cached bool `json:"cached,omitempty"`
+	// Engine names the execution engine the campaign ran on (e.g.
+	// "translate", see internal/platform.EngineKind); empty for the platform
+	// default, so pre-engine journals remain byte-identical. Outcomes are
+	// engine-invariant by construction, but resume still refuses to splice a
+	// journal written under one engine into a run under another: a divergence
+	// between engines is exactly the bug that policy exists to surface.
+	Engine string `json:"engine,omitempty"`
 }
 
 // HeaderFor builds the journal header for a campaign spec.

@@ -7,6 +7,7 @@ import (
 	"kfi/internal/inject"
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
+	"kfi/internal/platform"
 	"kfi/internal/workload"
 )
 
@@ -30,6 +31,9 @@ type NodeRunner struct {
 	// ascending chunks, and restarts itself for requeued earlier triggers.
 	runner     *chunkRunner
 	runnerPlan *Plan
+	// engine is the execution engine of the last RunIndices call, reapplied
+	// to post-watchdog replacement systems.
+	engine platform.EngineKind
 }
 
 // NewNodeRunner builds one guest system of the given platform and workload
@@ -118,6 +122,10 @@ func (nr *NodeRunner) Plan(spec Spec) (*Plan, error) {
 // indices executed by Run, a Farm, or any other NodeRunner.
 func (nr *NodeRunner) RunIndices(plan *Plan, want []int, opts ExecOptions,
 	each func(idx int, res inject.Result) error) error {
+	if err := nr.sys.Machine.SetEngine(opts.Engine); err != nil {
+		return err
+	}
+	nr.engine = opts.Engine
 	wanted := make(map[int]bool, len(want))
 	for _, i := range want {
 		if i < 0 || i >= len(plan.Targets) {
@@ -159,6 +167,9 @@ func (nr *NodeRunner) RunIndices(plan *Plan, want []int, opts ExecOptions,
 func (nr *NodeRunner) respawnRunner() (*kernel.System, error) {
 	sys, err := nr.buildNode()
 	if err != nil {
+		return nil, err
+	}
+	if err := sys.Machine.SetEngine(nr.engine); err != nil {
 		return nil, err
 	}
 	nr.sys = sys

@@ -6,37 +6,51 @@ import (
 
 	"kfi/internal/inject"
 	"kfi/internal/isa"
+	"kfi/internal/platform"
 )
 
-// TestPredecodeCampaignEquivalence pins the predecode cache's end-to-end
+// TestEngineCampaignEquivalence pins the execution engines' end-to-end
 // contract: full campaigns — including code-corruption injections that flip
-// bits inside already-cached pages — produce per-injection results that are
-// bit-identical with the cache on and off, on both platforms.
-func TestPredecodeCampaignEquivalence(t *testing.T) {
+// bits inside already-cached or already-translated pages — produce
+// per-injection results that are bit-identical on every engine the platform
+// supports, on both platforms.
+func TestEngineCampaignEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaigns are slow")
 	}
-	for _, platform := range []isa.Platform{isa.CISC, isa.RISC} {
-		sys, golden, prof := getSystem(t, platform)
-		core := sys.Machine.Core()
+	for _, plat := range []isa.Platform{isa.CISC, isa.RISC} {
+		sys, golden, prof := getSystem(t, plat)
+		desc := sys.Machine.Descriptor()
 		for _, camp := range []inject.Campaign{inject.CampCode, inject.CampStack, inject.CampData} {
-			t.Run(platform.Short()+"/"+camp.String(), func(t *testing.T) {
+			t.Run(plat.Short()+"/"+camp.String(), func(t *testing.T) {
 				spec := Spec{Campaign: camp, N: 10, Seed: 77}
-				cached, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
+				if err := sys.Machine.SetEngine(0); err != nil {
+					t.Fatal(err)
+				}
+				ref, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
-				core.SetPredecode(false)
-				defer core.SetPredecode(true)
-				uncached, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				for i := range cached.Results {
-					if !reflect.DeepEqual(cached.Results[i], uncached.Results[i]) {
-						t.Errorf("injection %d diverges:\n  cached:   %+v\n  uncached: %+v",
-							i, cached.Results[i], uncached.Results[i])
+				for _, kind := range desc.Engines() {
+					if kind == platform.DefaultEngine(desc) {
+						continue
 					}
+					if err := sys.Machine.SetEngine(kind); err != nil {
+						t.Fatal(err)
+					}
+					got, err := RunWith(sys, golden, prof, spec, nil, ExecOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range ref.Results {
+						if !reflect.DeepEqual(ref.Results[i], got.Results[i]) {
+							t.Errorf("%v: injection %d diverges:\n  default: %+v\n  %v: %+v",
+								kind, i, ref.Results[i], kind, got.Results[i])
+						}
+					}
+				}
+				if err := sys.Machine.SetEngine(0); err != nil {
+					t.Fatal(err)
 				}
 			})
 		}

@@ -20,6 +20,7 @@ import (
 	"kfi/internal/isa"
 	"kfi/internal/kernel"
 	"kfi/internal/kir"
+	"kfi/internal/platform"
 	"kfi/internal/stats"
 	"kfi/internal/workload"
 )
@@ -151,6 +152,10 @@ type CampaignOutcome struct {
 	Causes  stats.CauseDist
 	Latency stats.LatencyHist
 	Results []inject.Result
+	// Engine is the execution engine the campaign ran on; EngineStats are
+	// its observability counters (internal/platform.EngineStats).
+	Engine      platform.EngineKind
+	EngineStats platform.EngineStats
 }
 
 // PlatformResult holds one platform's campaigns.
@@ -279,6 +284,9 @@ func openJournal(cfg Config, p isa.Platform, golden uint32, spec campaign.Spec) 
 	h := campaign.HeaderFor(p, golden, spec)
 	h.Prune = cfg.Exec.Prune
 	h.Cached = cfg.Exec.SectionCache != ""
+	if cfg.Exec.Engine != 0 {
+		h.Engine = cfg.Exec.Engine.String()
+	}
 	if cfg.Build.Harden.Enabled() {
 		h.Harden = cfg.Build.Harden.String()
 	}
@@ -318,11 +326,13 @@ func RunCampaignOnWith(system *System, camp inject.Campaign, n int, seed int64,
 
 func summarize(res *campaign.Result) *CampaignOutcome {
 	return &CampaignOutcome{
-		Spec:    res.Spec,
-		Counts:  stats.Summarize(res.Results),
-		Causes:  stats.CrashCauses(res.Results),
-		Latency: stats.Latencies(res.Results),
-		Results: res.Results,
+		Spec:        res.Spec,
+		Counts:      stats.Summarize(res.Results),
+		Causes:      stats.CrashCauses(res.Results),
+		Latency:     stats.Latencies(res.Results),
+		Results:     res.Results,
+		Engine:      res.Engine,
+		EngineStats: res.EngineStats,
 	}
 }
 

@@ -302,6 +302,9 @@ func (c *Coordinator) prepare(st *campaignState) {
 	if res.Harden.Enabled() {
 		header.Harden = res.Harden.String()
 	}
+	if res.Engine != 0 {
+		header.Engine = res.Engine.String()
+	}
 	journal, completed, err := campaign.ResumeJournal(c.journalPath(st.id), header)
 	if err != nil {
 		fail(err)

@@ -88,7 +88,7 @@ func TestSpecIDIdentity(t *testing.T) {
 func TestSpecForMatchesStudySeeds(t *testing.T) {
 	for _, p := range []isa.Platform{isa.CISC, isa.RISC} {
 		for _, c := range []inject.Campaign{inject.CampStack, inject.CampSysReg, inject.CampData, inject.CampCode} {
-			spec := SpecFor(p, c, 50, 7, 1, 1, 0, kir.HardenOpts{})
+			spec := SpecFor(p, c, 50, 7, 1, 1, 0, kir.HardenOpts{}, 0)
 			if spec.Seed != core.SpecSeed(7, p, c) {
 				t.Errorf("%v %v: seed %d, want %d", p, c, spec.Seed, core.SpecSeed(7, p, c))
 			}

@@ -17,6 +17,16 @@
 //     RNG state are exactly what breaks bit-identical resume and
 //     fork-from-golden equivalence. Seeded rand.New(rand.NewSource(...)) is
 //     allowed; tests are exempt.
+//   - exhaustive engine switches: the same rule for the platform.EngineKind
+//     constants everywhere — an engine kind silently falling through a
+//     dispatch (journal header writer, engine constructor, stats reporter)
+//     would let a new engine ship half-wired;
+//   - no direct Step calls outside the engine packages: the ExecEngine seam
+//     exists so every instruction retires through exactly one run loop per
+//     engine. A stray core.Step() elsewhere bypasses the selected engine
+//     (and its caches and stats), so only the ISA packages and the registry
+//     may call Step; everyone else drives a platform.ExecEngine via
+//     RunUntil;
 //   - no platform dispatch outside the registry: comparing or switching on
 //     the platform enum constants (isa.CISC, isa.RISC, kfi.P4, kfi.G4) is
 //     how platform-specific behavior leaked across layers before the
@@ -90,6 +100,20 @@ const outcomeSource = "internal/inject/inject.go"
 // to the repo root.
 const classSource = "internal/staticsense/staticsense.go"
 
+// engineSource is the file defining the platform.EngineKind constants,
+// relative to the repo root.
+const engineSource = "internal/platform/engine.go"
+
+// stepCallDirs are the packages allowed to call a Step method directly: the
+// two ISA implementations (whose run loops and translators are the engines)
+// and the registry that defines the Core interface. Everywhere else must
+// drive execution through a platform.ExecEngine.
+var stepCallDirs = []string{
+	"internal/cisc",
+	"internal/risc",
+	"internal/platform",
+}
+
 // platformDispatchDirs are the packages allowed to branch on the platform
 // enum: the enum's home, the registry, and the two ISA implementations the
 // registry exists to encapsulate.
@@ -123,6 +147,10 @@ func Check(root string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	engines, err := typedConstants(filepath.Join(root, engineSource), "EngineKind")
+	if err != nil {
+		return nil, err
+	}
 	var findings []Finding
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -150,6 +178,10 @@ func Check(root string) ([]Finding, error) {
 		findings = append(findings, checkEnumSwitches(fset, file, rel, outcomes, "inject.Outcome")...)
 		if !strings.HasPrefix(filepath.ToSlash(rel), "internal/staticsense/") {
 			findings = append(findings, checkEnumSwitches(fset, file, rel, classes, "staticsense.Class")...)
+		}
+		findings = append(findings, checkEnumSwitches(fset, file, rel, engines, "platform.EngineKind")...)
+		if !inStepCallDir(rel) {
+			findings = append(findings, checkStepCalls(fset, file, rel)...)
 		}
 		if inDeterministicDir(rel) {
 			findings = append(findings, checkDeterminism(fset, file, rel)...)
@@ -448,6 +480,43 @@ func checkCtlplaneSeams(fset *token.FileSet, file *ast.File, rel string) []Findi
 				Msg: fmt.Sprintf("http.%s uses the ambient default client/transport in internal/ctlplane (use an owned, injectable *http.Client)", sel.Sel.Name),
 			})
 		}
+		return true
+	})
+	return findings
+}
+
+// inStepCallDir reports whether a repo-relative file may call a core's Step
+// method directly instead of going through a platform.ExecEngine.
+func inStepCallDir(rel string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, d := range stepCallDirs {
+		if strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStepCalls flags method calls named Step outside the engine packages.
+// The check is purely syntactic (no type information), which is safe because
+// Step is the ISA cores' single-instruction entry point and no other type in
+// the repo exposes a Step method; a new one would claim the name from the
+// execution seam and should pick another.
+func checkStepCalls(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Step" {
+			return true
+		}
+		findings = append(findings, Finding{
+			File: rel, Line: fset.Position(sel.Pos()).Line,
+			Msg: "direct Step call outside the engine packages bypasses the selected execution engine; drive the core through a platform.ExecEngine (RunUntil) instead",
+		})
 		return true
 	})
 	return findings

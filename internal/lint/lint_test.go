@@ -30,6 +30,16 @@ const (
 	numClasses
 )
 `,
+		engineSource: `package platform
+type EngineKind uint8
+const (
+	EngineInterp EngineKind = iota + 1
+	EnginePredecode
+	EngineTranslate
+
+	numEngineKinds
+)
+`,
 	}
 	for k, v := range files {
 		base[k] = v
@@ -307,6 +317,91 @@ func s() bool {
 		if !strings.Contains(f.Msg, "internal/platform registry") {
 			t.Errorf("finding %d does not point at the registry: %s", i, f.Msg)
 		}
+	}
+}
+
+// TestEngineKindSwitchRule proves a half-wired engine dispatch fails lint:
+// a switch over the EngineKind constants that misses a kind and has no
+// default is flagged anywhere in the tree, while full coverage or a default
+// clause (and the unexported count sentinel) satisfy the rule.
+func TestEngineKindSwitchRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/campaign/eng.go": `package campaign
+import "x/platform"
+func label(k platform.EngineKind) string {
+	switch k {
+	case platform.EngineInterp:
+		return "i"
+	case platform.EnginePredecode:
+		return "p"
+	}
+	return ""
+}
+`,
+		"internal/stats/eng.go": `package stats
+import "x/platform"
+func full(k platform.EngineKind) int {
+	switch k {
+	case platform.EngineInterp, platform.EnginePredecode:
+		return 1
+	case platform.EngineTranslate:
+		return 2
+	}
+	return 0
+}
+func def(k platform.EngineKind) int {
+	switch k {
+	case platform.EngineTranslate:
+		return 2
+	default:
+		return 0
+	}
+}
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "EngineTranslate") ||
+		!strings.Contains(fs[0].Msg, "platform.EngineKind") {
+		t.Errorf("want one finding missing EngineTranslate, got %v", findingStrings(fs))
+	}
+	if len(fs) == 1 && strings.Contains(fs[0].Msg, "numEngineKinds") {
+		t.Errorf("unexported sentinel demanded by the rule: %v", fs[0])
+	}
+}
+
+// TestStepCallRule proves the engine seam is enforced: a direct core.Step()
+// call outside the ISA packages and the registry is flagged, while the run
+// loops inside them (and test files anywhere) may keep calling Step.
+func TestStepCallRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/machine/loop.go": `package machine
+type core interface{ Step() int }
+func run(c core) int { return c.Step() }
+`,
+		"internal/cisc/cpu.go": `package cisc
+type CPU struct{}
+func (c *CPU) Step() int { return 0 }
+func (c *CPU) RunUntil(limit uint64) int { return c.Step() }
+`,
+		"internal/platform/adapter.go": `package platform
+type stepper interface{ Step() int }
+func drive(s stepper) int { return s.Step() }
+`,
+		// Tests are exempt even outside the engine packages.
+		"internal/machine/loop_test.go": `package machine
+func tstep(c core) int { return c.Step() }
+`,
+	})
+	fs, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].File, "machine") ||
+		!strings.Contains(fs[0].Msg, "ExecEngine") {
+		t.Errorf("want one ExecEngine finding in internal/machine, got %v", findingStrings(fs))
 	}
 }
 

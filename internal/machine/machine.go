@@ -146,10 +146,11 @@ type RunResult struct {
 
 // Machine is one bootable guest system.
 type Machine struct {
-	cfg  Config
-	Mem  *mem.Memory
-	desc platform.Descriptor
-	core Core
+	cfg    Config
+	Mem    *mem.Memory
+	desc   platform.Descriptor
+	core   Core
+	engine platform.ExecEngine
 
 	nextTimer uint64
 	deadline  uint64
@@ -215,12 +216,44 @@ func New(cfg Config) (*Machine, error) {
 
 	mach := &Machine{cfg: cfg, Mem: m, desc: desc}
 	mach.core = desc.NewCore(m)
+	eng, err := desc.NewEngine(platform.DefaultEngine(desc), mach.core)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	mach.engine = eng
 	mach.resetCPUState()
 	return mach, nil
 }
 
 // Core returns the platform-generic CPU view.
 func (ma *Machine) Core() Core { return ma.core }
+
+// Engine returns the active execution engine.
+func (ma *Machine) Engine() platform.ExecEngine { return ma.engine }
+
+// EngineKind returns the active engine's kind.
+func (ma *Machine) EngineKind() platform.EngineKind { return ma.engine.Kind() }
+
+// SetEngine replaces the execution engine. The zero kind selects the
+// platform default. All engines are observationally equivalent, so switching
+// engines never changes run outcomes — only throughput.
+func (ma *Machine) SetEngine(kind platform.EngineKind) error {
+	if kind == 0 {
+		kind = platform.DefaultEngine(ma.desc)
+	}
+	if kind == ma.engine.Kind() {
+		return nil
+	}
+	if !platform.SupportsEngine(ma.desc, kind) {
+		return fmt.Errorf("machine: platform %v does not support engine %v", ma.cfg.Platform, kind)
+	}
+	eng, err := ma.desc.NewEngine(kind, ma.core)
+	if err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	ma.engine = eng
+	return nil
+}
 
 // Config returns the machine configuration.
 func (ma *Machine) Config() Config { return ma.cfg }
@@ -389,7 +422,7 @@ func (ma *Machine) Run() RunResult {
 		if ma.nextTimer < horizon {
 			horizon = ma.nextTimer
 		}
-		ev := ma.core.RunUntil(horizon)
+		ev := ma.engine.RunUntil(horizon)
 		switch ev.Kind {
 		case isa.EvNone:
 		case isa.EvSyscall:
@@ -455,11 +488,14 @@ func (ma *Machine) Run() RunResult {
 func (ma *Machine) CallGuest(fn string, args ...uint32) (uint32, error) {
 	entry := ma.cfg.Image.Sym(fn)
 	ma.core.BeginCall(entry, args)
+	clk := ma.core.Clock()
 	for steps := 0; steps < 100_000_000; steps++ {
 		if ret, done := ma.core.CallDone(len(args)); done {
 			return ret, nil
 		}
-		if ev := ma.core.Step(); ev.Kind != isa.EvNone {
+		// Every instruction costs at least one cycle, so RunUntil(clock+1)
+		// executes exactly one instruction on every engine.
+		if ev := ma.engine.RunUntil(clk.Cycles() + 1); ev.Kind != isa.EvNone {
 			return 0, fmt.Errorf("machine: %s: event %+v at pc=0x%x", fn, ev, ma.core.PC())
 		}
 	}

@@ -298,6 +298,18 @@ func (m *Memory) RawBytes(addr, n uint32) []byte {
 	return m.ram[addr : addr+n]
 }
 
+// PeekBytes returns a read-only slice aliasing [addr, addr+n) without checks,
+// without dirtying baselines, and without bumping write generations, or nil
+// if out of range. Callers must not write through it: it exists for consumers
+// that only decode from RAM — the basic-block translators, which would
+// otherwise invalidate the very page they are translating.
+func (m *Memory) PeekBytes(addr, n uint32) []byte {
+	if addr+n > uint32(len(m.ram)) || addr+n < addr {
+		return nil
+	}
+	return m.ram[addr : addr+n]
+}
+
 // FlipBit flips bit (0..7) of the byte at addr, emulating a single-bit
 // transient error, and returns the previous byte value. Out-of-range flips
 // are ignored and return 0.

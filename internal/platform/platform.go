@@ -79,12 +79,10 @@ type CPUState interface {
 // layer. Adapters are thin; everything architectural stays in the ISA
 // packages.
 type Core interface {
+	// Step executes exactly one instruction. Only execution engines (the
+	// ISA packages' ExecEngine implementations) may call it; every other
+	// layer batches through ExecEngine.RunUntil — a rule kfi-lint enforces.
 	Step() isa.Event
-	// RunUntil steps until the clock reaches limit or a step produces a
-	// non-EvNone event, which it returns; EvNone means the limit was
-	// reached. Equivalent to calling Step in a loop, but without the
-	// per-instruction interface dispatch.
-	RunUntil(limit uint64) isa.Event
 	Reset()
 
 	PC() uint32
@@ -163,15 +161,6 @@ type Core interface {
 	Debug() *isa.DebugUnit
 	SetTrace(fn func(pc uint32, cost uint8))
 	PendingDataBreak() (slot int, access isa.DataAccess, addr uint32, ok bool)
-
-	// SetPredecode enables/disables the decoded-instruction cache; disabled
-	// is the reference interpreter (fetch+decode every step). Outcomes are
-	// bit-identical either way; only wall-clock changes.
-	SetPredecode(on bool)
-	// FlushPredecode drops all predecoded instructions. Stale entries are
-	// already invalidated by memory generation counters; flushing only
-	// bounds memory and establishes cold-cache conditions.
-	FlushPredecode()
 }
 
 // Descriptor is everything one platform contributes to the laboratory.
@@ -190,6 +179,14 @@ type Descriptor interface {
 	NewCore(m *mem.Memory) Core
 	// NewCPUState returns an empty CPU state for the snapshot decoder.
 	NewCPUState() CPUState
+
+	// Engines lists the execution engines the platform supports, in enum
+	// order. Every platform must support EngineInterp (the reference
+	// interpreter); the registry rejects descriptors that don't.
+	Engines() []EngineKind
+	// NewEngine builds the given engine bound to a core this descriptor
+	// built. It fails on kinds absent from Engines().
+	NewEngine(kind EngineKind, c Core) (ExecEngine, error)
 
 	// BusWindow returns the platform's unclaimed processor-local bus
 	// window, in which accesses machine-check rather than page-fault

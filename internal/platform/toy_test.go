@@ -79,6 +79,30 @@ func (toyDescriptor) NewCore(m *mem.Memory) platform.Core {
 
 func (toyDescriptor) NewCPUState() platform.CPUState { return &toyState{} }
 
+func (toyDescriptor) Engines() []platform.EngineKind {
+	return []platform.EngineKind{platform.EngineInterp}
+}
+
+func (toyDescriptor) NewEngine(kind platform.EngineKind, core platform.Core) (platform.ExecEngine, error) {
+	c, ok := core.(*toyCore)
+	if !ok {
+		return nil, fmt.Errorf("toy: engine %v requires a toy core, got %T", kind, core)
+	}
+	if kind != platform.EngineInterp {
+		return nil, fmt.Errorf("toy: unsupported engine %v", kind)
+	}
+	return toyEngine{c}, nil
+}
+
+// toyEngine is the toy platform's sole engine: the interpreter loop.
+type toyEngine struct{ c *toyCore }
+
+func (e toyEngine) Kind() platform.EngineKind       { return platform.EngineInterp }
+func (e toyEngine) RunUntil(limit uint64) isa.Event { return e.c.RunUntil(limit) }
+func (e toyEngine) Flush()                          {}
+func (e toyEngine) Stats() platform.EngineStats     { return platform.EngineStats{} }
+func (e toyEngine) ResetStats()                     {}
+
 func (toyDescriptor) BusWindow() (uint32, uint32, bool) { return 0, 0, false }
 func (toyDescriptor) KernelStackSize() uint32           { return 0x400 }
 func (toyDescriptor) CrashStages() (uint64, uint64)     { return 100, 50 }
@@ -331,9 +355,6 @@ func (c *toyCore) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
 	c.dbSlot = -1
 	return slot, access, addr, true
 }
-
-func (c *toyCore) SetPredecode(on bool) {}
-func (c *toyCore) FlushPredecode()      {}
 
 // toyState is the toy CPU checkpoint, wire-codable through the shared
 // snapshot cursors like the built-in platforms' states.

@@ -119,14 +119,13 @@ type coreAdapter struct {
 
 var _ platform.Core = (*coreAdapter)(nil)
 
-func (c *coreAdapter) Step() isa.Event                 { return c.cpu.Step() }
-func (c *coreAdapter) RunUntil(limit uint64) isa.Event { return c.cpu.RunUntil(limit) }
-func (c *coreAdapter) Reset()                          { c.cpu.Reset() }
-func (c *coreAdapter) PC() uint32                      { return c.cpu.PC }
-func (c *coreAdapter) SetPC(v uint32)                  { c.cpu.PC = v }
-func (c *coreAdapter) SP() uint32                      { return c.cpu.R[SP] }
-func (c *coreAdapter) SetSP(v uint32)                  { c.cpu.R[SP] = v }
-func (c *coreAdapter) Mode() isa.Mode                  { return c.cpu.Mode() }
+func (c *coreAdapter) Step() isa.Event { return c.cpu.Step() }
+func (c *coreAdapter) Reset()          { c.cpu.Reset() }
+func (c *coreAdapter) PC() uint32      { return c.cpu.PC }
+func (c *coreAdapter) SetPC(v uint32)  { c.cpu.PC = v }
+func (c *coreAdapter) SP() uint32      { return c.cpu.R[SP] }
+func (c *coreAdapter) SetSP(v uint32)  { c.cpu.R[SP] = v }
+func (c *coreAdapter) Mode() isa.Mode  { return c.cpu.Mode() }
 
 func (c *coreAdapter) InterruptsEnabled() bool { return c.cpu.InterruptsEnabled() }
 
@@ -318,9 +317,6 @@ func (c *coreAdapter) SetTrace(fn func(pc uint32, cost uint8)) { c.cpu.Trace = f
 func (c *coreAdapter) PendingDataBreak() (int, isa.DataAccess, uint32, bool) {
 	return c.cpu.PendingDataBreak()
 }
-
-func (c *coreAdapter) SetPredecode(on bool) { c.cpu.SetPredecode(on) }
-func (c *coreAdapter) FlushPredecode()      { c.cpu.FlushPredecode() }
 
 // EncodeSnapshot serializes the CPU block in the snapshot wire format. The
 // field order is frozen: it is the on-disk format PR 1 shipped.

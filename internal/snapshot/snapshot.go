@@ -78,10 +78,11 @@ func (s *Snapshot) Restore(ma *machine.Machine) (int, error) {
 	if !s.Armed(ma) {
 		// Installing a foreign image rewrites all of RAM. Generation bumps
 		// from the full-copy RestoreBaseline below already invalidate stale
-		// predecoded instructions; the explicit flush just releases the old
-		// image's cache pages at a natural boundary.
+		// predecoded/translated state; the explicit flush just releases the
+		// old image's cache pages at a natural boundary — and keeps engine
+		// state out of checkpoints entirely.
 		ma.Mem.SetBaseline(s.Image, false)
-		ma.Core().FlushPredecode()
+		ma.Engine().Flush()
 	}
 	return ma.Mem.RestoreBaseline(), nil
 }

@@ -1,0 +1,17 @@
+package stats
+
+import (
+	"fmt"
+
+	"kfi/internal/platform"
+)
+
+// EngineLine renders one campaign's execution-engine counters as a report
+// line: which engine ran the guest, how many basic blocks it translated, how
+// its closure cache behaved, and how often it fell back to the interpreter.
+// Interpreter engines report all zeros — the line still identifies the
+// engine, which is what a reader comparing runs wants to know first.
+func EngineLine(engine string, s platform.EngineStats) string {
+	return fmt.Sprintf("engine %-9s blocks=%d hits=%d invalidations=%d fallbacks=%d",
+		engine, s.Translated, s.Hits, s.Invalidations, s.Fallbacks)
+}

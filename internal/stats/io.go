@@ -8,15 +8,22 @@ import (
 
 	"kfi/internal/inject"
 	"kfi/internal/isa"
+	"kfi/internal/platform"
 )
 
 // Record is the JSONL serialization of one injection result, used by the
-// campaign tool's log files and the report tool.
+// campaign tool's log files and the report tool. A record with Engine set is
+// not an injection result but a per-campaign engine-counter summary (Seq -1,
+// appended after the campaign's result records by WriteEngineStats); result
+// readers must skip it.
 type Record struct {
 	Platform string        `json:"platform"`
 	Campaign string        `json:"campaign"`
 	Seq      int           `json:"seq"`
 	Result   inject.Result `json:"result"`
+
+	Engine      string                `json:"engine,omitempty"`
+	EngineStats *platform.EngineStats `json:"engine_stats,omitempty"`
 }
 
 // WriteResults streams campaign results as JSON lines.
@@ -37,6 +44,23 @@ func WriteResults(w io.Writer, platform isa.Platform, camp inject.Campaign, resu
 	return bw.Flush()
 }
 
+// WriteEngineStats appends one engine-counter summary record for a campaign.
+func WriteEngineStats(w io.Writer, p isa.Platform, camp inject.Campaign,
+	kind platform.EngineKind, s platform.EngineStats) error {
+	rec := Record{
+		Platform:    p.Short(),
+		Campaign:    camp.String(),
+		Seq:         -1,
+		Engine:      kind.String(),
+		EngineStats: &s,
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&rec); err != nil {
+		return fmt.Errorf("stats: encode engine record: %w", err)
+	}
+	return nil
+}
+
 // ReadResults parses a JSONL stream back into records.
 func ReadResults(r io.Reader) ([]Record, error) {
 	var out []Record
@@ -52,12 +76,36 @@ func ReadResults(r io.Reader) ([]Record, error) {
 	}
 }
 
-// GroupRecords partitions records by (platform, campaign).
+// GroupRecords partitions records by (platform, campaign), skipping
+// engine-counter summary records.
 func GroupRecords(recs []Record) map[string][]inject.Result {
 	out := make(map[string][]inject.Result)
 	for _, rec := range recs {
+		if rec.Engine != "" {
+			continue
+		}
 		key := rec.Platform + "/" + rec.Campaign
 		out[key] = append(out[key], rec.Result)
+	}
+	return out
+}
+
+// GroupEngineRecords collects the engine-counter summary records by the same
+// (platform, campaign) keys GroupRecords uses. Logs merged from several runs
+// of one campaign accumulate their counters.
+func GroupEngineRecords(recs []Record) map[string]Record {
+	out := make(map[string]Record)
+	for _, rec := range recs {
+		if rec.Engine == "" || rec.EngineStats == nil {
+			continue
+		}
+		key := rec.Platform + "/" + rec.Campaign
+		if prev, ok := out[key]; ok && prev.Engine == rec.Engine {
+			s := *prev.EngineStats
+			s.Add(*rec.EngineStats)
+			rec.EngineStats = &s
+		}
+		out[key] = rec
 	}
 	return out
 }

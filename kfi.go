@@ -31,6 +31,7 @@ import (
 	"kfi/internal/kernel"
 	"kfi/internal/kir"
 	"kfi/internal/machine"
+	"kfi/internal/platform"
 	"kfi/internal/stats"
 	"kfi/internal/tracediff"
 )
@@ -143,8 +144,31 @@ func RunCampaign(sys *System, camp Campaign, n int, seed int64, progress func(do
 // fork-from-golden snapshot scheduling (checkpoint the golden prefix once,
 // restore-inject-resume per experiment); Replay forces the paper's literal
 // reboot-and-replay-from-boot procedure; SnapshotDir persists golden-prefix
-// waypoint snapshots for reuse across invocations.
+// waypoint snapshots for reuse across invocations; Engine selects the
+// execution engine (see EngineKind).
 type ExecOptions = campaign.ExecOptions
+
+// EngineKind selects the execution engine a guest runs on. The zero value is
+// the platform default (the predecoded interpreter on both built-in
+// platforms). Engine choice is a pure speed knob: campaign outcome tables and
+// journals are byte-identical across engines.
+type EngineKind = platform.EngineKind
+
+// The three execution engines.
+const (
+	// EngineInterp is the plain fetch-decode-execute step interpreter.
+	EngineInterp = platform.EngineInterp
+	// EnginePredecode is the interpreter with the per-page predecoded
+	// instruction cache.
+	EnginePredecode = platform.EnginePredecode
+	// EngineTranslate is the basic-block threaded-closure translator.
+	EngineTranslate = platform.EngineTranslate
+)
+
+// EngineStats are the observability counters an execution engine maintains
+// (blocks translated, closure-cache hits, write-generation invalidations,
+// interpreter fallbacks).
+type EngineStats = platform.EngineStats
 
 // RunCampaignWith is RunCampaign with explicit execution options.
 func RunCampaignWith(sys *System, camp Campaign, n int, seed int64,

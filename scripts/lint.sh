@@ -6,6 +6,9 @@
 #   - no time.Now / global math/rand in deterministic replay packages
 #   - no switch/if dispatch on the platform enum outside internal/platform,
 #     the ISA packages, and the explicit allowlist (use the registry)
+#   - exhaustive switches over the platform.EngineKind constants
+#   - no direct core Step() calls outside the engine packages (drive cores
+#     through a platform.ExecEngine)
 #
 #   sh scripts/lint.sh      (or: make lint)
 set -eu

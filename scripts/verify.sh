@@ -31,11 +31,14 @@ go test . -run '^$' -bench Snapshot -benchtime 1x
 echo "== BENCH_snapshot.json"
 cat BENCH_snapshot.json
 
-echo "== predecode benchmark smoke (-short -bench=PredecodeSpeedup -benchtime=1x)"
-go test . -short -run '^$' -bench PredecodeSpeedup -benchtime 1x
+echo "== execution-engine benchmark smoke (-short -bench=EngineSpeedup -benchtime=1x)"
+go test . -short -run '^$' -bench EngineSpeedup -benchtime 1x
 
 echo "== BENCH_exec.json"
 cat BENCH_exec.json
+
+echo "== engine-equivalence smoke (tables + journals byte-identical across engines)"
+go test ./internal/campaign/ -run 'TestEngineEquivalence' -count 1
 
 echo "== static-sense benchmark smoke (-short -bench=StaticSense -benchtime=1x)"
 go test . -short -run '^$' -bench StaticSense -benchtime 1x
